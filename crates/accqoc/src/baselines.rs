@@ -1,0 +1,148 @@
+//! Compilation baselines (paper §VI-H, Figure 15).
+//!
+//! - **Gate-based compilation**: per-gate pulse lookup + concatenation —
+//!   provided by [`crate::AccQocCompiler::gate_based_latency`].
+//! - **Brute-force QOC**: "we form the 'brute force QOC' groups by
+//!   including as many qubits and gates as possible" — maximal groups
+//!   compiled from scratch, giving the best latency at enormous compile
+//!   cost. The paper's brute force reaches 10-qubit groups and takes
+//!   hours; we cap the group width (3 qubits by default) to keep the
+//!   experiment tractable while preserving the trade-off's direction,
+//!   and record the cap in EXPERIMENTS.md.
+
+use accqoc_circuit::{Circuit, UnitaryKey};
+use accqoc_group::{dedup_groups, divide_circuit, GroupingPolicy, SwapMode};
+use accqoc_grape::LatencySearch;
+use accqoc_hw::Topology;
+use accqoc_map::{map_circuit, MappingOptions};
+
+use crate::compile::{AccQocCompiler, AccQocConfig, AccQocError, ModelSet};
+
+/// Configuration of the brute-force QOC baseline.
+#[derive(Debug, Clone)]
+pub struct BruteForceConfig {
+    /// Maximum qubits per brute-force group.
+    pub max_qubits: usize,
+    /// Maximum layers per brute-force group (bounds pulse length).
+    pub max_layers: usize,
+    /// Latency-search cap (brute-force groups need longer pulses).
+    pub max_steps: usize,
+}
+
+impl Default for BruteForceConfig {
+    fn default() -> Self {
+        Self { max_qubits: 3, max_layers: 12, max_steps: 192 }
+    }
+}
+
+/// Result of brute-force QOC compilation of one program.
+#[derive(Debug, Clone)]
+pub struct BruteForceResult {
+    /// Overall program latency (Algorithm 3 over brute-force groups), ns.
+    pub overall_latency_ns: f64,
+    /// Total GRAPE iterations (every group compiled from scratch).
+    pub total_iterations: usize,
+    /// Number of group instances.
+    pub n_groups: usize,
+    /// Number of unique groups compiled.
+    pub n_unique: usize,
+}
+
+/// Runs the brute-force QOC baseline on a logical circuit.
+///
+/// The circuit is mapped with the same crosstalk-aware mapper, then
+/// divided with a wide grouping policy and compiled group-by-group from
+/// scratch (no cache, no MST).
+///
+/// # Errors
+///
+/// Propagates pulse-compilation failures.
+pub fn brute_force_qoc(
+    circuit: &Circuit,
+    topology: &Topology,
+    base: &AccQocConfig,
+    bf: &BruteForceConfig,
+) -> Result<BruteForceResult, AccQocError> {
+    let policy = GroupingPolicy::new(SwapMode::Map, bf.max_qubits, bf.max_layers);
+    let mut config = base.clone();
+    config.policy = policy;
+    config.topology = topology.clone();
+    config.search = LatencySearch {
+        min_steps: base.search.min_steps,
+        max_steps: bf.max_steps,
+        ..LatencySearch::default()
+    };
+    let compiler = AccQocCompiler::with_models(config, ModelSet::spin(bf.max_qubits));
+
+    let decomposed = circuit.decomposed(false);
+    let mapped = map_circuit(&decomposed, topology, &MappingOptions::default());
+    let (grouped, _processed) = divide_circuit(&mapped.circuit, &policy);
+    let dedup = dedup_groups(&grouped.groups);
+
+    let mut latencies_unique = Vec::with_capacity(dedup.unique.len());
+    let mut total_iterations = 0usize;
+    for g in &dedup.unique {
+        let u = g.unitary();
+        let (_, perm) = UnitaryKey::canonical_with_permutation(&u, g.n_qubits());
+        let canonical = accqoc_circuit::permute_qubits(&u, &perm, g.n_qubits());
+        let result = compiler.compile_unitary(&canonical, g.n_qubits(), None)?;
+        total_iterations += result.total_iterations;
+        latencies_unique.push(result.latency_ns);
+    }
+    let latencies: Vec<f64> =
+        dedup.assignment.iter().map(|&u| latencies_unique[u]).collect();
+    let overall_latency_ns = grouped.overall_latency(|i| latencies[i]);
+
+    Ok(BruteForceResult {
+        overall_latency_ns,
+        total_iterations,
+        n_groups: dedup.assignment.len(),
+        n_unique: dedup.unique.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accqoc_circuit::Gate;
+
+    #[test]
+    fn brute_force_beats_accqoc_latency_but_costs_more() {
+        let topo = Topology::linear(3);
+        let mut base = AccQocConfig::for_topology(topo.clone());
+        base.grape.stop.max_iters = 200;
+        let circuit = Circuit::from_gates(
+            3,
+            [
+                Gate::H(0),
+                Gate::Cx(0, 1),
+                Gate::T(1),
+                Gate::Cx(1, 2),
+                Gate::H(2),
+                Gate::Cx(0, 1),
+                Gate::Tdg(1),
+            ],
+        );
+        let compiler = AccQocCompiler::new(base.clone());
+        let mut cache = crate::PulseCache::new();
+        let accqoc = compiler.compile_program(&circuit, &mut cache).unwrap();
+        let bf = brute_force_qoc(&circuit, &topo, &base, &BruteForceConfig::default()).unwrap();
+
+        assert!(bf.overall_latency_ns > 0.0);
+        assert!(bf.n_unique <= bf.n_groups);
+        // Bigger groups ⇒ at-least-as-good latency.
+        assert!(
+            bf.overall_latency_ns <= accqoc.overall_latency_ns + 1e-9,
+            "bf {} vs accqoc {}",
+            bf.overall_latency_ns,
+            accqoc.overall_latency_ns
+        );
+    }
+
+    #[test]
+    fn default_config_is_paper_scoped() {
+        let bf = BruteForceConfig::default();
+        assert!(bf.max_qubits >= 3);
+        assert!(bf.max_steps > 96);
+    }
+}

@@ -1,0 +1,233 @@
+//! The pulse cache: the paper's "group list + pulse list + latency list"
+//! artifact produced by static pre-compilation (§IV-C/D) and consulted by
+//! dynamic compilation to skip covered groups.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use accqoc_circuit::UnitaryKey;
+use accqoc_grape::Pulse;
+
+/// A cached compilation result for one unique group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CachedPulse {
+    /// The optimized control pulse.
+    pub pulse: Pulse,
+    /// Minimal feasible latency found by binary search, nanoseconds.
+    pub latency_ns: f64,
+    /// GRAPE iterations spent compiling this group (all probes).
+    pub iterations: usize,
+    /// Number of qubits of the group.
+    pub n_qubits: usize,
+}
+
+/// Key-value store from canonical group identity to compiled pulse.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc::{CachedPulse, PulseCache};
+/// use accqoc_circuit::UnitaryKey;
+/// use accqoc_grape::Pulse;
+/// use accqoc_linalg::Mat;
+///
+/// let mut cache = PulseCache::new();
+/// let key = UnitaryKey::canonical(&Mat::identity(2), 1);
+/// cache.insert(key.clone(), CachedPulse {
+///     pulse: Pulse::zeros(2, 0, 1.0),
+///     latency_ns: 0.0,
+///     iterations: 0,
+///     n_qubits: 1,
+/// });
+/// assert!(cache.lookup(&key).is_some());
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(from = "CacheOnDisk", into = "CacheOnDisk")]
+pub struct PulseCache {
+    entries: HashMap<UnitaryKey, CachedPulse>,
+}
+
+/// JSON-friendly representation: a list of entries (JSON object keys must
+/// be strings, which byte-vector keys are not).
+#[derive(Serialize, Deserialize)]
+struct CacheOnDisk {
+    entries: Vec<(UnitaryKey, CachedPulse)>,
+}
+
+impl From<CacheOnDisk> for PulseCache {
+    fn from(disk: CacheOnDisk) -> Self {
+        Self { entries: disk.entries.into_iter().collect() }
+    }
+}
+
+impl From<PulseCache> for CacheOnDisk {
+    fn from(cache: PulseCache) -> Self {
+        let mut entries: Vec<(UnitaryKey, CachedPulse)> = cache.entries.into_iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Self { entries }
+    }
+}
+
+impl PulseCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached unique groups.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a group by canonical key.
+    pub fn lookup(&self, key: &UnitaryKey) -> Option<&CachedPulse> {
+        self.entries.get(key)
+    }
+
+    /// `true` when the group is covered.
+    pub fn contains(&self, key: &UnitaryKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Inserts or replaces an entry; returns the previous value if any.
+    pub fn insert(&mut self, key: UnitaryKey, value: CachedPulse) -> Option<CachedPulse> {
+        self.entries.insert(key, value)
+    }
+
+    /// Iterates over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&UnitaryKey, &CachedPulse)> {
+        self.entries.iter()
+    }
+
+    /// Merges another cache into this one (other wins on conflicts).
+    pub fn merge(&mut self, other: PulseCache) {
+        self.entries.extend(other.entries);
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer failures (effectively unreachable for this
+    /// data model).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserializes from JSON produced by [`PulseCache::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error on malformed input.
+    pub fn from_json(json: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(json)
+    }
+
+    /// Writes the cache to a file as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from file creation or writing.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let json = self.to_json().map_err(io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a cache from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or parse errors.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        Self::from_json(&json).map_err(io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accqoc_circuit::{circuit_unitary, Circuit, Gate};
+
+    fn key_of(gates: &[Gate], n: usize) -> UnitaryKey {
+        UnitaryKey::canonical(&circuit_unitary(&Circuit::from_gates(n, gates.iter().copied())), n)
+    }
+
+    fn entry(n_qubits: usize, latency: f64) -> CachedPulse {
+        CachedPulse {
+            pulse: Pulse::zeros(2 * n_qubits, latency as usize, 1.0),
+            latency_ns: latency,
+            iterations: 17,
+            n_qubits,
+        }
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut cache = PulseCache::new();
+        let k = key_of(&[Gate::H(0)], 1);
+        assert!(cache.lookup(&k).is_none());
+        cache.insert(k.clone(), entry(1, 10.0));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(&k).unwrap().latency_ns, 10.0);
+    }
+
+    #[test]
+    fn equivalent_groups_hit_the_same_entry() {
+        let mut cache = PulseCache::new();
+        cache.insert(key_of(&[Gate::Cx(0, 1)], 2), entry(2, 20.0));
+        // cx with permuted qubits: same canonical key ⇒ covered.
+        assert!(cache.contains(&key_of(&[Gate::Cx(1, 0)], 2)));
+        // A different operation is not covered.
+        assert!(!cache.contains(&key_of(&[Gate::Cz(0, 1)], 2)));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut cache = PulseCache::new();
+        cache.insert(key_of(&[Gate::T(0)], 1), entry(1, 5.0));
+        cache.insert(key_of(&[Gate::Cx(0, 1), Gate::H(1)], 2), entry(2, 25.0));
+        let json = cache.to_json().unwrap();
+        let restored = PulseCache::from_json(&json).unwrap();
+        assert_eq!(restored.len(), 2);
+        let k = key_of(&[Gate::T(0)], 1);
+        assert_eq!(restored.lookup(&k), cache.lookup(&k));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut cache = PulseCache::new();
+        cache.insert(key_of(&[Gate::X(0)], 1), entry(1, 10.0));
+        let dir = std::env::temp_dir().join("accqoc_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        cache.save(&path).unwrap();
+        let restored = PulseCache::load(&path).unwrap();
+        assert_eq!(restored.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn merge_prefers_other() {
+        let k = key_of(&[Gate::H(0)], 1);
+        let mut a = PulseCache::new();
+        a.insert(k.clone(), entry(1, 10.0));
+        let mut b = PulseCache::new();
+        b.insert(k.clone(), entry(1, 8.0));
+        a.merge(b);
+        assert_eq!(a.lookup(&k).unwrap().latency_ns, 8.0);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(PulseCache::from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,288 @@
+//! Similarity graph and MST-ordered compilation sequence (paper §V-C).
+//!
+//! For the uncovered groups we build the complete *similarity graph* SG —
+//! one vertex per group, edge weights from a [`SimilarityFn`] — plus the
+//! identity matrix as a special vertex, then extract a Minimum Spanning
+//! Tree with Prim's algorithm starting at the identity. The order in
+//! which Prim selects vertices is the compilation sequence `CS`: each
+//! group's GRAPE run is warm-started from the pulse of its tree parent
+//! (the identity parent means a from-scratch start).
+
+use serde::{Deserialize, Serialize};
+
+use accqoc_linalg::Mat;
+
+use crate::similarity::SimilarityFn;
+
+/// The complete similarity graph over a set of group unitaries.
+///
+/// Vertices `0..n` are the groups; vertex `n` is the identity (one per
+/// occurring dimension, merged logically: an identity edge uses the
+/// identity of the group's own dimension).
+#[derive(Debug, Clone)]
+pub struct SimilarityGraph {
+    unitaries: Vec<Mat>,
+    function: SimilarityFn,
+    /// Dense distance matrix between groups; `dist_to_id[i]` holds the
+    /// group-to-identity distance.
+    dist: Vec<Vec<f64>>,
+    dist_to_id: Vec<f64>,
+}
+
+impl SimilarityGraph {
+    /// Builds the complete graph (O(n²) distance evaluations).
+    pub fn build(unitaries: Vec<Mat>, function: SimilarityFn) -> Self {
+        let n = unitaries.len();
+        let mut dist = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = function.distance(&unitaries[i], &unitaries[j]);
+                dist[i][j] = d;
+                dist[j][i] = d;
+            }
+        }
+        let dist_to_id = unitaries
+            .iter()
+            .map(|u| function.distance(u, &Mat::identity(u.rows())))
+            .collect();
+        Self { unitaries, function, dist, dist_to_id }
+    }
+
+    /// Number of group vertices (identity excluded).
+    pub fn len(&self) -> usize {
+        self.unitaries.len()
+    }
+
+    /// `true` when the graph has no group vertices.
+    pub fn is_empty(&self) -> bool {
+        self.unitaries.is_empty()
+    }
+
+    /// The similarity function in use.
+    pub fn function(&self) -> SimilarityFn {
+        self.function
+    }
+
+    /// Distance between two group vertices.
+    pub fn distance(&self, a: usize, b: usize) -> f64 {
+        self.dist[a][b]
+    }
+
+    /// Distance between a group and the identity of its dimension.
+    pub fn distance_to_identity(&self, v: usize) -> f64 {
+        self.dist_to_id[v]
+    }
+
+    /// The group unitaries.
+    pub fn unitaries(&self) -> &[Mat] {
+        &self.unitaries
+    }
+}
+
+/// One step of the compilation sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompileStep {
+    /// Group vertex to compile.
+    pub vertex: usize,
+    /// Tree parent whose pulse warm-starts this group; `None` means the
+    /// identity vertex (compile from scratch).
+    pub parent: Option<usize>,
+    /// Similarity distance to the parent (the MST edge weight).
+    pub weight: f64,
+}
+
+/// The MST-ordered compilation sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompileOrder {
+    /// Steps in Prim selection order — a valid schedule: every parent
+    /// appears before its children.
+    pub steps: Vec<CompileStep>,
+}
+
+impl CompileOrder {
+    /// Total MST weight (sum of selected edge weights).
+    pub fn total_weight(&self) -> f64 {
+        self.steps.iter().map(|s| s.weight).sum()
+    }
+
+    /// Number of groups that start from scratch (identity parents).
+    pub fn scratch_starts(&self) -> usize {
+        self.steps.iter().filter(|s| s.parent.is_none()).count()
+    }
+
+    /// Validates the schedule invariant (parents precede children).
+    pub fn is_valid_schedule(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        for s in &self.steps {
+            if let Some(p) = s.parent {
+                if !seen.contains(&p) {
+                    return false;
+                }
+            }
+            seen.insert(s.vertex);
+        }
+        true
+    }
+}
+
+/// Runs Prim's algorithm from the identity vertex and records the
+/// selection order (paper: "In the process of generating MST using the
+/// greedy algorithm, i.e., Prim algorithm, we can remember the sequence
+/// that all vertices are selected; this sequence is exactly what we need
+/// for CS").
+///
+/// Vertices whose best edge is the identity edge (including all vertices
+/// of a dimension with no compiled sibling yet) get `parent: None`.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc::{mst_compile_order, SimilarityFn, SimilarityGraph};
+/// use accqoc_linalg::Mat;
+///
+/// let x = Mat::from_reals(&[0.0, 1.0, 1.0, 0.0]);
+/// let graph = SimilarityGraph::build(vec![Mat::identity(2), x], SimilarityFn::Frobenius);
+/// let order = mst_compile_order(&graph);
+/// assert_eq!(order.steps.len(), 2);
+/// assert!(order.is_valid_schedule());
+/// ```
+pub fn mst_compile_order(graph: &SimilarityGraph) -> CompileOrder {
+    let n = graph.len();
+    let mut in_tree = vec![false; n];
+    // best[(v)] = (distance, parent): parent None = identity vertex.
+    let mut best: Vec<(f64, Option<usize>)> =
+        (0..n).map(|v| (graph.distance_to_identity(v), None)).collect();
+    let mut steps = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        // Cheapest fringe vertex (deterministic tie-break on index).
+        let mut pick: Option<usize> = None;
+        for v in 0..n {
+            if in_tree[v] {
+                continue;
+            }
+            match pick {
+                None => pick = Some(v),
+                Some(p) => {
+                    if best[v].0 < best[p].0 {
+                        pick = Some(v);
+                    }
+                }
+            }
+        }
+        let v = pick.expect("loop bounded by n");
+        in_tree[v] = true;
+        steps.push(CompileStep { vertex: v, parent: best[v].1, weight: best[v].0 });
+        for u in 0..n {
+            if !in_tree[u] {
+                let d = graph.distance(v, u);
+                if d < best[u].0 {
+                    best[u] = (d, Some(v));
+                }
+            }
+        }
+    }
+    CompileOrder { steps }
+}
+
+/// The naive baseline order: every group compiled from scratch in input
+/// order (no similarity reuse). Used for the Figure 8/13 comparisons.
+pub fn scratch_order(n: usize, graph: &SimilarityGraph) -> CompileOrder {
+    CompileOrder {
+        steps: (0..n)
+            .map(|v| CompileStep { vertex: v, parent: None, weight: graph.distance_to_identity(v) })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accqoc_circuit::{circuit_unitary, Circuit, Gate};
+
+    fn rz(theta: f64) -> Mat {
+        circuit_unitary(&Circuit::from_gates(1, [Gate::Rz(0, theta)]))
+    }
+
+    #[test]
+    fn chain_of_rotations_orders_by_angle() {
+        // Rz(0.1), Rz(0.2), Rz(0.3): MST from identity should chain them
+        // in angle order (each nearest to its neighbor).
+        let graph = SimilarityGraph::build(
+            vec![rz(0.3), rz(0.1), rz(0.2)],
+            SimilarityFn::Frobenius,
+        );
+        let order = mst_compile_order(&graph);
+        assert!(order.is_valid_schedule());
+        // First selected: the one closest to identity = Rz(0.1) = vertex 1.
+        assert_eq!(order.steps[0].vertex, 1);
+        assert_eq!(order.steps[0].parent, None);
+        // Then Rz(0.2) (vertex 2) with parent Rz(0.1), then Rz(0.3).
+        assert_eq!(order.steps[1].vertex, 2);
+        assert_eq!(order.steps[1].parent, Some(1));
+        assert_eq!(order.steps[2].vertex, 0);
+        assert_eq!(order.steps[2].parent, Some(2));
+    }
+
+    #[test]
+    fn total_weight_below_scratch_weight() {
+        let us: Vec<Mat> = (1..=6).map(|k| rz(0.15 * k as f64)).collect();
+        let graph = SimilarityGraph::build(us, SimilarityFn::Frobenius);
+        let mst = mst_compile_order(&graph);
+        let scratch = scratch_order(graph.len(), &graph);
+        assert!(
+            mst.total_weight() < scratch.total_weight(),
+            "mst {} vs scratch {}",
+            mst.total_weight(),
+            scratch.total_weight()
+        );
+        assert_eq!(scratch.scratch_starts(), 6);
+        assert!(mst.scratch_starts() >= 1);
+    }
+
+    #[test]
+    fn mixed_dimensions_split_into_components() {
+        let x1 = circuit_unitary(&Circuit::from_gates(1, [Gate::X(0)]));
+        let cx = circuit_unitary(&Circuit::from_gates(2, [Gate::Cx(0, 1)]));
+        let cxt = circuit_unitary(&Circuit::from_gates(2, [Gate::Cx(0, 1), Gate::T(1)]));
+        let graph = SimilarityGraph::build(vec![x1, cx, cxt], SimilarityFn::TraceOverlap);
+        let order = mst_compile_order(&graph);
+        assert!(order.is_valid_schedule());
+        // Cross-dimension edges are infinite, so at least one scratch start
+        // per dimension.
+        assert!(order.scratch_starts() >= 2);
+        // The two 2-qubit groups should connect to each other, not both to
+        // the identity.
+        let two_qubit_parents: Vec<Option<usize>> = order
+            .steps
+            .iter()
+            .filter(|s| s.vertex != 0)
+            .map(|s| s.parent)
+            .collect();
+        assert!(two_qubit_parents.contains(&Some(1)) || two_qubit_parents.contains(&Some(2)));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let graph = SimilarityGraph::build(vec![], SimilarityFn::L1);
+        assert!(graph.is_empty());
+        let order = mst_compile_order(&graph);
+        assert!(order.steps.is_empty());
+        assert_eq!(order.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn single_vertex_starts_from_identity() {
+        let graph = SimilarityGraph::build(vec![rz(1.0)], SimilarityFn::Uhlmann);
+        let order = mst_compile_order(&graph);
+        assert_eq!(order.steps.len(), 1);
+        assert_eq!(order.steps[0].parent, None);
+    }
+
+    #[test]
+    fn identity_like_group_has_near_zero_weight() {
+        let graph = SimilarityGraph::build(vec![rz(1e-9)], SimilarityFn::Frobenius);
+        let order = mst_compile_order(&graph);
+        assert!(order.steps[0].weight < 1e-6);
+    }
+}

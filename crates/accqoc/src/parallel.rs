@@ -1,0 +1,239 @@
+//! Parallel compilation over a balanced MST partition (paper §V-D).
+//!
+//! The MST dependencies are "soft": a group can always be trained from
+//! scratch, so partitioning the tree into balanced connected parts lets
+//! independent workers compile concurrently. Each worker follows its
+//! part's local sequence; edges cut by the partition degrade to scratch
+//! starts — exactly the trade the paper describes.
+
+use std::collections::HashMap;
+
+use accqoc_circuit::UnitaryKey;
+use accqoc_grape::Pulse;
+use accqoc_linalg::Mat;
+
+use crate::cache::{CachedPulse, PulseCache};
+use crate::compile::{AccQocCompiler, AccQocError};
+use crate::mst::CompileOrder;
+use crate::partition::{partition_tree, TreePartition, WeightedTree};
+
+/// Statistics from a parallel compilation run.
+#[derive(Debug, Clone)]
+pub struct ParallelStats {
+    /// GRAPE iterations per worker/part.
+    pub iterations_per_part: Vec<usize>,
+    /// Sum of iterations across parts.
+    pub total_iterations: usize,
+    /// Iteration makespan: the busiest worker's load — the parallel
+    /// compile time in the paper's iteration metric.
+    pub makespan_iterations: usize,
+    /// Number of MST edges cut by the partition (extra scratch starts).
+    pub cut_edges: usize,
+    /// The partition itself.
+    pub partition: TreePartition,
+}
+
+/// Compiles the groups of a compile order with `n_workers` parallel
+/// workers over a balanced partition of the MST. Results land in a fresh
+/// [`PulseCache`]; pass `keys` aligned with `unitaries`.
+///
+/// # Errors
+///
+/// Propagates the first compilation failure (other workers' completed
+/// work is discarded).
+///
+/// # Panics
+///
+/// Panics if `n_workers == 0` or input lengths disagree.
+pub fn compile_parallel(
+    compiler: &AccQocCompiler,
+    order: &CompileOrder,
+    unitaries: &[(Mat, usize)],
+    keys: &[UnitaryKey],
+    n_workers: usize,
+) -> Result<(PulseCache, ParallelStats), AccQocError> {
+    assert!(n_workers >= 1, "need at least one worker");
+    assert_eq!(unitaries.len(), keys.len());
+    let n = unitaries.len();
+    if n == 0 {
+        return Ok((
+            PulseCache::new(),
+            ParallelStats {
+                iterations_per_part: vec![],
+                total_iterations: 0,
+                makespan_iterations: 0,
+                cut_edges: 0,
+                partition: TreePartition { part_of: vec![], n_parts: 0 },
+            },
+        ));
+    }
+
+    let tree = WeightedTree::from_order(order, n);
+    let partition = partition_tree(&tree, n_workers);
+    let parts = partition.parts();
+
+    // Per-part local sequences in global order, with parents degraded to
+    // scratch when the MST edge is cut.
+    let step_of: HashMap<usize, &crate::mst::CompileStep> =
+        order.steps.iter().map(|s| (s.vertex, s)).collect();
+    let mut cut_edges = 0usize;
+    let mut plans: Vec<Vec<(usize, Option<usize>)>> = Vec::with_capacity(parts.len());
+    for part in &parts {
+        let mut plan = Vec::with_capacity(part.len());
+        // Follow global selection order restricted to the part.
+        for step in &order.steps {
+            if !part.contains(&step.vertex) {
+                continue;
+            }
+            let parent = match step.parent {
+                Some(p) if part.contains(&p) => Some(p),
+                Some(_) => {
+                    cut_edges += 1;
+                    None
+                }
+                None => None,
+            };
+            plan.push((step.vertex, parent));
+        }
+        plans.push(plan);
+    }
+    let _ = step_of;
+
+    // Run the parts on scoped threads.
+    type PartResult = Result<(Vec<(usize, Pulse, f64, usize)>, usize), AccQocError>;
+    let results: Vec<PartResult> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|plan| {
+                scope.spawn(move |_| -> PartResult {
+                    let mut local: Vec<(usize, Pulse, f64, usize)> = Vec::new();
+                    let mut pulses: HashMap<usize, Pulse> = HashMap::new();
+                    let mut iterations = 0usize;
+                    for &(vertex, parent) in plan {
+                        let (target, n_qubits) = &unitaries[vertex];
+                        let warm = parent
+                            .filter(|&p| {
+                                crate::compile::warm_start_allowed(
+                                    &unitaries[p].0,
+                                    target,
+                                    compiler.config().warm_threshold,
+                                )
+                            })
+                            .and_then(|p| pulses.get(&p));
+                        let r = compiler.compile_unitary(target, *n_qubits, warm)?;
+                        iterations += r.total_iterations;
+                        pulses.insert(vertex, r.outcome.pulse.clone());
+                        local.push((vertex, r.outcome.pulse, r.latency_ns, r.total_iterations));
+                    }
+                    Ok((local, iterations))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("crossbeam scope");
+
+    let mut cache = PulseCache::new();
+    let mut iterations_per_part = Vec::with_capacity(results.len());
+    for result in results {
+        let (local, iters) = result?;
+        iterations_per_part.push(iters);
+        for (vertex, pulse, latency_ns, iterations) in local {
+            cache.insert(
+                keys[vertex].clone(),
+                CachedPulse { pulse, latency_ns, iterations, n_qubits: unitaries[vertex].1 },
+            );
+        }
+    }
+    let total_iterations = iterations_per_part.iter().sum();
+    let makespan_iterations = iterations_per_part.iter().copied().max().unwrap_or(0);
+
+    Ok((
+        cache,
+        ParallelStats {
+            iterations_per_part,
+            total_iterations,
+            makespan_iterations,
+            cut_edges,
+            partition,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::AccQocConfig;
+    use crate::mst::{mst_compile_order, SimilarityGraph};
+    use crate::similarity::SimilarityFn;
+    use accqoc_circuit::{circuit_unitary, Circuit, Gate};
+    use accqoc_hw::Topology;
+
+    fn setup() -> (AccQocCompiler, Vec<(Mat, usize)>, Vec<UnitaryKey>, CompileOrder) {
+        let mut config = AccQocConfig::for_topology(Topology::linear(2));
+        config.grape.stop.max_iters = 200;
+        let compiler = AccQocCompiler::new(config);
+        let unitaries: Vec<(Mat, usize)> = (1..=5)
+            .map(|k| {
+                let u = circuit_unitary(&Circuit::from_gates(
+                    1,
+                    [Gate::Rz(0, 0.3 * k as f64), Gate::H(0)],
+                ));
+                (u, 1)
+            })
+            .collect();
+        let keys: Vec<UnitaryKey> =
+            unitaries.iter().map(|(u, n)| UnitaryKey::canonical(u, *n)).collect();
+        let graph = SimilarityGraph::build(
+            unitaries.iter().map(|(u, _)| u.clone()).collect(),
+            SimilarityFn::Frobenius,
+        );
+        let order = mst_compile_order(&graph);
+        (compiler, unitaries, keys, order)
+    }
+
+    #[test]
+    fn parallel_compilation_fills_cache() {
+        let (compiler, unitaries, keys, order) = setup();
+        let (cache, stats) =
+            compile_parallel(&compiler, &order, &unitaries, &keys, 2).unwrap();
+        assert_eq!(cache.len(), 5);
+        assert_eq!(stats.iterations_per_part.len(), stats.partition.n_parts);
+        assert!(stats.total_iterations > 0);
+        assert!(stats.makespan_iterations <= stats.total_iterations);
+        for key in &keys {
+            assert!(cache.contains(key));
+        }
+    }
+
+    #[test]
+    fn single_worker_equals_sequential_iteration_count() {
+        let (compiler, unitaries, keys, order) = setup();
+        let (_, one) = compile_parallel(&compiler, &order, &unitaries, &keys, 1).unwrap();
+        assert_eq!(one.partition.n_parts, 1);
+        assert_eq!(one.cut_edges, 0);
+        assert_eq!(one.makespan_iterations, one.total_iterations);
+    }
+
+    #[test]
+    fn more_workers_reduce_makespan() {
+        let (compiler, unitaries, keys, order) = setup();
+        let (_, one) = compile_parallel(&compiler, &order, &unitaries, &keys, 1).unwrap();
+        let (_, three) = compile_parallel(&compiler, &order, &unitaries, &keys, 3).unwrap();
+        assert!(
+            three.makespan_iterations <= one.makespan_iterations,
+            "3 workers {} vs 1 worker {}",
+            three.makespan_iterations,
+            one.makespan_iterations
+        );
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let (compiler, _, _, _) = setup();
+        let order = CompileOrder { steps: vec![] };
+        let (cache, stats) = compile_parallel(&compiler, &order, &[], &[], 4).unwrap();
+        assert!(cache.is_empty());
+        assert_eq!(stats.total_iterations, 0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Balanced MST partition for parallel compilation (paper §V-D).
+//!
+//! The MST's "soft" dependencies let training parallelize: partition the
+//! tree into `k` connected parts of similar total work and give each part
+//! to a worker. The paper uses METIS on a node-weighted transform of the
+//! MST — "following the optimal sequence, we shift the cost of each edge
+//! to the weight of its newly added neighboring node; the first node in
+//! the sequence is specially assigned a value proportional to the time it
+//! takes to train it from the identity matrix" (Figure 9c). METIS is
+//! replaced here by an exact-enough greedy tree partitioner: repeatedly
+//! split the heaviest part at the edge that best balances it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mst::CompileOrder;
+
+/// The node-weighted tree derived from a compile order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WeightedTree {
+    /// `weight[v]` = estimated training cost of vertex `v` (its MST edge
+    /// weight shifted onto it; scratch starts get their identity-edge
+    /// weight).
+    pub weights: Vec<f64>,
+    /// `parent[v]` = tree parent (`None` for roots/scratch starts).
+    pub parents: Vec<Option<usize>>,
+}
+
+impl WeightedTree {
+    /// Builds the weighted tree from a compile order (the Figure 9 b→c
+    /// step). Vertices keep their graph indices.
+    pub fn from_order(order: &CompileOrder, n_vertices: usize) -> Self {
+        let mut weights = vec![0.0; n_vertices];
+        let mut parents = vec![None; n_vertices];
+        for step in &order.steps {
+            // Edge weights are similarity distances — proportional to the
+            // expected warm-start training cost; add a baseline unit so
+            // even a zero-distance clone costs something to verify.
+            weights[step.vertex] = step.weight.min(1e12) + 1.0;
+            parents[step.vertex] = step.parent;
+        }
+        Self { weights, parents }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Children lists (derived).
+    pub fn children(&self) -> Vec<Vec<usize>> {
+        let mut ch = vec![Vec::new(); self.len()];
+        for (v, p) in self.parents.iter().enumerate() {
+            if let Some(p) = p {
+                ch[*p].push(v);
+            }
+        }
+        ch
+    }
+
+    /// Total weight.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+}
+
+/// A partition of the tree into connected parts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreePartition {
+    /// `part[v]` = part index of vertex `v`.
+    pub part_of: Vec<usize>,
+    /// Number of parts.
+    pub n_parts: usize,
+}
+
+impl TreePartition {
+    /// Vertices of each part.
+    pub fn parts(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.n_parts];
+        for (v, &p) in self.part_of.iter().enumerate() {
+            out[p].push(v);
+        }
+        out
+    }
+
+    /// Total weight per part.
+    pub fn loads(&self, tree: &WeightedTree) -> Vec<f64> {
+        let mut loads = vec![0.0; self.n_parts];
+        for (v, &p) in self.part_of.iter().enumerate() {
+            loads[p] += tree.weights[v];
+        }
+        loads
+    }
+
+    /// Makespan under perfect parallelism across parts: the heaviest part
+    /// bounds the parallel compile time.
+    pub fn makespan(&self, tree: &WeightedTree) -> f64 {
+        self.loads(tree).into_iter().fold(0.0, f64::max)
+    }
+
+    /// Balance ratio `max load / average load` (1.0 = perfect).
+    pub fn balance(&self, tree: &WeightedTree) -> f64 {
+        let loads = self.loads(tree);
+        let max = loads.iter().copied().fold(0.0, f64::max);
+        let avg = loads.iter().sum::<f64>() / loads.len().max(1) as f64;
+        if avg == 0.0 {
+            1.0
+        } else {
+            max / avg
+        }
+    }
+}
+
+/// Partitions the weighted tree into at most `k` connected parts with a
+/// greedy heaviest-part splitting heuristic (METIS stand-in):
+///
+/// 1. every tree component starts as one part;
+/// 2. while parts < k: take the heaviest part and cut the single edge
+///    whose removal best balances the two halves;
+/// 3. stop early when no cut improves the makespan.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc::{partition_tree, WeightedTree};
+///
+/// let tree = WeightedTree {
+///     weights: vec![4.0, 1.0, 1.0, 4.0],
+///     parents: vec![None, Some(0), Some(1), Some(2)],
+/// };
+/// let p = partition_tree(&tree, 2);
+/// assert_eq!(p.n_parts, 2);
+/// assert!(p.makespan(&tree) <= 6.0);
+/// ```
+pub fn partition_tree(tree: &WeightedTree, k: usize) -> TreePartition {
+    assert!(k >= 1, "need at least one part");
+    let n = tree.len();
+    if n == 0 {
+        return TreePartition { part_of: vec![], n_parts: 0 };
+    }
+
+    // Initial parts = connected components (roots and their subtrees).
+    let mut part_of = vec![usize::MAX; n];
+    let children = tree.children();
+    let mut n_parts = 0usize;
+    for v in 0..n {
+        if tree.parents[v].is_none() {
+            // BFS the subtree.
+            let mut stack = vec![v];
+            while let Some(u) = stack.pop() {
+                part_of[u] = n_parts;
+                stack.extend(children[u].iter().copied());
+            }
+            n_parts += 1;
+        }
+    }
+    debug_assert!(part_of.iter().all(|&p| p != usize::MAX));
+
+    // Cut edges (child side becomes a new part) until k parts or no gain.
+    while n_parts < k {
+        let mut loads = vec![0.0; n_parts];
+        for v in 0..n {
+            loads[part_of[v]] += tree.weights[v];
+        }
+        let heaviest = (0..n_parts)
+            .max_by(|&a, &b| loads[a].total_cmp(&loads[b]))
+            .expect("non-empty");
+        let heavy_load = loads[heaviest];
+
+        // Candidate cuts: edges inside the heaviest part. Choose the one
+        // whose subtree weight is closest to half the part's load.
+        let mut best: Option<(usize, f64)> = None; // (child vertex, |half − w|)
+        for v in 0..n {
+            if part_of[v] != heaviest || tree.parents[v].is_none() {
+                continue;
+            }
+            // Subtree weight restricted to this part equals subtree[v]
+            // because parts are connected subtrees cut from below.
+            let w = subtree_in_part(tree, &children, &part_of, v);
+            if w <= 0.0 || w >= heavy_load {
+                continue;
+            }
+            let score = (heavy_load / 2.0 - w).abs();
+            if best.map_or(true, |(_, s)| score < s) {
+                best = Some((v, score));
+            }
+        }
+        let Some((cut, _)) = best else {
+            break; // heaviest part is a single vertex (or unsplittable)
+        };
+        // Move the cut subtree (within the part) to a new part.
+        let new_part = n_parts;
+        let mut stack = vec![cut];
+        while let Some(u) = stack.pop() {
+            part_of[u] = new_part;
+            stack.extend(children[u].iter().filter(|&&c| part_of[c] == heaviest));
+        }
+        n_parts += 1;
+    }
+
+    TreePartition { part_of, n_parts }
+}
+
+fn subtree_in_part(
+    tree: &WeightedTree,
+    children: &[Vec<usize>],
+    part_of: &[usize],
+    root: usize,
+) -> f64 {
+    let part = part_of[root];
+    let mut total = 0.0;
+    let mut stack = vec![root];
+    while let Some(v) = stack.pop() {
+        total += tree.weights[v];
+        stack.extend(children[v].iter().filter(|&&c| part_of[c] == part));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mst::CompileStep;
+
+    fn chain(weights: &[f64]) -> WeightedTree {
+        WeightedTree {
+            weights: weights.to_vec(),
+            parents: (0..weights.len())
+                .map(|i| if i == 0 { None } else { Some(i - 1) })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn from_order_shifts_edge_weights() {
+        let order = CompileOrder {
+            steps: vec![
+                CompileStep { vertex: 0, parent: None, weight: 3.0 },
+                CompileStep { vertex: 1, parent: Some(0), weight: 0.5 },
+            ],
+        };
+        let tree = WeightedTree::from_order(&order, 2);
+        assert_eq!(tree.weights, vec![4.0, 1.5]); // +1 baseline each
+        assert_eq!(tree.parents, vec![None, Some(0)]);
+    }
+
+    #[test]
+    fn single_part_when_k_is_one() {
+        let tree = chain(&[1.0, 2.0, 3.0]);
+        let p = partition_tree(&tree, 1);
+        assert_eq!(p.n_parts, 1);
+        assert!((p.makespan(&tree) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_way_split_balances_chain() {
+        let tree = chain(&[1.0; 8]);
+        let p = partition_tree(&tree, 2);
+        assert_eq!(p.n_parts, 2);
+        let loads = p.loads(&tree);
+        assert!((loads[0] - 4.0).abs() < 1.01, "loads {loads:?}");
+        assert!(p.balance(&tree) < 1.3);
+    }
+
+    #[test]
+    fn parts_are_connected() {
+        let tree = chain(&[1.0, 5.0, 1.0, 1.0, 5.0, 1.0]);
+        let p = partition_tree(&tree, 3);
+        // Connectivity on a chain means every part is a contiguous range.
+        for part in p.parts() {
+            if part.len() <= 1 {
+                continue;
+            }
+            let min = *part.iter().min().unwrap();
+            let max = *part.iter().max().unwrap();
+            assert_eq!(max - min + 1, part.len(), "part {part:?} not contiguous");
+        }
+    }
+
+    #[test]
+    fn makespan_never_increases_with_more_parts() {
+        let tree = chain(&[3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]);
+        let mut prev = f64::INFINITY;
+        for k in 1..=5 {
+            let m = partition_tree(&tree, k).makespan(&tree);
+            assert!(m <= prev + 1e-12, "k={k}: {m} > {prev}");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn forest_with_multiple_roots() {
+        // Two scratch-start components.
+        let tree = WeightedTree {
+            weights: vec![2.0, 1.0, 3.0, 1.0],
+            parents: vec![None, Some(0), None, Some(2)],
+        };
+        let p = partition_tree(&tree, 2);
+        assert_eq!(p.n_parts, 2);
+        // Components must not be merged.
+        assert_ne!(p.part_of[0], p.part_of[2]);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = WeightedTree { weights: vec![], parents: vec![] };
+        let p = partition_tree(&tree, 4);
+        assert_eq!(p.n_parts, 0);
+    }
+
+    #[test]
+    fn more_parts_than_vertices_saturates() {
+        let tree = chain(&[1.0, 1.0]);
+        let p = partition_tree(&tree, 10);
+        assert!(p.n_parts <= 2);
+    }
+}

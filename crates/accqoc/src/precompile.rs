@@ -1,0 +1,368 @@
+//! Static pre-compilation (paper §IV).
+//!
+//! Profile a random third of the benchmark suite, collect the group
+//! category under the chosen policy, compile every unique group once
+//! (MST-accelerated), and store the pulses + latencies for future
+//! programs. Optionally re-optimize the most frequent group on a finer
+//! time grid (§IV-G) to squeeze its latency further.
+
+use std::collections::HashMap;
+
+use accqoc_circuit::{Circuit, UnitaryKey};
+use accqoc_grape::{find_minimal_latency, LatencySearch};
+use accqoc_group::dedup_groups;
+use accqoc_hw::ControlModel;
+use accqoc_linalg::Mat;
+
+use crate::cache::{CachedPulse, PulseCache};
+use crate::compile::{AccQocCompiler, AccQocError};
+use crate::mst::{mst_compile_order, scratch_order, SimilarityGraph};
+
+/// Report of a pre-compilation run.
+#[derive(Debug, Clone)]
+pub struct PrecompileReport {
+    /// Programs profiled.
+    pub n_programs: usize,
+    /// Unique groups found (the paper's map2b4l category has 133).
+    pub n_unique_groups: usize,
+    /// Total GRAPE iterations spent (one-time cost).
+    pub total_iterations: usize,
+    /// Instance frequency per unique group key.
+    pub frequencies: HashMap<UnitaryKey, usize>,
+    /// The most frequent group, if any.
+    pub most_frequent: Option<UnitaryKey>,
+}
+
+/// Whether pre-compilation orders groups by MST (accelerated) or compiles
+/// each from scratch (the baseline the paper compares against in
+/// Figures 8/13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrecompileOrder {
+    /// Similarity-MST warm-started order (§V-C).
+    Mst,
+    /// Independent from-scratch compilation of every group.
+    Scratch,
+}
+
+/// Runs static pre-compilation over the given programs, filling `cache`.
+///
+/// # Errors
+///
+/// Propagates group-compilation failures.
+///
+/// # Examples
+///
+/// ```no_run
+/// use accqoc::{precompile, AccQocCompiler, AccQocConfig, PrecompileOrder, PulseCache};
+/// use accqoc_workloads::{full_suite, profiling_split};
+///
+/// let compiler = AccQocCompiler::new(AccQocConfig::melbourne());
+/// let suite = full_suite();
+/// let (profile, _) = profiling_split(&suite, 42);
+/// let programs: Vec<_> = profile.iter().map(|&i| suite[i].circuit.clone()).collect();
+/// let mut cache = PulseCache::new();
+/// let report = precompile(&compiler, &programs, &mut cache, PrecompileOrder::Mst)?;
+/// assert_eq!(report.n_unique_groups, cache.len());
+/// # Ok::<(), accqoc::AccQocError>(())
+/// ```
+pub fn precompile(
+    compiler: &AccQocCompiler,
+    programs: &[Circuit],
+    cache: &mut PulseCache,
+    order_kind: PrecompileOrder,
+) -> Result<PrecompileReport, AccQocError> {
+    let (canonical, keys, frequencies) = collect_category(compiler, programs);
+
+    // Only compile what the cache does not already hold.
+    let missing: Vec<usize> = (0..keys.len()).filter(|&i| !cache.contains(&keys[i])).collect();
+
+    let mut total_iterations = 0usize;
+    if !missing.is_empty() {
+        let graph = SimilarityGraph::build(
+            missing.iter().map(|&i| canonical[i].0.clone()).collect(),
+            compiler.config().similarity,
+        );
+        let order = match order_kind {
+            PrecompileOrder::Mst => mst_compile_order(&graph),
+            PrecompileOrder::Scratch => scratch_order(graph.len(), &graph),
+        };
+        let mut pulses: HashMap<usize, accqoc_grape::Pulse> = HashMap::new();
+        for step in &order.steps {
+            let unique_idx = missing[step.vertex];
+            let (target, n_qubits) = &canonical[unique_idx];
+            let warm = step
+                .parent
+                .filter(|&p| {
+                    crate::compile::warm_start_allowed(
+                        &canonical[missing[p]].0,
+                        target,
+                        compiler.config().warm_threshold,
+                    )
+                })
+                .and_then(|p| pulses.get(&p));
+            let result = compiler.compile_unitary(target, *n_qubits, warm)?;
+            total_iterations += result.total_iterations;
+            pulses.insert(step.vertex, result.outcome.pulse.clone());
+            cache.insert(
+                keys[unique_idx].clone(),
+                CachedPulse {
+                    pulse: result.outcome.pulse,
+                    latency_ns: result.latency_ns,
+                    iterations: result.total_iterations,
+                    n_qubits: *n_qubits,
+                },
+            );
+        }
+    }
+
+    let most_frequent = frequencies
+        .iter()
+        .max_by_key(|(_, &c)| c)
+        .map(|(k, _)| k.clone());
+
+    Ok(PrecompileReport {
+        n_programs: programs.len(),
+        n_unique_groups: keys.len(),
+        total_iterations,
+        frequencies,
+        most_frequent,
+    })
+}
+
+/// Parallel variant of [`precompile`]: compiles the missing groups on
+/// `n_workers` workers over a balanced MST partition (§V-D). Merges the
+/// results into `cache` and returns the report plus the parallel stats.
+///
+/// # Errors
+///
+/// Propagates group-compilation failures.
+pub fn precompile_parallel(
+    compiler: &AccQocCompiler,
+    programs: &[Circuit],
+    cache: &mut PulseCache,
+    n_workers: usize,
+) -> Result<(PrecompileReport, crate::parallel::ParallelStats), AccQocError> {
+    let (canonical, keys, frequencies) = collect_category(compiler, programs);
+    let missing: Vec<usize> = (0..keys.len()).filter(|&i| !cache.contains(&keys[i])).collect();
+
+    let graph = SimilarityGraph::build(
+        missing.iter().map(|&i| canonical[i].0.clone()).collect(),
+        compiler.config().similarity,
+    );
+    let order = mst_compile_order(&graph);
+    let missing_unitaries: Vec<(Mat, usize)> =
+        missing.iter().map(|&i| canonical[i].clone()).collect();
+    let missing_keys: Vec<UnitaryKey> = missing.iter().map(|&i| keys[i].clone()).collect();
+    let (fresh, stats) = crate::parallel::compile_parallel(
+        compiler,
+        &order,
+        &missing_unitaries,
+        &missing_keys,
+        n_workers,
+    )?;
+    cache.merge(fresh);
+
+    let most_frequent = frequencies.iter().max_by_key(|(_, &c)| c).map(|(k, _)| k.clone());
+    Ok((
+        PrecompileReport {
+            n_programs: programs.len(),
+            n_unique_groups: keys.len(),
+            total_iterations: stats.total_iterations,
+            frequencies,
+            most_frequent,
+        },
+        stats,
+    ))
+}
+
+/// Gathers the de-duplicated group category of a program set: canonical
+/// unitaries, keys, and instance frequencies.
+pub fn collect_category(
+    compiler: &AccQocCompiler,
+    programs: &[Circuit],
+) -> (Vec<(Mat, usize)>, Vec<UnitaryKey>, HashMap<UnitaryKey, usize>) {
+    let mut canonical: Vec<(Mat, usize)> = Vec::new();
+    let mut keys: Vec<UnitaryKey> = Vec::new();
+    let mut index_of: HashMap<UnitaryKey, usize> = HashMap::new();
+    let mut frequencies: HashMap<UnitaryKey, usize> = HashMap::new();
+
+    for program in programs {
+        let (grouped, _, _, _) = compiler.front_end(program);
+        let dedup = dedup_groups(&grouped.groups);
+        for (g, key) in dedup.unique.iter().zip(&dedup.keys) {
+            if !index_of.contains_key(key) {
+                let u = g.unitary();
+                let (_, perm) = UnitaryKey::canonical_with_permutation(&u, g.n_qubits());
+                canonical
+                    .push((accqoc_circuit::permute_qubits(&u, &perm, g.n_qubits()), g.n_qubits()));
+                index_of.insert(key.clone(), keys.len());
+                keys.push(key.clone());
+            }
+        }
+        for &assigned in &dedup.assignment {
+            *frequencies.entry(dedup.keys[assigned].clone()).or_insert(0) += 1;
+        }
+    }
+    (canonical, keys, frequencies)
+}
+
+/// Re-optimizes one cached group on a finer time grid (half the slice
+/// width, paper §IV-G: "we select the group of highest frequency and
+/// spend more time training it… such that the latency of this particular
+/// group could be further reduced"). Updates the cache when the finer
+/// grid finds a shorter pulse; returns the (old, new) latencies.
+///
+/// # Errors
+///
+/// Returns [`AccQocError::CompileFailed`] when the refined search cannot
+/// reach the fidelity target at all (the cache keeps the original pulse).
+pub fn optimize_group(
+    compiler: &AccQocCompiler,
+    key: &UnitaryKey,
+    target: &Mat,
+    n_qubits: usize,
+    cache: &mut PulseCache,
+) -> Result<(f64, f64), AccQocError> {
+    let old = cache.lookup(key).map(|e| e.latency_ns).unwrap_or(f64::INFINITY);
+    let fine_dt = compiler.models().for_qubits(n_qubits).dt_ns() / 2.0;
+    let fine_model = ControlModel::spin_chain(n_qubits).with_dt(fine_dt);
+    let mut search = compiler.config().search.clone();
+    search.max_steps *= 2;
+    search.min_steps = (search.min_steps * 2).max(1);
+    let warm = cache.lookup(key).map(|e| e.pulse.clone());
+    let mut opts = compiler.config().grape.clone();
+    // Richer budget for the headline group.
+    opts.stop.max_iters *= 2;
+    if let Some(p) = &warm {
+        // Resample the cached pulse onto the finer grid as the seed.
+        let doubled = p.resampled(p.n_steps() * 2);
+        opts.init = accqoc_grape::InitStrategy::Warm(doubled);
+    }
+    let result = find_minimal_latency(&fine_model, target, &opts, &LatencySearch {
+        min_steps: search.min_steps,
+        max_steps: search.max_steps,
+        initial_guess: cache.lookup(key).map(|e| 2 * e.pulse.n_steps()),
+        ..LatencySearch::default()
+    })
+    .map_err(|source| AccQocError::CompileFailed { n_qubits, source })?;
+
+    let new_latency = result.latency_ns;
+    if new_latency < old {
+        cache.insert(
+            key.clone(),
+            CachedPulse {
+                pulse: result.outcome.pulse,
+                latency_ns: new_latency,
+                iterations: result.total_iterations,
+                n_qubits,
+            },
+        );
+    }
+    Ok((old, new_latency.min(old)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::AccQocConfig;
+    use accqoc_circuit::Gate;
+    use accqoc_hw::Topology;
+
+    fn compiler() -> AccQocCompiler {
+        let mut config = AccQocConfig::for_topology(Topology::linear(3));
+        config.grape.stop.max_iters = 200;
+        AccQocCompiler::new(config)
+    }
+
+    fn programs() -> Vec<Circuit> {
+        vec![
+            Circuit::from_gates(3, [Gate::H(0), Gate::Cx(0, 1), Gate::T(1)]),
+            Circuit::from_gates(3, [Gate::H(0), Gate::Cx(0, 1), Gate::Cx(1, 2)]),
+        ]
+    }
+
+    #[test]
+    fn precompile_fills_cache_and_counts_frequencies() {
+        let c = compiler();
+        let mut cache = PulseCache::new();
+        let report = precompile(&c, &programs(), &mut cache, PrecompileOrder::Mst).unwrap();
+        assert_eq!(report.n_programs, 2);
+        assert!(report.n_unique_groups >= 1);
+        assert_eq!(cache.len(), report.n_unique_groups);
+        assert!(report.total_iterations > 0);
+        let total_instances: usize = report.frequencies.values().sum();
+        assert!(total_instances >= report.n_unique_groups);
+        assert!(report.most_frequent.is_some());
+    }
+
+    #[test]
+    fn precompile_skips_already_cached_groups() {
+        let c = compiler();
+        let mut cache = PulseCache::new();
+        let first = precompile(&c, &programs(), &mut cache, PrecompileOrder::Mst).unwrap();
+        let second = precompile(&c, &programs(), &mut cache, PrecompileOrder::Mst).unwrap();
+        assert_eq!(second.total_iterations, 0, "everything already covered");
+        assert_eq!(first.n_unique_groups, second.n_unique_groups);
+    }
+
+    #[test]
+    fn mst_order_cheaper_than_scratch() {
+        let c = compiler();
+        // A family of similar 2-qubit groups: cx dressed with nearby
+        // rotations. Warm starts shine when consecutive unitaries are
+        // close (the MST guarantees exactly that).
+        let programs: Vec<Circuit> = (1..=6)
+            .map(|k| {
+                Circuit::from_gates(
+                    3,
+                    [
+                        Gate::Rz(0, 0.15 * k as f64),
+                        Gate::Cx(0, 1),
+                        Gate::Rz(1, 0.15 * k as f64 + 0.05),
+                    ],
+                )
+            })
+            .collect();
+        let mut cache_mst = PulseCache::new();
+        let mst = precompile(&c, &programs, &mut cache_mst, PrecompileOrder::Mst).unwrap();
+        let mut cache_scratch = PulseCache::new();
+        let scratch =
+            precompile(&c, &programs, &mut cache_scratch, PrecompileOrder::Scratch).unwrap();
+        assert_eq!(mst.n_unique_groups, scratch.n_unique_groups);
+        assert!(
+            mst.total_iterations <= scratch.total_iterations,
+            "mst {} vs scratch {}",
+            mst.total_iterations,
+            scratch.total_iterations
+        );
+        // Latencies agree between the two orders (warm starts change cost,
+        // not the feasibility frontier — up to ±1 slice borderline noise).
+        for (key, entry) in cache_mst.iter() {
+            let other = cache_scratch.lookup(key).expect("same category");
+            assert!(
+                (entry.latency_ns - other.latency_ns).abs() <= 2.0,
+                "latency drift: {} vs {}",
+                entry.latency_ns,
+                other.latency_ns
+            );
+        }
+    }
+
+    #[test]
+    fn optimize_group_never_worsens_latency() {
+        let c = compiler();
+        let mut cache = PulseCache::new();
+        let progs = programs();
+        let report = precompile(&c, &progs, &mut cache, PrecompileOrder::Mst).unwrap();
+        let key = report.most_frequent.unwrap();
+        // Find the canonical unitary of that key.
+        let (canonical, keys, _) = collect_category(&c, &progs);
+        let idx = keys.iter().position(|k| *k == key).unwrap();
+        let before = cache.lookup(&key).unwrap().latency_ns;
+        let (old, new) =
+            optimize_group(&c, &key, &canonical[idx].0, canonical[idx].1, &mut cache).unwrap();
+        assert!((old - before).abs() < 1e-9);
+        assert!(new <= old + 1e-9, "optimization worsened latency: {old} → {new}");
+        assert!(cache.lookup(&key).unwrap().latency_ns <= before + 1e-9);
+    }
+}

@@ -1,0 +1,59 @@
+//! Numerical-kernel benchmarks: the operations GRAPE spends its time in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use accqoc_hw::ControlModel;
+use accqoc_linalg::{eigh, expm_i, random_unitary, sqrtm_psd, C64, Mat};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn hermitian(n: usize) -> Mat {
+    let g = Mat::from_fn(n, n, |i, j| {
+        C64::new(((i * 31 + j * 7) % 13) as f64 / 13.0, ((i + 3 * j) % 11) as f64 / 11.0 - 0.5)
+    });
+    &g + &g.dagger()
+}
+
+fn bench_expm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expm");
+    for n in [2usize, 4, 8, 16] {
+        let h = hermitian(n);
+        group.bench_with_input(BenchmarkId::new("expm_i", n), &h, |b, h| {
+            b.iter(|| expm_i(black_box(h), 1.0).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_eigh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigh");
+    for n in [2usize, 4, 8] {
+        let h = hermitian(n);
+        group.bench_with_input(BenchmarkId::new("jacobi", n), &h, |b, h| {
+            b.iter(|| eigh(black_box(h)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_sqrtm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let u = random_unitary(4, &mut rng);
+    let psd = u.dagger_matmul(&u.scale_re(1.0)); // identity-ish PSD
+    let g = hermitian(4);
+    let psd2 = g.dagger_matmul(&g);
+    let mut group = c.benchmark_group("sqrtm");
+    group.bench_function("psd_4x4", |b| b.iter(|| sqrtm_psd(black_box(&psd2)).unwrap()));
+    group.bench_function("identity_4x4", |b| b.iter(|| sqrtm_psd(black_box(&psd)).unwrap()));
+    group.finish();
+}
+
+fn bench_hamiltonian_assembly(c: &mut Criterion) {
+    let model = ControlModel::spin_chain(2);
+    let amps = vec![0.3, -0.5, 0.1, 0.9];
+    c.bench_function("hamiltonian_2q", |b| b.iter(|| model.hamiltonian(black_box(&amps))));
+}
+
+criterion_group!(benches, bench_expm, bench_eigh, bench_sqrtm, bench_hamiltonian_assembly);
+criterion_main!(benches);

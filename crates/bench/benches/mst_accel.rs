@@ -1,0 +1,56 @@
+//! The headline mechanism: MST-ordered warm-started compilation vs
+//! from-scratch compilation of a similar-group category (Figure 15's
+//! compile-speedup source).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use accqoc::{
+    mst_compile_order, partition_tree, scratch_order, SimilarityFn, SimilarityGraph, WeightedTree,
+};
+use accqoc_circuit::{circuit_unitary, Circuit, Gate};
+use accqoc_linalg::Mat;
+
+fn family(n: usize) -> Vec<Mat> {
+    (0..n)
+        .map(|k| {
+            circuit_unitary(&Circuit::from_gates(
+                2,
+                [
+                    Gate::Rz(0, 0.1 + 0.13 * k as f64),
+                    Gate::Cx(0, 1),
+                    Gate::Rz(1, 0.2 + 0.11 * k as f64),
+                ],
+            ))
+        })
+        .collect()
+}
+
+fn bench_graph_and_mst(c: &mut Criterion) {
+    let unitaries = family(60);
+    let mut group = c.benchmark_group("similarity");
+    group.sample_size(10);
+    for f in [SimilarityFn::Frobenius, SimilarityFn::TraceOverlap, SimilarityFn::Uhlmann] {
+        group.bench_function(format!("graph60_{}", f.label()), |b| {
+            b.iter(|| SimilarityGraph::build(unitaries.clone(), f))
+        });
+    }
+    let graph = SimilarityGraph::build(unitaries.clone(), SimilarityFn::Frobenius);
+    group.bench_function("mst_order_60", |b| b.iter(|| mst_compile_order(&graph)));
+    group.bench_function("scratch_order_60", |b| b.iter(|| scratch_order(60, &graph)));
+    group.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let unitaries = family(120);
+    let graph = SimilarityGraph::build(unitaries, SimilarityFn::Frobenius);
+    let order = mst_compile_order(&graph);
+    let tree = WeightedTree::from_order(&order, 120);
+    let mut group = c.benchmark_group("partition");
+    for k in [2usize, 4, 8] {
+        group.bench_function(format!("tree120_k{k}"), |b| b.iter(|| partition_tree(&tree, k)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_and_mst, bench_partition);
+criterion_main!(benches);

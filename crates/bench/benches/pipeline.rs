@@ -1,0 +1,69 @@
+//! Compilation-pipeline benchmarks: mapping, grouping, dedup, and a full
+//! GRAPE solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use accqoc_circuit::{circuit_unitary, Circuit, Gate};
+use accqoc_grape::{solve, GrapeOptions, GrapeProblem};
+use accqoc_group::{dedup_groups, divide_circuit, GroupingPolicy};
+use accqoc_hw::{ControlModel, Topology};
+use accqoc_map::{crosstalk_metric, map_circuit, MappingOptions};
+use accqoc_workloads::{nct_circuit, qft, NctSpec};
+
+fn bench_mapping(c: &mut Criterion) {
+    let topo = Topology::melbourne();
+    let program = qft(8).decomposed(false);
+    let mut group = c.benchmark_group("mapping");
+    group.sample_size(20);
+    group.bench_function("qft8_plain", |b| {
+        b.iter(|| {
+            map_circuit(
+                black_box(&program),
+                &topo,
+                &MappingOptions { crosstalk_aware: false, ..Default::default() },
+            )
+        })
+    });
+    group.bench_function("qft8_crosstalk_aware", |b| {
+        b.iter(|| map_circuit(black_box(&program), &topo, &MappingOptions::default()))
+    });
+    group.finish();
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    let spec = NctSpec { name: "bench", lines: 8, n_ccx: 30, n_cx: 40, n_x: 2, seed: 5 };
+    let topo = Topology::melbourne();
+    let mapped = map_circuit(&nct_circuit(&spec).decomposed(false), &topo, &MappingOptions::default());
+    let mut group = c.benchmark_group("grouping");
+    group.bench_function("divide_map2b4l", |b| {
+        b.iter(|| divide_circuit(black_box(&mapped.circuit), &GroupingPolicy::map2b4l()))
+    });
+    let (grouped, _) = divide_circuit(&mapped.circuit, &GroupingPolicy::map2b4l());
+    group.bench_function("dedup", |b| b.iter(|| dedup_groups(black_box(&grouped.groups))));
+    group.bench_function("crosstalk_metric", |b| {
+        b.iter(|| crosstalk_metric(black_box(&mapped.circuit), &topo))
+    });
+    group.finish();
+}
+
+fn bench_grape_solve(c: &mut Criterion) {
+    let model = ControlModel::spin_chain(2);
+    let cnot = circuit_unitary(&Circuit::from_gates(2, [Gate::Cx(0, 1)]));
+    let mut group = c.benchmark_group("grape");
+    group.sample_size(10);
+    group.bench_function("cnot_40steps", |b| {
+        b.iter(|| {
+            solve(&GrapeProblem {
+                model: &model,
+                target: black_box(cnot.clone()),
+                n_steps: 40,
+                options: GrapeOptions::default(),
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping, bench_grouping, bench_grape_solve);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Ablation sweeps for the design choices DESIGN.md calls out:
+//!
+//! 1. warm-start gate threshold (trace infidelity) — how permissive can
+//!    seeding be before dissimilar pulses start hurting;
+//! 2. crosstalk weight in the mapping heuristic — swaps traded against
+//!    close pairs;
+//! 3. MST partition width — makespan vs cut-edge cost.
+//!
+//! Run with: `cargo run --release -p accqoc-bench --bin ablations`
+
+use accqoc::{
+    collect_category, mst_compile_order, partition_tree, scratch_order, SimilarityFn,
+    SimilarityGraph, WeightedTree,
+};
+use accqoc_bench::experiments::{category_steps, training_cost, truncate_category};
+use accqoc_bench::{fast_mode, print_table, write_csv, ExperimentContext};
+use accqoc_map::{crosstalk_metric, map_circuit, MappingOptions};
+
+fn main() {
+    let ctx = ExperimentContext::bare();
+    warm_threshold_sweep(&ctx);
+    crosstalk_weight_sweep(&ctx);
+    partition_width_sweep(&ctx);
+}
+
+fn warm_threshold_sweep(ctx: &ExperimentContext) {
+    println!("Ablation 1 — warm-start gate threshold (trace infidelity)\n");
+    let programs = ctx.profile_programs();
+    let (canonical, _, _) = collect_category(&ctx.compiler, &programs);
+    let cap = if fast_mode() { 12 } else { 24 };
+    let canonical = truncate_category(canonical, cap);
+    let steps = category_steps(&ctx.compiler, &canonical);
+    let unitaries: Vec<_> = canonical.iter().map(|(u, _)| u.clone()).collect();
+    let graph = SimilarityGraph::build(unitaries, SimilarityFn::TraceOverlap);
+    let order = mst_compile_order(&graph);
+    let scratch =
+        training_cost(&ctx.compiler, &canonical, &steps, &scratch_order(canonical.len(), &graph), -1.0);
+
+    let mut rows = Vec::new();
+    for gate in [0.0, 0.02, 0.05, 0.15, 0.5, f64::INFINITY] {
+        let cost = training_cost(&ctx.compiler, &canonical, &steps, &order, gate);
+        rows.push(vec![
+            format!("{gate}"),
+            cost.to_string(),
+            format!("{:+.1}%", (1.0 - cost as f64 / scratch.max(1) as f64) * 100.0),
+        ]);
+    }
+    print_table(&["gate threshold", "iterations", "reduction vs scratch"], &rows);
+    println!("(scratch baseline: {scratch} iterations)\n");
+    write_csv("ablation_warm_gate.csv", &["gate", "iterations", "reduction"], &rows).ok();
+}
+
+fn crosstalk_weight_sweep(ctx: &ExperimentContext) {
+    println!("Ablation 2 — crosstalk weight in the mapping heuristic\n");
+    let topo = &ctx.compiler.config().topology;
+    let programs = ctx.eval_programs_sized(800, if fast_mode() { 3 } else { 6 });
+    let mut rows = Vec::new();
+    for weight in [0.0, 0.5, 1.0, 2.0, 4.0] {
+        let mut total_xtalk = 0usize;
+        let mut total_swaps = 0usize;
+        for p in &programs {
+            let mapped = map_circuit(
+                &p.circuit.decomposed(false),
+                topo,
+                &MappingOptions {
+                    crosstalk_aware: weight > 0.0,
+                    crosstalk_weight: weight,
+                    ..Default::default()
+                },
+            );
+            total_xtalk += crosstalk_metric(&mapped.circuit, topo);
+            total_swaps += mapped.swap_count;
+        }
+        rows.push(vec![
+            format!("{weight}"),
+            total_xtalk.to_string(),
+            total_swaps.to_string(),
+        ]);
+    }
+    print_table(&["weight", "total crosstalk", "total swaps"], &rows);
+    println!();
+    write_csv("ablation_xtalk_weight.csv", &["weight", "crosstalk", "swaps"], &rows).ok();
+}
+
+fn partition_width_sweep(ctx: &ExperimentContext) {
+    println!("Ablation 3 — MST partition width (workers vs makespan)\n");
+    let programs = ctx.profile_programs();
+    let (canonical, _, _) = collect_category(&ctx.compiler, &programs);
+    let cap = if fast_mode() { 24 } else { 64 };
+    let canonical = truncate_category(canonical, cap);
+    let unitaries: Vec<_> = canonical.iter().map(|(u, _)| u.clone()).collect();
+    let graph = SimilarityGraph::build(unitaries, SimilarityFn::TraceOverlap);
+    let order = mst_compile_order(&graph);
+    let tree = WeightedTree::from_order(&order, canonical.len());
+    let total = tree.total_weight();
+
+    let mut rows = Vec::new();
+    for k in [1usize, 2, 4, 8, 16] {
+        let p = partition_tree(&tree, k);
+        rows.push(vec![
+            k.to_string(),
+            p.n_parts.to_string(),
+            format!("{:.2}", p.makespan(&tree)),
+            format!("{:.2}", total / p.makespan(&tree).max(1e-12)),
+            format!("{:.2}", p.balance(&tree)),
+        ]);
+    }
+    print_table(&["k", "parts", "weight makespan", "speedup", "balance"], &rows);
+    write_csv("ablation_partition.csv", &["k", "parts", "makespan", "speedup", "balance"], &rows)
+        .ok();
+}

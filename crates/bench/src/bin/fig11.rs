@@ -1,0 +1,42 @@
+//! Regenerates paper Figure 11: crosstalk mitigation by mapping.
+use accqoc_bench::experiments::fig11_rows;
+use accqoc_bench::{fast_mode, print_table, write_csv, ExperimentContext};
+
+fn main() {
+    println!("Figure 11 — crosstalk metric before/after crosstalk-aware mapping\n");
+    let ctx = ExperimentContext::bare();
+    let n = if fast_mode() { 6 } else { 12 };
+    let rows = fig11_rows(&ctx, n);
+    let display: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.program.clone(),
+                r.before.to_string(),
+                r.after_mapping.to_string(),
+                format!("{:.1}%", r.mapping_reduction() * 100.0),
+                r.after_scheduling.to_string(),
+                format!("{:.1}%", r.scheduled_reduction() * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        &["program", "plain", "aware-map", "reduction", "+scheduler", "ext. reduction"],
+        &display,
+    );
+    let avg: f64 =
+        rows.iter().map(|r| r.mapping_reduction()).sum::<f64>() / rows.len().max(1) as f64;
+    let avg_ext: f64 =
+        rows.iter().map(|r| r.scheduled_reduction()).sum::<f64>() / rows.len().max(1) as f64;
+    println!(
+        "\naverage: mapping-only {:.1}% (paper: 17.6%); with scheduler extension {:.1}%",
+        avg * 100.0,
+        avg_ext * 100.0
+    );
+    write_csv(
+        "fig11.csv",
+        &["program", "plain", "aware_map", "map_reduction", "scheduled", "sched_reduction"],
+        &display,
+    )
+    .ok();
+}

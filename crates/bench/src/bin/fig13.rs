@@ -1,0 +1,25 @@
+//! Regenerates paper Figure 13: per-program iteration reduction for each
+//! similarity function.
+use accqoc_bench::experiments::fig13_rows;
+use accqoc_bench::{fast_mode, print_table, write_csv, ExperimentContext};
+
+fn main() {
+    println!("Figure 13 — iteration reduction per program × similarity function\n");
+    let ctx = ExperimentContext::bare();
+    let (n, cap) = if fast_mode() { (3, 10) } else { (7, 20) };
+    let rows = fig13_rows(&ctx, n, cap);
+    let mut display = Vec::new();
+    for (program, reductions) in &rows {
+        let mut row = vec![program.clone()];
+        row.extend(reductions.iter().map(|(_, r)| format!("{:+.1}%", r * 100.0)));
+        display.push(row);
+    }
+    print_table(&["program", "l1", "l2", "fidelity1", "fidelity2", "inverse"], &display);
+    // Max reduction across programs for the best function.
+    let best = rows
+        .iter()
+        .flat_map(|(_, rs)| rs.iter().filter(|(l, _)| *l == "fidelity1").map(|(_, r)| *r))
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!("\nmax fidelity1 reduction: {:.1}% (paper max: 28%)", best * 100.0);
+    write_csv("fig13.csv", &["program", "l1", "l2", "fidelity1", "fidelity2", "inverse"], &display).ok();
+}

@@ -1,0 +1,26 @@
+//! Regenerates paper Figure 14: group count vs gate count scaling.
+use accqoc_bench::experiments::fig14_rows;
+use accqoc_bench::{print_table, write_csv, ExperimentContext};
+
+fn main() {
+    println!("Figure 14 — unique map2b4l groups vs program size\n");
+    let ctx = ExperimentContext::bare();
+    let mut rows = fig14_rows(&ctx);
+    rows.sort_by_key(|r| r.1);
+    let display: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(name, gates, groups)| {
+            vec![
+                name.clone(),
+                gates.to_string(),
+                groups.to_string(),
+                format!("{:.3}", *groups as f64 / *gates as f64),
+            ]
+        })
+        .collect();
+    // Print a subsample to keep the console readable; CSV has everything.
+    let sampled: Vec<Vec<String>> = display.iter().step_by(8.max(display.len() / 18)).cloned().collect();
+    print_table(&["program", "gates", "groups", "groups/gate"], &sampled);
+    write_csv("fig14.csv", &["program", "gates", "groups", "ratio"], &display).ok();
+    println!("\n({} programs total — see results/fig14.csv; shape: groups grow sublinearly)", rows.len());
+}

@@ -1,0 +1,47 @@
+//! Regenerates paper Figure 15: AccQOC vs brute-force QOC.
+use accqoc::BruteForceConfig;
+use accqoc_bench::experiments::fig15_rows;
+use accqoc_bench::{fast_mode, print_table, write_csv, ExperimentContext};
+
+fn main() {
+    println!("Figure 15 — AccQOC vs brute-force QOC (latency and compile cost)\n");
+    let ctx = ExperimentContext::precompiled();
+    let n = if fast_mode() { 2 } else { 4 };
+    let bf = BruteForceConfig::default();
+    println!(
+        "(brute-force groups capped at {} qubits / {} layers — the paper used up to 10 qubits\n taking hours; the trade-off direction is what matters)\n",
+        bf.max_qubits, bf.max_layers
+    );
+    let rows = fig15_rows(&ctx, n, &bf);
+    let display: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.program.clone(),
+                format!("{:.2}x", r.gate_based_ns / r.accqoc_ns),
+                format!("{:.2}x", r.gate_based_ns / r.brute_force_ns),
+                r.accqoc_iterations.to_string(),
+                r.brute_force_iterations.to_string(),
+                format!("{:.1}x", r.brute_force_iterations as f64 / r.accqoc_iterations.max(1) as f64),
+            ]
+        })
+        .collect();
+    print_table(
+        &["program", "accqoc latency red.", "bf latency red.", "accqoc iters", "bf iters", "compile speedup"],
+        &display,
+    );
+    let sum_acc: usize = rows.iter().map(|r| r.accqoc_iterations).sum();
+    let sum_bf: usize = rows.iter().map(|r| r.brute_force_iterations).sum();
+    let avg_acc: f64 = rows.iter().map(|r| r.gate_based_ns / r.accqoc_ns).sum::<f64>() / rows.len().max(1) as f64;
+    let avg_bf: f64 = rows.iter().map(|r| r.gate_based_ns / r.brute_force_ns).sum::<f64>() / rows.len().max(1) as f64;
+    println!(
+        "\naggregate: accqoc {avg_acc:.2}x latency vs bf {avg_bf:.2}x (paper: 2.43x vs 3.01x);\n compile speedup {:.1}x (paper: 9.88x)",
+        sum_bf as f64 / sum_acc.max(1) as f64
+    );
+    write_csv(
+        "fig15.csv",
+        &["program", "accqoc_red", "bf_red", "accqoc_iters", "bf_iters", "speedup"],
+        &display,
+    )
+    .ok();
+}

@@ -1,0 +1,23 @@
+//! Regenerates paper Figure 5: crosstalk inflation of CX error rates.
+use accqoc_bench::experiments::fig5_rows;
+use accqoc_bench::{print_table, write_csv};
+
+fn main() {
+    println!("Figure 5 — CX error with/without a nearby parallel CNOT (Melbourne)\n");
+    let rows = fig5_rows();
+    let display: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(pair, base, with, ratio)| {
+            vec![
+                pair.clone(),
+                format!("{:.4}", base),
+                format!("{:.4}", with),
+                format!("{:.0}%", (ratio - 1.0) * 100.0),
+            ]
+        })
+        .collect();
+    print_table(&["pair", "isolated err", "w/ crosstalk", "inflation"], &display);
+    let avg: f64 = rows.iter().map(|r| r.3 - 1.0).sum::<f64>() / rows.len() as f64;
+    println!("\naverage inflation: {:.0}% (paper: ~20%)", avg * 100.0);
+    write_csv("fig5.csv", &["pair", "isolated", "crosstalk", "ratio"], &display).ok();
+}

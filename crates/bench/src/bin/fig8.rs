@@ -1,0 +1,18 @@
+//! Regenerates paper Figure 8: average iteration reduction per similarity
+//! function on the profiled category.
+use accqoc_bench::experiments::fig8_rows;
+use accqoc_bench::{fast_mode, print_table, write_csv, ExperimentContext};
+
+fn main() {
+    println!("Figure 8 — iteration reduction of MST-ordered training per similarity function\n");
+    let ctx = ExperimentContext::bare();
+    let cap = if fast_mode() { 12 } else { 28 };
+    let rows = fig8_rows(&ctx, cap);
+    let display: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(label, red)| vec![label.to_string(), format!("{:+.1}%", red * 100.0)])
+        .collect();
+    print_table(&["similarity fn", "iteration reduction"], &display);
+    println!("\npaper shape: fidelity1 best; inverse (anti-similarity) hurts");
+    write_csv("fig8.csv", &["function", "reduction"], &display).ok();
+}

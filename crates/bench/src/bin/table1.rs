@@ -1,0 +1,10 @@
+//! Regenerates paper Table I: the six grouping policies.
+use accqoc_bench::{print_table, write_csv};
+use accqoc_bench::experiments::table1_rows;
+
+fn main() {
+    println!("Table I — parameter settings of the 6 grouping policies\n");
+    let rows = table1_rows();
+    print_table(&["policy", "swap handling", "# qubits", "# layers"], &rows);
+    write_csv("table1.csv", &["policy", "swap", "qubits", "layers"], &rows).ok();
+}

@@ -1,0 +1,132 @@
+//! Shared experiment setup: compiler, benchmark suite, and a persistent
+//! pre-compiled pulse cache.
+
+use std::path::PathBuf;
+
+use accqoc::{precompile_parallel, AccQocCompiler, AccQocConfig, PrecompileReport, PulseCache};
+use accqoc_circuit::Circuit;
+use accqoc_workloads::{full_suite, profiling_split, BenchProgram};
+
+/// Seed for the profiling split (paper: "randomly select one-third").
+pub const SPLIT_SEED: u64 = 42;
+
+/// `true` when `ACCQOC_FAST=1`: experiments shrink their sample sizes so a
+/// full figure sweep completes in a couple of minutes (useful for smoke
+/// tests; published numbers should use the default mode).
+pub fn fast_mode() -> bool {
+    std::env::var("ACCQOC_FAST").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Where the shared pulse cache is persisted between figure binaries.
+pub fn cache_path() -> PathBuf {
+    if let Ok(p) = std::env::var("ACCQOC_CACHE") {
+        return PathBuf::from(p);
+    }
+    PathBuf::from("results").join(if fast_mode() {
+        "pulse_cache_fast.json"
+    } else {
+        "pulse_cache.json"
+    })
+}
+
+/// Number of compile workers.
+pub fn n_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// Everything a figure binary needs.
+pub struct ExperimentContext {
+    /// The Melbourne/map2b4l compiler of the paper's headline setup.
+    pub compiler: AccQocCompiler,
+    /// The 159-program benchmark suite.
+    pub suite: Vec<BenchProgram>,
+    /// Indices of the profiling third (restricted to device-sized
+    /// programs).
+    pub profile_idx: Vec<usize>,
+    /// Indices of the evaluation programs.
+    pub eval_idx: Vec<usize>,
+    /// The pulse cache (pre-compiled when requested).
+    pub cache: PulseCache,
+    /// Pre-compilation report when the cache was built in this process.
+    pub report: Option<PrecompileReport>,
+}
+
+impl ExperimentContext {
+    /// Builds the context without pre-compiling anything.
+    pub fn bare() -> Self {
+        let compiler = AccQocCompiler::new(AccQocConfig::melbourne());
+        let suite = full_suite();
+        let max_q = compiler.config().topology.n_qubits();
+        let (profile_raw, eval_raw) = profiling_split(&suite, SPLIT_SEED);
+        let fits = |i: &usize| suite[*i].circuit.n_qubits() <= max_q;
+        let profile_idx: Vec<usize> = profile_raw.into_iter().filter(fits).collect();
+        let eval_idx: Vec<usize> = eval_raw.into_iter().filter(fits).collect();
+        Self { compiler, suite, profile_idx, eval_idx, cache: PulseCache::new(), report: None }
+    }
+
+    /// Builds the context and ensures the static pre-compilation cache is
+    /// available: loaded from disk when present, otherwise compiled (in
+    /// parallel) and saved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pre-compilation fails for a group (should not happen on
+    /// the stock suite) or the cache file is unreadable.
+    pub fn precompiled() -> Self {
+        let mut ctx = Self::bare();
+        let path = cache_path();
+        if path.exists() {
+            ctx.cache = PulseCache::load(&path).expect("cache file readable");
+            eprintln!("[context] loaded {} cached groups from {}", ctx.cache.len(), path.display());
+            return ctx;
+        }
+        let programs = ctx.profile_programs();
+        eprintln!(
+            "[context] pre-compiling category from {} profiling programs on {} workers…",
+            programs.len(),
+            n_workers()
+        );
+        let t0 = std::time::Instant::now();
+        let (report, stats) =
+            precompile_parallel(&ctx.compiler, &programs, &mut ctx.cache, n_workers())
+                .expect("pre-compilation succeeds on the stock suite");
+        eprintln!(
+            "[context] {} unique groups, {} iterations ({} makespan) in {:.1?}",
+            report.n_unique_groups,
+            stats.total_iterations,
+            stats.makespan_iterations,
+            t0.elapsed()
+        );
+        ctx.report = Some(report);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).ok();
+        }
+        ctx.cache.save(&path).expect("cache file writable");
+        ctx
+    }
+
+    /// The profiling programs (cloned circuits). In fast mode only a
+    /// handful of the smallest are used.
+    pub fn profile_programs(&self) -> Vec<Circuit> {
+        let mut idx = self.profile_idx.clone();
+        if fast_mode() {
+            idx.sort_by_key(|&i| self.suite[i].decomposed_len());
+            idx.truncate(6);
+        }
+        idx.iter().map(|&i| self.suite[i].circuit.clone()).collect()
+    }
+
+    /// Evaluation programs of a bounded size, smallest first.
+    pub fn eval_programs_sized(&self, max_gates: usize, count: usize) -> Vec<&BenchProgram> {
+        let mut idx: Vec<usize> = self
+            .eval_idx
+            .iter()
+            .copied()
+            .filter(|&i| self.suite[i].decomposed_len() <= max_gates)
+            .collect();
+        idx.sort_by_key(|&i| self.suite[i].decomposed_len());
+        // Take a spread: smallest, then every k-th for variety.
+        idx.truncate(count.max(1) * 2);
+        idx.into_iter().step_by(2).take(count).map(|i| &self.suite[i]).collect()
+    }
+}

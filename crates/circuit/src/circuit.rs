@@ -1,0 +1,323 @@
+//! Quantum circuits: ordered gate lists over a fixed qubit register.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::gate::{Gate, GateKind};
+
+/// A quantum circuit: a sequence of gates over `n_qubits` qubits.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_circuit::{Circuit, Gate};
+///
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::H(0));
+/// c.push(Gate::Cx(0, 1));
+/// assert_eq!(c.len(), 2);
+/// assert_eq!(c.depth(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    n_qubits: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `n_qubits` qubits.
+    pub fn new(n_qubits: usize) -> Self {
+        Self { n_qubits, gates: Vec::new() }
+    }
+
+    /// Creates a circuit from a gate list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any gate references a qubit `>= n_qubits` or repeats an
+    /// operand (see [`Circuit::push`]).
+    pub fn from_gates(n_qubits: usize, gates: impl IntoIterator<Item = Gate>) -> Self {
+        let mut c = Self::new(n_qubits);
+        for g in gates {
+            c.push(g);
+        }
+        c
+    }
+
+    /// Number of qubits in the register.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// `true` when the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The gate list.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Iterates over the gates in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Gate> {
+        self.gates.iter()
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate references a qubit `>= n_qubits` or lists the
+    /// same qubit twice (e.g. `cx q[1], q[1]`).
+    pub fn push(&mut self, gate: Gate) {
+        let qs = gate.qubits();
+        for (i, &q) in qs.iter().enumerate() {
+            assert!(
+                q < self.n_qubits,
+                "gate {gate:?} references qubit {q} but the circuit has {} qubits",
+                self.n_qubits
+            );
+            assert!(
+                !qs[..i].contains(&q),
+                "gate {gate:?} lists qubit {q} more than once"
+            );
+        }
+        self.gates.push(gate);
+    }
+
+    /// Appends all gates of `other` (registers must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` acts on more qubits than this circuit has.
+    pub fn append(&mut self, other: &Circuit) {
+        assert!(
+            other.n_qubits <= self.n_qubits,
+            "cannot append a {}-qubit circuit to a {}-qubit circuit",
+            other.n_qubits,
+            self.n_qubits
+        );
+        for &g in &other.gates {
+            self.push(g);
+        }
+    }
+
+    /// Circuit depth: length of the longest qubit-dependency chain, with
+    /// every gate counting as one layer.
+    pub fn depth(&self) -> usize {
+        let mut frontier = vec![0usize; self.n_qubits];
+        let mut depth = 0;
+        for g in &self.gates {
+            let level = g.qubits().iter().map(|&q| frontier[q]).max().unwrap_or(0) + 1;
+            for q in g.qubits() {
+                frontier[q] = level;
+            }
+            depth = depth.max(level);
+        }
+        depth
+    }
+
+    /// Gate counts keyed by [`GateKind`]. Kinds that never occur are absent.
+    pub fn counts_by_kind(&self) -> BTreeMap<GateKind, usize> {
+        let mut map = BTreeMap::new();
+        for g in &self.gates {
+            *map.entry(g.kind()).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Instruction mix: per-kind fraction of the total gate count
+    /// (paper Table II). Empty circuit yields an empty map.
+    pub fn instruction_mix(&self) -> BTreeMap<GateKind, f64> {
+        let total = self.gates.len() as f64;
+        if total == 0.0 {
+            return BTreeMap::new();
+        }
+        self.counts_by_kind()
+            .into_iter()
+            .map(|(k, v)| (k, v as f64 / total))
+            .collect()
+    }
+
+    /// Number of two-qubit gates.
+    pub fn two_qubit_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// Replaces `ccx` and (optionally) `swap` gates by their hardware-basis
+    /// decompositions; all other gates pass through.
+    ///
+    /// The paper's "map" policies decompose swaps into three CNOTs, while
+    /// the "swap" policies keep them as native operations — hence the
+    /// switch.
+    pub fn decomposed(&self, decompose_swaps: bool) -> Circuit {
+        let mut out = Circuit::new(self.n_qubits);
+        for g in &self.gates {
+            match g {
+                Gate::Ccx(..) => {
+                    for d in g.decompose() {
+                        out.push(d);
+                    }
+                }
+                Gate::Swap(..) if decompose_swaps => {
+                    for d in g.decompose() {
+                        out.push(d);
+                    }
+                }
+                _ => out.push(*g),
+            }
+        }
+        out
+    }
+
+    /// Rewrites all operand qubits through the mapping `f`, keeping the
+    /// register size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` maps any operand outside the register.
+    pub fn remapped(&self, f: impl Fn(usize) -> usize) -> Circuit {
+        let mut out = Circuit::new(self.n_qubits);
+        for g in &self.gates {
+            out.push(g.remap(&f));
+        }
+        out
+    }
+
+    /// Set of distinct qubits actually touched by gates.
+    pub fn used_qubits(&self) -> Vec<usize> {
+        let mut used = vec![false; self.n_qubits];
+        for g in &self.gates {
+            for q in g.qubits() {
+                used[q] = true;
+            }
+        }
+        (0..self.n_qubits).filter(|&q| used[q]).collect()
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Circuit({} qubits, {} gates, depth {})", self.n_qubits, self.len(), self.depth())
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Gate;
+    type IntoIter = std::slice::Iter<'a, Gate>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.gates.iter()
+    }
+}
+
+impl Extend<Gate> for Circuit {
+    fn extend<T: IntoIterator<Item = Gate>>(&mut self, iter: T) {
+        for g in iter {
+            self.push(g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bell() -> Circuit {
+        Circuit::from_gates(2, [Gate::H(0), Gate::Cx(0, 1)])
+    }
+
+    #[test]
+    fn push_and_len() {
+        let c = bell();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.n_qubits(), 2);
+        assert!(!c.is_empty());
+        assert!(Circuit::new(3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "references qubit 5")]
+    fn out_of_range_qubit_panics() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::X(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "more than once")]
+    fn duplicate_operand_panics() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx(1, 1));
+    }
+
+    #[test]
+    fn depth_respects_parallelism() {
+        // Two disjoint single-qubit gates share a layer.
+        let c = Circuit::from_gates(2, [Gate::H(0), Gate::H(1)]);
+        assert_eq!(c.depth(), 1);
+        // A chain serializes.
+        let c = Circuit::from_gates(2, [Gate::H(0), Gate::Cx(0, 1), Gate::X(1)]);
+        assert_eq!(c.depth(), 3);
+        assert_eq!(Circuit::new(4).depth(), 0);
+    }
+
+    #[test]
+    fn counts_and_mix() {
+        let c = Circuit::from_gates(
+            2,
+            [Gate::H(0), Gate::T(0), Gate::T(1), Gate::Cx(0, 1)],
+        );
+        let counts = c.counts_by_kind();
+        assert_eq!(counts[&GateKind::T], 2);
+        assert_eq!(counts[&GateKind::H], 1);
+        assert_eq!(counts[&GateKind::Cx], 1);
+        let mix = c.instruction_mix();
+        assert!((mix[&GateKind::T] - 0.5).abs() < 1e-12);
+        assert!(Circuit::new(1).instruction_mix().is_empty());
+    }
+
+    #[test]
+    fn decomposition_expands_high_level_gates() {
+        let c = Circuit::from_gates(3, [Gate::Ccx(0, 1, 2), Gate::Swap(0, 2)]);
+        let d_keep = c.decomposed(false);
+        assert_eq!(d_keep.len(), 15 + 1);
+        let d_all = c.decomposed(true);
+        assert_eq!(d_all.len(), 15 + 3);
+        assert!(d_all.iter().all(|g| !matches!(g, Gate::Ccx(..) | Gate::Swap(..))));
+    }
+
+    #[test]
+    fn remap_and_used_qubits() {
+        let c = bell().remapped(|q| 1 - q);
+        assert_eq!(c.gates()[1], Gate::Cx(1, 0));
+        let mut sparse = Circuit::new(5);
+        sparse.push(Gate::X(3));
+        assert_eq!(sparse.used_qubits(), vec![3]);
+    }
+
+    #[test]
+    fn append_and_extend() {
+        let mut c = Circuit::new(3);
+        c.append(&bell());
+        c.extend([Gate::Z(2)]);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn two_qubit_count_counts_pairs_only() {
+        let c = Circuit::from_gates(3, [Gate::H(0), Gate::Cx(0, 1), Gate::Cz(1, 2), Gate::Ccx(0, 1, 2)]);
+        assert_eq!(c.two_qubit_count(), 2);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(bell().to_string(), "Circuit(2 qubits, 2 gates, depth 2)");
+    }
+}

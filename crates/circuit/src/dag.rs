@@ -1,0 +1,222 @@
+//! Dependency DAG over circuit gates.
+//!
+//! Both the grouping pass (paper Algorithms 1–2 iterate a DAG in
+//! topological order) and the overall-latency computation (Algorithm 3's
+//! dynamic program) operate on this structure.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// A node of the circuit DAG: one gate plus its dependency edges.
+#[derive(Debug, Clone)]
+pub struct DagNode {
+    /// The gate at this node.
+    pub gate: Gate,
+    /// Indices of nodes this gate depends on (per-qubit last writers).
+    pub preds: Vec<usize>,
+    /// Indices of nodes depending on this gate.
+    pub succs: Vec<usize>,
+    /// ASAP layer: `max(pred layers) + 1`, i.e. the "global depth" used by
+    /// the layer-dividing algorithm (paper Algorithm 2, line 3).
+    pub layer: usize,
+}
+
+/// Dependency DAG of a circuit. Node indices coincide with gate positions
+/// in the originating circuit, so index order is already topological.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_circuit::{Circuit, CircuitDag, Gate};
+///
+/// let c = Circuit::from_gates(2, [Gate::H(0), Gate::Cx(0, 1), Gate::X(1)]);
+/// let dag = CircuitDag::from_circuit(&c);
+/// assert_eq!(dag.node(1).preds, vec![0]);
+/// assert_eq!(dag.node(2).preds, vec![1]);
+/// assert_eq!(dag.node(2).layer, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitDag {
+    nodes: Vec<DagNode>,
+    n_qubits: usize,
+}
+
+impl CircuitDag {
+    /// Builds the DAG by tracking, per qubit, the last gate that touched
+    /// it.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let mut nodes: Vec<DagNode> = Vec::with_capacity(circuit.len());
+        let mut last_on_qubit: Vec<Option<usize>> = vec![None; circuit.n_qubits()];
+
+        for (idx, &gate) in circuit.gates().iter().enumerate() {
+            let mut preds: Vec<usize> = Vec::new();
+            for q in gate.qubits() {
+                if let Some(p) = last_on_qubit[q] {
+                    if !preds.contains(&p) {
+                        preds.push(p);
+                    }
+                }
+            }
+            preds.sort_unstable();
+            let layer = preds.iter().map(|&p| nodes[p].layer).max().unwrap_or(0) + 1;
+            for &p in &preds {
+                nodes[p].succs.push(idx);
+            }
+            nodes.push(DagNode { gate, preds, succs: Vec::new(), layer });
+            for q in gate.qubits() {
+                last_on_qubit[q] = Some(idx);
+            }
+        }
+        Self { nodes, n_qubits: circuit.n_qubits() }
+    }
+
+    /// Number of nodes (gates).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Register width of the originating circuit.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Borrow a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn node(&self, idx: usize) -> &DagNode {
+        &self.nodes[idx]
+    }
+
+    /// All nodes, index order = topological order.
+    pub fn nodes(&self) -> &[DagNode] {
+        &self.nodes
+    }
+
+    /// Indices in topological order (identical to `0..len()` by
+    /// construction; provided for readability at call sites).
+    pub fn topological_order(&self) -> impl Iterator<Item = usize> + '_ {
+        0..self.nodes.len()
+    }
+
+    /// Maximum layer value (circuit depth).
+    pub fn depth(&self) -> usize {
+        self.nodes.iter().map(|n| n.layer).max().unwrap_or(0)
+    }
+
+    /// Groups node indices by ASAP layer, layers in ascending order.
+    pub fn layers(&self) -> Vec<Vec<usize>> {
+        let depth = self.depth();
+        let mut layers = vec![Vec::new(); depth];
+        for (i, n) in self.nodes.iter().enumerate() {
+            layers[n.layer - 1].push(i);
+        }
+        layers
+    }
+
+    /// Critical-path length where node `i` costs `weight(i)`; this is the
+    /// dynamic program of the paper's Algorithm 3 in its general form.
+    ///
+    /// Returns 0 for an empty DAG.
+    pub fn critical_path(&self, weight: impl Fn(usize) -> f64) -> f64 {
+        let mut finish = vec![0.0f64; self.nodes.len()];
+        let mut best = 0.0f64;
+        for i in self.topological_order() {
+            let start = self.nodes[i]
+                .preds
+                .iter()
+                .map(|&p| finish[p])
+                .fold(0.0, f64::max);
+            finish[i] = start + weight(i);
+            best = best.max(finish[i]);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Circuit {
+        Circuit::from_gates(3, [Gate::H(0), Gate::Cx(0, 1), Gate::Cx(1, 2), Gate::X(2)])
+    }
+
+    #[test]
+    fn edges_follow_qubit_dependencies() {
+        let dag = CircuitDag::from_circuit(&chain());
+        assert_eq!(dag.len(), 4);
+        assert_eq!(dag.node(0).preds, Vec::<usize>::new());
+        assert_eq!(dag.node(1).preds, vec![0]);
+        assert_eq!(dag.node(2).preds, vec![1]);
+        assert_eq!(dag.node(3).preds, vec![2]);
+        assert_eq!(dag.node(0).succs, vec![1]);
+    }
+
+    #[test]
+    fn parallel_gates_share_layer() {
+        let c = Circuit::from_gates(4, [Gate::H(0), Gate::H(1), Gate::Cx(0, 1), Gate::H(2), Gate::Cx(2, 3)]);
+        let dag = CircuitDag::from_circuit(&c);
+        assert_eq!(dag.node(0).layer, 1);
+        assert_eq!(dag.node(1).layer, 1);
+        assert_eq!(dag.node(2).layer, 2);
+        assert_eq!(dag.node(3).layer, 1);
+        assert_eq!(dag.node(4).layer, 2);
+        assert_eq!(dag.depth(), 2);
+        let layers = dag.layers();
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0], vec![0, 1, 3]);
+        assert_eq!(layers[1], vec![2, 4]);
+    }
+
+    #[test]
+    fn two_qubit_gate_merges_dependencies() {
+        // cx(0,1) depends on both H's; preds deduplicated and sorted.
+        let c = Circuit::from_gates(2, [Gate::H(0), Gate::H(1), Gate::Cx(0, 1)]);
+        let dag = CircuitDag::from_circuit(&c);
+        assert_eq!(dag.node(2).preds, vec![0, 1]);
+    }
+
+    #[test]
+    fn duplicate_pred_collapsed() {
+        // Both operands of the second cx last touched by the first cx.
+        let c = Circuit::from_gates(2, [Gate::Cx(0, 1), Gate::Cx(1, 0)]);
+        let dag = CircuitDag::from_circuit(&c);
+        assert_eq!(dag.node(1).preds, vec![0]);
+    }
+
+    #[test]
+    fn critical_path_unit_weights_is_depth() {
+        let dag = CircuitDag::from_circuit(&chain());
+        assert_eq!(dag.critical_path(|_| 1.0) as usize, dag.depth());
+    }
+
+    #[test]
+    fn critical_path_weighted() {
+        // Diamond: 0 → {1, 2} → 3 with asymmetric branch costs.
+        let c = Circuit::from_gates(2, [Gate::Cx(0, 1), Gate::H(0), Gate::X(1), Gate::Cx(0, 1)]);
+        let dag = CircuitDag::from_circuit(&c);
+        let cost = |i: usize| match i {
+            1 => 10.0,
+            2 => 1.0,
+            _ => 2.0,
+        };
+        // Path 0 → 1 → 3 dominates: 2 + 10 + 2 = 14.
+        assert!((dag.critical_path(cost) - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dag() {
+        let dag = CircuitDag::from_circuit(&Circuit::new(3));
+        assert!(dag.is_empty());
+        assert_eq!(dag.depth(), 0);
+        assert_eq!(dag.critical_path(|_| 1.0), 0.0);
+        assert!(dag.layers().is_empty());
+    }
+}

@@ -1,0 +1,441 @@
+//! The quantum gate set.
+//!
+//! Covers the gates appearing in the paper's benchmarks (Table II:
+//! `x, t, h, cx, rz, tdg`), the IBM basis (`u1, u2, u3, cx`) the paper's
+//! Figure 3 shows, and the high-level gates (`ccx`, `swap`) that must be
+//! decomposed before hitting hardware (paper Figure 2).
+
+use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_4};
+
+use serde::{Deserialize, Serialize};
+
+use accqoc_linalg::{C64, Mat, ONE, ZERO};
+
+/// A gate application: an operation together with its qubit operands.
+///
+/// Angles are in radians. Two-qubit gates list `(control, target)` except
+/// for the symmetric [`Gate::Cz`] and [`Gate::Swap`].
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_circuit::Gate;
+///
+/// let g = Gate::Cx(0, 1);
+/// assert_eq!(g.qubits(), vec![0, 1]);
+/// assert_eq!(g.kind().name(), "cx");
+/// assert!(g.matrix().is_unitary(1e-12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Gate {
+    /// Pauli-X (NOT).
+    X(usize),
+    /// Pauli-Y.
+    Y(usize),
+    /// Pauli-Z.
+    Z(usize),
+    /// Hadamard.
+    H(usize),
+    /// Phase gate `S = diag(1, i)`.
+    S(usize),
+    /// Inverse phase gate.
+    Sdg(usize),
+    /// `T = diag(1, e^{iπ/4})`.
+    T(usize),
+    /// Inverse T.
+    Tdg(usize),
+    /// Rotation about X by the given angle.
+    Rx(usize, f64),
+    /// Rotation about Y by the given angle.
+    Ry(usize, f64),
+    /// Rotation about Z by the given angle.
+    Rz(usize, f64),
+    /// IBM `u1(λ) = diag(1, e^{iλ})`.
+    U1(usize, f64),
+    /// IBM `u2(φ, λ)`.
+    U2(usize, f64, f64),
+    /// IBM `u3(θ, φ, λ)` — general single-qubit rotation.
+    U3(usize, f64, f64, f64),
+    /// Controlled-X with `(control, target)`.
+    Cx(usize, usize),
+    /// Controlled-Z (symmetric).
+    Cz(usize, usize),
+    /// SWAP (symmetric).
+    Swap(usize, usize),
+    /// Toffoli (controlled-controlled-X) with `(control, control, target)`.
+    Ccx(usize, usize, usize),
+}
+
+/// The operation kind of a gate, independent of operands and parameters.
+///
+/// Used for instruction-mix statistics (paper Table II) and duration
+/// lookup tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum GateKind {
+    X,
+    Y,
+    Z,
+    H,
+    S,
+    Sdg,
+    T,
+    Tdg,
+    Rx,
+    Ry,
+    Rz,
+    U1,
+    U2,
+    U3,
+    Cx,
+    Cz,
+    Swap,
+    Ccx,
+}
+
+impl GateKind {
+    /// Lower-case QASM mnemonic of the kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::X => "x",
+            Self::Y => "y",
+            Self::Z => "z",
+            Self::H => "h",
+            Self::S => "s",
+            Self::Sdg => "sdg",
+            Self::T => "t",
+            Self::Tdg => "tdg",
+            Self::Rx => "rx",
+            Self::Ry => "ry",
+            Self::Rz => "rz",
+            Self::U1 => "u1",
+            Self::U2 => "u2",
+            Self::U3 => "u3",
+            Self::Cx => "cx",
+            Self::Cz => "cz",
+            Self::Swap => "swap",
+            Self::Ccx => "ccx",
+        }
+    }
+
+    /// All kinds, in declaration order.
+    pub fn all() -> &'static [GateKind] {
+        use GateKind::*;
+        &[X, Y, Z, H, S, Sdg, T, Tdg, Rx, Ry, Rz, U1, U2, U3, Cx, Cz, Swap, Ccx]
+    }
+}
+
+impl Gate {
+    /// The operation kind, discarding operands and parameters.
+    pub fn kind(&self) -> GateKind {
+        match self {
+            Gate::X(_) => GateKind::X,
+            Gate::Y(_) => GateKind::Y,
+            Gate::Z(_) => GateKind::Z,
+            Gate::H(_) => GateKind::H,
+            Gate::S(_) => GateKind::S,
+            Gate::Sdg(_) => GateKind::Sdg,
+            Gate::T(_) => GateKind::T,
+            Gate::Tdg(_) => GateKind::Tdg,
+            Gate::Rx(..) => GateKind::Rx,
+            Gate::Ry(..) => GateKind::Ry,
+            Gate::Rz(..) => GateKind::Rz,
+            Gate::U1(..) => GateKind::U1,
+            Gate::U2(..) => GateKind::U2,
+            Gate::U3(..) => GateKind::U3,
+            Gate::Cx(..) => GateKind::Cx,
+            Gate::Cz(..) => GateKind::Cz,
+            Gate::Swap(..) => GateKind::Swap,
+            Gate::Ccx(..) => GateKind::Ccx,
+        }
+    }
+
+    /// Operand qubits, in gate order (control first where applicable).
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::H(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::Rx(q, _)
+            | Gate::Ry(q, _)
+            | Gate::Rz(q, _)
+            | Gate::U1(q, _)
+            | Gate::U2(q, _, _)
+            | Gate::U3(q, _, _, _) => vec![q],
+            Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => vec![a, b],
+            Gate::Ccx(a, b, c) => vec![a, b, c],
+        }
+    }
+
+    /// Number of operand qubits.
+    pub fn arity(&self) -> usize {
+        match self {
+            Gate::Cx(..) | Gate::Cz(..) | Gate::Swap(..) => 2,
+            Gate::Ccx(..) => 3,
+            _ => 1,
+        }
+    }
+
+    /// `true` for 2-qubit gates.
+    pub fn is_two_qubit(&self) -> bool {
+        self.arity() == 2
+    }
+
+    /// Rewrites operand qubits through `f` (used when applying layouts).
+    pub fn remap(&self, f: impl Fn(usize) -> usize) -> Gate {
+        match *self {
+            Gate::X(q) => Gate::X(f(q)),
+            Gate::Y(q) => Gate::Y(f(q)),
+            Gate::Z(q) => Gate::Z(f(q)),
+            Gate::H(q) => Gate::H(f(q)),
+            Gate::S(q) => Gate::S(f(q)),
+            Gate::Sdg(q) => Gate::Sdg(f(q)),
+            Gate::T(q) => Gate::T(f(q)),
+            Gate::Tdg(q) => Gate::Tdg(f(q)),
+            Gate::Rx(q, a) => Gate::Rx(f(q), a),
+            Gate::Ry(q, a) => Gate::Ry(f(q), a),
+            Gate::Rz(q, a) => Gate::Rz(f(q), a),
+            Gate::U1(q, a) => Gate::U1(f(q), a),
+            Gate::U2(q, a, b) => Gate::U2(f(q), a, b),
+            Gate::U3(q, a, b, c) => Gate::U3(f(q), a, b, c),
+            Gate::Cx(a, b) => Gate::Cx(f(a), f(b)),
+            Gate::Cz(a, b) => Gate::Cz(f(a), f(b)),
+            Gate::Swap(a, b) => Gate::Swap(f(a), f(b)),
+            Gate::Ccx(a, b, c) => Gate::Ccx(f(a), f(b), f(c)),
+        }
+    }
+
+    /// Local unitary matrix of the gate on its own operands, with the first
+    /// listed operand as the most significant bit (big-endian).
+    pub fn matrix(&self) -> Mat {
+        match *self {
+            Gate::X(_) => Mat::from_reals(&[0.0, 1.0, 1.0, 0.0]),
+            Gate::Y(_) => Mat::from_flat(&[ZERO, C64::imag(-1.0), C64::imag(1.0), ZERO]),
+            Gate::Z(_) => Mat::from_reals(&[1.0, 0.0, 0.0, -1.0]),
+            Gate::H(_) => Mat::from_reals(&[
+                FRAC_1_SQRT_2,
+                FRAC_1_SQRT_2,
+                FRAC_1_SQRT_2,
+                -FRAC_1_SQRT_2,
+            ]),
+            Gate::S(_) => Mat::from_flat(&[ONE, ZERO, ZERO, C64::imag(1.0)]),
+            Gate::Sdg(_) => Mat::from_flat(&[ONE, ZERO, ZERO, C64::imag(-1.0)]),
+            Gate::T(_) => Mat::from_flat(&[ONE, ZERO, ZERO, C64::cis(FRAC_PI_4)]),
+            Gate::Tdg(_) => Mat::from_flat(&[ONE, ZERO, ZERO, C64::cis(-FRAC_PI_4)]),
+            Gate::Rx(_, theta) => {
+                let (s, c) = ((theta / 2.0).sin(), (theta / 2.0).cos());
+                Mat::from_flat(&[C64::real(c), C64::imag(-s), C64::imag(-s), C64::real(c)])
+            }
+            Gate::Ry(_, theta) => {
+                let (s, c) = ((theta / 2.0).sin(), (theta / 2.0).cos());
+                Mat::from_reals(&[c, -s, s, c])
+            }
+            Gate::Rz(_, theta) => {
+                Mat::from_flat(&[C64::cis(-theta / 2.0), ZERO, ZERO, C64::cis(theta / 2.0)])
+            }
+            Gate::U1(_, lambda) => Mat::from_flat(&[ONE, ZERO, ZERO, C64::cis(lambda)]),
+            Gate::U2(q, phi, lambda) => Gate::U3(q, std::f64::consts::FRAC_PI_2, phi, lambda).matrix(),
+            Gate::U3(_, theta, phi, lambda) => {
+                let (s, c) = ((theta / 2.0).sin(), (theta / 2.0).cos());
+                Mat::from_flat(&[
+                    C64::real(c),
+                    -C64::cis(lambda).scale(s),
+                    C64::cis(phi).scale(s),
+                    C64::cis(phi + lambda).scale(c),
+                ])
+            }
+            Gate::Cx(..) => Mat::from_reals(&[
+                1.0, 0.0, 0.0, 0.0, //
+                0.0, 1.0, 0.0, 0.0, //
+                0.0, 0.0, 0.0, 1.0, //
+                0.0, 0.0, 1.0, 0.0,
+            ]),
+            Gate::Cz(..) => Mat::from_reals(&[
+                1.0, 0.0, 0.0, 0.0, //
+                0.0, 1.0, 0.0, 0.0, //
+                0.0, 0.0, 1.0, 0.0, //
+                0.0, 0.0, 0.0, -1.0,
+            ]),
+            Gate::Swap(..) => Mat::from_reals(&[
+                1.0, 0.0, 0.0, 0.0, //
+                0.0, 0.0, 1.0, 0.0, //
+                0.0, 1.0, 0.0, 0.0, //
+                0.0, 0.0, 0.0, 1.0,
+            ]),
+            Gate::Ccx(..) => {
+                let mut m = Mat::identity(8);
+                m[(6, 6)] = ZERO;
+                m[(7, 7)] = ZERO;
+                m[(6, 7)] = ONE;
+                m[(7, 6)] = ONE;
+                m
+            }
+        }
+    }
+
+    /// Decomposes the gate into hardware-basis gates.
+    ///
+    /// - `ccx` expands to the standard 15-gate network over
+    ///   `{h, t, tdg, cx}` (paper Figure 2).
+    /// - `swap` expands to three CNOTs (the "map" policies of §IV-B).
+    /// - Everything else is returned unchanged.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use accqoc_circuit::Gate;
+    /// assert_eq!(Gate::Ccx(0, 1, 2).decompose().len(), 15);
+    /// assert_eq!(Gate::Swap(0, 1).decompose().len(), 3);
+    /// assert_eq!(Gate::H(0).decompose(), vec![Gate::H(0)]);
+    /// ```
+    pub fn decompose(&self) -> Vec<Gate> {
+        match *self {
+            Gate::Ccx(a, b, c) => vec![
+                Gate::H(c),
+                Gate::Cx(b, c),
+                Gate::Tdg(c),
+                Gate::Cx(a, c),
+                Gate::T(c),
+                Gate::Cx(b, c),
+                Gate::Tdg(c),
+                Gate::Cx(a, c),
+                Gate::T(b),
+                Gate::T(c),
+                Gate::H(c),
+                Gate::Cx(a, b),
+                Gate::T(a),
+                Gate::Tdg(b),
+                Gate::Cx(a, b),
+            ],
+            Gate::Swap(a, b) => vec![Gate::Cx(a, b), Gate::Cx(b, a), Gate::Cx(a, b)],
+            g => vec![g],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accqoc_linalg::approx_eq_up_to_phase;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn all_gate_matrices_are_unitary() {
+        let gates = [
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::H(0),
+            Gate::S(0),
+            Gate::Sdg(0),
+            Gate::T(0),
+            Gate::Tdg(0),
+            Gate::Rx(0, 0.7),
+            Gate::Ry(0, -1.3),
+            Gate::Rz(0, 2.2),
+            Gate::U1(0, 0.4),
+            Gate::U2(0, 0.3, -0.8),
+            Gate::U3(0, 1.0, 0.5, -0.2),
+            Gate::Cx(0, 1),
+            Gate::Cz(0, 1),
+            Gate::Swap(0, 1),
+            Gate::Ccx(0, 1, 2),
+        ];
+        for g in gates {
+            assert!(g.matrix().is_unitary(1e-12), "{g:?}");
+            assert_eq!(g.matrix().rows(), 1 << g.arity(), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn adjoint_pairs_cancel() {
+        let pairs = [
+            (Gate::S(0), Gate::Sdg(0)),
+            (Gate::T(0), Gate::Tdg(0)),
+        ];
+        for (a, b) in pairs {
+            let prod = a.matrix().matmul(&b.matrix());
+            assert!(prod.approx_eq(&Mat::identity(2), 1e-12), "{a:?}·{b:?}");
+        }
+    }
+
+    #[test]
+    fn t_squared_is_s() {
+        let t2 = Gate::T(0).matrix().matmul(&Gate::T(0).matrix());
+        assert!(t2.approx_eq(&Gate::S(0).matrix(), 1e-12));
+    }
+
+    #[test]
+    fn rotations_compose_additively() {
+        let a = Gate::Rz(0, 0.4).matrix().matmul(&Gate::Rz(0, 1.1).matrix());
+        assert!(a.approx_eq(&Gate::Rz(0, 1.5).matrix(), 1e-12));
+    }
+
+    #[test]
+    fn rx_pi_is_x_up_to_phase() {
+        assert!(approx_eq_up_to_phase(&Gate::Rx(0, PI).matrix(), &Gate::X(0).matrix(), 1e-12));
+        assert!(approx_eq_up_to_phase(&Gate::Rz(0, PI).matrix(), &Gate::Z(0).matrix(), 1e-12));
+    }
+
+    #[test]
+    fn u_gates_reduce_properly() {
+        // u1(λ) == u3(0, 0, λ) exactly in this convention.
+        let u1 = Gate::U1(0, 0.9).matrix();
+        let u3 = Gate::U3(0, 0.0, 0.0, 0.9).matrix();
+        assert!(u1.approx_eq(&u3, 1e-12));
+        // u2(φ,λ) == u3(π/2, φ, λ).
+        let u2 = Gate::U2(0, 0.3, 0.7).matrix();
+        let u3b = Gate::U3(0, PI / 2.0, 0.3, 0.7).matrix();
+        assert!(u2.approx_eq(&u3b, 1e-12));
+        // h == u2(0, π) up to phase.
+        assert!(approx_eq_up_to_phase(&Gate::H(0).matrix(), &Gate::U2(0, 0.0, PI).matrix(), 1e-12));
+    }
+
+    #[test]
+    fn cx_action_on_basis() {
+        let cx = Gate::Cx(0, 1).matrix();
+        // |10⟩ → |11⟩ (control = MSB set).
+        assert_eq!(cx[(3, 2)], ONE);
+        assert_eq!(cx[(2, 3)], ONE);
+        // |00⟩, |01⟩ fixed.
+        assert_eq!(cx[(0, 0)], ONE);
+        assert_eq!(cx[(1, 1)], ONE);
+    }
+
+    #[test]
+    fn swap_decomposition_is_exact() {
+        let decomp = Gate::Swap(0, 1).decompose();
+        let mut u = Mat::identity(4);
+        for g in &decomp {
+            // Both qubits of every cx in the decomposition are within {0,1};
+            // orient the 4×4 by control position.
+            let m = match g {
+                Gate::Cx(0, 1) => g.matrix(),
+                Gate::Cx(1, 0) => g.matrix().permute_basis(&[0, 2, 1, 3]),
+                _ => panic!("unexpected gate {g:?}"),
+            };
+            u = m.matmul(&u);
+        }
+        assert!(u.approx_eq(&Gate::Swap(0, 1).matrix(), 1e-12));
+    }
+
+    #[test]
+    fn gate_kind_names() {
+        assert_eq!(Gate::Tdg(3).kind().name(), "tdg");
+        assert_eq!(Gate::Ccx(0, 1, 2).kind().name(), "ccx");
+        assert_eq!(GateKind::all().len(), 18);
+    }
+
+    #[test]
+    fn remap_applies_to_all_operands() {
+        let g = Gate::Ccx(0, 1, 2).remap(|q| q + 10);
+        assert_eq!(g.qubits(), vec![10, 11, 12]);
+        let g = Gate::Rz(5, 0.1).remap(|q| q * 2);
+        assert_eq!(g.qubits(), vec![10]);
+    }
+}

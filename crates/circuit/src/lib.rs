@@ -1,0 +1,35 @@
+//! Quantum circuit intermediate representation for the AccQOC
+//! reproduction.
+//!
+//! Provides the gate set used by the paper's benchmarks, circuits and
+//! their dependency DAGs, an OpenQASM 2.0 subset parser/emitter, dense
+//! circuit-to-unitary evaluation, and unitary de-duplication keys
+//! (canonical up to global phase and qubit permutation, paper §IV-C).
+//!
+//! # Example
+//!
+//! ```
+//! use accqoc_circuit::{circuit_unitary, parse_qasm, CircuitDag};
+//!
+//! let c = parse_qasm("qreg q[2]; h q[0]; cx q[0],q[1];")?;
+//! let dag = CircuitDag::from_circuit(&c);
+//! assert_eq!(dag.depth(), 2);
+//! assert!(circuit_unitary(&c).is_unitary(1e-12));
+//! # Ok::<(), accqoc_circuit::QasmError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod circuit;
+mod dag;
+mod gate;
+mod key;
+mod qasm;
+mod unitary;
+
+pub use circuit::Circuit;
+pub use dag::{CircuitDag, DagNode};
+pub use gate::{Gate, GateKind};
+pub use key::{permute_qubits, UnitaryKey, KEY_EPS};
+pub use qasm::{parse_qasm, to_qasm, QasmError};
+pub use unitary::{apply_gate, apply_unitary, circuit_unitary, embed_unitary, MAX_DENSE_QUBITS};

@@ -1,0 +1,240 @@
+//! Circuit-to-unitary evaluation.
+//!
+//! A gate group "is equivalent to a matrix" (paper §I): this module turns
+//! (small) circuits into their unitary matrices. The convention is
+//! big-endian — qubit 0 is the most significant bit of the basis index.
+//!
+//! Dimensions grow as `2^n`, so this is only meant for gate groups and
+//! test circuits (the paper's groups are ≤ 2 qubits; the brute-force
+//! baseline caps at 5).
+
+use accqoc_linalg::{Mat, ZERO};
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Maximum register size accepted by dense unitary evaluation.
+pub const MAX_DENSE_QUBITS: usize = 12;
+
+/// Applies `gate_matrix` (a `2^k × 2^k` unitary over the listed `qubits`,
+/// first listed qubit = most significant) to `u` from the left:
+/// `u ← G_embedded · u`.
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent or a qubit index repeats.
+pub fn apply_unitary(u: &mut Mat, gate_matrix: &Mat, qubits: &[usize], n_qubits: usize) {
+    let k = qubits.len();
+    assert_eq!(gate_matrix.rows(), 1 << k, "gate matrix size vs operand count");
+    assert!(gate_matrix.is_square());
+    assert_eq!(u.rows(), 1 << n_qubits, "state dimension mismatch");
+    for (i, &q) in qubits.iter().enumerate() {
+        assert!(q < n_qubits, "qubit {q} out of range");
+        assert!(!qubits[..i].contains(&q), "repeated qubit {q}");
+    }
+
+    let dim = 1 << n_qubits;
+    let sub = 1 << k;
+    // Bit position (from LSB) of each gate operand.
+    let bitpos: Vec<usize> = qubits.iter().map(|&q| n_qubits - 1 - q).collect();
+
+    // Enumerate all basis indices with the gate-operand bits cleared, then
+    // for each such "rest" pattern gather/transform/scatter the sub-vector.
+    let mut gathered = vec![ZERO; sub];
+    let operand_mask: usize = bitpos.iter().map(|&b| 1usize << b).sum();
+
+    for col in 0..u.cols() {
+        let mut rest = 0usize;
+        loop {
+            if rest & operand_mask == 0 {
+                // Gather x[m] = u[rest | bits(m), col].
+                for (m, slot) in gathered.iter_mut().enumerate() {
+                    let mut idx = rest;
+                    for (g_bit, &bp) in bitpos.iter().enumerate() {
+                        if m >> (k - 1 - g_bit) & 1 == 1 {
+                            idx |= 1 << bp;
+                        }
+                    }
+                    *slot = u[(idx, col)];
+                }
+                // y = G · x, scattered back.
+                for (row_local, _) in gathered.iter().enumerate() {
+                    let mut acc = ZERO;
+                    for (m, &x) in gathered.iter().enumerate() {
+                        acc = gate_matrix[(row_local, m)].mul_add(x, acc);
+                    }
+                    let mut idx = rest;
+                    for (g_bit, &bp) in bitpos.iter().enumerate() {
+                        if row_local >> (k - 1 - g_bit) & 1 == 1 {
+                            idx |= 1 << bp;
+                        }
+                    }
+                    u[(idx, col)] = acc;
+                }
+            }
+            rest += 1;
+            if rest >= dim {
+                break;
+            }
+        }
+    }
+}
+
+/// Embeds a small unitary over the listed qubits into the full
+/// `2^n`-dimensional space.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch (see [`apply_unitary`]).
+pub fn embed_unitary(gate_matrix: &Mat, qubits: &[usize], n_qubits: usize) -> Mat {
+    let mut u = Mat::identity(1 << n_qubits);
+    apply_unitary(&mut u, gate_matrix, qubits, n_qubits);
+    u
+}
+
+/// Computes the full unitary of a circuit (product of embedded gate
+/// matrices, later gates applied on the left).
+///
+/// # Panics
+///
+/// Panics if the circuit is wider than [`MAX_DENSE_QUBITS`].
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_circuit::{circuit_unitary, Circuit, Gate};
+/// use accqoc_linalg::Mat;
+///
+/// // H·H = I.
+/// let c = Circuit::from_gates(1, [Gate::H(0), Gate::H(0)]);
+/// assert!(circuit_unitary(&c).approx_eq(&Mat::identity(2), 1e-12));
+/// ```
+pub fn circuit_unitary(circuit: &Circuit) -> Mat {
+    assert!(
+        circuit.n_qubits() <= MAX_DENSE_QUBITS,
+        "dense unitary limited to {MAX_DENSE_QUBITS} qubits, got {}",
+        circuit.n_qubits()
+    );
+    let mut u = Mat::identity(1 << circuit.n_qubits());
+    for gate in circuit.iter() {
+        apply_gate(&mut u, gate, circuit.n_qubits());
+    }
+    u
+}
+
+/// Applies one gate to a running unitary: `u ← G · u`.
+pub fn apply_gate(u: &mut Mat, gate: &Gate, n_qubits: usize) {
+    let m = gate.matrix();
+    apply_unitary(u, &m, &gate.qubits(), n_qubits);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accqoc_linalg::{approx_eq_up_to_phase, C64, ONE};
+
+    #[test]
+    fn single_gate_on_single_qubit() {
+        let c = Circuit::from_gates(1, [Gate::X(0)]);
+        assert!(circuit_unitary(&c).approx_eq(&Gate::X(0).matrix(), 1e-14));
+    }
+
+    #[test]
+    fn embedding_matches_kron_msb_convention() {
+        // X on qubit 0 of 2 ⇒ X ⊗ I; X on qubit 1 ⇒ I ⊗ X.
+        let x = Gate::X(0).matrix();
+        let id = Mat::identity(2);
+        assert!(embed_unitary(&x, &[0], 2).approx_eq(&x.kron(&id), 1e-14));
+        assert!(embed_unitary(&x, &[1], 2).approx_eq(&id.kron(&x), 1e-14));
+    }
+
+    #[test]
+    fn cx_orientation() {
+        // cx(0,1): control is qubit 0 (MSB). |10⟩=index 2 → |11⟩=index 3.
+        let u = circuit_unitary(&Circuit::from_gates(2, [Gate::Cx(0, 1)]));
+        assert_eq!(u[(3, 2)], ONE);
+        assert_eq!(u[(2, 3)], ONE);
+        // cx(1,0): control is qubit 1 (LSB). |01⟩=index 1 → |11⟩=index 3.
+        let u = circuit_unitary(&Circuit::from_gates(2, [Gate::Cx(1, 0)]));
+        assert_eq!(u[(3, 1)], ONE);
+        assert_eq!(u[(1, 3)], ONE);
+    }
+
+    #[test]
+    fn bell_circuit_unitary() {
+        let c = Circuit::from_gates(2, [Gate::H(0), Gate::Cx(0, 1)]);
+        let u = circuit_unitary(&c);
+        // Column 0 (input |00⟩) is the Bell state (|00⟩ + |11⟩)/√2.
+        let r = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(u[(0, 0)].approx_eq(C64::real(r), 1e-12));
+        assert!(u[(3, 0)].approx_eq(C64::real(r), 1e-12));
+        assert!(u[(1, 0)].abs() < 1e-12);
+        assert!(u[(2, 0)].abs() < 1e-12);
+        assert!(u.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn toffoli_decomposition_matches_ccx_matrix() {
+        let direct = circuit_unitary(&Circuit::from_gates(3, [Gate::Ccx(0, 1, 2)]));
+        let decomposed = circuit_unitary(&Circuit::from_gates(3, Gate::Ccx(0, 1, 2).decompose()));
+        assert!(
+            approx_eq_up_to_phase(&direct, &decomposed, 1e-12),
+            "max diff {}",
+            direct.max_abs_diff(&decomposed)
+        );
+    }
+
+    #[test]
+    fn swap_decomposition_matches_swap_matrix() {
+        let direct = circuit_unitary(&Circuit::from_gates(2, [Gate::Swap(0, 1)]));
+        let decomposed = circuit_unitary(&Circuit::from_gates(2, Gate::Swap(0, 1).decompose()));
+        assert!(direct.approx_eq(&decomposed, 1e-12));
+    }
+
+    #[test]
+    fn swap_on_nonadjacent_qubits() {
+        // swap(0,2) in a 3-qubit register exchanges bits 2 and 0 of the index.
+        let u = circuit_unitary(&Circuit::from_gates(3, [Gate::Swap(0, 2)]));
+        // |100⟩ = 4 ↔ |001⟩ = 1.
+        assert_eq!(u[(1, 4)], ONE);
+        assert_eq!(u[(4, 1)], ONE);
+        assert_eq!(u[(0, 0)], ONE);
+        assert_eq!(u[(5, 5)], ONE); // |101⟩ fixed
+    }
+
+    #[test]
+    fn gate_order_is_right_to_left_product() {
+        // Circuit [A, B] implements B·A.
+        let c = Circuit::from_gates(1, [Gate::H(0), Gate::T(0)]);
+        let expect = Gate::T(0).matrix().matmul(&Gate::H(0).matrix());
+        assert!(circuit_unitary(&c).approx_eq(&expect, 1e-14));
+    }
+
+    #[test]
+    fn composition_is_unitary_for_random_circuit() {
+        let gates = [
+            Gate::H(0),
+            Gate::Cx(0, 1),
+            Gate::T(1),
+            Gate::Cx(1, 2),
+            Gate::Rz(2, 0.37),
+            Gate::Cx(2, 0),
+            Gate::U3(1, 0.3, 0.8, -0.4),
+        ];
+        let u = circuit_unitary(&Circuit::from_gates(3, gates));
+        assert!(u.is_unitary(1e-11));
+    }
+
+    #[test]
+    #[should_panic(expected = "dense unitary limited")]
+    fn too_wide_circuit_rejected() {
+        let _ = circuit_unitary(&Circuit::new(MAX_DENSE_QUBITS + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated qubit")]
+    fn repeated_operand_rejected() {
+        let mut u = Mat::identity(4);
+        apply_unitary(&mut u, &Mat::identity(4), &[0, 0], 2);
+    }
+}

@@ -1,0 +1,46 @@
+//! GRAPE — GRadient Ascent Pulse Engineering — for the AccQOC
+//! reproduction.
+//!
+//! Implements quantum optimal control over the piecewise-constant pulse
+//! model of the paper (§II-D): forward/backward propagation through
+//! `exp(−iΔt·H)` slices, analytic gradients (first-order and exact
+//! Fréchet), projected L-BFGS/Adam optimizers, the `1e-4` fidelity target,
+//! and the latency binary search of §IV-D. Warm starts from a similar
+//! group's pulse — the heart of AccQOC's MST acceleration — enter through
+//! [`InitStrategy::Warm`].
+//!
+//! # Example
+//!
+//! ```
+//! use accqoc_grape::{solve, GrapeOptions, GrapeProblem};
+//! use accqoc_hw::ControlModel;
+//! use accqoc_linalg::Mat;
+//!
+//! let model = ControlModel::spin_chain(1);
+//! let x = Mat::from_reals(&[0.0, 1.0, 1.0, 0.0]);
+//! let out = solve(&GrapeProblem {
+//!     model: &model,
+//!     target: x,
+//!     n_steps: 12,
+//!     options: GrapeOptions::default(),
+//! });
+//! assert!(out.converged);
+//! ```
+
+#![warn(missing_docs)]
+
+mod analysis;
+mod binary_search;
+mod grape;
+mod optimizer;
+mod propagate;
+mod pulse;
+mod state;
+
+pub use binary_search::{find_minimal_latency, LatencyError, LatencyResult, LatencySearch};
+pub use grape::{infidelity, solve, GradientMethod, GrapeOptions, GrapeOutcome, GrapeProblem, InitStrategy};
+pub use optimizer::{Adam, Lbfgs, Momentum, OptimResult, Optimizer, OptimizerKind, StopCriteria};
+pub use propagate::{backward_states, forward_states, step_unitaries, total_unitary};
+pub use analysis::{max_slew_rate, mean_power, pulse_shape, total_variation, PulseShape};
+pub use pulse::Pulse;
+pub use state::{solve_state_transfer, state_infidelity, StateTransferOutcome, StateTransferProblem};

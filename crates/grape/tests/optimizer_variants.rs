@@ -1,0 +1,175 @@
+//! GRAPE solves under every optimizer and gradient method the library
+//! offers — the paper's tool exposes the same menu (§IV-D).
+
+use accqoc_circuit::{circuit_unitary, Circuit, Gate};
+use accqoc_grape::{
+    find_minimal_latency, solve, GradientMethod, GrapeOptions, GrapeProblem, InitStrategy,
+    LatencySearch, OptimizerKind, StopCriteria,
+};
+use accqoc_hw::ControlModel;
+use accqoc_linalg::Mat;
+
+fn x_target() -> Mat {
+    Mat::from_reals(&[0.0, 1.0, 1.0, 0.0])
+}
+
+#[test]
+fn adam_solves_x_gate() {
+    let model = ControlModel::spin_chain(1);
+    let out = solve(&GrapeProblem {
+        model: &model,
+        target: x_target(),
+        n_steps: 14,
+        options: GrapeOptions {
+            optimizer: OptimizerKind::Adam { lr: 0.05 },
+            stop: StopCriteria { max_iters: 3000, patience: 0, ..Default::default() },
+            ..Default::default()
+        },
+    });
+    assert!(out.converged, "adam infidelity {}", out.infidelity);
+}
+
+#[test]
+fn momentum_solves_simple_rotation() {
+    let model = ControlModel::spin_chain(1);
+    let target = circuit_unitary(&Circuit::from_gates(1, [Gate::Rx(0, 0.9)]));
+    let out = solve(&GrapeProblem {
+        model: &model,
+        target,
+        n_steps: 10,
+        options: GrapeOptions {
+            optimizer: OptimizerKind::Momentum { lr: 0.02, beta: 0.9 },
+            stop: StopCriteria { max_iters: 5000, patience: 0, ..Default::default() },
+            ..Default::default()
+        },
+    });
+    assert!(out.converged, "momentum infidelity {}", out.infidelity);
+}
+
+#[test]
+fn lbfgs_needs_far_fewer_iterations_than_adam() {
+    let model = ControlModel::spin_chain(1);
+    let mk = |optimizer| {
+        solve(&GrapeProblem {
+            model: &model,
+            target: x_target(),
+            n_steps: 14,
+            options: GrapeOptions {
+                optimizer,
+                stop: StopCriteria { max_iters: 3000, patience: 0, ..Default::default() },
+                ..Default::default()
+            },
+        })
+    };
+    let lbfgs = mk(OptimizerKind::Lbfgs { memory: 10 });
+    let adam = mk(OptimizerKind::Adam { lr: 0.05 });
+    assert!(lbfgs.converged && adam.converged);
+    assert!(
+        lbfgs.iterations * 2 < adam.iterations,
+        "lbfgs {} vs adam {}",
+        lbfgs.iterations,
+        adam.iterations
+    );
+}
+
+#[test]
+fn first_order_gradient_converges_on_fine_grid() {
+    // With dt = 0.2 ns the first-order approximation is good enough for
+    // full convergence — the classic GRAPE regime.
+    let model = ControlModel::spin_chain(1).with_dt(0.2);
+    let out = solve(&GrapeProblem {
+        model: &model,
+        target: x_target(),
+        n_steps: 60,
+        options: GrapeOptions {
+            gradient: GradientMethod::FirstOrder,
+            ..Default::default()
+        },
+    });
+    assert!(out.converged, "first-order infidelity {}", out.infidelity);
+}
+
+#[test]
+fn gradient_methods_agree_on_final_pulse_quality() {
+    let model = ControlModel::spin_chain(1);
+    let mk = |gradient| {
+        solve(&GrapeProblem {
+            model: &model,
+            target: x_target(),
+            n_steps: 12,
+            options: GrapeOptions { gradient, ..Default::default() },
+        })
+    };
+    let spectral = mk(GradientMethod::Spectral);
+    let exact = mk(GradientMethod::Exact);
+    assert!(spectral.converged && exact.converged);
+    assert!(spectral.infidelity <= 1e-4);
+    assert!(exact.infidelity <= 1e-4);
+}
+
+#[test]
+fn latency_search_consistent_across_optimizers() {
+    // The minimal latency is a physical property; both optimizers should
+    // find (nearly) the same boundary for the X gate.
+    let model = ControlModel::spin_chain(1);
+    let search = LatencySearch::default();
+    let lbfgs = find_minimal_latency(
+        &model,
+        &x_target(),
+        &GrapeOptions::default(),
+        &search,
+    )
+    .unwrap();
+    let adam = find_minimal_latency(
+        &model,
+        &x_target(),
+        &GrapeOptions {
+            optimizer: OptimizerKind::Adam { lr: 0.08 },
+            stop: StopCriteria { max_iters: 2000, patience: 60, ..Default::default() },
+            ..Default::default()
+        },
+        &search,
+    )
+    .unwrap();
+    assert_eq!(lbfgs.n_steps, 10);
+    assert!(adam.n_steps.abs_diff(lbfgs.n_steps) <= 1, "adam found {}", adam.n_steps);
+}
+
+#[test]
+fn zero_init_breaks_symmetry_eventually() {
+    // Zero controls are a stationary-ish point for some targets; the
+    // solver must either converge or report non-convergence gracefully.
+    let model = ControlModel::spin_chain(1);
+    let out = solve(&GrapeProblem {
+        model: &model,
+        target: x_target(),
+        n_steps: 12,
+        options: GrapeOptions {
+            init: InitStrategy::Zero,
+            ..Default::default()
+        },
+    });
+    // Either outcome is acceptable; the invariant is a finite, bounded run.
+    assert!(out.infidelity.is_finite());
+    assert!(out.iterations <= 300);
+}
+
+#[test]
+fn warm_start_across_different_step_counts() {
+    let model = ControlModel::spin_chain(1);
+    let base = solve(&GrapeProblem {
+        model: &model,
+        target: x_target(),
+        n_steps: 16,
+        options: GrapeOptions::default(),
+    });
+    assert!(base.converged);
+    // Resampling a 16-step solution to 12 steps still seeds convergence.
+    let warm = solve(&GrapeProblem {
+        model: &model,
+        target: x_target(),
+        n_steps: 12,
+        options: GrapeOptions::default().with_init(InitStrategy::Warm(base.pulse)),
+    });
+    assert!(warm.converged, "warm resample infidelity {}", warm.infidelity);
+}

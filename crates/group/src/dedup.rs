@@ -1,0 +1,145 @@
+//! Group de-duplication (paper §IV-C).
+//!
+//! "After dividing a quantum program into groups, we 'de-duplicate' these
+//! groups by calculating their corresponding matrices and eliminating
+//! duplicated ones. Two groups with permutated Qubits but same operations
+//! are also treated as duplicate."
+
+use std::collections::HashMap;
+
+use accqoc_circuit::UnitaryKey;
+
+use crate::group::GateGroup;
+
+/// Result of de-duplicating a group list.
+#[derive(Debug, Clone)]
+pub struct DedupResult {
+    /// One representative group per equivalence class, in first-seen order.
+    pub unique: Vec<GateGroup>,
+    /// For every input group, the index of its representative in `unique`.
+    pub assignment: Vec<usize>,
+    /// Canonical key per unique group (aligned with `unique`).
+    pub keys: Vec<UnitaryKey>,
+}
+
+impl DedupResult {
+    /// Number of equivalence classes.
+    pub fn n_unique(&self) -> usize {
+        self.unique.len()
+    }
+
+    /// Occurrence count per unique group.
+    pub fn frequencies(&self) -> Vec<usize> {
+        let mut freq = vec![0usize; self.unique.len()];
+        for &a in &self.assignment {
+            freq[a] += 1;
+        }
+        freq
+    }
+
+    /// Index of the most frequent unique group (paper §IV-G optimizes this
+    /// one extra hard), or `None` when empty.
+    pub fn most_frequent(&self) -> Option<usize> {
+        let freq = self.frequencies();
+        (0..freq.len()).max_by_key(|&i| freq[i])
+    }
+}
+
+/// De-duplicates groups by canonical unitary key.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_circuit::Gate;
+/// use accqoc_group::{dedup_groups, GateGroup};
+///
+/// let a = GateGroup::from_global_gates(vec![0, 1], &[(0, Gate::Cx(0, 1))]);
+/// let b = GateGroup::from_global_gates(vec![4, 7], &[(1, Gate::Cx(7, 4))]);
+/// let r = dedup_groups(&[a, b]);
+/// assert_eq!(r.n_unique(), 1);
+/// assert_eq!(r.assignment, vec![0, 0]);
+/// ```
+pub fn dedup_groups(groups: &[GateGroup]) -> DedupResult {
+    let mut by_key: HashMap<UnitaryKey, usize> = HashMap::new();
+    let mut unique: Vec<GateGroup> = Vec::new();
+    let mut keys: Vec<UnitaryKey> = Vec::new();
+    let mut assignment = Vec::with_capacity(groups.len());
+
+    for g in groups {
+        let key = g.key();
+        let idx = *by_key.entry(key.clone()).or_insert_with(|| {
+            unique.push(g.clone());
+            keys.push(key);
+            unique.len() - 1
+        });
+        assignment.push(idx);
+    }
+    DedupResult { unique, assignment, keys }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accqoc_circuit::Gate;
+
+    fn cx_group(q0: usize, q1: usize, idx: usize) -> GateGroup {
+        GateGroup::from_global_gates(vec![q0.min(q1), q0.max(q1)], &[(idx, Gate::Cx(q0, q1))])
+    }
+
+    #[test]
+    fn identical_groups_collapse() {
+        let groups = vec![cx_group(0, 1, 0), cx_group(2, 3, 1), cx_group(5, 6, 2)];
+        let r = dedup_groups(&groups);
+        assert_eq!(r.n_unique(), 1);
+        assert_eq!(r.assignment, vec![0, 0, 0]);
+        assert_eq!(r.frequencies(), vec![3]);
+    }
+
+    #[test]
+    fn permuted_qubits_collapse() {
+        // cx(0,1) vs cx(1,0): same operation under qubit relabeling.
+        let groups = vec![cx_group(0, 1, 0), cx_group(1, 0, 1)];
+        let r = dedup_groups(&groups);
+        assert_eq!(r.n_unique(), 1);
+    }
+
+    #[test]
+    fn different_operations_stay_distinct() {
+        let h = GateGroup::from_global_gates(vec![0], &[(0, Gate::H(0))]);
+        let t = GateGroup::from_global_gates(vec![0], &[(1, Gate::T(0))]);
+        let r = dedup_groups(&[h, t]);
+        assert_eq!(r.n_unique(), 2);
+        assert_eq!(r.assignment, vec![0, 1]);
+    }
+
+    #[test]
+    fn composite_equivalence_detected() {
+        // H·H = I on one qubit equals the empty-product identity of T·T·Sdg…
+        // simpler: two different gate sequences with the same unitary.
+        let a = GateGroup::from_global_gates(vec![0], &[(0, Gate::H(0)), (1, Gate::H(0))]);
+        let b = GateGroup::from_global_gates(vec![3], &[(2, Gate::S(3)), (3, Gate::Sdg(3))]);
+        let r = dedup_groups(&[a, b]);
+        assert_eq!(r.n_unique(), 1, "both are the identity");
+    }
+
+    #[test]
+    fn most_frequent_reported() {
+        let groups = vec![
+            cx_group(0, 1, 0),
+            GateGroup::from_global_gates(vec![0], &[(1, Gate::H(0))]),
+            cx_group(2, 3, 2),
+            cx_group(4, 5, 3),
+        ];
+        let r = dedup_groups(&groups);
+        assert_eq!(r.n_unique(), 2);
+        assert_eq!(r.most_frequent(), Some(0));
+        assert!(dedup_groups(&[]).most_frequent().is_none());
+    }
+
+    #[test]
+    fn frequencies_sum_to_input_count() {
+        let groups = vec![cx_group(0, 1, 0), cx_group(0, 1, 1), cx_group(1, 0, 2)];
+        let r = dedup_groups(&groups);
+        assert_eq!(r.frequencies().iter().sum::<usize>(), 3);
+    }
+}

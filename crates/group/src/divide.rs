@@ -1,0 +1,404 @@
+//! The two-step grouping of paper §IV-C: bit dividing (Algorithm 1)
+//! followed by layer dividing (Algorithm 2).
+//!
+//! Bit dividing walks the circuit DAG in topological order, greedily
+//! merging each gate with the group(s) of its predecessors whenever the
+//! combined qubit support stays within the policy's bit budget. Layer
+//! dividing then cuts each bit-group into segments spanning at most `n`
+//! layers of global depth. The result is the final group list.
+//!
+//! Merges are guarded by a convexity check on the evolving group DAG so
+//! every produced group is executable as a unit (no dependency cycles
+//! through other groups) — implicit in the paper, enforced here.
+
+use accqoc_circuit::{Circuit, CircuitDag};
+
+use crate::group::{GateGroup, GroupedCircuit};
+use crate::policy::GroupingPolicy;
+
+/// Divides a (hardware-mapped) circuit into gate groups under a policy.
+///
+/// Swap handling: when the policy says [`crate::SwapMode::Map`], swaps are
+/// decomposed into three CNOTs *before* grouping; `ccx` gates are always
+/// decomposed (not hardware-native). The returned [`GroupedCircuit`] refers
+/// to the post-decomposition circuit, which is also returned.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_circuit::{Circuit, Gate};
+/// use accqoc_group::{divide_circuit, GroupingPolicy};
+///
+/// let c = Circuit::from_gates(2, [Gate::H(0), Gate::Cx(0, 1), Gate::T(1)]);
+/// let (grouped, _processed) = divide_circuit(&c, &GroupingPolicy::map2b4l());
+/// // Everything fits one 2-qubit, ≤4-layer group.
+/// assert_eq!(grouped.len(), 1);
+/// assert_eq!(grouped.groups[0].len(), 3);
+/// ```
+pub fn divide_circuit(circuit: &Circuit, policy: &GroupingPolicy) -> (GroupedCircuit, Circuit) {
+    let processed = preprocess(circuit, policy);
+    let large = bit_divide(&processed, policy.max_qubits);
+    let groups = layer_divide(&processed, large, policy.max_layers);
+    let grouped = GroupedCircuit::from_groups(processed.n_qubits(), groups, &processed);
+    (grouped, processed)
+}
+
+fn preprocess(circuit: &Circuit, policy: &GroupingPolicy) -> Circuit {
+    // ccx always decomposed; swaps per policy.
+    circuit.decomposed(policy.decompose_swaps())
+}
+
+/// One group under construction during bit dividing.
+#[derive(Debug, Clone)]
+struct Build {
+    gate_indices: Vec<usize>,
+    qubits: Vec<usize>,
+    /// Direct predecessor groups (for the convexity check).
+    preds: Vec<usize>,
+    /// Merged into another group.
+    merged_into: Option<usize>,
+}
+
+/// Algorithm 1: greedy maximal grouping under a qubit budget.
+///
+/// Returns per-group gate index lists (with qubit sets), in creation
+/// order.
+pub fn bit_divide(circuit: &Circuit, max_qubits: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
+    let mut builds: Vec<Build> = Vec::new();
+    let mut open_on_qubit: Vec<Option<usize>> = vec![None; circuit.n_qubits()];
+
+    let resolve = |builds: &Vec<Build>, mut i: usize| -> usize {
+        while let Some(next) = builds[i].merged_into {
+            i = next;
+        }
+        i
+    };
+
+    for (idx, gate) in circuit.iter().enumerate() {
+        let qs = gate.qubits();
+        // Candidate groups: the open groups on this gate's qubits.
+        let mut cands: Vec<usize> = Vec::new();
+        for &q in &qs {
+            if let Some(b) = open_on_qubit[q] {
+                let b = resolve(&builds, b);
+                if !cands.contains(&b) {
+                    cands.push(b);
+                }
+            }
+        }
+
+        let target = if cands.is_empty() {
+            None
+        } else {
+            // Union of qubit supports.
+            let mut union: Vec<usize> = qs.clone();
+            for &c in &cands {
+                for &q in &builds[c].qubits {
+                    if !union.contains(&q) {
+                        union.push(q);
+                    }
+                }
+            }
+            if union.len() <= max_qubits && merge_is_convex(&builds, &cands, &resolve) {
+                Some((cands.clone(), union))
+            } else {
+                None
+            }
+        };
+
+        match target {
+            Some((cands, union)) => {
+                // Merge all candidates into the first, then append the gate.
+                let host = cands[0];
+                for &other in &cands[1..] {
+                    let (gates, preds) = {
+                        let o = &builds[other];
+                        (o.gate_indices.clone(), o.preds.clone())
+                    };
+                    builds[other].merged_into = Some(host);
+                    builds[host].gate_indices.extend(gates);
+                    for p in preds {
+                        let p = resolve(&builds, p);
+                        if p != host && !builds[host].preds.contains(&p) {
+                            builds[host].preds.push(p);
+                        }
+                    }
+                }
+                builds[host].gate_indices.push(idx);
+                builds[host].gate_indices.sort_unstable();
+                let mut q_sorted = union;
+                q_sorted.sort_unstable();
+                builds[host].qubits = q_sorted;
+                for &q in &qs {
+                    // Record the dependency from whatever group previously
+                    // owned this qubit (if different).
+                    if let Some(prev) = open_on_qubit[q] {
+                        let prev = resolve(&builds, prev);
+                        if prev != host && !builds[host].preds.contains(&prev) {
+                            builds[host].preds.push(prev);
+                        }
+                    }
+                    open_on_qubit[q] = Some(host);
+                }
+            }
+            None => {
+                // Close the open groups on these qubits; start fresh.
+                let id = builds.len();
+                let mut preds = Vec::new();
+                for &q in &qs {
+                    if let Some(prev) = open_on_qubit[q] {
+                        let prev = resolve(&builds, prev);
+                        if !preds.contains(&prev) {
+                            preds.push(prev);
+                        }
+                    }
+                    open_on_qubit[q] = Some(id);
+                }
+                let mut q_sorted = qs.clone();
+                q_sorted.sort_unstable();
+                builds.push(Build {
+                    gate_indices: vec![idx],
+                    qubits: q_sorted,
+                    preds,
+                    merged_into: None,
+                });
+            }
+        }
+    }
+
+    builds
+        .into_iter()
+        .filter(|b| b.merged_into.is_none())
+        .map(|b| (b.gate_indices, b.qubits))
+        .collect()
+}
+
+/// `true` when merging `cands` cannot create a cycle: no candidate reaches
+/// another candidate through groups *outside* the candidate set.
+fn merge_is_convex(
+    builds: &Vec<Build>,
+    cands: &[usize],
+    resolve: &impl Fn(&Vec<Build>, usize) -> usize,
+) -> bool {
+    // BFS backwards from each candidate through preds, stopping at
+    // candidates; if we reach another candidate *via* a non-candidate,
+    // merging would swallow a group with an external dependency path.
+    for &start in cands {
+        let mut stack: Vec<usize> = builds[start]
+            .preds
+            .iter()
+            .map(|&p| resolve(builds, p))
+            .filter(|p| !cands.contains(p))
+            .collect();
+        let mut seen = vec![false; builds.len()];
+        while let Some(b) = stack.pop() {
+            if seen[b] {
+                continue;
+            }
+            seen[b] = true;
+            for &p in &builds[b].preds {
+                let p = resolve(builds, p);
+                if cands.contains(&p) {
+                    return false; // candidate → outside → candidate path
+                }
+                if !seen[p] {
+                    stack.push(p);
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Algorithm 2: cut each bit-group into segments of at most `max_layers`
+/// consecutive global-depth layers.
+pub fn layer_divide(
+    circuit: &Circuit,
+    large_groups: Vec<(Vec<usize>, Vec<usize>)>,
+    max_layers: usize,
+) -> Vec<GateGroup> {
+    let dag = CircuitDag::from_circuit(circuit);
+    let gates = circuit.gates();
+    let mut out = Vec::new();
+
+    for (gate_indices, _qubits) in large_groups {
+        let start_depth = gate_indices
+            .iter()
+            .map(|&i| dag.node(i).layer)
+            .min()
+            .expect("groups are non-empty");
+        // Bucket by (depth − start) / max_layers. Depth is monotone along
+        // dependencies, so buckets are dependency-convex segments.
+        let mut buckets: Vec<Vec<usize>> = Vec::new();
+        for &i in &gate_indices {
+            let b = (dag.node(i).layer - start_depth) / max_layers;
+            if buckets.len() <= b {
+                buckets.resize(b + 1, Vec::new());
+            }
+            buckets[b].push(i);
+        }
+        for bucket in buckets.into_iter().filter(|b| !b.is_empty()) {
+            // Qubit support of this segment only.
+            let mut qubits: Vec<usize> = bucket
+                .iter()
+                .flat_map(|&i| gates[i].qubits())
+                .collect();
+            qubits.sort_unstable();
+            qubits.dedup();
+            let tagged: Vec<(usize, accqoc_circuit::Gate)> =
+                bucket.iter().map(|&i| (i, gates[i])).collect();
+            out.push(GateGroup::from_global_gates(qubits, &tagged));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::SwapMode;
+    use accqoc_circuit::Gate;
+
+    #[test]
+    fn bit_divide_respects_qubit_budget() {
+        let c = Circuit::from_gates(
+            3,
+            [Gate::H(0), Gate::Cx(0, 1), Gate::Cx(1, 2), Gate::T(2)],
+        );
+        let groups = bit_divide(&c, 2);
+        for (_, qubits) in &groups {
+            assert!(qubits.len() <= 2, "group {qubits:?} too wide");
+        }
+        // cx(1,2) cannot join the {0,1} group: union would be 3 qubits.
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, vec![0, 1]);
+        assert_eq!(groups[1].0, vec![2, 3]);
+    }
+
+    #[test]
+    fn bit_divide_merges_single_qubit_runs() {
+        let c = Circuit::from_gates(2, [Gate::H(0), Gate::T(1), Gate::Cx(0, 1), Gate::X(1)]);
+        let groups = bit_divide(&c, 2);
+        // Everything coalesces into one 2-qubit group.
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].0, vec![0, 1, 2, 3]);
+        assert_eq!(groups[0].1, vec![0, 1]);
+    }
+
+    #[test]
+    fn every_gate_lands_in_exactly_one_group() {
+        let c = Circuit::from_gates(
+            4,
+            [
+                Gate::H(0),
+                Gate::Cx(0, 1),
+                Gate::Cx(2, 3),
+                Gate::T(1),
+                Gate::Cx(1, 2),
+                Gate::X(3),
+                Gate::Cx(0, 1),
+            ],
+        );
+        let groups = bit_divide(&c, 2);
+        let mut seen = vec![0usize; c.len()];
+        for (idxs, _) in &groups {
+            for &i in idxs {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&s| s == 1), "coverage: {seen:?}");
+    }
+
+    #[test]
+    fn layer_divide_cuts_deep_groups() {
+        // A 6-deep single-qubit chain under a 2-layer budget → 3 groups.
+        let c = Circuit::from_gates(
+            1,
+            [Gate::H(0), Gate::T(0), Gate::H(0), Gate::T(0), Gate::H(0), Gate::T(0)],
+        );
+        let large = bit_divide(&c, 2);
+        assert_eq!(large.len(), 1);
+        let groups = layer_divide(&c, large, 2);
+        assert_eq!(groups.len(), 3);
+        for g in &groups {
+            assert_eq!(g.len(), 2);
+        }
+    }
+
+    #[test]
+    fn divide_circuit_end_to_end_policies() {
+        let c = Circuit::from_gates(
+            3,
+            [
+                Gate::H(0),
+                Gate::Swap(0, 1),
+                Gate::Cx(1, 2),
+                Gate::T(2),
+                Gate::Cx(1, 2),
+            ],
+        );
+        // map policy: swap → 3 CNOTs, so more gates post-processing.
+        let (grouped_map, processed_map) = divide_circuit(&c, &GroupingPolicy::map2b4l());
+        assert_eq!(processed_map.len(), c.len() + 2);
+        assert!(grouped_map.is_topologically_sound());
+
+        // swap policy: swap kept native.
+        let (grouped_swap, processed_swap) =
+            divide_circuit(&c, &GroupingPolicy::new(SwapMode::Swap, 2, 4));
+        assert_eq!(processed_swap.len(), c.len());
+        assert!(grouped_swap.is_topologically_sound());
+
+        // All gates covered in both cases.
+        let count = |gc: &GroupedCircuit| -> usize { gc.groups.iter().map(|g| g.len()).sum() };
+        assert_eq!(count(&grouped_map), processed_map.len());
+        assert_eq!(count(&grouped_swap), processed_swap.len());
+    }
+
+    #[test]
+    fn groups_are_dependency_convex() {
+        // Regression for the cycle hazard: two groups connected through an
+        // intermediate must not merge around it.
+        let c = Circuit::from_gates(
+            3,
+            [
+                Gate::Cx(0, 1), // group A {0,1}
+                Gate::Cx(1, 2), // closes A on 1; group B {1,2}
+                Gate::Cx(0, 1), // must not merge into a cycle with A through B
+            ],
+        );
+        let (grouped, _) = divide_circuit(&c, &GroupingPolicy::map2b4l());
+        assert!(grouped.is_topologically_sound());
+        // Latency DP must terminate and be consistent.
+        let lat = grouped.overall_latency(|_| 1.0);
+        assert!(lat >= 2.0);
+    }
+
+    #[test]
+    fn wider_budget_creates_bigger_groups() {
+        let c = Circuit::from_gates(
+            4,
+            [Gate::Cx(0, 1), Gate::Cx(2, 3), Gate::Cx(1, 2), Gate::Cx(0, 3)],
+        );
+        let narrow = bit_divide(&c, 2).len();
+        let wide = bit_divide(&c, 4).len();
+        assert!(wide < narrow, "wide {wide} vs narrow {narrow}");
+        assert_eq!(wide, 1);
+    }
+
+    #[test]
+    fn deep_two_qubit_group_respects_layer_budget() {
+        let mut gates = Vec::new();
+        for _ in 0..5 {
+            gates.push(Gate::Cx(0, 1));
+            gates.push(Gate::H(0));
+        }
+        let c = Circuit::from_gates(2, gates);
+        let (grouped, processed) = divide_circuit(&c, &GroupingPolicy::new(SwapMode::Map, 2, 4));
+        let dag = CircuitDag::from_circuit(&processed);
+        for g in &grouped.groups {
+            let depths: Vec<usize> = g.gate_indices.iter().map(|&i| dag.node(i).layer).collect();
+            let span = depths.iter().max().unwrap() - depths.iter().min().unwrap();
+            assert!(span < 4, "group spans {span} layers");
+        }
+    }
+}

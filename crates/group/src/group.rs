@@ -1,0 +1,247 @@
+//! Gate groups and grouped circuits.
+//!
+//! A group is the paper's unit of pulse compilation: a small subcircuit
+//! "equivalent to a matrix". Groups carry their local circuit (qubits
+//! renumbered to `0..k`), the unitary, and a canonical [`UnitaryKey`] for
+//! de-duplication and cache lookups.
+
+use serde::{Deserialize, Serialize};
+
+use accqoc_circuit::{circuit_unitary, Circuit, Gate, UnitaryKey};
+use accqoc_linalg::Mat;
+
+/// One gate group.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GateGroup {
+    /// The global qubits the group acts on, ascending; local qubit `i`
+    /// corresponds to `qubits[i]`.
+    pub qubits: Vec<usize>,
+    /// Gates over local qubit indices, in program order.
+    pub gates: Vec<Gate>,
+    /// Positions of the group's gates in the originating circuit.
+    pub gate_indices: Vec<usize>,
+}
+
+impl GateGroup {
+    /// Builds a group from global-indexed gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gate touches a qubit outside `qubits`.
+    pub fn from_global_gates(
+        qubits: Vec<usize>,
+        gates_global: &[(usize, Gate)],
+    ) -> Self {
+        let local_of = |q: usize| -> usize {
+            qubits
+                .iter()
+                .position(|&x| x == q)
+                .unwrap_or_else(|| panic!("qubit {q} not in group {qubits:?}"))
+        };
+        let mut gates = Vec::with_capacity(gates_global.len());
+        let mut gate_indices = Vec::with_capacity(gates_global.len());
+        for &(idx, g) in gates_global {
+            gates.push(g.remap(local_of));
+            gate_indices.push(idx);
+        }
+        Self { qubits, gates, gate_indices }
+    }
+
+    /// Number of distinct qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// `true` for an empty group (does not occur from the dividers).
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The group as a local circuit over `n_qubits()` qubits.
+    pub fn to_circuit(&self) -> Circuit {
+        Circuit::from_gates(self.n_qubits(), self.gates.iter().copied())
+    }
+
+    /// The group's unitary matrix (`2^k × 2^k`).
+    pub fn unitary(&self) -> Mat {
+        circuit_unitary(&self.to_circuit())
+    }
+
+    /// Canonical identity of the group: global phase and qubit permutation
+    /// quotiented out (paper §IV-C dedup rule).
+    pub fn key(&self) -> UnitaryKey {
+        UnitaryKey::canonical(&self.unitary(), self.n_qubits())
+    }
+}
+
+/// A circuit restructured into a DAG of groups (paper §IV-E: "we
+/// restructure the original DAG into a new DAG by turning each group into
+/// a node").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupedCircuit {
+    /// Groups in topological order.
+    pub groups: Vec<GateGroup>,
+    /// `preds[i]` = indices of groups that must finish before group `i`.
+    pub preds: Vec<Vec<usize>>,
+    /// Register width of the originating circuit.
+    pub n_qubits: usize,
+}
+
+impl GroupedCircuit {
+    /// Builds the group DAG from groups tagged with original gate indices.
+    ///
+    /// Dependencies are derived from per-qubit gate order in the original
+    /// circuit: group A precedes group B when some qubit's consecutive
+    /// gates fall in A then B.
+    pub fn from_groups(n_qubits: usize, mut groups: Vec<GateGroup>, circuit: &Circuit) -> Self {
+        // Topological order by first gate index (gate order is topological).
+        groups.sort_by_key(|g| g.gate_indices.first().copied().unwrap_or(usize::MAX));
+        // Map gate index → group index.
+        let mut owner = vec![usize::MAX; circuit.len()];
+        for (gi, g) in groups.iter().enumerate() {
+            for &idx in &g.gate_indices {
+                owner[idx] = gi;
+            }
+        }
+        debug_assert!(owner.iter().all(|&o| o != usize::MAX), "every gate must be grouped");
+
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); groups.len()];
+        let mut last_on_qubit: Vec<Option<usize>> = vec![None; n_qubits];
+        for (idx, gate) in circuit.iter().enumerate() {
+            let gi = owner[idx];
+            for q in gate.qubits() {
+                if let Some(prev) = last_on_qubit[q] {
+                    if prev != gi && !preds[gi].contains(&prev) {
+                        preds[gi].push(prev);
+                    }
+                }
+                last_on_qubit[q] = Some(gi);
+            }
+        }
+        for p in preds.iter_mut() {
+            p.sort_unstable();
+        }
+        Self { groups, preds, n_qubits }
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// `true` when there are no groups.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Overall latency via the dynamic program of paper Algorithm 3:
+    /// walk groups in topological order, `finish(i) = max(finish(preds))
+    /// + latency(i)`; the overall latency is the maximum finish time.
+    pub fn overall_latency(&self, latency_of: impl Fn(usize) -> f64) -> f64 {
+        let mut finish = vec![0.0f64; self.groups.len()];
+        let mut best = 0.0f64;
+        for i in 0..self.groups.len() {
+            let start = self.preds[i].iter().map(|&p| finish[p]).fold(0.0, f64::max);
+            finish[i] = start + latency_of(i);
+            best = best.max(finish[i]);
+        }
+        best
+    }
+
+    /// Checks the structural invariant: every pred index is smaller than
+    /// the group it precedes (valid topological numbering).
+    pub fn is_topologically_sound(&self) -> bool {
+        self.preds.iter().enumerate().all(|(i, ps)| ps.iter().all(|&p| p < i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accqoc_linalg::approx_eq_up_to_phase;
+
+    #[test]
+    fn local_renumbering() {
+        let g = GateGroup::from_global_gates(
+            vec![3, 7],
+            &[(0, Gate::H(3)), (1, Gate::Cx(3, 7)), (2, Gate::T(7))],
+        );
+        assert_eq!(g.gates, vec![Gate::H(0), Gate::Cx(0, 1), Gate::T(1)]);
+        assert_eq!(g.n_qubits(), 2);
+        assert_eq!(g.len(), 3);
+        assert!(g.unitary().is_unitary(1e-12));
+    }
+
+    #[test]
+    fn key_identifies_equivalent_groups() {
+        let a = GateGroup::from_global_gates(vec![0, 1], &[(0, Gate::Cx(0, 1))]);
+        let b = GateGroup::from_global_gates(vec![5, 9], &[(3, Gate::Cx(9, 5))]);
+        // Same operation, qubits permuted ⇒ same canonical key.
+        assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn unitary_matches_direct_evaluation() {
+        let g = GateGroup::from_global_gates(
+            vec![2, 4],
+            &[(0, Gate::H(2)), (1, Gate::Cx(2, 4))],
+        );
+        let direct = circuit_unitary(&Circuit::from_gates(
+            2,
+            [Gate::H(0), Gate::Cx(0, 1)],
+        ));
+        assert!(approx_eq_up_to_phase(&g.unitary(), &direct, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in group")]
+    fn foreign_qubit_panics() {
+        let _ = GateGroup::from_global_gates(vec![0, 1], &[(0, Gate::X(5))]);
+    }
+
+    fn two_group_chain() -> (Circuit, GroupedCircuit) {
+        let c = Circuit::from_gates(3, [Gate::H(0), Gate::Cx(0, 1), Gate::Cx(1, 2), Gate::X(2)]);
+        let g1 = GateGroup::from_global_gates(vec![0, 1], &[(0, Gate::H(0)), (1, Gate::Cx(0, 1))]);
+        let g2 = GateGroup::from_global_gates(vec![1, 2], &[(2, Gate::Cx(1, 2)), (3, Gate::X(2))]);
+        let gc = GroupedCircuit::from_groups(3, vec![g2, g1], &c);
+        (c, gc)
+    }
+
+    #[test]
+    fn group_dag_dependencies() {
+        let (_, gc) = two_group_chain();
+        assert_eq!(gc.len(), 2);
+        assert!(gc.is_topologically_sound());
+        // Sorted so group 0 = {H, cx(0,1)}, group 1 depends on it via qubit 1.
+        assert_eq!(gc.preds[0], Vec::<usize>::new());
+        assert_eq!(gc.preds[1], vec![0]);
+    }
+
+    #[test]
+    fn overall_latency_chains_and_parallelizes() {
+        let (_, gc) = two_group_chain();
+        // Serial chain: latencies add.
+        assert!((gc.overall_latency(|i| if i == 0 { 30.0 } else { 12.0 }) - 42.0).abs() < 1e-12);
+
+        // Parallel groups: max, not sum.
+        let c = Circuit::from_gates(4, [Gate::Cx(0, 1), Gate::Cx(2, 3)]);
+        let ga = GateGroup::from_global_gates(vec![0, 1], &[(0, Gate::Cx(0, 1))]);
+        let gb = GateGroup::from_global_gates(vec![2, 3], &[(1, Gate::Cx(2, 3))]);
+        let gc2 = GroupedCircuit::from_groups(4, vec![ga, gb], &c);
+        assert_eq!(gc2.preds[1], Vec::<usize>::new());
+        assert!((gc2.overall_latency(|i| if i == 0 { 20.0 } else { 35.0 }) - 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_grouped_circuit() {
+        let c = Circuit::new(2);
+        let gc = GroupedCircuit::from_groups(2, vec![], &c);
+        assert!(gc.is_empty());
+        assert_eq!(gc.overall_latency(|_| 1.0), 0.0);
+    }
+}

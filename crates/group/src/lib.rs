@@ -1,0 +1,32 @@
+//! Gate grouping for QOC pulse compilation (paper §IV).
+//!
+//! AccQOC compiles pulses per *gate group* — a ≤2-qubit, depth-bounded
+//! subcircuit equivalent to a small unitary. This crate implements the
+//! `{swap,map}2bNl` policies (Table I), Algorithm 1 (bit dividing),
+//! Algorithm 2 (layer dividing), the group DAG with the Algorithm 3
+//! latency dynamic program, and group de-duplication up to global phase
+//! and qubit permutation (§IV-C).
+//!
+//! # Example
+//!
+//! ```
+//! use accqoc_circuit::{Circuit, Gate};
+//! use accqoc_group::{dedup_groups, divide_circuit, GroupingPolicy};
+//!
+//! let c = Circuit::from_gates(3, [Gate::H(0), Gate::Cx(0, 1), Gate::Cx(1, 2)]);
+//! let (grouped, _) = divide_circuit(&c, &GroupingPolicy::map2b4l());
+//! let dedup = dedup_groups(&grouped.groups);
+//! assert!(dedup.n_unique() <= grouped.len());
+//! ```
+
+#![warn(missing_docs)]
+
+mod dedup;
+mod divide;
+mod group;
+mod policy;
+
+pub use dedup::{dedup_groups, DedupResult};
+pub use divide::{bit_divide, divide_circuit, layer_divide};
+pub use group::{GateGroup, GroupedCircuit};
+pub use policy::{GroupingPolicy, ParsePolicyError, SwapMode};

@@ -1,0 +1,181 @@
+//! Grouping policies: the `{swap, map} × 2b{2,3,4}l` cataloging system of
+//! paper §IV-B (Table I).
+//!
+//! `2bNl` means: at most 2 qubits per group, at most `N` layers of global
+//! depth. The swap-handling mode distinguishes machines with native swaps
+//! ("swap" policies keep them) from those without ("map" policies
+//! decompose each swap into three CNOTs, which can then merge or cancel
+//! with neighboring gates — §IV-F).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// How inserted swap gates are treated before grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SwapMode {
+    /// Decompose each swap into three CNOTs ("map" prefix).
+    Map,
+    /// Keep swaps as native two-qubit operations ("swap" prefix).
+    Swap,
+}
+
+impl SwapMode {
+    /// The policy-label prefix.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            SwapMode::Map => "map",
+            SwapMode::Swap => "swap",
+        }
+    }
+}
+
+/// A grouping policy.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_group::{GroupingPolicy, SwapMode};
+///
+/// let p = GroupingPolicy::new(SwapMode::Map, 2, 4);
+/// assert_eq!(p.label(), "map2b4l");
+/// assert_eq!("map2b4l".parse::<GroupingPolicy>().unwrap(), p);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GroupingPolicy {
+    /// Swap handling before grouping.
+    pub swap_mode: SwapMode,
+    /// Maximum distinct qubits per group (2 throughout the paper: larger
+    /// groups "take too much time to train with QOC").
+    pub max_qubits: usize,
+    /// Maximum global-depth layers per group.
+    pub max_layers: usize,
+}
+
+impl GroupingPolicy {
+    /// Creates a policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_qubits == 0` or `max_layers == 0`.
+    pub fn new(swap_mode: SwapMode, max_qubits: usize, max_layers: usize) -> Self {
+        assert!(max_qubits >= 1, "need at least one qubit per group");
+        assert!(max_layers >= 1, "need at least one layer per group");
+        Self { swap_mode, max_qubits, max_layers }
+    }
+
+    /// The paper's label, e.g. `"map2b4l"`.
+    pub fn label(&self) -> String {
+        format!("{}{}b{}l", self.swap_mode.prefix(), self.max_qubits, self.max_layers)
+    }
+
+    /// The six candidate policies of Table I, in the paper's order.
+    pub fn paper_policies() -> Vec<GroupingPolicy> {
+        let mut out = Vec::with_capacity(6);
+        for &mode in &[SwapMode::Swap, SwapMode::Map] {
+            for layers in 2..=4 {
+                out.push(GroupingPolicy::new(mode, 2, layers));
+            }
+        }
+        out
+    }
+
+    /// The policy the paper selects for its headline results (§V-A, VI-F).
+    pub fn map2b4l() -> Self {
+        Self::new(SwapMode::Map, 2, 4)
+    }
+
+    /// `true` when swaps should be decomposed into CNOTs pre-grouping.
+    pub fn decompose_swaps(&self) -> bool {
+        self.swap_mode == SwapMode::Map
+    }
+}
+
+impl fmt::Display for GroupingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Error from parsing a policy label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError(String);
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid grouping policy label {:?} (expected e.g. \"map2b4l\")", self.0)
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl FromStr for GroupingPolicy {
+    type Err = ParsePolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParsePolicyError(s.to_string());
+        let (mode, rest) = if let Some(r) = s.strip_prefix("swap") {
+            (SwapMode::Swap, r)
+        } else if let Some(r) = s.strip_prefix("map") {
+            (SwapMode::Map, r)
+        } else {
+            return Err(err());
+        };
+        let (bits, layers) = rest.split_once('b').ok_or_else(err)?;
+        let layers = layers.strip_suffix('l').ok_or_else(err)?;
+        let max_qubits: usize = bits.parse().map_err(|_| err())?;
+        let max_layers: usize = layers.parse().map_err(|_| err())?;
+        if max_qubits == 0 || max_layers == 0 {
+            return Err(err());
+        }
+        Ok(GroupingPolicy { swap_mode: mode, max_qubits, max_layers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<String> =
+            GroupingPolicy::paper_policies().iter().map(|p| p.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["swap2b2l", "swap2b3l", "swap2b4l", "map2b2l", "map2b3l", "map2b4l"]
+        );
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for p in GroupingPolicy::paper_policies() {
+            let parsed: GroupingPolicy = p.label().parse().unwrap();
+            assert_eq!(parsed, p);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "2b4l", "mapXbYl", "map0b4l", "map2b0l", "map2b4", "swap2x4l"] {
+            assert!(bad.parse::<GroupingPolicy>().is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn swap_mode_controls_decomposition() {
+        assert!(GroupingPolicy::map2b4l().decompose_swaps());
+        assert!(!GroupingPolicy::new(SwapMode::Swap, 2, 4).decompose_swaps());
+    }
+
+    #[test]
+    fn display_is_label() {
+        assert_eq!(GroupingPolicy::map2b4l().to_string(), "map2b4l");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn zero_layers_panics() {
+        let _ = GroupingPolicy::new(SwapMode::Map, 2, 0);
+    }
+}

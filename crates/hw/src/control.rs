@@ -1,0 +1,279 @@
+//! Device control model for quantum optimal control.
+//!
+//! The paper verifies AccQOC "with a model of a two-level spin Qubit
+//! (ω/2π: 3.9 GHz)" (§IV-D). In the rotating frame of the qubit the bare
+//! splitting drops out, leaving per-qubit `σx`/`σy` drive channels and an
+//! always-on exchange coupling between neighbors — the standard
+//! controllable spin-chain model. All frequencies are angular (rad/ns),
+//! so a drive of amplitude `Ω` rotates the Bloch vector by `Ω·t` radians
+//! in `t` nanoseconds.
+
+use serde::{Deserialize, Serialize};
+
+use accqoc_circuit::embed_unitary;
+use accqoc_linalg::{C64, Mat, ZERO};
+
+/// Bare qubit frequency, GHz (enters only through the rotating-frame
+/// derivation; kept for documentation parity with the paper).
+pub const QUBIT_FREQ_GHZ: f64 = 3.9;
+/// Maximum drive amplitude, GHz (Ω_max/2π). A π-rotation at full drive
+/// takes `1/(2·Ω_max) = 10 ns`.
+pub const MAX_DRIVE_GHZ: f64 = 0.05;
+/// Exchange coupling between neighboring qubits, GHz (J/2π).
+pub const COUPLING_GHZ: f64 = 0.02;
+/// Default GRAPE time slice, nanoseconds.
+pub const DEFAULT_DT_NS: f64 = 1.0;
+
+const TWO_PI: f64 = std::f64::consts::TAU;
+
+/// One controllable Hamiltonian term with an amplitude bound.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ControlChannel {
+    /// Human-readable channel name, e.g. `"x0"`.
+    pub label: String,
+    /// The Hamiltonian this channel scales (rad/ns at unit amplitude,
+    /// embedded in the full system dimension).
+    pub hamiltonian: Mat,
+    /// Maximum |amplitude| (dimensionless multiplier of `hamiltonian`).
+    pub max_amp: f64,
+}
+
+/// A controllable quantum system: drift + bounded control channels +
+/// a time-slice width. This is everything GRAPE needs to know about the
+/// hardware.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_hw::ControlModel;
+///
+/// let m = ControlModel::spin_chain(2);
+/// assert_eq!(m.dim(), 4);
+/// assert_eq!(m.n_controls(), 4); // x,y per qubit
+/// assert!(m.drift().is_hermitian(1e-12));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ControlModel {
+    n_qubits: usize,
+    drift: Mat,
+    channels: Vec<ControlChannel>,
+    dt_ns: f64,
+}
+
+impl ControlModel {
+    /// Builds a model from explicit parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the drift or any channel Hamiltonian is not
+    /// `2^n_qubits`-dimensional Hermitian, or if `dt_ns <= 0`.
+    pub fn new(n_qubits: usize, drift: Mat, channels: Vec<ControlChannel>, dt_ns: f64) -> Self {
+        let dim = 1usize << n_qubits;
+        assert!(dt_ns > 0.0, "dt must be positive");
+        assert_eq!(drift.rows(), dim, "drift dimension");
+        assert!(drift.is_hermitian(1e-9), "drift must be hermitian");
+        for ch in &channels {
+            assert_eq!(ch.hamiltonian.rows(), dim, "channel {} dimension", ch.label);
+            assert!(ch.hamiltonian.is_hermitian(1e-9), "channel {} must be hermitian", ch.label);
+            assert!(ch.max_amp > 0.0, "channel {} amplitude bound", ch.label);
+        }
+        Self { n_qubits, drift, channels, dt_ns }
+    }
+
+    /// The standard spin-chain model on `n_qubits` qubits: zero local
+    /// drift (rotating frame), nearest-neighbor `J/2·(XX + YY)` coupling,
+    /// and `σx`/`σy` drives per qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `n_qubits == 0` or `n_qubits > 6` (GRAPE beyond a
+    /// handful of qubits is exactly the cost the paper avoids).
+    pub fn spin_chain(n_qubits: usize) -> Self {
+        assert!(n_qubits >= 1 && n_qubits <= 6, "spin chain supports 1..=6 qubits");
+        let dim = 1usize << n_qubits;
+        let x = Mat::from_reals(&[0.0, 1.0, 1.0, 0.0]);
+        let y = Mat::from_flat(&[ZERO, C64::imag(-1.0), C64::imag(1.0), ZERO]);
+
+        let j = TWO_PI * COUPLING_GHZ;
+        let mut drift = Mat::zeros(dim, dim);
+        for q in 0..n_qubits.saturating_sub(1) {
+            let xx = embed_unitary(&x.kron(&x), &[q, q + 1], n_qubits);
+            let yy = embed_unitary(&y.kron(&y), &[q, q + 1], n_qubits);
+            drift.axpy(C64::real(j / 2.0), &xx);
+            drift.axpy(C64::real(j / 2.0), &yy);
+        }
+
+        let omega = TWO_PI * MAX_DRIVE_GHZ;
+        let mut channels = Vec::with_capacity(2 * n_qubits);
+        for q in 0..n_qubits {
+            channels.push(ControlChannel {
+                label: format!("x{q}"),
+                hamiltonian: embed_unitary(&x, &[q], n_qubits).scale_re(omega / 2.0),
+                max_amp: 1.0,
+            });
+            channels.push(ControlChannel {
+                label: format!("y{q}"),
+                hamiltonian: embed_unitary(&y, &[q], n_qubits).scale_re(omega / 2.0),
+                max_amp: 1.0,
+            });
+        }
+        Self::new(n_qubits, drift, channels, DEFAULT_DT_NS)
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Hilbert-space dimension `2^n`.
+    pub fn dim(&self) -> usize {
+        1 << self.n_qubits
+    }
+
+    /// Drift Hamiltonian (rad/ns).
+    pub fn drift(&self) -> &Mat {
+        &self.drift
+    }
+
+    /// Control channels.
+    pub fn channels(&self) -> &[ControlChannel] {
+        &self.channels
+    }
+
+    /// Number of control channels.
+    pub fn n_controls(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// GRAPE time slice, nanoseconds.
+    pub fn dt_ns(&self) -> f64 {
+        self.dt_ns
+    }
+
+    /// Returns a copy with a different time slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_ns <= 0`.
+    pub fn with_dt(mut self, dt_ns: f64) -> Self {
+        assert!(dt_ns > 0.0, "dt must be positive");
+        self.dt_ns = dt_ns;
+        self
+    }
+
+    /// Total Hamiltonian at the given control amplitudes:
+    /// `H = H₀ + Σⱼ uⱼ·Hⱼ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amps.len() != n_controls()`.
+    pub fn hamiltonian(&self, amps: &[f64]) -> Mat {
+        assert_eq!(amps.len(), self.channels.len(), "amplitude count");
+        let mut h = self.drift.clone();
+        for (a, ch) in amps.iter().zip(&self.channels) {
+            h.axpy(C64::real(*a), &ch.hamiltonian);
+        }
+        h
+    }
+
+    /// Clamps an amplitude vector to the per-channel bounds, in place.
+    pub fn clamp(&self, amps: &mut [f64]) {
+        for (a, ch) in amps.iter_mut().zip(&self.channels) {
+            *a = a.clamp(-ch.max_amp, ch.max_amp);
+        }
+    }
+
+    /// A conservative lower bound on the time (ns) to realize an arbitrary
+    /// unitary, used to seed the latency binary search: one π-rotation at
+    /// full drive per qubit (`1/(2·Ω_max)`), plus one coupling period
+    /// (`1/(4·J)`) when more than one qubit is involved.
+    pub fn min_time_estimate_ns(&self) -> f64 {
+        let single = 1.0 / (2.0 * MAX_DRIVE_GHZ);
+        if self.n_qubits > 1 {
+            single + 1.0 / (4.0 * COUPLING_GHZ)
+        } else {
+            single
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_chain_dimensions() {
+        for n in 1..=3 {
+            let m = ControlModel::spin_chain(n);
+            assert_eq!(m.dim(), 1 << n);
+            assert_eq!(m.n_controls(), 2 * n);
+            assert!(m.drift().is_hermitian(1e-12));
+            for ch in m.channels() {
+                assert!(ch.hamiltonian.is_hermitian(1e-12), "{}", ch.label);
+            }
+        }
+    }
+
+    #[test]
+    fn single_qubit_has_zero_drift() {
+        let m = ControlModel::spin_chain(1);
+        assert!(m.drift().approx_eq(&Mat::zeros(2, 2), 1e-15));
+    }
+
+    #[test]
+    fn two_qubit_drift_is_exchange_coupling() {
+        let m = ControlModel::spin_chain(2);
+        // XX+YY in the 2-qubit basis: off-diagonal |01⟩↔|10⟩ block of 2·(J/2).
+        let j = TWO_PI * COUPLING_GHZ;
+        assert!((m.drift()[(1, 2)].re - j).abs() < 1e-12);
+        assert!((m.drift()[(2, 1)].re - j).abs() < 1e-12);
+        assert!(m.drift()[(0, 0)].abs() < 1e-12);
+        assert!(m.drift()[(3, 3)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamiltonian_assembly() {
+        let m = ControlModel::spin_chain(1);
+        let h = m.hamiltonian(&[1.0, 0.0]);
+        // x-channel at unit amplitude: (Ω/2)·X.
+        let omega = TWO_PI * MAX_DRIVE_GHZ;
+        assert!((h[(0, 1)].re - omega / 2.0).abs() < 1e-12);
+        let h0 = m.hamiltonian(&[0.0, 0.0]);
+        assert!(h0.approx_eq(m.drift(), 1e-15));
+    }
+
+    #[test]
+    fn clamp_respects_bounds() {
+        let m = ControlModel::spin_chain(1);
+        let mut amps = vec![3.0, -2.5];
+        m.clamp(&mut amps);
+        assert_eq!(amps, vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn min_time_estimates_scale_with_arity() {
+        let one = ControlModel::spin_chain(1).min_time_estimate_ns();
+        let two = ControlModel::spin_chain(2).min_time_estimate_ns();
+        assert!((one - 10.0).abs() < 1e-12); // 1/(2·0.05 GHz) = 10 ns
+        assert!(two > one);
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude count")]
+    fn wrong_amp_count_panics() {
+        let m = ControlModel::spin_chain(1);
+        let _ = m.hamiltonian(&[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=6")]
+    fn oversized_chain_rejected() {
+        let _ = ControlModel::spin_chain(7);
+    }
+
+    #[test]
+    fn with_dt_overrides() {
+        let m = ControlModel::spin_chain(1).with_dt(0.25);
+        assert_eq!(m.dt_ns(), 0.25);
+    }
+}

@@ -1,0 +1,38 @@
+//! Quantum hardware models for the AccQOC reproduction.
+//!
+//! Everything the compilation pipeline needs to know about the device:
+//!
+//! - [`Topology`] — coupling graphs with directed CNOTs, including the
+//!   IBM Q Melbourne 14-qubit chip all paper experiments run on.
+//! - [`GateDurations`] — per-gate pulse lengths for the gate-based
+//!   compilation baseline.
+//! - [`NoiseModel`] — CX error rates, decoherence, and the nearby-CNOT
+//!   crosstalk inflation of paper Figure 5.
+//! - [`ControlModel`] — drift/control Hamiltonians of the two-level spin
+//!   qubit model (ω/2π = 3.9 GHz) that GRAPE optimizes over.
+//!
+//! # Example
+//!
+//! ```
+//! use accqoc_hw::{NoiseModel, Topology};
+//!
+//! let noise = NoiseModel::melbourne();
+//! // A CNOT on (0,1) gets noisier when a neighbor pair fires in parallel.
+//! let quiet = noise.cx_error(0, 1);
+//! let loud = noise.cx_error_with_parallel(0, 1, (1, 2));
+//! assert!(loud > quiet);
+//! ```
+
+#![warn(missing_docs)]
+
+mod control;
+mod noise;
+mod timing;
+mod topology;
+
+pub use control::{
+    ControlChannel, ControlModel, COUPLING_GHZ, DEFAULT_DT_NS, MAX_DRIVE_GHZ, QUBIT_FREQ_GHZ,
+};
+pub use noise::{NoiseModel, CROSSTALK_FACTOR, CX_ERROR_AVG, T1_US, T2_US};
+pub use timing::GateDurations;
+pub use topology::Topology;

@@ -1,0 +1,280 @@
+//! Device coupling topologies.
+//!
+//! The paper maps every benchmark onto the 14-qubit IBM Q Melbourne chip,
+//! whose CNOTs are directed (paper Figure 10). [`Topology`] keeps the
+//! directed edge list for swap/CX legality plus an undirected view and
+//! all-pairs distances for mapping heuristics.
+
+use serde::{Deserialize, Serialize};
+
+/// A directed coupling graph over physical qubits.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_hw::Topology;
+///
+/// let melbourne = Topology::melbourne();
+/// assert_eq!(melbourne.n_qubits(), 14);
+/// assert!(melbourne.cx_allowed(1, 0));   // directed edge 1 → 0
+/// assert!(!melbourne.cx_allowed(0, 1));  // reverse needs H-conjugation
+/// assert!(melbourne.connected(0, 1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    n_qubits: usize,
+    /// Directed CX edges `(control, target)`.
+    edges: Vec<(usize, usize)>,
+    /// All-pairs undirected hop distance (usize::MAX when disconnected).
+    #[serde(skip)]
+    distances: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Builds a topology from a directed edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a qubit `>= n_qubits` or is a
+    /// self-loop.
+    pub fn new(n_qubits: usize, edges: Vec<(usize, usize)>) -> Self {
+        for &(a, b) in &edges {
+            assert!(a < n_qubits && b < n_qubits, "edge ({a},{b}) out of range");
+            assert_ne!(a, b, "self-loop edge ({a},{b})");
+        }
+        let distances = all_pairs_distances(n_qubits, &edges);
+        Self { n_qubits, edges, distances }
+    }
+
+    /// The IBM Q Melbourne 14-qubit device (paper Figure 10): two rows
+    /// with directed CNOTs.
+    pub fn melbourne() -> Self {
+        Self::new(
+            14,
+            vec![
+                (1, 0),
+                (1, 2),
+                (2, 3),
+                (4, 3),
+                (4, 10),
+                (5, 4),
+                (5, 6),
+                (5, 9),
+                (6, 8),
+                (7, 8),
+                (9, 8),
+                (9, 10),
+                (11, 3),
+                (11, 10),
+                (11, 12),
+                (12, 2),
+                (13, 1),
+                (13, 12),
+            ],
+        )
+    }
+
+    /// A linear chain `0 − 1 − … − (n−1)` with CX directed low → high.
+    pub fn linear(n: usize) -> Self {
+        Self::new(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect())
+    }
+
+    /// A fully connected device (useful to isolate grouping effects from
+    /// routing effects in tests).
+    pub fn full(n: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        Self::new(n, edges)
+    }
+
+    /// Number of physical qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Directed CX edges.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Undirected edges, each listed once with `a < b`.
+    pub fn undirected_edges(&self) -> Vec<(usize, usize)> {
+        let mut out: Vec<(usize, usize)> = self
+            .edges
+            .iter()
+            .map(|&(a, b)| if a < b { (a, b) } else { (b, a) })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// `true` if a CX with this control/target orientation is native.
+    pub fn cx_allowed(&self, control: usize, target: usize) -> bool {
+        self.edges.contains(&(control, target))
+    }
+
+    /// `true` if the qubits are adjacent (either direction).
+    pub fn connected(&self, a: usize, b: usize) -> bool {
+        self.edges.contains(&(a, b)) || self.edges.contains(&(b, a))
+    }
+
+    /// Undirected hop distance between two qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        self.distances[a][b]
+    }
+
+    /// Neighbors of a qubit (undirected view).
+    pub fn neighbors(&self, q: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .edges
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == q {
+                    Some(b)
+                } else if b == q {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Distance between two undirected edges: the minimum qubit distance
+    /// across endpoint pairs. Distance 0 means they share a qubit; the
+    /// paper's crosstalk metric counts pairs at distance ≤ 1 as "close".
+    pub fn edge_distance(&self, e1: (usize, usize), e2: (usize, usize)) -> usize {
+        let mut best = usize::MAX;
+        for &a in &[e1.0, e1.1] {
+            for &b in &[e2.0, e2.1] {
+                best = best.min(self.distance(a, b));
+            }
+        }
+        best
+    }
+}
+
+fn all_pairs_distances(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        if !adj[a].contains(&b) {
+            adj[a].push(b);
+        }
+        if !adj[b].contains(&a) {
+            adj[b].push(a);
+        }
+    }
+    let mut dist = vec![vec![usize::MAX; n]; n];
+    for (s, row) in dist.iter_mut().enumerate() {
+        // BFS from s.
+        let mut queue = std::collections::VecDeque::new();
+        row[s] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                if row[v] == usize::MAX {
+                    row[v] = row[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn melbourne_shape() {
+        let t = Topology::melbourne();
+        assert_eq!(t.n_qubits(), 14);
+        assert_eq!(t.edges().len(), 18);
+        // Every qubit reachable.
+        for a in 0..14 {
+            for b in 0..14 {
+                assert!(t.distance(a, b) < usize::MAX, "({a},{b}) disconnected");
+            }
+        }
+        // Known local structure.
+        assert_eq!(t.distance(0, 1), 1);
+        assert_eq!(t.distance(0, 2), 2);
+        assert!(t.connected(13, 1));
+        assert!(t.cx_allowed(13, 1));
+        assert!(!t.cx_allowed(1, 13));
+    }
+
+    #[test]
+    fn linear_distances() {
+        let t = Topology::linear(5);
+        assert_eq!(t.distance(0, 4), 4);
+        assert_eq!(t.distance(2, 2), 0);
+        assert_eq!(t.neighbors(2), vec![1, 3]);
+        assert_eq!(t.neighbors(0), vec![1]);
+    }
+
+    #[test]
+    fn full_topology_all_adjacent() {
+        let t = Topology::full(4);
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    assert!(t.cx_allowed(a, b));
+                    assert_eq!(t.distance(a, b), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn undirected_edges_deduplicate() {
+        let t = Topology::new(3, vec![(0, 1), (1, 0), (1, 2)]);
+        assert_eq!(t.undirected_edges(), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn edge_distance_classes() {
+        let t = Topology::linear(6);
+        // Sharing a qubit → 0.
+        assert_eq!(t.edge_distance((0, 1), (1, 2)), 0);
+        // Adjacent edges → 1.
+        assert_eq!(t.edge_distance((0, 1), (2, 3)), 1);
+        // Far apart.
+        assert_eq!(t.edge_distance((0, 1), (4, 5)), 3);
+        // Same edge → 0.
+        assert_eq!(t.edge_distance((2, 3), (2, 3)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_panics() {
+        let _ = Topology::new(2, vec![(0, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let _ = Topology::new(2, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn disconnected_distance_is_max() {
+        let t = Topology::new(4, vec![(0, 1), (2, 3)]);
+        assert_eq!(t.distance(0, 3), usize::MAX);
+    }
+}

@@ -1,0 +1,59 @@
+//! Property-based tests for the hardware models.
+
+use accqoc_hw::{ControlModel, NoiseModel, Topology};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn linear_topology_distance_is_index_gap(n in 2usize..12, a in 0usize..12, b in 0usize..12) {
+        prop_assume!(a < n && b < n);
+        let t = Topology::linear(n);
+        prop_assert_eq!(t.distance(a, b), a.abs_diff(b));
+    }
+
+    #[test]
+    fn distances_satisfy_triangle_inequality(a in 0usize..14, b in 0usize..14, c in 0usize..14) {
+        let t = Topology::melbourne();
+        let (ab, bc, ac) = (t.distance(a, b), t.distance(b, c), t.distance(a, c));
+        prop_assert!(ac <= ab + bc, "d({a},{c})={ac} > d({a},{b})+d({b},{c})={}", ab + bc);
+        // Symmetry.
+        prop_assert_eq!(ab, t.distance(b, a));
+    }
+
+    #[test]
+    fn edge_distance_symmetry(e1 in 0usize..18, e2 in 0usize..18) {
+        let t = Topology::melbourne();
+        let edges = t.undirected_edges();
+        prop_assume!(e1 < edges.len() && e2 < edges.len());
+        prop_assert_eq!(t.edge_distance(edges[e1], edges[e2]), t.edge_distance(edges[e2], edges[e1]));
+    }
+
+    #[test]
+    fn decoherence_error_monotone(t1 in 0.0f64..1e5, t2 in 0.0f64..1e5) {
+        let m = NoiseModel::melbourne();
+        let (lo, hi) = if t1 < t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(m.decoherence_error(lo) <= m.decoherence_error(hi) + 1e-15);
+        prop_assert!((0.0..=1.0).contains(&m.decoherence_error(hi)));
+    }
+
+    #[test]
+    fn hamiltonian_is_hermitian_for_any_bounded_amps(
+        a in -1.0f64..1.0, b in -1.0f64..1.0, c in -1.0f64..1.0, d in -1.0f64..1.0,
+    ) {
+        let model = ControlModel::spin_chain(2);
+        let h = model.hamiltonian(&[a, b, c, d]);
+        prop_assert!(h.is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn clamp_is_idempotent(a in -5.0f64..5.0, b in -5.0f64..5.0) {
+        let model = ControlModel::spin_chain(1);
+        let mut amps = vec![a, b];
+        model.clamp(&mut amps);
+        let once = amps.clone();
+        model.clamp(&mut amps);
+        prop_assert_eq!(once, amps);
+    }
+}

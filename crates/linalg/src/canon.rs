@@ -1,0 +1,195 @@
+//! Canonicalization of unitaries up to global phase, plus quantized byte
+//! keys for hashing.
+//!
+//! Two pulses are interchangeable whenever their unitaries agree up to a
+//! global phase, so group de-duplication (paper §IV-C) and cache lookups
+//! must operate on phase-canonicalized, quantized matrices.
+
+use crate::complex::{C64, ZERO};
+use crate::mat::Mat;
+
+/// Returns `e^{−iθ}·A` where `θ` is chosen so that the first entry (in
+/// row-major order) whose modulus is at least half the matrix maximum
+/// becomes real and positive.
+///
+/// The anchor rule is deterministic and stable under small perturbations of
+/// the *other* entries, which keeps quantized keys consistent.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_linalg::{global_phase_canonical, Mat, C64};
+///
+/// let a = Mat::identity(2).scale(C64::cis(1.25));
+/// let c = global_phase_canonical(&a);
+/// assert!(c.approx_eq(&Mat::identity(2), 1e-12));
+/// ```
+pub fn global_phase_canonical(a: &Mat) -> Mat {
+    let max = a.max_abs();
+    if max <= 0.0 {
+        return a.clone();
+    }
+    let threshold = 0.5 * max;
+    let anchor = a
+        .as_slice()
+        .iter()
+        .find(|z| z.abs() >= threshold)
+        .copied()
+        .unwrap_or(ZERO);
+    if anchor.abs() <= 0.0 {
+        return a.clone();
+    }
+    a.scale(C64::cis(-anchor.arg()))
+}
+
+/// `true` if `a ≈ e^{iθ}·b` for some global phase `θ` (entry-wise tolerance
+/// `tol` after optimal phase alignment).
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_linalg::{approx_eq_up_to_phase, Mat, C64};
+///
+/// let a = Mat::identity(2);
+/// let b = a.scale(C64::cis(0.3));
+/// assert!(approx_eq_up_to_phase(&a, &b, 1e-12));
+/// ```
+pub fn approx_eq_up_to_phase(a: &Mat, b: &Mat, tol: f64) -> bool {
+    if a.rows() != b.rows() || a.cols() != b.cols() {
+        return false;
+    }
+    // Best phase: arg of ⟨A, B⟩. If orthogonal, fall back to raw compare.
+    let inner = a.hs_inner(b);
+    if inner.abs() < 1e-300 {
+        return a.approx_eq(b, tol);
+    }
+    let aligned = b.scale(C64::cis(-inner.arg()));
+    a.approx_eq(&aligned, tol)
+}
+
+/// Gate infidelity between two unitaries, `1 − |Tr(A†B)| / d` — zero iff
+/// they agree up to global phase. This is the quantity GRAPE drives to the
+/// paper's `10⁻⁴` convergence target.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or non-square input.
+pub fn phase_invariant_infidelity(a: &Mat, b: &Mat) -> f64 {
+    assert!(a.is_square() && a.rows() == b.rows() && a.cols() == b.cols());
+    let d = a.rows() as f64;
+    (1.0 - a.hs_inner(b).abs() / d).max(0.0)
+}
+
+/// Quantizes a matrix to `i64` grid points at resolution `eps` and returns
+/// the little-endian byte string, suitable as a hash key.
+///
+/// Matrices closer than `≈ eps/2` entry-wise map to the same key (after
+/// identical canonicalization). Use together with
+/// [`global_phase_canonical`].
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_linalg::{quantized_bytes, Mat};
+///
+/// let a = Mat::identity(2);
+/// let mut b = Mat::identity(2);
+/// b[(0, 0)].re += 1e-9; // below resolution
+/// assert_eq!(quantized_bytes(&a, 1e-6), quantized_bytes(&b, 1e-6));
+/// ```
+pub fn quantized_bytes(a: &Mat, eps: f64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(a.as_slice().len() * 16 + 8);
+    out.extend_from_slice(&(a.rows() as u32).to_le_bytes());
+    out.extend_from_slice(&(a.cols() as u32).to_le_bytes());
+    for z in a.as_slice() {
+        // `+ 0.0` normalizes −0.0 so it quantizes identically to +0.0.
+        let re = ((z.re / eps).round() + 0.0) as i64;
+        let im = ((z.im / eps).round() + 0.0) as i64;
+        out.extend_from_slice(&re.to_le_bytes());
+        out.extend_from_slice(&im.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::I;
+
+    #[test]
+    fn canonical_anchor_is_real_positive() {
+        let a = Mat::from_flat(&[ZERO, I, I.scale(-1.0), ZERO]);
+        let c = global_phase_canonical(&a);
+        // First large entry (0,1) becomes real positive.
+        assert!(c[(0, 1)].im.abs() < 1e-14);
+        assert!(c[(0, 1)].re > 0.0);
+    }
+
+    #[test]
+    fn canonical_is_idempotent() {
+        let a = Mat::from_flat(&[
+            C64::new(0.3, 0.4),
+            C64::new(-0.2, 0.1),
+            C64::new(0.0, -0.9),
+            C64::new(0.5, 0.5),
+        ]);
+        let c1 = global_phase_canonical(&a);
+        let c2 = global_phase_canonical(&c1);
+        assert!(c1.approx_eq(&c2, 1e-13));
+    }
+
+    #[test]
+    fn canonical_removes_any_phase() {
+        let a = Mat::from_flat(&[C64::new(0.6, 0.0), C64::new(0.0, 0.8), C64::new(0.0, -0.8), C64::new(0.6, 0.0)]);
+        for k in 0..8 {
+            let phased = a.scale(C64::cis(k as f64 * 0.7));
+            assert!(global_phase_canonical(&phased).approx_eq(&global_phase_canonical(&a), 1e-12));
+        }
+    }
+
+    #[test]
+    fn zero_matrix_passthrough() {
+        let z = Mat::zeros(2, 2);
+        assert!(global_phase_canonical(&z).approx_eq(&z, 0.0));
+    }
+
+    #[test]
+    fn phase_equality_checks() {
+        let a = Mat::from_flat(&[C64::real(1.0), ZERO, ZERO, I]);
+        let b = a.scale(C64::cis(2.1));
+        assert!(approx_eq_up_to_phase(&a, &b, 1e-12));
+        let c = Mat::from_reals(&[0.0, 1.0, 1.0, 0.0]);
+        assert!(!approx_eq_up_to_phase(&a, &c, 1e-6));
+        assert!(!approx_eq_up_to_phase(&a, &Mat::zeros(3, 3), 1e-6));
+    }
+
+    #[test]
+    fn infidelity_zero_iff_phase_equal() {
+        let a = Mat::identity(4);
+        let b = a.scale(C64::cis(-0.9));
+        assert!(phase_invariant_infidelity(&a, &b) < 1e-14);
+        let x = Mat::from_reals(&[0.0, 1.0, 1.0, 0.0]);
+        let inf = phase_invariant_infidelity(&Mat::identity(2), &x);
+        assert!(inf > 0.9, "X vs I infidelity = {inf}");
+    }
+
+    #[test]
+    fn quantized_bytes_distinguish_and_merge() {
+        let a = Mat::identity(2);
+        let x = Mat::from_reals(&[0.0, 1.0, 1.0, 0.0]);
+        assert_ne!(quantized_bytes(&a, 1e-6), quantized_bytes(&x, 1e-6));
+        let mut near = a.clone();
+        near[(1, 1)].re += 4e-7; // rounds to the same 1e-6 grid point
+        assert_eq!(quantized_bytes(&a, 1e-6), quantized_bytes(&near, 1e-6));
+        // Shape is part of the key.
+        assert_ne!(quantized_bytes(&Mat::zeros(2, 2), 1e-6), quantized_bytes(&Mat::zeros(4, 4), 1e-6));
+    }
+
+    #[test]
+    fn quantized_bytes_negative_zero_normalized() {
+        let mut a = Mat::zeros(1, 1);
+        a[(0, 0)] = C64::new(-0.0, 0.0);
+        let b = Mat::zeros(1, 1);
+        assert_eq!(quantized_bytes(&a, 1e-6), quantized_bytes(&b, 1e-6));
+    }
+}

@@ -1,0 +1,305 @@
+//! Eigendecomposition of complex Hermitian matrices via the cyclic Jacobi
+//! method.
+//!
+//! Hermitian eigensolves back three things in this workspace:
+//! spectral matrix functions ([`crate::sqrtm::sqrtm_psd`],
+//! [`funm_hermitian`]), the Uhlmann-fidelity similarity metric (`d₄` in the
+//! paper), and cross-checks of the Padé [`crate::expm`] on Hermitian input.
+//! Matrices are ≤ 32×32, where Jacobi is simple, robust, and plenty fast.
+
+use crate::complex::{C64, ZERO};
+use crate::mat::Mat;
+use crate::LinalgError;
+
+/// Result of a Hermitian eigendecomposition `A = V · diag(λ) · V†`.
+#[derive(Debug, Clone)]
+pub struct EigH {
+    /// Real eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Unitary matrix whose columns are the corresponding eigenvectors.
+    pub vectors: Mat,
+}
+
+/// Maximum number of Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 60;
+
+/// Computes the eigendecomposition of a Hermitian matrix.
+///
+/// # Errors
+///
+/// - [`LinalgError::NotSquare`] / [`LinalgError::NonFinite`] on bad input.
+/// - [`LinalgError::NotHermitian`] if `A` deviates from `A†` by more than
+///   `1e-9` (relative to its largest entry).
+/// - [`LinalgError::NoConvergence`] if Jacobi sweeps fail to reduce the
+///   off-diagonal mass (does not occur for Hermitian input in practice).
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_linalg::{eigh, Mat};
+///
+/// let x = Mat::from_reals(&[0.0, 1.0, 1.0, 0.0]);
+/// let eig = eigh(&x)?;
+/// assert!((eig.values[0] + 1.0).abs() < 1e-12);
+/// assert!((eig.values[1] - 1.0).abs() < 1e-12);
+/// # Ok::<(), accqoc_linalg::LinalgError>(())
+/// ```
+pub fn eigh(a: &Mat) -> Result<EigH, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NonFinite);
+    }
+    let scale = a.max_abs().max(1.0);
+    if !a.is_hermitian(1e-9 * scale) {
+        return Err(LinalgError::NotHermitian);
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Mat::identity(n);
+
+    // Absolute convergence threshold tied to the matrix scale.
+    let tol = 1e-14 * scale.max(m.frobenius_norm());
+
+    for _sweep in 0..MAX_SWEEPS {
+        let off = off_diagonal_norm(&m);
+        if off <= tol {
+            return Ok(sorted(m, v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                rotate(&mut m, &mut v, p, q);
+            }
+        }
+    }
+    let off = off_diagonal_norm(&m);
+    if off <= tol * 100.0 {
+        return Ok(sorted(m, v));
+    }
+    Err(LinalgError::NoConvergence { what: "jacobi eigh", iters: MAX_SWEEPS })
+}
+
+fn off_diagonal_norm(m: &Mat) -> f64 {
+    let n = m.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                s += m[(i, j)].norm_sqr();
+            }
+        }
+    }
+    s.sqrt()
+}
+
+/// One complex Jacobi rotation zeroing `m[(p, q)]`, accumulating into `v`.
+fn rotate(m: &mut Mat, v: &mut Mat, p: usize, q: usize) {
+    let apq = m[(p, q)];
+    let r = apq.abs();
+    if r < 1e-300 {
+        return;
+    }
+    let phase = apq.scale(1.0 / r); // e^{iφ}
+    let alpha = m[(p, p)].re;
+    let gamma = m[(q, q)].re;
+    let tau = (gamma - alpha) / (2.0 * r);
+    let t = if tau >= 0.0 {
+        1.0 / (tau + (1.0 + tau * tau).sqrt())
+    } else {
+        -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = t * c;
+
+    let n = m.rows();
+    // Column update: A ← A·U with U[p,p]=c, U[p,q]=s·e^{iφ}, U[q,p]=−s·e^{−iφ}, U[q,q]=c.
+    for i in 0..n {
+        let aip = m[(i, p)];
+        let aiq = m[(i, q)];
+        m[(i, p)] = aip.scale(c) - aiq * phase.conj().scale(s);
+        m[(i, q)] = aip * phase.scale(s) + aiq.scale(c);
+    }
+    // Row update: A ← U†·A.
+    for j in 0..n {
+        let apj = m[(p, j)];
+        let aqj = m[(q, j)];
+        m[(p, j)] = apj.scale(c) - aqj * phase.scale(s);
+        m[(q, j)] = apj * phase.conj().scale(s) + aqj.scale(c);
+    }
+    // Numerically pin the eliminated element and hermiticity of the pair.
+    m[(p, q)] = ZERO;
+    m[(q, p)] = ZERO;
+    m[(p, p)] = C64::real(m[(p, p)].re);
+    m[(q, q)] = C64::real(m[(q, q)].re);
+
+    // Eigenvector accumulation: V ← V·U.
+    for i in 0..v.rows() {
+        let vip = v[(i, p)];
+        let viq = v[(i, q)];
+        v[(i, p)] = vip.scale(c) - viq * phase.conj().scale(s);
+        v[(i, q)] = vip * phase.scale(s) + viq.scale(c);
+    }
+}
+
+/// Sorts eigenpairs ascending by eigenvalue.
+fn sorted(m: Mat, v: Mat) -> EigH {
+    let n = m.rows();
+    let mut idx: Vec<usize> = (0..n).collect();
+    let vals: Vec<f64> = (0..n).map(|i| m[(i, i)].re).collect();
+    idx.sort_by(|&a, &b| vals[a].total_cmp(&vals[b]));
+    let values: Vec<f64> = idx.iter().map(|&i| vals[i]).collect();
+    let vectors = Mat::from_fn(n, n, |i, j| v[(i, idx[j])]);
+    EigH { values, vectors }
+}
+
+/// Applies a real scalar function to a Hermitian matrix through its
+/// spectral decomposition: `f(A) = V · diag(f(λ)) · V†`.
+///
+/// # Errors
+///
+/// Propagates [`eigh`] errors.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_linalg::{funm_hermitian, Mat};
+///
+/// let z = Mat::from_reals(&[1.0, 0.0, 0.0, -1.0]);
+/// let abs_z = funm_hermitian(&z, |x| x.abs())?;
+/// assert!(abs_z.approx_eq(&Mat::identity(2), 1e-12));
+/// # Ok::<(), accqoc_linalg::LinalgError>(())
+/// ```
+pub fn funm_hermitian(a: &Mat, f: impl Fn(f64) -> f64) -> Result<Mat, LinalgError> {
+    let eig = eigh(a)?;
+    let n = a.rows();
+    let fvals: Vec<f64> = eig.values.iter().map(|&l| f(l)).collect();
+    // V · diag(f) · V†
+    let mut scaled = eig.vectors.clone();
+    for j in 0..n {
+        for i in 0..n {
+            scaled[(i, j)] = scaled[(i, j)].scale(fvals[j]);
+        }
+    }
+    Ok(scaled.matmul(&eig.vectors.dagger()))
+}
+
+/// Computes `exp(−i·t·H)` for Hermitian `H` exactly through the spectral
+/// decomposition. Slower than the Padé route for repeated small steps but
+/// exact up to the eigensolve; used as a cross-check and for long
+/// evolutions.
+///
+/// # Errors
+///
+/// Propagates [`eigh`] errors.
+pub fn expm_i_hermitian(h: &Mat, t: f64) -> Result<Mat, LinalgError> {
+    let eig = eigh(h)?;
+    let n = h.rows();
+    let phases: Vec<C64> = eig.values.iter().map(|&l| C64::cis(-t * l)).collect();
+    let mut scaled = eig.vectors.clone();
+    for j in 0..n {
+        for i in 0..n {
+            scaled[(i, j)] = scaled[(i, j)] * phases[j];
+        }
+    }
+    Ok(scaled.matmul(&eig.vectors.dagger()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::I;
+    use crate::expm::expm_i;
+
+    fn reconstruct(eig: &EigH) -> Mat {
+        let n = eig.values.len();
+        let mut scaled = eig.vectors.clone();
+        for j in 0..n {
+            for i in 0..n {
+                scaled[(i, j)] = scaled[(i, j)].scale(eig.values[j]);
+            }
+        }
+        scaled.matmul(&eig.vectors.dagger())
+    }
+
+    #[test]
+    fn pauli_matrices_spectra() {
+        let x = Mat::from_reals(&[0.0, 1.0, 1.0, 0.0]);
+        let y = Mat::from_flat(&[ZERO, -I, I, ZERO]);
+        let z = Mat::from_reals(&[1.0, 0.0, 0.0, -1.0]);
+        for p in [&x, &y, &z] {
+            let e = eigh(p).unwrap();
+            assert!((e.values[0] + 1.0).abs() < 1e-12);
+            assert!((e.values[1] - 1.0).abs() < 1e-12);
+            assert!(e.vectors.is_unitary(1e-11));
+            assert!(reconstruct(&e).approx_eq(p, 1e-11));
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let d = Mat::diag(&[C64::real(3.0), C64::real(-1.0), C64::real(0.5)]);
+        let e = eigh(&d).unwrap();
+        assert_eq!(e.values.len(), 3);
+        assert!((e.values[0] + 1.0).abs() < 1e-13);
+        assert!((e.values[1] - 0.5).abs() < 1e-13);
+        assert!((e.values[2] - 3.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn random_hermitian_reconstruction() {
+        // Deterministic pseudo-random Hermitian 8×8.
+        let g = Mat::from_fn(8, 8, |i, j| {
+            C64::new(
+                ((i * 31 + j * 17) % 13) as f64 / 13.0 - 0.5,
+                ((i * 7 + j * 29) % 11) as f64 / 11.0 - 0.5,
+            )
+        });
+        let h = &g + &g.dagger();
+        let e = eigh(&h).unwrap();
+        assert!(e.vectors.is_unitary(1e-10));
+        assert!(reconstruct(&e).approx_eq(&h, 1e-10));
+        // Eigenvalues ascending.
+        for w in e.values.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        // Trace preserved.
+        let tr: f64 = e.values.iter().sum();
+        assert!((tr - h.trace().re).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_spectrum() {
+        let h = Mat::identity(4).scale_re(2.0);
+        let e = eigh(&h).unwrap();
+        for v in &e.values {
+            assert!((v - 2.0).abs() < 1e-13);
+        }
+        assert!(e.vectors.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn rejects_non_hermitian() {
+        let a = Mat::from_reals(&[0.0, 1.0, 0.0, 0.0]);
+        assert!(matches!(eigh(&a), Err(LinalgError::NotHermitian)));
+    }
+
+    #[test]
+    fn funm_square_matches_matmul() {
+        let g = Mat::from_fn(4, 4, |i, j| C64::new((i + j) as f64 * 0.1, (i as f64 - j as f64) * 0.2));
+        let h = &g + &g.dagger();
+        let sq = funm_hermitian(&h, |x| x * x).unwrap();
+        assert!(sq.approx_eq(&h.matmul(&h), 1e-10));
+    }
+
+    #[test]
+    fn spectral_expm_matches_pade() {
+        let g = Mat::from_fn(4, 4, |i, j| C64::new((3 * i + j) as f64 * 0.13, (i as f64 - j as f64) * 0.21));
+        let h = &g + &g.dagger();
+        for &t in &[0.1, 1.0, 5.0] {
+            let a = expm_i_hermitian(&h, t).unwrap();
+            let b = expm_i(&h, t).unwrap();
+            assert!(a.approx_eq(&b, 1e-9), "t={t}: diff {}", a.max_abs_diff(&b));
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type shared by all linear-algebra routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by `accqoc-linalg` operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// A pivot vanished during factorization.
+    Singular {
+        /// Index of the vanishing pivot.
+        pivot: usize,
+    },
+    /// Dimension disagreement between operands.
+    ShapeMismatch {
+        /// Which quantity mismatched.
+        what: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Observed dimension.
+        got: usize,
+    },
+    /// Input contained NaN or infinite entries.
+    NonFinite,
+    /// The operation requires a Hermitian matrix.
+    NotHermitian,
+    /// The operation requires a positive semidefinite matrix.
+    NotPsd {
+        /// The offending (most negative) eigenvalue.
+        eigenvalue: f64,
+    },
+    /// An iterative method failed to converge.
+    NoConvergence {
+        /// Which method failed.
+        what: &'static str,
+        /// Iterations performed before giving up.
+        iters: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotSquare { rows, cols } => {
+                write!(f, "expected square matrix, got {rows}x{cols}")
+            }
+            Self::Singular { pivot } => write!(f, "matrix is singular (zero pivot at {pivot})"),
+            Self::ShapeMismatch { what, expected, got } => {
+                write!(f, "shape mismatch in {what}: expected {expected}, got {got}")
+            }
+            Self::NonFinite => write!(f, "matrix contains non-finite entries"),
+            Self::NotHermitian => write!(f, "matrix is not hermitian"),
+            Self::NotPsd { eigenvalue } => {
+                write!(f, "matrix is not positive semidefinite (eigenvalue {eigenvalue})")
+            }
+            Self::NoConvergence { what, iters } => {
+                write!(f, "{what} did not converge after {iters} iterations")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(LinalgError, &str)> = vec![
+            (LinalgError::NotSquare { rows: 2, cols: 3 }, "2x3"),
+            (LinalgError::Singular { pivot: 1 }, "pivot at 1"),
+            (
+                LinalgError::ShapeMismatch { what: "solve rhs length", expected: 4, got: 2 },
+                "solve rhs length",
+            ),
+            (LinalgError::NonFinite, "non-finite"),
+            (LinalgError::NotHermitian, "hermitian"),
+            (LinalgError::NotPsd { eigenvalue: -0.5 }, "-0.5"),
+            (LinalgError::NoConvergence { what: "jacobi eigh", iters: 60 }, "60"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+            assert!(!msg.is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

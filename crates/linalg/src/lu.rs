@@ -1,0 +1,291 @@
+//! LU decomposition with partial pivoting for complex matrices.
+//!
+//! Used by the Padé rational approximation inside [`crate::expm`] (which
+//! must solve `Q · X = P`) and to form explicit inverses in tests.
+
+use crate::complex::{C64, ZERO};
+use crate::mat::Mat;
+use crate::LinalgError;
+
+/// An LU factorization `P·A = L·U` of a square matrix.
+///
+/// `L` is unit lower triangular, `U` upper triangular, and `P` a row
+/// permutation; both factors are packed into one matrix.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_linalg::{Lu, Mat};
+///
+/// let a = Mat::from_reals(&[4.0, 3.0, 6.0, 3.0]);
+/// let lu = Lu::factor(&a)?;
+/// let x = lu.solve_mat(&Mat::identity(2))?; // A⁻¹
+/// assert!(a.matmul(&x).approx_eq(&Mat::identity(2), 1e-12));
+/// # Ok::<(), accqoc_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    packed: Mat,
+    /// Row permutation: row `i` of the factorization came from row
+    /// `pivots[i]` of the original matrix.
+    pivots: Vec<usize>,
+    /// Sign of the permutation (±1), kept for determinants.
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Factors a square matrix with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] if a pivot is (numerically) zero,
+    /// and [`LinalgError::NotSquare`] for non-square input.
+    pub fn factor(a: &Mat) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        let mut m = a.clone();
+        let mut pivots: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Find pivot row: largest modulus in column k at/below the diagonal.
+            let (mut best_row, mut best_mag) = (k, m[(k, k)].norm_sqr());
+            for r in (k + 1)..n {
+                let mag = m[(r, k)].norm_sqr();
+                if mag > best_mag {
+                    best_mag = mag;
+                    best_row = r;
+                }
+            }
+            if best_mag == 0.0 {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if best_row != k {
+                for j in 0..n {
+                    let tmp = m[(k, j)];
+                    m[(k, j)] = m[(best_row, j)];
+                    m[(best_row, j)] = tmp;
+                }
+                pivots.swap(k, best_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = m[(k, k)];
+            let inv_pivot = pivot.recip();
+            for r in (k + 1)..n {
+                let factor = m[(r, k)] * inv_pivot;
+                m[(r, k)] = factor;
+                if factor == ZERO {
+                    continue;
+                }
+                for j in (k + 1)..n {
+                    let sub = factor * m[(k, j)];
+                    m[(r, j)] -= sub;
+                }
+            }
+        }
+        Ok(Self { packed: m, pivots, perm_sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.packed.rows()
+    }
+
+    /// Solves `A·x = b` for a single right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &[C64]) -> Result<Vec<C64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                what: "solve rhs length",
+                expected: n,
+                got: b.len(),
+            });
+        }
+        // Apply permutation, then forward/back substitution.
+        let mut x: Vec<C64> = self.pivots.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.packed[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.packed[(i, j)] * x[j];
+            }
+            x[i] = acc * self.packed[(i, i)].recip();
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `B.rows() != dim()`.
+    pub fn solve_mat(&self, b: &Mat) -> Result<Mat, LinalgError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                what: "solve_mat rhs rows",
+                expected: n,
+                got: b.rows(),
+            });
+        }
+        let mut out = Mat::zeros(n, b.cols());
+        let mut col = vec![ZERO; n];
+        for j in 0..b.cols() {
+            for i in 0..n {
+                col[i] = b[(i, j)];
+            }
+            let x = self.solve(&col)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Determinant of the original matrix: `±Π uᵢᵢ`.
+    pub fn det(&self) -> C64 {
+        let prod: C64 = (0..self.dim()).map(|i| self.packed[(i, i)]).product();
+        prod.scale(self.perm_sign)
+    }
+}
+
+/// Convenience inverse via LU.
+///
+/// # Errors
+///
+/// Propagates factorization errors (singular / non-square input).
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_linalg::{inverse, Mat};
+/// let a = Mat::from_reals(&[1.0, 2.0, 3.0, 4.0]);
+/// let inv = inverse(&a)?;
+/// assert!(a.matmul(&inv).approx_eq(&Mat::identity(2), 1e-12));
+/// # Ok::<(), accqoc_linalg::LinalgError>(())
+/// ```
+pub fn inverse(a: &Mat) -> Result<Mat, LinalgError> {
+    Lu::factor(a)?.solve_mat(&Mat::identity(a.rows()))
+}
+
+/// Solves `A·X = B` in one call.
+///
+/// # Errors
+///
+/// Propagates factorization/shape errors.
+pub fn solve(a: &Mat, b: &Mat) -> Result<Mat, LinalgError> {
+    Lu::factor(a)?.solve_mat(b)
+}
+
+/// Determinant via LU; zero-pivot matrices report determinant 0.
+pub fn det(a: &Mat) -> Result<C64, LinalgError> {
+    match Lu::factor(a) {
+        Ok(lu) => Ok(lu.det()),
+        Err(LinalgError::Singular { .. }) => Ok(ZERO),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{I, ONE};
+
+    #[test]
+    fn solve_known_system() {
+        // [2 1; 1 3] x = [5; 10] → x = [1; 3]
+        let a = Mat::from_reals(&[2.0, 1.0, 1.0, 3.0]);
+        let x = Lu::factor(&a).unwrap().solve(&[C64::real(5.0), C64::real(10.0)]).unwrap();
+        assert!(x[0].approx_eq(C64::real(1.0), 1e-12));
+        assert!(x[1].approx_eq(C64::real(3.0), 1e-12));
+    }
+
+    #[test]
+    fn inverse_roundtrip_complex() {
+        let a = Mat::from_flat(&[
+            C64::new(1.0, 1.0),
+            C64::new(2.0, -1.0),
+            I,
+            C64::new(3.0, 0.5),
+        ]);
+        let inv = inverse(&a).unwrap();
+        assert!(a.matmul(&inv).approx_eq(&Mat::identity(2), 1e-12));
+        assert!(inv.matmul(&a).approx_eq(&Mat::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Mat::from_reals(&[0.0, 1.0, 1.0, 0.0]);
+        let inv = inverse(&a).unwrap();
+        assert!(inv.approx_eq(&a, 1e-14)); // X is its own inverse
+    }
+
+    #[test]
+    fn singular_matrix_reports_error() {
+        let a = Mat::from_reals(&[1.0, 2.0, 2.0, 4.0]);
+        match Lu::factor(&a) {
+            Err(LinalgError::Singular { .. }) => {}
+            other => panic!("expected Singular, got {other:?}"),
+        }
+        assert!(det(&a).unwrap().approx_eq(ZERO, 1e-14));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Mat::zeros(2, 3);
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn determinant_values() {
+        let a = Mat::from_reals(&[1.0, 2.0, 3.0, 4.0]);
+        assert!(det(&a).unwrap().approx_eq(C64::real(-2.0), 1e-12));
+        let id = Mat::identity(5);
+        assert!(det(&id).unwrap().approx_eq(ONE, 1e-12));
+        // Permutation matrix determinant is the permutation sign.
+        let p = Mat::from_reals(&[0.0, 1.0, 1.0, 0.0]);
+        assert!(det(&p).unwrap().approx_eq(C64::real(-1.0), 1e-12));
+    }
+
+    #[test]
+    fn solve_mat_multiple_rhs() {
+        let a = Mat::from_reals(&[3.0, 1.0, 1.0, 2.0]);
+        let b = Mat::from_reals(&[9.0, 4.0, 8.0, 3.0]);
+        let x = solve(&a, &b).unwrap();
+        assert!(a.matmul(&x).approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let lu = Lu::factor(&Mat::identity(3)).unwrap();
+        assert!(matches!(lu.solve(&[ZERO; 2]), Err(LinalgError::ShapeMismatch { .. })));
+        assert!(matches!(lu.solve_mat(&Mat::zeros(2, 2)), Err(LinalgError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn larger_random_like_system() {
+        // Deterministic well-conditioned 6×6: diagonally dominant.
+        let n = 6;
+        let a = Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                C64::new(10.0 + i as f64, 1.0)
+            } else {
+                C64::new(((i * 7 + j * 3) % 5) as f64 * 0.3, ((i + 2 * j) % 3) as f64 * -0.2)
+            }
+        });
+        let inv = inverse(&a).unwrap();
+        assert!(a.matmul(&inv).approx_eq(&Mat::identity(n), 1e-10));
+    }
+}

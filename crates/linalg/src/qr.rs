@@ -1,0 +1,201 @@
+//! Householder QR factorization and Haar-random unitary sampling.
+//!
+//! Random unitaries (QR of a complex Ginibre matrix with the standard phase
+//! fix) are used for GRAPE stress tests and synthetic group generation.
+
+use rand::Rng;
+
+use crate::complex::{C64, ONE, ZERO};
+use crate::mat::Mat;
+use crate::LinalgError;
+
+/// A QR factorization `A = Q·R` with unitary `Q` and upper-triangular `R`.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Unitary factor.
+    pub q: Mat,
+    /// Upper-triangular factor.
+    pub r: Mat,
+}
+
+/// Computes a Householder QR factorization.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] when `rows < cols` (only the
+/// tall/square case is needed here) and [`LinalgError::NonFinite`] on bad
+/// entries.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_linalg::{qr, Mat};
+///
+/// let a = Mat::from_reals(&[2.0, 1.0, 0.0, 3.0]);
+/// let f = qr(&a)?;
+/// assert!(f.q.is_unitary(1e-12));
+/// assert!(f.q.matmul(&f.r).approx_eq(&a, 1e-12));
+/// # Ok::<(), accqoc_linalg::LinalgError>(())
+/// ```
+pub fn qr(a: &Mat) -> Result<Qr, LinalgError> {
+    if a.rows() < a.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            what: "qr requires rows >= cols",
+            expected: a.cols(),
+            got: a.rows(),
+        });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NonFinite);
+    }
+    let m = a.rows();
+    let n = a.cols();
+    let mut r = a.clone();
+    let mut q = Mat::identity(m);
+
+    for k in 0..n.min(m.saturating_sub(1)) {
+        // Householder vector for column k below the diagonal.
+        let mut norm_sq = 0.0;
+        for i in k..m {
+            norm_sq += r[(i, k)].norm_sqr();
+        }
+        let norm = norm_sq.sqrt();
+        if norm < 1e-300 {
+            continue;
+        }
+        let akk = r[(k, k)];
+        // alpha = -e^{i·arg(akk)}·‖x‖ keeps v well-conditioned.
+        let phase = if akk.abs() < 1e-300 { ONE } else { akk.scale(1.0 / akk.abs()) };
+        let alpha = -(phase.scale(norm));
+        let mut v: Vec<C64> = (k..m).map(|i| r[(i, k)]).collect();
+        v[0] -= alpha;
+        let vnorm_sq: f64 = v.iter().map(|z| z.norm_sqr()).sum();
+        if vnorm_sq < 1e-300 {
+            continue;
+        }
+        let beta = 2.0 / vnorm_sq;
+
+        // R ← (I − β v v†) R, applied to columns k..n.
+        for j in k..n {
+            let mut dot = ZERO; // v† · R[:, j]
+            for (i, vi) in v.iter().enumerate() {
+                dot += vi.conj() * r[(k + i, j)];
+            }
+            let dot = dot.scale(beta);
+            for (i, vi) in v.iter().enumerate() {
+                let sub = *vi * dot;
+                r[(k + i, j)] -= sub;
+            }
+        }
+        // Q ← Q (I − β v v†), applied to all rows.
+        for i in 0..m {
+            let mut dot = ZERO; // Q[i, k..m] · v
+            for (l, vl) in v.iter().enumerate() {
+                dot += q[(i, k + l)] * *vl;
+            }
+            let dot = dot.scale(beta);
+            for (l, vl) in v.iter().enumerate() {
+                let sub = dot * vl.conj();
+                q[(i, k + l)] -= sub;
+            }
+        }
+        // Clean the column below the diagonal.
+        r[(k, k)] = alpha;
+        for i in (k + 1)..m {
+            r[(i, k)] = ZERO;
+        }
+    }
+    Ok(Qr { q, r })
+}
+
+/// Samples a Haar-distributed random `n×n` unitary matrix.
+///
+/// Standard construction: QR of a complex Ginibre matrix, with the phases
+/// of `R`'s diagonal folded into `Q` so the distribution is exactly Haar.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_linalg::random_unitary;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let u = random_unitary(4, &mut rng);
+/// assert!(u.is_unitary(1e-10));
+/// ```
+pub fn random_unitary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Mat {
+    // Box–Muller normal samples keep us off external distributions crates.
+    let mut normal = || {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    let g = Mat::from_fn(n, n, |_, _| C64::new(normal(), normal()));
+    let f = qr(&g).expect("ginibre matrix is finite and square");
+    // Fold diag(R) phases into Q: Q ← Q · diag(r_ii/|r_ii|).
+    let mut q = f.q;
+    for j in 0..n {
+        let d = f.r[(j, j)];
+        let phase = if d.abs() < 1e-300 { ONE } else { d.scale(1.0 / d.abs()) };
+        for i in 0..n {
+            q[(i, j)] = q[(i, j)] * phase;
+        }
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn qr_reconstructs_and_is_triangular() {
+        let a = Mat::from_fn(5, 5, |i, j| {
+            C64::new(((i * 7 + j) % 5) as f64 - 2.0, ((i + j * 3) % 4) as f64 - 1.5)
+        });
+        let f = qr(&a).unwrap();
+        assert!(f.q.is_unitary(1e-11));
+        assert!(f.q.matmul(&f.r).approx_eq(&a, 1e-11));
+        for i in 0..5 {
+            for j in 0..i {
+                assert!(f.r[(i, j)].abs() < 1e-11, "R not triangular at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn qr_tall_matrix() {
+        let a = Mat::from_fn(6, 3, |i, j| C64::new((i + j) as f64, (i as f64) * 0.5));
+        let f = qr(&a).unwrap();
+        assert!(f.q.is_unitary(1e-11));
+        assert!(f.q.matmul(&f.r).approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn qr_rejects_wide_matrix() {
+        assert!(matches!(qr(&Mat::zeros(2, 4)), Err(LinalgError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn random_unitary_is_unitary_and_seeded() {
+        let mut rng1 = StdRng::seed_from_u64(42);
+        let mut rng2 = StdRng::seed_from_u64(42);
+        for n in [1, 2, 4, 8, 16] {
+            let u = random_unitary(n, &mut rng1);
+            assert!(u.is_unitary(1e-9), "n={n}");
+            let v = random_unitary(n, &mut rng2);
+            assert!(u.approx_eq(&v, 0.0), "determinism broken at n={n}");
+        }
+    }
+
+    #[test]
+    fn random_unitaries_differ_across_seeds() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let u = random_unitary(4, &mut a);
+        let v = random_unitary(4, &mut b);
+        assert!(u.max_abs_diff(&v) > 1e-3);
+    }
+}

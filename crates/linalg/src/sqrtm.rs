@@ -1,0 +1,202 @@
+//! Matrix square roots.
+//!
+//! Two routes are provided:
+//!
+//! - [`sqrtm_psd`] — exact spectral square root for positive semidefinite
+//!   Hermitian matrices (the case needed by the Uhlmann-fidelity similarity
+//!   function `d₄` of the paper, §V-B).
+//! - [`sqrtm_db`] — the Denman–Beavers iteration for general matrices with
+//!   no eigenvalues on the closed negative real axis; used as an
+//!   independent cross-check and for non-Hermitian experiments.
+
+use crate::eig::eigh;
+use crate::lu::inverse;
+use crate::mat::Mat;
+use crate::LinalgError;
+
+/// Spectral square root of a positive semidefinite Hermitian matrix.
+///
+/// Eigenvalues in `[-tol, 0)` are clamped to zero (numerical noise from
+/// upstream products); anything more negative is rejected.
+///
+/// # Errors
+///
+/// - [`LinalgError::NotPsd`] if an eigenvalue is below `-1e-9·‖A‖`.
+/// - Propagates [`eigh`] errors on non-Hermitian or malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_linalg::{sqrtm_psd, Mat};
+///
+/// let a = Mat::from_reals(&[4.0, 0.0, 0.0, 9.0]);
+/// let r = sqrtm_psd(&a)?;
+/// assert!(r.matmul(&r).approx_eq(&a, 1e-12));
+/// # Ok::<(), accqoc_linalg::LinalgError>(())
+/// ```
+pub fn sqrtm_psd(a: &Mat) -> Result<Mat, LinalgError> {
+    let eig = eigh(a)?;
+    let scale = a.max_abs().max(1.0);
+    let tol = 1e-9 * scale;
+    for &l in &eig.values {
+        if l < -tol {
+            return Err(LinalgError::NotPsd { eigenvalue: l });
+        }
+    }
+    let n = a.rows();
+    let mut scaled = eig.vectors.clone();
+    for j in 0..n {
+        let r = eig.values[j].max(0.0).sqrt();
+        for i in 0..n {
+            scaled[(i, j)] = scaled[(i, j)].scale(r);
+        }
+    }
+    Ok(scaled.matmul(&eig.vectors.dagger()))
+}
+
+/// Maximum Denman–Beavers iterations.
+const DB_MAX_ITERS: usize = 100;
+
+/// Denman–Beavers iteration for the principal matrix square root.
+///
+/// Converges quadratically for matrices whose spectrum avoids the closed
+/// negative real axis. Iteration:
+/// `Y ← (Y + Z⁻¹)/2`, `Z ← (Z + Y⁻¹)/2` with `Y₀ = A`, `Z₀ = I`;
+/// `Y → √A`, `Z → √A⁻¹`.
+///
+/// # Errors
+///
+/// - [`LinalgError::NoConvergence`] if the iteration stalls (e.g. spectrum
+///   touching the negative real axis).
+/// - Propagates inversion errors for singular iterates.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_linalg::{sqrtm_db, Mat};
+///
+/// let a = Mat::from_reals(&[33.0, 24.0, 48.0, 57.0]);
+/// let r = sqrtm_db(&a)?;
+/// assert!(r.matmul(&r).approx_eq(&a, 1e-9));
+/// # Ok::<(), accqoc_linalg::LinalgError>(())
+/// ```
+pub fn sqrtm_db(a: &Mat) -> Result<Mat, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NonFinite);
+    }
+    let n = a.rows();
+    let mut y = a.clone();
+    let mut z = Mat::identity(n);
+    let scale = a.max_abs().max(1.0);
+    let tol = 1e-13 * scale;
+
+    let mut last_residual = f64::INFINITY;
+    for _ in 0..DB_MAX_ITERS {
+        let y_inv = inverse(&y)?;
+        let z_inv = inverse(&z)?;
+        let y_next = (&y + &z_inv).scale_re(0.5);
+        let z_next = (&z + &y_inv).scale_re(0.5);
+        let residual = y_next.max_abs_diff(&y);
+        y = y_next;
+        z = z_next;
+        if residual <= tol {
+            return Ok(y);
+        }
+        if !y.is_finite() || residual > 1e6 * scale {
+            break;
+        }
+        last_residual = residual.min(last_residual);
+    }
+    // Accept a slightly looser stall if the square actually checks out.
+    if y.is_finite() && y.matmul(&y).max_abs_diff(a) <= 1e-8 * scale {
+        return Ok(y);
+    }
+    Err(LinalgError::NoConvergence { what: "denman-beavers sqrtm", iters: DB_MAX_ITERS })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::C64;
+
+    fn psd_from_factor(n: usize) -> Mat {
+        let g = Mat::from_fn(n, n, |i, j| {
+            C64::new(
+                ((i * 13 + j * 5) % 7) as f64 / 7.0 - 0.4,
+                ((i * 3 + j * 11) % 5) as f64 / 5.0 - 0.4,
+            )
+        });
+        g.dagger_matmul(&g) // G†G is PSD
+    }
+
+    #[test]
+    fn psd_sqrt_squares_back() {
+        for n in [2, 4, 8] {
+            let a = psd_from_factor(n);
+            let r = sqrtm_psd(&a).unwrap();
+            assert!(r.matmul(&r).approx_eq(&a, 1e-9), "n={n}");
+            assert!(r.is_hermitian(1e-9));
+        }
+    }
+
+    #[test]
+    fn psd_sqrt_of_identity() {
+        let r = sqrtm_psd(&Mat::identity(4)).unwrap();
+        assert!(r.approx_eq(&Mat::identity(4), 1e-12));
+    }
+
+    #[test]
+    fn psd_rejects_negative_definite() {
+        let a = Mat::identity(3).scale_re(-1.0);
+        assert!(matches!(sqrtm_psd(&a), Err(LinalgError::NotPsd { .. })));
+    }
+
+    #[test]
+    fn psd_clamps_tiny_negative_noise() {
+        let mut a = psd_from_factor(3);
+        // Inject ~1e-12 negative perturbation on the diagonal.
+        for i in 0..3 {
+            a[(i, i)] = a[(i, i)] - C64::real(1e-12);
+        }
+        let r = sqrtm_psd(&a).unwrap();
+        assert!(r.matmul(&r).approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn db_matches_psd_route() {
+        let a = {
+            // Positive definite (shift away from zero so DB is comfortable).
+            let mut m = psd_from_factor(4);
+            for i in 0..4 {
+                m[(i, i)] = m[(i, i)] + C64::real(0.5);
+            }
+            m
+        };
+        let r1 = sqrtm_psd(&a).unwrap();
+        let r2 = sqrtm_db(&a).unwrap();
+        assert!(r1.approx_eq(&r2, 1e-8), "diff {}", r1.max_abs_diff(&r2));
+    }
+
+    #[test]
+    fn db_on_non_hermitian() {
+        // Upper triangular with positive eigenvalues (diagonal).
+        let a = Mat::from_reals(&[4.0, 1.0, 0.0, 9.0]);
+        let r = sqrtm_db(&a).unwrap();
+        assert!(r.matmul(&r).approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn db_rejects_non_square() {
+        assert!(matches!(sqrtm_db(&Mat::zeros(2, 3)), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn db_fails_gracefully_on_negative_spectrum() {
+        // −I has spectrum on the negative real axis: no real principal root.
+        let a = Mat::identity(2).scale_re(-1.0);
+        assert!(sqrtm_db(&a).is_err());
+    }
+}

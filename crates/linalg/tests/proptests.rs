@@ -1,0 +1,148 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use accqoc_linalg::{
+    approx_eq_up_to_phase, eigh, expm, expm_i, global_phase_canonical, inverse, qr,
+    quantized_bytes, random_unitary, sqrtm_psd, C64, Mat,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a small complex matrix with bounded entries.
+fn mat_strategy(n: usize) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), n * n).prop_map(move |vals| {
+        Mat::from_fn(n, n, |i, j| {
+            let (re, im) = vals[i * n + j];
+            C64::new(re, im)
+        })
+    })
+}
+
+/// Strategy: a Hermitian matrix built as `G + G†`.
+fn hermitian_strategy(n: usize) -> impl Strategy<Value = Mat> {
+    mat_strategy(n).prop_map(|g| &g + &g.dagger())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn expm_of_skew_hermitian_is_unitary(h in hermitian_strategy(3), t in -3.0f64..3.0) {
+        let u = expm_i(&h, t).unwrap();
+        prop_assert!(u.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn expm_inverse_property(h in hermitian_strategy(2), t in -2.0f64..2.0) {
+        let u = expm_i(&h, t).unwrap();
+        let v = expm_i(&h, -t).unwrap();
+        prop_assert!(u.matmul(&v).approx_eq(&Mat::identity(2), 1e-9));
+    }
+
+    #[test]
+    fn expm_squaring_consistency(a in mat_strategy(3)) {
+        // exp(A) = exp(A/2)²
+        let e1 = expm(&a).unwrap();
+        let e2 = expm(&a.scale_re(0.5)).unwrap();
+        let e2sq = e2.matmul(&e2);
+        let norm = e1.max_abs().max(1.0);
+        prop_assert!(e1.max_abs_diff(&e2sq) / norm < 1e-8);
+    }
+
+    #[test]
+    fn lu_inverse_roundtrip(a in mat_strategy(4)) {
+        // Shift the diagonal to keep matrices comfortably nonsingular.
+        let mut m = a;
+        for i in 0..4 {
+            m[(i, i)] += C64::real(8.0);
+        }
+        let inv = inverse(&m).unwrap();
+        prop_assert!(m.matmul(&inv).approx_eq(&Mat::identity(4), 1e-8));
+    }
+
+    #[test]
+    fn eigh_reconstructs(h in hermitian_strategy(4)) {
+        let e = eigh(&h).unwrap();
+        prop_assert!(e.vectors.is_unitary(1e-8));
+        let mut scaled = e.vectors.clone();
+        for j in 0..4 {
+            for i in 0..4 {
+                scaled[(i, j)] = scaled[(i, j)].scale(e.values[j]);
+            }
+        }
+        let rec = scaled.matmul(&e.vectors.dagger());
+        prop_assert!(rec.approx_eq(&h, 1e-8));
+        // Eigenvalues sorted ascending.
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-10);
+        }
+    }
+
+    #[test]
+    fn sqrtm_psd_squares_back(g in mat_strategy(3)) {
+        let psd = g.dagger_matmul(&g);
+        let r = sqrtm_psd(&psd).unwrap();
+        prop_assert!(r.matmul(&r).approx_eq(&psd, 1e-7));
+        prop_assert!(r.is_hermitian(1e-8));
+    }
+
+    #[test]
+    fn qr_reconstructs(a in mat_strategy(4)) {
+        let f = qr(&a).unwrap();
+        prop_assert!(f.q.is_unitary(1e-9));
+        prop_assert!(f.q.matmul(&f.r).approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn phase_canonical_preserves_phase_class(a in mat_strategy(3), theta in 0.0f64..6.28) {
+        // Skip near-zero matrices where the anchor is ill-defined.
+        prop_assume!(a.max_abs() > 1e-3);
+        let phased = a.scale(C64::cis(theta));
+        prop_assert!(approx_eq_up_to_phase(&a, &phased, 1e-9));
+        let c1 = global_phase_canonical(&a);
+        let c2 = global_phase_canonical(&phased);
+        prop_assert!(c1.approx_eq(&c2, 1e-9));
+    }
+
+    #[test]
+    fn quantized_key_stable_under_small_noise(a in mat_strategy(2)) {
+        // Quantization is necessarily unstable exactly at bucket
+        // boundaries, so snap entries to bucket centers first; away from
+        // boundaries, sub-resolution noise must not change the key.
+        let mut snapped = a.clone();
+        for z in snapped.as_mut_slice() {
+            z.re = (z.re / 1e-6).round() * 1e-6;
+            z.im = (z.im / 1e-6).round() * 1e-6;
+        }
+        let mut noisy = snapped.clone();
+        for z in noisy.as_mut_slice() {
+            z.re += 1e-9;
+            z.im -= 1e-9;
+        }
+        prop_assert_eq!(quantized_bytes(&snapped, 1e-6), quantized_bytes(&noisy, 1e-6));
+    }
+
+    #[test]
+    fn kron_mixed_product(a in mat_strategy(2), b in mat_strategy(2), c in mat_strategy(2), d in mat_strategy(2)) {
+        // (A⊗B)(C⊗D) = (AC)⊗(BD)
+        let lhs = a.kron(&b).matmul(&c.kron(&d));
+        let rhs = a.matmul(&c).kron(&b.matmul(&d));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn random_unitary_products_stay_unitary(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = random_unitary(4, &mut rng);
+        let v = random_unitary(4, &mut rng);
+        prop_assert!(u.matmul(&v).is_unitary(1e-8));
+        prop_assert!(u.dagger().is_unitary(1e-8));
+    }
+
+    #[test]
+    fn trace_cyclic_property(a in mat_strategy(3), b in mat_strategy(3)) {
+        let ab = a.matmul(&b).trace();
+        let ba = b.matmul(&a).trace();
+        prop_assert!(ab.approx_eq(ba, 1e-9));
+    }
+}

@@ -1,0 +1,30 @@
+//! Crosstalk-aware qubit mapping for the AccQOC reproduction.
+//!
+//! Implements the paper's §IV-A mapping pass: an A*-searched swap
+//! insertion in the style of Zulehner, Paler & Wille, with the heuristic
+//! extended by a crosstalk indicator that penalizes mappings placing
+//! simultaneous CNOTs on nearby device edges. Also provides the §VI-C
+//! crosstalk metric (close CNOT pairs per layer) used in Figure 11.
+//!
+//! # Example
+//!
+//! ```
+//! use accqoc_circuit::{Circuit, Gate};
+//! use accqoc_hw::Topology;
+//! use accqoc_map::{crosstalk_metric, map_circuit, MappingOptions};
+//!
+//! let topo = Topology::melbourne();
+//! let c = Circuit::from_gates(14, [Gate::Cx(0, 4), Gate::Cx(5, 9)]);
+//! let mapped = map_circuit(&c, &topo, &MappingOptions::default());
+//! let _ = crosstalk_metric(&mapped.circuit, &topo);
+//! ```
+
+#![warn(missing_docs)]
+
+mod crosstalk;
+mod mapper;
+mod schedule;
+
+pub use crosstalk::{crosstalk_metric, CLOSE_DISTANCE};
+pub use mapper::{asap_layers, front_layers, map_circuit, MappedCircuit, MappingOptions};
+pub use schedule::{schedule_crosstalk_aware, ScheduleOptions, ScheduledCircuit};

@@ -1,0 +1,542 @@
+//! Crosstalk-aware qubit mapping via A* search with swap insertion.
+//!
+//! Follows the structure of Zulehner, Paler & Wille's mapper (the tool the
+//! paper adopts, §IV-A): the circuit is cut into layers of concurrently
+//! executable gates, and for each layer an A* search over swap insertions
+//! finds a mapping under which every two-qubit gate touches adjacent
+//! physical qubits. AccQOC's extension adds a crosstalk term to the
+//! heuristic:
+//!
+//! ```text
+//! h(σ) = Σ_g h(g, σ) + Σ_{gm,gn} I(gm, gn)
+//! ```
+//!
+//! where `h(g, σ)` is the residual distance of gate `g`'s qubits and the
+//! indicator `I` fires when two of the layer's gates land too close on
+//! the device (edge distance ≤ 1).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use accqoc_circuit::{Circuit, CircuitDag, Gate};
+use accqoc_hw::Topology;
+
+use crate::crosstalk::CLOSE_DISTANCE;
+
+/// Mapping configuration.
+#[derive(Debug, Clone)]
+pub struct MappingOptions {
+    /// Include the crosstalk indicator term in the search cost.
+    pub crosstalk_aware: bool,
+    /// Weight of one close-pair occurrence relative to one swap.
+    pub crosstalk_weight: f64,
+    /// A* node-expansion cap before falling back to greedy descent.
+    pub max_nodes: usize,
+}
+
+impl Default for MappingOptions {
+    fn default() -> Self {
+        Self { crosstalk_aware: true, crosstalk_weight: 2.0, max_nodes: 20_000 }
+    }
+}
+
+/// Output of the mapping pass.
+#[derive(Debug, Clone)]
+pub struct MappedCircuit {
+    /// The physical circuit: swaps inserted, CNOT directions legalized.
+    pub circuit: Circuit,
+    /// Initial layout, `layout[logical] = physical`.
+    pub initial_layout: Vec<usize>,
+    /// Layout after the last layer.
+    pub final_layout: Vec<usize>,
+    /// Number of swap gates inserted.
+    pub swap_count: usize,
+    /// Number of CNOTs that needed H-conjugation to match the directed
+    /// coupling map.
+    pub direction_fixes: usize,
+}
+
+/// Maps a logical circuit onto a device topology.
+///
+/// # Panics
+///
+/// Panics if the circuit needs more qubits than the device has, or if a
+/// gate of arity ≥ 3 is present (decompose `ccx` first).
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_circuit::{Circuit, Gate};
+/// use accqoc_hw::Topology;
+/// use accqoc_map::{map_circuit, MappingOptions};
+///
+/// let topo = Topology::linear(4);
+/// // cx(0,3) is 3 hops away: swaps must be inserted.
+/// let c = Circuit::from_gates(4, [Gate::Cx(0, 3)]);
+/// let mapped = map_circuit(&c, &topo, &MappingOptions::default());
+/// assert!(mapped.swap_count >= 2);
+/// ```
+pub fn map_circuit(circuit: &Circuit, topology: &Topology, options: &MappingOptions) -> MappedCircuit {
+    let n_logical = circuit.n_qubits();
+    let n_physical = topology.n_qubits();
+    assert!(n_logical <= n_physical, "{n_logical} logical qubits on {n_physical} physical");
+
+    let mut layout: Vec<usize> = (0..n_logical).collect();
+    let mut out = Circuit::new(n_physical);
+    let initial_layout = layout.clone();
+    let mut swap_count = 0usize;
+    let mut direction_fixes = 0usize;
+
+    for layer in asap_layers(circuit) {
+        let two_qubit: Vec<(usize, usize)> = layer
+            .iter()
+            .filter(|g| g.arity() == 2)
+            .map(|g| {
+                let qs = g.qubits();
+                (qs[0], qs[1])
+            })
+            .collect();
+        assert!(
+            layer.iter().all(|g| g.arity() <= 2),
+            "decompose 3-qubit gates before mapping"
+        );
+
+        if !two_qubit.is_empty() {
+            let swaps = plan_swaps(&layout, &two_qubit, topology, options);
+            for (pa, pb) in swaps {
+                out.push(Gate::Swap(pa, pb));
+                swap_count += 1;
+                // Update layout: the logicals on pa/pb exchange homes.
+                for slot in layout.iter_mut() {
+                    if *slot == pa {
+                        *slot = pb;
+                    } else if *slot == pb {
+                        *slot = pa;
+                    }
+                }
+            }
+        }
+
+        for gate in &layer {
+            match *gate {
+                Gate::Cx(c, t) => {
+                    let (pc, pt) = (layout[c], layout[t]);
+                    if topology.cx_allowed(pc, pt) {
+                        out.push(Gate::Cx(pc, pt));
+                    } else if topology.cx_allowed(pt, pc) {
+                        // Reverse through H conjugation (4 extra gates).
+                        out.push(Gate::H(pc));
+                        out.push(Gate::H(pt));
+                        out.push(Gate::Cx(pt, pc));
+                        out.push(Gate::H(pc));
+                        out.push(Gate::H(pt));
+                        direction_fixes += 1;
+                    } else {
+                        unreachable!("swap planning left cx({pc},{pt}) non-adjacent");
+                    }
+                }
+                ref g => out.push(g.remap(|q| layout[q])),
+            }
+        }
+    }
+
+    MappedCircuit {
+        circuit: out,
+        initial_layout,
+        final_layout: layout,
+        swap_count,
+        direction_fixes,
+    }
+}
+
+/// ASAP layer partition via the circuit DAG: gates in one layer have
+/// disjoint qubits and all dependencies in earlier layers. These are the
+/// layers that actually execute concurrently, so they are what the
+/// crosstalk indicator must see (two gates only interfere when they fire
+/// at the same time).
+pub fn asap_layers(circuit: &Circuit) -> Vec<Vec<Gate>> {
+    let dag = CircuitDag::from_circuit(circuit);
+    dag.layers()
+        .into_iter()
+        .map(|idxs| idxs.into_iter().map(|i| dag.node(i).gate).collect())
+        .collect()
+}
+
+/// Greedy front-layer partition: a gate joins the current layer unless one
+/// of its qubits is already busy there.
+pub fn front_layers(circuit: &Circuit) -> Vec<Vec<Gate>> {
+    let mut layers: Vec<Vec<Gate>> = Vec::new();
+    let mut busy: Vec<bool> = vec![false; circuit.n_qubits()];
+    let mut current: Vec<Gate> = Vec::new();
+    for &gate in circuit.gates() {
+        let qs = gate.qubits();
+        if qs.iter().any(|&q| busy[q]) {
+            layers.push(std::mem::take(&mut current));
+            busy.iter_mut().for_each(|b| *b = false);
+        }
+        for &q in &qs {
+            busy[q] = true;
+        }
+        current.push(gate);
+    }
+    if !current.is_empty() {
+        layers.push(current);
+    }
+    layers
+}
+
+// ---------------------------------------------------------------------------
+// A* over swap insertions for one layer.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+struct Node {
+    layout: Vec<usize>,
+    swaps: Vec<(usize, usize)>,
+    g: f64,
+    f: f64,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.f == other.f
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on f (BinaryHeap is a max-heap).
+        other.f.total_cmp(&self.f)
+    }
+}
+
+fn distance_cost(layout: &[usize], gates: &[(usize, usize)], topology: &Topology) -> usize {
+    gates
+        .iter()
+        .map(|&(a, b)| topology.distance(layout[a], layout[b]).saturating_sub(1))
+        .sum()
+}
+
+fn crosstalk_cost(layout: &[usize], gates: &[(usize, usize)], topology: &Topology) -> usize {
+    let mut count = 0;
+    for i in 0..gates.len() {
+        for j in (i + 1)..gates.len() {
+            let pi = (layout[gates[i].0], layout[gates[i].1]);
+            let pj = (layout[gates[j].0], layout[gates[j].1]);
+            if topology.edge_distance(pi, pj) <= CLOSE_DISTANCE {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+fn heuristic(layout: &[usize], gates: &[(usize, usize)], topology: &Topology, options: &MappingOptions) -> f64 {
+    let dist = distance_cost(layout, gates, topology) as f64;
+    if options.crosstalk_aware {
+        dist + options.crosstalk_weight * crosstalk_cost(layout, gates, topology) as f64
+    } else {
+        dist
+    }
+}
+
+/// Plans a swap sequence making every gate of the layer adjacent.
+fn plan_swaps(
+    layout: &[usize],
+    gates: &[(usize, usize)],
+    topology: &Topology,
+    options: &MappingOptions,
+) -> Vec<(usize, usize)> {
+    if distance_cost(layout, gates, topology) == 0
+        && (!options.crosstalk_aware || crosstalk_cost(layout, gates, topology) == 0)
+    {
+        return Vec::new();
+    }
+    // Physical qubits whose movement can matter: those hosting layer
+    // logicals and their neighbors' frontier grows during search, so we
+    // allow swaps on any edge touching a currently relevant qubit.
+    let mut heap = BinaryHeap::new();
+    let mut seen: HashMap<Vec<usize>, f64> = HashMap::new();
+    let h0 = heuristic(layout, gates, topology, options);
+    heap.push(Node { layout: layout.to_vec(), swaps: Vec::new(), g: 0.0, f: h0 });
+    seen.insert(layout.to_vec(), 0.0);
+
+    let mut expanded = 0usize;
+    let mut best_goal: Option<Node> = None;
+
+    while let Some(node) = heap.pop() {
+        if distance_cost(&node.layout, gates, topology) == 0 {
+            best_goal = Some(node);
+            break;
+        }
+        expanded += 1;
+        if expanded > options.max_nodes {
+            break;
+        }
+        let active: Vec<usize> = gates
+            .iter()
+            .flat_map(|&(a, b)| [node.layout[a], node.layout[b]])
+            .collect();
+        for &(ea, eb) in &topology.undirected_edges() {
+            if !active.contains(&ea) && !active.contains(&eb) {
+                continue;
+            }
+            let mut next_layout = node.layout.clone();
+            for slot in next_layout.iter_mut() {
+                if *slot == ea {
+                    *slot = eb;
+                } else if *slot == eb {
+                    *slot = ea;
+                }
+            }
+            let g = node.g + 1.0;
+            if let Some(&prev) = seen.get(&next_layout) {
+                if prev <= g {
+                    continue;
+                }
+            }
+            seen.insert(next_layout.clone(), g);
+            let h = heuristic(&next_layout, gates, topology, options);
+            let mut swaps = node.swaps.clone();
+            swaps.push((ea, eb));
+            heap.push(Node { layout: next_layout, swaps, g, f: g + h });
+        }
+    }
+
+    if let Some(goal) = best_goal {
+        return goal.swaps;
+    }
+    greedy_swaps(layout, gates, topology, options)
+}
+
+/// Fallback when A* exceeds its node budget: repeatedly apply the swap
+/// that lowers the heuristic most.
+fn greedy_swaps(
+    layout: &[usize],
+    gates: &[(usize, usize)],
+    topology: &Topology,
+    options: &MappingOptions,
+) -> Vec<(usize, usize)> {
+    let mut layout = layout.to_vec();
+    let mut swaps = Vec::new();
+    for _ in 0..4 * topology.n_qubits() {
+        if distance_cost(&layout, gates, topology) == 0 {
+            return swaps;
+        }
+        let current = heuristic(&layout, gates, topology, options);
+        let mut best: Option<((usize, usize), f64)> = None;
+        for &(ea, eb) in &topology.undirected_edges() {
+            let mut trial = layout.clone();
+            for slot in trial.iter_mut() {
+                if *slot == ea {
+                    *slot = eb;
+                } else if *slot == eb {
+                    *slot = ea;
+                }
+            }
+            let h = heuristic(&trial, gates, topology, options);
+            if h < current && best.map_or(true, |(_, bh)| h < bh) {
+                best = Some(((ea, eb), h));
+            }
+        }
+        match best {
+            Some((edge, _)) => {
+                for slot in layout.iter_mut() {
+                    if *slot == edge.0 {
+                        *slot = edge.1;
+                    } else if *slot == edge.1 {
+                        *slot = edge.0;
+                    }
+                }
+                swaps.push(edge);
+            }
+            // Plateau: take any distance-reducing swap ignoring crosstalk.
+            None => {
+                let no_xtalk = MappingOptions { crosstalk_aware: false, ..options.clone() };
+                let cur_d = distance_cost(&layout, gates, topology) as f64;
+                let mut found = false;
+                for &(ea, eb) in &topology.undirected_edges() {
+                    let mut trial = layout.clone();
+                    for slot in trial.iter_mut() {
+                        if *slot == ea {
+                            *slot = eb;
+                        } else if *slot == eb {
+                            *slot = ea;
+                        }
+                    }
+                    if heuristic(&trial, gates, topology, &no_xtalk) < cur_d {
+                        layout = trial;
+                        swaps.push((ea, eb));
+                        found = true;
+                        break;
+                    }
+                }
+                assert!(found, "no distance-reducing swap on a connected topology");
+            }
+        }
+    }
+    swaps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accqoc_circuit::{circuit_unitary, CircuitDag};
+
+    #[test]
+    fn already_mapped_circuit_unchanged() {
+        let topo = Topology::linear(3);
+        let c = Circuit::from_gates(3, [Gate::H(0), Gate::Cx(0, 1), Gate::Cx(1, 2)]);
+        let m = map_circuit(&c, &topo, &MappingOptions::default());
+        assert_eq!(m.swap_count, 0);
+        assert_eq!(m.circuit.len(), 3);
+        assert_eq!(m.initial_layout, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn distant_cx_gets_swaps_and_stays_correct() {
+        let topo = Topology::linear(4);
+        let c = Circuit::from_gates(4, [Gate::Cx(0, 3)]);
+        let m = map_circuit(&c, &topo, &MappingOptions::default());
+        assert!(m.swap_count >= 2, "need ≥2 swaps for distance 3, got {}", m.swap_count);
+        // Every 2-qubit gate in the output is adjacent.
+        for g in m.circuit.iter() {
+            if g.arity() == 2 {
+                let qs = g.qubits();
+                assert!(topo.connected(qs[0], qs[1]), "{g:?} not adjacent");
+            }
+        }
+    }
+
+    #[test]
+    fn mapped_circuit_is_functionally_equivalent_small() {
+        // Verify unitary equivalence on a 3-qubit line after accounting for
+        // the final layout (swaps permute the logical→physical assignment).
+        let topo = Topology::linear(3);
+        let c = Circuit::from_gates(3, [Gate::H(0), Gate::Cx(0, 2), Gate::T(2), Gate::Cx(1, 2)]);
+        let m = map_circuit(&c, &topo, &MappingOptions { crosstalk_aware: false, ..Default::default() });
+
+        // Simulate: logical result with qubit i at physical initial_layout[i];
+        // the mapped circuit computes the same state up to the final layout
+        // permutation. Check unitary equivalence by undoing the layout change
+        // with explicit swaps appended to the mapped circuit.
+        let mut physical = m.circuit.clone();
+        let mut layout = m.final_layout.clone();
+        // Sort logicals back to initial positions with adjacent swaps.
+        for target in 0..3 {
+            let want = m.initial_layout[target];
+            let cur = layout[target];
+            if cur != want {
+                // On a 3-line all permutations can be fixed with ≤ 3 adjacent swaps.
+                let path: Vec<usize> = if cur < want { (cur..=want).collect() } else { (want..=cur).rev().collect() };
+                for w in path.windows(2) {
+                    physical.push(Gate::Swap(w[0], w[1]));
+                    for slot in layout.iter_mut() {
+                        if *slot == w[0] {
+                            *slot = w[1];
+                        } else if *slot == w[1] {
+                            *slot = w[0];
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(layout, m.initial_layout);
+        let u_logical = circuit_unitary(&c);
+        let u_physical = circuit_unitary(&physical);
+        assert!(
+            accqoc_linalg_approx(&u_logical, &u_physical),
+            "mapped circuit diverged from original"
+        );
+    }
+
+    fn accqoc_linalg_approx(a: &accqoc_linalg::Mat, b: &accqoc_linalg::Mat) -> bool {
+        accqoc_linalg::approx_eq_up_to_phase(a, b, 1e-9)
+    }
+
+    #[test]
+    fn direction_fix_on_melbourne() {
+        let topo = Topology::melbourne();
+        // Edge is 1→0; requesting 0→1 forces H conjugation.
+        let c = Circuit::from_gates(14, [Gate::Cx(0, 1)]);
+        let m = map_circuit(&c, &topo, &MappingOptions::default());
+        assert_eq!(m.direction_fixes, 1);
+        assert_eq!(m.swap_count, 0);
+        let h_count = m.circuit.iter().filter(|g| matches!(g, Gate::H(_))).count();
+        assert_eq!(h_count, 4);
+    }
+
+    #[test]
+    fn front_layers_respect_qubit_conflicts() {
+        let c = Circuit::from_gates(4, [Gate::H(0), Gate::H(1), Gate::Cx(0, 1), Gate::Cx(2, 3)]);
+        let layers = front_layers(&c);
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0].len(), 2);
+        assert_eq!(layers[1].len(), 2);
+    }
+
+    #[test]
+    fn crosstalk_aware_mapping_no_worse_crosstalk() {
+        use crate::crosstalk::crosstalk_metric;
+        let topo = Topology::melbourne();
+        // Parallel CNOT pressure: several 2-qubit gates in the same layers.
+        let c = Circuit::from_gates(
+            14,
+            [
+                Gate::Cx(0, 1),
+                Gate::Cx(2, 3),
+                Gate::Cx(9, 10),
+                Gate::Cx(5, 6),
+                Gate::Cx(1, 2),
+                Gate::Cx(11, 12),
+            ],
+        );
+        let plain = map_circuit(&c, &topo, &MappingOptions { crosstalk_aware: false, ..Default::default() });
+        let aware = map_circuit(&c, &topo, &MappingOptions::default());
+        let xt_plain = crosstalk_metric(&plain.circuit, &topo);
+        let xt_aware = crosstalk_metric(&aware.circuit, &topo);
+        assert!(
+            xt_aware <= xt_plain,
+            "crosstalk-aware made things worse: {xt_aware} vs {xt_plain}"
+        );
+    }
+
+    #[test]
+    fn all_two_qubit_gates_adjacent_after_mapping_melbourne() {
+        let topo = Topology::melbourne();
+        // A QFT-like all-to-all pattern on 6 logical qubits.
+        let mut c = Circuit::new(6);
+        for i in 0..6 {
+            c.push(Gate::H(i));
+            for j in (i + 1)..6 {
+                c.push(Gate::Cx(i, j));
+            }
+        }
+        let m = map_circuit(&c, &topo, &MappingOptions::default());
+        for g in m.circuit.iter() {
+            if g.arity() == 2 {
+                let qs = g.qubits();
+                assert!(topo.connected(qs[0], qs[1]), "{g:?} not adjacent");
+            }
+            if let Gate::Cx(a, b) = g {
+                assert!(topo.cx_allowed(*a, *b), "cx({a},{b}) direction illegal");
+            }
+        }
+        // DAG still builds (no structural corruption).
+        let dag = CircuitDag::from_circuit(&m.circuit);
+        assert_eq!(dag.len(), m.circuit.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "logical qubits on")]
+    fn too_many_logical_qubits_rejected() {
+        let topo = Topology::linear(2);
+        let c = Circuit::new(3);
+        let _ = map_circuit(&c, &topo, &MappingOptions::default());
+    }
+}

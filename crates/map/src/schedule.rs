@@ -1,0 +1,282 @@
+//! Crosstalk-aware gate scheduling.
+//!
+//! Mapping decides *where* gates run; scheduling decides *when*. Two
+//! CNOTs only interfere when they fire in the same layer on nearby edges
+//! (paper §II-F), so a scheduler that staggers close pairs removes
+//! crosstalk occurrences that no mapping can — the paper calls the
+//! systematic treatment an open question (§VI-C); this module implements
+//! the natural greedy solution as an extension.
+//!
+//! The scheduler walks the dependency DAG in topological order and places
+//! each gate in the earliest layer at/after its ready layer where it does
+//! not land close to an already-placed two-qubit gate, deferring at most
+//! `max_defer` layers before accepting the conflict (bounding the latency
+//! cost).
+
+use accqoc_circuit::{Circuit, CircuitDag, Gate};
+use accqoc_hw::Topology;
+
+use crate::crosstalk::CLOSE_DISTANCE;
+
+/// Options for the crosstalk-aware scheduler.
+#[derive(Debug, Clone)]
+pub struct ScheduleOptions {
+    /// Maximum layers a gate may be deferred to dodge a close pair.
+    pub max_defer: usize,
+}
+
+impl Default for ScheduleOptions {
+    fn default() -> Self {
+        Self { max_defer: 3 }
+    }
+}
+
+/// Result of scheduling: the reordered circuit plus layer bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ScheduledCircuit {
+    /// The circuit with gates reordered into the scheduled layers (a
+    /// valid topological order of the original).
+    pub circuit: Circuit,
+    /// Scheduled layer per output-gate position.
+    pub layers: Vec<usize>,
+    /// Number of gates that were deferred at least one layer.
+    pub deferred: usize,
+    /// Depth of the schedule (layers used).
+    pub depth: usize,
+}
+
+impl ScheduledCircuit {
+    /// Crosstalk metric evaluated on the *scheduled* layers (close
+    /// two-qubit pairs firing in the same scheduled layer). The plain
+    /// [`crate::crosstalk_metric`] recomputes ASAP layers and would undo
+    /// the stagger — on hardware, the schedule is what executes.
+    pub fn crosstalk(&self, topology: &Topology) -> usize {
+        let mut per_layer: Vec<Vec<(usize, usize)>> = vec![Vec::new(); self.depth];
+        for (gate, &layer) in self.circuit.iter().zip(&self.layers) {
+            if gate.arity() == 2 {
+                let qs = gate.qubits();
+                per_layer[layer].push((qs[0], qs[1]));
+            }
+        }
+        let mut total = 0;
+        for pairs in &per_layer {
+            for i in 0..pairs.len() {
+                for j in (i + 1)..pairs.len() {
+                    if topology.edge_distance(pairs[i], pairs[j]) <= CLOSE_DISTANCE {
+                        total += 1;
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    /// Latency of the schedule under per-layer costs: layers are
+    /// serialized, each costing its most expensive gate.
+    pub fn latency(&self, gate_cost: impl Fn(&Gate) -> f64) -> f64 {
+        let mut per_layer = vec![0.0f64; self.depth];
+        for (gate, &layer) in self.circuit.iter().zip(&self.layers) {
+            per_layer[layer] = per_layer[layer].max(gate_cost(gate));
+        }
+        per_layer.iter().sum()
+    }
+}
+
+/// Schedules a mapped physical circuit to minimize close parallel
+/// two-qubit pairs.
+///
+/// Dependency-safe by construction: a gate is only ever placed at or
+/// after the layer following all of its predecessors.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_circuit::{Circuit, Gate};
+/// use accqoc_hw::Topology;
+/// use accqoc_map::{crosstalk_metric, schedule_crosstalk_aware, ScheduleOptions};
+///
+/// let topo = Topology::linear(4);
+/// // Two adjacent CNOTs that would fire together.
+/// let c = Circuit::from_gates(4, [Gate::Cx(0, 1), Gate::Cx(2, 3)]);
+/// assert_eq!(crosstalk_metric(&c, &topo), 1);
+/// let s = schedule_crosstalk_aware(&c, &topo, &ScheduleOptions::default());
+/// assert_eq!(s.crosstalk(&topo), 0);
+/// ```
+pub fn schedule_crosstalk_aware(
+    circuit: &Circuit,
+    topology: &Topology,
+    options: &ScheduleOptions,
+) -> ScheduledCircuit {
+    let dag = CircuitDag::from_circuit(circuit);
+    let n = dag.len();
+    // Two-qubit gate pairs placed per layer: layer → Vec<(a, b)>.
+    let mut placed_pairs: Vec<Vec<(usize, usize)>> = Vec::new();
+    // Qubit occupancy per layer (any-arity gates must not share qubits).
+    let mut busy: Vec<Vec<usize>> = Vec::new();
+    let mut layer_of = vec![0usize; n];
+
+    for i in dag.topological_order() {
+        let node = dag.node(i);
+        let ready = node.preds.iter().map(|&p| layer_of[p] + 1).max().unwrap_or(0);
+        let qs = node.gate.qubits();
+        let pair = if node.gate.arity() == 2 { Some((qs[0], qs[1])) } else { None };
+
+        let fits = |layer: usize,
+                    placed_pairs: &Vec<Vec<(usize, usize)>>,
+                    busy: &Vec<Vec<usize>>| -> (bool, bool) {
+            let free = busy
+                .get(layer)
+                .map_or(true, |b| qs.iter().all(|q| !b.contains(q)));
+            if !free {
+                return (false, false);
+            }
+            let close = match pair {
+                Some(p) => placed_pairs.get(layer).map_or(false, |pairs| {
+                    pairs.iter().any(|&other| topology.edge_distance(p, other) <= CLOSE_DISTANCE)
+                }),
+                None => false,
+            };
+            (true, close)
+        };
+
+        // Earliest conflict-free layer within the defer budget; otherwise
+        // the earliest qubit-free layer.
+        let mut chosen: Option<usize> = None;
+        let mut fallback: Option<usize> = None;
+        let mut layer = ready;
+        loop {
+            let (free, close) = fits(layer, &placed_pairs, &busy);
+            if free {
+                if fallback.is_none() {
+                    fallback = Some(layer);
+                }
+                if !close {
+                    chosen = Some(layer);
+                    break;
+                }
+            }
+            if layer >= ready + options.max_defer && fallback.is_some() {
+                break;
+            }
+            layer += 1;
+            // Hard stop: beyond all existing layers everything is free.
+            if layer > ready + options.max_defer + n {
+                break;
+            }
+        }
+        let layer = chosen.unwrap_or_else(|| fallback.expect("an empty layer always exists"));
+
+        if busy.len() <= layer {
+            busy.resize(layer + 1, Vec::new());
+            placed_pairs.resize(layer + 1, Vec::new());
+        }
+        busy[layer].extend(qs.iter().copied());
+        if let Some(p) = pair {
+            placed_pairs[layer].push(p);
+        }
+        layer_of[i] = layer;
+    }
+
+    // Emit gates ordered by (layer, original index).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (layer_of[i], i));
+    let mut out = Circuit::new(circuit.n_qubits());
+    let mut layers = Vec::with_capacity(n);
+    let mut deferred = 0usize;
+    for &i in &order {
+        out.push(dag.node(i).gate);
+        layers.push(layer_of[i]);
+        let ready = dag.node(i).preds.iter().map(|&p| layer_of[p] + 1).max().unwrap_or(0);
+        if layer_of[i] > ready {
+            deferred += 1;
+        }
+    }
+    let depth = layer_of.iter().copied().max().map_or(0, |d| d + 1);
+    ScheduledCircuit { circuit: out, layers, deferred, depth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crosstalk::crosstalk_metric;
+    use accqoc_circuit::circuit_unitary;
+    use accqoc_linalg::approx_eq_up_to_phase;
+
+    #[test]
+    fn staggers_adjacent_parallel_cnots() {
+        let topo = Topology::linear(6);
+        let c = Circuit::from_gates(6, [Gate::Cx(0, 1), Gate::Cx(2, 3), Gate::Cx(4, 5)]);
+        assert_eq!(crosstalk_metric(&c, &topo), 2);
+        let s = schedule_crosstalk_aware(&c, &topo, &ScheduleOptions::default());
+        assert_eq!(s.crosstalk(&topo), 0);
+        assert!(s.deferred >= 1);
+        assert!(s.depth >= 2);
+    }
+
+    #[test]
+    fn far_gates_stay_parallel() {
+        let topo = Topology::linear(8);
+        let c = Circuit::from_gates(8, [Gate::Cx(0, 1), Gate::Cx(6, 7)]);
+        let s = schedule_crosstalk_aware(&c, &topo, &ScheduleOptions::default());
+        assert_eq!(s.deferred, 0);
+        assert_eq!(s.depth, 1);
+    }
+
+    #[test]
+    fn preserves_semantics() {
+        let topo = Topology::linear(4);
+        let c = Circuit::from_gates(
+            4,
+            [
+                Gate::H(0),
+                Gate::Cx(0, 1),
+                Gate::Cx(2, 3),
+                Gate::T(1),
+                Gate::Cx(1, 2),
+                Gate::Cx(0, 1),
+            ],
+        );
+        let s = schedule_crosstalk_aware(&c, &topo, &ScheduleOptions::default());
+        assert_eq!(s.circuit.len(), c.len());
+        let u1 = circuit_unitary(&c);
+        let u2 = circuit_unitary(&s.circuit);
+        assert!(approx_eq_up_to_phase(&u1, &u2, 1e-10), "scheduling changed semantics");
+    }
+
+    #[test]
+    fn defer_budget_bounds_latency_growth() {
+        let topo = Topology::linear(6);
+        // Heavy contention: many parallel close CNOTs.
+        let mut gates = Vec::new();
+        for _ in 0..4 {
+            gates.push(Gate::Cx(0, 1));
+            gates.push(Gate::Cx(2, 3));
+            gates.push(Gate::Cx(4, 5));
+        }
+        let c = Circuit::from_gates(6, gates);
+        let tight = schedule_crosstalk_aware(&c, &topo, &ScheduleOptions { max_defer: 0 });
+        let loose = schedule_crosstalk_aware(&c, &topo, &ScheduleOptions { max_defer: 4 });
+        assert!(tight.depth <= loose.depth);
+        assert!(loose.crosstalk(&topo) <= tight.crosstalk(&topo));
+        // Latency model: staggering costs layers.
+        let unit = |_: &Gate| 1.0;
+        assert!(loose.latency(unit) >= tight.latency(unit) - 1e-12);
+    }
+
+    #[test]
+    fn single_qubit_gates_never_deferred_for_crosstalk() {
+        let topo = Topology::linear(4);
+        let c = Circuit::from_gates(4, [Gate::Cx(0, 1), Gate::H(2), Gate::T(3)]);
+        let s = schedule_crosstalk_aware(&c, &topo, &ScheduleOptions::default());
+        assert_eq!(s.deferred, 0);
+        assert_eq!(s.depth, 1);
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let topo = Topology::linear(2);
+        let s = schedule_crosstalk_aware(&Circuit::new(2), &topo, &ScheduleOptions::default());
+        assert_eq!(s.depth, 0);
+        assert!(s.circuit.is_empty());
+    }
+}

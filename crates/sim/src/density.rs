@@ -1,0 +1,215 @@
+//! Density matrices.
+//!
+//! Open-system simulation needs mixed states: decoherence turns pure
+//! states into mixtures that no state vector can represent. A density
+//! matrix `ρ` is Hermitian, positive semidefinite, and has unit trace.
+
+use accqoc_linalg::{eigh, C64, LinalgError, Mat};
+
+/// A density matrix over `n` qubits (`2^n × 2^n`).
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_sim::DensityMatrix;
+///
+/// let rho = DensityMatrix::pure_basis(2, 0); // |00⟩⟨00|
+/// assert!((rho.purity() - 1.0).abs() < 1e-12);
+/// assert!((rho.trace() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMatrix {
+    mat: Mat,
+    n_qubits: usize,
+}
+
+impl DensityMatrix {
+    /// Builds `|ψ⟩⟨ψ|` from a unit-norm state vector (column `2^n × 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is not a unit-norm column of power-of-two
+    /// length.
+    pub fn from_pure(state: &Mat) -> Self {
+        assert_eq!(state.cols(), 1, "state must be a column vector");
+        let dim = state.rows();
+        let n_qubits = dim.trailing_zeros() as usize;
+        assert_eq!(1 << n_qubits, dim, "dimension must be a power of two");
+        assert!(
+            (state.frobenius_norm() - 1.0).abs() < 1e-9,
+            "state must be unit norm"
+        );
+        let mat = state.matmul(&state.dagger());
+        Self { mat, n_qubits }
+    }
+
+    /// The computational basis state `|idx⟩⟨idx|` over `n_qubits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 2^n_qubits`.
+    pub fn pure_basis(n_qubits: usize, idx: usize) -> Self {
+        let dim = 1usize << n_qubits;
+        assert!(idx < dim, "basis index out of range");
+        let mut m = Mat::zeros(dim, dim);
+        m[(idx, idx)] = C64::real(1.0);
+        Self { mat: m, n_qubits }
+    }
+
+    /// The maximally mixed state `I/2^n`.
+    pub fn maximally_mixed(n_qubits: usize) -> Self {
+        let dim = 1usize << n_qubits;
+        Self { mat: Mat::identity(dim).scale_re(1.0 / dim as f64), n_qubits }
+    }
+
+    /// Wraps a raw matrix (validated: Hermitian, unit trace).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotHermitian`] / [`LinalgError::NotPsd`] on
+    /// invalid input.
+    pub fn from_mat(mat: Mat) -> Result<Self, LinalgError> {
+        if !mat.is_hermitian(1e-8) {
+            return Err(LinalgError::NotHermitian);
+        }
+        let eig = eigh(&mat)?;
+        if let Some(&min) = eig.values.first() {
+            if min < -1e-8 {
+                return Err(LinalgError::NotPsd { eigenvalue: min });
+            }
+        }
+        let n_qubits = mat.rows().trailing_zeros() as usize;
+        Ok(Self { mat, n_qubits })
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Hilbert dimension `2^n`.
+    pub fn dim(&self) -> usize {
+        self.mat.rows()
+    }
+
+    /// The raw matrix.
+    pub fn as_mat(&self) -> &Mat {
+        &self.mat
+    }
+
+    /// `Tr ρ` (should stay 1 under trace-preserving evolution).
+    pub fn trace(&self) -> f64 {
+        self.mat.trace().re
+    }
+
+    /// Purity `Tr ρ²` — 1 for pure states, `1/2^n` for maximally mixed.
+    pub fn purity(&self) -> f64 {
+        self.mat.matmul(&self.mat).trace().re
+    }
+
+    /// Unitary conjugation `ρ ← U·ρ·U†`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn apply_unitary(&mut self, u: &Mat) {
+        assert_eq!(u.rows(), self.dim(), "unitary dimension");
+        self.mat = u.matmul(&self.mat).matmul(&u.dagger());
+    }
+
+    /// Applies a channel given by Kraus operators: `ρ ← Σ K ρ K†`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or an empty operator list.
+    pub fn apply_kraus(&mut self, kraus: &[Mat]) {
+        assert!(!kraus.is_empty(), "need at least one Kraus operator");
+        let dim = self.dim();
+        let mut out = Mat::zeros(dim, dim);
+        for k in kraus {
+            assert_eq!(k.rows(), dim, "kraus dimension");
+            out += &k.matmul(&self.mat).matmul(&k.dagger());
+        }
+        self.mat = out;
+    }
+
+    /// Fidelity with a pure state: `⟨ψ|ρ|ψ⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn fidelity_with_pure(&self, state: &Mat) -> f64 {
+        assert_eq!(state.rows(), self.dim());
+        assert_eq!(state.cols(), 1);
+        state.dagger().matmul(&self.mat).matmul(state)[(0, 0)].re.clamp(0.0, 1.0)
+    }
+
+    /// Probability of measuring the computational basis state `idx`.
+    pub fn population(&self, idx: usize) -> f64 {
+        self.mat[(idx, idx)].re.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accqoc_circuit::Gate;
+
+    #[test]
+    fn pure_state_properties() {
+        let rho = DensityMatrix::pure_basis(2, 3);
+        assert_eq!(rho.n_qubits(), 2);
+        assert_eq!(rho.dim(), 4);
+        assert!((rho.trace() - 1.0).abs() < 1e-14);
+        assert!((rho.purity() - 1.0).abs() < 1e-14);
+        assert!((rho.population(3) - 1.0).abs() < 1e-14);
+        assert_eq!(rho.population(0), 0.0);
+    }
+
+    #[test]
+    fn maximally_mixed_properties() {
+        let rho = DensityMatrix::maximally_mixed(2);
+        assert!((rho.trace() - 1.0).abs() < 1e-14);
+        assert!((rho.purity() - 0.25).abs() < 1e-14);
+    }
+
+    #[test]
+    fn from_pure_matches_basis() {
+        let mut v = Mat::zeros(4, 1);
+        v[(1, 0)] = C64::real(1.0);
+        assert_eq!(DensityMatrix::from_pure(&v), DensityMatrix::pure_basis(2, 1));
+    }
+
+    #[test]
+    fn unitary_preserves_trace_and_purity() {
+        let mut rho = DensityMatrix::pure_basis(1, 0);
+        rho.apply_unitary(&Gate::H(0).matrix());
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+        assert!((rho.population(0) - 0.5).abs() < 1e-12);
+        assert!((rho.population(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_with_pure_state() {
+        let mut rho = DensityMatrix::pure_basis(1, 0);
+        rho.apply_unitary(&Gate::X(0).matrix());
+        let mut one = Mat::zeros(2, 1);
+        one[(1, 0)] = C64::real(1.0);
+        assert!((rho.fidelity_with_pure(&one) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_mat_validates() {
+        assert!(DensityMatrix::from_mat(Mat::identity(2).scale_re(0.5)).is_ok());
+        let bad = Mat::from_reals(&[0.0, 1.0, 0.0, 0.0]);
+        assert!(DensityMatrix::from_mat(bad).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unit norm")]
+    fn non_normalized_pure_rejected() {
+        let v = Mat::from_fn(2, 1, |_, _| C64::real(1.0));
+        let _ = DensityMatrix::from_pure(&v);
+    }
+}

@@ -1,0 +1,162 @@
+//! Standard noise channels as Kraus operators.
+//!
+//! The channels the paper's error budget is built from (§II-E):
+//! amplitude damping (`T1` relaxation), pure dephasing (`T2`), and
+//! depolarizing gate error. Single-qubit channels embed into an n-qubit
+//! register via [`embed_kraus`].
+
+use accqoc_circuit::embed_unitary;
+use accqoc_linalg::{C64, Mat, ZERO};
+
+/// Amplitude-damping channel with decay probability
+/// `γ = 1 − e^{−t/T1}`: Kraus operators
+/// `K₀ = diag(1, √(1−γ))`, `K₁ = √γ·|0⟩⟨1|`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ γ ≤ 1`.
+pub fn amplitude_damping(gamma: f64) -> Vec<Mat> {
+    assert!((0.0..=1.0).contains(&gamma), "gamma must be a probability");
+    let k0 = Mat::from_flat(&[
+        C64::real(1.0),
+        ZERO,
+        ZERO,
+        C64::real((1.0 - gamma).sqrt()),
+    ]);
+    let k1 = Mat::from_flat(&[ZERO, C64::real(gamma.sqrt()), ZERO, ZERO]);
+    vec![k0, k1]
+}
+
+/// Pure-dephasing channel with phase-flip probability `p`:
+/// `K₀ = √(1−p)·I`, `K₁ = √p·Z`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p ≤ 1`.
+pub fn dephasing(p: f64) -> Vec<Mat> {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let z = Mat::from_reals(&[1.0, 0.0, 0.0, -1.0]);
+    vec![
+        Mat::identity(2).scale_re((1.0 - p).sqrt()),
+        z.scale_re(p.sqrt()),
+    ]
+}
+
+/// Single-qubit depolarizing channel with error probability `p`:
+/// identity with probability `1−p`, otherwise a uniform Pauli.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p ≤ 1`.
+pub fn depolarizing(p: f64) -> Vec<Mat> {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let x = Mat::from_reals(&[0.0, 1.0, 1.0, 0.0]);
+    let y = Mat::from_flat(&[ZERO, C64::imag(-1.0), C64::imag(1.0), ZERO]);
+    let z = Mat::from_reals(&[1.0, 0.0, 0.0, -1.0]);
+    vec![
+        Mat::identity(2).scale_re((1.0 - p).sqrt()),
+        x.scale_re((p / 3.0).sqrt()),
+        y.scale_re((p / 3.0).sqrt()),
+        z.scale_re((p / 3.0).sqrt()),
+    ]
+}
+
+/// Embeds single-qubit Kraus operators onto qubit `q` of an `n`-qubit
+/// register (identity elsewhere).
+///
+/// # Panics
+///
+/// Panics if an operator is not `2×2` or `q >= n_qubits`.
+pub fn embed_kraus(kraus: &[Mat], qubit: usize, n_qubits: usize) -> Vec<Mat> {
+    kraus
+        .iter()
+        .map(|k| {
+            assert_eq!(k.rows(), 2, "single-qubit kraus expected");
+            embed_unitary(k, &[qubit], n_qubits)
+        })
+        .collect()
+}
+
+/// Checks the completeness relation `Σ K†K = I` (trace preservation).
+pub fn is_trace_preserving(kraus: &[Mat], tol: f64) -> bool {
+    if kraus.is_empty() {
+        return false;
+    }
+    let dim = kraus[0].rows();
+    let mut sum = Mat::zeros(dim, dim);
+    for k in kraus {
+        sum += &k.dagger_matmul(k);
+    }
+    sum.approx_eq(&Mat::identity(dim), tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::DensityMatrix;
+
+    #[test]
+    fn all_channels_are_trace_preserving() {
+        for gamma in [0.0, 0.1, 0.5, 1.0] {
+            assert!(is_trace_preserving(&amplitude_damping(gamma), 1e-12), "ad({gamma})");
+            assert!(is_trace_preserving(&dephasing(gamma), 1e-12), "deph({gamma})");
+            assert!(is_trace_preserving(&depolarizing(gamma), 1e-12), "depol({gamma})");
+        }
+    }
+
+    #[test]
+    fn embedded_channels_are_trace_preserving() {
+        let k = embed_kraus(&amplitude_damping(0.3), 1, 3);
+        assert!(is_trace_preserving(&k, 1e-12));
+        assert_eq!(k[0].rows(), 8);
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_state() {
+        let mut rho = DensityMatrix::pure_basis(1, 1); // |1⟩
+        rho.apply_kraus(&amplitude_damping(0.25));
+        assert!((rho.population(1) - 0.75).abs() < 1e-12);
+        assert!((rho.population(0) - 0.25).abs() < 1e-12);
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+        // Ground state is a fixed point.
+        let mut ground = DensityMatrix::pure_basis(1, 0);
+        ground.apply_kraus(&amplitude_damping(0.25));
+        assert!((ground.population(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dephasing_kills_coherences_not_populations() {
+        use accqoc_circuit::Gate;
+        let mut rho = DensityMatrix::pure_basis(1, 0);
+        rho.apply_unitary(&Gate::H(0).matrix()); // |+⟩: coherences 1/2
+        rho.apply_kraus(&dephasing(0.5)); // full dephasing at p = 1/2
+        assert!((rho.population(0) - 0.5).abs() < 1e-12);
+        assert!(rho.as_mat()[(0, 1)].abs() < 1e-12, "coherence should vanish");
+        assert!((rho.purity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depolarizing_drives_toward_maximally_mixed() {
+        let mut rho = DensityMatrix::pure_basis(1, 0);
+        // Full depolarizing (p = 3/4 is the fixed-point boundary for this
+        // parameterization: output = I/2).
+        rho.apply_kraus(&depolarizing(0.75));
+        assert!((rho.population(0) - 0.5).abs() < 1e-12);
+        assert!((rho.purity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn embedded_damping_targets_the_right_qubit() {
+        // Excite both qubits; damp only qubit 1 (LSB).
+        let mut rho = DensityMatrix::pure_basis(2, 3); // |11⟩
+        rho.apply_kraus(&embed_kraus(&amplitude_damping(1.0), 1, 2));
+        // Qubit 1 fully decayed: |10⟩ = index 2.
+        assert!((rho.population(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_rejected() {
+        let _ = depolarizing(1.5);
+    }
+}

@@ -1,0 +1,29 @@
+//! Benchmark workloads for the AccQOC reproduction.
+//!
+//! Synthetic, deterministic stand-ins for the paper's benchmark suite
+//! (§VI-A): RevLib-style reversible NCT networks with the gate budgets of
+//! the named Table II programs, QFT and GSE circuits from the ScaffCC
+//! family, and seeded random cascades filling out the 159-program suite.
+//!
+//! # Example
+//!
+//! ```
+//! use accqoc_workloads::{full_suite, profiling_split};
+//!
+//! let suite = full_suite();
+//! let (profile, evaluate) = profiling_split(&suite, 42);
+//! assert_eq!(profile.len(), suite.len() / 3);
+//! assert_eq!(profile.len() + evaluate.len(), suite.len());
+//! ```
+
+#![warn(missing_docs)]
+
+mod gse;
+mod qft;
+mod revlib;
+mod suite;
+
+pub use gse::gse;
+pub use qft::qft;
+pub use revlib::{extended_specs, nct_circuit, paper_specs, NctSpec};
+pub use suite::{full_suite, profiling_split, sample_programs, BenchProgram, SUITE_SIZE};

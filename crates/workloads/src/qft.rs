@@ -1,0 +1,118 @@
+//! Quantum Fourier Transform circuits.
+//!
+//! The paper's suite includes `qft_10` and `qft_16` from ScaffCC. We emit
+//! the standard ladder: a Hadamard per qubit followed by controlled-phase
+//! rotations `CP(π/2^k)`, each decomposed into the 2-CNOT/2-Rz core the
+//! paper's instruction mix reflects (Table II reports exactly `2·(n choose
+//! 2)` each of `cx` and `rz` for `qft_n`).
+
+use accqoc_circuit::{Circuit, Gate};
+
+/// Builds `QFT(n)` over the `{h, rz, cx}` basis.
+///
+/// The controlled-phase `CP(λ)` between control `c` and target `t` is
+/// emitted as `rz(λ/2) c; cx c,t; rz(−λ/2) t; cx c,t` — the entangling
+/// core of the textbook decomposition (the residual single-qubit `u1`
+/// correction commutes forward and is dropped, as RevLib-era QFT netlists
+/// do).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_workloads::qft;
+///
+/// let c = qft(10);
+/// let counts = c.counts_by_kind();
+/// use accqoc_circuit::GateKind;
+/// assert_eq!(counts[&GateKind::H], 10);
+/// assert_eq!(counts[&GateKind::Cx], 90);
+/// assert_eq!(counts[&GateKind::Rz], 90);
+/// ```
+pub fn qft(n: usize) -> Circuit {
+    assert!(n >= 1, "qft needs at least one qubit");
+    let mut c = Circuit::new(n);
+    for i in 0..n {
+        c.push(Gate::H(i));
+        for j in (i + 1)..n {
+            let lambda = std::f64::consts::PI / (1 << (j - i)) as f64;
+            controlled_phase(&mut c, j, i, lambda);
+        }
+    }
+    c
+}
+
+/// Appends the 2-CNOT controlled-phase core.
+fn controlled_phase(c: &mut Circuit, control: usize, target: usize, lambda: f64) {
+    c.push(Gate::Rz(control, lambda / 2.0));
+    c.push(Gate::Cx(control, target));
+    c.push(Gate::Rz(target, -lambda / 2.0));
+    c.push(Gate::Cx(control, target));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accqoc_circuit::{circuit_unitary, GateKind};
+    use accqoc_linalg::{C64, Mat};
+
+    #[test]
+    fn gate_counts_scale_quadratically() {
+        for n in [2, 4, 10, 16] {
+            let c = qft(n);
+            let counts = c.counts_by_kind();
+            let pairs = n * (n - 1) / 2;
+            assert_eq!(counts[&GateKind::H], n);
+            assert_eq!(counts[&GateKind::Cx], 2 * pairs);
+            assert_eq!(counts[&GateKind::Rz], 2 * pairs);
+        }
+    }
+
+    #[test]
+    fn qft2_matrix_structure() {
+        // QFT(2) maps |x⟩ → (1/2)Σ_y ω^{xy}|y⟩ with ω = i, up to the
+        // bit-reversal permutation and the dropped local u1 corrections.
+        // Verify the core property we rely on: unitarity and the uniform
+        // first column (|0…0⟩ → uniform superposition).
+        let u = circuit_unitary(&qft(2));
+        assert!(u.is_unitary(1e-12));
+        for r in 0..4 {
+            assert!((u[(r, 0)].abs() - 0.5).abs() < 1e-12, "row {r}");
+        }
+    }
+
+    #[test]
+    fn first_column_uniform_any_size() {
+        for n in [1, 3, 5] {
+            let u = circuit_unitary(&qft(n));
+            let amp = 1.0 / ((1 << n) as f64).sqrt();
+            for r in 0..(1 << n) {
+                assert!((u[(r, 0)].abs() - amp).abs() < 1e-10, "n={n} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_phase_core_is_cu1_up_to_local_phase() {
+        // rz(λ/2)c · cx · rz(−λ/2)t · cx = cu1(λ) · u1(−λ/2)_t up to phase.
+        let mut c = Circuit::new(2);
+        controlled_phase(&mut c, 0, 1, 1.1);
+        let u = circuit_unitary(&c);
+        // Diagonal with d00·d11 ≠ d01·d10 (entangling diagonal).
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert!(u[(i, j)].abs() < 1e-12);
+                }
+            }
+        }
+        let prod_main = u[(0, 0)] * u[(3, 3)];
+        let prod_anti = u[(1, 1)] * u[(2, 2)];
+        assert!((prod_main - prod_anti).abs() > 1e-3, "core must be entangling");
+        let _ = C64::real(0.0);
+        let _ = Mat::identity(1);
+    }
+}

@@ -1,0 +1,222 @@
+//! The benchmark suite.
+//!
+//! The paper evaluates on 159 programs: RevLib reversible functions plus
+//! QFT and GSE from ScaffCC, mapped to the 14-qubit Melbourne chip, with
+//! sampled program sizes between 200 and 2000 gates (§VI-A). This module
+//! assembles the same-shaped suite from the synthetic generators and
+//! provides the random ⅓-profiling split used by static pre-compilation
+//! (§IV-C).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use accqoc_circuit::Circuit;
+
+use crate::gse::gse;
+use crate::qft::qft;
+use crate::revlib::{extended_specs, nct_circuit, paper_specs, NctSpec};
+
+/// A named benchmark program.
+#[derive(Debug, Clone)]
+pub struct BenchProgram {
+    /// Program name (RevLib/ScaffCC convention).
+    pub name: String,
+    /// The logical circuit (high-level gates not yet decomposed).
+    pub circuit: Circuit,
+}
+
+impl BenchProgram {
+    fn new(name: impl Into<String>, circuit: Circuit) -> Self {
+        Self { name: name.into(), circuit }
+    }
+
+    /// Gate count after Toffoli decomposition (the paper counts
+    /// hardware-basis gates).
+    pub fn decomposed_len(&self) -> usize {
+        self.circuit.decomposed(false).len()
+    }
+}
+
+/// Number of programs in the full suite (paper §VI-A).
+pub const SUITE_SIZE: usize = 159;
+
+/// Builds the full 159-program suite, deterministically.
+///
+/// Composition: the 4 named Table II RevLib programs, 12 further
+/// RevLib-style functions, QFT(3..=16), GSE sweeps, and seeded random NCT
+/// cascades sized to cover the paper's 200–2000 gate range.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_workloads::full_suite;
+/// let suite = full_suite();
+/// assert_eq!(suite.len(), accqoc_workloads::SUITE_SIZE);
+/// ```
+pub fn full_suite() -> Vec<BenchProgram> {
+    let mut out: Vec<BenchProgram> = Vec::with_capacity(SUITE_SIZE);
+
+    for spec in paper_specs() {
+        out.push(BenchProgram::new(spec.name, nct_circuit(&spec)));
+    }
+    for spec in extended_specs() {
+        // Clamp to the Melbourne width for mapped experiments.
+        let spec = NctSpec { lines: spec.lines.min(14), ..spec };
+        out.push(BenchProgram::new(spec.name, nct_circuit(&spec)));
+    }
+    for n in 3..=16 {
+        out.push(BenchProgram::new(format!("qft_{n}"), qft(n)));
+    }
+    for (n, steps) in [(4, 1), (5, 1), (6, 1), (6, 2), (8, 2), (10, 2), (12, 3)] {
+        out.push(BenchProgram::new(format!("gse_{n}_{steps}"), gse(n, steps)));
+    }
+
+    // Fill the remainder with seeded random NCT cascades spanning the
+    // 200–2000 decomposed-gate range of the paper.
+    let mut rng = StdRng::seed_from_u64(0x5EED_5EED);
+    let mut i = 0usize;
+    while out.len() < SUITE_SIZE {
+        let lines = rng.gen_range(4..=12usize);
+        // Post-decomposition size ≈ 16·ccx + cx + x; pick ccx to land in
+        // [200, 2000].
+        let target: usize = rng.gen_range(200..=2000);
+        let n_ccx = (target * 3 / 4) / 16;
+        let n_cx = target / 5;
+        let n_x = rng.gen_range(0..=6);
+        let spec = NctSpec {
+            name: "rand",
+            lines,
+            n_ccx: n_ccx.max(1),
+            n_cx: n_cx.max(1),
+            n_x,
+            seed: 0xBEEF + i as u64,
+        };
+        out.push(BenchProgram::new(format!("rand_nct_{i:03}"), nct_circuit(&spec)));
+        i += 1;
+    }
+    out
+}
+
+/// Splits the suite into (profiling, evaluation) with a random third used
+/// for static pre-compilation, seeded for reproducibility (paper §IV-C:
+/// "we randomly select one-third of quantum programs from our set of
+/// benchmarks").
+pub fn profiling_split(suite: &[BenchProgram], seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let mut idx: Vec<usize> = (0..suite.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..idx.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    let third = suite.len() / 3;
+    let profile = idx[..third].to_vec();
+    let evaluate = idx[third..].to_vec();
+    (profile, evaluate)
+}
+
+/// Picks suite programs that fit a device of `max_qubits`, sampled
+/// deterministically — used where the paper says "we randomly sampled
+/// some quantum programs with between 200 and 2000 gates" (§VI-A).
+pub fn sample_programs(
+    suite: &[BenchProgram],
+    max_qubits: usize,
+    size_range: std::ops::RangeInclusive<usize>,
+    count: usize,
+    seed: u64,
+) -> Vec<usize> {
+    let eligible: Vec<usize> = (0..suite.len())
+        .filter(|&i| {
+            suite[i].circuit.n_qubits() <= max_qubits
+                && size_range.contains(&suite[i].decomposed_len())
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool = eligible;
+    for i in (1..pool.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        pool.swap(i, j);
+    }
+    pool.truncate(count);
+    pool.sort_unstable();
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_paper_size_and_is_deterministic() {
+        let a = full_suite();
+        assert_eq!(a.len(), SUITE_SIZE);
+        let b = full_suite();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.circuit, y.circuit);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let suite = full_suite();
+        let mut names: Vec<&str> = suite.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SUITE_SIZE);
+    }
+
+    #[test]
+    fn random_programs_cover_size_range() {
+        let suite = full_suite();
+        let sizes: Vec<usize> = suite
+            .iter()
+            .filter(|p| p.name.starts_with("rand_nct"))
+            .map(|p| p.decomposed_len())
+            .collect();
+        assert!(!sizes.is_empty());
+        assert!(sizes.iter().any(|&s| s < 600), "small programs present");
+        assert!(sizes.iter().any(|&s| s > 1200), "large programs present");
+        for &s in &sizes {
+            assert!((150..=2200).contains(&s), "size {s} out of expected band");
+        }
+    }
+
+    #[test]
+    fn profiling_split_is_a_partition() {
+        let suite = full_suite();
+        let (profile, eval) = profiling_split(&suite, 42);
+        assert_eq!(profile.len(), SUITE_SIZE / 3);
+        assert_eq!(profile.len() + eval.len(), SUITE_SIZE);
+        let mut all: Vec<usize> = profile.iter().chain(&eval).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), SUITE_SIZE);
+        // Seeded determinism.
+        let (profile2, _) = profiling_split(&suite, 42);
+        assert_eq!(profile, profile2);
+        let (profile3, _) = profiling_split(&suite, 43);
+        assert_ne!(profile, profile3);
+    }
+
+    #[test]
+    fn sampling_respects_constraints() {
+        let suite = full_suite();
+        let picks = sample_programs(&suite, 14, 200..=2000, 6, 7);
+        assert!(picks.len() <= 6);
+        for &i in &picks {
+            assert!(suite[i].circuit.n_qubits() <= 14);
+            let len = suite[i].decomposed_len();
+            assert!((200..=2000).contains(&len), "{} has {len} gates", suite[i].name);
+        }
+    }
+
+    #[test]
+    fn suite_contains_expected_families() {
+        let suite = full_suite();
+        let has = |prefix: &str| suite.iter().any(|p| p.name.starts_with(prefix));
+        assert!(has("qft_"));
+        assert!(has("gse_"));
+        assert!(has("cm152a"));
+        assert!(has("rand_nct_"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Parallel compilation over a balanced MST partition (paper §V-D,
+//! Figure 9): split the similarity MST into connected parts of similar
+//! total work and compile each part on its own worker.
+//!
+//! Run with: `cargo run --release --example parallel_workers`
+
+use accqoc_repro::accqoc::{
+    collect_category, compile_parallel, mst_compile_order, partition_tree, AccQocCompiler,
+    AccQocConfig, SimilarityGraph, WeightedTree,
+};
+use accqoc_repro::hw::Topology;
+use accqoc_repro::workloads::{nct_circuit, NctSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let compiler = AccQocCompiler::new(AccQocConfig::for_topology(Topology::linear(5)));
+
+    // A profiling set producing a few dozen unique groups.
+    let programs: Vec<_> = (0..3)
+        .map(|k| {
+            nct_circuit(&NctSpec {
+                name: "w",
+                lines: 5,
+                n_ccx: 2,
+                n_cx: 6,
+                n_x: 1,
+                seed: 7000 + k,
+            })
+        })
+        .collect();
+    let (canonical, keys, _) = collect_category(&compiler, &programs);
+    println!("category: {} unique groups", canonical.len());
+
+    // SG → MST → weighted tree → balanced partition.
+    let graph = SimilarityGraph::build(
+        canonical.iter().map(|(u, _)| u.clone()).collect(),
+        compiler.config().similarity,
+    );
+    let order = mst_compile_order(&graph);
+    let tree = WeightedTree::from_order(&order, canonical.len());
+    for k in [1, 2, 4] {
+        let p = partition_tree(&tree, k);
+        println!(
+            "k={k}: {} parts, balance {:.2}, weight-makespan {:.2}",
+            p.n_parts,
+            p.balance(&tree),
+            p.makespan(&tree)
+        );
+    }
+
+    // Compile with 1 worker vs 4 workers and compare makespans.
+    for workers in [1, 4] {
+        let t0 = std::time::Instant::now();
+        let (cache, stats) = compile_parallel(&compiler, &order, &canonical, &keys, workers)?;
+        println!(
+            "\n{workers} worker(s): {} groups compiled in {:.2?}",
+            cache.len(),
+            t0.elapsed()
+        );
+        println!(
+            "  iterations: total {}, makespan {} ({} MST edges cut)",
+            stats.total_iterations, stats.makespan_iterations, stats.cut_edges
+        );
+        println!("  per-part loads: {:?}", stats.iterations_per_part);
+    }
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the AccQOC reproduction workspace.
+//!
+//! This crate exists to host the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the library surface
+//! simply re-exports the workspace crates so examples can use one import.
+
+pub use accqoc;
+pub use accqoc_circuit as circuit;
+pub use accqoc_grape as grape;
+pub use accqoc_group as group;
+pub use accqoc_hw as hw;
+pub use accqoc_linalg as linalg;
+pub use accqoc_map as map;
+pub use accqoc_sim as sim;
+pub use accqoc_workloads as workloads;

@@ -1,0 +1,119 @@
+//! Property-based integration tests across crates: random circuits flow
+//! through parsing, mapping, grouping, and dedup without violating the
+//! pipeline's invariants.
+
+use accqoc_repro::circuit::{circuit_unitary, parse_qasm, to_qasm, Circuit, Gate, UnitaryKey};
+use accqoc_repro::group::{dedup_groups, divide_circuit, GroupingPolicy, SwapMode};
+use accqoc_repro::hw::Topology;
+use accqoc_repro::linalg::approx_eq_up_to_phase;
+use accqoc_repro::map::{crosstalk_metric, map_circuit, MappingOptions};
+use proptest::prelude::*;
+
+/// Strategy: a random circuit over `n` qubits from the hardware-relevant
+/// gate alphabet.
+fn circuit_strategy(n_qubits: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
+    let gate = (0..8u8, 0..n_qubits, 0..n_qubits, -3.0f64..3.0).prop_filter_map(
+        "distinct operands",
+        move |(kind, a, b, angle)| {
+            let g = match kind {
+                0 => Gate::H(a),
+                1 => Gate::T(a),
+                2 => Gate::Tdg(a),
+                3 => Gate::X(a),
+                4 => Gate::Rz(a, angle),
+                5 => Gate::Ry(a, angle),
+                _ => {
+                    if a == b {
+                        return None;
+                    }
+                    if kind == 6 {
+                        Gate::Cx(a, b)
+                    } else {
+                        Gate::Cz(a, b)
+                    }
+                }
+            };
+            Some(g)
+        },
+    );
+    proptest::collection::vec(gate, 1..max_len)
+        .prop_map(move |gates| Circuit::from_gates(n_qubits, gates))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn qasm_roundtrip_random_circuits(c in circuit_strategy(3, 24)) {
+        let parsed = parse_qasm(&to_qasm(&c)).expect("emitted qasm parses");
+        let u1 = circuit_unitary(&c);
+        let u2 = circuit_unitary(&parsed);
+        prop_assert!(approx_eq_up_to_phase(&u1, &u2, 1e-9));
+    }
+
+    #[test]
+    fn mapping_outputs_are_executable(c in circuit_strategy(5, 30)) {
+        let topo = Topology::linear(5);
+        let mapped = map_circuit(&c, &topo, &MappingOptions::default());
+        for g in mapped.circuit.iter() {
+            if g.arity() == 2 {
+                let qs = g.qubits();
+                prop_assert!(topo.connected(qs[0], qs[1]), "{g:?} not adjacent");
+            }
+            if let Gate::Cx(a, b) = g {
+                prop_assert!(topo.cx_allowed(*a, *b), "cx({a},{b}) direction illegal");
+            }
+        }
+        // Layout bookkeeping stays a permutation.
+        let mut layout = mapped.final_layout.clone();
+        layout.sort_unstable();
+        layout.dedup();
+        prop_assert_eq!(layout.len(), mapped.final_layout.len());
+    }
+
+    #[test]
+    fn grouping_invariants_random_circuits(c in circuit_strategy(4, 40)) {
+        for policy in [GroupingPolicy::map2b4l(), GroupingPolicy::new(SwapMode::Swap, 2, 2)] {
+            let (grouped, processed) = divide_circuit(&c, &policy);
+            prop_assert!(grouped.is_topologically_sound());
+            // Exact gate coverage.
+            let total: usize = grouped.groups.iter().map(|g| g.len()).sum();
+            prop_assert_eq!(total, processed.len());
+            // Qubit budget respected; unitaries well-formed.
+            for g in &grouped.groups {
+                prop_assert!(g.n_qubits() <= policy.max_qubits);
+                prop_assert!(g.unitary().is_unitary(1e-9));
+            }
+            // Latency DP is monotone in group costs.
+            let base = grouped.overall_latency(|_| 1.0);
+            let double = grouped.overall_latency(|_| 2.0);
+            prop_assert!((double - 2.0 * base).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dedup_classes_share_canonical_unitaries(c in circuit_strategy(4, 30)) {
+        let (grouped, _) = divide_circuit(&c, &GroupingPolicy::map2b4l());
+        let dedup = dedup_groups(&grouped.groups);
+        // Every group's canonical key matches its representative's.
+        for (i, &rep) in dedup.assignment.iter().enumerate() {
+            let g = &grouped.groups[i];
+            let r = &dedup.unique[rep];
+            prop_assert_eq!(
+                UnitaryKey::canonical(&g.unitary(), g.n_qubits()),
+                UnitaryKey::canonical(&r.unitary(), r.n_qubits())
+            );
+        }
+        prop_assert_eq!(dedup.frequencies().iter().sum::<usize>(), grouped.groups.len());
+    }
+
+    #[test]
+    fn crosstalk_metric_bounded_by_pairs(c in circuit_strategy(5, 30)) {
+        let topo = Topology::linear(5);
+        let mapped = map_circuit(&c, &topo, &MappingOptions::default());
+        let metric = crosstalk_metric(&mapped.circuit, &topo);
+        let two_q = mapped.circuit.two_qubit_count();
+        // Crude upper bound: all 2q-gate pairs interfering.
+        prop_assert!(metric <= two_q * two_q);
+    }
+}
