@@ -1,7 +1,7 @@
 //! Compilation baselines (paper §VI-H, Figure 15).
 //!
 //! - **Gate-based compilation**: per-gate pulse lookup + concatenation —
-//!   provided by [`crate::AccQocCompiler::gate_based_latency`].
+//!   provided by [`crate::Session::gate_based_latency`].
 //! - **Brute-force QOC**: "we form the 'brute force QOC' groups by
 //!   including as many qubits and gates as possible" — maximal groups
 //!   compiled from scratch, giving the best latency at enormous compile
@@ -10,13 +10,15 @@
 //!   experiment tractable while preserving the trade-off's direction,
 //!   and record the cap in EXPERIMENTS.md.
 
-use accqoc_circuit::{Circuit, UnitaryKey};
-use accqoc_group::{dedup_groups, divide_circuit, GroupingPolicy, SwapMode};
+use accqoc_circuit::Circuit;
 use accqoc_grape::LatencySearch;
+use accqoc_group::{GroupingPolicy, SwapMode};
 use accqoc_hw::Topology;
-use accqoc_map::{map_circuit, MappingOptions};
 
-use crate::compile::{AccQocCompiler, AccQocConfig, AccQocError, ModelSet};
+use crate::compile::AccQocConfig;
+use crate::error::Result;
+use crate::model::ModelSet;
+use crate::session::Session;
 
 /// Configuration of the brute-force QOC baseline.
 #[derive(Debug, Clone)]
@@ -31,7 +33,11 @@ pub struct BruteForceConfig {
 
 impl Default for BruteForceConfig {
     fn default() -> Self {
-        Self { max_qubits: 3, max_layers: 12, max_steps: 192 }
+        Self {
+            max_qubits: 3,
+            max_layers: 12,
+            max_steps: 192,
+        }
     }
 }
 
@@ -62,42 +68,43 @@ pub fn brute_force_qoc(
     topology: &Topology,
     base: &AccQocConfig,
     bf: &BruteForceConfig,
-) -> Result<BruteForceResult, AccQocError> {
+) -> Result<BruteForceResult> {
     let policy = GroupingPolicy::new(SwapMode::Map, bf.max_qubits, bf.max_layers);
-    let mut config = base.clone();
-    config.policy = policy;
-    config.topology = topology.clone();
-    config.search = LatencySearch {
-        min_steps: base.search.min_steps,
-        max_steps: bf.max_steps,
-        ..LatencySearch::default()
-    };
-    let compiler = AccQocCompiler::with_models(config, ModelSet::spin(bf.max_qubits));
+    let session = Session::builder()
+        .topology(topology.clone())
+        .policy(policy)
+        .mapping(base.mapping.clone())
+        .grape(base.grape.clone())
+        .search(LatencySearch {
+            min_steps: base.search.min_steps,
+            max_steps: bf.max_steps,
+            ..LatencySearch::default()
+        })
+        .similarity(base.similarity)
+        .warm_threshold(base.warm_threshold)
+        .models(ModelSet::spin(bf.max_qubits)?)
+        .build()?;
 
-    let decomposed = circuit.decomposed(false);
-    let mapped = map_circuit(&decomposed, topology, &MappingOptions::default());
-    let (grouped, _processed) = divide_circuit(&mapped.circuit, &policy);
-    let dedup = dedup_groups(&grouped.groups);
-
-    let mut latencies_unique = Vec::with_capacity(dedup.unique.len());
+    let report = session.front_end(circuit);
+    let mut latencies_unique = Vec::with_capacity(report.targets.len());
     let mut total_iterations = 0usize;
-    for g in &dedup.unique {
-        let u = g.unitary();
-        let (_, perm) = UnitaryKey::canonical_with_permutation(&u, g.n_qubits());
-        let canonical = accqoc_circuit::permute_qubits(&u, &perm, g.n_qubits());
-        let result = compiler.compile_unitary(&canonical, g.n_qubits(), None)?;
+    for target in &report.targets {
+        let result = session.compile_unitary(&target.unitary, target.n_qubits, None)?;
         total_iterations += result.total_iterations;
         latencies_unique.push(result.latency_ns);
     }
-    let latencies: Vec<f64> =
-        dedup.assignment.iter().map(|&u| latencies_unique[u]).collect();
-    let overall_latency_ns = grouped.overall_latency(|i| latencies[i]);
+    let latencies: Vec<f64> = report
+        .assignment
+        .iter()
+        .map(|&u| latencies_unique[u])
+        .collect();
+    let overall_latency_ns = report.grouped.overall_latency(|i| latencies[i]);
 
     Ok(BruteForceResult {
         overall_latency_ns,
         total_iterations,
-        n_groups: dedup.assignment.len(),
-        n_unique: dedup.unique.len(),
+        n_groups: report.assignment.len(),
+        n_unique: report.targets.len(),
     })
 }
 
@@ -123,9 +130,8 @@ mod tests {
                 Gate::Tdg(1),
             ],
         );
-        let compiler = AccQocCompiler::new(base.clone());
-        let mut cache = crate::PulseCache::new();
-        let accqoc = compiler.compile_program(&circuit, &mut cache).unwrap();
+        let session = Session::from_config(base.clone()).unwrap();
+        let accqoc = session.compile_program(&circuit).unwrap();
         let bf = brute_force_qoc(&circuit, &topo, &base, &BruteForceConfig::default()).unwrap();
 
         assert!(bf.overall_latency_ns > 0.0);

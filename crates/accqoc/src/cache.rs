@@ -1,18 +1,24 @@
 //! The pulse cache: the paper's "group list + pulse list + latency list"
 //! artifact produced by static pre-compilation (§IV-C/D) and consulted by
 //! dynamic compilation to skip covered groups.
+//!
+//! Persistence uses the self-contained JSON layer in [`crate::json`]
+//! (this workspace builds offline, without serde). Keys serialize as hex
+//! strings; amplitudes and latencies round-trip exactly through Rust's
+//! shortest-f64 formatting, and entries are emitted sorted by key, so the
+//! artifact is byte-deterministic for a given cache state.
 
 use std::collections::HashMap;
-use std::io;
 use std::path::Path;
-
-use serde::{Deserialize, Serialize};
 
 use accqoc_circuit::UnitaryKey;
 use accqoc_grape::Pulse;
 
+use crate::error::Result;
+use crate::json::{self, JsonError, JsonValue};
+
 /// A cached compilation result for one unique group.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CachedPulse {
     /// The optimized control pulse.
     pub pulse: Pulse,
@@ -44,31 +50,9 @@ pub struct CachedPulse {
 /// });
 /// assert!(cache.lookup(&key).is_some());
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-#[serde(from = "CacheOnDisk", into = "CacheOnDisk")]
+#[derive(Debug, Clone, Default)]
 pub struct PulseCache {
     entries: HashMap<UnitaryKey, CachedPulse>,
-}
-
-/// JSON-friendly representation: a list of entries (JSON object keys must
-/// be strings, which byte-vector keys are not).
-#[derive(Serialize, Deserialize)]
-struct CacheOnDisk {
-    entries: Vec<(UnitaryKey, CachedPulse)>,
-}
-
-impl From<CacheOnDisk> for PulseCache {
-    fn from(disk: CacheOnDisk) -> Self {
-        Self { entries: disk.entries.into_iter().collect() }
-    }
-}
-
-impl From<PulseCache> for CacheOnDisk {
-    fn from(cache: PulseCache) -> Self {
-        let mut entries: Vec<(UnitaryKey, CachedPulse)> = cache.entries.into_iter().collect();
-        entries.sort_by(|a, b| a.0.cmp(&b.0));
-        Self { entries }
-    }
 }
 
 impl PulseCache {
@@ -112,53 +96,185 @@ impl PulseCache {
         self.entries.extend(other.entries);
     }
 
-    /// Serializes to pretty JSON.
-    ///
-    /// # Errors
-    ///
-    /// Propagates serializer failures (effectively unreachable for this
-    /// data model).
-    pub fn to_json(&self) -> serde_json::Result<String> {
-        serde_json::to_string_pretty(self)
+    /// Serializes to pretty JSON (entries sorted by key — deterministic
+    /// for a given cache state).
+    pub fn to_json(&self) -> String {
+        let mut entries: Vec<(&UnitaryKey, &CachedPulse)> = self.entries.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        let entries = entries
+            .into_iter()
+            .map(|(key, entry)| {
+                JsonValue::Object(vec![
+                    ("key".into(), JsonValue::String(hex_encode(key.as_bytes()))),
+                    ("latency_ns".into(), JsonValue::Number(entry.latency_ns)),
+                    (
+                        "iterations".into(),
+                        JsonValue::Number(entry.iterations as f64),
+                    ),
+                    ("n_qubits".into(), JsonValue::Number(entry.n_qubits as f64)),
+                    (
+                        "pulse".into(),
+                        JsonValue::Object(vec![
+                            ("dt_ns".into(), JsonValue::Number(entry.pulse.dt_ns())),
+                            (
+                                "amps".into(),
+                                JsonValue::Array(
+                                    (0..entry.pulse.n_controls())
+                                        .map(|c| {
+                                            JsonValue::Array(
+                                                entry
+                                                    .pulse
+                                                    .channel(c)
+                                                    .iter()
+                                                    .map(|&a| JsonValue::Number(a))
+                                                    .collect(),
+                                            )
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ]),
+                    ),
+                ])
+            })
+            .collect();
+        JsonValue::Object(vec![("entries".into(), JsonValue::Array(entries))]).to_pretty()
     }
 
     /// Deserializes from JSON produced by [`PulseCache::to_json`].
     ///
     /// # Errors
     ///
-    /// Returns the underlying parse error on malformed input.
-    pub fn from_json(json: &str) -> serde_json::Result<Self> {
-        serde_json::from_str(json)
+    /// [`Error::Json`] on malformed input.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let doc = json::parse(text)?;
+        let entries = doc
+            .get("entries")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| malformed("missing `entries` array"))?;
+        let mut cache = PulseCache::new();
+        for entry in entries {
+            let key_hex = entry
+                .get("key")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| malformed("entry missing `key`"))?;
+            let key = UnitaryKey::from_bytes(hex_decode(key_hex)?);
+            let latency_ns = entry
+                .get("latency_ns")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| malformed("entry missing `latency_ns`"))?;
+            let iterations = entry
+                .get("iterations")
+                .and_then(JsonValue::as_usize)
+                .ok_or_else(|| malformed("entry missing `iterations`"))?;
+            let n_qubits = entry
+                .get("n_qubits")
+                .and_then(JsonValue::as_usize)
+                .ok_or_else(|| malformed("entry missing `n_qubits`"))?;
+            let pulse = entry
+                .get("pulse")
+                .ok_or_else(|| malformed("entry missing `pulse`"))?;
+            let dt_ns = pulse
+                .get("dt_ns")
+                .and_then(JsonValue::as_f64)
+                .filter(|&dt| dt > 0.0)
+                .ok_or_else(|| malformed("pulse missing positive `dt_ns`"))?;
+            let amps = pulse
+                .get("amps")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| malformed("pulse missing `amps`"))?;
+            if amps.is_empty() {
+                return Err(malformed("pulse has no control channels").into());
+            }
+            let mut rows: Vec<Vec<f64>> = Vec::with_capacity(amps.len());
+            for row in amps {
+                let row = row
+                    .as_array()
+                    .ok_or_else(|| malformed("amp row is not an array"))?;
+                rows.push(
+                    row.iter()
+                        .map(|v| v.as_f64().ok_or_else(|| malformed("amp is not a number")))
+                        .collect::<std::result::Result<_, _>>()?,
+                );
+            }
+            if rows.iter().any(|r| r.len() != rows[0].len()) {
+                return Err(malformed("ragged amp rows").into());
+            }
+            cache.insert(
+                key,
+                CachedPulse {
+                    pulse: Pulse::from_amps(rows, dt_ns),
+                    latency_ns,
+                    iterations,
+                    n_qubits,
+                },
+            );
+        }
+        Ok(cache)
     }
 
     /// Writes the cache to a file as JSON.
     ///
     /// # Errors
     ///
-    /// Returns I/O errors from file creation or writing.
-    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let json = self.to_json().map_err(io::Error::other)?;
-        std::fs::write(path, json)
+    /// [`Error::Io`] from file creation or writing.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        std::fs::write(path, self.to_json())?;
+        Ok(())
     }
 
     /// Loads a cache from a JSON file.
     ///
     /// # Errors
     ///
-    /// Returns I/O or parse errors.
-    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
-        let json = std::fs::read_to_string(path)?;
-        Self::from_json(&json).map_err(io::Error::other)
+    /// [`Error::Io`] / [`Error::Json`] on unreadable or malformed files.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text)
     }
+}
+
+fn malformed(message: &str) -> JsonError {
+    JsonError {
+        message: format!("pulse cache: {message}"),
+        offset: 0,
+    }
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_decode(text: &str) -> Result<Vec<u8>> {
+    if !text.len().is_multiple_of(2) || !text.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(malformed("key is not a hex string").into());
+    }
+    Ok(text
+        .as_bytes()
+        .chunks(2)
+        .map(|pair| {
+            let hi = (pair[0] as char).to_digit(16).expect("checked hex");
+            let lo = (pair[1] as char).to_digit(16).expect("checked hex");
+            (hi * 16 + lo) as u8
+        })
+        .collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::Error;
     use accqoc_circuit::{circuit_unitary, Circuit, Gate};
 
     fn key_of(gates: &[Gate], n: usize) -> UnitaryKey {
-        UnitaryKey::canonical(&circuit_unitary(&Circuit::from_gates(n, gates.iter().copied())), n)
+        UnitaryKey::canonical(
+            &circuit_unitary(&Circuit::from_gates(n, gates.iter().copied())),
+            n,
+        )
     }
 
     fn entry(n_qubits: usize, latency: f64) -> CachedPulse {
@@ -194,12 +310,27 @@ mod tests {
     fn json_roundtrip() {
         let mut cache = PulseCache::new();
         cache.insert(key_of(&[Gate::T(0)], 1), entry(1, 5.0));
-        cache.insert(key_of(&[Gate::Cx(0, 1), Gate::H(1)], 2), entry(2, 25.0));
-        let json = cache.to_json().unwrap();
+        let mut wiggly = entry(2, 25.0);
+        wiggly.pulse.set(1, 3, -0.123456789012345);
+        cache.insert(key_of(&[Gate::Cx(0, 1), Gate::H(1)], 2), wiggly);
+        let json = cache.to_json();
         let restored = PulseCache::from_json(&json).unwrap();
         assert_eq!(restored.len(), 2);
-        let k = key_of(&[Gate::T(0)], 1);
-        assert_eq!(restored.lookup(&k), cache.lookup(&k));
+        for (k, v) in cache.iter() {
+            assert_eq!(restored.lookup(k), Some(v), "exact round-trip");
+        }
+    }
+
+    #[test]
+    fn json_output_is_deterministic() {
+        let build = || {
+            let mut cache = PulseCache::new();
+            cache.insert(key_of(&[Gate::T(0)], 1), entry(1, 5.0));
+            cache.insert(key_of(&[Gate::H(0)], 1), entry(1, 7.0));
+            cache.insert(key_of(&[Gate::Cx(0, 1)], 2), entry(2, 21.0));
+            cache.to_json()
+        };
+        assert_eq!(build(), build());
     }
 
     #[test]
@@ -228,6 +359,11 @@ mod tests {
 
     #[test]
     fn load_rejects_garbage() {
-        assert!(PulseCache::from_json("not json").is_err());
+        assert!(matches!(
+            PulseCache::from_json("not json"),
+            Err(Error::Json(_))
+        ));
+        assert!(PulseCache::from_json("{\"entries\": [{\"key\": \"zz\"}]}").is_err());
+        assert!(PulseCache::from_json("{\"entries\": 3}").is_err());
     }
 }

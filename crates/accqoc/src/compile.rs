@@ -1,100 +1,22 @@
-//! The AccQOC compilation pipeline (paper Figure 6).
+//! Pipeline configuration and the pre-redesign compiler shim.
 //!
-//! Front-end: decompose → crosstalk-aware map → group under a policy →
-//! de-duplicate. Back-end: covered groups pull pulses straight from the
-//! cache; uncovered groups are compiled in MST order with warm starts
-//! (§V); the program latency is the Algorithm 3 dynamic program over the
-//! group DAG. The gate-based baseline concatenates per-gate pulses whose
-//! durations come from GRAPE-minimal single-gate compilations on the
-//! *same* device model — apples to apples.
+//! The pipeline itself lives behind [`crate::Session`]; this module keeps
+//! the configuration bag ([`AccQocConfig`]), the warm-start gate
+//! ([`warm_start_allowed`]), and a thin deprecated [`AccQocCompiler`]
+//! wrapper so pre-redesign callers keep compiling for one release.
 
-use std::collections::{BTreeMap, HashMap};
-use std::error::Error;
-use std::fmt;
-
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
-
-use accqoc_circuit::{Circuit, CircuitDag, Gate, GateKind, UnitaryKey};
-use accqoc_grape::{
-    find_minimal_latency, GrapeOptions, InitStrategy, LatencyError, LatencyResult, LatencySearch,
-    Pulse,
-};
-use accqoc_group::{dedup_groups, divide_circuit, GroupedCircuit, GroupingPolicy};
-use accqoc_hw::{ControlModel, GateDurations, Topology};
+use accqoc_circuit::Circuit;
+use accqoc_grape::{GrapeOptions, LatencyResult, LatencySearch, Pulse};
+use accqoc_group::{GroupedCircuit, GroupingPolicy};
+use accqoc_hw::{GateDurations, Topology};
 use accqoc_linalg::Mat;
-use accqoc_map::{crosstalk_metric, map_circuit, MappingOptions};
+use accqoc_map::MappingOptions;
 
-use crate::cache::{CachedPulse, PulseCache};
-use crate::mst::{mst_compile_order, CompileOrder, SimilarityGraph};
+use crate::cache::PulseCache;
+use crate::error::Result;
+use crate::model::ModelSet;
+use crate::session::{CoverageStats, ProgramCompilation, Session};
 use crate::similarity::SimilarityFn;
-
-/// Control models per group arity.
-#[derive(Debug, Clone)]
-pub struct ModelSet {
-    models: Vec<ControlModel>, // index = n_qubits − 1
-}
-
-impl ModelSet {
-    /// Spin-chain models for 1..=max_qubits qubits.
-    ///
-    /// # Panics
-    ///
-    /// Panics for `max_qubits` outside `1..=6`.
-    pub fn spin(max_qubits: usize) -> Self {
-        assert!((1..=6).contains(&max_qubits));
-        Self { models: (1..=max_qubits).map(ControlModel::spin_chain).collect() }
-    }
-
-    /// The model for groups of `n_qubits`.
-    ///
-    /// # Panics
-    ///
-    /// Panics when no model of that arity was built.
-    pub fn for_qubits(&self, n_qubits: usize) -> &ControlModel {
-        &self.models[n_qubits - 1]
-    }
-
-    /// Largest supported arity.
-    pub fn max_qubits(&self) -> usize {
-        self.models.len()
-    }
-}
-
-/// Errors from the compilation pipeline.
-#[derive(Debug, Clone)]
-pub enum AccQocError {
-    /// GRAPE could not reach the fidelity target for a group within the
-    /// latency cap.
-    CompileFailed {
-        /// How many qubits the failing group had.
-        n_qubits: usize,
-        /// The latency-search failure.
-        source: LatencyError,
-    },
-    /// A group was wider than the configured model set.
-    GroupTooWide {
-        /// Offending group arity.
-        n_qubits: usize,
-        /// Largest supported arity.
-        max: usize,
-    },
-}
-
-impl fmt::Display for AccQocError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::CompileFailed { n_qubits, source } => {
-                write!(f, "pulse compilation failed for a {n_qubits}-qubit group: {source}")
-            }
-            Self::GroupTooWide { n_qubits, max } => {
-                write!(f, "group has {n_qubits} qubits but models stop at {max}")
-            }
-        }
-    }
-}
-
-impl Error for AccQocError {}
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -130,369 +52,24 @@ impl AccQocConfig {
     /// The paper's default setup: Melbourne topology, `map2b4l`, L-BFGS
     /// GRAPE at the 1e-4 fidelity target, `fidelity1` similarity.
     pub fn melbourne() -> Self {
-        Self {
-            policy: GroupingPolicy::map2b4l(),
-            topology: Topology::melbourne(),
-            mapping: MappingOptions::default(),
-            grape: GrapeOptions::default(),
-            search: LatencySearch { min_steps: 8, max_steps: 96, ..LatencySearch::default() },
-            similarity: SimilarityFn::TraceOverlap,
-            warm_threshold: 0.15,
-        }
+        Self::for_topology(Topology::melbourne())
     }
 
     /// Same defaults on an arbitrary topology.
     pub fn for_topology(topology: Topology) -> Self {
-        Self { topology, ..Self::melbourne() }
-    }
-}
-
-/// Result of compiling one unique group.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct GroupCompilation {
-    /// Canonical group identity.
-    pub key: UnitaryKey,
-    /// Minimal pulse latency (ns).
-    pub latency_ns: f64,
-    /// GRAPE iterations spent (0 for cache hits).
-    pub iterations: usize,
-    /// Whether the pulse came from the cache.
-    pub covered: bool,
-}
-
-/// Coverage statistics (paper §V-A).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct CoverageStats {
-    /// Group *instances* covered by the cache.
-    pub covered: usize,
-    /// Total group instances in the program.
-    pub total: usize,
-}
-
-impl CoverageStats {
-    /// `# covered / # groups` (1.0 for empty programs).
-    pub fn rate(&self) -> f64 {
-        if self.total == 0 {
-            1.0
-        } else {
-            self.covered as f64 / self.total as f64
+        Self {
+            policy: GroupingPolicy::map2b4l(),
+            topology,
+            mapping: MappingOptions::default(),
+            grape: GrapeOptions::default(),
+            search: LatencySearch {
+                min_steps: 8,
+                max_steps: 96,
+                ..LatencySearch::default()
+            },
+            similarity: SimilarityFn::TraceOverlap,
+            warm_threshold: 0.15,
         }
-    }
-}
-
-/// Full result of compiling a program through AccQOC.
-#[derive(Debug, Clone)]
-pub struct ProgramCompilation {
-    /// Overall pulse latency of the program (Algorithm 3), ns.
-    pub overall_latency_ns: f64,
-    /// Gate-based compilation latency of the same mapped circuit, ns.
-    pub gate_based_latency_ns: f64,
-    /// Coverage of the pulse cache.
-    pub coverage: CoverageStats,
-    /// GRAPE iterations spent on uncovered groups (dynamic compile cost).
-    pub dynamic_iterations: usize,
-    /// Unique uncovered groups compiled.
-    pub n_uncovered_unique: usize,
-    /// Groups after division and the processed physical circuit.
-    pub grouped: GroupedCircuit,
-    /// Crosstalk metric of the mapped circuit.
-    pub crosstalk: usize,
-    /// Swaps inserted by mapping.
-    pub swap_count: usize,
-}
-
-impl ProgramCompilation {
-    /// Latency reduction factor vs gate-based compilation.
-    pub fn latency_reduction(&self) -> f64 {
-        if self.overall_latency_ns == 0.0 {
-            1.0
-        } else {
-            self.gate_based_latency_ns / self.overall_latency_ns
-        }
-    }
-}
-
-/// The AccQOC compiler: owns the device models and the lazily built
-/// single-gate duration table.
-pub struct AccQocCompiler {
-    config: AccQocConfig,
-    models: ModelSet,
-    durations: Mutex<Option<GateDurations>>,
-}
-
-impl fmt::Debug for AccQocCompiler {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("AccQocCompiler")
-            .field("policy", &self.config.policy.label())
-            .field("similarity", &self.config.similarity)
-            .finish_non_exhaustive()
-    }
-}
-
-impl AccQocCompiler {
-    /// Creates a compiler with spin-chain models up to 2 qubits (the
-    /// `2bNl` policies never exceed 2).
-    pub fn new(config: AccQocConfig) -> Self {
-        Self { config, models: ModelSet::spin(2), durations: Mutex::new(None) }
-    }
-
-    /// Creates a compiler with a custom model set (e.g. wider models for
-    /// the brute-force baseline).
-    pub fn with_models(config: AccQocConfig, models: ModelSet) -> Self {
-        Self { config, models, durations: Mutex::new(None) }
-    }
-
-    /// The configuration.
-    pub fn config(&self) -> &AccQocConfig {
-        &self.config
-    }
-
-    /// The model set.
-    pub fn models(&self) -> &ModelSet {
-        &self.models
-    }
-
-    /// Maps, decomposes, and groups a logical circuit; returns the grouped
-    /// circuit, the processed physical circuit, plus mapping stats.
-    pub fn front_end(&self, circuit: &Circuit) -> (GroupedCircuit, Circuit, usize, usize) {
-        // ccx is never hardware-native; swaps survive until grouping
-        // decides their fate per policy.
-        let decomposed = circuit.decomposed(false);
-        let mapped = map_circuit(&decomposed, &self.config.topology, &self.config.mapping);
-        let xtalk = crosstalk_metric(&mapped.circuit, &self.config.topology);
-        let (grouped, processed) = divide_circuit(&mapped.circuit, &self.config.policy);
-        (grouped, processed, xtalk, mapped.swap_count)
-    }
-
-    /// Compiles one canonical unitary to a pulse (binary-searched minimal
-    /// latency), optionally warm-started.
-    ///
-    /// # Errors
-    ///
-    /// [`AccQocError::GroupTooWide`] for oversized groups;
-    /// [`AccQocError::CompileFailed`] when no feasible pulse exists within
-    /// the latency cap.
-    pub fn compile_unitary(
-        &self,
-        target: &Mat,
-        n_qubits: usize,
-        warm: Option<&Pulse>,
-    ) -> Result<LatencyResult, AccQocError> {
-        if n_qubits > self.models.max_qubits() {
-            return Err(AccQocError::GroupTooWide { n_qubits, max: self.models.max_qubits() });
-        }
-        let model = self.models.for_qubits(n_qubits);
-        let mut opts = self.config.grape.clone();
-        let mut search = self.config.search.clone();
-        if let Some(p) = warm {
-            opts.init = InitStrategy::Warm(p.clone());
-            // Similar groups have similar latencies: start the search at
-            // the parent's slice count.
-            if p.n_steps() > 0 {
-                search.initial_guess = Some(p.n_steps());
-            }
-        }
-        search.min_steps = search
-            .min_steps
-            .max((model.min_time_estimate_ns() / model.dt_ns()) as usize / 2)
-            .max(1);
-        find_minimal_latency(model, target, &opts, &search)
-            .map_err(|source| AccQocError::CompileFailed { n_qubits, source })
-    }
-
-    /// Compiles a whole program: cache lookups for covered groups,
-    /// MST-ordered warm-started compilation for the rest (results are
-    /// added to `cache`), then the Algorithm 3 latency DP and the
-    /// gate-based baseline.
-    ///
-    /// # Errors
-    ///
-    /// Propagates group-compilation failures.
-    pub fn compile_program(
-        &self,
-        circuit: &Circuit,
-        cache: &mut PulseCache,
-    ) -> Result<ProgramCompilation, AccQocError> {
-        let (grouped, processed, crosstalk, swap_count) = self.front_end(circuit);
-        let dedup = dedup_groups(&grouped.groups);
-
-        // Canonical unitaries per unique group.
-        let canonical: Vec<(Mat, usize)> = dedup
-            .unique
-            .iter()
-            .map(|g| {
-                let u = g.unitary();
-                let (_, perm) = UnitaryKey::canonical_with_permutation(&u, g.n_qubits());
-                (accqoc_circuit::permute_qubits(&u, &perm, g.n_qubits()), g.n_qubits())
-            })
-            .collect();
-
-        // Split into covered / uncovered.
-        let mut uncovered: Vec<usize> = Vec::new();
-        for (i, key) in dedup.keys.iter().enumerate() {
-            if !cache.contains(key) {
-                uncovered.push(i);
-            }
-        }
-        let n_uncovered_unique = uncovered.len();
-
-        // Dynamic compilation of uncovered groups in MST order.
-        let mut dynamic_iterations = 0usize;
-        if !uncovered.is_empty() {
-            let graph = SimilarityGraph::build(
-                uncovered.iter().map(|&i| canonical[i].0.clone()).collect(),
-                self.config.similarity,
-            );
-            let order = mst_compile_order(&graph);
-            dynamic_iterations +=
-                self.compile_in_order(&order, &uncovered, &canonical, &dedup.keys, cache)?;
-        }
-
-        // Latency per group instance through the cache.
-        let latencies: Vec<f64> = dedup
-            .assignment
-            .iter()
-            .map(|&u| {
-                cache
-                    .lookup(&dedup.keys[u])
-                    .expect("every unique group is cached by now")
-                    .latency_ns
-            })
-            .collect();
-        let overall_latency_ns = grouped.overall_latency(|i| latencies[i]);
-
-        // Coverage counts instances against the cache state *before* this
-        // program's dynamic compilation.
-        let covered_instances = dedup
-            .assignment
-            .iter()
-            .filter(|&&u| !uncovered.contains(&u))
-            .count();
-
-        let gate_based_latency_ns = self.gate_based_latency(&processed);
-
-        Ok(ProgramCompilation {
-            overall_latency_ns,
-            gate_based_latency_ns,
-            coverage: CoverageStats { covered: covered_instances, total: dedup.assignment.len() },
-            dynamic_iterations,
-            n_uncovered_unique,
-            grouped,
-            crosstalk,
-            swap_count,
-        })
-    }
-
-    /// Compiles groups following a compile order, warm-starting children
-    /// from their MST parents. Returns total iterations.
-    fn compile_in_order(
-        &self,
-        order: &CompileOrder,
-        vertices: &[usize],
-        canonical: &[(Mat, usize)],
-        keys: &[UnitaryKey],
-        cache: &mut PulseCache,
-    ) -> Result<usize, AccQocError> {
-        let mut pulses: HashMap<usize, Pulse> = HashMap::new();
-        let mut total = 0usize;
-        for step in &order.steps {
-            let unique_idx = vertices[step.vertex];
-            let (target, n_qubits) = &canonical[unique_idx];
-            let warm = step.parent.filter(|&p| {
-                let parent_u = &canonical[vertices[p]].0;
-                warm_start_allowed(parent_u, target, self.config.warm_threshold)
-            });
-            let warm = warm.and_then(|p| pulses.get(&p));
-            let result = self.compile_unitary(target, *n_qubits, warm)?;
-            total += result.total_iterations;
-            pulses.insert(step.vertex, result.outcome.pulse.clone());
-            cache.insert(
-                keys[unique_idx].clone(),
-                CachedPulse {
-                    pulse: result.outcome.pulse,
-                    latency_ns: result.latency_ns,
-                    iterations: result.total_iterations,
-                    n_qubits: *n_qubits,
-                },
-            );
-        }
-        Ok(total)
-    }
-
-    /// Coverage of a program against a cache, *without* compiling
-    /// anything (paper Figure 7 measures exactly this).
-    pub fn coverage_of(&self, circuit: &Circuit, cache: &PulseCache) -> CoverageStats {
-        let (grouped, _, _, _) = self.front_end(circuit);
-        let dedup = dedup_groups(&grouped.groups);
-        let covered = dedup
-            .assignment
-            .iter()
-            .filter(|&&u| cache.contains(&dedup.keys[u]))
-            .count();
-        CoverageStats { covered, total: dedup.assignment.len() }
-    }
-
-    /// Gate-based compilation latency of a processed physical circuit:
-    /// weighted critical path with device-derived per-gate pulse
-    /// durations (paper §II-C).
-    pub fn gate_based_latency(&self, processed: &Circuit) -> f64 {
-        let durations = self.gate_durations();
-        let dag = CircuitDag::from_circuit(processed);
-        dag.critical_path(|i| durations.gate_duration(&dag.node(i).gate))
-    }
-
-    /// The single-gate duration table, compiled on first use: each basis
-    /// gate gets a GRAPE-minimal pulse on this device, exactly how the
-    /// gate-pulse lookup table of Figure 3 would be calibrated.
-    pub fn gate_durations(&self) -> GateDurations {
-        let mut guard = self.durations.lock();
-        if let Some(d) = guard.as_ref() {
-            return d.clone();
-        }
-        let table = self.build_gate_durations();
-        *guard = Some(table.clone());
-        table
-    }
-
-    fn build_gate_durations(&self) -> GateDurations {
-        use GateKind::*;
-        let mut map: BTreeMap<GateKind, f64> = BTreeMap::new();
-        let single: &[(GateKind, Gate)] = &[
-            (X, Gate::X(0)),
-            (Y, Gate::Y(0)),
-            (Z, Gate::Z(0)),
-            (H, Gate::H(0)),
-            (S, Gate::S(0)),
-            (Sdg, Gate::Sdg(0)),
-            (T, Gate::T(0)),
-            (Tdg, Gate::Tdg(0)),
-            (Rx, Gate::Rx(0, std::f64::consts::FRAC_PI_2)),
-            (Ry, Gate::Ry(0, std::f64::consts::FRAC_PI_2)),
-            (Rz, Gate::Rz(0, std::f64::consts::FRAC_PI_2)),
-            (U1, Gate::U1(0, std::f64::consts::FRAC_PI_2)),
-            (U2, Gate::U2(0, 0.3, 0.9)),
-            (U3, Gate::U3(0, 1.1, 0.4, -0.7)),
-        ];
-        for (kind, gate) in single {
-            let target = gate.matrix();
-            let latency = self
-                .compile_unitary(&target, 1, None)
-                .map(|r| r.latency_ns)
-                .unwrap_or(f64::INFINITY);
-            map.insert(*kind, latency);
-        }
-        let double: &[(GateKind, Gate)] =
-            &[(Cx, Gate::Cx(0, 1)), (Cz, Gate::Cz(0, 1)), (Swap, Gate::Swap(0, 1))];
-        for (kind, gate) in double {
-            let target = gate.matrix();
-            let latency = self
-                .compile_unitary(&target, 2, None)
-                .map(|r| r.latency_ns)
-                .unwrap_or(f64::INFINITY);
-            map.insert(*kind, latency);
-        }
-        let default = map.values().copied().fold(0.0, f64::max);
-        GateDurations::from_single_gate_pulses(map, default)
     }
 }
 
@@ -502,81 +79,155 @@ pub fn warm_start_allowed(parent: &Mat, child: &Mat, threshold: f64) -> bool {
     SimilarityFn::TraceOverlap.distance(parent, child) <= threshold
 }
 
+/// Pre-redesign compiler entry point, now a thin wrapper over
+/// [`Session`]. Unlike a session it does not own a cache: callers thread
+/// a mutable [`PulseCache`] through every call.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `accqoc::Session` (builder-constructed; owns the pulse cache)"
+)]
+pub struct AccQocCompiler {
+    session: Session,
+}
+
+#[allow(deprecated)]
+impl std::fmt::Debug for AccQocCompiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AccQocCompiler")
+            .field("session", &self.session)
+            .finish()
+    }
+}
+
+#[allow(deprecated)]
+impl AccQocCompiler {
+    /// Creates a compiler with spin-chain models matching the policy
+    /// width.
+    ///
+    /// # Panics
+    ///
+    /// Panics on configurations [`Session::from_config`] rejects (the
+    /// pre-redesign constructor had no error path).
+    pub fn new(config: AccQocConfig) -> Self {
+        Self {
+            session: Session::from_config(config).expect("valid pre-redesign config"),
+        }
+    }
+
+    /// Creates a compiler with a custom model set.
+    pub fn with_models(config: AccQocConfig, models: ModelSet) -> Self {
+        let session = Session::builder()
+            .topology(config.topology.clone())
+            .policy(config.policy)
+            .mapping(config.mapping.clone())
+            .grape(config.grape.clone())
+            .search(config.search.clone())
+            .similarity(config.similarity)
+            .warm_threshold(config.warm_threshold)
+            .models(models)
+            .build()
+            .expect("valid pre-redesign config");
+        Self { session }
+    }
+
+    /// The underlying session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AccQocConfig {
+        self.session.config()
+    }
+
+    /// The model set.
+    pub fn models(&self) -> &ModelSet {
+        self.session.models()
+    }
+
+    /// Maps, decomposes, and groups a logical circuit; returns the
+    /// grouped circuit, the processed physical circuit, the crosstalk
+    /// metric, and the swap count.
+    pub fn front_end(&self, circuit: &Circuit) -> (GroupedCircuit, Circuit, usize, usize) {
+        let report = self.session.front_end(circuit);
+        (
+            report.grouped,
+            report.processed,
+            report.crosstalk,
+            report.swap_count,
+        )
+    }
+
+    /// Compiles one canonical unitary to a pulse.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::compile_unitary`].
+    pub fn compile_unitary(
+        &self,
+        target: &Mat,
+        n_qubits: usize,
+        warm: Option<&Pulse>,
+    ) -> Result<LatencyResult> {
+        self.session.compile_unitary(target, n_qubits, warm)
+    }
+
+    /// Compiles a whole program against an externally owned cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates group-compilation failures.
+    pub fn compile_program(
+        &self,
+        circuit: &Circuit,
+        cache: &mut PulseCache,
+    ) -> Result<ProgramCompilation> {
+        let fork = self.session.fork();
+        fork.set_cache(std::mem::take(cache));
+        let result = fork.compile_program(circuit);
+        *cache = fork.cache_snapshot();
+        result
+    }
+
+    /// Coverage of a program against an external cache.
+    pub fn coverage_of(&self, circuit: &Circuit, cache: &PulseCache) -> CoverageStats {
+        let fork = self.session.fork();
+        fork.set_cache(cache.clone());
+        fork.coverage_of(circuit)
+    }
+
+    /// Gate-based compilation latency of a processed physical circuit.
+    pub fn gate_based_latency(&self, processed: &Circuit) -> f64 {
+        self.session.gate_based_latency(processed)
+    }
+
+    /// The single-gate duration table.
+    pub fn gate_durations(&self) -> GateDurations {
+        self.session.gate_durations()
+    }
+}
+
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use accqoc_circuit::Gate;
     use accqoc_hw::Topology;
 
-    fn tiny_compiler() -> AccQocCompiler {
+    #[test]
+    fn deprecated_shim_still_compiles_programs() {
         let mut config = AccQocConfig::for_topology(Topology::linear(3));
         config.grape.stop.max_iters = 200;
-        AccQocCompiler::new(config)
-    }
-
-    #[test]
-    fn model_set_arity_dispatch() {
-        let ms = ModelSet::spin(2);
-        assert_eq!(ms.for_qubits(1).dim(), 2);
-        assert_eq!(ms.for_qubits(2).dim(), 4);
-        assert_eq!(ms.max_qubits(), 2);
-    }
-
-    #[test]
-    fn compile_unitary_rejects_wide_groups() {
-        let c = tiny_compiler();
-        let e = c.compile_unitary(&Mat::identity(8), 3, None).unwrap_err();
-        assert!(matches!(e, AccQocError::GroupTooWide { n_qubits: 3, max: 2 }));
-        assert!(e.to_string().contains("3 qubits"));
-    }
-
-    #[test]
-    fn coverage_rate_edge_cases() {
-        assert_eq!(CoverageStats { covered: 0, total: 0 }.rate(), 1.0);
-        assert!((CoverageStats { covered: 3, total: 4 }.rate() - 0.75).abs() < 1e-12);
-    }
-
-    #[test]
-    fn compile_small_program_end_to_end() {
-        let compiler = tiny_compiler();
+        let compiler = AccQocCompiler::new(config);
         let mut cache = PulseCache::new();
-        let circuit = Circuit::from_gates(3, [Gate::H(0), Gate::Cx(0, 1), Gate::T(1), Gate::Cx(1, 2)]);
+        let circuit = Circuit::from_gates(3, [Gate::H(0), Gate::Cx(0, 1)]);
         let result = compiler.compile_program(&circuit, &mut cache).unwrap();
-
         assert!(result.overall_latency_ns > 0.0);
-        assert!(result.gate_based_latency_ns > 0.0);
-        // First compilation: nothing covered.
-        assert_eq!(result.coverage.covered, 0);
-        assert!(result.dynamic_iterations > 0);
-        assert!(!cache.is_empty());
-
-        // QOC groups beat gate-by-gate concatenation.
         assert!(
-            result.latency_reduction() > 1.0,
-            "reduction {} (QOC {} vs gate {})",
-            result.latency_reduction(),
-            result.overall_latency_ns,
-            result.gate_based_latency_ns
+            !cache.is_empty(),
+            "shim writes back into the caller's cache"
         );
-
-        // Recompilation is fully covered and free.
-        let again = compiler.compile_program(&circuit, &mut cache).unwrap();
-        assert_eq!(again.coverage.covered, again.coverage.total);
-        assert_eq!(again.dynamic_iterations, 0);
-        assert!((again.overall_latency_ns - result.overall_latency_ns).abs() < 1e-9);
-    }
-
-    #[test]
-    fn gate_duration_table_is_sane() {
-        let compiler = tiny_compiler();
-        let d = compiler.gate_durations();
-        // X needs its full π rotation: 10 ns at our drive cap.
-        assert!((d.duration(GateKind::X) - 10.0).abs() < 1.5);
-        // Phase-type gates are cheaper than X.
-        assert!(d.duration(GateKind::T) <= d.duration(GateKind::X));
-        // Entangling gates cost more than single-qubit ones.
-        assert!(d.duration(GateKind::Cx) > d.duration(GateKind::H));
-        // Cached on second call (identical values).
-        let d2 = compiler.gate_durations();
-        assert_eq!(d.duration(GateKind::Cx), d2.duration(GateKind::Cx));
+        let coverage = compiler.coverage_of(&circuit, &cache);
+        assert_eq!(coverage.covered, coverage.total);
     }
 }

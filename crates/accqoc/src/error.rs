@@ -1,0 +1,244 @@
+//! The unified error hierarchy of the AccQOC compiler.
+//!
+//! Every fallible operation in this crate returns [`Error`]. Errors from
+//! the lower layers — the GRAPE latency search ([`LatencyError`]), the
+//! QASM parser ([`QasmError`]), the linear-algebra substrate
+//! ([`LinalgError`]), cache persistence ([`JsonError`], [`io::Error`]) —
+//! convert into it with `From`, so `?` works across every crate boundary
+//! of the pipeline.
+
+use std::fmt;
+use std::io;
+
+use accqoc_circuit::QasmError;
+use accqoc_grape::LatencyError;
+use accqoc_linalg::LinalgError;
+
+use crate::json::JsonError;
+
+/// Convenience alias: this crate's `Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Any failure of the AccQOC compilation pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// GRAPE could not reach the fidelity target for a group within the
+    /// latency cap.
+    CompileFailed {
+        /// How many qubits the failing group had.
+        n_qubits: usize,
+        /// The latency-search failure.
+        source: LatencyError,
+    },
+    /// A group was wider than the configured model set.
+    GroupTooWide {
+        /// Offending group arity.
+        n_qubits: usize,
+        /// Largest supported arity.
+        max: usize,
+    },
+    /// A group over zero qubits was submitted (no control model exists
+    /// for it, and no pulse could realize it).
+    EmptyGroup,
+    /// A required [`crate::SessionBuilder`] field was never set.
+    Builder {
+        /// Name of the missing field.
+        field: &'static str,
+    },
+    /// A configuration value is outside its supported domain.
+    InvalidConfig {
+        /// What was wrong.
+        message: String,
+    },
+    /// A stage that needs every group pulse cached found one missing
+    /// (run [`crate::Session::compile`] before [`crate::Session::latency`]).
+    UncoveredGroup {
+        /// Arity of the uncovered group.
+        n_qubits: usize,
+    },
+    /// A latency search failed outside of group compilation.
+    Latency(LatencyError),
+    /// QASM parsing failed.
+    Qasm(QasmError),
+    /// A linear-algebra kernel failed.
+    Linalg(LinalgError),
+    /// Pulse-cache JSON was malformed.
+    Json(JsonError),
+    /// File I/O failed (cache persistence).
+    Io(io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::CompileFailed { n_qubits, source } => {
+                write!(
+                    f,
+                    "pulse compilation failed for a {n_qubits}-qubit group: {source}"
+                )
+            }
+            Self::GroupTooWide { n_qubits, max } => {
+                write!(f, "group has {n_qubits} qubits but models stop at {max}")
+            }
+            Self::EmptyGroup => write!(f, "group spans zero qubits"),
+            Self::Builder { field } => {
+                write!(f, "session builder is missing the required `{field}` field")
+            }
+            Self::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+            Self::UncoveredGroup { n_qubits } => write!(
+                f,
+                "a {n_qubits}-qubit group has no cached pulse (run the compile stage first)"
+            ),
+            Self::Latency(e) => write!(f, "latency search failed: {e}"),
+            Self::Qasm(e) => write!(f, "qasm parsing failed: {e}"),
+            Self::Linalg(e) => write!(f, "linear algebra failed: {e}"),
+            Self::Json(e) => write!(f, "pulse-cache json malformed: {e}"),
+            Self::Io(e) => write!(f, "i/o failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::CompileFailed { source, .. } => Some(source),
+            Self::Latency(e) => Some(e),
+            Self::Qasm(e) => Some(e),
+            Self::Linalg(e) => Some(e),
+            Self::Json(e) => Some(e),
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LatencyError> for Error {
+    fn from(e: LatencyError) -> Self {
+        Self::Latency(e)
+    }
+}
+
+impl From<QasmError> for Error {
+    fn from(e: QasmError) -> Self {
+        Self::Qasm(e)
+    }
+}
+
+impl From<LinalgError> for Error {
+    fn from(e: LinalgError) -> Self {
+        Self::Linalg(e)
+    }
+}
+
+impl From<JsonError> for Error {
+    fn from(e: JsonError) -> Self {
+        Self::Json(e)
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Pre-redesign name of [`Error`], kept for one release.
+#[deprecated(since = "0.1.0", note = "use `accqoc::Error`")]
+pub type AccQocError = Error;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let latency = LatencyError::Infeasible {
+            max_steps: 8,
+            best_infidelity: 0.3,
+        };
+        let cases: Vec<(Error, &str)> = vec![
+            (
+                Error::CompileFailed {
+                    n_qubits: 2,
+                    source: latency.clone(),
+                },
+                "2-qubit group",
+            ),
+            (
+                Error::GroupTooWide {
+                    n_qubits: 5,
+                    max: 2,
+                },
+                "5 qubits",
+            ),
+            (Error::EmptyGroup, "zero qubits"),
+            (Error::Builder { field: "topology" }, "`topology`"),
+            (
+                Error::InvalidConfig {
+                    message: "bad".into(),
+                },
+                "bad",
+            ),
+            (Error::UncoveredGroup { n_qubits: 2 }, "no cached pulse"),
+            (Error::Latency(latency.clone()), "latency search"),
+            (
+                Error::Qasm(QasmError {
+                    line: 3,
+                    message: "nope".into(),
+                }),
+                "qasm",
+            ),
+            (
+                Error::Json(JsonError {
+                    message: "eof".into(),
+                    offset: 0,
+                }),
+                "json",
+            ),
+            (Error::Io(io::Error::other("disk")), "disk"),
+        ];
+        for (e, needle) in cases {
+            let shown = e.to_string();
+            assert!(
+                shown.contains(needle),
+                "{shown:?} should mention {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sources_chain_to_the_underlying_error() {
+        let latency = LatencyError::Infeasible {
+            max_steps: 8,
+            best_infidelity: 0.3,
+        };
+        let e = Error::CompileFailed {
+            n_qubits: 2,
+            source: latency.clone(),
+        };
+        let source = e.source().expect("compile failures carry a source");
+        assert_eq!(source.to_string(), latency.to_string());
+        assert!(Error::EmptyGroup.source().is_none());
+        assert!(Error::from(latency).source().is_some());
+    }
+
+    #[test]
+    fn from_conversions_pick_the_right_variant() {
+        let e: Error = QasmError {
+            line: 1,
+            message: "x".into(),
+        }
+        .into();
+        assert!(matches!(e, Error::Qasm(_)));
+        let e: Error = io::Error::other("x").into();
+        assert!(matches!(e, Error::Io(_)));
+        let e: Error = JsonError {
+            message: "x".into(),
+            offset: 3,
+        }
+        .into();
+        assert!(matches!(e, Error::Json(_)));
+    }
+}

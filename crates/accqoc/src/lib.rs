@@ -5,9 +5,9 @@
 //! gate groups into control pulses with GRAPE while attacking GRAPE's
 //! compile-time cost on three fronts:
 //!
-//! 1. **Static pre-compilation** ([`precompile`]) — profile a third of a
-//!    benchmark suite, compile its de-duplicated group category once, and
-//!    reuse the pulses forever (the [`PulseCache`]).
+//! 1. **Static pre-compilation** ([`Session::precompile`]) — profile a
+//!    third of a benchmark suite, compile its de-duplicated group
+//!    category once, and reuse the pulses forever (the [`PulseCache`]).
 //! 2. **Similarity-MST warm starts** ([`SimilarityGraph`],
 //!    [`mst_compile_order`]) — compile uncovered groups in an order that
 //!    minimizes the similarity distance between consecutive groups,
@@ -16,24 +16,24 @@
 //!    [`compile_parallel`]) — split the MST into balanced connected parts
 //!    and compile them on independent workers.
 //!
-//! [`AccQocCompiler::compile_program`] runs the full pipeline: decompose →
-//! crosstalk-aware map → group (`map2b4l` et al.) → cache lookup →
-//! MST-accelerated dynamic compile → Algorithm 3 latency, alongside the
-//! gate-based and brute-force QOC baselines of the paper's evaluation.
+//! The top-level entry point is [`Session`]: built once, it owns the
+//! device configuration, the control models, and the pulse cache, and
+//! exposes the pipeline of paper Figure 6 as explicit stages —
+//! `decompose → map → group → lookup → compile → latency` — plus the
+//! one-shot [`Session::compile_program`]. Every failure anywhere in the
+//! pipeline surfaces as the unified [`Error`].
 //!
 //! # Example
 //!
 //! ```no_run
-//! use accqoc::{AccQocCompiler, AccQocConfig, PulseCache};
-//! use accqoc_circuit::{Circuit, Gate};
+//! use accqoc::prelude::*;
 //!
-//! let compiler = AccQocCompiler::new(AccQocConfig::melbourne());
-//! let mut cache = PulseCache::new();
-//! let program = Circuit::from_gates(14, [Gate::H(0), Gate::Cx(0, 1)]);
-//! let out = compiler.compile_program(&program, &mut cache)?;
-//! println!("latency {:.1} ns ({}x vs gate-based)",
+//! let session = Session::builder().topology(Topology::linear(3)).build()?;
+//! let program = Circuit::from_gates(3, [Gate::H(0), Gate::Cx(0, 1)]);
+//! let out = session.compile_program(&program)?;
+//! println!("latency {:.1} ns ({:.2}x vs gate-based)",
 //!          out.overall_latency_ns, out.latency_reduction());
-//! # Ok::<(), accqoc::AccQocError>(())
+//! # Ok::<(), accqoc::Error>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -41,20 +41,58 @@
 mod baselines;
 mod cache;
 mod compile;
+mod error;
+pub mod json;
+mod model;
 mod mst;
 mod parallel;
 mod partition;
 mod precompile;
+mod session;
 mod similarity;
 
 pub use baselines::{brute_force_qoc, BruteForceConfig, BruteForceResult};
 pub use cache::{CachedPulse, PulseCache};
-pub use compile::{
-    warm_start_allowed, AccQocCompiler, AccQocConfig, AccQocError, CoverageStats,
-    GroupCompilation, ModelSet, ProgramCompilation,
-};
+#[allow(deprecated)]
+pub use compile::AccQocCompiler;
+pub use compile::{warm_start_allowed, AccQocConfig};
+#[allow(deprecated)]
+pub use error::AccQocError;
+pub use error::{Error, Result};
+pub use model::{ModelSet, MAX_MODEL_QUBITS};
 pub use mst::{mst_compile_order, scratch_order, CompileOrder, CompileStep, SimilarityGraph};
 pub use parallel::{compile_parallel, ParallelStats};
 pub use partition::{partition_tree, TreePartition, WeightedTree};
-pub use precompile::{collect_category, optimize_group, precompile, precompile_parallel, PrecompileOrder, PrecompileReport};
+pub use precompile::{
+    collect_category, optimize_group, precompile, precompile_parallel, Category, PrecompileOrder,
+    PrecompileReport,
+};
+pub use session::{
+    CompileReport, CoverageStats, DecomposeReport, GroupCompilation, GroupReport, GroupTarget,
+    LatencyReport, LookupReport, MapReport, ProgramCompilation, Session, SessionBuilder,
+};
 pub use similarity::{uhlmann_fidelity, SimilarityFn};
+
+/// One-line import for the common case: the session facade, the unified
+/// error type, and the configuration vocabulary the builder speaks.
+///
+/// ```
+/// use accqoc::prelude::*;
+///
+/// let builder = Session::builder().topology(Topology::linear(2));
+/// assert!(builder.build().is_ok());
+/// ```
+pub mod prelude {
+    // `crate::Result` is deliberately not re-exported: examples and
+    // binaries routinely return `Result<(), Box<dyn Error>>`, and a
+    // glob-imported alias would shadow `std::result::Result`.
+    pub use crate::{
+        CoverageStats, Error, ModelSet, PrecompileOrder, ProgramCompilation, PulseCache, Session,
+        SessionBuilder, SimilarityFn,
+    };
+    pub use accqoc_circuit::{Circuit, Gate};
+    pub use accqoc_grape::{GrapeOptions, LatencySearch};
+    pub use accqoc_group::GroupingPolicy;
+    pub use accqoc_hw::Topology;
+    pub use accqoc_map::MappingOptions;
+}

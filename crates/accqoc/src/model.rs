@@ -1,0 +1,102 @@
+//! Control models per group arity.
+
+use accqoc_hw::ControlModel;
+
+use crate::error::{Error, Result};
+
+/// Hard ceiling on model arity: a 6-qubit group is a 64×64 unitary, the
+/// largest the dense GRAPE kernels handle in reasonable time.
+pub const MAX_MODEL_QUBITS: usize = 6;
+
+/// Control models for groups of 1..=N qubits.
+#[derive(Debug, Clone)]
+pub struct ModelSet {
+    models: Vec<ControlModel>, // index = n_qubits − 1
+}
+
+impl ModelSet {
+    /// Spin-chain models for `1..=max_qubits` qubits.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] for `max_qubits` outside
+    /// `1..=`[`MAX_MODEL_QUBITS`].
+    pub fn spin(max_qubits: usize) -> Result<Self> {
+        if !(1..=MAX_MODEL_QUBITS).contains(&max_qubits) {
+            return Err(Error::InvalidConfig {
+                message: format!(
+                    "model set arity must be 1..={MAX_MODEL_QUBITS}, got {max_qubits}"
+                ),
+            });
+        }
+        Ok(Self {
+            models: (1..=max_qubits).map(ControlModel::spin_chain).collect(),
+        })
+    }
+
+    /// The model for groups of `n_qubits`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyGroup`] for `n_qubits == 0` (there is no zero-qubit
+    /// control model — this used to underflow and panic);
+    /// [`Error::GroupTooWide`] when no model of that arity was built.
+    pub fn for_qubits(&self, n_qubits: usize) -> Result<&ControlModel> {
+        if n_qubits == 0 {
+            return Err(Error::EmptyGroup);
+        }
+        self.models.get(n_qubits - 1).ok_or(Error::GroupTooWide {
+            n_qubits,
+            max: self.models.len(),
+        })
+    }
+
+    /// Largest supported arity.
+    pub fn max_qubits(&self) -> usize {
+        self.models.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_dispatch() {
+        let ms = ModelSet::spin(2).unwrap();
+        assert_eq!(ms.for_qubits(1).unwrap().dim(), 2);
+        assert_eq!(ms.for_qubits(2).unwrap().dim(), 4);
+        assert_eq!(ms.max_qubits(), 2);
+    }
+
+    #[test]
+    fn zero_qubits_is_an_error_not_a_panic() {
+        let ms = ModelSet::spin(2).unwrap();
+        assert!(matches!(ms.for_qubits(0), Err(Error::EmptyGroup)));
+    }
+
+    #[test]
+    fn over_wide_requests_are_rejected() {
+        let ms = ModelSet::spin(2).unwrap();
+        assert!(matches!(
+            ms.for_qubits(3),
+            Err(Error::GroupTooWide {
+                n_qubits: 3,
+                max: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn constructor_domain_is_validated() {
+        assert!(matches!(
+            ModelSet::spin(0),
+            Err(Error::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            ModelSet::spin(7),
+            Err(Error::InvalidConfig { .. })
+        ));
+        assert!(ModelSet::spin(MAX_MODEL_QUBITS).is_ok());
+    }
+}

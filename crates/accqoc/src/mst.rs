@@ -8,8 +8,6 @@
 //! group's GRAPE run is warm-started from the pulse of its tree parent
 //! (the identity parent means a from-scratch start).
 
-use serde::{Deserialize, Serialize};
-
 use accqoc_linalg::Mat;
 
 use crate::similarity::SimilarityFn;
@@ -45,7 +43,12 @@ impl SimilarityGraph {
             .iter()
             .map(|u| function.distance(u, &Mat::identity(u.rows())))
             .collect();
-        Self { unitaries, function, dist, dist_to_id }
+        Self {
+            unitaries,
+            function,
+            dist,
+            dist_to_id,
+        }
     }
 
     /// Number of group vertices (identity excluded).
@@ -80,7 +83,7 @@ impl SimilarityGraph {
 }
 
 /// One step of the compilation sequence.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompileStep {
     /// Group vertex to compile.
     pub vertex: usize,
@@ -92,7 +95,7 @@ pub struct CompileStep {
 }
 
 /// The MST-ordered compilation sequence.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompileOrder {
     /// Steps in Prim selection order — a valid schedule: every parent
     /// appears before its children.
@@ -150,8 +153,9 @@ pub fn mst_compile_order(graph: &SimilarityGraph) -> CompileOrder {
     let n = graph.len();
     let mut in_tree = vec![false; n];
     // best[(v)] = (distance, parent): parent None = identity vertex.
-    let mut best: Vec<(f64, Option<usize>)> =
-        (0..n).map(|v| (graph.distance_to_identity(v), None)).collect();
+    let mut best: Vec<(f64, Option<usize>)> = (0..n)
+        .map(|v| (graph.distance_to_identity(v), None))
+        .collect();
     let mut steps = Vec::with_capacity(n);
 
     for _ in 0..n {
@@ -172,7 +176,11 @@ pub fn mst_compile_order(graph: &SimilarityGraph) -> CompileOrder {
         }
         let v = pick.expect("loop bounded by n");
         in_tree[v] = true;
-        steps.push(CompileStep { vertex: v, parent: best[v].1, weight: best[v].0 });
+        steps.push(CompileStep {
+            vertex: v,
+            parent: best[v].1,
+            weight: best[v].0,
+        });
         for u in 0..n {
             if !in_tree[u] {
                 let d = graph.distance(v, u);
@@ -190,7 +198,11 @@ pub fn mst_compile_order(graph: &SimilarityGraph) -> CompileOrder {
 pub fn scratch_order(n: usize, graph: &SimilarityGraph) -> CompileOrder {
     CompileOrder {
         steps: (0..n)
-            .map(|v| CompileStep { vertex: v, parent: None, weight: graph.distance_to_identity(v) })
+            .map(|v| CompileStep {
+                vertex: v,
+                parent: None,
+                weight: graph.distance_to_identity(v),
+            })
             .collect(),
     }
 }
@@ -208,10 +220,8 @@ mod tests {
     fn chain_of_rotations_orders_by_angle() {
         // Rz(0.1), Rz(0.2), Rz(0.3): MST from identity should chain them
         // in angle order (each nearest to its neighbor).
-        let graph = SimilarityGraph::build(
-            vec![rz(0.3), rz(0.1), rz(0.2)],
-            SimilarityFn::Frobenius,
-        );
+        let graph =
+            SimilarityGraph::build(vec![rz(0.3), rz(0.1), rz(0.2)], SimilarityFn::Frobenius);
         let order = mst_compile_order(&graph);
         assert!(order.is_valid_schedule());
         // First selected: the one closest to identity = Rz(0.1) = vertex 1.

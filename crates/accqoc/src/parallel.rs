@@ -13,9 +13,11 @@ use accqoc_grape::Pulse;
 use accqoc_linalg::Mat;
 
 use crate::cache::{CachedPulse, PulseCache};
-use crate::compile::{AccQocCompiler, AccQocError};
+use crate::compile::warm_start_allowed;
+use crate::error::{Error, Result};
 use crate::mst::CompileOrder;
 use crate::partition::{partition_tree, TreePartition, WeightedTree};
+use crate::session::Session;
 
 /// Statistics from a parallel compilation run.
 #[derive(Debug, Clone)]
@@ -39,21 +41,26 @@ pub struct ParallelStats {
 ///
 /// # Errors
 ///
-/// Propagates the first compilation failure (other workers' completed
-/// work is discarded).
-///
-/// # Panics
-///
-/// Panics if `n_workers == 0` or input lengths disagree.
+/// [`Error::InvalidConfig`] when `n_workers == 0` or input lengths
+/// disagree; otherwise propagates the first compilation failure (other
+/// workers' completed work is discarded).
 pub fn compile_parallel(
-    compiler: &AccQocCompiler,
+    session: &Session,
     order: &CompileOrder,
     unitaries: &[(Mat, usize)],
     keys: &[UnitaryKey],
     n_workers: usize,
-) -> Result<(PulseCache, ParallelStats), AccQocError> {
-    assert!(n_workers >= 1, "need at least one worker");
-    assert_eq!(unitaries.len(), keys.len());
+) -> Result<(PulseCache, ParallelStats)> {
+    if n_workers == 0 {
+        return Err(Error::InvalidConfig {
+            message: "need at least one worker".into(),
+        });
+    }
+    if unitaries.len() != keys.len() {
+        return Err(Error::InvalidConfig {
+            message: format!("{} unitaries but {} keys", unitaries.len(), keys.len()),
+        });
+    }
     let n = unitaries.len();
     if n == 0 {
         return Ok((
@@ -63,7 +70,10 @@ pub fn compile_parallel(
                 total_iterations: 0,
                 makespan_iterations: 0,
                 cut_edges: 0,
-                partition: TreePartition { part_of: vec![], n_parts: 0 },
+                partition: TreePartition {
+                    part_of: vec![],
+                    n_parts: 0,
+                },
             },
         ));
     }
@@ -74,8 +84,6 @@ pub fn compile_parallel(
 
     // Per-part local sequences in global order, with parents degraded to
     // scratch when the MST edge is cut.
-    let step_of: HashMap<usize, &crate::mst::CompileStep> =
-        order.steps.iter().map(|s| (s.vertex, s)).collect();
     let mut cut_edges = 0usize;
     let mut plans: Vec<Vec<(usize, Option<usize>)>> = Vec::with_capacity(parts.len());
     for part in &parts {
@@ -97,15 +105,14 @@ pub fn compile_parallel(
         }
         plans.push(plan);
     }
-    let _ = step_of;
 
     // Run the parts on scoped threads.
-    type PartResult = Result<(Vec<(usize, Pulse, f64, usize)>, usize), AccQocError>;
-    let results: Vec<PartResult> = crossbeam::thread::scope(|scope| {
+    type PartResult = Result<(Vec<(usize, Pulse, f64, usize)>, usize)>;
+    let results: Vec<PartResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = plans
             .iter()
             .map(|plan| {
-                scope.spawn(move |_| -> PartResult {
+                scope.spawn(move || -> PartResult {
                     let mut local: Vec<(usize, Pulse, f64, usize)> = Vec::new();
                     let mut pulses: HashMap<usize, Pulse> = HashMap::new();
                     let mut iterations = 0usize;
@@ -113,14 +120,14 @@ pub fn compile_parallel(
                         let (target, n_qubits) = &unitaries[vertex];
                         let warm = parent
                             .filter(|&p| {
-                                crate::compile::warm_start_allowed(
+                                warm_start_allowed(
                                     &unitaries[p].0,
                                     target,
-                                    compiler.config().warm_threshold,
+                                    session.config().warm_threshold,
                                 )
                             })
                             .and_then(|p| pulses.get(&p));
-                        let r = compiler.compile_unitary(target, *n_qubits, warm)?;
+                        let r = session.compile_unitary(target, *n_qubits, warm)?;
                         iterations += r.total_iterations;
                         pulses.insert(vertex, r.outcome.pulse.clone());
                         local.push((vertex, r.outcome.pulse, r.latency_ns, r.total_iterations));
@@ -129,9 +136,11 @@ pub fn compile_parallel(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("crossbeam scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
 
     let mut cache = PulseCache::new();
     let mut iterations_per_part = Vec::with_capacity(results.len());
@@ -141,7 +150,12 @@ pub fn compile_parallel(
         for (vertex, pulse, latency_ns, iterations) in local {
             cache.insert(
                 keys[vertex].clone(),
-                CachedPulse { pulse, latency_ns, iterations, n_qubits: unitaries[vertex].1 },
+                CachedPulse {
+                    pulse,
+                    latency_ns,
+                    iterations,
+                    n_qubits: unitaries[vertex].1,
+                },
             );
         }
     }
@@ -163,16 +177,19 @@ pub fn compile_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::compile::AccQocConfig;
     use crate::mst::{mst_compile_order, SimilarityGraph};
     use crate::similarity::SimilarityFn;
     use accqoc_circuit::{circuit_unitary, Circuit, Gate};
     use accqoc_hw::Topology;
 
-    fn setup() -> (AccQocCompiler, Vec<(Mat, usize)>, Vec<UnitaryKey>, CompileOrder) {
-        let mut config = AccQocConfig::for_topology(Topology::linear(2));
-        config.grape.stop.max_iters = 200;
-        let compiler = AccQocCompiler::new(config);
+    fn setup() -> (Session, Vec<(Mat, usize)>, Vec<UnitaryKey>, CompileOrder) {
+        let mut grape = accqoc_grape::GrapeOptions::default();
+        grape.stop.max_iters = 200;
+        let session = Session::builder()
+            .topology(Topology::linear(2))
+            .grape(grape)
+            .build()
+            .unwrap();
         let unitaries: Vec<(Mat, usize)> = (1..=5)
             .map(|k| {
                 let u = circuit_unitary(&Circuit::from_gates(
@@ -182,21 +199,22 @@ mod tests {
                 (u, 1)
             })
             .collect();
-        let keys: Vec<UnitaryKey> =
-            unitaries.iter().map(|(u, n)| UnitaryKey::canonical(u, *n)).collect();
+        let keys: Vec<UnitaryKey> = unitaries
+            .iter()
+            .map(|(u, n)| UnitaryKey::canonical(u, *n))
+            .collect();
         let graph = SimilarityGraph::build(
             unitaries.iter().map(|(u, _)| u.clone()).collect(),
             SimilarityFn::Frobenius,
         );
         let order = mst_compile_order(&graph);
-        (compiler, unitaries, keys, order)
+        (session, unitaries, keys, order)
     }
 
     #[test]
     fn parallel_compilation_fills_cache() {
-        let (compiler, unitaries, keys, order) = setup();
-        let (cache, stats) =
-            compile_parallel(&compiler, &order, &unitaries, &keys, 2).unwrap();
+        let (session, unitaries, keys, order) = setup();
+        let (cache, stats) = compile_parallel(&session, &order, &unitaries, &keys, 2).unwrap();
         assert_eq!(cache.len(), 5);
         assert_eq!(stats.iterations_per_part.len(), stats.partition.n_parts);
         assert!(stats.total_iterations > 0);
@@ -208,8 +226,8 @@ mod tests {
 
     #[test]
     fn single_worker_equals_sequential_iteration_count() {
-        let (compiler, unitaries, keys, order) = setup();
-        let (_, one) = compile_parallel(&compiler, &order, &unitaries, &keys, 1).unwrap();
+        let (session, unitaries, keys, order) = setup();
+        let (_, one) = compile_parallel(&session, &order, &unitaries, &keys, 1).unwrap();
         assert_eq!(one.partition.n_parts, 1);
         assert_eq!(one.cut_edges, 0);
         assert_eq!(one.makespan_iterations, one.total_iterations);
@@ -217,9 +235,9 @@ mod tests {
 
     #[test]
     fn more_workers_reduce_makespan() {
-        let (compiler, unitaries, keys, order) = setup();
-        let (_, one) = compile_parallel(&compiler, &order, &unitaries, &keys, 1).unwrap();
-        let (_, three) = compile_parallel(&compiler, &order, &unitaries, &keys, 3).unwrap();
+        let (session, unitaries, keys, order) = setup();
+        let (_, one) = compile_parallel(&session, &order, &unitaries, &keys, 1).unwrap();
+        let (_, three) = compile_parallel(&session, &order, &unitaries, &keys, 3).unwrap();
         assert!(
             three.makespan_iterations <= one.makespan_iterations,
             "3 workers {} vs 1 worker {}",
@@ -230,10 +248,17 @@ mod tests {
 
     #[test]
     fn empty_input_is_fine() {
-        let (compiler, _, _, _) = setup();
+        let (session, _, _, _) = setup();
         let order = CompileOrder { steps: vec![] };
-        let (cache, stats) = compile_parallel(&compiler, &order, &[], &[], 4).unwrap();
+        let (cache, stats) = compile_parallel(&session, &order, &[], &[], 4).unwrap();
         assert!(cache.is_empty());
         assert_eq!(stats.total_iterations, 0);
+    }
+
+    #[test]
+    fn zero_workers_is_an_error() {
+        let (session, unitaries, keys, order) = setup();
+        let e = compile_parallel(&session, &order, &unitaries, &keys, 0).unwrap_err();
+        assert!(matches!(e, Error::InvalidConfig { .. }));
     }
 }

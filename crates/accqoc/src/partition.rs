@@ -10,12 +10,10 @@
 //! replaced here by an exact-enough greedy tree partitioner: repeatedly
 //! split the heaviest part at the edge that best balances it.
 
-use serde::{Deserialize, Serialize};
-
 use crate::mst::CompileOrder;
 
 /// The node-weighted tree derived from a compile order.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WeightedTree {
     /// `weight[v]` = estimated training cost of vertex `v` (its MST edge
     /// weight shifted onto it; scratch starts get their identity-edge
@@ -46,6 +44,11 @@ impl WeightedTree {
         self.weights.len()
     }
 
+    /// `true` when the tree has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
     /// Children lists (derived).
     pub fn children(&self) -> Vec<Vec<usize>> {
         let mut ch = vec![Vec::new(); self.len()];
@@ -64,7 +67,7 @@ impl WeightedTree {
 }
 
 /// A partition of the tree into connected parts.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TreePartition {
     /// `part[v]` = part index of vertex `v`.
     pub part_of: Vec<usize>,
@@ -139,7 +142,10 @@ pub fn partition_tree(tree: &WeightedTree, k: usize) -> TreePartition {
     assert!(k >= 1, "need at least one part");
     let n = tree.len();
     if n == 0 {
-        return TreePartition { part_of: vec![], n_parts: 0 };
+        return TreePartition {
+            part_of: vec![],
+            n_parts: 0,
+        };
     }
 
     // Initial parts = connected components (roots and their subtrees).
@@ -184,7 +190,7 @@ pub fn partition_tree(tree: &WeightedTree, k: usize) -> TreePartition {
                 continue;
             }
             let score = (heavy_load / 2.0 - w).abs();
-            if best.map_or(true, |(_, s)| score < s) {
+            if best.is_none_or(|(_, s)| score < s) {
                 best = Some((v, score));
             }
         }
@@ -238,8 +244,16 @@ mod tests {
     fn from_order_shifts_edge_weights() {
         let order = CompileOrder {
             steps: vec![
-                CompileStep { vertex: 0, parent: None, weight: 3.0 },
-                CompileStep { vertex: 1, parent: Some(0), weight: 0.5 },
+                CompileStep {
+                    vertex: 0,
+                    parent: None,
+                    weight: 3.0,
+                },
+                CompileStep {
+                    vertex: 1,
+                    parent: Some(0),
+                    weight: 0.5,
+                },
             ],
         };
         let tree = WeightedTree::from_order(&order, 2);
@@ -306,7 +320,10 @@ mod tests {
 
     #[test]
     fn empty_tree() {
-        let tree = WeightedTree { weights: vec![], parents: vec![] };
+        let tree = WeightedTree {
+            weights: vec![],
+            parents: vec![],
+        };
         let p = partition_tree(&tree, 4);
         assert_eq!(p.n_parts, 0);
     }

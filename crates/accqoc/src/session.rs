@@ -1,0 +1,977 @@
+//! The [`Session`] facade: one owner for the whole AccQOC pipeline.
+//!
+//! A session is built once ([`Session::builder`]), owns the device
+//! configuration, the [`ModelSet`], the lazily compiled single-gate
+//! duration table, and the [`PulseCache`], and exposes the paper's
+//! pipeline (Figure 6) as explicit stages:
+//!
+//! ```text
+//! decompose → map → group → lookup → compile → latency
+//! ```
+//!
+//! Each stage returns a typed report so callers can observe exactly what
+//! the compiler did; [`Session::compile_program`] runs all six in order
+//! and folds the reports into one [`ProgramCompilation`].
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use accqoc_circuit::{Circuit, CircuitDag, Gate, GateKind, UnitaryKey};
+use accqoc_grape::{find_minimal_latency, InitStrategy, LatencyResult, Pulse};
+use accqoc_group::{dedup_groups, divide_circuit, GroupedCircuit, GroupingPolicy};
+use accqoc_hw::{GateDurations, Topology};
+use accqoc_linalg::Mat;
+use accqoc_map::{crosstalk_metric, map_circuit, MappingOptions};
+
+use crate::cache::{CachedPulse, PulseCache};
+use crate::compile::{warm_start_allowed, AccQocConfig};
+use crate::error::{Error, Result};
+use crate::model::ModelSet;
+use crate::mst::{mst_compile_order, SimilarityGraph};
+use crate::precompile::{self, PrecompileOrder, PrecompileReport};
+use crate::similarity::SimilarityFn;
+
+// ---------------------------------------------------------------------------
+// Stage reports.
+// ---------------------------------------------------------------------------
+
+/// Report of the decomposition stage: the program lowered to the
+/// hardware-native gate alphabet.
+#[derive(Debug, Clone)]
+pub struct DecomposeReport {
+    /// The decomposed circuit.
+    pub circuit: Circuit,
+    /// Gates before decomposition.
+    pub input_gates: usize,
+    /// Gates after decomposition.
+    pub output_gates: usize,
+}
+
+/// Report of the crosstalk-aware mapping stage.
+#[derive(Debug, Clone)]
+pub struct MapReport {
+    /// The physically mapped circuit.
+    pub circuit: Circuit,
+    /// Swaps inserted to satisfy the coupling graph.
+    pub swap_count: usize,
+    /// Crosstalk metric of the mapped circuit (close CNOT pairs/layer).
+    pub crosstalk: usize,
+    /// Logical→physical layout before the first gate.
+    pub initial_layout: Vec<usize>,
+    /// Layout after the last gate.
+    pub final_layout: Vec<usize>,
+}
+
+/// One unique gate group, canonicalized for compilation and caching.
+#[derive(Debug, Clone)]
+pub struct GroupTarget {
+    /// Canonical cache key (phase- and permutation-invariant).
+    pub key: UnitaryKey,
+    /// Canonical unitary GRAPE compiles toward.
+    pub unitary: Mat,
+    /// Number of qubits the group spans.
+    pub n_qubits: usize,
+}
+
+/// Report of the grouping + de-duplication stage.
+#[derive(Debug, Clone)]
+pub struct GroupReport {
+    /// Groups and the group DAG.
+    pub grouped: GroupedCircuit,
+    /// The processed physical circuit the groups cover.
+    pub processed: Circuit,
+    /// Unique groups after de-duplication.
+    pub targets: Vec<GroupTarget>,
+    /// `assignment[i]` = index into `targets` of group instance `i`.
+    pub assignment: Vec<usize>,
+    /// Swaps inserted by mapping (carried through for the final report).
+    pub swap_count: usize,
+    /// Crosstalk metric of the mapped circuit (carried through).
+    pub crosstalk: usize,
+}
+
+impl GroupReport {
+    /// Number of group instances.
+    pub fn n_instances(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of unique groups.
+    pub fn n_unique(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+/// Report of the cache-lookup stage (paper §V-A coverage).
+#[derive(Debug, Clone)]
+pub struct LookupReport {
+    /// Instance coverage against the session cache.
+    pub coverage: CoverageStats,
+    /// Unique groups the cache does not cover, in target order.
+    pub uncovered: Vec<GroupTarget>,
+}
+
+/// Result of compiling one unique group.
+#[derive(Debug, Clone)]
+pub struct GroupCompilation {
+    /// Canonical group identity.
+    pub key: UnitaryKey,
+    /// Minimal pulse latency (ns).
+    pub latency_ns: f64,
+    /// GRAPE iterations spent (0 for cache hits).
+    pub iterations: usize,
+    /// Whether the pulse came from the cache.
+    pub covered: bool,
+}
+
+/// Report of the MST-ordered dynamic compilation stage.
+#[derive(Debug, Clone)]
+pub struct CompileReport {
+    /// Per-group compilation results, in MST order.
+    pub compiled: Vec<GroupCompilation>,
+    /// GRAPE iterations spent across all groups (the paper's compile-cost
+    /// metric).
+    pub dynamic_iterations: usize,
+    /// Groups that started from scratch (identity MST parents).
+    pub scratch_starts: usize,
+    /// Total similarity weight of the MST that ordered the compilation.
+    pub mst_weight: f64,
+}
+
+/// Report of the Algorithm 3 latency stage.
+#[derive(Debug, Clone)]
+pub struct LatencyReport {
+    /// Overall pulse latency of the program (Algorithm 3 DP), ns.
+    pub overall_latency_ns: f64,
+    /// Gate-based compilation latency of the same circuit, ns.
+    pub gate_based_latency_ns: f64,
+    /// Latency of each group instance, ns.
+    pub per_instance_ns: Vec<f64>,
+}
+
+impl LatencyReport {
+    /// Latency reduction factor vs gate-based compilation.
+    pub fn latency_reduction(&self) -> f64 {
+        if self.overall_latency_ns == 0.0 {
+            1.0
+        } else {
+            self.gate_based_latency_ns / self.overall_latency_ns
+        }
+    }
+}
+
+/// Coverage statistics (paper §V-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverageStats {
+    /// Group *instances* covered by the cache.
+    pub covered: usize,
+    /// Total group instances in the program.
+    pub total: usize,
+}
+
+impl CoverageStats {
+    /// `# covered / # groups` (1.0 for empty programs).
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.covered as f64 / self.total as f64
+        }
+    }
+}
+
+/// Full result of compiling a program through AccQOC: the folded view of
+/// every stage report.
+#[derive(Debug, Clone)]
+pub struct ProgramCompilation {
+    /// Overall pulse latency of the program (Algorithm 3), ns.
+    pub overall_latency_ns: f64,
+    /// Gate-based compilation latency of the same mapped circuit, ns.
+    pub gate_based_latency_ns: f64,
+    /// Coverage of the pulse cache (before this program's compilation).
+    pub coverage: CoverageStats,
+    /// GRAPE iterations spent on uncovered groups (dynamic compile cost).
+    pub dynamic_iterations: usize,
+    /// Unique uncovered groups compiled.
+    pub n_uncovered_unique: usize,
+    /// Groups after division and the processed physical circuit.
+    pub grouped: GroupedCircuit,
+    /// Crosstalk metric of the mapped circuit.
+    pub crosstalk: usize,
+    /// Swaps inserted by mapping.
+    pub swap_count: usize,
+}
+
+impl ProgramCompilation {
+    /// Latency reduction factor vs gate-based compilation.
+    pub fn latency_reduction(&self) -> f64 {
+        if self.overall_latency_ns == 0.0 {
+            1.0
+        } else {
+            self.gate_based_latency_ns / self.overall_latency_ns
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder.
+// ---------------------------------------------------------------------------
+
+/// Builder for [`Session`]. Only the topology is required; everything
+/// else defaults to the paper's headline setup (map2b4l grouping,
+/// crosstalk-aware mapping, L-BFGS GRAPE at the 1e-4 target, `fidelity1`
+/// similarity with the 0.15 warm-start gate).
+#[derive(Debug, Clone, Default)]
+pub struct SessionBuilder {
+    topology: Option<Topology>,
+    policy: Option<GroupingPolicy>,
+    mapping: Option<MappingOptions>,
+    grape: Option<accqoc_grape::GrapeOptions>,
+    search: Option<accqoc_grape::LatencySearch>,
+    similarity: Option<SimilarityFn>,
+    warm_threshold: Option<f64>,
+    models: Option<ModelSet>,
+    cache: Option<PulseCache>,
+}
+
+impl SessionBuilder {
+    /// Sets the device coupling topology (required).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Sets the grouping policy (default: `map2b4l`).
+    pub fn policy(mut self, policy: GroupingPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Sets the mapping options (default: crosstalk-aware).
+    pub fn mapping(mut self, mapping: MappingOptions) -> Self {
+        self.mapping = Some(mapping);
+        self
+    }
+
+    /// Sets the GRAPE solver options.
+    pub fn grape(mut self, grape: accqoc_grape::GrapeOptions) -> Self {
+        self.grape = Some(grape);
+        self
+    }
+
+    /// Sets the latency-search bounds.
+    pub fn search(mut self, search: accqoc_grape::LatencySearch) -> Self {
+        self.search = Some(search);
+        self
+    }
+
+    /// Sets the similarity function ordering the MST (default:
+    /// `fidelity1`, the trace-overlap distance).
+    pub fn similarity(mut self, similarity: SimilarityFn) -> Self {
+        self.similarity = Some(similarity);
+        self
+    }
+
+    /// Sets the warm-start gate threshold (default: 0.15).
+    pub fn warm_threshold(mut self, threshold: f64) -> Self {
+        self.warm_threshold = Some(threshold);
+        self
+    }
+
+    /// Sets a custom model set (default: spin-chain models up to the
+    /// grouping policy's width).
+    pub fn models(mut self, models: ModelSet) -> Self {
+        self.models = Some(models);
+        self
+    }
+
+    /// Seeds the session with a pre-populated pulse cache.
+    pub fn cache(mut self, cache: PulseCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Builds the session.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Builder`] when the topology was never set;
+    /// [`Error::InvalidConfig`] when the warm threshold is not finite and
+    /// non-negative, or the (defaulted) model arity is unsupported.
+    pub fn build(self) -> Result<Session> {
+        let topology = self.topology.ok_or(Error::Builder { field: "topology" })?;
+        // Single source of truth for the paper defaults: start from the
+        // stock config and overlay only what the caller set explicitly.
+        let mut config = AccQocConfig::for_topology(topology);
+        if let Some(policy) = self.policy {
+            config.policy = policy;
+        }
+        if let Some(mapping) = self.mapping {
+            config.mapping = mapping;
+        }
+        if let Some(grape) = self.grape {
+            config.grape = grape;
+        }
+        if let Some(search) = self.search {
+            config.search = search;
+        }
+        if let Some(similarity) = self.similarity {
+            config.similarity = similarity;
+        }
+        if let Some(warm_threshold) = self.warm_threshold {
+            if warm_threshold.is_nan() || warm_threshold < 0.0 {
+                return Err(Error::InvalidConfig {
+                    message: format!("warm threshold must be non-negative, got {warm_threshold}"),
+                });
+            }
+            config.warm_threshold = warm_threshold;
+        }
+        let models = match self.models {
+            Some(m) => m,
+            None => ModelSet::spin(config.policy.max_qubits)?,
+        };
+        Ok(Session {
+            config,
+            models,
+            durations: Arc::new(Mutex::new(None)),
+            cache: Mutex::new(self.cache.unwrap_or_default()),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session.
+// ---------------------------------------------------------------------------
+
+/// The AccQOC compiler session: owns configuration, device models, the
+/// single-gate duration table, and the pulse cache.
+#[derive(Debug)]
+pub struct Session {
+    config: AccQocConfig,
+    models: ModelSet,
+    /// Shared across forks: the table only depends on config + models.
+    durations: Arc<Mutex<Option<GateDurations>>>,
+    cache: Mutex<PulseCache>,
+}
+
+impl Session {
+    /// Starts building a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// Builds a session from a full [`AccQocConfig`], deriving models
+    /// from the policy width.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when the policy width has no spin-chain
+    /// model.
+    pub fn from_config(config: AccQocConfig) -> Result<Self> {
+        let models = ModelSet::spin(config.policy.max_qubits)?;
+        Ok(Self {
+            config,
+            models,
+            durations: Arc::new(Mutex::new(None)),
+            cache: Mutex::new(PulseCache::new()),
+        })
+    }
+
+    /// A session with independent state but the same configuration and a
+    /// snapshot of the current cache. Forks share the (lazily compiled)
+    /// single-gate duration table.
+    pub fn fork(&self) -> Self {
+        Self {
+            config: self.config.clone(),
+            models: self.models.clone(),
+            durations: Arc::clone(&self.durations),
+            cache: Mutex::new(self.cache_snapshot()),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AccQocConfig {
+        &self.config
+    }
+
+    /// The model set.
+    pub fn models(&self) -> &ModelSet {
+        &self.models
+    }
+
+    fn cache_lock(&self) -> MutexGuard<'_, PulseCache> {
+        self.cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    // -- cache management ---------------------------------------------------
+
+    /// Number of cached unique groups.
+    pub fn cache_len(&self) -> usize {
+        self.cache_lock().len()
+    }
+
+    /// A copy of the current pulse cache.
+    pub fn cache_snapshot(&self) -> PulseCache {
+        self.cache_lock().clone()
+    }
+
+    /// `true` when the cache covers `key` (no cache copy).
+    pub fn cache_contains(&self, key: &UnitaryKey) -> bool {
+        self.cache_lock().contains(key)
+    }
+
+    /// A copy of one cache entry, if covered (no whole-cache copy).
+    pub fn cached(&self, key: &UnitaryKey) -> Option<CachedPulse> {
+        self.cache_lock().lookup(key).cloned()
+    }
+
+    /// Merges entries into the session cache (incoming entries win).
+    pub fn import_cache(&self, other: PulseCache) {
+        self.cache_lock().merge(other);
+    }
+
+    /// Replaces the session cache.
+    pub fn set_cache(&self, cache: PulseCache) {
+        *self.cache_lock() = cache;
+    }
+
+    /// Persists the cache as JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on filesystem failures.
+    pub fn save_cache(&self, path: impl AsRef<Path>) -> Result<()> {
+        self.cache_lock().save(path)
+    }
+
+    /// Merges a JSON cache file into the session cache; returns how many
+    /// unique groups the file held.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] / [`Error::Json`] on unreadable or malformed files.
+    pub fn load_cache(&self, path: impl AsRef<Path>) -> Result<usize> {
+        let loaded = PulseCache::load(path)?;
+        let n = loaded.len();
+        self.import_cache(loaded);
+        Ok(n)
+    }
+
+    // -- pipeline stages ----------------------------------------------------
+
+    /// Stage 1: decomposes a logical program into the hardware-native
+    /// gate alphabet (`ccx` is never native; swaps survive until grouping
+    /// decides their fate per policy).
+    pub fn decompose(&self, circuit: &Circuit) -> DecomposeReport {
+        let decomposed = circuit.decomposed(false);
+        DecomposeReport {
+            input_gates: circuit.len(),
+            output_gates: decomposed.len(),
+            circuit: decomposed,
+        }
+    }
+
+    /// Stage 2: crosstalk-aware mapping onto the device topology (§IV-A).
+    pub fn map(&self, decomposed: &DecomposeReport) -> MapReport {
+        let mapped = map_circuit(
+            &decomposed.circuit,
+            &self.config.topology,
+            &self.config.mapping,
+        );
+        let crosstalk = crosstalk_metric(&mapped.circuit, &self.config.topology);
+        MapReport {
+            crosstalk,
+            swap_count: mapped.swap_count,
+            initial_layout: mapped.initial_layout,
+            final_layout: mapped.final_layout,
+            circuit: mapped.circuit,
+        }
+    }
+
+    /// Stage 3: divides the mapped circuit into gate groups under the
+    /// session policy and de-duplicates them up to phase and qubit
+    /// permutation (§IV-B/C).
+    pub fn group(&self, mapped: &MapReport) -> GroupReport {
+        let (grouped, processed) = divide_circuit(&mapped.circuit, &self.config.policy);
+        let dedup = dedup_groups(&grouped.groups);
+        let targets = dedup
+            .unique
+            .iter()
+            .zip(&dedup.keys)
+            .map(|(g, key)| {
+                let u = g.unitary();
+                let (_, perm) = UnitaryKey::canonical_with_permutation(&u, g.n_qubits());
+                GroupTarget {
+                    key: key.clone(),
+                    unitary: accqoc_circuit::permute_qubits(&u, &perm, g.n_qubits()),
+                    n_qubits: g.n_qubits(),
+                }
+            })
+            .collect();
+        GroupReport {
+            grouped,
+            processed,
+            targets,
+            assignment: dedup.assignment,
+            swap_count: mapped.swap_count,
+            crosstalk: mapped.crosstalk,
+        }
+    }
+
+    /// Stage 4: checks every group instance against the pulse cache
+    /// (paper Figure 7 measures exactly this coverage).
+    pub fn lookup(&self, grouped: &GroupReport) -> LookupReport {
+        let cache = self.cache_lock();
+        let uncovered: Vec<GroupTarget> = grouped
+            .targets
+            .iter()
+            .filter(|t| !cache.contains(&t.key))
+            .cloned()
+            .collect();
+        let covered = grouped
+            .assignment
+            .iter()
+            .filter(|&&u| cache.contains(&grouped.targets[u].key))
+            .count();
+        LookupReport {
+            coverage: CoverageStats {
+                covered,
+                total: grouped.assignment.len(),
+            },
+            uncovered,
+        }
+    }
+
+    /// Stage 5: compiles the uncovered groups in similarity-MST order
+    /// with warm starts (§V-C), adding every pulse to the session cache.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::CompileFailed`] when a group has no feasible pulse within
+    /// the latency cap; [`Error::GroupTooWide`] / [`Error::EmptyGroup`]
+    /// for groups outside the model set.
+    pub fn compile(&self, lookup: &LookupReport) -> Result<CompileReport> {
+        if lookup.uncovered.is_empty() {
+            return Ok(CompileReport {
+                compiled: vec![],
+                dynamic_iterations: 0,
+                scratch_starts: 0,
+                mst_weight: 0.0,
+            });
+        }
+        let graph = SimilarityGraph::build(
+            lookup.uncovered.iter().map(|t| t.unitary.clone()).collect(),
+            self.config.similarity,
+        );
+        let order = mst_compile_order(&graph);
+
+        let mut pulses: HashMap<usize, Pulse> = HashMap::new();
+        let mut compiled = Vec::with_capacity(order.steps.len());
+        let mut dynamic_iterations = 0usize;
+        for step in &order.steps {
+            let target = &lookup.uncovered[step.vertex];
+            let warm = step
+                .parent
+                .filter(|&p| {
+                    warm_start_allowed(
+                        &lookup.uncovered[p].unitary,
+                        &target.unitary,
+                        self.config.warm_threshold,
+                    )
+                })
+                .and_then(|p| pulses.get(&p));
+            let result = self.compile_unitary(&target.unitary, target.n_qubits, warm)?;
+            dynamic_iterations += result.total_iterations;
+            pulses.insert(step.vertex, result.outcome.pulse.clone());
+            compiled.push(GroupCompilation {
+                key: target.key.clone(),
+                latency_ns: result.latency_ns,
+                iterations: result.total_iterations,
+                covered: false,
+            });
+            self.cache_lock().insert(
+                target.key.clone(),
+                CachedPulse {
+                    pulse: result.outcome.pulse,
+                    latency_ns: result.latency_ns,
+                    iterations: result.total_iterations,
+                    n_qubits: target.n_qubits,
+                },
+            );
+        }
+        Ok(CompileReport {
+            compiled,
+            dynamic_iterations,
+            scratch_starts: order.scratch_starts(),
+            mst_weight: order.total_weight(),
+        })
+    }
+
+    /// Stage 6: the Algorithm 3 latency dynamic program over the group
+    /// DAG, plus the gate-based baseline on the same circuit.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UncoveredGroup`] when a group has no cached pulse (run
+    /// [`Session::compile`] first).
+    pub fn latency(&self, grouped: &GroupReport) -> Result<LatencyReport> {
+        let per_unique: Vec<f64> = {
+            let cache = self.cache_lock();
+            grouped
+                .targets
+                .iter()
+                .map(|t| {
+                    cache
+                        .lookup(&t.key)
+                        .map(|e| e.latency_ns)
+                        .ok_or(Error::UncoveredGroup {
+                            n_qubits: t.n_qubits,
+                        })
+                })
+                .collect::<Result<_>>()?
+        };
+        let per_instance_ns: Vec<f64> = grouped.assignment.iter().map(|&u| per_unique[u]).collect();
+        let overall_latency_ns = grouped.grouped.overall_latency(|i| per_instance_ns[i]);
+        let gate_based_latency_ns = self.gate_based_latency(&grouped.processed);
+        Ok(LatencyReport {
+            overall_latency_ns,
+            gate_based_latency_ns,
+            per_instance_ns,
+        })
+    }
+
+    /// Runs the whole pipeline on one program: decompose → map → group →
+    /// lookup → MST-accelerated compile → Algorithm 3 latency. Compiled
+    /// pulses stay in the session cache, so recompiling the same (or a
+    /// similar) program is cheaper.
+    ///
+    /// # Errors
+    ///
+    /// Propagates group-compilation failures.
+    pub fn compile_program(&self, circuit: &Circuit) -> Result<ProgramCompilation> {
+        let decomposed = self.decompose(circuit);
+        let mapped = self.map(&decomposed);
+        let grouped = self.group(&mapped);
+        let lookup = self.lookup(&grouped);
+        let compiled = self.compile(&lookup)?;
+        let latency = self.latency(&grouped)?;
+        Ok(ProgramCompilation {
+            overall_latency_ns: latency.overall_latency_ns,
+            gate_based_latency_ns: latency.gate_based_latency_ns,
+            coverage: lookup.coverage,
+            dynamic_iterations: compiled.dynamic_iterations,
+            n_uncovered_unique: lookup.uncovered.len(),
+            grouped: grouped.grouped,
+            crosstalk: grouped.crosstalk,
+            swap_count: grouped.swap_count,
+        })
+    }
+
+    // -- lower-level entry points -------------------------------------------
+
+    /// Front-end only: decompose, map, and group a program.
+    pub fn front_end(&self, circuit: &Circuit) -> GroupReport {
+        let decomposed = self.decompose(circuit);
+        let mapped = self.map(&decomposed);
+        self.group(&mapped)
+    }
+
+    /// Coverage of a program against the session cache, without
+    /// compiling anything.
+    pub fn coverage_of(&self, circuit: &Circuit) -> CoverageStats {
+        self.lookup(&self.front_end(circuit)).coverage
+    }
+
+    /// Compiles one canonical unitary to a pulse (binary-searched minimal
+    /// latency), optionally warm-started. Does **not** touch the cache.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::GroupTooWide`] / [`Error::EmptyGroup`] for groups outside
+    /// the model set; [`Error::CompileFailed`] when no feasible pulse
+    /// exists within the latency cap.
+    pub fn compile_unitary(
+        &self,
+        target: &Mat,
+        n_qubits: usize,
+        warm: Option<&Pulse>,
+    ) -> Result<LatencyResult> {
+        let model = self.models.for_qubits(n_qubits)?;
+        let mut opts = self.config.grape.clone();
+        let mut search = self.config.search.clone();
+        if let Some(p) = warm {
+            opts.init = InitStrategy::Warm(p.clone());
+            // Similar groups have similar latencies: start the search at
+            // the parent's slice count.
+            if p.n_steps() > 0 {
+                search.initial_guess = Some(p.n_steps());
+            }
+        }
+        search.min_steps = search
+            .min_steps
+            .max((model.min_time_estimate_ns() / model.dt_ns()) as usize / 2)
+            .max(1);
+        find_minimal_latency(model, target, &opts, &search)
+            .map_err(|source| Error::CompileFailed { n_qubits, source })
+    }
+
+    /// Static pre-compilation (§IV): profiles `programs`, compiles their
+    /// de-duplicated group category into the session cache, and reports
+    /// the category statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates group-compilation failures.
+    pub fn precompile(
+        &self,
+        programs: &[Circuit],
+        order: PrecompileOrder,
+    ) -> Result<PrecompileReport> {
+        precompile::precompile(self, programs, order)
+    }
+
+    /// Parallel variant of [`Session::precompile`] over a balanced MST
+    /// partition (§V-D).
+    ///
+    /// # Errors
+    ///
+    /// Propagates group-compilation failures.
+    pub fn precompile_parallel(
+        &self,
+        programs: &[Circuit],
+        n_workers: usize,
+    ) -> Result<(PrecompileReport, crate::parallel::ParallelStats)> {
+        precompile::precompile_parallel(self, programs, n_workers)
+    }
+
+    /// Re-optimizes one cached group on a finer time grid (§IV-G).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation failures of the refined search.
+    pub fn optimize_group(
+        &self,
+        key: &UnitaryKey,
+        target: &Mat,
+        n_qubits: usize,
+    ) -> Result<(f64, f64)> {
+        precompile::optimize_group(self, key, target, n_qubits)
+    }
+
+    // -- gate-based baseline ------------------------------------------------
+
+    /// Gate-based compilation latency of a processed physical circuit:
+    /// weighted critical path with device-derived per-gate pulse
+    /// durations (paper §II-C).
+    pub fn gate_based_latency(&self, processed: &Circuit) -> f64 {
+        let durations = self.gate_durations();
+        let dag = CircuitDag::from_circuit(processed);
+        dag.critical_path(|i| durations.gate_duration(&dag.node(i).gate))
+    }
+
+    /// The single-gate duration table, compiled on first use: each basis
+    /// gate gets a GRAPE-minimal pulse on this device, exactly how the
+    /// gate-pulse lookup table of Figure 3 would be calibrated.
+    pub fn gate_durations(&self) -> GateDurations {
+        let mut guard = self
+            .durations
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(d) = guard.as_ref() {
+            return d.clone();
+        }
+        let table = self.build_gate_durations();
+        *guard = Some(table.clone());
+        table
+    }
+
+    fn build_gate_durations(&self) -> GateDurations {
+        use GateKind::*;
+        let mut map: std::collections::BTreeMap<GateKind, f64> = std::collections::BTreeMap::new();
+        let single: &[(GateKind, Gate)] = &[
+            (X, Gate::X(0)),
+            (Y, Gate::Y(0)),
+            (Z, Gate::Z(0)),
+            (H, Gate::H(0)),
+            (S, Gate::S(0)),
+            (Sdg, Gate::Sdg(0)),
+            (T, Gate::T(0)),
+            (Tdg, Gate::Tdg(0)),
+            (Rx, Gate::Rx(0, std::f64::consts::FRAC_PI_2)),
+            (Ry, Gate::Ry(0, std::f64::consts::FRAC_PI_2)),
+            (Rz, Gate::Rz(0, std::f64::consts::FRAC_PI_2)),
+            (U1, Gate::U1(0, std::f64::consts::FRAC_PI_2)),
+            (U2, Gate::U2(0, 0.3, 0.9)),
+            (U3, Gate::U3(0, 1.1, 0.4, -0.7)),
+        ];
+        for (kind, gate) in single {
+            let target = gate.matrix();
+            let latency = self
+                .compile_unitary(&target, 1, None)
+                .map(|r| r.latency_ns)
+                .unwrap_or(f64::INFINITY);
+            map.insert(*kind, latency);
+        }
+        let double: &[(GateKind, Gate)] = &[
+            (Cx, Gate::Cx(0, 1)),
+            (Cz, Gate::Cz(0, 1)),
+            (Swap, Gate::Swap(0, 1)),
+        ];
+        for (kind, gate) in double {
+            let target = gate.matrix();
+            let latency = self
+                .compile_unitary(&target, 2, None)
+                .map(|r| r.latency_ns)
+                .unwrap_or(f64::INFINITY);
+            map.insert(*kind, latency);
+        }
+        let default = map.values().copied().fold(0.0, f64::max);
+        GateDurations::from_single_gate_pulses(map, default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accqoc_hw::Topology;
+
+    fn tiny_session() -> Session {
+        let mut grape = accqoc_grape::GrapeOptions::default();
+        grape.stop.max_iters = 200;
+        Session::builder()
+            .topology(Topology::linear(3))
+            .grape(grape)
+            .build()
+            .expect("valid session")
+    }
+
+    #[test]
+    fn builder_requires_topology() {
+        let e = Session::builder().build().unwrap_err();
+        assert!(matches!(e, Error::Builder { field: "topology" }));
+    }
+
+    #[test]
+    fn builder_rejects_negative_warm_threshold() {
+        let e = Session::builder()
+            .topology(Topology::linear(2))
+            .warm_threshold(-0.1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, Error::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn compile_unitary_rejects_wide_and_empty_groups() {
+        let s = tiny_session();
+        let wide = s.compile_unitary(&Mat::identity(8), 3, None).unwrap_err();
+        assert!(matches!(
+            wide,
+            Error::GroupTooWide {
+                n_qubits: 3,
+                max: 2
+            }
+        ));
+        let empty = s.compile_unitary(&Mat::identity(1), 0, None).unwrap_err();
+        assert!(matches!(empty, Error::EmptyGroup));
+    }
+
+    #[test]
+    fn coverage_rate_edge_cases() {
+        assert_eq!(
+            CoverageStats {
+                covered: 0,
+                total: 0
+            }
+            .rate(),
+            1.0
+        );
+        assert!(
+            (CoverageStats {
+                covered: 3,
+                total: 4
+            }
+            .rate()
+                - 0.75)
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn staged_pipeline_matches_one_shot() {
+        use accqoc_circuit::Gate;
+        let session = tiny_session();
+        let circuit =
+            Circuit::from_gates(3, [Gate::H(0), Gate::Cx(0, 1), Gate::T(1), Gate::Cx(1, 2)]);
+
+        // Drive the stages by hand.
+        let decomposed = session.decompose(&circuit);
+        assert!(decomposed.output_gates >= decomposed.input_gates.min(4));
+        let mapped = session.map(&decomposed);
+        let grouped = session.group(&mapped);
+        assert!(grouped.n_unique() <= grouped.n_instances());
+        let lookup = session.lookup(&grouped);
+        assert_eq!(lookup.coverage.covered, 0);
+        assert_eq!(lookup.uncovered.len(), grouped.n_unique());
+        let compiled = session.compile(&lookup).unwrap();
+        assert!(compiled.dynamic_iterations > 0);
+        assert_eq!(compiled.compiled.len(), lookup.uncovered.len());
+        let latency = session.latency(&grouped).unwrap();
+        assert!(latency.overall_latency_ns > 0.0);
+        assert!(latency.latency_reduction() > 1.0);
+
+        // The one-shot path on a fresh fork agrees.
+        let fresh = tiny_session();
+        let result = fresh.compile_program(&circuit).unwrap();
+        assert_eq!(result.overall_latency_ns, latency.overall_latency_ns);
+        assert_eq!(result.dynamic_iterations, compiled.dynamic_iterations);
+        assert_eq!(result.coverage.covered, 0);
+
+        // Recompilation is fully covered and free.
+        let again = fresh.compile_program(&circuit).unwrap();
+        assert_eq!(again.coverage.covered, again.coverage.total);
+        assert_eq!(again.dynamic_iterations, 0);
+        assert!((again.overall_latency_ns - result.overall_latency_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_stage_requires_compiled_cache() {
+        use accqoc_circuit::Gate;
+        let session = tiny_session();
+        let grouped = session.front_end(&Circuit::from_gates(2, [Gate::H(0), Gate::Cx(0, 1)]));
+        let e = session.latency(&grouped).unwrap_err();
+        assert!(matches!(e, Error::UncoveredGroup { .. }));
+    }
+
+    #[test]
+    fn fork_inherits_cache_but_diverges_after() {
+        use accqoc_circuit::Gate;
+        let session = tiny_session();
+        let c1 = Circuit::from_gates(3, [Gate::H(0)]);
+        session.compile_program(&c1).unwrap();
+        let fork = session.fork();
+        assert_eq!(fork.cache_len(), session.cache_len());
+        let c2 = Circuit::from_gates(3, [Gate::H(0), Gate::Cx(0, 1)]);
+        fork.compile_program(&c2).unwrap();
+        assert!(fork.cache_len() > session.cache_len());
+    }
+
+    #[test]
+    fn gate_duration_table_is_sane() {
+        let session = tiny_session();
+        let d = session.gate_durations();
+        // X needs its full π rotation: 10 ns at our drive cap.
+        assert!((d.duration(GateKind::X) - 10.0).abs() < 1.5);
+        // Phase-type gates are cheaper than X.
+        assert!(d.duration(GateKind::T) <= d.duration(GateKind::X));
+        // Entangling gates cost more than single-qubit ones.
+        assert!(d.duration(GateKind::Cx) > d.duration(GateKind::H));
+        // Cached on second call (identical values).
+        let d2 = session.gate_durations();
+        assert_eq!(d.duration(GateKind::Cx), d2.duration(GateKind::Cx));
+    }
+}

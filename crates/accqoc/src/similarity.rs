@@ -18,12 +18,10 @@
 //!   anti-similarity control that the paper shows *increases* iteration
 //!   counts.
 
-use serde::{Deserialize, Serialize};
-
 use accqoc_linalg::{sqrtm_psd, Mat};
 
 /// The five similarity functions of paper Figure 8.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SimilarityFn {
     /// `d₁`: entry-wise L1 distance.
     L1,
@@ -164,7 +162,12 @@ mod tests {
     #[test]
     fn self_distance_is_zero_for_true_metrics() {
         let u = u_of(&[Gate::H(0), Gate::Cx(0, 1)], 2);
-        for f in [SimilarityFn::L1, SimilarityFn::Frobenius, SimilarityFn::TraceOverlap, SimilarityFn::Uhlmann] {
+        for f in [
+            SimilarityFn::L1,
+            SimilarityFn::Frobenius,
+            SimilarityFn::TraceOverlap,
+            SimilarityFn::Uhlmann,
+        ] {
             let d = f.distance(&u, &u);
             assert!(d.abs() < 1e-8, "{}: {d}", f.label());
         }
@@ -188,7 +191,12 @@ mod tests {
         let base = u_of(&[Gate::Rz(0, 0.5)], 1);
         let near = u_of(&[Gate::Rz(0, 0.55)], 1);
         let far = u_of(&[Gate::X(0)], 1);
-        for f in [SimilarityFn::L1, SimilarityFn::Frobenius, SimilarityFn::TraceOverlap, SimilarityFn::Uhlmann] {
+        for f in [
+            SimilarityFn::L1,
+            SimilarityFn::Frobenius,
+            SimilarityFn::TraceOverlap,
+            SimilarityFn::Uhlmann,
+        ] {
             let dn = f.distance(&base, &near);
             let df = f.distance(&base, &far);
             assert!(dn < df, "{}: near {dn} vs far {df}", f.label());
@@ -242,6 +250,9 @@ mod tests {
     #[test]
     fn labels_are_stable() {
         let labels: Vec<&str> = SimilarityFn::all().iter().map(|f| f.label()).collect();
-        assert_eq!(labels, vec!["l1", "l2", "fidelity1", "fidelity2", "inverse"]);
+        assert_eq!(
+            labels,
+            vec!["l1", "l2", "fidelity1", "fidelity2", "inverse"]
+        );
     }
 }

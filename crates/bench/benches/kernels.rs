@@ -4,13 +4,16 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use accqoc_hw::ControlModel;
-use accqoc_linalg::{eigh, expm_i, random_unitary, sqrtm_psd, C64, Mat};
+use accqoc_linalg::{eigh, expm_i, random_unitary, sqrtm_psd, Mat, C64};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn hermitian(n: usize) -> Mat {
     let g = Mat::from_fn(n, n, |i, j| {
-        C64::new(((i * 31 + j * 7) % 13) as f64 / 13.0, ((i + 3 * j) % 11) as f64 / 11.0 - 0.5)
+        C64::new(
+            ((i * 31 + j * 7) % 13) as f64 / 13.0,
+            ((i + 3 * j) % 11) as f64 / 11.0 - 0.5,
+        )
     });
     &g + &g.dagger()
 }
@@ -44,16 +47,28 @@ fn bench_sqrtm(c: &mut Criterion) {
     let g = hermitian(4);
     let psd2 = g.dagger_matmul(&g);
     let mut group = c.benchmark_group("sqrtm");
-    group.bench_function("psd_4x4", |b| b.iter(|| sqrtm_psd(black_box(&psd2)).unwrap()));
-    group.bench_function("identity_4x4", |b| b.iter(|| sqrtm_psd(black_box(&psd)).unwrap()));
+    group.bench_function("psd_4x4", |b| {
+        b.iter(|| sqrtm_psd(black_box(&psd2)).unwrap())
+    });
+    group.bench_function("identity_4x4", |b| {
+        b.iter(|| sqrtm_psd(black_box(&psd)).unwrap())
+    });
     group.finish();
 }
 
 fn bench_hamiltonian_assembly(c: &mut Criterion) {
     let model = ControlModel::spin_chain(2);
     let amps = vec![0.3, -0.5, 0.1, 0.9];
-    c.bench_function("hamiltonian_2q", |b| b.iter(|| model.hamiltonian(black_box(&amps))));
+    c.bench_function("hamiltonian_2q", |b| {
+        b.iter(|| model.hamiltonian(black_box(&amps)))
+    });
 }
 
-criterion_group!(benches, bench_expm, bench_eigh, bench_sqrtm, bench_hamiltonian_assembly);
+criterion_group!(
+    benches,
+    bench_expm,
+    bench_eigh,
+    bench_sqrtm,
+    bench_hamiltonian_assembly
+);
 criterion_main!(benches);

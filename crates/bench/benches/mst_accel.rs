@@ -29,7 +29,11 @@ fn bench_graph_and_mst(c: &mut Criterion) {
     let unitaries = family(60);
     let mut group = c.benchmark_group("similarity");
     group.sample_size(10);
-    for f in [SimilarityFn::Frobenius, SimilarityFn::TraceOverlap, SimilarityFn::Uhlmann] {
+    for f in [
+        SimilarityFn::Frobenius,
+        SimilarityFn::TraceOverlap,
+        SimilarityFn::Uhlmann,
+    ] {
         group.bench_function(format!("graph60_{}", f.label()), |b| {
             b.iter(|| SimilarityGraph::build(unitaries.clone(), f))
         });
@@ -47,7 +51,9 @@ fn bench_partition(c: &mut Criterion) {
     let tree = WeightedTree::from_order(&order, 120);
     let mut group = c.benchmark_group("partition");
     for k in [2usize, 4, 8] {
-        group.bench_function(format!("tree120_k{k}"), |b| b.iter(|| partition_tree(&tree, k)));
+        group.bench_function(format!("tree120_k{k}"), |b| {
+            b.iter(|| partition_tree(&tree, k))
+        });
     }
     group.finish();
 }

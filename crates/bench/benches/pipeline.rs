@@ -21,7 +21,10 @@ fn bench_mapping(c: &mut Criterion) {
             map_circuit(
                 black_box(&program),
                 &topo,
-                &MappingOptions { crosstalk_aware: false, ..Default::default() },
+                &MappingOptions {
+                    crosstalk_aware: false,
+                    ..Default::default()
+                },
             )
         })
     });
@@ -32,15 +35,28 @@ fn bench_mapping(c: &mut Criterion) {
 }
 
 fn bench_grouping(c: &mut Criterion) {
-    let spec = NctSpec { name: "bench", lines: 8, n_ccx: 30, n_cx: 40, n_x: 2, seed: 5 };
+    let spec = NctSpec {
+        name: "bench",
+        lines: 8,
+        n_ccx: 30,
+        n_cx: 40,
+        n_x: 2,
+        seed: 5,
+    };
     let topo = Topology::melbourne();
-    let mapped = map_circuit(&nct_circuit(&spec).decomposed(false), &topo, &MappingOptions::default());
+    let mapped = map_circuit(
+        &nct_circuit(&spec).decomposed(false),
+        &topo,
+        &MappingOptions::default(),
+    );
     let mut group = c.benchmark_group("grouping");
     group.bench_function("divide_map2b4l", |b| {
         b.iter(|| divide_circuit(black_box(&mapped.circuit), &GroupingPolicy::map2b4l()))
     });
     let (grouped, _) = divide_circuit(&mapped.circuit, &GroupingPolicy::map2b4l());
-    group.bench_function("dedup", |b| b.iter(|| dedup_groups(black_box(&grouped.groups))));
+    group.bench_function("dedup", |b| {
+        b.iter(|| dedup_groups(black_box(&grouped.groups)))
+    });
     group.bench_function("crosstalk_metric", |b| {
         b.iter(|| crosstalk_metric(black_box(&mapped.circuit), &topo))
     });

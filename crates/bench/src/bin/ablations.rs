@@ -26,33 +26,49 @@ fn main() {
 fn warm_threshold_sweep(ctx: &ExperimentContext) {
     println!("Ablation 1 — warm-start gate threshold (trace infidelity)\n");
     let programs = ctx.profile_programs();
-    let (canonical, _, _) = collect_category(&ctx.compiler, &programs);
+    let (canonical, _, _) = collect_category(&ctx.session, &programs);
     let cap = if fast_mode() { 12 } else { 24 };
     let canonical = truncate_category(canonical, cap);
-    let steps = category_steps(&ctx.compiler, &canonical);
+    let steps = category_steps(&ctx.session, &canonical);
     let unitaries: Vec<_> = canonical.iter().map(|(u, _)| u.clone()).collect();
     let graph = SimilarityGraph::build(unitaries, SimilarityFn::TraceOverlap);
     let order = mst_compile_order(&graph);
-    let scratch =
-        training_cost(&ctx.compiler, &canonical, &steps, &scratch_order(canonical.len(), &graph), -1.0);
+    let scratch = training_cost(
+        &ctx.session,
+        &canonical,
+        &steps,
+        &scratch_order(canonical.len(), &graph),
+        -1.0,
+    );
 
     let mut rows = Vec::new();
     for gate in [0.0, 0.02, 0.05, 0.15, 0.5, f64::INFINITY] {
-        let cost = training_cost(&ctx.compiler, &canonical, &steps, &order, gate);
+        let cost = training_cost(&ctx.session, &canonical, &steps, &order, gate);
         rows.push(vec![
             format!("{gate}"),
             cost.to_string(),
-            format!("{:+.1}%", (1.0 - cost as f64 / scratch.max(1) as f64) * 100.0),
+            format!(
+                "{:+.1}%",
+                (1.0 - cost as f64 / scratch.max(1) as f64) * 100.0
+            ),
         ]);
     }
-    print_table(&["gate threshold", "iterations", "reduction vs scratch"], &rows);
+    print_table(
+        &["gate threshold", "iterations", "reduction vs scratch"],
+        &rows,
+    );
     println!("(scratch baseline: {scratch} iterations)\n");
-    write_csv("ablation_warm_gate.csv", &["gate", "iterations", "reduction"], &rows).ok();
+    write_csv(
+        "ablation_warm_gate.csv",
+        &["gate", "iterations", "reduction"],
+        &rows,
+    )
+    .ok();
 }
 
 fn crosstalk_weight_sweep(ctx: &ExperimentContext) {
     println!("Ablation 2 — crosstalk weight in the mapping heuristic\n");
-    let topo = &ctx.compiler.config().topology;
+    let topo = &ctx.session.config().topology;
     let programs = ctx.eval_programs_sized(800, if fast_mode() { 3 } else { 6 });
     let mut rows = Vec::new();
     for weight in [0.0, 0.5, 1.0, 2.0, 4.0] {
@@ -79,13 +95,18 @@ fn crosstalk_weight_sweep(ctx: &ExperimentContext) {
     }
     print_table(&["weight", "total crosstalk", "total swaps"], &rows);
     println!();
-    write_csv("ablation_xtalk_weight.csv", &["weight", "crosstalk", "swaps"], &rows).ok();
+    write_csv(
+        "ablation_xtalk_weight.csv",
+        &["weight", "crosstalk", "swaps"],
+        &rows,
+    )
+    .ok();
 }
 
 fn partition_width_sweep(ctx: &ExperimentContext) {
     println!("Ablation 3 — MST partition width (workers vs makespan)\n");
     let programs = ctx.profile_programs();
-    let (canonical, _, _) = collect_category(&ctx.compiler, &programs);
+    let (canonical, _, _) = collect_category(&ctx.session, &programs);
     let cap = if fast_mode() { 24 } else { 64 };
     let canonical = truncate_category(canonical, cap);
     let unitaries: Vec<_> = canonical.iter().map(|(u, _)| u.clone()).collect();
@@ -105,7 +126,14 @@ fn partition_width_sweep(ctx: &ExperimentContext) {
             format!("{:.2}", p.balance(&tree)),
         ]);
     }
-    print_table(&["k", "parts", "weight makespan", "speedup", "balance"], &rows);
-    write_csv("ablation_partition.csv", &["k", "parts", "makespan", "speedup", "balance"], &rows)
-        .ok();
+    print_table(
+        &["k", "parts", "weight makespan", "speedup", "balance"],
+        &rows,
+    );
+    write_csv(
+        "ablation_partition.csv",
+        &["k", "parts", "makespan", "speedup", "balance"],
+        &rows,
+    )
+    .ok();
 }

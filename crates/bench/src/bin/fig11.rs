@@ -21,7 +21,14 @@ fn main() {
         })
         .collect();
     print_table(
-        &["program", "plain", "aware-map", "reduction", "+scheduler", "ext. reduction"],
+        &[
+            "program",
+            "plain",
+            "aware-map",
+            "reduction",
+            "+scheduler",
+            "ext. reduction",
+        ],
         &display,
     );
     let avg: f64 =
@@ -35,7 +42,14 @@ fn main() {
     );
     write_csv(
         "fig11.csv",
-        &["program", "plain", "aware_map", "map_reduction", "scheduled", "sched_reduction"],
+        &[
+            "program",
+            "plain",
+            "aware_map",
+            "map_reduction",
+            "scheduled",
+            "sched_reduction",
+        ],
         &display,
     )
     .ok();

@@ -22,14 +22,30 @@ fn main() {
         })
         .collect();
     print_table(
-        &["program", "policy", "gate-based ns", "accqoc ns", "reduction", "w/ mfg-opt"],
+        &[
+            "program",
+            "policy",
+            "gate-based ns",
+            "accqoc ns",
+            "reduction",
+            "w/ mfg-opt",
+        ],
         &display,
     );
     let avg: f64 = cells.iter().map(|c| c.reduction()).sum::<f64>() / cells.len().max(1) as f64;
-    println!("\naverage latency reduction: {avg:.2}x (paper: 1.2x–2.6x range, avg 2.43x for map2b4l)");
+    println!(
+        "\naverage latency reduction: {avg:.2}x (paper: 1.2x–2.6x range, avg 2.43x for map2b4l)"
+    );
     write_csv(
         "fig12.csv",
-        &["program", "policy", "gate_ns", "accqoc_ns", "reduction", "reduction_opt"],
+        &[
+            "program",
+            "policy",
+            "gate_ns",
+            "accqoc_ns",
+            "reduction",
+            "reduction_opt",
+        ],
         &display,
     )
     .ok();

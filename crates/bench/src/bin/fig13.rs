@@ -11,15 +11,34 @@ fn main() {
     let mut display = Vec::new();
     for (program, reductions) in &rows {
         let mut row = vec![program.clone()];
-        row.extend(reductions.iter().map(|(_, r)| format!("{:+.1}%", r * 100.0)));
+        row.extend(
+            reductions
+                .iter()
+                .map(|(_, r)| format!("{:+.1}%", r * 100.0)),
+        );
         display.push(row);
     }
-    print_table(&["program", "l1", "l2", "fidelity1", "fidelity2", "inverse"], &display);
+    print_table(
+        &["program", "l1", "l2", "fidelity1", "fidelity2", "inverse"],
+        &display,
+    );
     // Max reduction across programs for the best function.
     let best = rows
         .iter()
-        .flat_map(|(_, rs)| rs.iter().filter(|(l, _)| *l == "fidelity1").map(|(_, r)| *r))
+        .flat_map(|(_, rs)| {
+            rs.iter()
+                .filter(|(l, _)| *l == "fidelity1")
+                .map(|(_, r)| *r)
+        })
         .fold(f64::NEG_INFINITY, f64::max);
-    println!("\nmax fidelity1 reduction: {:.1}% (paper max: 28%)", best * 100.0);
-    write_csv("fig13.csv", &["program", "l1", "l2", "fidelity1", "fidelity2", "inverse"], &display).ok();
+    println!(
+        "\nmax fidelity1 reduction: {:.1}% (paper max: 28%)",
+        best * 100.0
+    );
+    write_csv(
+        "fig13.csv",
+        &["program", "l1", "l2", "fidelity1", "fidelity2", "inverse"],
+        &display,
+    )
+    .ok();
 }

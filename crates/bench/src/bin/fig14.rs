@@ -19,8 +19,20 @@ fn main() {
         })
         .collect();
     // Print a subsample to keep the console readable; CSV has everything.
-    let sampled: Vec<Vec<String>> = display.iter().step_by(8.max(display.len() / 18)).cloned().collect();
+    let sampled: Vec<Vec<String>> = display
+        .iter()
+        .step_by(8.max(display.len() / 18))
+        .cloned()
+        .collect();
     print_table(&["program", "gates", "groups", "groups/gate"], &sampled);
-    write_csv("fig14.csv", &["program", "gates", "groups", "ratio"], &display).ok();
-    println!("\n({} programs total — see results/fig14.csv; shape: groups grow sublinearly)", rows.len());
+    write_csv(
+        "fig14.csv",
+        &["program", "gates", "groups", "ratio"],
+        &display,
+    )
+    .ok();
+    println!(
+        "\n({} programs total — see results/fig14.csv; shape: groups grow sublinearly)",
+        rows.len()
+    );
 }

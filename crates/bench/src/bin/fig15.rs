@@ -22,25 +22,50 @@ fn main() {
                 format!("{:.2}x", r.gate_based_ns / r.brute_force_ns),
                 r.accqoc_iterations.to_string(),
                 r.brute_force_iterations.to_string(),
-                format!("{:.1}x", r.brute_force_iterations as f64 / r.accqoc_iterations.max(1) as f64),
+                format!(
+                    "{:.1}x",
+                    r.brute_force_iterations as f64 / r.accqoc_iterations.max(1) as f64
+                ),
             ]
         })
         .collect();
     print_table(
-        &["program", "accqoc latency red.", "bf latency red.", "accqoc iters", "bf iters", "compile speedup"],
+        &[
+            "program",
+            "accqoc latency red.",
+            "bf latency red.",
+            "accqoc iters",
+            "bf iters",
+            "compile speedup",
+        ],
         &display,
     );
     let sum_acc: usize = rows.iter().map(|r| r.accqoc_iterations).sum();
     let sum_bf: usize = rows.iter().map(|r| r.brute_force_iterations).sum();
-    let avg_acc: f64 = rows.iter().map(|r| r.gate_based_ns / r.accqoc_ns).sum::<f64>() / rows.len().max(1) as f64;
-    let avg_bf: f64 = rows.iter().map(|r| r.gate_based_ns / r.brute_force_ns).sum::<f64>() / rows.len().max(1) as f64;
+    let avg_acc: f64 = rows
+        .iter()
+        .map(|r| r.gate_based_ns / r.accqoc_ns)
+        .sum::<f64>()
+        / rows.len().max(1) as f64;
+    let avg_bf: f64 = rows
+        .iter()
+        .map(|r| r.gate_based_ns / r.brute_force_ns)
+        .sum::<f64>()
+        / rows.len().max(1) as f64;
     println!(
         "\naggregate: accqoc {avg_acc:.2}x latency vs bf {avg_bf:.2}x (paper: 2.43x vs 3.01x);\n compile speedup {:.1}x (paper: 9.88x)",
         sum_bf as f64 / sum_acc.max(1) as f64
     );
     write_csv(
         "fig15.csv",
-        &["program", "accqoc_red", "bf_red", "accqoc_iters", "bf_iters", "speedup"],
+        &[
+            "program",
+            "accqoc_red",
+            "bf_red",
+            "accqoc_iters",
+            "bf_iters",
+            "speedup",
+        ],
         &display,
     )
     .ok();

@@ -16,8 +16,16 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&["pair", "isolated err", "w/ crosstalk", "inflation"], &display);
+    print_table(
+        &["pair", "isolated err", "w/ crosstalk", "inflation"],
+        &display,
+    );
     let avg: f64 = rows.iter().map(|r| r.3 - 1.0).sum::<f64>() / rows.len() as f64;
     println!("\naverage inflation: {:.0}% (paper: ~20%)", avg * 100.0);
-    write_csv("fig5.csv", &["pair", "isolated", "crosstalk", "ratio"], &display).ok();
+    write_csv(
+        "fig5.csv",
+        &["pair", "isolated", "crosstalk", "ratio"],
+        &display,
+    )
+    .ok();
 }

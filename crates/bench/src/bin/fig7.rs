@@ -9,11 +9,21 @@ fn main() {
     let display: Vec<Vec<String>> = rows
         .iter()
         .map(|(name, covered, total, rate)| {
-            vec![name.clone(), covered.to_string(), total.to_string(), format!("{:.1}%", rate * 100.0)]
+            vec![
+                name.clone(),
+                covered.to_string(),
+                total.to_string(),
+                format!("{:.1}%", rate * 100.0),
+            ]
         })
         .collect();
     print_table(&["program", "covered", "groups", "coverage"], &display);
     let avg: f64 = rows.iter().map(|r| r.3).sum::<f64>() / rows.len().max(1) as f64;
     println!("\naverage coverage: {:.1}% (paper: 89.7%)", avg * 100.0);
-    write_csv("fig7.csv", &["program", "covered", "total", "rate"], &display).ok();
+    write_csv(
+        "fig7.csv",
+        &["program", "covered", "total", "rate"],
+        &display,
+    )
+    .ok();
 }

@@ -1,6 +1,6 @@
 //! Regenerates paper Table I: the six grouping policies.
-use accqoc_bench::{print_table, write_csv};
 use accqoc_bench::experiments::table1_rows;
+use accqoc_bench::{print_table, write_csv};
 
 fn main() {
     println!("Table I — parameter settings of the 6 grouping policies\n");

@@ -8,7 +8,12 @@ fn main() {
     let suite = full_suite();
     let rows = table2_rows(&suite);
     print_table(&["program", "x", "t", "h", "cx", "rz", "tdg"], &rows);
-    write_csv("table2.csv", &["program", "x", "t", "h", "cx", "rz", "tdg"], &rows).ok();
+    write_csv(
+        "table2.csv",
+        &["program", "x", "t", "h", "cx", "rz", "tdg"],
+        &rows,
+    )
+    .ok();
     println!("\npaper row (cm152a_212): x=5 t=304 h=152 cx=532 rz=0 tdg=228");
     println!("paper avg             : x=0.10% t=22% h=15% cx=45% rz=1.1% tdg=17%");
 }

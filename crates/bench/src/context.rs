@@ -1,10 +1,11 @@
-//! Shared experiment setup: compiler, benchmark suite, and a persistent
+//! Shared experiment setup: session, benchmark suite, and a persistent
 //! pre-compiled pulse cache.
 
 use std::path::PathBuf;
 
-use accqoc::{precompile_parallel, AccQocCompiler, AccQocConfig, PrecompileReport, PulseCache};
+use accqoc::{PrecompileReport, Session};
 use accqoc_circuit::Circuit;
+use accqoc_hw::Topology;
 use accqoc_workloads::{full_suite, profiling_split, BenchProgram};
 
 /// Seed for the profiling split (paper: "randomly select one-third").
@@ -14,7 +15,9 @@ pub const SPLIT_SEED: u64 = 42;
 /// full figure sweep completes in a couple of minutes (useful for smoke
 /// tests; published numbers should use the default mode).
 pub fn fast_mode() -> bool {
-    std::env::var("ACCQOC_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("ACCQOC_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Where the shared pulse cache is persisted between figure binaries.
@@ -31,13 +34,16 @@ pub fn cache_path() -> PathBuf {
 
 /// Number of compile workers.
 pub fn n_workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// Everything a figure binary needs.
 pub struct ExperimentContext {
-    /// The Melbourne/map2b4l compiler of the paper's headline setup.
-    pub compiler: AccQocCompiler,
+    /// The Melbourne/map2b4l session of the paper's headline setup; owns
+    /// the (possibly pre-compiled) pulse cache.
+    pub session: Session,
     /// The 159-program benchmark suite.
     pub suite: Vec<BenchProgram>,
     /// Indices of the profiling third (restricted to device-sized
@@ -45,23 +51,35 @@ pub struct ExperimentContext {
     pub profile_idx: Vec<usize>,
     /// Indices of the evaluation programs.
     pub eval_idx: Vec<usize>,
-    /// The pulse cache (pre-compiled when requested).
-    pub cache: PulseCache,
     /// Pre-compilation report when the cache was built in this process.
     pub report: Option<PrecompileReport>,
 }
 
 impl ExperimentContext {
     /// Builds the context without pre-compiling anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the paper's stock configuration fails to validate
+    /// (it cannot).
     pub fn bare() -> Self {
-        let compiler = AccQocCompiler::new(AccQocConfig::melbourne());
+        let session = Session::builder()
+            .topology(Topology::melbourne())
+            .build()
+            .expect("stock melbourne session is valid");
         let suite = full_suite();
-        let max_q = compiler.config().topology.n_qubits();
+        let max_q = session.config().topology.n_qubits();
         let (profile_raw, eval_raw) = profiling_split(&suite, SPLIT_SEED);
         let fits = |i: &usize| suite[*i].circuit.n_qubits() <= max_q;
         let profile_idx: Vec<usize> = profile_raw.into_iter().filter(fits).collect();
         let eval_idx: Vec<usize> = eval_raw.into_iter().filter(fits).collect();
-        Self { compiler, suite, profile_idx, eval_idx, cache: PulseCache::new(), report: None }
+        Self {
+            session,
+            suite,
+            profile_idx,
+            eval_idx,
+            report: None,
+        }
     }
 
     /// Builds the context and ensures the static pre-compilation cache is
@@ -76,8 +94,12 @@ impl ExperimentContext {
         let mut ctx = Self::bare();
         let path = cache_path();
         if path.exists() {
-            ctx.cache = PulseCache::load(&path).expect("cache file readable");
-            eprintln!("[context] loaded {} cached groups from {}", ctx.cache.len(), path.display());
+            let loaded = ctx.session.load_cache(&path).expect("cache file readable");
+            eprintln!(
+                "[context] loaded {} cached groups from {}",
+                loaded,
+                path.display()
+            );
             return ctx;
         }
         let programs = ctx.profile_programs();
@@ -87,9 +109,10 @@ impl ExperimentContext {
             n_workers()
         );
         let t0 = std::time::Instant::now();
-        let (report, stats) =
-            precompile_parallel(&ctx.compiler, &programs, &mut ctx.cache, n_workers())
-                .expect("pre-compilation succeeds on the stock suite");
+        let (report, stats) = ctx
+            .session
+            .precompile_parallel(&programs, n_workers())
+            .expect("pre-compilation succeeds on the stock suite");
         eprintln!(
             "[context] {} unique groups, {} iterations ({} makespan) in {:.1?}",
             report.n_unique_groups,
@@ -101,7 +124,7 @@ impl ExperimentContext {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir).ok();
         }
-        ctx.cache.save(&path).expect("cache file writable");
+        ctx.session.save_cache(&path).expect("cache file writable");
         ctx
     }
 
@@ -127,6 +150,10 @@ impl ExperimentContext {
         idx.sort_by_key(|&i| self.suite[i].decomposed_len());
         // Take a spread: smallest, then every k-th for variety.
         idx.truncate(count.max(1) * 2);
-        idx.into_iter().step_by(2).take(count).map(|i| &self.suite[i]).collect()
+        idx.into_iter()
+            .step_by(2)
+            .take(count)
+            .map(|i| &self.suite[i])
+            .collect()
     }
 }

@@ -7,16 +7,17 @@
 use std::collections::HashMap;
 
 use accqoc::{
-    brute_force_qoc, collect_category, mst_compile_order, optimize_group, precompile_parallel,
-    scratch_order, AccQocCompiler, AccQocConfig, BruteForceConfig, CompileOrder, PulseCache,
-    SimilarityFn, SimilarityGraph,
+    brute_force_qoc, collect_category, mst_compile_order, optimize_group, scratch_order,
+    BruteForceConfig, CompileOrder, Session, SimilarityFn, SimilarityGraph,
 };
 use accqoc_circuit::{Circuit, GateKind, UnitaryKey};
 use accqoc_grape::Pulse;
 use accqoc_group::GroupingPolicy;
-use accqoc_hw::NoiseModel;
+use accqoc_hw::{NoiseModel, Topology};
 use accqoc_linalg::Mat;
-use accqoc_map::{crosstalk_metric, map_circuit, schedule_crosstalk_aware, MappingOptions, ScheduleOptions};
+use accqoc_map::{
+    crosstalk_metric, map_circuit, schedule_crosstalk_aware, MappingOptions, ScheduleOptions,
+};
 use accqoc_workloads::{nct_circuit, paper_specs, qft, BenchProgram};
 
 use crate::context::{fast_mode, n_workers, ExperimentContext};
@@ -104,9 +105,14 @@ pub fn fig5_rows() -> Vec<(String, f64, f64, f64)> {
     let mut rows = Vec::new();
     for &(a, b) in edges.iter() {
         // Find a disturber edge at distance ≤ 1 not sharing a qubit.
-        let disturber = edges
-            .iter()
-            .find(|&&e| e != (a, b) && e.0 != a && e.0 != b && e.1 != a && e.1 != b && topo.edge_distance((a, b), e) <= 1);
+        let disturber = edges.iter().find(|&&e| {
+            e != (a, b)
+                && e.0 != a
+                && e.0 != b
+                && e.1 != a
+                && e.1 != b
+                && topo.edge_distance((a, b), e) <= 1
+        });
         if let Some(&d) = disturber {
             let base = noise.cx_error(a, b);
             let with = noise.cx_error_with_parallel(a, b, d);
@@ -123,14 +129,14 @@ pub fn fig5_rows() -> Vec<(String, f64, f64, f64)> {
 // Figure 7 — coverage under map2b4l.
 // ---------------------------------------------------------------------------
 
-/// Coverage of evaluation programs against the pre-compiled cache:
-/// `(name, covered, total, rate)`.
+/// Coverage of evaluation programs against the pre-compiled session
+/// cache: `(name, covered, total, rate)`.
 pub fn fig7_rows(ctx: &ExperimentContext, n_programs: usize) -> Vec<(String, usize, usize, f64)> {
     let programs = ctx.eval_programs_sized(2000, n_programs);
     programs
         .iter()
         .map(|p| {
-            let cov = ctx.compiler.coverage_of(&p.circuit, &ctx.cache);
+            let cov = ctx.session.coverage_of(&p.circuit);
             (p.name.clone(), cov.covered, cov.total, cov.rate())
         })
         .collect()
@@ -142,11 +148,7 @@ pub fn fig7_rows(ctx: &ExperimentContext, n_programs: usize) -> Vec<(String, usi
 
 /// Compile cost (total GRAPE iterations over latency searches) of a group
 /// category under a given compile order, applying the warm threshold.
-pub fn order_cost(
-    compiler: &AccQocCompiler,
-    canonical: &[(Mat, usize)],
-    order: &CompileOrder,
-) -> usize {
+pub fn order_cost(session: &Session, canonical: &[(Mat, usize)], order: &CompileOrder) -> usize {
     let mut pulses: HashMap<usize, Pulse> = HashMap::new();
     let mut total = 0usize;
     for step in &order.steps {
@@ -154,14 +156,10 @@ pub fn order_cost(
         let warm = step
             .parent
             .filter(|&p| {
-                accqoc::warm_start_allowed(
-                    &canonical[p].0,
-                    target,
-                    compiler.config().warm_threshold,
-                )
+                accqoc::warm_start_allowed(&canonical[p].0, target, session.config().warm_threshold)
             })
             .and_then(|p| pulses.get(&p));
-        let r = compiler
+        let r = session
             .compile_unitary(target, *n_qubits, warm)
             .expect("category groups compile");
         total += r.total_iterations;
@@ -177,7 +175,7 @@ pub fn order_cost(
 /// with and without accelerated training" — with latencies already fixed
 /// by pre-compilation.
 pub fn training_cost(
-    compiler: &AccQocCompiler,
+    session: &Session,
     canonical: &[(Mat, usize)],
     steps: &[usize],
     order: &CompileOrder,
@@ -188,7 +186,7 @@ pub fn training_cost(
     let mut total = 0usize;
     for step in &order.steps {
         let (target, n_qubits) = &canonical[step.vertex];
-        let mut opts = compiler.config().grape.clone();
+        let mut opts = session.config().grape.clone();
         if let Some(p) = step.parent {
             if SimilarityFn::TraceOverlap.distance(&canonical[p].0, target) <= gate {
                 if let Some(pp) = pulses.get(&p) {
@@ -196,7 +194,10 @@ pub fn training_cost(
                 }
             }
         }
-        let model = compiler.models().for_qubits(*n_qubits);
+        let model = session
+            .models()
+            .for_qubits(*n_qubits)
+            .expect("category arity in range");
         let out = solve(&GrapeProblem {
             model,
             target: target.clone(),
@@ -213,21 +214,22 @@ pub fn training_cost(
 
 /// Establishes each group's minimal slice count with one cold binary
 /// search per group (parallelized across groups).
-pub fn category_steps(compiler: &AccQocCompiler, canonical: &[(Mat, usize)]) -> Vec<usize> {
+pub fn category_steps(session: &Session, canonical: &[(Mat, usize)]) -> Vec<usize> {
     let mut steps = vec![0usize; canonical.len()];
     let chunk = (canonical.len() / n_workers().max(1)).max(1);
     std::thread::scope(|scope| {
         let handles: Vec<_> = canonical
             .chunks(chunk)
-            .enumerate()
-            .map(|(ci, chunk_items)| {
+            .map(|chunk_items| {
                 scope.spawn(move || {
                     chunk_items
                         .iter()
                         .map(|(u, n)| {
-                            (compiler.compile_unitary(u, *n, None).expect("compiles").n_steps, ci)
+                            session
+                                .compile_unitary(u, *n, None)
+                                .expect("compiles")
+                                .n_steps
                         })
-                        .map(|(s, _)| s)
                         .collect::<Vec<usize>>()
                 })
             })
@@ -248,19 +250,23 @@ pub fn category_steps(compiler: &AccQocCompiler, canonical: &[(Mat, usize)]) -> 
 /// show what dissimilar seeds do (paper Figure 8 shows it increasing the
 /// count).
 pub fn similarity_reductions(
-    compiler: &AccQocCompiler,
+    session: &Session,
     canonical: &[(Mat, usize)],
 ) -> Vec<(&'static str, f64)> {
     let unitaries: Vec<Mat> = canonical.iter().map(|(u, _)| u.clone()).collect();
-    let steps = category_steps(compiler, canonical);
+    let steps = category_steps(session, canonical);
     let any_graph = SimilarityGraph::build(unitaries.clone(), SimilarityFn::Frobenius);
     let scratch_ord = scratch_order(canonical.len(), &any_graph);
-    let gate = compiler.config().warm_threshold;
+    let gate = session.config().warm_threshold;
     let orders: Vec<(&'static str, CompileOrder, f64)> = SimilarityFn::all()
         .into_iter()
         .map(|f| {
             let graph = SimilarityGraph::build(unitaries.clone(), f);
-            let g = if f == SimilarityFn::InverseUhlmann { f64::INFINITY } else { gate };
+            let g = if f == SimilarityFn::InverseUhlmann {
+                f64::INFINITY
+            } else {
+                gate
+            };
             (f.label(), mst_compile_order(&graph), g)
         })
         .collect();
@@ -270,13 +276,16 @@ pub fn similarity_reductions(
     std::thread::scope(|scope| {
         let steps_ref = &steps;
         let scratch_handle =
-            scope.spawn(move || training_cost(compiler, canonical, steps_ref, &scratch_ord, -1.0));
+            scope.spawn(move || training_cost(session, canonical, steps_ref, &scratch_ord, -1.0));
         let handles: Vec<_> = orders
             .iter()
             .map(|(label, order, g)| {
                 let (label, g) = (*label, *g);
                 scope.spawn(move || {
-                    (label, training_cost(compiler, canonical, steps_ref, order, g))
+                    (
+                        label,
+                        training_cost(session, canonical, steps_ref, order, g),
+                    )
                 })
             })
             .collect();
@@ -328,9 +337,9 @@ pub fn truncate_category(canonical: Vec<(Mat, usize)>, cap: usize) -> Vec<(Mat, 
 /// profiled category (subsampled to `cap` groups for runtime).
 pub fn fig8_rows(ctx: &ExperimentContext, cap: usize) -> Vec<(&'static str, f64)> {
     let programs = ctx.profile_programs();
-    let (canonical, _, _) = collect_category(&ctx.compiler, &programs);
+    let (canonical, _, _) = collect_category(&ctx.session, &programs);
     let canonical = truncate_category(canonical, cap);
-    similarity_reductions(&ctx.compiler, &canonical)
+    similarity_reductions(&ctx.session, &canonical)
 }
 
 /// Figure 13: per-program iteration reductions for the five similarity
@@ -346,9 +355,12 @@ pub fn fig13_rows(
         .iter()
         .map(|p| {
             let (canonical, _, _) =
-                collect_category(&ctx.compiler, std::slice::from_ref(&p.circuit));
+                collect_category(&ctx.session, std::slice::from_ref(&p.circuit));
             let canonical = truncate_category(canonical, cap);
-            (p.name.clone(), similarity_reductions(&ctx.compiler, &canonical))
+            (
+                p.name.clone(),
+                similarity_reductions(&ctx.session, &canonical),
+            )
         })
         .collect()
 }
@@ -395,7 +407,7 @@ impl Fig11Row {
 
 /// Crosstalk metric rows for Figure 11.
 pub fn fig11_rows(ctx: &ExperimentContext, n_programs: usize) -> Vec<Fig11Row> {
-    let topo = &ctx.compiler.config().topology;
+    let topo = &ctx.session.config().topology;
     let programs = ctx.eval_programs_sized(1200, n_programs);
     programs
         .iter()
@@ -404,7 +416,10 @@ pub fn fig11_rows(ctx: &ExperimentContext, n_programs: usize) -> Vec<Fig11Row> {
             let plain = map_circuit(
                 &decomposed,
                 topo,
-                &MappingOptions { crosstalk_aware: false, ..Default::default() },
+                &MappingOptions {
+                    crosstalk_aware: false,
+                    ..Default::default()
+                },
             );
             let aware = map_circuit(&decomposed, topo, &MappingOptions::default());
             let scheduled =
@@ -451,45 +466,50 @@ impl Fig12Cell {
     }
 }
 
-/// Runs the Figure 12 sweep: each policy compiles the shared category of
-/// the selected programs once (in parallel), then per-program latencies
-/// are read off the cache — before and after optimizing the most frequent
-/// group.
+/// Runs the Figure 12 sweep: each policy gets its own session that
+/// pre-compiles the shared category of the selected programs once (in
+/// parallel); per-program latencies are then read off the session cache —
+/// before and after optimizing the most frequent group.
 pub fn fig12_cells(ctx: &ExperimentContext, n_programs: usize) -> Vec<Fig12Cell> {
     let max_gates = if fast_mode() { 240 } else { 500 };
     let programs = ctx.eval_programs_sized(max_gates, n_programs);
     let mut cells = Vec::new();
 
     for policy in GroupingPolicy::paper_policies() {
-        let mut config = AccQocConfig::melbourne();
-        config.policy = policy;
-        let compiler = AccQocCompiler::new(config);
+        let session = Session::builder()
+            .topology(Topology::melbourne())
+            .policy(policy)
+            .build()
+            .expect("paper policy session is valid");
         let circuits: Vec<Circuit> = programs.iter().map(|p| p.circuit.clone()).collect();
 
-        let mut cache = PulseCache::new();
-        let (report, _) = precompile_parallel(&compiler, &circuits, &mut cache, n_workers())
+        let (report, _) = session
+            .precompile_parallel(&circuits, n_workers())
             .expect("policy category compiles");
 
         // Latencies before the most-frequent-group optimization.
         let mut before: Vec<(String, f64, f64)> = Vec::new();
         for p in &programs {
-            let out = compiler
-                .compile_program(&p.circuit, &mut cache)
+            let out = session
+                .compile_program(&p.circuit)
                 .expect("covered program compiles");
-            before.push((p.name.clone(), out.gate_based_latency_ns, out.overall_latency_ns));
+            before.push((
+                p.name.clone(),
+                out.gate_based_latency_ns,
+                out.overall_latency_ns,
+            ));
         }
 
         // Optimize the most frequent group on a finer grid.
         if let Some(key) = report.most_frequent.clone() {
-            let (canonical, keys, _) = collect_category(&compiler, &circuits);
+            let (canonical, keys, _) = collect_category(&session, &circuits);
             if let Some(idx) = keys.iter().position(|k| *k == key) {
-                optimize_group(&compiler, &key, &canonical[idx].0, canonical[idx].1, &mut cache)
-                    .ok();
+                optimize_group(&session, &key, &canonical[idx].0, canonical[idx].1).ok();
             }
         }
         for (p, (name, gate_ns, acc_ns)) in programs.iter().zip(before) {
-            let out = compiler
-                .compile_program(&p.circuit, &mut cache)
+            let out = session
+                .compile_program(&p.circuit)
                 .expect("covered program compiles");
             cells.push(Fig12Cell {
                 program: name,
@@ -509,13 +529,13 @@ pub fn fig12_cells(ctx: &ExperimentContext, n_programs: usize) -> Vec<Fig12Cell>
 
 /// `(name, decomposed gates, unique map2b4l groups)` per suite program.
 pub fn fig14_rows(ctx: &ExperimentContext) -> Vec<(String, usize, usize)> {
-    let max_q = ctx.compiler.config().topology.n_qubits();
+    let max_q = ctx.session.config().topology.n_qubits();
     ctx.suite
         .iter()
         .filter(|p| p.circuit.n_qubits() <= max_q)
         .map(|p| {
             let (canonical, _, _) =
-                collect_category(&ctx.compiler, std::slice::from_ref(&p.circuit));
+                collect_category(&ctx.session, std::slice::from_ref(&p.circuit));
             (p.name.clone(), p.decomposed_len(), canonical.len())
         })
         .collect()
@@ -544,7 +564,8 @@ pub struct Fig15Row {
 
 /// Runs the AccQOC vs brute-force comparison on small evaluation
 /// programs (the brute-force side compiles ≤`bf.max_qubits`-qubit groups
-/// from scratch and dominates the runtime of this figure).
+/// from scratch and dominates the runtime of this figure). Works on a
+/// fork of the context session so the shared cache stays pristine.
 pub fn fig15_rows(
     ctx: &ExperimentContext,
     n_programs: usize,
@@ -552,15 +573,14 @@ pub fn fig15_rows(
 ) -> Vec<Fig15Row> {
     let max_gates = if fast_mode() { 150 } else { 260 };
     let programs = ctx.eval_programs_sized(max_gates, n_programs);
-    let mut cache = ctx.cache.clone();
+    let session = ctx.session.fork();
     let mut rows = Vec::new();
     for p in programs {
-        let out = ctx
-            .compiler
-            .compile_program(&p.circuit, &mut cache)
+        let out = session
+            .compile_program(&p.circuit)
             .expect("accqoc compiles");
         let bf_result =
-            brute_force_qoc(&p.circuit, &ctx.compiler.config().topology, ctx.compiler.config(), bf)
+            brute_force_qoc(&p.circuit, &session.config().topology, session.config(), bf)
                 .expect("brute force compiles");
         rows.push(Fig15Row {
             program: p.name.clone(),
@@ -578,33 +598,37 @@ pub fn fig15_rows(
 // Figure 9 — SG → MST → partition worked example.
 // ---------------------------------------------------------------------------
 
-/// The Figure 9 walk-through on a real 6-group category: returns the MST
-/// steps `(vertex, parent, weight)`, the shifted node weights, and the
-/// 2-way partition assignment.
-pub fn fig9_example(
-    ctx: &ExperimentContext,
-) -> (Vec<(usize, Option<usize>, f64)>, Vec<f64>, Vec<usize>) {
+/// Figure 9 walk-through data: MST steps `(vertex, parent, weight)`, the
+/// shifted node weights, and the 2-way partition assignment.
+pub type Fig9Example = (Vec<(usize, Option<usize>, f64)>, Vec<f64>, Vec<usize>);
+
+/// The Figure 9 walk-through on a real 6-group category.
+pub fn fig9_example(ctx: &ExperimentContext) -> Fig9Example {
     use accqoc::{partition_tree, WeightedTree};
     let programs = ctx.profile_programs();
-    let (canonical, _, _) = collect_category(&ctx.compiler, &programs);
+    let (canonical, _, _) = collect_category(&ctx.session, &programs);
     let six = truncate_category(canonical, 6);
     let graph = SimilarityGraph::build(
         six.iter().map(|(u, _)| u.clone()).collect(),
-        ctx.compiler.config().similarity,
+        ctx.session.config().similarity,
     );
     let order = mst_compile_order(&graph);
     let tree = WeightedTree::from_order(&order, six.len());
     let partition = partition_tree(&tree, 2);
     (
-        order.steps.iter().map(|s| (s.vertex, s.parent, s.weight)).collect(),
+        order
+            .steps
+            .iter()
+            .map(|s| (s.vertex, s.parent, s.weight))
+            .collect(),
         tree.weights.clone(),
         partition.part_of,
     )
 }
 
 /// Convenience: keys of a category (used by binaries for reporting).
-pub fn category_keys(compiler: &AccQocCompiler, programs: &[Circuit]) -> Vec<UnitaryKey> {
-    collect_category(compiler, programs).1
+pub fn category_keys(session: &Session, programs: &[Circuit]) -> Vec<UnitaryKey> {
+    collect_category(session, programs).1
 }
 
 #[cfg(test)]

@@ -62,7 +62,13 @@ mod tests {
 
     #[test]
     fn print_does_not_panic_on_ragged_rows() {
-        print_table(&["a", "b"], &[vec!["1".into()], vec!["22".into(), "333".into(), "x".into()]]);
+        print_table(
+            &["a", "b"],
+            &[
+                vec!["1".into()],
+                vec!["22".into(), "333".into(), "x".into()],
+            ],
+        );
     }
 
     #[test]

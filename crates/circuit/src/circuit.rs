@@ -3,8 +3,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::gate::{Gate, GateKind};
 
 /// A quantum circuit: a sequence of gates over `n_qubits` qubits.
@@ -20,7 +18,7 @@ use crate::gate::{Gate, GateKind};
 /// assert_eq!(c.len(), 2);
 /// assert_eq!(c.depth(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Circuit {
     n_qubits: usize,
     gates: Vec<Gate>,
@@ -29,7 +27,10 @@ pub struct Circuit {
 impl Circuit {
     /// Creates an empty circuit over `n_qubits` qubits.
     pub fn new(n_qubits: usize) -> Self {
-        Self { n_qubits, gates: Vec::new() }
+        Self {
+            n_qubits,
+            gates: Vec::new(),
+        }
     }
 
     /// Creates a circuit from a gate list.
@@ -206,7 +207,13 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Circuit({} qubits, {} gates, depth {})", self.n_qubits, self.len(), self.depth())
+        write!(
+            f,
+            "Circuit({} qubits, {} gates, depth {})",
+            self.n_qubits,
+            self.len(),
+            self.depth()
+        )
     }
 }
 
@@ -270,10 +277,7 @@ mod tests {
 
     #[test]
     fn counts_and_mix() {
-        let c = Circuit::from_gates(
-            2,
-            [Gate::H(0), Gate::T(0), Gate::T(1), Gate::Cx(0, 1)],
-        );
+        let c = Circuit::from_gates(2, [Gate::H(0), Gate::T(0), Gate::T(1), Gate::Cx(0, 1)]);
         let counts = c.counts_by_kind();
         assert_eq!(counts[&GateKind::T], 2);
         assert_eq!(counts[&GateKind::H], 1);
@@ -290,7 +294,9 @@ mod tests {
         assert_eq!(d_keep.len(), 15 + 1);
         let d_all = c.decomposed(true);
         assert_eq!(d_all.len(), 15 + 3);
-        assert!(d_all.iter().all(|g| !matches!(g, Gate::Ccx(..) | Gate::Swap(..))));
+        assert!(d_all
+            .iter()
+            .all(|g| !matches!(g, Gate::Ccx(..) | Gate::Swap(..))));
     }
 
     #[test]
@@ -312,7 +318,15 @@ mod tests {
 
     #[test]
     fn two_qubit_count_counts_pairs_only() {
-        let c = Circuit::from_gates(3, [Gate::H(0), Gate::Cx(0, 1), Gate::Cz(1, 2), Gate::Ccx(0, 1, 2)]);
+        let c = Circuit::from_gates(
+            3,
+            [
+                Gate::H(0),
+                Gate::Cx(0, 1),
+                Gate::Cz(1, 2),
+                Gate::Ccx(0, 1, 2),
+            ],
+        );
         assert_eq!(c.two_qubit_count(), 2);
     }
 

@@ -62,12 +62,20 @@ impl CircuitDag {
             for &p in &preds {
                 nodes[p].succs.push(idx);
             }
-            nodes.push(DagNode { gate, preds, succs: Vec::new(), layer });
+            nodes.push(DagNode {
+                gate,
+                preds,
+                succs: Vec::new(),
+                layer,
+            });
             for q in gate.qubits() {
                 last_on_qubit[q] = Some(idx);
             }
         }
-        Self { nodes, n_qubits: circuit.n_qubits() }
+        Self {
+            nodes,
+            n_qubits: circuit.n_qubits(),
+        }
     }
 
     /// Number of nodes (gates).
@@ -161,7 +169,16 @@ mod tests {
 
     #[test]
     fn parallel_gates_share_layer() {
-        let c = Circuit::from_gates(4, [Gate::H(0), Gate::H(1), Gate::Cx(0, 1), Gate::H(2), Gate::Cx(2, 3)]);
+        let c = Circuit::from_gates(
+            4,
+            [
+                Gate::H(0),
+                Gate::H(1),
+                Gate::Cx(0, 1),
+                Gate::H(2),
+                Gate::Cx(2, 3),
+            ],
+        );
         let dag = CircuitDag::from_circuit(&c);
         assert_eq!(dag.node(0).layer, 1);
         assert_eq!(dag.node(1).layer, 1);

@@ -7,9 +7,7 @@
 
 use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_4};
 
-use serde::{Deserialize, Serialize};
-
-use accqoc_linalg::{C64, Mat, ONE, ZERO};
+use accqoc_linalg::{Mat, C64, ONE, ZERO};
 
 /// A gate application: an operation together with its qubit operands.
 ///
@@ -26,7 +24,7 @@ use accqoc_linalg::{C64, Mat, ONE, ZERO};
 /// assert_eq!(g.kind().name(), "cx");
 /// assert!(g.matrix().is_unitary(1e-12));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Gate {
     /// Pauli-X (NOT).
     X(usize),
@@ -70,7 +68,7 @@ pub enum Gate {
 ///
 /// Used for instruction-mix statistics (paper Table II) and duration
 /// lookup tables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)]
 pub enum GateKind {
     X,
@@ -121,7 +119,9 @@ impl GateKind {
     /// All kinds, in declaration order.
     pub fn all() -> &'static [GateKind] {
         use GateKind::*;
-        &[X, Y, Z, H, S, Sdg, T, Tdg, Rx, Ry, Rz, U1, U2, U3, Cx, Cz, Swap, Ccx]
+        &[
+            X, Y, Z, H, S, Sdg, T, Tdg, Rx, Ry, Rz, U1, U2, U3, Cx, Cz, Swap, Ccx,
+        ]
     }
 }
 
@@ -217,12 +217,9 @@ impl Gate {
             Gate::X(_) => Mat::from_reals(&[0.0, 1.0, 1.0, 0.0]),
             Gate::Y(_) => Mat::from_flat(&[ZERO, C64::imag(-1.0), C64::imag(1.0), ZERO]),
             Gate::Z(_) => Mat::from_reals(&[1.0, 0.0, 0.0, -1.0]),
-            Gate::H(_) => Mat::from_reals(&[
-                FRAC_1_SQRT_2,
-                FRAC_1_SQRT_2,
-                FRAC_1_SQRT_2,
-                -FRAC_1_SQRT_2,
-            ]),
+            Gate::H(_) => {
+                Mat::from_reals(&[FRAC_1_SQRT_2, FRAC_1_SQRT_2, FRAC_1_SQRT_2, -FRAC_1_SQRT_2])
+            }
             Gate::S(_) => Mat::from_flat(&[ONE, ZERO, ZERO, C64::imag(1.0)]),
             Gate::Sdg(_) => Mat::from_flat(&[ONE, ZERO, ZERO, C64::imag(-1.0)]),
             Gate::T(_) => Mat::from_flat(&[ONE, ZERO, ZERO, C64::cis(FRAC_PI_4)]),
@@ -239,7 +236,9 @@ impl Gate {
                 Mat::from_flat(&[C64::cis(-theta / 2.0), ZERO, ZERO, C64::cis(theta / 2.0)])
             }
             Gate::U1(_, lambda) => Mat::from_flat(&[ONE, ZERO, ZERO, C64::cis(lambda)]),
-            Gate::U2(q, phi, lambda) => Gate::U3(q, std::f64::consts::FRAC_PI_2, phi, lambda).matrix(),
+            Gate::U2(q, phi, lambda) => {
+                Gate::U3(q, std::f64::consts::FRAC_PI_2, phi, lambda).matrix()
+            }
             Gate::U3(_, theta, phi, lambda) => {
                 let (s, c) = ((theta / 2.0).sin(), (theta / 2.0).cos());
                 Mat::from_flat(&[
@@ -354,10 +353,7 @@ mod tests {
 
     #[test]
     fn adjoint_pairs_cancel() {
-        let pairs = [
-            (Gate::S(0), Gate::Sdg(0)),
-            (Gate::T(0), Gate::Tdg(0)),
-        ];
+        let pairs = [(Gate::S(0), Gate::Sdg(0)), (Gate::T(0), Gate::Tdg(0))];
         for (a, b) in pairs {
             let prod = a.matrix().matmul(&b.matrix());
             assert!(prod.approx_eq(&Mat::identity(2), 1e-12), "{a:?}·{b:?}");
@@ -378,8 +374,16 @@ mod tests {
 
     #[test]
     fn rx_pi_is_x_up_to_phase() {
-        assert!(approx_eq_up_to_phase(&Gate::Rx(0, PI).matrix(), &Gate::X(0).matrix(), 1e-12));
-        assert!(approx_eq_up_to_phase(&Gate::Rz(0, PI).matrix(), &Gate::Z(0).matrix(), 1e-12));
+        assert!(approx_eq_up_to_phase(
+            &Gate::Rx(0, PI).matrix(),
+            &Gate::X(0).matrix(),
+            1e-12
+        ));
+        assert!(approx_eq_up_to_phase(
+            &Gate::Rz(0, PI).matrix(),
+            &Gate::Z(0).matrix(),
+            1e-12
+        ));
     }
 
     #[test]
@@ -393,7 +397,11 @@ mod tests {
         let u3b = Gate::U3(0, PI / 2.0, 0.3, 0.7).matrix();
         assert!(u2.approx_eq(&u3b, 1e-12));
         // h == u2(0, π) up to phase.
-        assert!(approx_eq_up_to_phase(&Gate::H(0).matrix(), &Gate::U2(0, 0.0, PI).matrix(), 1e-12));
+        assert!(approx_eq_up_to_phase(
+            &Gate::H(0).matrix(),
+            &Gate::U2(0, 0.0, PI).matrix(),
+            1e-12
+        ));
     }
 
     #[test]

@@ -6,8 +6,6 @@
 //! Qubits but same operations are also treated as duplicate" (§IV-C).
 //! [`UnitaryKey`] implements exactly that equivalence.
 
-use serde::{Deserialize, Serialize};
-
 use accqoc_linalg::{global_phase_canonical, quantized_bytes, Mat};
 
 /// Quantization resolution for key bytes. Unitaries closer than ~half this
@@ -29,7 +27,7 @@ pub const KEY_EPS: f64 = 1e-6;
 /// let phased = u.scale(C64::cis(0.7));
 /// assert_eq!(UnitaryKey::from_unitary(&u), UnitaryKey::from_unitary(&phased));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct UnitaryKey(Vec<u8>);
 
 impl UnitaryKey {
@@ -74,6 +72,13 @@ impl UnitaryKey {
     pub fn as_bytes(&self) -> &[u8] {
         &self.0
     }
+
+    /// Rebuilds a key from bytes produced by [`UnitaryKey::as_bytes`]
+    /// (pulse-cache persistence). The bytes are trusted — a corrupted
+    /// byte string simply never matches any live key.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        Self(bytes)
+    }
 }
 
 /// Applies a qubit relabeling to a unitary: qubit `i` of the input becomes
@@ -113,7 +118,7 @@ fn heap_permute(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
     }
     for i in 0..k {
         heap_permute(items, k - 1, out);
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             items.swap(i, k - 1);
         } else {
             items.swap(0, k - 1);
@@ -134,7 +139,10 @@ mod tests {
         let u = circuit_unitary(&Circuit::from_gates(1, [Gate::T(0), Gate::H(0)]));
         for k in 0..6 {
             let phased = u.scale(C64::cis(k as f64));
-            assert_eq!(UnitaryKey::from_unitary(&u), UnitaryKey::from_unitary(&phased));
+            assert_eq!(
+                UnitaryKey::from_unitary(&u),
+                UnitaryKey::from_unitary(&phased)
+            );
         }
     }
 

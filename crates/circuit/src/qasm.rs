@@ -23,7 +23,11 @@ pub struct QasmError {
 
 impl fmt::Display for QasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "qasm parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -141,8 +145,12 @@ fn parse_statement(
 
 fn parse_reg_decl(decl: &str) -> Result<(String, usize), String> {
     // e.g. "q[14]"
-    let open = decl.find('[').ok_or_else(|| format!("bad register declaration {decl:?}"))?;
-    let close = decl.find(']').ok_or_else(|| format!("bad register declaration {decl:?}"))?;
+    let open = decl
+        .find('[')
+        .ok_or_else(|| format!("bad register declaration {decl:?}"))?;
+    let close = decl
+        .find(']')
+        .ok_or_else(|| format!("bad register declaration {decl:?}"))?;
     let name = decl[..open].trim().to_string();
     let size: usize = decl[open + 1..close]
         .trim()
@@ -156,9 +164,10 @@ fn parse_reg_decl(decl: &str) -> Result<(String, usize), String> {
 
 fn parse_gate_head(head: &str, line: usize) -> Result<(String, Vec<f64>), QasmError> {
     if let Some(open) = head.find('(') {
-        let close = head
-            .rfind(')')
-            .ok_or_else(|| QasmError { line, message: format!("missing ')' in {head:?}") })?;
+        let close = head.rfind(')').ok_or_else(|| QasmError {
+            line,
+            message: format!("missing ')' in {head:?}"),
+        })?;
         let name = head[..open].trim().to_lowercase();
         let params = head[open + 1..close]
             .split(',')
@@ -176,8 +185,12 @@ fn resolve_operand(
     line: usize,
 ) -> Result<usize, QasmError> {
     let err = |message: String| QasmError { line, message };
-    let open = op.find('[').ok_or_else(|| err(format!("expected reg[idx], got {op:?}")))?;
-    let close = op.find(']').ok_or_else(|| err(format!("expected reg[idx], got {op:?}")))?;
+    let open = op
+        .find('[')
+        .ok_or_else(|| err(format!("expected reg[idx], got {op:?}")))?;
+    let close = op
+        .find(']')
+        .ok_or_else(|| err(format!("expected reg[idx], got {op:?}")))?;
     let name = op[..open].trim();
     let idx: usize = op[open + 1..close]
         .trim()
@@ -187,12 +200,19 @@ fn resolve_operand(
         .get(name)
         .ok_or_else(|| err(format!("unknown register {name:?}")))?;
     if idx >= size {
-        return Err(err(format!("index {idx} out of range for register {name:?} of size {size}")));
+        return Err(err(format!(
+            "index {idx} out of range for register {name:?} of size {size}"
+        )));
     }
     Ok(offset + idx)
 }
 
-fn build_gate(name: &str, params: &[f64], operands: &[usize], line: usize) -> Result<Gate, QasmError> {
+fn build_gate(
+    name: &str,
+    params: &[f64],
+    operands: &[usize],
+    line: usize,
+) -> Result<Gate, QasmError> {
     let err = |message: String| QasmError { line, message };
     let need = |n_params: usize, n_ops: usize| -> Result<(), QasmError> {
         if params.len() != n_params || operands.len() != n_ops {
@@ -325,7 +345,10 @@ pub fn to_qasm(circuit: &Circuit) -> String {
 // ---------------------------------------------------------------------------
 
 fn eval_expr(src: &str) -> Result<f64, String> {
-    let mut p = ExprParser { chars: src.chars().collect(), pos: 0 };
+    let mut p = ExprParser {
+        chars: src.chars().collect(),
+        pos: 0,
+    };
     let v = p.expr()?;
     p.skip_ws();
     if p.pos != p.chars.len() {
@@ -519,7 +542,10 @@ mod tests {
         for (src, needle) in cases {
             let e = parse_qasm(src).unwrap_err();
             assert_eq!(e.line, 2, "wrong line for {src:?}");
-            assert!(e.to_string().contains(needle), "{e} should contain {needle:?}");
+            assert!(
+                e.to_string().contains(needle),
+                "{e} should contain {needle:?}"
+            );
         }
     }
 

@@ -25,7 +25,11 @@ pub const MAX_DENSE_QUBITS: usize = 12;
 /// Panics if dimensions are inconsistent or a qubit index repeats.
 pub fn apply_unitary(u: &mut Mat, gate_matrix: &Mat, qubits: &[usize], n_qubits: usize) {
     let k = qubits.len();
-    assert_eq!(gate_matrix.rows(), 1 << k, "gate matrix size vs operand count");
+    assert_eq!(
+        gate_matrix.rows(),
+        1 << k,
+        "gate matrix size vs operand count"
+    );
     assert!(gate_matrix.is_square());
     assert_eq!(u.rows(), 1 << n_qubits, "state dimension mismatch");
     for (i, &q) in qubits.iter().enumerate() {

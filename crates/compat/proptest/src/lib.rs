@@ -1,0 +1,374 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal property-testing harness that keeps the repository's
+//! `proptest!` test files compiling and running unchanged. It implements
+//! the subset actually used here:
+//!
+//! - [`Strategy`] with [`Strategy::prop_map`] and
+//!   [`Strategy::prop_filter_map`];
+//! - range strategies over `f64`/`u8`/`usize`/`u64`, tuple strategies up
+//!   to arity 4, and [`collection::vec`];
+//! - the [`proptest!`] macro with `#![proptest_config(..)]`,
+//!   [`prop_assert!`], [`prop_assert_eq!`], and [`prop_assume!`].
+//!
+//! Unlike upstream proptest there is **no shrinking** and no persistence:
+//! each test runs a fixed number of seeded random cases (deterministic
+//! across runs, seeded per test by a hash of the test name), and a failing
+//! case panics with the rendered assertion message. `prop_assume!` skips
+//! the current case rather than resampling it.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use rand::Rng as TestRngCore;
+
+/// The RNG driving case generation.
+pub type TestRng = StdRng;
+
+/// Runner configuration (subset of upstream's `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value; `None` means the case was rejected (e.g. by a
+    /// filter) and the runner should retry with fresh randomness.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Maps generated values through a fallible `f`; `None` rejects the
+    /// case. The `reason` is kept for API compatibility.
+    fn prop_filter_map<O, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        let _ = reason;
+        FilterMap { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.generate(rng).and_then(&self.f)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rand::Rng::gen_range(rng, self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f64, u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length specification for [`vec`]: an exact size or a half-open
+    /// range (upstream's `SizeRange` conversions).
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(std::ops::Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self(n..n + 1)
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            Self(r)
+        }
+    }
+
+    /// Strategy for `Vec`s with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// A vector of values from `element`, with length drawn from `len`
+    /// (a `usize` for an exact length, or a range).
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let n = rand::Rng::gen_range(rng, self.len.0.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything the `proptest!` test files import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy};
+}
+
+/// Runs one property test: `cases` attempts, each generating arguments
+/// via `gen` (retrying rejected cases) and running `body`.
+///
+/// Not called directly — the [`proptest!`] macro expands to this.
+///
+/// # Panics
+///
+/// Panics when a case fails or when generation rejects too many times.
+pub fn run_property_test<A>(
+    test_name: &str,
+    config: &ProptestConfig,
+    generate: impl Fn(&mut TestRng) -> Option<A>,
+    body: impl Fn(A) -> Result<(), String>,
+) {
+    // Deterministic per-test seed: FNV-1a over the test name.
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x100_0000_01b3);
+    }
+    let mut rng = TestRng::seed_from_u64(seed);
+    const MAX_REJECTS: u32 = 1000;
+    let mut rejects = 0u32;
+    let mut case = 0u32;
+    while case < config.cases {
+        match generate(&mut rng) {
+            None => {
+                rejects += 1;
+                assert!(
+                    rejects <= MAX_REJECTS,
+                    "{test_name}: too many rejected cases ({MAX_REJECTS})"
+                );
+            }
+            Some(args) => {
+                case += 1;
+                if let Err(message) = body(args) {
+                    panic!(
+                        "{test_name}: property failed at case {case}/{}: {message}",
+                        config.cases
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Declares property tests. Mirrors upstream `proptest!` syntax for the
+/// forms used in this workspace.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::run_property_test(
+                stringify!($name),
+                &config,
+                |rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), rng)?;)+
+                    Some(($($arg,)+))
+                },
+                |($($arg,)+)| -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+    )*};
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} at {}:{}", stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond), format!($($fmt)+), file!(), line!()
+            ));
+        }
+    };
+}
+
+/// Fails the current case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}) at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when `cond` is false (no resampling).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 0usize..10, y in -1.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn mapped_strategy_applies_function(v in (0u8..5).prop_map(|b| b as usize * 2)) {
+            prop_assert!(v % 2 == 0);
+            prop_assert!(v < 10);
+        }
+
+        #[test]
+        fn filter_map_rejects(v in (0usize..10).prop_filter_map("even only", |x| {
+            if x % 2 == 0 { Some(x) } else { None }
+        })) {
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn vec_strategy_lengths(v in collection::vec(0u8..4, 1..7)) {
+            prop_assert!(!v.is_empty() && v.len() < 7);
+            for b in v {
+                prop_assert!(b < 4);
+            }
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..4) {
+            prop_assume!(n > 0);
+            prop_assert!(n >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics() {
+        crate::run_property_test(
+            "failing_property_panics",
+            &ProptestConfig::with_cases(4),
+            |_| Some(()),
+            |()| Err("forced".into()),
+        );
+    }
+}

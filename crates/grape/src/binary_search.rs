@@ -13,15 +13,13 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use accqoc_hw::ControlModel;
 use accqoc_linalg::Mat;
 
 use crate::grape::{solve, GrapeOptions, GrapeOutcome, GrapeProblem};
 
 /// Search-space bounds for the latency binary search.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LatencySearch {
     /// Smallest slice count to consider.
     pub min_steps: usize,
@@ -41,7 +39,12 @@ pub struct LatencySearch {
 
 impl Default for LatencySearch {
     fn default() -> Self {
-        Self { min_steps: 1, max_steps: 256, warm_start_probes: true, initial_guess: None }
+        Self {
+            min_steps: 1,
+            max_steps: 256,
+            warm_start_probes: true,
+            initial_guess: None,
+        }
     }
 }
 
@@ -49,7 +52,10 @@ impl LatencySearch {
     /// A search seeded by the model's analytic minimum-time estimate.
     pub fn for_model(model: &ControlModel) -> Self {
         let est = (model.min_time_estimate_ns() / model.dt_ns()).floor() as usize;
-        Self { min_steps: (est.max(1) / 2 + 1).max(1), ..Self::default() }
+        Self {
+            min_steps: (est.max(1) / 2 + 1).max(1),
+            ..Self::default()
+        }
     }
 }
 
@@ -140,12 +146,12 @@ pub fn find_minimal_latency(
         // Warm attempt (reduced budget): converges in a fraction of the
         // cold cost when the seed is good; falls through otherwise.
         let warm_init = if search.warm_start_probes {
-            warm.as_ref().map(|p| crate::grape::InitStrategy::Warm(p.clone())).or_else(|| {
-                match &options.init {
+            warm.as_ref()
+                .map(|p| crate::grape::InitStrategy::Warm(p.clone()))
+                .or_else(|| match &options.init {
                     w @ crate::grape::InitStrategy::Warm(_) => Some(w.clone()),
                     _ => None,
-                }
-            })
+                })
         } else {
             None
         };
@@ -240,7 +246,10 @@ pub fn find_minimal_latency(
         }
         lo = n;
         if n >= search.max_steps {
-            return Err(LatencyError::Infeasible { max_steps: search.max_steps, best_infidelity });
+            return Err(LatencyError::Infeasible {
+                max_steps: search.max_steps,
+                best_infidelity,
+            });
         }
         n = (n * 2).min(search.max_steps);
     }
@@ -277,8 +286,13 @@ mod tests {
     fn x_gate_min_latency_is_ten_ns() {
         let model = ControlModel::spin_chain(1);
         let x = Mat::from_reals(&[0.0, 1.0, 1.0, 0.0]);
-        let r = find_minimal_latency(&model, &x, &GrapeOptions::default(), &LatencySearch::default())
-            .unwrap();
+        let r = find_minimal_latency(
+            &model,
+            &x,
+            &GrapeOptions::default(),
+            &LatencySearch::default(),
+        )
+        .unwrap();
         // π/(Ω_max) = 10 ns exactly at the amplitude bound.
         assert_eq!(r.n_steps, 10, "probes: {:?}", r.probes);
         assert!((r.latency_ns - 10.0).abs() < 1e-12);
@@ -303,10 +317,22 @@ mod tests {
     #[test]
     fn rotation_shorter_than_pi_needs_fewer_steps() {
         let model = ControlModel::spin_chain(1);
-        let rz = circuit_unitary(&Circuit::from_gates(1, [Gate::Rx(0, std::f64::consts::PI / 2.0)]));
-        let r = find_minimal_latency(&model, &rz, &GrapeOptions::default(), &LatencySearch::default())
-            .unwrap();
-        assert!(r.n_steps <= 6, "π/2 rotation should need ≈5 steps, got {}", r.n_steps);
+        let rz = circuit_unitary(&Circuit::from_gates(
+            1,
+            [Gate::Rx(0, std::f64::consts::PI / 2.0)],
+        ));
+        let r = find_minimal_latency(
+            &model,
+            &rz,
+            &GrapeOptions::default(),
+            &LatencySearch::default(),
+        )
+        .unwrap();
+        assert!(
+            r.n_steps <= 6,
+            "π/2 rotation should need ≈5 steps, got {}",
+            r.n_steps
+        );
         assert!(r.n_steps >= 4);
     }
 
@@ -318,11 +344,18 @@ mod tests {
             &model,
             &x,
             &GrapeOptions::default(),
-            &LatencySearch { min_steps: 1, max_steps: 6, ..LatencySearch::default() },
+            &LatencySearch {
+                min_steps: 1,
+                max_steps: 6,
+                ..LatencySearch::default()
+            },
         )
         .unwrap_err();
         match e {
-            LatencyError::Infeasible { max_steps, best_infidelity } => {
+            LatencyError::Infeasible {
+                max_steps,
+                best_infidelity,
+            } => {
                 assert_eq!(max_steps, 6);
                 assert!(best_infidelity > 1e-4);
             }
@@ -333,12 +366,21 @@ mod tests {
     fn probes_are_recorded_and_monotone_consistent() {
         let model = ControlModel::spin_chain(1);
         let x = Mat::from_reals(&[0.0, 1.0, 1.0, 0.0]);
-        let r = find_minimal_latency(&model, &x, &GrapeOptions::default(), &LatencySearch::default())
-            .unwrap();
+        let r = find_minimal_latency(
+            &model,
+            &x,
+            &GrapeOptions::default(),
+            &LatencySearch::default(),
+        )
+        .unwrap();
         // Every probe below the answer must be infeasible; at/above: mostly feasible.
         for &(n, ok) in &r.probes {
             if n < r.n_steps {
-                assert!(!ok, "probe at {n} should be infeasible (answer {})", r.n_steps);
+                assert!(
+                    !ok,
+                    "probe at {n} should be infeasible (answer {})",
+                    r.n_steps
+                );
             }
         }
         assert!(r.probes.iter().any(|&(n, ok)| n == r.n_steps && ok));

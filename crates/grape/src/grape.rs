@@ -13,17 +13,16 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use accqoc_hw::ControlModel;
-use accqoc_linalg::{eigh, expm_frechet, C64, Mat};
+use accqoc_linalg::{eigh, expm_frechet, Mat, C64};
 
 use crate::optimizer::{OptimizerKind, StopCriteria};
 use crate::propagate::{backward_states, forward_states, step_unitaries};
 use crate::pulse::Pulse;
 
 /// How to compute GRAPE gradients.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum GradientMethod {
     /// Exact gradients through the spectral (Daleckii–Krein) form of the
     /// propagator derivative: one Hermitian eigendecomposition per slice.
@@ -41,7 +40,7 @@ pub enum GradientMethod {
 }
 
 /// Initial pulse guess.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum InitStrategy {
     /// All-zero controls.
     Zero,
@@ -60,12 +59,15 @@ pub enum InitStrategy {
 impl Default for InitStrategy {
     fn default() -> Self {
         // Small random break of symmetry; deterministic by default.
-        InitStrategy::Random { scale: 0.1, seed: 0xACC0 }
+        InitStrategy::Random {
+            scale: 0.1,
+            seed: 0xACC0,
+        }
     }
 }
 
 /// GRAPE configuration.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct GrapeOptions {
     /// Optimizer selection (paper: BFGS → our L-BFGS default).
     pub optimizer: OptimizerKind,
@@ -174,8 +176,13 @@ pub fn solve(problem: &GrapeProblem<'_>) -> GrapeOutcome {
     let smoothness = problem.options.smoothness_weight;
     let mut objective = |params: &[f64]| -> (f64, Vec<f64>) {
         evals += 1;
-        let (mut cost, mut grad) =
-            cost_and_gradient(model, &problem.target, params, n_steps, problem.options.gradient);
+        let (mut cost, mut grad) = cost_and_gradient(
+            model,
+            &problem.target,
+            params,
+            n_steps,
+            problem.options.gradient,
+        );
         if smoothness > 0.0 {
             let (pc, pg) = crate::analysis::smoothness_penalty(params, n_ctrl, n_steps, smoothness);
             cost += pc;
@@ -222,8 +229,7 @@ fn initial_params(problem: &GrapeProblem<'_>, n_ctrl: usize, n_steps: usize, dt:
         InitStrategy::Zero => vec![0.0; n_ctrl * n_steps],
         InitStrategy::Random { scale, seed } => {
             let mut rng = StdRng::seed_from_u64(*seed);
-            let bounds: Vec<f64> =
-                problem.model.channels().iter().map(|c| c.max_amp).collect();
+            let bounds: Vec<f64> = problem.model.channels().iter().map(|c| c.max_amp).collect();
             (0..n_ctrl * n_steps)
                 .map(|i| rng.gen_range(-1.0..1.0) * scale * bounds[i / n_steps])
                 .collect()
@@ -294,7 +300,7 @@ fn cost_and_gradient(
                     let mut inner = hj_tilde;
                     for a in 0..dim {
                         for b in 0..dim {
-                            inner[(a, b)] = inner[(a, b)] * w[(a, b)];
+                            inner[(a, b)] *= w[(a, b)];
                         }
                     }
                     let du = v.matmul(&inner).matmul(&v.dagger());
@@ -346,7 +352,7 @@ pub(crate) fn spectral_propagator(eig: &accqoc_linalg::EigH, dt: f64) -> Mat {
     for j in 0..dim {
         let phase = C64::cis(-dt * eig.values[j]);
         for i in 0..dim {
-            scaled[(i, j)] = scaled[(i, j)] * phase;
+            scaled[(i, j)] *= phase;
         }
     }
     scaled.matmul(&eig.vectors.dagger())
@@ -384,10 +390,16 @@ mod tests {
         let model = ControlModel::spin_chain(1).with_dt(0.1);
         let target = x_target();
         let n_steps = 12;
-        let params: Vec<f64> =
-            (0..2 * n_steps).map(|i| ((i * 37 % 19) as f64 / 19.0 - 0.5) * 0.8).collect();
-        let (c0, g) =
-            cost_and_gradient(&model, &target, &params, n_steps, GradientMethod::FirstOrder);
+        let params: Vec<f64> = (0..2 * n_steps)
+            .map(|i| ((i * 37 % 19) as f64 / 19.0 - 0.5) * 0.8)
+            .collect();
+        let (c0, g) = cost_and_gradient(
+            &model,
+            &target,
+            &params,
+            n_steps,
+            GradientMethod::FirstOrder,
+        );
         let h = 1e-6;
         for i in [0, 5, n_steps, 2 * n_steps - 1] {
             let mut p = params.clone();
@@ -410,16 +422,16 @@ mod tests {
         let target = circuit_unitary(&Circuit::from_gates(2, [Gate::Cx(0, 1)]));
         let n_steps = 5;
         let n_params = model.n_controls() * n_steps;
-        let params: Vec<f64> =
-            (0..n_params).map(|i| ((i * 29 % 17) as f64 / 17.0 - 0.5) * 0.9).collect();
+        let params: Vec<f64> = (0..n_params)
+            .map(|i| ((i * 29 % 17) as f64 / 17.0 - 0.5) * 0.9)
+            .collect();
         let (c0, g) =
             cost_and_gradient(&model, &target, &params, n_steps, GradientMethod::Spectral);
         let h = 1e-6;
         for i in (0..n_params).step_by(3) {
             let mut p = params.clone();
             p[i] += h;
-            let (c1, _) =
-                cost_and_gradient(&model, &target, &p, n_steps, GradientMethod::Spectral);
+            let (c1, _) = cost_and_gradient(&model, &target, &p, n_steps, GradientMethod::Spectral);
             let fd = (c1 - c0) / h;
             assert!(
                 (fd - g[i]).abs() < 1e-5 * (1.0 + fd.abs()),
@@ -508,7 +520,11 @@ mod tests {
             options: GrapeOptions::default().with_max_iters(800),
         };
         let out = solve(&problem);
-        assert!(out.converged, "CNOT infidelity {} after {} iters", out.infidelity, out.iterations);
+        assert!(
+            out.converged,
+            "CNOT infidelity {} after {} iters",
+            out.infidelity, out.iterations
+        );
     }
 
     #[test]
@@ -538,7 +554,11 @@ mod tests {
             options: GrapeOptions::default(),
         };
         let out = solve(&problem);
-        assert!(!out.converged, "should be infeasible, got infidelity {}", out.infidelity);
+        assert!(
+            !out.converged,
+            "should be infeasible, got infidelity {}",
+            out.infidelity
+        );
         assert!(out.infidelity > 1e-3);
     }
 

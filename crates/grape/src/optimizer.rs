@@ -6,10 +6,8 @@
 //! limited-memory form is what any modern BFGS implementation runs on
 //! problems with hundreds of parameters.
 
-use serde::{Deserialize, Serialize};
-
 /// Stopping criteria shared by all optimizers.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StopCriteria {
     /// Hard iteration cap.
     pub max_iters: usize,
@@ -112,7 +110,7 @@ pub trait Optimizer {
 }
 
 /// Which optimizer to run (serializable configuration).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum OptimizerKind {
     /// Adam with the given learning rate.
     Adam {
@@ -500,19 +498,35 @@ fn wolfe_line_search(
     }
 
     let mut eval = |alpha: f64| -> LsPoint {
-        let mut trial: Vec<f64> = x.iter().zip(dir).map(|(&xi, &di)| xi + alpha * di).collect();
+        let mut trial: Vec<f64> = x
+            .iter()
+            .zip(dir)
+            .map(|(&xi, &di)| xi + alpha * di)
+            .collect();
         if let Some(p) = project {
             p(&mut trial);
         }
         let (c, g) = f(&trial);
         let dphi = dot(&g, dir);
-        LsPoint { alpha, x: trial, cost: c, grad: g, dphi }
+        LsPoint {
+            alpha,
+            x: trial,
+            cost: c,
+            grad: g,
+            dphi,
+        }
     };
 
     let accept = |p: LsPoint| Some((p.x, p.cost, p.grad));
 
     // Bracketing phase.
-    let mut prev = LsPoint { alpha: 0.0, x: x.to_vec(), cost: cost0, grad: grad0.to_vec(), dphi: dphi0 };
+    let mut prev = LsPoint {
+        alpha: 0.0,
+        x: x.to_vec(),
+        cost: cost0,
+        grad: grad0.to_vec(),
+        dphi: dphi0,
+    };
     let mut alpha = 1.0;
     let alpha_max = 64.0;
     for i in 0..12 {
@@ -559,7 +573,13 @@ fn zoom(
                 return Some(cur);
             }
             if cur.dphi * (hi.alpha - lo.alpha) >= 0.0 {
-                hi = LsPoint { alpha: lo.alpha, x: lo.x.clone(), cost: lo.cost, grad: lo.grad.clone(), dphi: lo.dphi };
+                hi = LsPoint {
+                    alpha: lo.alpha,
+                    x: lo.x.clone(),
+                    cost: lo.cost,
+                    grad: lo.grad.clone(),
+                    dphi: lo.dphi,
+                };
             }
             lo = cur;
         }
@@ -610,11 +630,20 @@ mod tests {
 
     #[test]
     fn all_optimizers_solve_quadratic() {
-        let stop = StopCriteria { max_iters: 2000, target_cost: 1e-10, grad_tol: 1e-12, patience: 0, min_rel_improvement: 0.0 };
+        let stop = StopCriteria {
+            max_iters: 2000,
+            target_cost: 1e-10,
+            grad_tol: 1e-12,
+            patience: 0,
+            min_rel_improvement: 0.0,
+        };
         for kind in [
             OptimizerKind::Adam { lr: 0.1 },
             OptimizerKind::Lbfgs { memory: 10 },
-            OptimizerKind::Momentum { lr: 0.05, beta: 0.9 },
+            OptimizerKind::Momentum {
+                lr: 0.05,
+                beta: 0.9,
+            },
         ] {
             let mut f = quadratic(vec![1.0, 4.0, 0.5], vec![1.0, -2.0, 3.0]);
             let opt = kind.build();
@@ -628,7 +657,13 @@ mod tests {
 
     #[test]
     fn lbfgs_beats_adam_on_rosenbrock() {
-        let stop = StopCriteria { max_iters: 500, target_cost: 1e-8, grad_tol: 1e-12, patience: 0, min_rel_improvement: 0.0 };
+        let stop = StopCriteria {
+            max_iters: 500,
+            target_cost: 1e-8,
+            grad_tol: 1e-12,
+            patience: 0,
+            min_rel_improvement: 0.0,
+        };
         let lbfgs = Lbfgs { memory: 10 };
         let r1 = lbfgs.minimize(&mut rosenbrock, None, vec![-1.2, 1.0], &stop);
         assert!(r1.converged, "lbfgs cost {}", r1.cost);
@@ -641,23 +676,38 @@ mod tests {
 
     #[test]
     fn projection_keeps_iterates_in_box() {
-        let stop = StopCriteria { max_iters: 200, target_cost: 1e-12, grad_tol: 1e-14, ..StopCriteria::default() };
+        let stop = StopCriteria {
+            max_iters: 200,
+            target_cost: 1e-12,
+            grad_tol: 1e-14,
+            ..StopCriteria::default()
+        };
         // Unconstrained minimum at 5, box at [−1, 1] → solution clamps to 1.
         let project = |x: &mut [f64]| {
             for v in x.iter_mut() {
                 *v = v.clamp(-1.0, 1.0);
             }
         };
-        for kind in [OptimizerKind::Lbfgs { memory: 5 }, OptimizerKind::Adam { lr: 0.2 }] {
+        for kind in [
+            OptimizerKind::Lbfgs { memory: 5 },
+            OptimizerKind::Adam { lr: 0.2 },
+        ] {
             let mut f = quadratic(vec![1.0], vec![5.0]);
-            let r = kind.build().minimize(&mut f, Some(&project), vec![0.0], &stop);
+            let r = kind
+                .build()
+                .minimize(&mut f, Some(&project), vec![0.0], &stop);
             assert!((r.x[0] - 1.0).abs() < 1e-6, "{kind:?} got {}", r.x[0]);
         }
     }
 
     #[test]
     fn immediate_convergence_reports_zero_iterations() {
-        let stop = StopCriteria { max_iters: 100, target_cost: 1.0, grad_tol: 1e-12, ..StopCriteria::default() };
+        let stop = StopCriteria {
+            max_iters: 100,
+            target_cost: 1.0,
+            grad_tol: 1e-12,
+            ..StopCriteria::default()
+        };
         let mut f = quadratic(vec![1.0], vec![0.0]);
         let r = Lbfgs { memory: 5 }.minimize(&mut f, None, vec![0.1], &stop);
         assert_eq!(r.iterations, 0);
@@ -666,7 +716,12 @@ mod tests {
 
     #[test]
     fn history_is_monotone_for_lbfgs_best_tracking() {
-        let stop = StopCriteria { max_iters: 50, target_cost: 0.0, grad_tol: 1e-14, ..StopCriteria::default() };
+        let stop = StopCriteria {
+            max_iters: 50,
+            target_cost: 0.0,
+            grad_tol: 1e-14,
+            ..StopCriteria::default()
+        };
         let r = Lbfgs { memory: 10 }.minimize(&mut rosenbrock, None, vec![-1.2, 1.0], &stop);
         // Line search guarantees non-increasing cost.
         for w in r.history.windows(2) {
@@ -676,7 +731,10 @@ mod tests {
 
     #[test]
     fn default_kind_is_lbfgs() {
-        assert_eq!(OptimizerKind::default(), OptimizerKind::Lbfgs { memory: 10 });
+        assert_eq!(
+            OptimizerKind::default(),
+            OptimizerKind::Lbfgs { memory: 10 }
+        );
         assert_eq!(OptimizerKind::default().build().name(), "lbfgs");
     }
 }

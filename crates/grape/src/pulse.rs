@@ -6,8 +6,6 @@
 //! pulse of a similar group, which requires resampling onto a different
 //! step count — provided here.
 
-use serde::{Deserialize, Serialize};
-
 /// A piecewise-constant multi-channel control pulse.
 ///
 /// # Examples
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(p.amp(0, 3), 0.5);
 /// assert_eq!(p.latency_ns(), 10.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pulse {
     /// `amps[channel][step]`.
     amps: Vec<Vec<f64>>,
@@ -36,7 +34,10 @@ impl Pulse {
     pub fn zeros(n_controls: usize, n_steps: usize, dt_ns: f64) -> Self {
         assert!(dt_ns > 0.0, "dt must be positive");
         assert!(n_controls > 0, "need at least one control channel");
-        Self { amps: vec![vec![0.0; n_steps]; n_controls], dt_ns }
+        Self {
+            amps: vec![vec![0.0; n_steps]; n_controls],
+            dt_ns,
+        }
     }
 
     /// Builds a pulse from explicit per-channel amplitude rows.
@@ -48,7 +49,10 @@ impl Pulse {
         assert!(dt_ns > 0.0, "dt must be positive");
         assert!(!amps.is_empty(), "need at least one control channel");
         let steps = amps[0].len();
-        assert!(amps.iter().all(|row| row.len() == steps), "ragged amplitude rows");
+        assert!(
+            amps.iter().all(|row| row.len() == steps),
+            "ragged amplitude rows"
+        );
         Self { amps, dt_ns }
     }
 
@@ -164,7 +168,11 @@ impl Pulse {
     ///
     /// Panics on channel-count or `dt` mismatch.
     pub fn concat(&self, other: &Pulse) -> Pulse {
-        assert_eq!(self.n_controls(), other.n_controls(), "channel count mismatch");
+        assert_eq!(
+            self.n_controls(),
+            other.n_controls(),
+            "channel count mismatch"
+        );
         assert!((self.dt_ns - other.dt_ns).abs() < 1e-12, "dt mismatch");
         let amps = self
             .amps
@@ -241,7 +249,10 @@ mod tests {
         let p = Pulse::from_amps(vec![(0..10).map(|k| k as f64).collect()], 1.0);
         let q = p.resampled(19);
         for k in 1..19 {
-            assert!(q.amp(0, k) >= q.amp(0, k - 1) - 1e-12, "monotone ramp broken at {k}");
+            assert!(
+                q.amp(0, k) >= q.amp(0, k - 1) - 1e-12,
+                "monotone ramp broken at {k}"
+            );
         }
         assert!(q.amp(0, 0) <= 1.0);
         assert!(q.amp(0, 18) >= 8.0);

@@ -7,7 +7,7 @@
 //! propagation and optimizer machinery.
 
 use accqoc_hw::ControlModel;
-use accqoc_linalg::{eigh, C64, Mat};
+use accqoc_linalg::{eigh, Mat, C64};
 
 use crate::grape::{krein_weights, spectral_propagator, GrapeOptions, InitStrategy};
 use crate::propagate::step_unitaries;
@@ -215,7 +215,9 @@ mod tests {
         let zero = basis_state(2, 0);
         let one = basis_state(2, 1);
         let n_steps = 6;
-        let params: Vec<f64> = (0..12).map(|i| ((i * 13 % 7) as f64 / 7.0 - 0.5) * 0.8).collect();
+        let params: Vec<f64> = (0..12)
+            .map(|i| ((i * 13 % 7) as f64 / 7.0 - 0.5) * 0.8)
+            .collect();
         let (c0, g) = state_cost_and_gradient(&model, &zero, &one, &params, n_steps);
         let h = 1e-6;
         for i in 0..params.len() {
@@ -223,7 +225,11 @@ mod tests {
             p[i] += h;
             let (c1, _) = state_cost_and_gradient(&model, &zero, &one, &p, n_steps);
             let fd = (c1 - c0) / h;
-            assert!((fd - g[i]).abs() < 1e-4 * (1.0 + fd.abs()), "param {i}: {fd} vs {}", g[i]);
+            assert!(
+                (fd - g[i]).abs() < 1e-4 * (1.0 + fd.abs()),
+                "param {i}: {fd} vs {}",
+                g[i]
+            );
         }
     }
 
@@ -318,6 +324,10 @@ mod tests {
             n_steps: 6,
             options: GrapeOptions::default(),
         });
-        assert!(out.converged, "π/2-worth of steering fits in 6 ns: {}", out.infidelity);
+        assert!(
+            out.converged,
+            "π/2-worth of steering fits in 6 ns: {}",
+            out.infidelity
+        );
     }
 }

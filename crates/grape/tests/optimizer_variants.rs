@@ -22,7 +22,11 @@ fn adam_solves_x_gate() {
         n_steps: 14,
         options: GrapeOptions {
             optimizer: OptimizerKind::Adam { lr: 0.05 },
-            stop: StopCriteria { max_iters: 3000, patience: 0, ..Default::default() },
+            stop: StopCriteria {
+                max_iters: 3000,
+                patience: 0,
+                ..Default::default()
+            },
             ..Default::default()
         },
     });
@@ -38,8 +42,15 @@ fn momentum_solves_simple_rotation() {
         target,
         n_steps: 10,
         options: GrapeOptions {
-            optimizer: OptimizerKind::Momentum { lr: 0.02, beta: 0.9 },
-            stop: StopCriteria { max_iters: 5000, patience: 0, ..Default::default() },
+            optimizer: OptimizerKind::Momentum {
+                lr: 0.02,
+                beta: 0.9,
+            },
+            stop: StopCriteria {
+                max_iters: 5000,
+                patience: 0,
+                ..Default::default()
+            },
             ..Default::default()
         },
     });
@@ -56,7 +67,11 @@ fn lbfgs_needs_far_fewer_iterations_than_adam() {
             n_steps: 14,
             options: GrapeOptions {
                 optimizer,
-                stop: StopCriteria { max_iters: 3000, patience: 0, ..Default::default() },
+                stop: StopCriteria {
+                    max_iters: 3000,
+                    patience: 0,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         })
@@ -97,7 +112,10 @@ fn gradient_methods_agree_on_final_pulse_quality() {
             model: &model,
             target: x_target(),
             n_steps: 12,
-            options: GrapeOptions { gradient, ..Default::default() },
+            options: GrapeOptions {
+                gradient,
+                ..Default::default()
+            },
         })
     };
     let spectral = mk(GradientMethod::Spectral);
@@ -113,26 +131,29 @@ fn latency_search_consistent_across_optimizers() {
     // find (nearly) the same boundary for the X gate.
     let model = ControlModel::spin_chain(1);
     let search = LatencySearch::default();
-    let lbfgs = find_minimal_latency(
-        &model,
-        &x_target(),
-        &GrapeOptions::default(),
-        &search,
-    )
-    .unwrap();
+    let lbfgs =
+        find_minimal_latency(&model, &x_target(), &GrapeOptions::default(), &search).unwrap();
     let adam = find_minimal_latency(
         &model,
         &x_target(),
         &GrapeOptions {
             optimizer: OptimizerKind::Adam { lr: 0.08 },
-            stop: StopCriteria { max_iters: 2000, patience: 60, ..Default::default() },
+            stop: StopCriteria {
+                max_iters: 2000,
+                patience: 60,
+                ..Default::default()
+            },
             ..Default::default()
         },
         &search,
     )
     .unwrap();
     assert_eq!(lbfgs.n_steps, 10);
-    assert!(adam.n_steps.abs_diff(lbfgs.n_steps) <= 1, "adam found {}", adam.n_steps);
+    assert!(
+        adam.n_steps.abs_diff(lbfgs.n_steps) <= 1,
+        "adam found {}",
+        adam.n_steps
+    );
 }
 
 #[test]
@@ -171,5 +192,9 @@ fn warm_start_across_different_step_counts() {
         n_steps: 12,
         options: GrapeOptions::default().with_init(InitStrategy::Warm(base.pulse)),
     });
-    assert!(warm.converged, "warm resample infidelity {}", warm.infidelity);
+    assert!(
+        warm.converged,
+        "warm resample infidelity {}",
+        warm.infidelity
+    );
 }

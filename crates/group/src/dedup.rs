@@ -74,7 +74,11 @@ pub fn dedup_groups(groups: &[GateGroup]) -> DedupResult {
         });
         assignment.push(idx);
     }
-    DedupResult { unique, assignment, keys }
+    DedupResult {
+        unique,
+        assignment,
+        keys,
+    }
 }
 
 #[cfg(test)]

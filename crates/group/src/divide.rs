@@ -239,10 +239,7 @@ pub fn layer_divide(
         }
         for bucket in buckets.into_iter().filter(|b| !b.is_empty()) {
             // Qubit support of this segment only.
-            let mut qubits: Vec<usize> = bucket
-                .iter()
-                .flat_map(|&i| gates[i].qubits())
-                .collect();
+            let mut qubits: Vec<usize> = bucket.iter().flat_map(|&i| gates[i].qubits()).collect();
             qubits.sort_unstable();
             qubits.dedup();
             let tagged: Vec<(usize, accqoc_circuit::Gate)> =
@@ -261,10 +258,7 @@ mod tests {
 
     #[test]
     fn bit_divide_respects_qubit_budget() {
-        let c = Circuit::from_gates(
-            3,
-            [Gate::H(0), Gate::Cx(0, 1), Gate::Cx(1, 2), Gate::T(2)],
-        );
+        let c = Circuit::from_gates(3, [Gate::H(0), Gate::Cx(0, 1), Gate::Cx(1, 2), Gate::T(2)]);
         let groups = bit_divide(&c, 2);
         for (_, qubits) in &groups {
             assert!(qubits.len() <= 2, "group {qubits:?} too wide");
@@ -314,7 +308,14 @@ mod tests {
         // A 6-deep single-qubit chain under a 2-layer budget → 3 groups.
         let c = Circuit::from_gates(
             1,
-            [Gate::H(0), Gate::T(0), Gate::H(0), Gate::T(0), Gate::H(0), Gate::T(0)],
+            [
+                Gate::H(0),
+                Gate::T(0),
+                Gate::H(0),
+                Gate::T(0),
+                Gate::H(0),
+                Gate::T(0),
+            ],
         );
         let large = bit_divide(&c, 2);
         assert_eq!(large.len(), 1);
@@ -377,7 +378,12 @@ mod tests {
     fn wider_budget_creates_bigger_groups() {
         let c = Circuit::from_gates(
             4,
-            [Gate::Cx(0, 1), Gate::Cx(2, 3), Gate::Cx(1, 2), Gate::Cx(0, 3)],
+            [
+                Gate::Cx(0, 1),
+                Gate::Cx(2, 3),
+                Gate::Cx(1, 2),
+                Gate::Cx(0, 3),
+            ],
         );
         let narrow = bit_divide(&c, 2).len();
         let wide = bit_divide(&c, 4).len();

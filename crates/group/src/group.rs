@@ -5,13 +5,11 @@
 //! renumbered to `0..k`), the unitary, and a canonical [`UnitaryKey`] for
 //! de-duplication and cache lookups.
 
-use serde::{Deserialize, Serialize};
-
 use accqoc_circuit::{circuit_unitary, Circuit, Gate, UnitaryKey};
 use accqoc_linalg::Mat;
 
 /// One gate group.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GateGroup {
     /// The global qubits the group acts on, ascending; local qubit `i`
     /// corresponds to `qubits[i]`.
@@ -28,10 +26,7 @@ impl GateGroup {
     /// # Panics
     ///
     /// Panics if a gate touches a qubit outside `qubits`.
-    pub fn from_global_gates(
-        qubits: Vec<usize>,
-        gates_global: &[(usize, Gate)],
-    ) -> Self {
+    pub fn from_global_gates(qubits: Vec<usize>, gates_global: &[(usize, Gate)]) -> Self {
         let local_of = |q: usize| -> usize {
             qubits
                 .iter()
@@ -44,7 +39,11 @@ impl GateGroup {
             gates.push(g.remap(local_of));
             gate_indices.push(idx);
         }
-        Self { qubits, gates, gate_indices }
+        Self {
+            qubits,
+            gates,
+            gate_indices,
+        }
     }
 
     /// Number of distinct qubits.
@@ -82,7 +81,7 @@ impl GateGroup {
 /// A circuit restructured into a DAG of groups (paper §IV-E: "we
 /// restructure the original DAG into a new DAG by turning each group into
 /// a node").
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GroupedCircuit {
     /// Groups in topological order.
     pub groups: Vec<GateGroup>,
@@ -108,7 +107,10 @@ impl GroupedCircuit {
                 owner[idx] = gi;
             }
         }
-        debug_assert!(owner.iter().all(|&o| o != usize::MAX), "every gate must be grouped");
+        debug_assert!(
+            owner.iter().all(|&o| o != usize::MAX),
+            "every gate must be grouped"
+        );
 
         let mut preds: Vec<Vec<usize>> = vec![Vec::new(); groups.len()];
         let mut last_on_qubit: Vec<Option<usize>> = vec![None; n_qubits];
@@ -126,7 +128,11 @@ impl GroupedCircuit {
         for p in preds.iter_mut() {
             p.sort_unstable();
         }
-        Self { groups, preds, n_qubits }
+        Self {
+            groups,
+            preds,
+            n_qubits,
+        }
     }
 
     /// Number of groups.
@@ -156,7 +162,10 @@ impl GroupedCircuit {
     /// Checks the structural invariant: every pred index is smaller than
     /// the group it precedes (valid topological numbering).
     pub fn is_topologically_sound(&self) -> bool {
-        self.preds.iter().enumerate().all(|(i, ps)| ps.iter().all(|&p| p < i))
+        self.preds
+            .iter()
+            .enumerate()
+            .all(|(i, ps)| ps.iter().all(|&p| p < i))
     }
 }
 
@@ -187,14 +196,8 @@ mod tests {
 
     #[test]
     fn unitary_matches_direct_evaluation() {
-        let g = GateGroup::from_global_gates(
-            vec![2, 4],
-            &[(0, Gate::H(2)), (1, Gate::Cx(2, 4))],
-        );
-        let direct = circuit_unitary(&Circuit::from_gates(
-            2,
-            [Gate::H(0), Gate::Cx(0, 1)],
-        ));
+        let g = GateGroup::from_global_gates(vec![2, 4], &[(0, Gate::H(2)), (1, Gate::Cx(2, 4))]);
+        let direct = circuit_unitary(&Circuit::from_gates(2, [Gate::H(0), Gate::Cx(0, 1)]));
         assert!(approx_eq_up_to_phase(&g.unitary(), &direct, 1e-12));
     }
 

@@ -10,10 +10,8 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 /// How inserted swap gates are treated before grouping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SwapMode {
     /// Decompose each swap into three CNOTs ("map" prefix).
     Map,
@@ -42,7 +40,7 @@ impl SwapMode {
 /// assert_eq!(p.label(), "map2b4l");
 /// assert_eq!("map2b4l".parse::<GroupingPolicy>().unwrap(), p);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GroupingPolicy {
     /// Swap handling before grouping.
     pub swap_mode: SwapMode,
@@ -62,12 +60,21 @@ impl GroupingPolicy {
     pub fn new(swap_mode: SwapMode, max_qubits: usize, max_layers: usize) -> Self {
         assert!(max_qubits >= 1, "need at least one qubit per group");
         assert!(max_layers >= 1, "need at least one layer per group");
-        Self { swap_mode, max_qubits, max_layers }
+        Self {
+            swap_mode,
+            max_qubits,
+            max_layers,
+        }
     }
 
     /// The paper's label, e.g. `"map2b4l"`.
     pub fn label(&self) -> String {
-        format!("{}{}b{}l", self.swap_mode.prefix(), self.max_qubits, self.max_layers)
+        format!(
+            "{}{}b{}l",
+            self.swap_mode.prefix(),
+            self.max_qubits,
+            self.max_layers
+        )
     }
 
     /// The six candidate policies of Table I, in the paper's order.
@@ -104,7 +111,11 @@ pub struct ParsePolicyError(String);
 
 impl fmt::Display for ParsePolicyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid grouping policy label {:?} (expected e.g. \"map2b4l\")", self.0)
+        write!(
+            f,
+            "invalid grouping policy label {:?} (expected e.g. \"map2b4l\")",
+            self.0
+        )
     }
 }
 
@@ -129,7 +140,11 @@ impl FromStr for GroupingPolicy {
         if max_qubits == 0 || max_layers == 0 {
             return Err(err());
         }
-        Ok(GroupingPolicy { swap_mode: mode, max_qubits, max_layers })
+        Ok(GroupingPolicy {
+            swap_mode: mode,
+            max_qubits,
+            max_layers,
+        })
     }
 }
 
@@ -139,8 +154,10 @@ mod tests {
 
     #[test]
     fn labels_match_paper() {
-        let labels: Vec<String> =
-            GroupingPolicy::paper_policies().iter().map(|p| p.label()).collect();
+        let labels: Vec<String> = GroupingPolicy::paper_policies()
+            .iter()
+            .map(|p| p.label())
+            .collect();
         assert_eq!(
             labels,
             vec!["swap2b2l", "swap2b3l", "swap2b4l", "map2b2l", "map2b3l", "map2b4l"]
@@ -157,8 +174,13 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for bad in ["", "2b4l", "mapXbYl", "map0b4l", "map2b0l", "map2b4", "swap2x4l"] {
-            assert!(bad.parse::<GroupingPolicy>().is_err(), "{bad:?} should fail");
+        for bad in [
+            "", "2b4l", "mapXbYl", "map0b4l", "map2b0l", "map2b4", "swap2x4l",
+        ] {
+            assert!(
+                bad.parse::<GroupingPolicy>().is_err(),
+                "{bad:?} should fail"
+            );
         }
     }
 

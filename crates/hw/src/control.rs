@@ -8,10 +8,8 @@
 //! so a drive of amplitude `Ω` rotates the Bloch vector by `Ω·t` radians
 //! in `t` nanoseconds.
 
-use serde::{Deserialize, Serialize};
-
 use accqoc_circuit::embed_unitary;
-use accqoc_linalg::{C64, Mat, ZERO};
+use accqoc_linalg::{Mat, C64, ZERO};
 
 /// Bare qubit frequency, GHz (enters only through the rotating-frame
 /// derivation; kept for documentation parity with the paper).
@@ -27,7 +25,7 @@ pub const DEFAULT_DT_NS: f64 = 1.0;
 const TWO_PI: f64 = std::f64::consts::TAU;
 
 /// One controllable Hamiltonian term with an amplitude bound.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ControlChannel {
     /// Human-readable channel name, e.g. `"x0"`.
     pub label: String,
@@ -52,7 +50,7 @@ pub struct ControlChannel {
 /// assert_eq!(m.n_controls(), 4); // x,y per qubit
 /// assert!(m.drift().is_hermitian(1e-12));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ControlModel {
     n_qubits: usize,
     drift: Mat,
@@ -74,10 +72,19 @@ impl ControlModel {
         assert!(drift.is_hermitian(1e-9), "drift must be hermitian");
         for ch in &channels {
             assert_eq!(ch.hamiltonian.rows(), dim, "channel {} dimension", ch.label);
-            assert!(ch.hamiltonian.is_hermitian(1e-9), "channel {} must be hermitian", ch.label);
+            assert!(
+                ch.hamiltonian.is_hermitian(1e-9),
+                "channel {} must be hermitian",
+                ch.label
+            );
             assert!(ch.max_amp > 0.0, "channel {} amplitude bound", ch.label);
         }
-        Self { n_qubits, drift, channels, dt_ns }
+        Self {
+            n_qubits,
+            drift,
+            channels,
+            dt_ns,
+        }
     }
 
     /// The standard spin-chain model on `n_qubits` qubits: zero local
@@ -89,7 +96,10 @@ impl ControlModel {
     /// Panics for `n_qubits == 0` or `n_qubits > 6` (GRAPE beyond a
     /// handful of qubits is exactly the cost the paper avoids).
     pub fn spin_chain(n_qubits: usize) -> Self {
-        assert!(n_qubits >= 1 && n_qubits <= 6, "spin chain supports 1..=6 qubits");
+        assert!(
+            (1..=6).contains(&n_qubits),
+            "spin chain supports 1..=6 qubits"
+        );
         let dim = 1usize << n_qubits;
         let x = Mat::from_reals(&[0.0, 1.0, 1.0, 0.0]);
         let y = Mat::from_flat(&[ZERO, C64::imag(-1.0), C64::imag(1.0), ZERO]);

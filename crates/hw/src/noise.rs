@@ -13,8 +13,6 @@
 //! per-pair calibration data is not published); the *relationships* —
 //! averages, ratios, distance dependence — are the paper's.
 
-use serde::{Deserialize, Serialize};
-
 use crate::topology::Topology;
 
 /// Average relaxation time of Melbourne qubits, microseconds (paper §II-E).
@@ -28,7 +26,7 @@ pub const CX_ERROR_AVG: f64 = 2.46e-2;
 pub const CROSSTALK_FACTOR: f64 = 1.20;
 
 /// Error/crosstalk model bound to a topology.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NoiseModel {
     topology: Topology,
     /// Base CX error per undirected edge, aligned with
@@ -64,8 +62,15 @@ impl NoiseModel {
             .collect::<Vec<_>>();
         // Re-center so the mean matches the published average exactly.
         let mean: f64 = cx_errors.iter().sum::<f64>() / n as f64;
-        let cx_errors = cx_errors.into_iter().map(|e| e * avg_cx_error / mean).collect();
-        Self { topology, cx_errors, crosstalk_factor }
+        let cx_errors = cx_errors
+            .into_iter()
+            .map(|e| e * avg_cx_error / mean)
+            .collect();
+        Self {
+            topology,
+            cx_errors,
+            crosstalk_factor,
+        }
     }
 
     /// The underlying topology.
@@ -151,7 +156,9 @@ mod tests {
         assert!((mean - CX_ERROR_AVG).abs() < 1e-12);
         // Per-pair variation exists.
         let first = m.cx_error(edges[0].0, edges[0].1);
-        assert!(edges.iter().any(|&(a, b)| (m.cx_error(a, b) - first).abs() > 1e-4));
+        assert!(edges
+            .iter()
+            .any(|&(a, b)| (m.cx_error(a, b) - first).abs() > 1e-4));
     }
 
     #[test]

@@ -14,12 +14,10 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use accqoc_circuit::{Gate, GateKind};
 
 /// Per-kind gate durations in nanoseconds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GateDurations {
     table: BTreeMap<GateKind, f64>,
     /// Fallback for kinds missing from the table.
@@ -29,7 +27,10 @@ pub struct GateDurations {
 impl GateDurations {
     /// Builds a table from explicit entries with a fallback duration.
     pub fn new(entries: impl IntoIterator<Item = (GateKind, f64)>, default_ns: f64) -> Self {
-        Self { table: entries.into_iter().collect(), default_ns }
+        Self {
+            table: entries.into_iter().collect(),
+            default_ns,
+        }
     }
 
     /// IBM Q Melbourne-era calibration values (ns). CX duration is the
@@ -71,7 +72,10 @@ impl GateDurations {
     /// gates (ns), e.g. GRAPE binary-search results on the simulated
     /// device. Kinds not present fall back to `default_ns`.
     pub fn from_single_gate_pulses(map: BTreeMap<GateKind, f64>, default_ns: f64) -> Self {
-        Self { table: map, default_ns }
+        Self {
+            table: map,
+            default_ns,
+        }
     }
 
     /// Duration of a gate kind in nanoseconds.

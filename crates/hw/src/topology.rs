@@ -5,8 +5,6 @@
 //! directed edge list for swap/CX legality plus an undirected view and
 //! all-pairs distances for mapping heuristics.
 
-use serde::{Deserialize, Serialize};
-
 /// A directed coupling graph over physical qubits.
 ///
 /// # Examples
@@ -20,13 +18,12 @@ use serde::{Deserialize, Serialize};
 /// assert!(!melbourne.cx_allowed(0, 1));  // reverse needs H-conjugation
 /// assert!(melbourne.connected(0, 1));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Topology {
     n_qubits: usize,
     /// Directed CX edges `(control, target)`.
     edges: Vec<(usize, usize)>,
     /// All-pairs undirected hop distance (usize::MAX when disconnected).
-    #[serde(skip)]
     distances: Vec<Vec<usize>>,
 }
 
@@ -43,7 +40,11 @@ impl Topology {
             assert_ne!(a, b, "self-loop edge ({a},{b})");
         }
         let distances = all_pairs_distances(n_qubits, &edges);
-        Self { n_qubits, edges, distances }
+        Self {
+            n_qubits,
+            edges,
+            distances,
+        }
     }
 
     /// The IBM Q Melbourne 14-qubit device (paper Figure 10): two rows

@@ -140,7 +140,12 @@ mod tests {
 
     #[test]
     fn canonical_removes_any_phase() {
-        let a = Mat::from_flat(&[C64::new(0.6, 0.0), C64::new(0.0, 0.8), C64::new(0.0, -0.8), C64::new(0.6, 0.0)]);
+        let a = Mat::from_flat(&[
+            C64::new(0.6, 0.0),
+            C64::new(0.0, 0.8),
+            C64::new(0.0, -0.8),
+            C64::new(0.6, 0.0),
+        ]);
         for k in 0..8 {
             let phased = a.scale(C64::cis(k as f64 * 0.7));
             assert!(global_phase_canonical(&phased).approx_eq(&global_phase_canonical(&a), 1e-12));
@@ -182,7 +187,10 @@ mod tests {
         near[(1, 1)].re += 4e-7; // rounds to the same 1e-6 grid point
         assert_eq!(quantized_bytes(&a, 1e-6), quantized_bytes(&near, 1e-6));
         // Shape is part of the key.
-        assert_ne!(quantized_bytes(&Mat::zeros(2, 2), 1e-6), quantized_bytes(&Mat::zeros(4, 4), 1e-6));
+        assert_ne!(
+            quantized_bytes(&Mat::zeros(2, 2), 1e-6),
+            quantized_bytes(&Mat::zeros(4, 4), 1e-6)
+        );
     }
 
     #[test]

@@ -8,8 +8,6 @@ use std::fmt;
 use std::iter::{Product, Sum};
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A complex number with `f64` components.
 ///
 /// # Examples
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(z.abs(), 5.0);
 /// assert_eq!(z * z.conj(), C64::new(25.0, 0.0));
 /// ```
-#[derive(Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Default, PartialEq)]
 pub struct C64 {
     /// Real component.
     pub re: f64,
@@ -71,7 +69,10 @@ impl C64 {
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Modulus `|z|`.
@@ -100,7 +101,10 @@ impl C64 {
     #[inline]
     pub fn recip(self) -> Self {
         let d = self.norm_sqr();
-        Self { re: self.re / d, im: -self.im / d }
+        Self {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     /// Complex exponential `e^z`.
@@ -108,7 +112,10 @@ impl C64 {
     pub fn exp(self) -> Self {
         let r = self.re.exp();
         let (s, c) = self.im.sin_cos();
-        Self { re: r * c, im: r * s }
+        Self {
+            re: r * c,
+            im: r * s,
+        }
     }
 
     /// Principal square root.
@@ -122,13 +129,19 @@ impl C64 {
         let m = self.abs();
         let re = ((m + self.re) / 2.0).sqrt();
         let im_mag = ((m - self.re) / 2.0).sqrt();
-        Self { re, im: if self.im < 0.0 { -im_mag } else { im_mag } }
+        Self {
+            re,
+            im: if self.im < 0.0 { -im_mag } else { im_mag },
+        }
     }
 
     /// Scales by a real factor.
     #[inline]
     pub fn scale(self, k: f64) -> Self {
-        Self { re: self.re * k, im: self.im * k }
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 
     /// `true` if both components are finite.
@@ -181,7 +194,10 @@ impl Add for C64 {
     type Output = C64;
     #[inline]
     fn add(self, rhs: C64) -> C64 {
-        C64 { re: self.re + rhs.re, im: self.im + rhs.im }
+        C64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -189,7 +205,10 @@ impl Sub for C64 {
     type Output = C64;
     #[inline]
     fn sub(self, rhs: C64) -> C64 {
-        C64 { re: self.re - rhs.re, im: self.im - rhs.im }
+        C64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -207,6 +226,7 @@ impl Mul for C64 {
 impl Div for C64 {
     type Output = C64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z·w⁻¹ by definition
     fn div(self, rhs: C64) -> C64 {
         self * rhs.recip()
     }
@@ -216,7 +236,10 @@ impl Neg for C64 {
     type Output = C64;
     #[inline]
     fn neg(self) -> C64 {
-        C64 { re: -self.re, im: -self.im }
+        C64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -240,7 +263,10 @@ impl Div<f64> for C64 {
     type Output = C64;
     #[inline]
     fn div(self, rhs: f64) -> C64 {
-        C64 { re: self.re / rhs, im: self.im / rhs }
+        C64 {
+            re: self.re / rhs,
+            im: self.im / rhs,
+        }
     }
 }
 
@@ -402,7 +428,10 @@ mod tests {
         let s: C64 = xs.iter().copied().sum();
         assert!(s.approx_eq(C64::new(3.5, 0.0), TOL));
         let p: C64 = xs.iter().copied().product();
-        assert!(p.approx_eq(C64::new(1.0, 1.0) * C64::new(2.0, -1.0) * C64::new(0.5, 0.0), TOL));
+        assert!(p.approx_eq(
+            C64::new(1.0, 1.0) * C64::new(2.0, -1.0) * C64::new(0.5, 0.0),
+            TOL
+        ));
     }
 
     #[test]

@@ -46,7 +46,10 @@ const MAX_SWEEPS: usize = 60;
 /// ```
 pub fn eigh(a: &Mat) -> Result<EigH, LinalgError> {
     if !a.is_square() {
-        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     if !a.is_finite() {
         return Err(LinalgError::NonFinite);
@@ -77,7 +80,10 @@ pub fn eigh(a: &Mat) -> Result<EigH, LinalgError> {
     if off <= tol * 100.0 {
         return Ok(sorted(m, v));
     }
-    Err(LinalgError::NoConvergence { what: "jacobi eigh", iters: MAX_SWEEPS })
+    Err(LinalgError::NoConvergence {
+        what: "jacobi eigh",
+        iters: MAX_SWEEPS,
+    })
 }
 
 fn off_diagonal_norm(m: &Mat) -> f64 {
@@ -199,7 +205,7 @@ pub fn expm_i_hermitian(h: &Mat, t: f64) -> Result<Mat, LinalgError> {
     let mut scaled = eig.vectors.clone();
     for j in 0..n {
         for i in 0..n {
-            scaled[(i, j)] = scaled[(i, j)] * phases[j];
+            scaled[(i, j)] *= phases[j];
         }
     }
     Ok(scaled.matmul(&eig.vectors.dagger()))
@@ -286,7 +292,9 @@ mod tests {
 
     #[test]
     fn funm_square_matches_matmul() {
-        let g = Mat::from_fn(4, 4, |i, j| C64::new((i + j) as f64 * 0.1, (i as f64 - j as f64) * 0.2));
+        let g = Mat::from_fn(4, 4, |i, j| {
+            C64::new((i + j) as f64 * 0.1, (i as f64 - j as f64) * 0.2)
+        });
         let h = &g + &g.dagger();
         let sq = funm_hermitian(&h, |x| x * x).unwrap();
         assert!(sq.approx_eq(&h.matmul(&h), 1e-10));
@@ -294,7 +302,9 @@ mod tests {
 
     #[test]
     fn spectral_expm_matches_pade() {
-        let g = Mat::from_fn(4, 4, |i, j| C64::new((3 * i + j) as f64 * 0.13, (i as f64 - j as f64) * 0.21));
+        let g = Mat::from_fn(4, 4, |i, j| {
+            C64::new((3 * i + j) as f64 * 0.13, (i as f64 - j as f64) * 0.21)
+        });
         let h = &g + &g.dagger();
         for &t in &[0.1, 1.0, 5.0] {
             let a = expm_i_hermitian(&h, t).unwrap();

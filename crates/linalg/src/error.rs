@@ -53,13 +53,23 @@ impl fmt::Display for LinalgError {
                 write!(f, "expected square matrix, got {rows}x{cols}")
             }
             Self::Singular { pivot } => write!(f, "matrix is singular (zero pivot at {pivot})"),
-            Self::ShapeMismatch { what, expected, got } => {
-                write!(f, "shape mismatch in {what}: expected {expected}, got {got}")
+            Self::ShapeMismatch {
+                what,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "shape mismatch in {what}: expected {expected}, got {got}"
+                )
             }
             Self::NonFinite => write!(f, "matrix contains non-finite entries"),
             Self::NotHermitian => write!(f, "matrix is not hermitian"),
             Self::NotPsd { eigenvalue } => {
-                write!(f, "matrix is not positive semidefinite (eigenvalue {eigenvalue})")
+                write!(
+                    f,
+                    "matrix is not positive semidefinite (eigenvalue {eigenvalue})"
+                )
             }
             Self::NoConvergence { what, iters } => {
                 write!(f, "{what} did not converge after {iters} iterations")
@@ -80,13 +90,23 @@ mod tests {
             (LinalgError::NotSquare { rows: 2, cols: 3 }, "2x3"),
             (LinalgError::Singular { pivot: 1 }, "pivot at 1"),
             (
-                LinalgError::ShapeMismatch { what: "solve rhs length", expected: 4, got: 2 },
+                LinalgError::ShapeMismatch {
+                    what: "solve rhs length",
+                    expected: 4,
+                    got: 2,
+                },
                 "solve rhs length",
             ),
             (LinalgError::NonFinite, "non-finite"),
             (LinalgError::NotHermitian, "hermitian"),
             (LinalgError::NotPsd { eigenvalue: -0.5 }, "-0.5"),
-            (LinalgError::NoConvergence { what: "jacobi eigh", iters: 60 }, "60"),
+            (
+                LinalgError::NoConvergence {
+                    what: "jacobi eigh",
+                    iters: 60,
+                },
+                "60",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

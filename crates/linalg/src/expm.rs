@@ -27,7 +27,16 @@ const THETA_13: f64 = 5.371_920_351_148_152;
 
 const B3: [f64; 4] = [120.0, 60.0, 12.0, 1.0];
 const B5: [f64; 6] = [30240.0, 15120.0, 3360.0, 420.0, 30.0, 1.0];
-const B7: [f64; 8] = [17_297_280.0, 8_648_640.0, 1_995_840.0, 277_200.0, 25_200.0, 1_512.0, 56.0, 1.0];
+const B7: [f64; 8] = [
+    17_297_280.0,
+    8_648_640.0,
+    1_995_840.0,
+    277_200.0,
+    25_200.0,
+    1_512.0,
+    56.0,
+    1.0,
+];
 const B9: [f64; 10] = [
     17_643_225_600.0,
     8_821_612_800.0,
@@ -79,7 +88,10 @@ const B13: [f64; 14] = [
 /// ```
 pub fn expm(a: &Mat) -> Result<Mat, LinalgError> {
     if !a.is_square() {
-        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     if !a.is_finite() {
         return Err(LinalgError::NonFinite);
@@ -236,7 +248,10 @@ pub fn expm_frechet(a: &Mat, e: &Mat) -> Result<(Mat, Mat), LinalgError> {
         });
     }
     if !a.is_square() {
-        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     let n = a.rows();
     let mut block = Mat::zeros(2 * n, 2 * n);
@@ -309,7 +324,10 @@ mod tests {
         // Large norm exercises the scaling-and-squaring branch.
         for scale in [0.01, 1.0, 10.0, 100.0] {
             let h = Mat::from_fn(4, 4, |i, j| {
-                let v = C64::new(((i + 2 * j) % 5) as f64 - 2.0, ((3 * i + j) % 7) as f64 - 3.0);
+                let v = C64::new(
+                    ((i + 2 * j) % 5) as f64 - 2.0,
+                    ((3 * i + j) % 7) as f64 - 3.0,
+                );
                 if i == j {
                     C64::real(v.re)
                 } else if i < j {
@@ -346,7 +364,9 @@ mod tests {
     fn all_pade_degrees_agree_with_squaring() {
         // Same matrix at different scales routes through different degrees;
         // exp(A)² = exp(2A) ties them together.
-        let base = Mat::from_fn(3, 3, |i, j| C64::new((i as f64 - j as f64) * 0.11, 0.07 * (i + j) as f64));
+        let base = Mat::from_fn(3, 3, |i, j| {
+            C64::new((i as f64 - j as f64) * 0.11, 0.07 * (i + j) as f64)
+        });
         for &t in &[0.005, 0.1, 0.5, 1.5, 4.0, 20.0] {
             let e1 = expm(&base.scale_re(t)).unwrap();
             let e2 = expm(&base.scale_re(t / 2.0)).unwrap();
@@ -366,7 +386,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_input() {
-        assert!(matches!(expm(&Mat::zeros(2, 3)), Err(LinalgError::NotSquare { .. })));
+        assert!(matches!(
+            expm(&Mat::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
         let mut bad = Mat::identity(2);
         bad[(0, 0)] = C64::real(f64::NAN);
         assert!(matches!(expm(&bad), Err(LinalgError::NonFinite)));
@@ -374,8 +397,12 @@ mod tests {
 
     #[test]
     fn frechet_matches_finite_difference() {
-        let a = Mat::from_fn(3, 3, |i, j| C64::new(0.2 * (i as f64 - j as f64), 0.1 * ((i + j) % 3) as f64));
-        let e = Mat::from_fn(3, 3, |i, j| C64::new(0.05 * (i * j) as f64, -0.03 * (i as f64 + 1.0)));
+        let a = Mat::from_fn(3, 3, |i, j| {
+            C64::new(0.2 * (i as f64 - j as f64), 0.1 * ((i + j) % 3) as f64)
+        });
+        let e = Mat::from_fn(3, 3, |i, j| {
+            C64::new(0.05 * (i * j) as f64, -0.03 * (i as f64 + 1.0))
+        });
         let (_, l) = expm_frechet(&a, &e).unwrap();
         let h = 1e-6;
         let plus = expm(&{
@@ -391,7 +418,11 @@ mod tests {
         })
         .unwrap();
         let fd = (&plus - &minus).scale_re(0.5 / h);
-        assert!(l.approx_eq(&fd, 1e-7), "frechet vs fd diff = {}", l.max_abs_diff(&fd));
+        assert!(
+            l.approx_eq(&fd, 1e-7),
+            "frechet vs fd diff = {}",
+            l.max_abs_diff(&fd)
+        );
     }
 
     #[test]
@@ -411,7 +442,10 @@ mod tests {
     fn frechet_shape_mismatch() {
         let a = Mat::identity(2);
         let e = Mat::zeros(3, 3);
-        assert!(matches!(expm_frechet(&a, &e), Err(LinalgError::ShapeMismatch { .. })));
+        assert!(matches!(
+            expm_frechet(&a, &e),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl Lu {
     /// and [`LinalgError::NotSquare`] for non-square input.
     pub fn factor(a: &Mat) -> Result<Self, LinalgError> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
         let mut m = a.clone();
@@ -85,7 +88,11 @@ impl Lu {
                 }
             }
         }
-        Ok(Self { packed: m, pivots, perm_sign })
+        Ok(Self {
+            packed: m,
+            pivots,
+            perm_sign,
+        })
     }
 
     /// Dimension of the factored matrix.
@@ -98,6 +105,7 @@ impl Lu {
     /// # Errors
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != dim()`.
+    #[allow(clippy::needless_range_loop)] // triangular index bounds, not a full scan
     pub fn solve(&self, b: &[C64]) -> Result<Vec<C64>, LinalgError> {
         let n = self.dim();
         if b.len() != n {
@@ -207,7 +215,10 @@ mod tests {
     fn solve_known_system() {
         // [2 1; 1 3] x = [5; 10] → x = [1; 3]
         let a = Mat::from_reals(&[2.0, 1.0, 1.0, 3.0]);
-        let x = Lu::factor(&a).unwrap().solve(&[C64::real(5.0), C64::real(10.0)]).unwrap();
+        let x = Lu::factor(&a)
+            .unwrap()
+            .solve(&[C64::real(5.0), C64::real(10.0)])
+            .unwrap();
         assert!(x[0].approx_eq(C64::real(1.0), 1e-12));
         assert!(x[1].approx_eq(C64::real(3.0), 1e-12));
     }
@@ -270,8 +281,14 @@ mod tests {
     #[test]
     fn shape_mismatch_errors() {
         let lu = Lu::factor(&Mat::identity(3)).unwrap();
-        assert!(matches!(lu.solve(&[ZERO; 2]), Err(LinalgError::ShapeMismatch { .. })));
-        assert!(matches!(lu.solve_mat(&Mat::zeros(2, 2)), Err(LinalgError::ShapeMismatch { .. })));
+        assert!(matches!(
+            lu.solve(&[ZERO; 2]),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            lu.solve_mat(&Mat::zeros(2, 2)),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -282,7 +299,10 @@ mod tests {
             if i == j {
                 C64::new(10.0 + i as f64, 1.0)
             } else {
-                C64::new(((i * 7 + j * 3) % 5) as f64 * 0.3, ((i + 2 * j) % 3) as f64 * -0.2)
+                C64::new(
+                    ((i * 7 + j * 3) % 5) as f64 * 0.3,
+                    ((i + 2 * j) % 3) as f64 * -0.2,
+                )
             }
         });
         let inv = inverse(&a).unwrap();

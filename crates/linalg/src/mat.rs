@@ -7,8 +7,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 use crate::complex::{C64, ONE, ZERO};
 
 /// A dense complex matrix stored in row-major order.
@@ -25,7 +23,7 @@ use crate::complex::{C64, ONE, ZERO};
 /// assert!(x.is_unitary(1e-12));
 /// assert_eq!(&x * &x, Mat::identity(2));
 /// ```
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Mat {
     rows: usize,
     cols: usize,
@@ -35,7 +33,11 @@ pub struct Mat {
 impl Mat {
     /// Creates an `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![ZERO; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![ZERO; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -71,7 +73,11 @@ impl Mat {
             assert_eq!(r.len(), cols, "from_rows: ragged rows");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds a square matrix from a flat row-major slice of real numbers.
@@ -81,7 +87,12 @@ impl Mat {
     /// Panics if `vals.len()` is not a perfect square.
     pub fn from_reals(vals: &[f64]) -> Self {
         let n = (vals.len() as f64).sqrt().round() as usize;
-        assert_eq!(n * n, vals.len(), "from_reals: length {} is not square", vals.len());
+        assert_eq!(
+            n * n,
+            vals.len(),
+            "from_reals: length {} is not square",
+            vals.len()
+        );
         Self {
             rows: n,
             cols: n,
@@ -96,8 +107,17 @@ impl Mat {
     /// Panics if `vals.len()` is not a perfect square.
     pub fn from_flat(vals: &[C64]) -> Self {
         let n = (vals.len() as f64).sqrt().round() as usize;
-        assert_eq!(n * n, vals.len(), "from_flat: length {} is not square", vals.len());
-        Self { rows: n, cols: n, data: vals.to_vec() }
+        assert_eq!(
+            n * n,
+            vals.len(),
+            "from_flat: length {} is not square",
+            vals.len()
+        );
+        Self {
+            rows: n,
+            cols: n,
+            data: vals.to_vec(),
+        }
     }
 
     /// Builds a diagonal matrix from the given diagonal entries.
@@ -201,7 +221,11 @@ impl Mat {
     /// Panics on shape mismatch.
     pub fn l1_distance(&self, other: &Mat) -> f64 {
         self.check_same_shape(other, "l1_distance");
-        self.data.iter().zip(&other.data).map(|(a, b)| (*a - *b).abs()).sum()
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (*a - *b).abs())
+            .sum()
     }
 
     /// Frobenius distance `√(Σ |aᵢⱼ − bᵢⱼ|²)` (the paper's `d₂`).
@@ -292,7 +316,11 @@ impl Mat {
     /// Panics on shape mismatch.
     pub fn hs_inner(&self, other: &Mat) -> C64 {
         self.check_same_shape(other, "hs_inner");
-        self.data.iter().zip(&other.data).map(|(a, b)| a.conj() * *b).sum()
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
     }
 
     /// Scales every entry by a complex factor.
@@ -349,7 +377,8 @@ impl Mat {
         if !self.is_square() {
             return false;
         }
-        self.dagger_matmul(self).approx_eq(&Mat::identity(self.rows), tol)
+        self.dagger_matmul(self)
+            .approx_eq(&Mat::identity(self.rows), tol)
     }
 
     /// `true` if `A ≈ A†` within tolerance `tol`.
@@ -447,7 +476,12 @@ impl Add for &Mat {
         Mat {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a + *b)
+                .collect(),
         }
     }
 }
@@ -459,7 +493,12 @@ impl Sub for &Mat {
         Mat {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a - *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a - *b)
+                .collect(),
         }
     }
 }
@@ -547,7 +586,9 @@ mod tests {
         let a = Mat::from_flat(&[C64::new(1.0, 2.0), ZERO, I, C64::real(3.0)]);
         // (AB)† = B†A†
         let b = pauli_x();
-        assert!((&a * &b).dagger().approx_eq(&(&b.dagger() * &a.dagger()), 1e-14));
+        assert!((&a * &b)
+            .dagger()
+            .approx_eq(&(&b.dagger() * &a.dagger()), 1e-14));
     }
 
     #[test]
@@ -642,7 +683,10 @@ mod tests {
         let perm = [0usize, 2, 1, 3];
         assert!(cnot01.permute_basis(&perm).approx_eq(&cnot10, 1e-14));
         // Permuting twice with the same involution round-trips.
-        assert!(cnot01.permute_basis(&perm).permute_basis(&perm).approx_eq(&cnot01, 1e-14));
+        assert!(cnot01
+            .permute_basis(&perm)
+            .permute_basis(&perm)
+            .approx_eq(&cnot01, 1e-14));
     }
 
     #[test]

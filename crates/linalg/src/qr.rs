@@ -65,7 +65,11 @@ pub fn qr(a: &Mat) -> Result<Qr, LinalgError> {
         }
         let akk = r[(k, k)];
         // alpha = -e^{i·arg(akk)}·‖x‖ keeps v well-conditioned.
-        let phase = if akk.abs() < 1e-300 { ONE } else { akk.scale(1.0 / akk.abs()) };
+        let phase = if akk.abs() < 1e-300 {
+            ONE
+        } else {
+            akk.scale(1.0 / akk.abs())
+        };
         let alpha = -(phase.scale(norm));
         let mut v: Vec<C64> = (k..m).map(|i| r[(i, k)]).collect();
         v[0] -= alpha;
@@ -136,9 +140,13 @@ pub fn random_unitary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Mat {
     let mut q = f.q;
     for j in 0..n {
         let d = f.r[(j, j)];
-        let phase = if d.abs() < 1e-300 { ONE } else { d.scale(1.0 / d.abs()) };
+        let phase = if d.abs() < 1e-300 {
+            ONE
+        } else {
+            d.scale(1.0 / d.abs())
+        };
         for i in 0..n {
-            q[(i, j)] = q[(i, j)] * phase;
+            q[(i, j)] *= phase;
         }
     }
     q
@@ -153,7 +161,10 @@ mod tests {
     #[test]
     fn qr_reconstructs_and_is_triangular() {
         let a = Mat::from_fn(5, 5, |i, j| {
-            C64::new(((i * 7 + j) % 5) as f64 - 2.0, ((i + j * 3) % 4) as f64 - 1.5)
+            C64::new(
+                ((i * 7 + j) % 5) as f64 - 2.0,
+                ((i + j * 3) % 4) as f64 - 1.5,
+            )
         });
         let f = qr(&a).unwrap();
         assert!(f.q.is_unitary(1e-11));
@@ -175,7 +186,10 @@ mod tests {
 
     #[test]
     fn qr_rejects_wide_matrix() {
-        assert!(matches!(qr(&Mat::zeros(2, 4)), Err(LinalgError::ShapeMismatch { .. })));
+        assert!(matches!(
+            qr(&Mat::zeros(2, 4)),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

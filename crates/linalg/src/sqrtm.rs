@@ -82,7 +82,10 @@ const DB_MAX_ITERS: usize = 100;
 /// ```
 pub fn sqrtm_db(a: &Mat) -> Result<Mat, LinalgError> {
     if !a.is_square() {
-        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     if !a.is_finite() {
         return Err(LinalgError::NonFinite);
@@ -114,7 +117,10 @@ pub fn sqrtm_db(a: &Mat) -> Result<Mat, LinalgError> {
     if y.is_finite() && y.matmul(&y).max_abs_diff(a) <= 1e-8 * scale {
         return Ok(y);
     }
-    Err(LinalgError::NoConvergence { what: "denman-beavers sqrtm", iters: DB_MAX_ITERS })
+    Err(LinalgError::NoConvergence {
+        what: "denman-beavers sqrtm",
+        iters: DB_MAX_ITERS,
+    })
 }
 
 #[cfg(test)]
@@ -159,7 +165,7 @@ mod tests {
         let mut a = psd_from_factor(3);
         // Inject ~1e-12 negative perturbation on the diagonal.
         for i in 0..3 {
-            a[(i, i)] = a[(i, i)] - C64::real(1e-12);
+            a[(i, i)] -= C64::real(1e-12);
         }
         let r = sqrtm_psd(&a).unwrap();
         assert!(r.matmul(&r).approx_eq(&a, 1e-8));
@@ -171,7 +177,7 @@ mod tests {
             // Positive definite (shift away from zero so DB is comfortable).
             let mut m = psd_from_factor(4);
             for i in 0..4 {
-                m[(i, i)] = m[(i, i)] + C64::real(0.5);
+                m[(i, i)] += C64::real(0.5);
             }
             m
         };
@@ -190,7 +196,10 @@ mod tests {
 
     #[test]
     fn db_rejects_non_square() {
-        assert!(matches!(sqrtm_db(&Mat::zeros(2, 3)), Err(LinalgError::NotSquare { .. })));
+        assert!(matches!(
+            sqrtm_db(&Mat::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use accqoc_linalg::{
     approx_eq_up_to_phase, eigh, expm, expm_i, global_phase_canonical, inverse, qr,
-    quantized_bytes, random_unitary, sqrtm_psd, C64, Mat,
+    quantized_bytes, random_unitary, sqrtm_psd, Mat, C64,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -94,7 +94,7 @@ proptest! {
     }
 
     #[test]
-    fn phase_canonical_preserves_phase_class(a in mat_strategy(3), theta in 0.0f64..6.28) {
+    fn phase_canonical_preserves_phase_class(a in mat_strategy(3), theta in 0.0f64..6.2) {
         // Skip near-zero matrices where the anchor is ill-defined.
         prop_assume!(a.max_abs() > 1e-3);
         let phased = a.scale(C64::cis(theta));

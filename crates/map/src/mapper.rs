@@ -36,7 +36,11 @@ pub struct MappingOptions {
 
 impl Default for MappingOptions {
     fn default() -> Self {
-        Self { crosstalk_aware: true, crosstalk_weight: 2.0, max_nodes: 20_000 }
+        Self {
+            crosstalk_aware: true,
+            crosstalk_weight: 2.0,
+            max_nodes: 20_000,
+        }
     }
 }
 
@@ -76,10 +80,17 @@ pub struct MappedCircuit {
 /// let mapped = map_circuit(&c, &topo, &MappingOptions::default());
 /// assert!(mapped.swap_count >= 2);
 /// ```
-pub fn map_circuit(circuit: &Circuit, topology: &Topology, options: &MappingOptions) -> MappedCircuit {
+pub fn map_circuit(
+    circuit: &Circuit,
+    topology: &Topology,
+    options: &MappingOptions,
+) -> MappedCircuit {
     let n_logical = circuit.n_qubits();
     let n_physical = topology.n_qubits();
-    assert!(n_logical <= n_physical, "{n_logical} logical qubits on {n_physical} physical");
+    assert!(
+        n_logical <= n_physical,
+        "{n_logical} logical qubits on {n_physical} physical"
+    );
 
     let mut layout: Vec<usize> = (0..n_logical).collect();
     let mut out = Circuit::new(n_physical);
@@ -236,7 +247,12 @@ fn crosstalk_cost(layout: &[usize], gates: &[(usize, usize)], topology: &Topolog
     count
 }
 
-fn heuristic(layout: &[usize], gates: &[(usize, usize)], topology: &Topology, options: &MappingOptions) -> f64 {
+fn heuristic(
+    layout: &[usize],
+    gates: &[(usize, usize)],
+    topology: &Topology,
+    options: &MappingOptions,
+) -> f64 {
     let dist = distance_cost(layout, gates, topology) as f64;
     if options.crosstalk_aware {
         dist + options.crosstalk_weight * crosstalk_cost(layout, gates, topology) as f64
@@ -263,7 +279,12 @@ fn plan_swaps(
     let mut heap = BinaryHeap::new();
     let mut seen: HashMap<Vec<usize>, f64> = HashMap::new();
     let h0 = heuristic(layout, gates, topology, options);
-    heap.push(Node { layout: layout.to_vec(), swaps: Vec::new(), g: 0.0, f: h0 });
+    heap.push(Node {
+        layout: layout.to_vec(),
+        swaps: Vec::new(),
+        g: 0.0,
+        f: h0,
+    });
     seen.insert(layout.to_vec(), 0.0);
 
     let mut expanded = 0usize;
@@ -304,7 +325,12 @@ fn plan_swaps(
             let h = heuristic(&next_layout, gates, topology, options);
             let mut swaps = node.swaps.clone();
             swaps.push((ea, eb));
-            heap.push(Node { layout: next_layout, swaps, g, f: g + h });
+            heap.push(Node {
+                layout: next_layout,
+                swaps,
+                g,
+                f: g + h,
+            });
         }
     }
 
@@ -340,7 +366,7 @@ fn greedy_swaps(
                 }
             }
             let h = heuristic(&trial, gates, topology, options);
-            if h < current && best.map_or(true, |(_, bh)| h < bh) {
+            if h < current && best.is_none_or(|(_, bh)| h < bh) {
                 best = Some(((ea, eb), h));
             }
         }
@@ -357,7 +383,10 @@ fn greedy_swaps(
             }
             // Plateau: take any distance-reducing swap ignoring crosstalk.
             None => {
-                let no_xtalk = MappingOptions { crosstalk_aware: false, ..options.clone() };
+                let no_xtalk = MappingOptions {
+                    crosstalk_aware: false,
+                    ..options.clone()
+                };
                 let cur_d = distance_cost(&layout, gates, topology) as f64;
                 let mut found = false;
                 for &(ea, eb) in &topology.undirected_edges() {
@@ -403,7 +432,11 @@ mod tests {
         let topo = Topology::linear(4);
         let c = Circuit::from_gates(4, [Gate::Cx(0, 3)]);
         let m = map_circuit(&c, &topo, &MappingOptions::default());
-        assert!(m.swap_count >= 2, "need ≥2 swaps for distance 3, got {}", m.swap_count);
+        assert!(
+            m.swap_count >= 2,
+            "need ≥2 swaps for distance 3, got {}",
+            m.swap_count
+        );
         // Every 2-qubit gate in the output is adjacent.
         for g in m.circuit.iter() {
             if g.arity() == 2 {
@@ -419,7 +452,14 @@ mod tests {
         // the final layout (swaps permute the logical→physical assignment).
         let topo = Topology::linear(3);
         let c = Circuit::from_gates(3, [Gate::H(0), Gate::Cx(0, 2), Gate::T(2), Gate::Cx(1, 2)]);
-        let m = map_circuit(&c, &topo, &MappingOptions { crosstalk_aware: false, ..Default::default() });
+        let m = map_circuit(
+            &c,
+            &topo,
+            &MappingOptions {
+                crosstalk_aware: false,
+                ..Default::default()
+            },
+        );
 
         // Simulate: logical result with qubit i at physical initial_layout[i];
         // the mapped circuit computes the same state up to the final layout
@@ -433,7 +473,11 @@ mod tests {
             let cur = layout[target];
             if cur != want {
                 // On a 3-line all permutations can be fixed with ≤ 3 adjacent swaps.
-                let path: Vec<usize> = if cur < want { (cur..=want).collect() } else { (want..=cur).rev().collect() };
+                let path: Vec<usize> = if cur < want {
+                    (cur..=want).collect()
+                } else {
+                    (want..=cur).rev().collect()
+                };
                 for w in path.windows(2) {
                     physical.push(Gate::Swap(w[0], w[1]));
                     for slot in layout.iter_mut() {
@@ -496,7 +540,14 @@ mod tests {
                 Gate::Cx(11, 12),
             ],
         );
-        let plain = map_circuit(&c, &topo, &MappingOptions { crosstalk_aware: false, ..Default::default() });
+        let plain = map_circuit(
+            &c,
+            &topo,
+            &MappingOptions {
+                crosstalk_aware: false,
+                ..Default::default()
+            },
+        );
         let aware = map_circuit(&c, &topo, &MappingOptions::default());
         let xt_plain = crosstalk_metric(&plain.circuit, &topo);
         let xt_aware = crosstalk_metric(&aware.circuit, &topo);

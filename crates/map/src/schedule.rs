@@ -117,22 +117,34 @@ pub fn schedule_crosstalk_aware(
 
     for i in dag.topological_order() {
         let node = dag.node(i);
-        let ready = node.preds.iter().map(|&p| layer_of[p] + 1).max().unwrap_or(0);
+        let ready = node
+            .preds
+            .iter()
+            .map(|&p| layer_of[p] + 1)
+            .max()
+            .unwrap_or(0);
         let qs = node.gate.qubits();
-        let pair = if node.gate.arity() == 2 { Some((qs[0], qs[1])) } else { None };
+        let pair = if node.gate.arity() == 2 {
+            Some((qs[0], qs[1]))
+        } else {
+            None
+        };
 
         let fits = |layer: usize,
                     placed_pairs: &Vec<Vec<(usize, usize)>>,
-                    busy: &Vec<Vec<usize>>| -> (bool, bool) {
+                    busy: &Vec<Vec<usize>>|
+         -> (bool, bool) {
             let free = busy
                 .get(layer)
-                .map_or(true, |b| qs.iter().all(|q| !b.contains(q)));
+                .is_none_or(|b| qs.iter().all(|q| !b.contains(q)));
             if !free {
                 return (false, false);
             }
             let close = match pair {
-                Some(p) => placed_pairs.get(layer).map_or(false, |pairs| {
-                    pairs.iter().any(|&other| topology.edge_distance(p, other) <= CLOSE_DISTANCE)
+                Some(p) => placed_pairs.get(layer).is_some_and(|pairs| {
+                    pairs
+                        .iter()
+                        .any(|&other| topology.edge_distance(p, other) <= CLOSE_DISTANCE)
                 }),
                 None => false,
             };
@@ -186,13 +198,24 @@ pub fn schedule_crosstalk_aware(
     for &i in &order {
         out.push(dag.node(i).gate);
         layers.push(layer_of[i]);
-        let ready = dag.node(i).preds.iter().map(|&p| layer_of[p] + 1).max().unwrap_or(0);
+        let ready = dag
+            .node(i)
+            .preds
+            .iter()
+            .map(|&p| layer_of[p] + 1)
+            .max()
+            .unwrap_or(0);
         if layer_of[i] > ready {
             deferred += 1;
         }
     }
     let depth = layer_of.iter().copied().max().map_or(0, |d| d + 1);
-    ScheduledCircuit { circuit: out, layers, deferred, depth }
+    ScheduledCircuit {
+        circuit: out,
+        layers,
+        deferred,
+        depth,
+    }
 }
 
 #[cfg(test)]
@@ -240,7 +263,10 @@ mod tests {
         assert_eq!(s.circuit.len(), c.len());
         let u1 = circuit_unitary(&c);
         let u2 = circuit_unitary(&s.circuit);
-        assert!(approx_eq_up_to_phase(&u1, &u2, 1e-10), "scheduling changed semantics");
+        assert!(
+            approx_eq_up_to_phase(&u1, &u2, 1e-10),
+            "scheduling changed semantics"
+        );
     }
 
     #[test]

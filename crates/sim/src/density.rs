@@ -4,7 +4,7 @@
 //! states into mixtures that no state vector can represent. A density
 //! matrix `ρ` is Hermitian, positive semidefinite, and has unit trace.
 
-use accqoc_linalg::{eigh, C64, LinalgError, Mat};
+use accqoc_linalg::{eigh, LinalgError, Mat, C64};
 
 /// A density matrix over `n` qubits (`2^n × 2^n`).
 ///
@@ -59,7 +59,10 @@ impl DensityMatrix {
     /// The maximally mixed state `I/2^n`.
     pub fn maximally_mixed(n_qubits: usize) -> Self {
         let dim = 1usize << n_qubits;
-        Self { mat: Mat::identity(dim).scale_re(1.0 / dim as f64), n_qubits }
+        Self {
+            mat: Mat::identity(dim).scale_re(1.0 / dim as f64),
+            n_qubits,
+        }
     }
 
     /// Wraps a raw matrix (validated: Hermitian, unit trace).
@@ -141,7 +144,9 @@ impl DensityMatrix {
     pub fn fidelity_with_pure(&self, state: &Mat) -> f64 {
         assert_eq!(state.rows(), self.dim());
         assert_eq!(state.cols(), 1);
-        state.dagger().matmul(&self.mat).matmul(state)[(0, 0)].re.clamp(0.0, 1.0)
+        state.dagger().matmul(&self.mat).matmul(state)[(0, 0)]
+            .re
+            .clamp(0.0, 1.0)
     }
 
     /// Probability of measuring the computational basis state `idx`.
@@ -177,7 +182,10 @@ mod tests {
     fn from_pure_matches_basis() {
         let mut v = Mat::zeros(4, 1);
         v[(1, 0)] = C64::real(1.0);
-        assert_eq!(DensityMatrix::from_pure(&v), DensityMatrix::pure_basis(2, 1));
+        assert_eq!(
+            DensityMatrix::from_pure(&v),
+            DensityMatrix::pure_basis(2, 1)
+        );
     }
 
     #[test]

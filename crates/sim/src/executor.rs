@@ -42,7 +42,11 @@ impl ExecutionNoise {
     /// Decoherence-only variant (gate errors zeroed) to isolate the
     /// latency effect.
     pub fn decoherence_only() -> Self {
-        Self { two_qubit_error: 0.0, single_qubit_error: 0.0, ..Self::melbourne() }
+        Self {
+            two_qubit_error: 0.0,
+            single_qubit_error: 0.0,
+            ..Self::melbourne()
+        }
     }
 
     /// Pure-dephasing rate `1/Tφ = 1/T2 − 1/(2·T1)` (ns⁻¹).
@@ -132,7 +136,11 @@ pub fn execute_noisy(
     }
 
     let fidelity = rho.fidelity_with_pure(&ideal);
-    ExecutionResult { state: rho, fidelity, latency_ns: total_latency }
+    ExecutionResult {
+        state: rho,
+        fidelity,
+        latency_ns: total_latency,
+    }
 }
 
 /// Executes the program twice — once with gate-based latencies, once with
@@ -184,7 +192,12 @@ mod tests {
         let noise = ExecutionNoise::decoherence_only();
         let slow = execute_noisy(&c, |_| 5000.0, &noise);
         let fast = execute_noisy(&c, |_| 500.0, &noise);
-        assert!(fast.fidelity > slow.fidelity, "{} vs {}", fast.fidelity, slow.fidelity);
+        assert!(
+            fast.fidelity > slow.fidelity,
+            "{} vs {}",
+            fast.fidelity,
+            slow.fidelity
+        );
         assert!(slow.fidelity < 1.0);
         assert!((slow.state.trace() - 1.0).abs() < 1e-9, "trace preserved");
     }
@@ -198,7 +211,11 @@ mod tests {
         }
         let c_long = Circuit::from_gates(2, gates.clone());
         let c_short = Circuit::from_gates(2, gates[..2].to_vec());
-        let noise = ExecutionNoise { t1_us: f64::INFINITY, t2_us: f64::INFINITY, ..ExecutionNoise::melbourne() };
+        let noise = ExecutionNoise {
+            t1_us: f64::INFINITY,
+            t2_us: f64::INFINITY,
+            ..ExecutionNoise::melbourne()
+        };
         let long = execute_noisy(&c_long, |_| 0.0, &noise);
         let short = execute_noisy(&c_short, |_| 0.0, &noise);
         assert!(long.fidelity < short.fidelity);
@@ -210,7 +227,14 @@ mod tests {
         // fidelity from coherence alone.
         let c = Circuit::from_gates(
             3,
-            [Gate::H(0), Gate::Cx(0, 1), Gate::T(1), Gate::Cx(1, 2), Gate::Cx(0, 1), Gate::H(2)],
+            [
+                Gate::H(0),
+                Gate::Cx(0, 1),
+                Gate::T(1),
+                Gate::Cx(1, 2),
+                Gate::Cx(0, 1),
+                Gate::H(2),
+            ],
         );
         let noise = ExecutionNoise::decoherence_only();
         let gate_based = execute_noisy(&c, durations(), &noise);
@@ -218,7 +242,12 @@ mod tests {
         let (gb, acc) = latency_fidelity_comparison(&c, durations(), accqoc_latency, &noise);
         assert!((gb.latency_ns - gate_based.latency_ns).abs() < 1e-9);
         assert!((acc.latency_ns - accqoc_latency).abs() < 1.0);
-        assert!(acc.fidelity > gb.fidelity, "accqoc {} vs gate {}", acc.fidelity, gb.fidelity);
+        assert!(
+            acc.fidelity > gb.fidelity,
+            "accqoc {} vs gate {}",
+            acc.fidelity,
+            gb.fidelity
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! register via [`embed_kraus`].
 
 use accqoc_circuit::embed_unitary;
-use accqoc_linalg::{C64, Mat, ZERO};
+use accqoc_linalg::{Mat, C64, ZERO};
 
 /// Amplitude-damping channel with decay probability
 /// `γ = 1 − e^{−t/T1}`: Kraus operators
@@ -17,12 +17,7 @@ use accqoc_linalg::{C64, Mat, ZERO};
 /// Panics unless `0 ≤ γ ≤ 1`.
 pub fn amplitude_damping(gamma: f64) -> Vec<Mat> {
     assert!((0.0..=1.0).contains(&gamma), "gamma must be a probability");
-    let k0 = Mat::from_flat(&[
-        C64::real(1.0),
-        ZERO,
-        ZERO,
-        C64::real((1.0 - gamma).sqrt()),
-    ]);
+    let k0 = Mat::from_flat(&[C64::real(1.0), ZERO, ZERO, C64::real((1.0 - gamma).sqrt())]);
     let k1 = Mat::from_flat(&[ZERO, C64::real(gamma.sqrt()), ZERO, ZERO]);
     vec![k0, k1]
 }
@@ -98,9 +93,18 @@ mod tests {
     #[test]
     fn all_channels_are_trace_preserving() {
         for gamma in [0.0, 0.1, 0.5, 1.0] {
-            assert!(is_trace_preserving(&amplitude_damping(gamma), 1e-12), "ad({gamma})");
-            assert!(is_trace_preserving(&dephasing(gamma), 1e-12), "deph({gamma})");
-            assert!(is_trace_preserving(&depolarizing(gamma), 1e-12), "depol({gamma})");
+            assert!(
+                is_trace_preserving(&amplitude_damping(gamma), 1e-12),
+                "ad({gamma})"
+            );
+            assert!(
+                is_trace_preserving(&dephasing(gamma), 1e-12),
+                "deph({gamma})"
+            );
+            assert!(
+                is_trace_preserving(&depolarizing(gamma), 1e-12),
+                "depol({gamma})"
+            );
         }
     }
 
@@ -131,7 +135,10 @@ mod tests {
         rho.apply_unitary(&Gate::H(0).matrix()); // |+⟩: coherences 1/2
         rho.apply_kraus(&dephasing(0.5)); // full dephasing at p = 1/2
         assert!((rho.population(0) - 0.5).abs() < 1e-12);
-        assert!(rho.as_mat()[(0, 1)].abs() < 1e-12, "coherence should vanish");
+        assert!(
+            rho.as_mat()[(0, 1)].abs() < 1e-12,
+            "coherence should vanish"
+        );
         assert!((rho.purity() - 0.5).abs() < 1e-12);
     }
 

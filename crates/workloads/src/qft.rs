@@ -57,7 +57,7 @@ fn controlled_phase(c: &mut Circuit, control: usize, target: usize, lambda: f64)
 mod tests {
     use super::*;
     use accqoc_circuit::{circuit_unitary, GateKind};
-    use accqoc_linalg::{C64, Mat};
+    use accqoc_linalg::{Mat, C64};
 
     #[test]
     fn gate_counts_scale_quadratically() {
@@ -111,7 +111,10 @@ mod tests {
         }
         let prod_main = u[(0, 0)] * u[(3, 3)];
         let prod_anti = u[(1, 1)] * u[(2, 2)];
-        assert!((prod_main - prod_anti).abs() > 1e-3, "core must be entangling");
+        assert!(
+            (prod_main - prod_anti).abs() > 1e-3,
+            "core must be entangling"
+        );
         let _ = C64::real(0.0);
         let _ = Mat::identity(1);
     }

@@ -35,10 +35,38 @@ pub struct NctSpec {
 /// `tdg = 3·ccx`, `h = 2·ccx`, `cx = 6·ccx + extra`).
 pub fn paper_specs() -> Vec<NctSpec> {
     vec![
-        NctSpec { name: "4gt4-v0_79", lines: 5, n_ccx: 14, n_cx: 21, n_x: 0, seed: 79 },
-        NctSpec { name: "cm152a_212", lines: 12, n_ccx: 76, n_cx: 76, n_x: 5, seed: 212 },
-        NctSpec { name: "ex2_227", lines: 7, n_ccx: 39, n_cx: 41, n_x: 5, seed: 227 },
-        NctSpec { name: "f2_232", lines: 8, n_ccx: 75, n_cx: 75, n_x: 6, seed: 232 },
+        NctSpec {
+            name: "4gt4-v0_79",
+            lines: 5,
+            n_ccx: 14,
+            n_cx: 21,
+            n_x: 0,
+            seed: 79,
+        },
+        NctSpec {
+            name: "cm152a_212",
+            lines: 12,
+            n_ccx: 76,
+            n_cx: 76,
+            n_x: 5,
+            seed: 212,
+        },
+        NctSpec {
+            name: "ex2_227",
+            lines: 7,
+            n_ccx: 39,
+            n_cx: 41,
+            n_x: 5,
+            seed: 227,
+        },
+        NctSpec {
+            name: "f2_232",
+            lines: 8,
+            n_ccx: 75,
+            n_cx: 75,
+            n_x: 6,
+            seed: 232,
+        },
     ]
 }
 
@@ -46,18 +74,102 @@ pub fn paper_specs() -> Vec<NctSpec> {
 /// 159-program suite (encoding, arithmetic, symmetric, misc functions).
 pub fn extended_specs() -> Vec<NctSpec> {
     vec![
-        NctSpec { name: "alu-v0_27", lines: 5, n_ccx: 6, n_cx: 11, n_x: 0, seed: 27 },
-        NctSpec { name: "rd53_135", lines: 7, n_ccx: 16, n_cx: 28, n_x: 0, seed: 135 },
-        NctSpec { name: "sym6_145", lines: 7, n_ccx: 56, n_cx: 70, n_x: 0, seed: 145 },
-        NctSpec { name: "hwb5_53", lines: 5, n_ccx: 27, n_cx: 54, n_x: 2, seed: 53 },
-        NctSpec { name: "mod5adder_127", lines: 6, n_ccx: 32, n_cx: 39, n_x: 2, seed: 127 },
-        NctSpec { name: "decod24-v2_43", lines: 4, n_ccx: 8, n_cx: 14, n_x: 1, seed: 43 },
-        NctSpec { name: "one-two-three-v0_97", lines: 5, n_ccx: 12, n_cx: 16, n_x: 2, seed: 97 },
-        NctSpec { name: "4mod5-v1_22", lines: 5, n_ccx: 5, n_cx: 9, n_x: 1, seed: 22 },
-        NctSpec { name: "mini-alu_167", lines: 5, n_ccx: 18, n_cx: 26, n_x: 0, seed: 167 },
-        NctSpec { name: "ham7_104", lines: 7, n_ccx: 23, n_cx: 46, n_x: 1, seed: 104 },
-        NctSpec { name: "cnt3-5_179", lines: 16, n_ccx: 20, n_cx: 45, n_x: 0, seed: 179 },
-        NctSpec { name: "majority_239", lines: 7, n_ccx: 40, n_cx: 52, n_x: 3, seed: 239 },
+        NctSpec {
+            name: "alu-v0_27",
+            lines: 5,
+            n_ccx: 6,
+            n_cx: 11,
+            n_x: 0,
+            seed: 27,
+        },
+        NctSpec {
+            name: "rd53_135",
+            lines: 7,
+            n_ccx: 16,
+            n_cx: 28,
+            n_x: 0,
+            seed: 135,
+        },
+        NctSpec {
+            name: "sym6_145",
+            lines: 7,
+            n_ccx: 56,
+            n_cx: 70,
+            n_x: 0,
+            seed: 145,
+        },
+        NctSpec {
+            name: "hwb5_53",
+            lines: 5,
+            n_ccx: 27,
+            n_cx: 54,
+            n_x: 2,
+            seed: 53,
+        },
+        NctSpec {
+            name: "mod5adder_127",
+            lines: 6,
+            n_ccx: 32,
+            n_cx: 39,
+            n_x: 2,
+            seed: 127,
+        },
+        NctSpec {
+            name: "decod24-v2_43",
+            lines: 4,
+            n_ccx: 8,
+            n_cx: 14,
+            n_x: 1,
+            seed: 43,
+        },
+        NctSpec {
+            name: "one-two-three-v0_97",
+            lines: 5,
+            n_ccx: 12,
+            n_cx: 16,
+            n_x: 2,
+            seed: 97,
+        },
+        NctSpec {
+            name: "4mod5-v1_22",
+            lines: 5,
+            n_ccx: 5,
+            n_cx: 9,
+            n_x: 1,
+            seed: 22,
+        },
+        NctSpec {
+            name: "mini-alu_167",
+            lines: 5,
+            n_ccx: 18,
+            n_cx: 26,
+            n_x: 0,
+            seed: 167,
+        },
+        NctSpec {
+            name: "ham7_104",
+            lines: 7,
+            n_ccx: 23,
+            n_cx: 46,
+            n_x: 1,
+            seed: 104,
+        },
+        NctSpec {
+            name: "cnt3-5_179",
+            lines: 16,
+            n_ccx: 20,
+            n_cx: 45,
+            n_x: 0,
+            seed: 179,
+        },
+        NctSpec {
+            name: "majority_239",
+            lines: 7,
+            n_ccx: 40,
+            n_cx: 52,
+            n_x: 3,
+            seed: 239,
+        },
     ]
 }
 
@@ -95,10 +207,9 @@ pub fn nct_circuit(spec: &NctSpec) -> Circuit {
     // Interleave the three gate kinds in a deterministic shuffled order so
     // the circuit looks like a synthesized cascade rather than three
     // homogeneous blocks.
-    let mut kinds: Vec<u8> = std::iter::repeat(2u8)
-        .take(spec.n_ccx)
-        .chain(std::iter::repeat(1u8).take(spec.n_cx))
-        .chain(std::iter::repeat(0u8).take(spec.n_x))
+    let mut kinds: Vec<u8> = std::iter::repeat_n(2u8, spec.n_ccx)
+        .chain(std::iter::repeat_n(1u8, spec.n_cx))
+        .chain(std::iter::repeat_n(0u8, spec.n_x))
         .collect();
     // Fisher–Yates with the seeded generator.
     for i in (1..kinds.len()).rev() {
@@ -155,9 +266,24 @@ mod tests {
         for spec in paper_specs() {
             let c = nct_circuit(&spec);
             let counts = c.counts_by_kind();
-            assert_eq!(counts.get(&GateKind::Ccx).copied().unwrap_or(0), spec.n_ccx, "{}", spec.name);
-            assert_eq!(counts.get(&GateKind::Cx).copied().unwrap_or(0), spec.n_cx, "{}", spec.name);
-            assert_eq!(counts.get(&GateKind::X).copied().unwrap_or(0), spec.n_x, "{}", spec.name);
+            assert_eq!(
+                counts.get(&GateKind::Ccx).copied().unwrap_or(0),
+                spec.n_ccx,
+                "{}",
+                spec.name
+            );
+            assert_eq!(
+                counts.get(&GateKind::Cx).copied().unwrap_or(0),
+                spec.n_cx,
+                "{}",
+                spec.name
+            );
+            assert_eq!(
+                counts.get(&GateKind::X).copied().unwrap_or(0),
+                spec.n_x,
+                "{}",
+                spec.name
+            );
         }
     }
 
@@ -195,14 +321,27 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = NctSpec { seed: 1, ..paper_specs()[0].clone() };
-        let b = NctSpec { seed: 2, ..paper_specs()[0].clone() };
+        let a = NctSpec {
+            seed: 1,
+            ..paper_specs()[0].clone()
+        };
+        let b = NctSpec {
+            seed: 2,
+            ..paper_specs()[0].clone()
+        };
         assert_ne!(nct_circuit(&a), nct_circuit(&b));
     }
 
     #[test]
     fn operands_always_distinct() {
-        let spec = NctSpec { name: "stress", lines: 3, n_ccx: 50, n_cx: 50, n_x: 10, seed: 99 };
+        let spec = NctSpec {
+            name: "stress",
+            lines: 3,
+            n_ccx: 50,
+            n_cx: 50,
+            n_x: 10,
+            seed: 99,
+        };
         // Circuit::push panics on repeated operands; reaching here is the test.
         let c = nct_circuit(&spec);
         assert_eq!(c.len(), 110);
@@ -212,7 +351,7 @@ mod tests {
     fn extended_specs_generate() {
         for spec in extended_specs() {
             let c = nct_circuit(&spec);
-            assert!(c.len() > 0, "{}", spec.name);
+            assert!(!c.is_empty(), "{}", spec.name);
             assert!(c.n_qubits() <= 16);
         }
     }

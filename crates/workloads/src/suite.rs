@@ -27,7 +27,10 @@ pub struct BenchProgram {
 
 impl BenchProgram {
     fn new(name: impl Into<String>, circuit: Circuit) -> Self {
-        Self { name: name.into(), circuit }
+        Self {
+            name: name.into(),
+            circuit,
+        }
     }
 
     /// Gate count after Toffoli decomposition (the paper counts
@@ -61,7 +64,10 @@ pub fn full_suite() -> Vec<BenchProgram> {
     }
     for spec in extended_specs() {
         // Clamp to the Melbourne width for mapped experiments.
-        let spec = NctSpec { lines: spec.lines.min(14), ..spec };
+        let spec = NctSpec {
+            lines: spec.lines.min(14),
+            ..spec
+        };
         out.push(BenchProgram::new(spec.name, nct_circuit(&spec)));
     }
     for n in 3..=16 {
@@ -91,7 +97,10 @@ pub fn full_suite() -> Vec<BenchProgram> {
             n_x,
             seed: 0xBEEF + i as u64,
         };
-        out.push(BenchProgram::new(format!("rand_nct_{i:03}"), nct_circuit(&spec)));
+        out.push(BenchProgram::new(
+            format!("rand_nct_{i:03}"),
+            nct_circuit(&spec),
+        ));
         i += 1;
     }
     out
@@ -206,7 +215,11 @@ mod tests {
         for &i in &picks {
             assert!(suite[i].circuit.n_qubits() <= 14);
             let len = suite[i].decomposed_len();
-            assert!((200..=2000).contains(&len), "{} has {len} gates", suite[i].name);
+            assert!(
+                (200..=2000).contains(&len),
+                "{} has {len} gates",
+                suite[i].name
+            );
         }
     }
 

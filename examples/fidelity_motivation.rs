@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example fidelity_motivation`
 
-use accqoc_repro::accqoc::{AccQocCompiler, AccQocConfig, PulseCache};
-use accqoc_repro::circuit::{Circuit, Gate};
-use accqoc_repro::hw::Topology;
+use accqoc_repro::prelude::*;
 use accqoc_repro::sim::{latency_fidelity_comparison, ExecutionNoise};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,9 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("program: {program}");
 
     // Compile with AccQOC to get the real latency numbers.
-    let compiler = AccQocCompiler::new(AccQocConfig::for_topology(Topology::linear(3)));
-    let mut cache = PulseCache::new();
-    let compiled = compiler.compile_program(&program, &mut cache)?;
+    let session = Session::builder().topology(Topology::linear(3)).build()?;
+    let compiled = session.compile_program(&program)?;
     println!(
         "gate-based {:.0} ns, AccQOC {:.0} ns ({:.2}x reduction)",
         compiled.gate_based_latency_ns,
@@ -37,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Execute both schedules on the noisy simulator. The device-derived
     // per-gate durations reproduce the gate-based schedule; the AccQOC run
     // compresses it by the measured reduction factor.
-    let durations = compiler.gate_durations();
+    let durations = session.gate_durations();
     // Exaggerate the noise floor (T1/50) so a 3-qubit demo shows the gap
     // a 2000-gate program would show at real Melbourne T1.
     let noise = ExecutionNoise {
@@ -53,8 +50,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\n              latency     fidelity");
-    println!("gate-based  {:>8.0} ns   {:.4}", gate_based.latency_ns, gate_based.fidelity);
-    println!("AccQOC      {:>8.0} ns   {:.4}", accqoc.latency_ns, accqoc.fidelity);
+    println!(
+        "gate-based  {:>8.0} ns   {:.4}",
+        gate_based.latency_ns, gate_based.fidelity
+    );
+    println!(
+        "AccQOC      {:>8.0} ns   {:.4}",
+        accqoc.latency_ns, accqoc.fidelity
+    );
     println!(
         "\nfidelity gain from latency reduction alone: +{:.2}%",
         (accqoc.fidelity - gate_based.fidelity) * 100.0

@@ -5,14 +5,14 @@
 //! Run with: `cargo run --release --example parallel_workers`
 
 use accqoc_repro::accqoc::{
-    collect_category, compile_parallel, mst_compile_order, partition_tree, AccQocCompiler,
-    AccQocConfig, SimilarityGraph, WeightedTree,
+    collect_category, compile_parallel, mst_compile_order, partition_tree, SimilarityGraph,
+    WeightedTree,
 };
-use accqoc_repro::hw::Topology;
+use accqoc_repro::prelude::*;
 use accqoc_repro::workloads::{nct_circuit, NctSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let compiler = AccQocCompiler::new(AccQocConfig::for_topology(Topology::linear(5)));
+    let session = Session::builder().topology(Topology::linear(5)).build()?;
 
     // A profiling set producing a few dozen unique groups.
     let programs: Vec<_> = (0..3)
@@ -27,13 +27,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
         })
         .collect();
-    let (canonical, keys, _) = collect_category(&compiler, &programs);
+    let (canonical, keys, _) = collect_category(&session, &programs);
     println!("category: {} unique groups", canonical.len());
 
     // SG → MST → weighted tree → balanced partition.
     let graph = SimilarityGraph::build(
         canonical.iter().map(|(u, _)| u.clone()).collect(),
-        compiler.config().similarity,
+        session.config().similarity,
     );
     let order = mst_compile_order(&graph);
     let tree = WeightedTree::from_order(&order, canonical.len());
@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Compile with 1 worker vs 4 workers and compare makespans.
     for workers in [1, 4] {
         let t0 = std::time::Instant::now();
-        let (cache, stats) = compile_parallel(&compiler, &order, &canonical, &keys, workers)?;
+        let (cache, stats) = compile_parallel(&session, &order, &canonical, &keys, workers)?;
         println!(
             "\n{workers} worker(s): {} groups compiled in {:.2?}",
             cache.len(),

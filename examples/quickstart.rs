@@ -2,9 +2,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use accqoc_repro::accqoc::{AccQocCompiler, AccQocConfig, PulseCache};
-use accqoc_repro::circuit::{Circuit, Gate};
-use accqoc_repro::hw::Topology;
+use accqoc_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 3-qubit program: prepare a GHZ state and phase-kick it.
@@ -23,19 +21,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Compile on a 3-qubit linear device with the paper's defaults
     // (map2b4l grouping, crosstalk-aware mapping, L-BFGS GRAPE at the
-    // 1e-4 fidelity target).
-    let compiler = AccQocCompiler::new(AccQocConfig::for_topology(Topology::linear(3)));
-    let mut cache = PulseCache::new();
-    let result = compiler.compile_program(&program, &mut cache)?;
+    // 1e-4 fidelity target). The session owns the pulse cache.
+    let session = Session::builder().topology(Topology::linear(3)).build()?;
+    let result = session.compile_program(&program)?;
 
     println!("groups           : {}", result.grouped.len());
     println!("gate-based       : {:.1} ns", result.gate_based_latency_ns);
     println!("AccQOC pulses    : {:.1} ns", result.overall_latency_ns);
     println!("latency reduction: {:.2}x", result.latency_reduction());
-    println!("compile cost     : {} GRAPE iterations", result.dynamic_iterations);
+    println!(
+        "compile cost     : {} GRAPE iterations",
+        result.dynamic_iterations
+    );
 
     // Compiling the same program again is free: every group is covered.
-    let again = compiler.compile_program(&program, &mut cache)?;
+    let again = session.compile_program(&program)?;
     println!(
         "second run       : {}/{} groups covered, {} iterations",
         again.coverage.covered, again.coverage.total, again.dynamic_iterations
@@ -46,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join("accqoc_quickstart");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join("pulses.json");
-    cache.save(&path)?;
-    println!("pulse cache saved: {} ({} groups)", path.display(), cache.len());
+    session.save_cache(&path)?;
+    println!(
+        "pulse cache saved: {} ({} groups)",
+        path.display(),
+        session.cache_len()
+    );
     Ok(())
 }

@@ -5,15 +5,14 @@
 //!
 //! Run with: `cargo run --release --example static_algorithm`
 
-use accqoc_repro::accqoc::{precompile, AccQocCompiler, AccQocConfig, PrecompileOrder, PulseCache};
-use accqoc_repro::hw::{NoiseModel, Topology};
+use accqoc_repro::hw::NoiseModel;
+use accqoc_repro::prelude::*;
 use accqoc_repro::workloads::{nct_circuit, NctSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Profile a few small reversible programs (the "random third" of the
     // paper at miniature scale) on a 5-qubit line.
-    let topo = Topology::linear(5);
-    let compiler = AccQocCompiler::new(AccQocConfig::for_topology(topo));
+    let session = Session::builder().topology(Topology::linear(5)).build()?;
     let profile: Vec<_> = (0..3)
         .map(|k| {
             nct_circuit(&NctSpec {
@@ -27,9 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
 
-    println!("static pre-compilation over {} profiling programs…", profile.len());
-    let mut cache = PulseCache::new();
-    let report = precompile(&compiler, &profile, &mut cache, PrecompileOrder::Mst)?;
+    println!(
+        "static pre-compilation over {} profiling programs…",
+        profile.len()
+    );
+    let report = session.precompile(&profile, PrecompileOrder::Mst)?;
     println!(
         "category: {} unique groups, {} iterations (one-time cost)",
         report.n_unique_groups, report.total_iterations
@@ -45,16 +46,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         n_x: 1,
         seed: 999,
     });
-    let result = compiler.compile_program(&new_program, &mut cache)?;
-    println!("\nnew program: {} gates decomposed", new_program.decomposed(false).len());
+    let result = session.compile_program(&new_program)?;
+    println!(
+        "\nnew program: {} gates decomposed",
+        new_program.decomposed(false).len()
+    );
     println!(
         "coverage          : {}/{} groups ({:.0}%)",
         result.coverage.covered,
         result.coverage.total,
         result.coverage.rate() * 100.0
     );
-    println!("dynamic compile   : {} iterations (uncovered only)", result.dynamic_iterations);
-    println!("latency reduction : {:.2}x vs gate-based", result.latency_reduction());
+    println!(
+        "dynamic compile   : {} iterations (uncovered only)",
+        result.dynamic_iterations
+    );
+    println!(
+        "latency reduction : {:.2}x vs gate-based",
+        result.latency_reduction()
+    );
 
     // Why latency matters (paper §II-E): coherence-limited fidelity.
     let noise = NoiseModel::melbourne();

@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --release --example variational_reuse`
 
-use accqoc_repro::accqoc::{AccQocCompiler, AccQocConfig, PulseCache};
-use accqoc_repro::circuit::{Circuit, Gate};
-use accqoc_repro::hw::Topology;
+use accqoc_repro::prelude::*;
 
 /// One VQE-ish ansatz iteration at rotation angle `theta`.
 fn ansatz(theta: f64) -> Circuit {
@@ -27,8 +25,7 @@ fn ansatz(theta: f64) -> Circuit {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let compiler = AccQocCompiler::new(AccQocConfig::for_topology(Topology::linear(4)));
-    let mut cache = PulseCache::new();
+    let session = Session::builder().topology(Topology::linear(4)).build()?;
 
     // Simulated optimizer loop: the classical outer loop proposes a new
     // angle every iteration. Each iteration's circuit is a *different*
@@ -38,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("iter  angle   coverage  dyn-iters  latency(ns)  reduction");
     for (i, theta) in [0.40, 0.55, 0.47, 0.52, 0.50].iter().enumerate() {
         let circuit = ansatz(*theta);
-        let result = compiler.compile_program(&circuit, &mut cache)?;
+        let result = session.compile_program(&circuit)?;
         total_iterations += result.dynamic_iterations;
         println!(
             "{:>4}  {:.2}   {:>3.0}%      {:>6}     {:>8.1}   {:.2}x",
@@ -51,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("\ntotal compile cost across iterations: {total_iterations} GRAPE iterations");
-    println!("cache now holds {} unique group pulses", cache.len());
+    println!(
+        "cache now holds {} unique group pulses",
+        session.cache_len()
+    );
     println!("(arbitrary angles are fine: each is just another matrix — paper §I)");
     Ok(())
 }

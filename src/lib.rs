@@ -3,8 +3,24 @@
 //! This crate exists to host the repository-level integration tests
 //! (`tests/`) and runnable examples (`examples/`); the library surface
 //! simply re-exports the workspace crates so examples can use one import.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use accqoc_repro::prelude::*;
+//!
+//! let session = Session::builder().topology(Topology::melbourne()).build()?;
+//! let program = Circuit::from_gates(14, [Gate::H(0), Gate::Cx(0, 1)]);
+//! let out = session.compile_program(&program)?;
+//! println!("latency {:.1} ns ({:.2}x vs gate-based)",
+//!          out.overall_latency_ns, out.latency_reduction());
+//! # Ok::<(), accqoc_repro::accqoc::Error>(())
+//! ```
+
+#![warn(missing_docs)]
 
 pub use accqoc;
+pub use accqoc::prelude;
 pub use accqoc_circuit as circuit;
 pub use accqoc_grape as grape;
 pub use accqoc_group as group;

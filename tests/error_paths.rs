@@ -1,0 +1,176 @@
+//! The unified error hierarchy, exercised end to end: builder
+//! validation, model-set domain errors, stage-ordering errors, cache
+//! persistence errors, and `Display`/`source()` round-trips.
+
+use std::error::Error as _;
+
+use accqoc_repro::accqoc::{Error, ModelSet, PulseCache, MAX_MODEL_QUBITS};
+use accqoc_repro::linalg::Mat;
+use accqoc_repro::prelude::*;
+
+#[test]
+fn builder_missing_topology_is_a_builder_error() {
+    let e = Session::builder().build().unwrap_err();
+    assert!(matches!(e, Error::Builder { field: "topology" }));
+    let shown = e.to_string();
+    assert!(
+        shown.contains("topology"),
+        "message should name the field: {shown}"
+    );
+    assert!(e.source().is_none(), "builder errors have no deeper cause");
+}
+
+#[test]
+fn builder_rejects_nonsensical_warm_threshold() {
+    for bad in [-1.0, f64::NAN] {
+        let e = Session::builder()
+            .topology(Topology::linear(2))
+            .warm_threshold(bad)
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, Error::InvalidConfig { .. }), "threshold {bad}");
+    }
+    // Zero is a legal (maximally conservative) gate.
+    assert!(Session::builder()
+        .topology(Topology::linear(2))
+        .warm_threshold(0.0)
+        .build()
+        .is_ok());
+}
+
+#[test]
+fn over_wide_group_is_rejected_with_context() {
+    let session = Session::builder()
+        .topology(Topology::linear(3))
+        .build()
+        .unwrap();
+    let e = session
+        .compile_unitary(&Mat::identity(8), 3, None)
+        .unwrap_err();
+    match &e {
+        Error::GroupTooWide { n_qubits, max } => {
+            assert_eq!(*n_qubits, 3);
+            assert_eq!(*max, 2);
+        }
+        other => panic!("expected GroupTooWide, got {other:?}"),
+    }
+    let shown = e.to_string();
+    assert!(shown.contains('3') && shown.contains('2'), "{shown}");
+}
+
+#[test]
+fn zero_qubit_group_is_an_error_not_an_underflow_panic() {
+    // Regression: `ModelSet::for_qubits(0)` used to index `n_qubits - 1`
+    // and panic on usize underflow.
+    let models = ModelSet::spin(2).unwrap();
+    assert!(matches!(models.for_qubits(0), Err(Error::EmptyGroup)));
+
+    let session = Session::builder()
+        .topology(Topology::linear(2))
+        .build()
+        .unwrap();
+    let e = session
+        .compile_unitary(&Mat::identity(1), 0, None)
+        .unwrap_err();
+    assert!(matches!(e, Error::EmptyGroup));
+    assert!(e.to_string().contains("zero qubits"));
+}
+
+#[test]
+fn model_set_constructor_validates_its_domain() {
+    assert!(matches!(
+        ModelSet::spin(0),
+        Err(Error::InvalidConfig { .. })
+    ));
+    assert!(matches!(
+        ModelSet::spin(MAX_MODEL_QUBITS + 1),
+        Err(Error::InvalidConfig { .. })
+    ));
+    let e = ModelSet::spin(9).unwrap_err();
+    assert!(
+        e.to_string().contains('9'),
+        "message should echo the bad arity: {e}"
+    );
+}
+
+#[test]
+fn latency_before_compile_reports_uncovered_group() {
+    let session = Session::builder()
+        .topology(Topology::linear(2))
+        .build()
+        .unwrap();
+    let grouped = session.front_end(&Circuit::from_gates(2, [Gate::H(0), Gate::Cx(0, 1)]));
+    let e = session.latency(&grouped).unwrap_err();
+    assert!(matches!(e, Error::UncoveredGroup { .. }));
+    assert!(e.to_string().contains("compile stage"));
+}
+
+#[test]
+fn infeasible_compilation_chains_to_the_latency_error() {
+    // A 1-step cap cannot realize an X gate (needs ~10 ns): the pipeline
+    // error must wrap the latency-search failure as its source.
+    let session = Session::builder()
+        .topology(Topology::linear(2))
+        .search(LatencySearch {
+            min_steps: 1,
+            max_steps: 1,
+            ..LatencySearch::default()
+        })
+        .build()
+        .unwrap();
+    let x = Mat::from_reals(&[0.0, 1.0, 1.0, 0.0]);
+    let e = session.compile_unitary(&x, 1, None).unwrap_err();
+    match &e {
+        Error::CompileFailed { n_qubits, .. } => assert_eq!(*n_qubits, 1),
+        other => panic!("expected CompileFailed, got {other:?}"),
+    }
+    let source = e
+        .source()
+        .expect("compile failures carry the latency error");
+    assert!(source.to_string().contains("fidelity target"), "{source}");
+    // Display includes both layers of context.
+    let shown = e.to_string();
+    assert!(
+        shown.contains("1-qubit group") && shown.contains("fidelity"),
+        "{shown}"
+    );
+}
+
+#[test]
+fn cache_errors_flow_through_the_unified_type() {
+    let e = PulseCache::from_json("definitely not json").unwrap_err();
+    assert!(matches!(e, Error::Json(_)));
+    assert!(e.source().is_some(), "json errors expose the parse failure");
+
+    let missing = std::env::temp_dir()
+        .join("accqoc_error_paths")
+        .join("nope.json");
+    let e = PulseCache::load(&missing).unwrap_err();
+    assert!(matches!(e, Error::Io(_)));
+    assert!(
+        e.source().is_some(),
+        "io errors expose the underlying error"
+    );
+}
+
+#[test]
+fn qasm_errors_convert_into_the_unified_type() {
+    let parse_err = accqoc_repro::circuit::parse_qasm("qreg q[2]; frobnicate q[0];").unwrap_err();
+    let unified: Error = parse_err.into();
+    assert!(matches!(unified, Error::Qasm(_)));
+    assert!(unified.to_string().contains("qasm"));
+    assert!(unified.source().is_some());
+}
+
+#[test]
+fn examples_pattern_boxed_error_interop() {
+    // The examples return Box<dyn Error>; `?` must work on every stage.
+    fn pipeline() -> Result<f64, Box<dyn std::error::Error>> {
+        let session = Session::builder().topology(Topology::linear(2)).build()?;
+        let grouped = session.front_end(&Circuit::from_gates(2, [Gate::H(0)]));
+        let lookup = session.lookup(&grouped);
+        session.compile(&lookup)?;
+        Ok(session.latency(&grouped)?.overall_latency_ns)
+    }
+    assert!(pipeline().unwrap() > 0.0);
+}

@@ -1,9 +1,7 @@
 //! End-to-end motivation test: AccQOC's latency reduction translates into
 //! measurable fidelity improvement on the noisy simulator (paper §II-E).
 
-use accqoc_repro::accqoc::{AccQocCompiler, AccQocConfig, PulseCache};
-use accqoc_repro::circuit::{Circuit, Gate};
-use accqoc_repro::hw::Topology;
+use accqoc_repro::prelude::*;
 use accqoc_repro::sim::{execute_noisy, latency_fidelity_comparison, ExecutionNoise};
 
 fn deep_program() -> Circuit {
@@ -20,10 +18,12 @@ fn deep_program() -> Circuit {
 
 #[test]
 fn compiled_latency_reduction_improves_fidelity() {
-    let compiler = AccQocCompiler::new(AccQocConfig::for_topology(Topology::linear(3)));
-    let mut cache = PulseCache::new();
+    let session = Session::builder()
+        .topology(Topology::linear(3))
+        .build()
+        .unwrap();
     let program = deep_program();
-    let compiled = compiler.compile_program(&program, &mut cache).expect("compiles");
+    let compiled = session.compile_program(&program).expect("compiles");
     assert!(compiled.latency_reduction() > 1.3);
 
     // Exaggerated decoherence so a short demo circuit shows the gap.
@@ -32,7 +32,7 @@ fn compiled_latency_reduction_improves_fidelity() {
         t2_us: accqoc_repro::hw::T2_US / 100.0,
         ..ExecutionNoise::decoherence_only()
     };
-    let durations = compiler.gate_durations();
+    let durations = session.gate_durations();
     let (gate_based, accqoc) = latency_fidelity_comparison(
         &program,
         |g| durations.gate_duration(g),

@@ -2,9 +2,7 @@
 //! pipeline, mapping preserves circuit function, grouping preserves the
 //! program unitary.
 
-use accqoc_repro::circuit::{
-    circuit_unitary, parse_qasm, permute_qubits, to_qasm, Circuit, Gate,
-};
+use accqoc_repro::circuit::{circuit_unitary, parse_qasm, permute_qubits, to_qasm, Circuit, Gate};
 use accqoc_repro::group::{divide_circuit, GroupingPolicy};
 use accqoc_repro::hw::Topology;
 use accqoc_repro::linalg::{approx_eq_up_to_phase, Mat};
@@ -16,7 +14,14 @@ fn qasm_roundtrip_preserves_unitary() {
     let circuits = [
         qft(3),
         gse(3, 1),
-        Circuit::from_gates(3, [Gate::Ccx(0, 1, 2), Gate::Swap(0, 2), Gate::U3(1, 0.3, -0.7, 1.1)]),
+        Circuit::from_gates(
+            3,
+            [
+                Gate::Ccx(0, 1, 2),
+                Gate::Swap(0, 2),
+                Gate::U3(1, 0.3, -0.7, 1.1),
+            ],
+        ),
     ];
     for c in circuits {
         let qasm = to_qasm(&c);
@@ -33,7 +38,7 @@ fn qasm_roundtrip_preserves_unitary() {
 
 /// Undoes the final layout of a mapped circuit by appending adjacent swaps
 /// so that the physical unitary can be compared against the logical one.
-fn unwind_layout(mapped: &mut Circuit, layout: &mut Vec<usize>, target: &[usize], topo: &Topology) {
+fn unwind_layout(mapped: &mut Circuit, layout: &mut [usize], target: &[usize], topo: &Topology) {
     for logical in 0..target.len() {
         while layout[logical] != target[logical] {
             let cur = layout[logical];
@@ -88,7 +93,14 @@ fn grouping_preserves_program_unitary() {
     // must reproduce the full program unitary.
     let program = Circuit::from_gates(
         3,
-        [Gate::H(0), Gate::Cx(0, 1), Gate::T(1), Gate::Cx(1, 2), Gate::H(2), Gate::Cx(0, 1)],
+        [
+            Gate::H(0),
+            Gate::Cx(0, 1),
+            Gate::T(1),
+            Gate::Cx(1, 2),
+            Gate::H(2),
+            Gate::Cx(0, 1),
+        ],
     );
     for policy in GroupingPolicy::paper_policies() {
         let (grouped, processed) = divide_circuit(&program, &policy);
@@ -119,7 +131,11 @@ fn permute_qubits_consistency_across_crates() {
     let c = Circuit::from_gates(2, [Gate::Cx(0, 1), Gate::T(0), Gate::H(1)]);
     let u = circuit_unitary(&c);
     let relabeled = circuit_unitary(&c.remapped(|q| 1 - q));
-    assert!(approx_eq_up_to_phase(&permute_qubits(&u, &[1, 0], 2), &relabeled, 1e-10));
+    assert!(approx_eq_up_to_phase(
+        &permute_qubits(&u, &[1, 0], 2),
+        &relabeled,
+        1e-10
+    ));
 }
 
 #[test]
