@@ -91,6 +91,12 @@ impl PulseCache {
         self.entries.iter()
     }
 
+    /// Consumes the cache, yielding its entries (unordered — callers that
+    /// need determinism sort by key, as [`PulseCache::to_json`] does).
+    pub fn into_entries(self) -> impl Iterator<Item = (UnitaryKey, CachedPulse)> {
+        self.entries.into_iter()
+    }
+
     /// Merges another cache into this one (other wins on conflicts).
     pub fn merge(&mut self, other: PulseCache) {
         self.entries.extend(other.entries);
@@ -145,7 +151,7 @@ impl PulseCache {
     ///
     /// # Errors
     ///
-    /// [`Error::Json`] on malformed input.
+    /// [`crate::Error::Json`] on malformed input.
     pub fn from_json(text: &str) -> Result<Self> {
         let doc = json::parse(text)?;
         let entries = doc
@@ -217,7 +223,7 @@ impl PulseCache {
     ///
     /// # Errors
     ///
-    /// [`Error::Io`] from file creation or writing.
+    /// [`crate::Error::Io`] from file creation or writing.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
         std::fs::write(path, self.to_json())?;
         Ok(())
@@ -227,7 +233,7 @@ impl PulseCache {
     ///
     /// # Errors
     ///
-    /// [`Error::Io`] / [`Error::Json`] on unreadable or malformed files.
+    /// [`crate::Error::Io`] / [`crate::Error::Json`] on unreadable or malformed files.
     pub fn load(path: impl AsRef<Path>) -> Result<Self> {
         let text = std::fs::read_to_string(path)?;
         Self::from_json(&text)

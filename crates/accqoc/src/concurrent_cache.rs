@@ -1,0 +1,283 @@
+//! A sharded, reader-writer pulse cache for concurrent compilation.
+//!
+//! The plain [`PulseCache`] is a single `HashMap`; putting it behind one
+//! lock serializes every warm-start lookup the moment more than one
+//! worker compiles. [`ConcurrentPulseCache`] splits the key space over
+//! `N` independent [`RwLock`] shards (selected by the [`UnitaryKey`]
+//! hash), so concurrent readers never contend and writers only contend
+//! when they land on the same shard.
+//!
+//! Determinism: shard *placement* depends only on the key hash — never on
+//! thread timing — and [`ConcurrentPulseCache::snapshot`] merges the
+//! shards in sorted key order, so the persisted JSON artifact is
+//! byte-identical for a given set of entries regardless of how many
+//! threads produced them or in which order they were inserted.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::RwLock;
+
+use accqoc_circuit::UnitaryKey;
+
+use crate::cache::{CachedPulse, PulseCache};
+
+/// Default shard count: comfortably above the worker counts this
+/// workload sees (a laptop has ≤ 32 threads; 64 shards keep the expected
+/// collision rate per insert under 2%).
+pub const DEFAULT_CACHE_SHARDS: usize = 64;
+
+/// Sharded key-value store from canonical group identity to compiled
+/// pulse, safe to read and write from many threads through `&self`.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc::{CachedPulse, ConcurrentPulseCache};
+/// use accqoc_circuit::UnitaryKey;
+/// use accqoc_grape::Pulse;
+/// use accqoc_linalg::Mat;
+///
+/// let cache = ConcurrentPulseCache::new();
+/// let key = UnitaryKey::canonical(&Mat::identity(2), 1);
+/// cache.insert(key.clone(), CachedPulse {
+///     pulse: Pulse::zeros(2, 0, 1.0),
+///     latency_ns: 0.0,
+///     iterations: 0,
+///     n_qubits: 1,
+/// });
+/// assert!(cache.contains(&key));
+/// assert_eq!(cache.snapshot().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ConcurrentPulseCache {
+    shards: Vec<RwLock<HashMap<UnitaryKey, CachedPulse>>>,
+}
+
+impl ConcurrentPulseCache {
+    /// Creates an empty cache with [`DEFAULT_CACHE_SHARDS`] shards.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_CACHE_SHARDS)
+    }
+
+    /// Creates an empty cache with `n_shards` shards (clamped to ≥ 1).
+    pub fn with_shards(n_shards: usize) -> Self {
+        let n = n_shards.max(1);
+        Self {
+            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Builds a sharded cache from a plain [`PulseCache`].
+    pub fn from_cache(cache: PulseCache) -> Self {
+        let out = Self::new();
+        for (key, value) in cache.into_entries() {
+            out.insert(key, value);
+        }
+        out
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_index(key: &UnitaryKey, n_shards: usize) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % n_shards
+    }
+
+    fn shard(&self, key: &UnitaryKey) -> &RwLock<HashMap<UnitaryKey, CachedPulse>> {
+        &self.shards[Self::shard_index(key, self.shards.len())]
+    }
+
+    fn read(
+        lock: &RwLock<HashMap<UnitaryKey, CachedPulse>>,
+    ) -> std::sync::RwLockReadGuard<'_, HashMap<UnitaryKey, CachedPulse>> {
+        lock.read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn write(
+        lock: &RwLock<HashMap<UnitaryKey, CachedPulse>>,
+    ) -> std::sync::RwLockWriteGuard<'_, HashMap<UnitaryKey, CachedPulse>> {
+        lock.write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Number of cached unique groups (sums the shards; a point-in-time
+    /// figure under concurrent writers).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| Self::read(s).len()).sum()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| Self::read(s).is_empty())
+    }
+
+    /// `true` when the group is covered (one shard read lock).
+    pub fn contains(&self, key: &UnitaryKey) -> bool {
+        Self::read(self.shard(key)).contains_key(key)
+    }
+
+    /// A copy of one entry, if covered (one shard read lock).
+    pub fn get(&self, key: &UnitaryKey) -> Option<CachedPulse> {
+        Self::read(self.shard(key)).get(key).cloned()
+    }
+
+    /// Inserts or replaces an entry; returns the previous value if any
+    /// (one shard write lock).
+    pub fn insert(&self, key: UnitaryKey, value: CachedPulse) -> Option<CachedPulse> {
+        Self::write(self.shard(&key)).insert(key, value)
+    }
+
+    /// Merges a plain cache into this one (incoming entries win).
+    pub fn merge(&self, other: PulseCache) {
+        for (key, value) in other.into_entries() {
+            self.insert(key, value);
+        }
+    }
+
+    /// Removes every entry, atomically with respect to concurrent
+    /// readers (all shard write locks are held for the duration).
+    pub fn clear(&self) {
+        let mut guards: Vec<_> = self.shards.iter().map(Self::write).collect();
+        for guard in guards.iter_mut() {
+            guard.clear();
+        }
+    }
+
+    /// Replaces the entire contents with `cache` in one atomic step: all
+    /// shard write locks are acquired (in shard order — the same order
+    /// every multi-shard operation uses, so no deadlock) before anything
+    /// is cleared, so no concurrent reader can observe the intermediate
+    /// empty or partially filled state.
+    pub fn replace(&self, cache: PulseCache) {
+        let mut guards: Vec<_> = self.shards.iter().map(Self::write).collect();
+        for guard in guards.iter_mut() {
+            guard.clear();
+        }
+        for (key, value) in cache.into_entries() {
+            let shard = Self::shard_index(&key, self.shards.len());
+            guards[shard].insert(key, value);
+        }
+    }
+
+    /// A plain [`PulseCache`] copy of the current contents, merged from
+    /// the shards **in sorted key order** so downstream serialization is
+    /// byte-deterministic regardless of shard layout, thread count, or
+    /// insertion order. All shard read locks are held together, so the
+    /// snapshot is a consistent point-in-time view even while writers
+    /// run.
+    pub fn snapshot(&self) -> PulseCache {
+        let guards: Vec<_> = self.shards.iter().map(Self::read).collect();
+        let mut entries: Vec<(UnitaryKey, CachedPulse)> = Vec::new();
+        for guard in &guards {
+            entries.extend(guard.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = PulseCache::new();
+        for (key, value) in entries {
+            out.insert(key, value);
+        }
+        out
+    }
+}
+
+impl Default for ConcurrentPulseCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for ConcurrentPulseCache {
+    fn clone(&self) -> Self {
+        let out = Self::with_shards(self.n_shards());
+        for (shard, other) in out.shards.iter().zip(&self.shards) {
+            let mut guard = Self::write(shard);
+            *guard = Self::read(other).clone();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accqoc_circuit::{circuit_unitary, Circuit, Gate};
+    use accqoc_grape::Pulse;
+
+    fn key_of(gates: &[Gate], n: usize) -> UnitaryKey {
+        UnitaryKey::canonical(
+            &circuit_unitary(&Circuit::from_gates(n, gates.iter().copied())),
+            n,
+        )
+    }
+
+    fn entry(latency: f64) -> CachedPulse {
+        CachedPulse {
+            pulse: Pulse::zeros(2, latency as usize, 1.0),
+            latency_ns: latency,
+            iterations: 3,
+            n_qubits: 1,
+        }
+    }
+
+    #[test]
+    fn insert_get_contains_len() {
+        let cache = ConcurrentPulseCache::with_shards(4);
+        let k = key_of(&[Gate::H(0)], 1);
+        assert!(cache.is_empty());
+        assert!(cache.get(&k).is_none());
+        assert!(cache.insert(k.clone(), entry(7.0)).is_none());
+        assert!(cache.contains(&k));
+        assert_eq!(cache.get(&k).unwrap().latency_ns, 7.0);
+        assert_eq!(cache.len(), 1);
+        // Replacement returns the old value.
+        let old = cache.insert(k.clone(), entry(5.0)).unwrap();
+        assert_eq!(old.latency_ns, 7.0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_json_stable_across_shard_counts() {
+        let keys: Vec<UnitaryKey> = [
+            key_of(&[Gate::H(0)], 1),
+            key_of(&[Gate::T(0)], 1),
+            key_of(&[Gate::X(0)], 1),
+            key_of(&[Gate::S(0)], 1),
+        ]
+        .to_vec();
+        let build = |shards: usize, order: &[usize]| {
+            let cache = ConcurrentPulseCache::with_shards(shards);
+            for &i in order {
+                cache.insert(keys[i].clone(), entry(i as f64));
+            }
+            cache.snapshot().to_json()
+        };
+        // Same entries, different shard counts and insertion orders ⇒
+        // identical bytes.
+        let a = build(1, &[0, 1, 2, 3]);
+        let b = build(16, &[3, 1, 0, 2]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_cache_round_trips() {
+        let mut plain = PulseCache::new();
+        plain.insert(key_of(&[Gate::H(0)], 1), entry(2.0));
+        plain.insert(key_of(&[Gate::X(0)], 1), entry(3.0));
+        let shared = ConcurrentPulseCache::from_cache(plain.clone());
+        assert_eq!(shared.len(), 2);
+        assert_eq!(shared.snapshot().to_json(), {
+            // to_json sorts, so the plain cache serializes identically.
+            plain.to_json()
+        });
+        let cloned = shared.clone();
+        shared.clear();
+        assert!(shared.is_empty());
+        assert_eq!(cloned.len(), 2, "clone is independent");
+    }
+}

@@ -13,8 +13,12 @@
 //!    minimizes the similarity distance between consecutive groups,
 //!    seeding each GRAPE run with its MST parent's pulse.
 //! 3. **Balanced parallel compilation** ([`partition_tree`],
-//!    [`compile_parallel`]) — split the MST into balanced connected parts
-//!    and compile them on independent workers.
+//!    [`compile_parallel_with`]) — split the MST into balanced connected
+//!    parts and compile them on a real [`std::thread::scope`] worker
+//!    pool, each worker with its own reusable GRAPE workspace, all
+//!    writing into a sharded [`ConcurrentPulseCache`]. The partition
+//!    plan is thread-count-invariant, so the persisted cache artifact is
+//!    byte-identical however many threads run it.
 //!
 //! The top-level entry point is [`Session`]: built once, it owns the
 //! device configuration, the control models, and the pulse cache, and
@@ -41,6 +45,7 @@
 mod baselines;
 mod cache;
 mod compile;
+mod concurrent_cache;
 mod error;
 pub mod json;
 mod model;
@@ -56,16 +61,20 @@ pub use cache::{CachedPulse, PulseCache};
 #[allow(deprecated)]
 pub use compile::AccQocCompiler;
 pub use compile::{warm_start_allowed, AccQocConfig};
+pub use concurrent_cache::{ConcurrentPulseCache, DEFAULT_CACHE_SHARDS};
 #[allow(deprecated)]
 pub use error::AccQocError;
 pub use error::{Error, Result};
 pub use model::{ModelSet, MAX_MODEL_QUBITS};
 pub use mst::{mst_compile_order, scratch_order, CompileOrder, CompileStep, SimilarityGraph};
-pub use parallel::{compile_parallel, ParallelStats};
+pub use parallel::{
+    compile_parallel, compile_parallel_with, ParallelOptions, ParallelStats, WorkerTiming,
+    DEFAULT_PLAN_PARTS,
+};
 pub use partition::{partition_tree, TreePartition, WeightedTree};
 pub use precompile::{
-    collect_category, optimize_group, precompile, precompile_parallel, Category, PrecompileOrder,
-    PrecompileReport,
+    collect_category, compile_programs_parallel, optimize_group, precompile, precompile_parallel,
+    precompile_parallel_with, Category, PrecompileOrder, PrecompileReport,
 };
 pub use session::{
     CompileReport, CoverageStats, DecomposeReport, GroupCompilation, GroupReport, GroupTarget,

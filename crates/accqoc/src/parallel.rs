@@ -1,43 +1,221 @@
-//! Parallel compilation over a balanced MST partition (paper §V-D).
+//! Multi-threaded compilation over a balanced MST partition (paper §V-D).
 //!
 //! The MST dependencies are "soft": a group can always be trained from
 //! scratch, so partitioning the tree into balanced connected parts lets
 //! independent workers compile concurrently. Each worker follows its
-//! part's local sequence; edges cut by the partition degrade to scratch
-//! starts — exactly the trade the paper describes.
+//! part's local MST sequence; edges cut by the partition degrade to
+//! scratch starts — exactly the trade the paper describes.
+//!
+//! # Execution model
+//!
+//! The engine separates the **plan** from the **execution**:
+//!
+//! - The *plan* is the balanced partition of the weighted MST into
+//!   [`ParallelOptions::plan_parts`] connected parts, each with a local
+//!   compile sequence (global MST order restricted to the part, cut
+//!   parents degraded to scratch). The plan depends only on the inputs
+//!   and the part count — never on thread count or timing.
+//! - The *execution* runs the parts on a [`std::thread::scope`] worker
+//!   pool of [`ParallelOptions::threads`] OS threads. Parts are handed
+//!   out longest-processing-time-first from a shared atomic queue; each
+//!   worker owns a reusable GRAPE workspace and writes results into a
+//!   sharded [`ConcurrentPulseCache`], so workers never serialize on a
+//!   global cache lock.
+//!
+//! Because GRAPE is deterministic and the plan is thread-count-invariant,
+//! compiling with 1 thread and with 16 threads produces **byte-identical
+//! pulse-cache artifacts** (see [`ConcurrentPulseCache::snapshot`]); only
+//! the wall clock changes.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use accqoc_circuit::UnitaryKey;
-use accqoc_grape::Pulse;
+use accqoc_grape::{Pulse, Workspace as GrapeWorkspace};
 use accqoc_linalg::Mat;
 
 use crate::cache::{CachedPulse, PulseCache};
 use crate::compile::warm_start_allowed;
+use crate::concurrent_cache::ConcurrentPulseCache;
 use crate::error::{Error, Result};
 use crate::mst::CompileOrder;
 use crate::partition::{partition_tree, TreePartition, WeightedTree};
 use crate::session::Session;
 
+/// Default plan width: how many connected parts the MST is split into
+/// when the caller does not pin one. Chosen above common core counts so
+/// the pool stays busy, while keeping the number of cut MST edges (and
+/// thus extra scratch starts) small.
+pub const DEFAULT_PLAN_PARTS: usize = 8;
+
+/// Configuration of a parallel compilation run.
+#[derive(Debug, Clone)]
+pub struct ParallelOptions {
+    /// OS threads in the worker pool (≥ 1). More threads than parts is
+    /// allowed; the surplus idles.
+    pub threads: usize,
+    /// Parts in the MST partition plan; `None` uses
+    /// [`DEFAULT_PLAN_PARTS`]. The plan — and therefore the compiled
+    /// pulses and the persisted cache artifact — depends on this value
+    /// but **not** on [`ParallelOptions::threads`]: change `plan_parts`
+    /// and the cut-edge set changes; change `threads` and only the wall
+    /// clock changes.
+    pub plan_parts: Option<usize>,
+}
+
+impl ParallelOptions {
+    /// A plan-stable configuration for `threads` workers: the default
+    /// plan width with the given pool size.
+    pub fn threads(threads: usize) -> Self {
+        Self {
+            threads,
+            plan_parts: None,
+        }
+    }
+
+    /// Pins the plan width (the paper's §V-D modeling uses one part per
+    /// worker: `ParallelOptions::threads(k).with_plan_parts(k)`).
+    pub fn with_plan_parts(mut self, parts: usize) -> Self {
+        self.plan_parts = Some(parts);
+        self
+    }
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            plan_parts: None,
+        }
+    }
+}
+
+/// Wall-clock accounting for one pool worker.
+#[derive(Debug, Clone)]
+pub struct WorkerTiming {
+    /// Pool worker index (`0..threads`).
+    pub worker: usize,
+    /// Parts this worker executed.
+    pub parts: usize,
+    /// Groups this worker compiled.
+    pub groups: usize,
+    /// GRAPE iterations this worker spent.
+    pub iterations: usize,
+    /// Busy wall-clock time of this worker (from first part claimed to
+    /// last part finished).
+    pub wall: Duration,
+}
+
 /// Statistics from a parallel compilation run.
 #[derive(Debug, Clone)]
 pub struct ParallelStats {
-    /// GRAPE iterations per worker/part.
+    /// GRAPE iterations per plan part.
     pub iterations_per_part: Vec<usize>,
-    /// Sum of iterations across parts.
+    /// Sum of iterations across parts. Cut MST edges degrade warm starts
+    /// to scratch starts, so this can exceed what a fully sequential MST
+    /// compile would have spent — that surplus is the price of
+    /// parallelism the paper accepts in §V-D.
     pub total_iterations: usize,
-    /// Iteration makespan: the busiest worker's load — the parallel
-    /// compile time in the paper's iteration metric.
+    /// Iteration-metric makespan: the heaviest *part's* iteration load,
+    /// i.e. the parallel compile time under the paper's iteration-count
+    /// model with one worker per part. Always `<=` `total_iterations`
+    /// (it is the max of the per-part terms whose sum is the total);
+    /// real wall-clock timings are in
+    /// [`ParallelStats::worker_timings`].
     pub makespan_iterations: usize,
-    /// Number of MST edges cut by the partition (extra scratch starts).
+    /// Number of MST edges cut by the partition. Each cut edge turns one
+    /// warm start into a scratch start.
     pub cut_edges: usize,
     /// The partition itself.
     pub partition: TreePartition,
+    /// Per-worker wall-clock accounting (one entry per pool thread that
+    /// executed at least one part).
+    pub worker_timings: Vec<WorkerTiming>,
+    /// Wall-clock time of the whole parallel section (plan build
+    /// excluded, thread spawn/join included).
+    pub wall: Duration,
+}
+
+impl ParallelStats {
+    /// Wall-clock speedup proxy: the busiest worker's share of the total
+    /// busy time (`Σ worker wall / max worker wall`). 1.0 when a single
+    /// worker did everything.
+    pub fn worker_parallelism(&self) -> f64 {
+        let max = self
+            .worker_timings
+            .iter()
+            .map(|t| t.wall.as_secs_f64())
+            .fold(0.0, f64::max);
+        if max == 0.0 {
+            return 1.0;
+        }
+        let sum: f64 = self
+            .worker_timings
+            .iter()
+            .map(|t| t.wall.as_secs_f64())
+            .sum();
+        sum / max
+    }
+
+    fn empty() -> Self {
+        Self {
+            iterations_per_part: vec![],
+            total_iterations: 0,
+            makespan_iterations: 0,
+            cut_edges: 0,
+            partition: TreePartition {
+                part_of: vec![],
+                n_parts: 0,
+            },
+            worker_timings: vec![],
+            wall: Duration::ZERO,
+        }
+    }
+}
+
+/// One part's compile plan: `(vertex, warm parent)` in local MST order.
+type PartPlan = Vec<(usize, Option<usize>)>;
+
+/// Builds the per-part local sequences (global selection order restricted
+/// to each part, cut parents degraded to scratch) and counts cut edges.
+fn build_plans(order: &CompileOrder, parts: &[Vec<usize>]) -> (Vec<PartPlan>, usize) {
+    let mut cut_edges = 0usize;
+    let mut plans: Vec<PartPlan> = Vec::with_capacity(parts.len());
+    for part in parts {
+        let mut plan = Vec::with_capacity(part.len());
+        for step in &order.steps {
+            if !part.contains(&step.vertex) {
+                continue;
+            }
+            let parent = match step.parent {
+                Some(p) if part.contains(&p) => Some(p),
+                Some(_) => {
+                    cut_edges += 1;
+                    None
+                }
+                None => None,
+            };
+            plan.push((step.vertex, parent));
+        }
+        plans.push(plan);
+    }
+    (plans, cut_edges)
 }
 
 /// Compiles the groups of a compile order with `n_workers` parallel
-/// workers over a balanced partition of the MST. Results land in a fresh
+/// workers over a balanced partition of the MST, one plan part per
+/// worker — the paper's §V-D setup. Results land in a fresh
 /// [`PulseCache`]; pass `keys` aligned with `unitaries`.
+///
+/// Because the plan width here *equals* the worker count, the compiled
+/// pulses depend on `n_workers` (more workers ⇒ more cut edges). Use
+/// [`compile_parallel_with`] with a fixed
+/// [`ParallelOptions::plan_parts`] when the artifact must be identical
+/// across thread counts — that is what [`Session::precompile_parallel`]
+/// does.
 ///
 /// # Errors
 ///
@@ -56,6 +234,37 @@ pub fn compile_parallel(
             message: "need at least one worker".into(),
         });
     }
+    compile_parallel_with(
+        session,
+        order,
+        unitaries,
+        keys,
+        &ParallelOptions::threads(n_workers).with_plan_parts(n_workers),
+    )
+}
+
+/// Compiles the groups of a compile order on a worker pool over a
+/// balanced MST partition (see the module-level docs for the
+/// plan/execution split). Results land in a fresh [`PulseCache`]; pass
+/// `keys` aligned with `unitaries`.
+///
+/// # Errors
+///
+/// [`Error::InvalidConfig`] when `options.threads == 0` or input lengths
+/// disagree; otherwise propagates the first compilation failure (other
+/// workers' completed work is discarded).
+pub fn compile_parallel_with(
+    session: &Session,
+    order: &CompileOrder,
+    unitaries: &[(Mat, usize)],
+    keys: &[UnitaryKey],
+    options: &ParallelOptions,
+) -> Result<(PulseCache, ParallelStats)> {
+    if options.threads == 0 {
+        return Err(Error::InvalidConfig {
+            message: "need at least one worker thread".into(),
+        });
+    }
     if unitaries.len() != keys.len() {
         return Err(Error::InvalidConfig {
             message: format!("{} unitaries but {} keys", unitaries.len(), keys.len()),
@@ -63,76 +272,84 @@ pub fn compile_parallel(
     }
     let n = unitaries.len();
     if n == 0 {
-        return Ok((
-            PulseCache::new(),
-            ParallelStats {
-                iterations_per_part: vec![],
-                total_iterations: 0,
-                makespan_iterations: 0,
-                cut_edges: 0,
-                partition: TreePartition {
-                    part_of: vec![],
-                    n_parts: 0,
-                },
-            },
-        ));
+        return Ok((PulseCache::new(), ParallelStats::empty()));
     }
 
     let tree = WeightedTree::from_order(order, n);
-    let partition = partition_tree(&tree, n_workers);
+    let plan_parts = options.plan_parts.unwrap_or(DEFAULT_PLAN_PARTS).max(1);
+    let partition = partition_tree(&tree, plan_parts);
     let parts = partition.parts();
+    let (plans, cut_edges) = build_plans(order, &parts);
 
-    // Per-part local sequences in global order, with parents degraded to
-    // scratch when the MST edge is cut.
-    let mut cut_edges = 0usize;
-    let mut plans: Vec<Vec<(usize, Option<usize>)>> = Vec::with_capacity(parts.len());
-    for part in &parts {
-        let mut plan = Vec::with_capacity(part.len());
-        // Follow global selection order restricted to the part.
-        for step in &order.steps {
-            if !part.contains(&step.vertex) {
-                continue;
-            }
-            let parent = match step.parent {
-                Some(p) if part.contains(&p) => Some(p),
-                Some(_) => {
-                    cut_edges += 1;
-                    None
-                }
-                None => None,
-            };
-            plan.push((step.vertex, parent));
-        }
-        plans.push(plan);
+    // Longest-processing-time-first queue order (by estimated part
+    // weight, deterministic index tie-break) so the heaviest part starts
+    // first and the pool drains evenly.
+    let loads = partition.loads(&tree);
+    let mut queue: Vec<usize> = (0..plans.len()).collect();
+    queue.sort_by(|&a, &b| loads[b].total_cmp(&loads[a]).then(a.cmp(&b)));
+
+    struct PartOutcome {
+        iterations: usize,
+        groups: usize,
     }
+    type WorkerResult = Result<(Vec<(usize, PartOutcome)>, Duration)>;
 
-    // Run the parts on scoped threads.
-    type PartResult = Result<(Vec<(usize, Pulse, f64, usize)>, usize)>;
-    let results: Vec<PartResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = plans
-            .iter()
-            .map(|plan| {
-                scope.spawn(move || -> PartResult {
-                    let mut local: Vec<(usize, Pulse, f64, usize)> = Vec::new();
-                    let mut pulses: HashMap<usize, Pulse> = HashMap::new();
-                    let mut iterations = 0usize;
-                    for &(vertex, parent) in plan {
-                        let (target, n_qubits) = &unitaries[vertex];
-                        let warm = parent
-                            .filter(|&p| {
-                                warm_start_allowed(
-                                    &unitaries[p].0,
-                                    target,
-                                    session.config().warm_threshold,
-                                )
-                            })
-                            .and_then(|p| pulses.get(&p));
-                        let r = session.compile_unitary(target, *n_qubits, warm)?;
-                        iterations += r.total_iterations;
-                        pulses.insert(vertex, r.outcome.pulse.clone());
-                        local.push((vertex, r.outcome.pulse, r.latency_ns, r.total_iterations));
+    let next = AtomicUsize::new(0);
+    let shared = ConcurrentPulseCache::new();
+    let pool_size = options.threads.min(plans.len());
+    let t0 = Instant::now();
+    let worker_results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..pool_size)
+            .map(|_| {
+                let next = &next;
+                let queue = &queue;
+                let plans = &plans;
+                let shared = &shared;
+                scope.spawn(move || -> WorkerResult {
+                    let mut ws = GrapeWorkspace::new();
+                    let mut done: Vec<(usize, PartOutcome)> = Vec::new();
+                    let started = Instant::now();
+                    loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&part_idx) = queue.get(slot) else {
+                            break;
+                        };
+                        let mut pulses: HashMap<usize, Pulse> = HashMap::new();
+                        let mut iterations = 0usize;
+                        for &(vertex, parent) in &plans[part_idx] {
+                            let (target, n_qubits) = &unitaries[vertex];
+                            let warm = parent
+                                .filter(|&p| {
+                                    warm_start_allowed(
+                                        &unitaries[p].0,
+                                        target,
+                                        session.config().warm_threshold,
+                                    )
+                                })
+                                .and_then(|p| pulses.get(&p));
+                            let r =
+                                session.compile_unitary_with(target, *n_qubits, warm, &mut ws)?;
+                            iterations += r.total_iterations;
+                            shared.insert(
+                                keys[vertex].clone(),
+                                CachedPulse {
+                                    pulse: r.outcome.pulse.clone(),
+                                    latency_ns: r.latency_ns,
+                                    iterations: r.total_iterations,
+                                    n_qubits: *n_qubits,
+                                },
+                            );
+                            pulses.insert(vertex, r.outcome.pulse);
+                        }
+                        done.push((
+                            part_idx,
+                            PartOutcome {
+                                iterations,
+                                groups: plans[part_idx].len(),
+                            },
+                        ));
                     }
-                    Ok((local, iterations))
+                    Ok((done, started.elapsed()))
                 })
             })
             .collect();
@@ -141,35 +358,42 @@ pub fn compile_parallel(
             .map(|h| h.join().expect("worker panicked"))
             .collect()
     });
+    let wall = t0.elapsed();
 
-    let mut cache = PulseCache::new();
-    let mut iterations_per_part = Vec::with_capacity(results.len());
-    for result in results {
-        let (local, iters) = result?;
-        iterations_per_part.push(iters);
-        for (vertex, pulse, latency_ns, iterations) in local {
-            cache.insert(
-                keys[vertex].clone(),
-                CachedPulse {
-                    pulse,
-                    latency_ns,
-                    iterations,
-                    n_qubits: unitaries[vertex].1,
-                },
-            );
+    let mut iterations_per_part = vec![0usize; plans.len()];
+    let mut worker_timings = Vec::new();
+    for (worker, result) in worker_results.into_iter().enumerate() {
+        let (done, busy) = result?;
+        let mut groups = 0usize;
+        let mut iterations = 0usize;
+        for (part_idx, outcome) in &done {
+            iterations_per_part[*part_idx] = outcome.iterations;
+            groups += outcome.groups;
+            iterations += outcome.iterations;
+        }
+        if !done.is_empty() {
+            worker_timings.push(WorkerTiming {
+                worker,
+                parts: done.len(),
+                groups,
+                iterations,
+                wall: busy,
+            });
         }
     }
     let total_iterations = iterations_per_part.iter().sum();
     let makespan_iterations = iterations_per_part.iter().copied().max().unwrap_or(0);
 
     Ok((
-        cache,
+        shared.snapshot(),
         ParallelStats {
             iterations_per_part,
             total_iterations,
             makespan_iterations,
             cut_edges,
             partition,
+            worker_timings,
+            wall,
         },
     ))
 }
@@ -219,6 +443,10 @@ mod tests {
         assert_eq!(stats.iterations_per_part.len(), stats.partition.n_parts);
         assert!(stats.total_iterations > 0);
         assert!(stats.makespan_iterations <= stats.total_iterations);
+        assert!(stats.wall > Duration::ZERO);
+        assert!(!stats.worker_timings.is_empty());
+        let timed_groups: usize = stats.worker_timings.iter().map(|t| t.groups).sum();
+        assert_eq!(timed_groups, 5);
         for key in &keys {
             assert!(cache.contains(key));
         }
@@ -231,6 +459,7 @@ mod tests {
         assert_eq!(one.partition.n_parts, 1);
         assert_eq!(one.cut_edges, 0);
         assert_eq!(one.makespan_iterations, one.total_iterations);
+        assert_eq!(one.worker_timings.len(), 1);
     }
 
     #[test]
@@ -247,12 +476,47 @@ mod tests {
     }
 
     #[test]
+    fn fixed_plan_is_thread_count_invariant() {
+        let (session, unitaries, keys, order) = setup();
+        let run = |threads: usize| {
+            let opts = ParallelOptions::threads(threads).with_plan_parts(3);
+            let (cache, stats) =
+                compile_parallel_with(&session, &order, &unitaries, &keys, &opts).unwrap();
+            (cache.to_json(), stats)
+        };
+        let (json1, stats1) = run(1);
+        let (json4, stats4) = run(4);
+        assert_eq!(json1, json4, "artifact must not depend on thread count");
+        assert_eq!(stats1.cut_edges, stats4.cut_edges);
+        assert_eq!(stats1.iterations_per_part, stats4.iterations_per_part);
+    }
+
+    #[test]
+    fn total_iterations_bound_makespan() {
+        // The documented ParallelStats invariant: the makespan is the max
+        // of the per-part loads whose sum is the total, with cut MST
+        // edges degrading to scratch starts (never negative work).
+        let (session, unitaries, keys, order) = setup();
+        for workers in [1, 2, 4] {
+            let (_, stats) =
+                compile_parallel(&session, &order, &unitaries, &keys, workers).unwrap();
+            assert!(
+                stats.total_iterations >= stats.makespan_iterations,
+                "workers {workers}: total {} < makespan {}",
+                stats.total_iterations,
+                stats.makespan_iterations
+            );
+        }
+    }
+
+    #[test]
     fn empty_input_is_fine() {
         let (session, _, _, _) = setup();
         let order = CompileOrder { steps: vec![] };
         let (cache, stats) = compile_parallel(&session, &order, &[], &[], 4).unwrap();
         assert!(cache.is_empty());
         assert_eq!(stats.total_iterations, 0);
+        assert_eq!(stats.wall, Duration::ZERO);
     }
 
     #[test]
@@ -260,5 +524,11 @@ mod tests {
         let (session, unitaries, keys, order) = setup();
         let e = compile_parallel(&session, &order, &unitaries, &keys, 0).unwrap_err();
         assert!(matches!(e, Error::InvalidConfig { .. }));
+        let opts = ParallelOptions {
+            threads: 0,
+            plan_parts: None,
+        };
+        let e2 = compile_parallel_with(&session, &order, &unitaries, &keys, &opts).unwrap_err();
+        assert!(matches!(e2, Error::InvalidConfig { .. }));
     }
 }

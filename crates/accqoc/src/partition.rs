@@ -94,8 +94,14 @@ impl TreePartition {
         loads
     }
 
-    /// Makespan under perfect parallelism across parts: the heaviest part
-    /// bounds the parallel compile time.
+    /// Makespan under perfect parallelism across parts: the heaviest
+    /// part's total node weight bounds the parallel compile time. This is
+    /// the *estimated* (similarity-weight) makespan of the plan; the
+    /// realized iteration makespan lands in
+    /// [`crate::ParallelStats::makespan_iterations`], and is never larger
+    /// than [`crate::ParallelStats::total_iterations`] (cut MST edges
+    /// degrade warm starts to scratch starts — extra work, spread over
+    /// more workers).
     pub fn makespan(&self, tree: &WeightedTree) -> f64 {
         self.loads(tree).into_iter().fold(0.0, f64::max)
     }

@@ -11,9 +11,11 @@
 //! [`Session::optimize_group`]; call them through the session.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use accqoc_circuit::{Circuit, UnitaryKey};
-use accqoc_grape::{find_minimal_latency, LatencySearch};
+use accqoc_grape::{find_minimal_latency, LatencySearch, Workspace as GrapeWorkspace};
 use accqoc_hw::ControlModel;
 use accqoc_linalg::Mat;
 
@@ -21,7 +23,8 @@ use crate::cache::CachedPulse;
 use crate::compile::warm_start_allowed;
 use crate::error::{Error, Result};
 use crate::mst::{mst_compile_order, scratch_order, SimilarityGraph};
-use crate::session::Session;
+use crate::parallel::{ParallelOptions, ParallelStats};
+use crate::session::{GroupReport, LookupReport, ProgramCompilation, Session};
 
 /// Report of a pre-compilation run.
 #[derive(Debug, Clone)]
@@ -95,6 +98,7 @@ pub fn precompile(
         };
         let mut pulses: HashMap<usize, accqoc_grape::Pulse> = HashMap::new();
         let mut fresh = crate::cache::PulseCache::new();
+        let mut ws = GrapeWorkspace::new();
         for step in &order.steps {
             let unique_idx = missing[step.vertex];
             let (target, n_qubits) = &canonical[unique_idx];
@@ -108,7 +112,7 @@ pub fn precompile(
                     )
                 })
                 .and_then(|p| pulses.get(&p));
-            let result = session.compile_unitary(target, *n_qubits, warm)?;
+            let result = session.compile_unitary_with(target, *n_qubits, warm, &mut ws)?;
             total_iterations += result.total_iterations;
             pulses.insert(step.vertex, result.outcome.pulse.clone());
             fresh.insert(
@@ -138,10 +142,25 @@ pub fn precompile(
     })
 }
 
-/// Parallel variant of [`precompile`]: compiles the missing groups on
-/// `n_workers` workers over a balanced MST partition (§V-D). Merges the
-/// results into the session cache and returns the report plus the
-/// parallel stats.
+/// Parallel variant of [`precompile`]: compiles the missing groups on a
+/// pool of `n_workers` threads over a balanced MST partition (§V-D).
+/// Merges the results into the session cache and returns the report plus
+/// the parallel stats (including real per-worker wall-clock timings).
+///
+/// The partition *plan* uses the fixed default width
+/// ([`crate::DEFAULT_PLAN_PARTS`]) rather than `n_workers`, so the
+/// compiled pulses — and the persisted cache artifact — are byte-identical
+/// regardless of the thread count; see [`crate::compile_parallel_with`].
+/// Two consequences worth knowing:
+///
+/// - relative to the fully sequential [`precompile`], the plan's cut MST
+///   edges degrade a handful of warm starts to scratch starts, so the
+///   artifact differs from the sequential one by exactly those groups
+///   (pin `plan_parts = 1` via [`precompile_parallel_with`] to recover
+///   the sequential artifact bit-for-bit);
+/// - pools larger than the plan width idle — raise `plan_parts` via
+///   [`precompile_parallel_with`] on machines with more than
+///   [`crate::DEFAULT_PLAN_PARTS`] cores.
 ///
 /// # Errors
 ///
@@ -150,7 +169,23 @@ pub fn precompile_parallel(
     session: &Session,
     programs: &[Circuit],
     n_workers: usize,
-) -> Result<(PrecompileReport, crate::parallel::ParallelStats)> {
+) -> Result<(PrecompileReport, ParallelStats)> {
+    precompile_parallel_with(session, programs, &ParallelOptions::threads(n_workers))
+}
+
+/// [`precompile_parallel`] with full control over the pool size and the
+/// partition plan width ([`ParallelOptions`]). `plan_parts = Some(1)`
+/// reproduces the sequential [`precompile`] artifact bit-for-bit (one
+/// part ⇒ no cut edges ⇒ the exact MST warm-start chain).
+///
+/// # Errors
+///
+/// Propagates group-compilation failures.
+pub fn precompile_parallel_with(
+    session: &Session,
+    programs: &[Circuit],
+    options: &ParallelOptions,
+) -> Result<(PrecompileReport, ParallelStats)> {
     let (canonical, keys, frequencies) = collect_category(session, programs);
     let missing: Vec<usize> = (0..keys.len())
         .filter(|&i| !session.cache_contains(&keys[i]))
@@ -164,12 +199,12 @@ pub fn precompile_parallel(
     let missing_unitaries: Vec<(Mat, usize)> =
         missing.iter().map(|&i| canonical[i].clone()).collect();
     let missing_keys: Vec<UnitaryKey> = missing.iter().map(|&i| keys[i].clone()).collect();
-    let (fresh, stats) = crate::parallel::compile_parallel(
+    let (fresh, stats) = crate::parallel::compile_parallel_with(
         session,
         &order,
         &missing_unitaries,
         &missing_keys,
-        n_workers,
+        options,
     )?;
     session.import_cache(fresh);
 
@@ -187,6 +222,126 @@ pub fn precompile_parallel(
         },
         stats,
     ))
+}
+
+/// Batch-compiles many programs on a worker pool: the front ends run
+/// concurrently against the shared session, the union of uncovered
+/// groups is compiled once on the parallel MST engine, and each program
+/// is then folded into a [`ProgramCompilation`] from the warm cache.
+///
+/// Report semantics differ from looping [`Session::compile_program`] in
+/// two documented ways: coverage is measured against the session cache
+/// *before* the batch (every program sees the same baseline — the
+/// paper's §V-A suite coverage), and a group shared by several programs
+/// bills its GRAPE iterations to the program that introduced it first.
+///
+/// # Errors
+///
+/// [`Error::InvalidConfig`] when `threads == 0`; otherwise propagates
+/// the first group-compilation failure.
+pub fn compile_programs_parallel(
+    session: &Session,
+    programs: &[Circuit],
+    threads: usize,
+) -> Result<(Vec<ProgramCompilation>, ParallelStats)> {
+    if threads == 0 {
+        return Err(Error::InvalidConfig {
+            message: "need at least one worker thread".into(),
+        });
+    }
+
+    // Front ends + cache lookups, fanned out over the pool. Lookups all
+    // read the pre-batch cache (nothing writes until the compile phase),
+    // so every program reports coverage against the same baseline.
+    let n = programs.len();
+    let slots: Vec<Mutex<Option<(GroupReport, LookupReport)>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n.max(1)) {
+            let next = &next;
+            let slots = &slots;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let grouped = session.front_end(&programs[i]);
+                let lookup = session.lookup(&grouped);
+                *slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some((grouped, lookup));
+            });
+        }
+    });
+    let reports: Vec<(GroupReport, LookupReport)> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("front-end worker filled every slot")
+        })
+        .collect();
+
+    // Union of uncovered unique groups, first-seen order; remember which
+    // program introduced each for iteration attribution.
+    let mut union_unitaries: Vec<(Mat, usize)> = Vec::new();
+    let mut union_keys: Vec<UnitaryKey> = Vec::new();
+    let mut introduced_by: Vec<usize> = Vec::new();
+    let mut seen: HashMap<UnitaryKey, usize> = HashMap::new();
+    for (program_idx, (_, lookup)) in reports.iter().enumerate() {
+        for target in &lookup.uncovered {
+            if seen.contains_key(&target.key) {
+                continue;
+            }
+            seen.insert(target.key.clone(), union_keys.len());
+            union_unitaries.push((target.unitary.clone(), target.n_qubits));
+            union_keys.push(target.key.clone());
+            introduced_by.push(program_idx);
+        }
+    }
+
+    // One MST over the union, compiled once on the pool.
+    let graph = SimilarityGraph::build(
+        union_unitaries.iter().map(|(u, _)| u.clone()).collect(),
+        session.config().similarity,
+    );
+    let order = mst_compile_order(&graph);
+    let (fresh, stats) = crate::parallel::compile_parallel_with(
+        session,
+        &order,
+        &union_unitaries,
+        &union_keys,
+        &ParallelOptions::threads(threads),
+    )?;
+    session.import_cache(fresh);
+
+    // Iterations billed to the introducing program.
+    let mut billed = vec![0usize; n];
+    for (key, &program_idx) in union_keys.iter().zip(&introduced_by) {
+        if let Some(entry) = session.cached(key) {
+            billed[program_idx] += entry.iterations;
+        }
+    }
+
+    // Fold each program's reports into the final compilation (the cache
+    // now covers everything, so the latency stage cannot fail on these
+    // groups).
+    let mut out = Vec::with_capacity(n);
+    for (program_idx, (grouped, lookup)) in reports.into_iter().enumerate() {
+        let latency = session.latency(&grouped)?;
+        out.push(ProgramCompilation {
+            overall_latency_ns: latency.overall_latency_ns,
+            gate_based_latency_ns: latency.gate_based_latency_ns,
+            coverage: lookup.coverage,
+            dynamic_iterations: billed[program_idx],
+            n_uncovered_unique: lookup.uncovered.len(),
+            grouped: grouped.grouped,
+            crosstalk: grouped.crosstalk,
+            swap_count: grouped.swap_count,
+        });
+    }
+    Ok((out, stats))
 }
 
 /// A collected group category: canonical `(unitary, n_qubits)` pairs,

@@ -15,10 +15,12 @@
 
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex};
 
 use accqoc_circuit::{Circuit, CircuitDag, Gate, GateKind, UnitaryKey};
-use accqoc_grape::{find_minimal_latency, InitStrategy, LatencyResult, Pulse};
+use accqoc_grape::{
+    find_minimal_latency_with, InitStrategy, LatencyResult, Pulse, Workspace as GrapeWorkspace,
+};
 use accqoc_group::{dedup_groups, divide_circuit, GroupedCircuit, GroupingPolicy};
 use accqoc_hw::{GateDurations, Topology};
 use accqoc_linalg::Mat;
@@ -26,9 +28,11 @@ use accqoc_map::{crosstalk_metric, map_circuit, MappingOptions};
 
 use crate::cache::{CachedPulse, PulseCache};
 use crate::compile::{warm_start_allowed, AccQocConfig};
+use crate::concurrent_cache::ConcurrentPulseCache;
 use crate::error::{Error, Result};
 use crate::model::ModelSet;
 use crate::mst::{mst_compile_order, SimilarityGraph};
+use crate::parallel::ParallelStats;
 use crate::precompile::{self, PrecompileOrder, PrecompileReport};
 use crate::similarity::SimilarityFn;
 
@@ -335,7 +339,7 @@ impl SessionBuilder {
             config,
             models,
             durations: Arc::new(Mutex::new(None)),
-            cache: Mutex::new(self.cache.unwrap_or_default()),
+            cache: ConcurrentPulseCache::from_cache(self.cache.unwrap_or_default()),
         })
     }
 }
@@ -346,17 +350,37 @@ impl SessionBuilder {
 
 /// The AccQOC compiler session: owns configuration, device models, the
 /// single-gate duration table, and the pulse cache.
+///
+/// The cache is a sharded [`ConcurrentPulseCache`], so every method takes
+/// `&self` and the session can be shared across threads (`Session` is
+/// `Sync`): concurrent lookups take only shard read locks and never
+/// serialize each other.
 #[derive(Debug)]
 pub struct Session {
     config: AccQocConfig,
     models: ModelSet,
     /// Shared across forks: the table only depends on config + models.
     durations: Arc<Mutex<Option<GateDurations>>>,
-    cache: Mutex<PulseCache>,
+    cache: ConcurrentPulseCache,
 }
 
 impl Session {
     /// Starts building a session.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use accqoc::Session;
+    /// use accqoc_hw::Topology;
+    ///
+    /// let session = Session::builder()
+    ///     .topology(Topology::linear(3)) // required; everything else defaults
+    ///     .warm_threshold(0.15)
+    ///     .build()?;
+    /// assert_eq!(session.cache_len(), 0);
+    /// assert_eq!(session.config().warm_threshold, 0.15);
+    /// # Ok::<(), accqoc::Error>(())
+    /// ```
     pub fn builder() -> SessionBuilder {
         SessionBuilder::default()
     }
@@ -374,7 +398,7 @@ impl Session {
             config,
             models,
             durations: Arc::new(Mutex::new(None)),
-            cache: Mutex::new(PulseCache::new()),
+            cache: ConcurrentPulseCache::new(),
         })
     }
 
@@ -386,7 +410,7 @@ impl Session {
             config: self.config.clone(),
             models: self.models.clone(),
             durations: Arc::clone(&self.durations),
-            cache: Mutex::new(self.cache_snapshot()),
+            cache: self.cache.clone(),
         }
     }
 
@@ -400,51 +424,57 @@ impl Session {
         &self.models
     }
 
-    fn cache_lock(&self) -> MutexGuard<'_, PulseCache> {
-        self.cache
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
-
     // -- cache management ---------------------------------------------------
+
+    /// The sharded concurrent cache itself (for advanced callers that
+    /// want lock-granular access, e.g. contention tests or custom
+    /// persistence).
+    pub fn shared_cache(&self) -> &ConcurrentPulseCache {
+        &self.cache
+    }
 
     /// Number of cached unique groups.
     pub fn cache_len(&self) -> usize {
-        self.cache_lock().len()
+        self.cache.len()
     }
 
-    /// A copy of the current pulse cache.
+    /// A copy of the current pulse cache, merged from the shards in
+    /// sorted key order (deterministic regardless of how many threads
+    /// filled it).
     pub fn cache_snapshot(&self) -> PulseCache {
-        self.cache_lock().clone()
+        self.cache.snapshot()
     }
 
-    /// `true` when the cache covers `key` (no cache copy).
+    /// `true` when the cache covers `key` (one shard read lock).
     pub fn cache_contains(&self, key: &UnitaryKey) -> bool {
-        self.cache_lock().contains(key)
+        self.cache.contains(key)
     }
 
-    /// A copy of one cache entry, if covered (no whole-cache copy).
+    /// A copy of one cache entry, if covered (one shard read lock).
     pub fn cached(&self, key: &UnitaryKey) -> Option<CachedPulse> {
-        self.cache_lock().lookup(key).cloned()
+        self.cache.get(key)
     }
 
     /// Merges entries into the session cache (incoming entries win).
     pub fn import_cache(&self, other: PulseCache) {
-        self.cache_lock().merge(other);
+        self.cache.merge(other);
     }
 
-    /// Replaces the session cache.
+    /// Replaces the session cache in one atomic step — concurrent
+    /// readers see either the old contents or the new, never the
+    /// in-between (see [`ConcurrentPulseCache::replace`]).
     pub fn set_cache(&self, cache: PulseCache) {
-        *self.cache_lock() = cache;
+        self.cache.replace(cache);
     }
 
-    /// Persists the cache as JSON.
+    /// Persists the cache as JSON (entries sorted by key — the artifact
+    /// is byte-deterministic for a given cache state).
     ///
     /// # Errors
     ///
     /// [`Error::Io`] on filesystem failures.
     pub fn save_cache(&self, path: impl AsRef<Path>) -> Result<()> {
-        self.cache_lock().save(path)
+        self.cache.snapshot().save(path)
     }
 
     /// Merges a JSON cache file into the session cache; returns how many
@@ -524,17 +554,22 @@ impl Session {
     /// Stage 4: checks every group instance against the pulse cache
     /// (paper Figure 7 measures exactly this coverage).
     pub fn lookup(&self, grouped: &GroupReport) -> LookupReport {
-        let cache = self.cache_lock();
+        let covered_unique: Vec<bool> = grouped
+            .targets
+            .iter()
+            .map(|t| self.cache.contains(&t.key))
+            .collect();
         let uncovered: Vec<GroupTarget> = grouped
             .targets
             .iter()
-            .filter(|t| !cache.contains(&t.key))
-            .cloned()
+            .zip(&covered_unique)
+            .filter(|(_, &c)| !c)
+            .map(|(t, _)| t.clone())
             .collect();
         let covered = grouped
             .assignment
             .iter()
-            .filter(|&&u| cache.contains(&grouped.targets[u].key))
+            .filter(|&&u| covered_unique[u])
             .count();
         LookupReport {
             coverage: CoverageStats {
@@ -571,6 +606,7 @@ impl Session {
         let mut pulses: HashMap<usize, Pulse> = HashMap::new();
         let mut compiled = Vec::with_capacity(order.steps.len());
         let mut dynamic_iterations = 0usize;
+        let mut ws = GrapeWorkspace::new();
         for step in &order.steps {
             let target = &lookup.uncovered[step.vertex];
             let warm = step
@@ -583,7 +619,8 @@ impl Session {
                     )
                 })
                 .and_then(|p| pulses.get(&p));
-            let result = self.compile_unitary(&target.unitary, target.n_qubits, warm)?;
+            let result =
+                self.compile_unitary_with(&target.unitary, target.n_qubits, warm, &mut ws)?;
             dynamic_iterations += result.total_iterations;
             pulses.insert(step.vertex, result.outcome.pulse.clone());
             compiled.push(GroupCompilation {
@@ -592,7 +629,7 @@ impl Session {
                 iterations: result.total_iterations,
                 covered: false,
             });
-            self.cache_lock().insert(
+            self.cache.insert(
                 target.key.clone(),
                 CachedPulse {
                     pulse: result.outcome.pulse,
@@ -618,21 +655,18 @@ impl Session {
     /// [`Error::UncoveredGroup`] when a group has no cached pulse (run
     /// [`Session::compile`] first).
     pub fn latency(&self, grouped: &GroupReport) -> Result<LatencyReport> {
-        let per_unique: Vec<f64> = {
-            let cache = self.cache_lock();
-            grouped
-                .targets
-                .iter()
-                .map(|t| {
-                    cache
-                        .lookup(&t.key)
-                        .map(|e| e.latency_ns)
-                        .ok_or(Error::UncoveredGroup {
-                            n_qubits: t.n_qubits,
-                        })
-                })
-                .collect::<Result<_>>()?
-        };
+        let per_unique: Vec<f64> = grouped
+            .targets
+            .iter()
+            .map(|t| {
+                self.cache
+                    .get(&t.key)
+                    .map(|e| e.latency_ns)
+                    .ok_or(Error::UncoveredGroup {
+                        n_qubits: t.n_qubits,
+                    })
+            })
+            .collect::<Result<_>>()?;
         let per_instance_ns: Vec<f64> = grouped.assignment.iter().map(|&u| per_unique[u]).collect();
         let overall_latency_ns = grouped.grouped.overall_latency(|i| per_instance_ns[i]);
         let gate_based_latency_ns = self.gate_based_latency(&grouped.processed);
@@ -651,6 +685,28 @@ impl Session {
     /// # Errors
     ///
     /// Propagates group-compilation failures.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use accqoc::Session;
+    /// use accqoc_circuit::{Circuit, Gate};
+    /// use accqoc_hw::Topology;
+    ///
+    /// let mut grape = accqoc_grape::GrapeOptions::default();
+    /// grape.stop.max_iters = 200;
+    /// let session = Session::builder()
+    ///     .topology(Topology::linear(2))
+    ///     .grape(grape)
+    ///     .build()?;
+    /// let program = Circuit::from_gates(2, [Gate::H(0)]);
+    /// let out = session.compile_program(&program)?;
+    /// assert!(out.overall_latency_ns > 0.0);
+    /// // Recompiling is fully covered by the session cache.
+    /// let again = session.compile_program(&program)?;
+    /// assert_eq!(again.dynamic_iterations, 0);
+    /// # Ok::<(), accqoc::Error>(())
+    /// ```
     pub fn compile_program(&self, circuit: &Circuit) -> Result<ProgramCompilation> {
         let decomposed = self.decompose(circuit);
         let mapped = self.map(&decomposed);
@@ -699,6 +755,23 @@ impl Session {
         n_qubits: usize,
         warm: Option<&Pulse>,
     ) -> Result<LatencyResult> {
+        self.compile_unitary_with(target, n_qubits, warm, &mut GrapeWorkspace::new())
+    }
+
+    /// [`Session::compile_unitary`] with a caller-owned GRAPE workspace,
+    /// so repeated compilations (and per-thread worker loops) reuse the
+    /// solver's scratch buffers instead of reallocating them every probe.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::compile_unitary`].
+    pub fn compile_unitary_with(
+        &self,
+        target: &Mat,
+        n_qubits: usize,
+        warm: Option<&Pulse>,
+        ws: &mut GrapeWorkspace,
+    ) -> Result<LatencyResult> {
         let model = self.models.for_qubits(n_qubits)?;
         let mut opts = self.config.grape.clone();
         let mut search = self.config.search.clone();
@@ -714,7 +787,7 @@ impl Session {
             .min_steps
             .max((model.min_time_estimate_ns() / model.dt_ns()) as usize / 2)
             .max(1);
-        find_minimal_latency(model, target, &opts, &search)
+        find_minimal_latency_with(model, target, &opts, &search, ws)
             .map_err(|source| Error::CompileFailed { n_qubits, source })
     }
 
@@ -733,18 +806,102 @@ impl Session {
         precompile::precompile(self, programs, order)
     }
 
-    /// Parallel variant of [`Session::precompile`] over a balanced MST
-    /// partition (§V-D).
+    /// Parallel variant of [`Session::precompile`]: compiles the missing
+    /// groups on a pool of `n_workers` OS threads over a balanced MST
+    /// partition (§V-D), each worker with its own GRAPE workspace, and
+    /// returns real per-worker wall-clock timings in the stats.
+    ///
+    /// The partition *plan* is fixed (independent of `n_workers`), so the
+    /// session cache — and any artifact saved from it — is byte-identical
+    /// whether this runs on 1 thread or 16.
     ///
     /// # Errors
     ///
     /// Propagates group-compilation failures.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use accqoc::Session;
+    /// use accqoc_circuit::{Circuit, Gate};
+    /// use accqoc_hw::Topology;
+    ///
+    /// let mut grape = accqoc_grape::GrapeOptions::default();
+    /// grape.stop.max_iters = 200;
+    /// let session = Session::builder()
+    ///     .topology(Topology::linear(2))
+    ///     .grape(grape)
+    ///     .build()?;
+    /// let programs = vec![Circuit::from_gates(2, [Gate::H(0)])];
+    /// let (report, stats) = session.precompile_parallel(&programs, 2)?;
+    /// assert_eq!(report.n_unique_groups, session.cache_len());
+    /// assert!(stats.total_iterations >= stats.makespan_iterations);
+    /// # Ok::<(), accqoc::Error>(())
+    /// ```
     pub fn precompile_parallel(
         &self,
         programs: &[Circuit],
         n_workers: usize,
-    ) -> Result<(PrecompileReport, crate::parallel::ParallelStats)> {
+    ) -> Result<(PrecompileReport, ParallelStats)> {
         precompile::precompile_parallel(self, programs, n_workers)
+    }
+
+    /// [`Session::precompile_parallel`] with explicit
+    /// [`ParallelOptions`](crate::ParallelOptions):
+    /// set `plan_parts` above [`crate::DEFAULT_PLAN_PARTS`] on machines
+    /// with more cores, or to `1` to reproduce the sequential
+    /// [`Session::precompile`] artifact bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates group-compilation failures.
+    pub fn precompile_parallel_with(
+        &self,
+        programs: &[Circuit],
+        options: &crate::ParallelOptions,
+    ) -> Result<(PrecompileReport, ParallelStats)> {
+        precompile::precompile_parallel_with(self, programs, options)
+    }
+
+    /// Batch-compiles many programs on a worker pool: concurrent front
+    /// ends, one parallel MST compile of the union of uncovered groups,
+    /// then per-program latency folding from the warm cache. See
+    /// [`precompile::compile_programs_parallel`] for the report-semantics
+    /// differences from looping [`Session::compile_program`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when `threads == 0`; otherwise propagates
+    /// group-compilation failures.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use accqoc::Session;
+    /// use accqoc_circuit::{Circuit, Gate};
+    /// use accqoc_hw::Topology;
+    ///
+    /// let mut grape = accqoc_grape::GrapeOptions::default();
+    /// grape.stop.max_iters = 200;
+    /// let session = Session::builder()
+    ///     .topology(Topology::linear(2))
+    ///     .grape(grape)
+    ///     .build()?;
+    /// let programs = vec![
+    ///     Circuit::from_gates(2, [Gate::H(0)]),
+    ///     Circuit::from_gates(2, [Gate::H(0), Gate::T(0)]),
+    /// ];
+    /// let (compiled, _stats) = session.compile_programs_parallel(&programs, 2)?;
+    /// assert_eq!(compiled.len(), 2);
+    /// assert!(compiled.iter().all(|c| c.overall_latency_ns > 0.0));
+    /// # Ok::<(), accqoc::Error>(())
+    /// ```
+    pub fn compile_programs_parallel(
+        &self,
+        programs: &[Circuit],
+        threads: usize,
+    ) -> Result<(Vec<ProgramCompilation>, ParallelStats)> {
+        precompile::compile_programs_parallel(self, programs, threads)
     }
 
     /// Re-optimizes one cached group on a finer time grid (§IV-G).

@@ -595,6 +595,88 @@ pub fn fig15_rows(
 }
 
 // ---------------------------------------------------------------------------
+// Threads vs speedup — the parallel pre-compilation engine on the
+// Figure 13 workload.
+// ---------------------------------------------------------------------------
+
+/// One row of the threads-vs-speedup experiment: the Figure 13 program
+/// set pre-compiled from a cold cache on a pool of `threads` workers.
+#[derive(Debug, Clone)]
+pub struct ThreadsRow {
+    /// Worker-pool size.
+    pub threads: usize,
+    /// Wall-clock time of the parallel compile section, seconds.
+    pub wall_s: f64,
+    /// Speedup vs the 1-thread row (`wall(1) / wall(threads)`).
+    pub speedup: f64,
+    /// Unique groups compiled.
+    pub groups: usize,
+    /// GRAPE iterations across all parts (identical for every row: the
+    /// plan is thread-count-invariant).
+    pub total_iterations: usize,
+    /// Iteration-metric makespan (heaviest part).
+    pub makespan_iterations: usize,
+    /// MST edges cut by the partition plan.
+    pub cut_edges: usize,
+    /// Busiest worker's busy time, seconds.
+    pub busiest_worker_s: f64,
+    /// SHA-agnostic artifact fingerprint: byte length of the serialized
+    /// cache (equal across rows ⇔ plan determinism held).
+    pub artifact_bytes: usize,
+}
+
+/// Runs the threads-vs-speedup sweep: the Figure 13 evaluation programs'
+/// group category pre-compiled from scratch once per thread count on a
+/// fresh session. Because the partition plan is fixed, every row does
+/// *identical* GRAPE work — the wall-clock column isolates the engine's
+/// parallel efficiency.
+pub fn threads_speedup_rows(
+    ctx: &ExperimentContext,
+    thread_counts: &[usize],
+    n_programs: usize,
+) -> Vec<ThreadsRow> {
+    let max_gates = if fast_mode() { 260 } else { 420 };
+    let circuits: Vec<Circuit> = ctx
+        .eval_programs_sized(max_gates, n_programs)
+        .iter()
+        .map(|p| p.circuit.clone())
+        .collect();
+
+    let mut rows: Vec<ThreadsRow> = Vec::new();
+    let mut baseline_wall = f64::NAN;
+    for &threads in thread_counts {
+        let session = Session::builder()
+            .topology(Topology::melbourne())
+            .build()
+            .expect("stock melbourne session is valid");
+        let (report, stats) = session
+            .precompile_parallel(&circuits, threads)
+            .expect("fig13 workload compiles");
+        let wall_s = stats.wall.as_secs_f64();
+        if rows.is_empty() {
+            baseline_wall = wall_s;
+        }
+        let busiest_worker_s = stats
+            .worker_timings
+            .iter()
+            .map(|t| t.wall.as_secs_f64())
+            .fold(0.0, f64::max);
+        rows.push(ThreadsRow {
+            threads,
+            wall_s,
+            speedup: baseline_wall / wall_s,
+            groups: report.n_unique_groups,
+            total_iterations: stats.total_iterations,
+            makespan_iterations: stats.makespan_iterations,
+            cut_edges: stats.cut_edges,
+            busiest_worker_s,
+            artifact_bytes: session.cache_snapshot().to_json().len(),
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
 // Figure 9 — SG → MST → partition worked example.
 // ---------------------------------------------------------------------------
 

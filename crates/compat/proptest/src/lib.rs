@@ -144,7 +144,7 @@ impl_tuple_strategy!(
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specification for [`vec`]: an exact size or a half-open
+    /// Length specification for [`vec()`]: an exact size or a half-open
     /// range (upstream's `SizeRange` conversions).
     #[derive(Debug, Clone)]
     pub struct SizeRange(std::ops::Range<usize>);

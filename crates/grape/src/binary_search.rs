@@ -16,7 +16,8 @@ use std::fmt;
 use accqoc_hw::ControlModel;
 use accqoc_linalg::Mat;
 
-use crate::grape::{solve, GrapeOptions, GrapeOutcome, GrapeProblem};
+use crate::grape::{solve_with, GrapeOptions, GrapeOutcome, GrapeProblem};
+use crate::workspace::Workspace;
 
 /// Search-space bounds for the latency binary search.
 #[derive(Debug, Clone)]
@@ -128,6 +129,25 @@ pub fn find_minimal_latency(
     options: &GrapeOptions,
     search: &LatencySearch,
 ) -> Result<LatencyResult, LatencyError> {
+    find_minimal_latency_with(model, target, options, search, &mut Workspace::new())
+}
+
+/// [`find_minimal_latency`] with a caller-owned [`Workspace`]: every GRAPE
+/// probe reuses the same scratch buffers. This is the entry point the
+/// parallel pre-compilation engine drives once per worker thread; results
+/// are identical to the wrapper, only the allocations differ.
+///
+/// # Errors
+///
+/// Returns [`LatencyError::Infeasible`] when even `search.max_steps`
+/// slices cannot reach the target.
+pub fn find_minimal_latency_with(
+    model: &ControlModel,
+    target: &Mat,
+    options: &GrapeOptions,
+    search: &LatencySearch,
+    ws: &mut Workspace,
+) -> Result<LatencyResult, LatencyError> {
     let mut probes: Vec<(usize, bool)> = Vec::new();
     let mut total_iterations = 0usize;
     let mut warm_pulse: Option<crate::pulse::Pulse> = None;
@@ -159,12 +179,15 @@ pub fn find_minimal_latency(
             let mut opts = options.clone();
             opts.init = init;
             opts.stop.max_iters = (opts.stop.max_iters / 3).max(40);
-            let out = solve(&GrapeProblem {
-                model,
-                target: target.clone(),
-                n_steps: n,
-                options: opts,
-            });
+            let out = solve_with(
+                &GrapeProblem {
+                    model,
+                    target: target.clone(),
+                    n_steps: n,
+                    options: opts,
+                },
+                ws,
+            );
             total_iterations += out.iterations;
             if out.converged {
                 probes.push((n, true));
@@ -174,12 +197,15 @@ pub fn find_minimal_latency(
         // Cold attempt (full budget) decides feasibility.
         let mut opts = options.clone();
         opts.init = cold_init.clone();
-        let out = solve(&GrapeProblem {
-            model,
-            target: target.clone(),
-            n_steps: n,
-            options: opts,
-        });
+        let out = solve_with(
+            &GrapeProblem {
+                model,
+                target: target.clone(),
+                n_steps: n,
+                options: opts,
+            },
+            ws,
+        );
         total_iterations += out.iterations;
         probes.push((n, out.converged));
         out

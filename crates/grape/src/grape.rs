@@ -15,11 +15,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use accqoc_hw::ControlModel;
-use accqoc_linalg::{eigh, expm_frechet, Mat, C64};
+use accqoc_linalg::{eigh, expm_frechet, expm_i, Mat, C64, ZERO};
 
 use crate::optimizer::{OptimizerKind, StopCriteria};
-use crate::propagate::{backward_states, forward_states, step_unitaries};
+use crate::propagate::{backward_states_into, forward_states_into};
 use crate::pulse::Pulse;
+use crate::workspace::Workspace;
 
 /// How to compute GRAPE gradients.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -142,12 +143,25 @@ pub fn infidelity(target: &Mat, realized: &Mat) -> f64 {
     (1.0 - phi.norm_sqr()).max(0.0)
 }
 
-/// Runs GRAPE on a problem.
+/// Runs GRAPE on a problem with a throwaway [`Workspace`].
+///
+/// Repeated solves (latency searches, pre-compilation loops) should hold
+/// one workspace per thread and call [`solve_with`] instead; the results
+/// are identical, only the allocations differ.
 ///
 /// # Panics
 ///
 /// Panics if the target dimension disagrees with the model.
 pub fn solve(problem: &GrapeProblem<'_>) -> GrapeOutcome {
+    solve_with(problem, &mut Workspace::new())
+}
+
+/// Runs GRAPE on a problem, reusing the caller's scratch buffers.
+///
+/// # Panics
+///
+/// Panics if the target dimension disagrees with the model.
+pub fn solve_with(problem: &GrapeProblem<'_>, ws: &mut Workspace) -> GrapeOutcome {
     let model = problem.model;
     let dim = model.dim();
     assert_eq!(problem.target.rows(), dim, "target dimension vs model");
@@ -176,12 +190,13 @@ pub fn solve(problem: &GrapeProblem<'_>) -> GrapeOutcome {
     let smoothness = problem.options.smoothness_weight;
     let mut objective = |params: &[f64]| -> (f64, Vec<f64>) {
         evals += 1;
-        let (mut cost, mut grad) = cost_and_gradient(
+        let (mut cost, mut grad) = cost_and_gradient_ws(
             model,
             &problem.target,
             params,
             n_steps,
             problem.options.gradient,
+            ws,
         );
         if smoothness > 0.0 {
             let (pc, pg) = crate::analysis::smoothness_penalty(params, n_ctrl, n_steps, smoothness);
@@ -246,7 +261,10 @@ fn initial_params(problem: &GrapeProblem<'_>, n_ctrl: usize, n_steps: usize, dt:
     }
 }
 
-/// Computes `(cost, gradient)` for the flat parameter vector.
+/// Computes `(cost, gradient)` for the flat parameter vector with a
+/// throwaway workspace (test/verification entry point; the solver calls
+/// [`cost_and_gradient_ws`] with a long-lived workspace).
+#[cfg(test)]
 fn cost_and_gradient(
     model: &ControlModel,
     target: &Mat,
@@ -254,57 +272,76 @@ fn cost_and_gradient(
     n_steps: usize,
     method: GradientMethod,
 ) -> (f64, Vec<f64>) {
+    cost_and_gradient_ws(
+        model,
+        target,
+        params,
+        n_steps,
+        method,
+        &mut Workspace::new(),
+    )
+}
+
+/// Computes `(cost, gradient)` for the flat parameter vector, reusing the
+/// workspace buffers (allocation-free on the steady-state spectral path).
+fn cost_and_gradient_ws(
+    model: &ControlModel,
+    target: &Mat,
+    params: &[f64],
+    n_steps: usize,
+    method: GradientMethod,
+    ws: &mut Workspace,
+) -> (f64, Vec<f64>) {
     let dim = model.dim();
     let d = dim as f64;
     let n_ctrl = model.n_controls();
     let dt = model.dt_ns();
-    let pulse = Pulse::from_params(params, n_ctrl, n_steps, dt);
+    ws.ensure(dim, n_ctrl, n_steps);
 
-    // For the spectral method the eigendecompositions double as the step
-    // propagators; the other methods exponentiate directly.
-    let mut eigs: Vec<accqoc_linalg::EigH> = Vec::new();
-    let step_us: Vec<Mat> = if method == GradientMethod::Spectral {
-        eigs.reserve(n_steps);
-        (0..n_steps)
-            .map(|k| {
-                let h = model.hamiltonian(&pulse.step_amps(k));
-                let eig = eigh(&h).expect("control hamiltonians are hermitian");
-                let u = spectral_propagator(&eig, dt);
-                eigs.push(eig);
-                u
-            })
-            .collect()
-    } else {
-        step_unitaries(model, &pulse)
-    };
-    let fwd = forward_states(&step_us, dim);
-    let bwd = backward_states(&step_us, target);
+    // Step propagators. For the spectral method the eigendecompositions
+    // double as the propagators; the other methods exponentiate directly.
+    ws.eigs.clear();
+    for k in 0..n_steps {
+        ws.load_amps(params, n_steps, k);
+        model.hamiltonian_into(&ws.amps, &mut ws.h);
+        if method == GradientMethod::Spectral {
+            let eig = eigh(&ws.h).expect("control hamiltonians are hermitian");
+            spectral_propagator_into(&eig, dt, &mut ws.tmp, &mut ws.step_us[k]);
+            ws.eigs.push(eig);
+        } else {
+            ws.step_us[k] = expm_i(&ws.h, dt).expect("hermitian hamiltonian exponentiates");
+        }
+    }
+    forward_states_into(ws, dim, n_steps);
+    backward_states_into(ws, target, n_steps);
 
     // φ = Tr(U_T† X_N)/d; cost = 1 − |φ|².
-    let phi = bwd[n_steps].matmul(&fwd[n_steps]).trace() / C64::real(d);
+    let phi = ws.bwd[n_steps].matmul_trace(&ws.fwd[n_steps]) / C64::real(d);
     let cost = (1.0 - phi.norm_sqr()).max(0.0);
 
     let mut grad = vec![0.0; n_ctrl * n_steps];
     match method {
         GradientMethod::Spectral => {
             for k in 0..n_steps {
-                let eig = &eigs[k];
-                let v = &eig.vectors;
-                let w = krein_weights(&eig.values, dt);
-                // M = X_{k−1} · B_k once per step; then
-                // ∂φ/∂u = Tr(B_k·dU·X_{k−1})/d = Tr(dU·M)/d.
-                let m = fwd[k].matmul(&bwd[k + 1]);
+                let eig = &ws.eigs[k];
+                // M = X_{k−1} · B_k once per step; then, with
+                // dU = V·(W ∘ Ĥ_j)·V† and Ĥ_j = V†·H_j·V,
+                // ∂φ/∂u = Tr(dU·M)/d = Σ_{a,b} W[a,b]·Ĥ_j[a,b]·M̃[b,a]/d
+                // where M̃ = V†·M·V — no per-channel products needed.
+                ws.fwd[k].matmul_into(&ws.bwd[k + 1], &mut ws.m);
+                eig.vectors.dagger_matmul_into(&ws.m, &mut ws.tmp);
+                ws.tmp.matmul_into(&eig.vectors, &mut ws.mt);
+                krein_weights_into(&eig.values, dt, &mut ws.w);
                 for (j, ch) in model.channels().iter().enumerate() {
-                    // dU = V·(W ∘ (V†·H_j·V))·V†.
-                    let hj_tilde = v.dagger_matmul(&ch.hamiltonian).matmul(v);
-                    let mut inner = hj_tilde;
+                    eig.vectors.dagger_matmul_into(&ch.hamiltonian, &mut ws.tmp);
+                    ws.tmp.matmul_into(&eig.vectors, &mut ws.hj_tilde);
+                    let mut dphi = ZERO;
                     for a in 0..dim {
                         for b in 0..dim {
-                            inner[(a, b)] *= w[(a, b)];
+                            dphi += ws.w[(a, b)] * ws.hj_tilde[(a, b)] * ws.mt[(b, a)];
                         }
                     }
-                    let du = v.matmul(&inner).matmul(&v.dagger());
-                    let dphi = du.matmul(&m).trace() / C64::real(d);
+                    let dphi = dphi / C64::real(d);
                     grad[j * n_steps + k] = -2.0 * (phi.conj() * dphi).re;
                 }
             }
@@ -313,14 +350,9 @@ fn cost_and_gradient(
             // ∂φ/∂u_{j,k} ≈ (−iΔt/d)·Tr(B_k·H_j·X_k).
             for k in 0..n_steps {
                 // M = X_k · B_k so Tr(B_k H_j X_k) = Σ_{a,b} H_j[a,b]·M[b,a].
-                let m = fwd[k + 1].matmul(&bwd[k + 1]);
+                ws.fwd[k + 1].matmul_into(&ws.bwd[k + 1], &mut ws.m);
                 for (j, ch) in model.channels().iter().enumerate() {
-                    let mut tr = C64::real(0.0);
-                    for a in 0..dim {
-                        for b in 0..dim {
-                            tr += ch.hamiltonian[(a, b)] * m[(b, a)];
-                        }
-                    }
+                    let tr = ch.hamiltonian.matmul_trace(&ws.m);
                     let dphi = C64::imag(-dt / d) * tr;
                     // d(1−|φ|²)/du = −2·Re(φ̄·∂φ/∂u).
                     grad[j * n_steps + k] = -2.0 * (phi.conj() * dphi).re;
@@ -329,13 +361,14 @@ fn cost_and_gradient(
         }
         GradientMethod::Exact => {
             for k in 0..n_steps {
-                let h_k = model.hamiltonian(&pulse.step_amps(k));
-                let a = h_k.scale(C64::imag(-dt));
+                ws.load_amps(params, n_steps, k);
+                model.hamiltonian_into(&ws.amps, &mut ws.h);
+                let a = ws.h.scale(C64::imag(-dt));
                 for (j, ch) in model.channels().iter().enumerate() {
                     let e = ch.hamiltonian.scale(C64::imag(-dt));
                     let (_, l) = expm_frechet(&a, &e).expect("finite hamiltonians");
                     // ∂φ/∂u = Tr(B_k · L · X_{k−1})/d.
-                    let tr = bwd[k + 1].matmul(&l).matmul(&fwd[k]).trace();
+                    let tr = ws.bwd[k + 1].matmul(&l).matmul(&ws.fwd[k]).trace();
                     let dphi = tr / C64::real(d);
                     grad[j * n_steps + k] = -2.0 * (phi.conj() * dphi).re;
                 }
@@ -347,15 +380,29 @@ fn cost_and_gradient(
 
 /// Propagator `V·diag(e^{−iλΔt})·V†` from an eigendecomposition.
 pub(crate) fn spectral_propagator(eig: &accqoc_linalg::EigH, dt: f64) -> Mat {
+    let mut scratch = Mat::zeros(0, 0);
+    let mut out = Mat::zeros(0, 0);
+    spectral_propagator_into(eig, dt, &mut scratch, &mut out);
+    out
+}
+
+/// [`spectral_propagator`] written into `out` via a caller-owned phase
+/// scratch (no allocation once the buffers are warm).
+pub(crate) fn spectral_propagator_into(
+    eig: &accqoc_linalg::EigH,
+    dt: f64,
+    scratch: &mut Mat,
+    out: &mut Mat,
+) {
     let dim = eig.values.len();
-    let mut scaled = eig.vectors.clone();
+    scratch.copy_from(&eig.vectors);
     for j in 0..dim {
         let phase = C64::cis(-dt * eig.values[j]);
         for i in 0..dim {
-            scaled[(i, j)] *= phase;
+            scratch[(i, j)] *= phase;
         }
     }
-    scaled.matmul(&eig.vectors.dagger())
+    scratch.matmul_dagger_into(&eig.vectors, out);
 }
 
 /// Daleckii–Krein divided-difference weights for the derivative of
@@ -363,15 +410,25 @@ pub(crate) fn spectral_propagator(eig: &accqoc_linalg::EigH, dt: f64) -> Mat {
 /// `W[a,b] = (e^{−iΔtλ_a} − e^{−iΔtλ_b})/(λ_a − λ_b)`, with the confluent
 /// limit `−iΔt·e^{−iΔtλ_a}` on (near-)degenerate pairs.
 pub(crate) fn krein_weights(values: &[f64], dt: f64) -> Mat {
+    let mut out = Mat::zeros(0, 0);
+    krein_weights_into(values, dt, &mut out);
+    out
+}
+
+/// [`krein_weights`] written into `out`, reusing its storage.
+pub(crate) fn krein_weights_into(values: &[f64], dt: f64, out: &mut Mat) {
     let dim = values.len();
-    Mat::from_fn(dim, dim, |a, b| {
-        let (la, lb) = (values[a], values[b]);
-        if (la - lb).abs() < 1e-9 {
-            C64::imag(-dt) * C64::cis(-dt * la)
-        } else {
-            (C64::cis(-dt * la) - C64::cis(-dt * lb)) / C64::real(la - lb)
+    out.reshape_zeros(dim, dim);
+    for a in 0..dim {
+        for b in 0..dim {
+            let (la, lb) = (values[a], values[b]);
+            out[(a, b)] = if (la - lb).abs() < 1e-9 {
+                C64::imag(-dt) * C64::cis(-dt * la)
+            } else {
+                (C64::cis(-dt * la) - C64::cis(-dt * lb)) / C64::real(la - lb)
+            };
         }
-    })
+    }
 }
 
 #[cfg(test)]

@@ -36,11 +36,15 @@ mod optimizer;
 mod propagate;
 mod pulse;
 mod state;
+mod workspace;
 
 pub use analysis::{max_slew_rate, mean_power, pulse_shape, total_variation, PulseShape};
-pub use binary_search::{find_minimal_latency, LatencyError, LatencyResult, LatencySearch};
+pub use binary_search::{
+    find_minimal_latency, find_minimal_latency_with, LatencyError, LatencyResult, LatencySearch,
+};
 pub use grape::{
-    infidelity, solve, GradientMethod, GrapeOptions, GrapeOutcome, GrapeProblem, InitStrategy,
+    infidelity, solve, solve_with, GradientMethod, GrapeOptions, GrapeOutcome, GrapeProblem,
+    InitStrategy,
 };
 pub use optimizer::{Adam, Lbfgs, Momentum, OptimResult, Optimizer, OptimizerKind, StopCriteria};
 pub use propagate::{backward_states, forward_states, step_unitaries, total_unitary};
@@ -48,3 +52,4 @@ pub use pulse::Pulse;
 pub use state::{
     solve_state_transfer, state_infidelity, StateTransferOutcome, StateTransferProblem,
 };
+pub use workspace::Workspace;

@@ -330,6 +330,11 @@ impl Optimizer for Lbfgs {
         let mut rho_hist: Vec<f64> = Vec::new();
         let mut history = Vec::new();
         let mut stale_pairs = 0usize;
+        // Per-iteration buffers hoisted out of the loop: the two-loop
+        // recursion runs hundreds of times per solve.
+        let mut q: Vec<f64> = Vec::new();
+        let mut dir: Vec<f64> = Vec::new();
+        let mut alphas: Vec<f64> = Vec::new();
 
         if let Some(p) = project {
             p(&mut x);
@@ -351,9 +356,11 @@ impl Optimizer for Lbfgs {
             }
 
             // Two-loop recursion for the search direction d = −H·g.
-            let mut q = grad.clone();
+            q.clear();
+            q.extend_from_slice(&grad);
             let m = s_hist.len();
-            let mut alphas = vec![0.0; m];
+            alphas.clear();
+            alphas.resize(m, 0.0);
             for i in (0..m).rev() {
                 let alpha = rho_hist[i] * dot(&s_hist[i], &q);
                 alphas[i] = alpha;
@@ -382,7 +389,8 @@ impl Optimizer for Lbfgs {
                     *qk += (alphas[i] - beta) * sk;
                 }
             }
-            let mut dir: Vec<f64> = q.iter().map(|&v| -v).collect();
+            dir.clear();
+            dir.extend(q.iter().map(|&v| -v));
             // Ensure descent; fall back to steepest descent otherwise.
             if dot(&dir, &grad) >= 0.0 {
                 for (d, g) in dir.iter_mut().zip(&grad) {

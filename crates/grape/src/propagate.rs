@@ -55,6 +55,27 @@ pub fn backward_states(step_us: &[Mat], target: &Mat) -> Vec<Mat> {
     out
 }
 
+/// Forward states written into `ws.fwd` (`X_0 = I … X_N`), reading the
+/// first `n_steps` propagators from `ws.step_us`. Allocation-free once
+/// the workspace buffers are warm — the solver's per-iteration path.
+pub(crate) fn forward_states_into(ws: &mut crate::Workspace, dim: usize, n_steps: usize) {
+    ws.fwd[0].set_identity(dim);
+    for k in 0..n_steps {
+        let (head, tail) = ws.fwd.split_at_mut(k + 1);
+        ws.step_us[k].matmul_into(&head[k], &mut tail[0]);
+    }
+}
+
+/// Backward states written into `ws.bwd` (`B_N = U_target† … B_0`),
+/// reading the first `n_steps` propagators from `ws.step_us`.
+pub(crate) fn backward_states_into(ws: &mut crate::Workspace, target: &Mat, n_steps: usize) {
+    target.dagger_into(&mut ws.bwd[n_steps]);
+    for k in (0..n_steps).rev() {
+        let (head, tail) = ws.bwd.split_at_mut(k + 1);
+        tail[0].matmul_into(&ws.step_us[k], &mut head[k]);
+    }
+}
+
 /// Final unitary realized by a pulse (`X_N`).
 pub fn total_unitary(model: &ControlModel, pulse: &Pulse) -> Mat {
     let us = step_unitaries(model, pulse);

@@ -186,6 +186,20 @@ impl ControlModel {
         h
     }
 
+    /// Total Hamiltonian written into `out` (storage reused — the GRAPE
+    /// hot loop rebuilds `H` once per slice per objective evaluation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amps.len() != n_controls()`.
+    pub fn hamiltonian_into(&self, amps: &[f64], out: &mut Mat) {
+        assert_eq!(amps.len(), self.channels.len(), "amplitude count");
+        out.copy_from(&self.drift);
+        for (a, ch) in amps.iter().zip(&self.channels) {
+            out.axpy(C64::real(*a), &ch.hamiltonian);
+        }
+    }
+
     /// Clamps an amplitude vector to the per-channel bounds, in place.
     pub fn clamp(&self, amps: &mut [f64]) {
         for (a, ch) in amps.iter_mut().zip(&self.channels) {

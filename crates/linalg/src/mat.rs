@@ -291,6 +291,140 @@ impl Mat {
         out
     }
 
+    /// Matrix product `A·B` written into `out`, reusing its storage when
+    /// the shape already matches (no allocation on the steady-state path —
+    /// the GRAPE inner loop calls this thousands of times per solve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()` or `out` aliases an operand
+    /// shape-incompatibly (the shape is reset to `self.rows × rhs.cols`).
+    pub fn matmul_into(&self, rhs: &Mat, out: &mut Mat) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul_into: {}x{} by {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        out.rows = self.rows;
+        out.cols = rhs.cols;
+        out.data.clear();
+        out.data.resize(self.rows * rhs.cols, ZERO);
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &aik) in arow.iter().enumerate() {
+                if aik == ZERO {
+                    continue;
+                }
+                let brow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &bkj) in orow.iter_mut().zip(brow) {
+                    *o = aik.mul_add(bkj, *o);
+                }
+            }
+        }
+    }
+
+    /// `A† · B` written into `out` without materializing the dagger or
+    /// allocating (shape permitting). See [`Mat::matmul_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn dagger_matmul_into(&self, rhs: &Mat, out: &mut Mat) {
+        assert_eq!(self.rows, rhs.rows, "dagger_matmul_into shape mismatch");
+        out.rows = self.cols;
+        out.cols = rhs.cols;
+        out.data.clear();
+        out.data.resize(self.cols * rhs.cols, ZERO);
+        for k in 0..self.rows {
+            let arow = &self.data[k * self.cols..(k + 1) * self.cols];
+            let brow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+            for (i, &aki) in arow.iter().enumerate() {
+                let a = aki.conj();
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &bkj) in orow.iter_mut().zip(brow) {
+                    *o = a.mul_add(bkj, *o);
+                }
+            }
+        }
+    }
+
+    /// `A · B†` written into `out` without materializing the dagger or
+    /// allocating (shape permitting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_dagger_into(&self, rhs: &Mat, out: &mut Mat) {
+        assert_eq!(self.cols, rhs.cols, "matmul_dagger_into shape mismatch");
+        out.reshape_zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let orow = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                let mut acc = ZERO;
+                for (&aik, &bjk) in arow.iter().zip(brow) {
+                    acc = aik.mul_add(bjk.conj(), acc);
+                }
+                *o = acc;
+            }
+        }
+    }
+
+    /// Conjugate transpose written into `out`, reusing its storage.
+    pub fn dagger_into(&self, out: &mut Mat) {
+        out.reshape_zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j].conj();
+            }
+        }
+    }
+
+    /// Resets this matrix to `rows × cols` zeros, reusing storage.
+    pub fn reshape_zeros(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, ZERO);
+    }
+
+    /// Resets this matrix to the `n × n` identity, reusing storage.
+    pub fn set_identity(&mut self, n: usize) {
+        self.reshape_zeros(n, n);
+        for i in 0..n {
+            self.data[i * n + i] = ONE;
+        }
+    }
+
+    /// Overwrites this matrix with a copy of `other`, reusing storage.
+    pub fn copy_from(&mut self, other: &Mat) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// `Tr(A·B)` without forming the product: `Σ_{a,b} A[a,b]·B[b,a]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `A·B` is not square (`self.rows() != rhs.cols()` or
+    /// `self.cols() != rhs.rows()`).
+    pub fn matmul_trace(&self, rhs: &Mat) -> C64 {
+        assert_eq!(self.cols, rhs.rows, "matmul_trace inner dimension");
+        assert_eq!(self.rows, rhs.cols, "matmul_trace: product not square");
+        let mut tr = ZERO;
+        for a in 0..self.rows {
+            let arow = &self.data[a * self.cols..(a + 1) * self.cols];
+            for (b, &aab) in arow.iter().enumerate() {
+                tr += aab * rhs.data[b * rhs.cols + a];
+            }
+        }
+        tr
+    }
+
     /// `A† · B` without materializing the dagger.
     pub fn dagger_matmul(&self, rhs: &Mat) -> Mat {
         assert_eq!(self.rows, rhs.rows, "dagger_matmul shape mismatch");
@@ -705,5 +839,49 @@ mod tests {
     fn debug_is_nonempty() {
         let s = format!("{:?}", Mat::identity(2));
         assert!(s.contains("Mat 2x2"));
+    }
+
+    #[test]
+    fn into_variants_match_allocating_kernels() {
+        let a = Mat::from_fn(3, 2, |i, j| C64::new(i as f64 + 0.5, j as f64 - 1.0));
+        let b = Mat::from_fn(2, 4, |i, j| C64::new(j as f64 * 0.3, i as f64 + 0.1));
+        let mut out = Mat::zeros(1, 1); // wrong shape on purpose: must resize
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        // Reuse the same buffer for the dagger product.
+        let c = Mat::from_fn(3, 4, |i, j| C64::new(i as f64, -(j as f64)));
+        a.dagger_matmul_into(&c, &mut out);
+        assert_eq!(out, a.dagger_matmul(&c));
+        // And copy_from round-trips.
+        let mut d = Mat::zeros(5, 5);
+        d.copy_from(&out);
+        assert_eq!(d, out);
+    }
+
+    #[test]
+    fn matmul_dagger_into_and_set_identity() {
+        let a = Mat::from_fn(2, 3, |i, j| C64::new(i as f64 - 0.2, 0.7 * j as f64));
+        let b = Mat::from_fn(4, 3, |i, j| C64::new(0.5 * j as f64, -(i as f64)));
+        let mut out = Mat::zeros(0, 0);
+        a.matmul_dagger_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b.dagger()));
+        let mut id = Mat::from_fn(3, 1, |_, _| C64::real(9.0));
+        id.set_identity(4);
+        assert_eq!(id, Mat::identity(4));
+    }
+
+    #[test]
+    fn matmul_trace_equals_trace_of_product() {
+        let a = Mat::from_fn(3, 3, |i, j| C64::new(0.2 * i as f64 - 0.1, 0.3 * j as f64));
+        let b = Mat::from_fn(3, 3, |i, j| C64::new(j as f64 - 1.0, 0.4 * i as f64));
+        let direct = a.matmul(&b).trace();
+        let fused = a.matmul_trace(&b);
+        assert!((direct - fused).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_trace")]
+    fn matmul_trace_rejects_non_square_product() {
+        let _ = Mat::zeros(2, 3).matmul_trace(&Mat::zeros(3, 3));
     }
 }

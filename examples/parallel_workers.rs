@@ -5,8 +5,8 @@
 //! Run with: `cargo run --release --example parallel_workers`
 
 use accqoc_repro::accqoc::{
-    collect_category, compile_parallel, mst_compile_order, partition_tree, SimilarityGraph,
-    WeightedTree,
+    collect_category, compile_parallel_with, mst_compile_order, partition_tree, ParallelOptions,
+    SimilarityGraph, WeightedTree,
 };
 use accqoc_repro::prelude::*;
 use accqoc_repro::workloads::{nct_circuit, NctSpec};
@@ -47,20 +47,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // Compile with 1 worker vs 4 workers and compare makespans.
-    for workers in [1, 4] {
-        let t0 = std::time::Instant::now();
-        let (cache, stats) = compile_parallel(&session, &order, &canonical, &keys, workers)?;
+    // Compile with 1 vs 4 pool threads over the SAME fixed plan: the
+    // pulses (and any saved cache artifact) are byte-identical, only the
+    // wall clock changes.
+    let mut artifacts = Vec::new();
+    for threads in [1, 4] {
+        let opts = ParallelOptions::threads(threads);
+        let (cache, stats) = compile_parallel_with(&session, &order, &canonical, &keys, &opts)?;
         println!(
-            "\n{workers} worker(s): {} groups compiled in {:.2?}",
+            "\n{threads} thread(s): {} groups compiled in {:.2?} (engine wall)",
             cache.len(),
-            t0.elapsed()
+            stats.wall
         );
         println!(
             "  iterations: total {}, makespan {} ({} MST edges cut)",
             stats.total_iterations, stats.makespan_iterations, stats.cut_edges
         );
         println!("  per-part loads: {:?}", stats.iterations_per_part);
+        for t in &stats.worker_timings {
+            println!(
+                "  worker {}: {} part(s), {} group(s), {} iters, busy {:.2?}",
+                t.worker, t.parts, t.groups, t.iterations, t.wall
+            );
+        }
+        artifacts.push(cache.to_json());
     }
+    println!(
+        "\nartifact byte-identical across thread counts: {}",
+        artifacts.windows(2).all(|w| w[0] == w[1])
+    );
     Ok(())
 }

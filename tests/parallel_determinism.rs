@@ -1,0 +1,201 @@
+//! Concurrency guarantees of the parallel pre-compilation engine:
+//! thread-count-invariant cache artifacts and a contention smoke test
+//! for the sharded [`ConcurrentPulseCache`].
+
+use accqoc::{CachedPulse, ConcurrentPulseCache, Session};
+use accqoc_circuit::{Circuit, Gate, UnitaryKey};
+use accqoc_grape::Pulse;
+use accqoc_hw::Topology;
+use accqoc_linalg::Mat;
+
+fn session() -> Session {
+    let mut grape = accqoc_grape::GrapeOptions::default();
+    grape.stop.max_iters = 200;
+    Session::builder()
+        .topology(Topology::linear(3))
+        .grape(grape)
+        .build()
+        .expect("valid session")
+}
+
+/// A family of similar programs producing a multi-group category (the
+/// GRAPE seed is fixed by `InitStrategy::default()`, so runs are
+/// deterministic end to end).
+fn programs() -> Vec<Circuit> {
+    (1..=4)
+        .map(|k| {
+            Circuit::from_gates(
+                3,
+                [
+                    Gate::Rz(0, 0.12 * k as f64),
+                    Gate::H(0),
+                    Gate::Cx(0, 1),
+                    Gate::Rz(1, 0.05 * k as f64),
+                ],
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn one_and_four_thread_precompile_write_identical_artifacts() {
+    let dir = std::env::temp_dir().join("accqoc_parallel_determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut paths = Vec::new();
+    for threads in [1usize, 4] {
+        let s = session();
+        let (report, stats) = s.precompile_parallel(&programs(), threads).unwrap();
+        assert!(report.n_unique_groups > 0);
+        assert!(stats.total_iterations >= stats.makespan_iterations);
+        let path = dir.join(format!("cache_{threads}threads.json"));
+        s.save_cache(&path).unwrap();
+        paths.push(path);
+    }
+
+    let one = std::fs::read(&paths[0]).unwrap();
+    let four = std::fs::read(&paths[1]).unwrap();
+    assert!(!one.is_empty());
+    assert_eq!(
+        one, four,
+        "1-thread and 4-thread precompile must persist byte-identical caches"
+    );
+    for p in paths {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn plan_width_one_matches_sequential_precompile_bit_for_bit() {
+    use accqoc::{ParallelOptions, PrecompileOrder};
+    // One plan part ⇒ no cut MST edges ⇒ the engine walks the exact
+    // sequential warm-start chain, so the artifacts must be identical —
+    // this pins the parallel engine to the sequential reference.
+    let seq = session();
+    seq.precompile(&programs(), PrecompileOrder::Mst).unwrap();
+
+    let par = session();
+    let opts = ParallelOptions::threads(4).with_plan_parts(1);
+    let (_, stats) = par.precompile_parallel_with(&programs(), &opts).unwrap();
+    assert_eq!(
+        stats.cut_edges, 0,
+        "one part per MST component cuts nothing"
+    );
+
+    assert_eq!(
+        seq.cache_snapshot().to_json(),
+        par.cache_snapshot().to_json(),
+        "plan_parts = 1 must reproduce the sequential artifact"
+    );
+}
+
+#[test]
+fn batch_compile_matches_sequential_latencies() {
+    let progs = programs();
+
+    // Sequential reference.
+    let seq = session();
+    let seq_results: Vec<_> = progs
+        .iter()
+        .map(|p| seq.compile_program(p).unwrap())
+        .collect();
+
+    // Batch on a pool (own session, cold cache).
+    let par = session();
+    let (batch, stats) = par.compile_programs_parallel(&progs, 4).unwrap();
+    assert_eq!(batch.len(), progs.len());
+    assert!(stats.total_iterations > 0);
+
+    for (s, b) in seq_results.iter().zip(&batch) {
+        // Latencies agree wherever the fixed partition plan kept the warm
+        // starts; cut MST edges may move a group onto a different (still
+        // feasible-minimal) slice count, so allow a one-slice slack.
+        assert!(
+            (s.overall_latency_ns - b.overall_latency_ns).abs() <= 1.5,
+            "sequential {} vs batch {}",
+            s.overall_latency_ns,
+            b.overall_latency_ns
+        );
+        assert_eq!(s.gate_based_latency_ns, b.gate_based_latency_ns);
+        assert_eq!(s.swap_count, b.swap_count);
+    }
+}
+
+#[test]
+fn concurrent_cache_contention_smoke() {
+    let cache = ConcurrentPulseCache::with_shards(8);
+    let n_writers = 4;
+    let n_readers = 4;
+    let per_writer = 64;
+
+    // Pre-build distinct keys (one per (writer, slot) pair).
+    let keys: Vec<Vec<UnitaryKey>> = (0..n_writers)
+        .map(|w| {
+            (0..per_writer)
+                .map(|i| {
+                    let theta = 0.001 + w as f64 + i as f64 * 0.01;
+                    let u = Mat::from_fn(2, 2, |r, c| {
+                        if r == c {
+                            accqoc_linalg::C64::cis(if r == 0 { -theta } else { theta })
+                        } else {
+                            accqoc_linalg::C64::real(0.0)
+                        }
+                    });
+                    UnitaryKey::canonical(&u, 1)
+                })
+                .collect()
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..n_writers {
+            let cache = &cache;
+            let keys = &keys;
+            scope.spawn(move || {
+                for (i, key) in keys[w].iter().enumerate() {
+                    cache.insert(
+                        key.clone(),
+                        CachedPulse {
+                            pulse: Pulse::zeros(2, 4, 1.0),
+                            latency_ns: i as f64,
+                            iterations: w,
+                            n_qubits: 1,
+                        },
+                    );
+                }
+            });
+        }
+        for r in 0..n_readers {
+            let cache = &cache;
+            let keys = &keys;
+            scope.spawn(move || {
+                // Hammer lookups across every writer's key range while the
+                // writers are inserting; all observed states must be
+                // internally consistent.
+                for round in 0..200 {
+                    let w = (r + round) % n_writers;
+                    for key in &keys[w] {
+                        if let Some(entry) = cache.get(key) {
+                            assert_eq!(entry.iterations, w, "entry belongs to writer {w}");
+                        }
+                    }
+                    let len = cache.len();
+                    assert!(len <= n_writers * per_writer);
+                }
+            });
+        }
+    });
+
+    // All writes landed exactly once, and the snapshot agrees.
+    let expected: usize = keys.iter().map(|k| k.len()).sum();
+    assert_eq!(cache.len(), expected);
+    let snapshot = cache.snapshot();
+    assert_eq!(snapshot.len(), expected);
+    for per in &keys {
+        for key in per {
+            assert!(snapshot.lookup(key).is_some());
+        }
+    }
+    // Snapshot serialization is deterministic.
+    assert_eq!(snapshot.to_json(), cache.snapshot().to_json());
+}
