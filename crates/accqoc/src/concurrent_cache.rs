@@ -82,6 +82,14 @@ impl ConcurrentPulseCache {
         self.shards.len()
     }
 
+    /// Entry count per shard (a point-in-time figure under concurrent
+    /// writers). Placement depends only on the key hash, so this is a
+    /// contention diagnostic: one hot shard means hash clustering, not
+    /// thread timing.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| Self::read(s).len()).collect()
+    }
+
     fn shard_index(key: &UnitaryKey, n_shards: usize) -> usize {
         let mut hasher = DefaultHasher::new();
         key.hash(&mut hasher);
@@ -262,6 +270,120 @@ mod tests {
         let a = build(1, &[0, 1, 2, 3]);
         let b = build(16, &[3, 1, 0, 2]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_cache_snapshot_is_empty_and_stable() {
+        let cache = ConcurrentPulseCache::new();
+        let snap = cache.snapshot();
+        assert_eq!(snap.len(), 0);
+        assert!(cache.is_empty());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.shard_lens().iter().sum::<usize>(), 0);
+        // The empty artifact is byte-stable (and survives replace(empty)).
+        let json = snap.to_json();
+        assert_eq!(json, PulseCache::new().to_json());
+        cache.replace(PulseCache::new());
+        assert_eq!(cache.snapshot().to_json(), json);
+        // clear() of an empty cache is a no-op, not a panic.
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    /// Distinct single-qubit keys (rotations at distinct angles).
+    fn distinct_keys(n: usize) -> Vec<UnitaryKey> {
+        (0..n)
+            .map(|k| key_of(&[Gate::Rz(0, 0.05 + 0.11 * k as f64)], 1))
+            .collect()
+    }
+
+    #[test]
+    fn replace_is_atomic_under_racing_readers() {
+        // Two full states, A (8 entries @ latency 1.0) and B (5 entries
+        // @ latency 2.0). Readers hammering snapshot()/len() while the
+        // writer flips between them must only ever observe one of the
+        // two complete states — never the cleared or partially refilled
+        // intermediate.
+        let keys = distinct_keys(8);
+        let build = |n: usize, latency: f64| {
+            let mut cache = PulseCache::new();
+            for key in &keys[..n] {
+                cache.insert(key.clone(), entry(latency));
+            }
+            cache
+        };
+        let state_a = build(8, 1.0);
+        let state_b = build(5, 2.0);
+        let (json_a, json_b) = (state_a.to_json(), state_b.to_json());
+
+        let shared = ConcurrentPulseCache::with_shards(4);
+        shared.replace(state_a.clone());
+        std::thread::scope(|scope| {
+            let shared = &shared;
+            let (json_a, json_b) = (&json_a, &json_b);
+            let mut handles = Vec::new();
+            for _ in 0..3 {
+                handles.push(scope.spawn(move || {
+                    for _ in 0..60 {
+                        let snap = shared.snapshot();
+                        assert!(
+                            snap.len() == 8 || snap.len() == 5,
+                            "torn snapshot: {} entries",
+                            snap.len()
+                        );
+                        let json = snap.to_json();
+                        assert!(
+                            json == *json_a || json == *json_b,
+                            "snapshot matches neither full state"
+                        );
+                    }
+                }));
+            }
+            for i in 0..40 {
+                shared.replace(if i % 2 == 0 {
+                    state_b.clone()
+                } else {
+                    state_a.clone()
+                });
+            }
+            for h in handles {
+                h.join().expect("reader saw only complete states");
+            }
+        });
+    }
+
+    #[test]
+    fn shard_distribution_is_sane() {
+        let cache = ConcurrentPulseCache::with_shards(8);
+        let keys = distinct_keys(64);
+        assert_eq!(
+            keys.iter().collect::<std::collections::HashSet<_>>().len(),
+            64
+        );
+        for (i, key) in keys.iter().enumerate() {
+            cache.insert(key.clone(), entry(i as f64));
+        }
+        let lens = cache.shard_lens();
+        assert_eq!(lens.len(), 8);
+        assert_eq!(lens.iter().sum::<usize>(), 64);
+        // Hash placement should spread the keys: no shard hoards more
+        // than half the entries, and several shards are populated.
+        // (Loose bounds on purpose — the std hasher is deterministic
+        // within a release but not specified across releases.)
+        assert!(
+            *lens.iter().max().unwrap() <= 32,
+            "one shard hoards the keys: {lens:?}"
+        );
+        assert!(
+            lens.iter().filter(|&&l| l > 0).count() >= 3,
+            "keys clustered on too few shards: {lens:?}"
+        );
+        // Placement is stable: the same key always lands on the same
+        // shard, so re-inserting changes no shard sizes.
+        for key in &keys {
+            cache.insert(key.clone(), entry(0.0));
+        }
+        assert_eq!(cache.shard_lens(), lens);
     }
 
     #[test]

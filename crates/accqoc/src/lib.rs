@@ -27,6 +27,13 @@
 //! one-shot [`Session::compile_program`]. Every failure anywhere in the
 //! pipeline surfaces as the unified [`Error`].
 //!
+//! Compiled output is *provable*, not just fast:
+//! [`Session::verify_program`] propagates every cached pulse back through
+//! the control Hamiltonians and scores it against the circuit's reference
+//! unitaries ([`VerifyReport`]), and [`caches_equivalent`] is the
+//! differential oracle asserting that independent compile engines realize
+//! the same physics.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -55,6 +62,7 @@ mod partition;
 mod precompile;
 mod session;
 mod similarity;
+mod verify;
 
 pub use baselines::{brute_force_qoc, BruteForceConfig, BruteForceResult};
 pub use cache::{CachedPulse, PulseCache};
@@ -81,6 +89,10 @@ pub use session::{
     LatencyReport, LookupReport, MapReport, ProgramCompilation, Session, SessionBuilder,
 };
 pub use similarity::{uhlmann_fidelity, SimilarityFn};
+pub use verify::{
+    caches_equivalent, CacheDivergence, EquivalenceReport, GroupVerification, VerifyOptions,
+    VerifyReport,
+};
 
 /// One-line import for the common case: the session facade, the unified
 /// error type, and the configuration vocabulary the builder speaks.
@@ -97,7 +109,7 @@ pub mod prelude {
     // glob-imported alias would shadow `std::result::Result`.
     pub use crate::{
         CoverageStats, Error, ModelSet, PrecompileOrder, ProgramCompilation, PulseCache, Session,
-        SessionBuilder, SimilarityFn,
+        SessionBuilder, SimilarityFn, VerifyOptions, VerifyReport,
     };
     pub use accqoc_circuit::{Circuit, Gate};
     pub use accqoc_grape::{GrapeOptions, LatencySearch};

@@ -904,6 +904,63 @@ impl Session {
         precompile::compile_programs_parallel(self, programs, threads)
     }
 
+    // -- verification -------------------------------------------------------
+
+    /// Verifies that the session cache semantically implements `circuit`:
+    /// every unique group's cached pulse is propagated through its
+    /// control-model Hamiltonians and scored against the canonical group
+    /// unitary with the global-phase-invariant gate fidelity, and — on
+    /// registers narrow enough for dense evaluation — the per-instance
+    /// unitaries are composed per the grouped schedule and checked
+    /// against the whole-program reference unitary.
+    ///
+    /// Uses [`VerifyOptions::default`](crate::VerifyOptions); see
+    /// [`Session::verify_program_with`] for configurable thresholds.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UncoveredGroup`] when a group has no cached pulse
+    /// (compile the program first); [`Error::InvalidConfig`] when a
+    /// cached pulse does not fit its control model.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use accqoc::Session;
+    /// use accqoc_circuit::{Circuit, Gate};
+    /// use accqoc_hw::Topology;
+    ///
+    /// let mut grape = accqoc_grape::GrapeOptions::default();
+    /// grape.stop.max_iters = 200;
+    /// let session = Session::builder()
+    ///     .topology(Topology::linear(2))
+    ///     .grape(grape)
+    ///     .build()?;
+    /// let program = Circuit::from_gates(2, [Gate::H(0)]);
+    /// session.compile_program(&program)?;
+    /// let report = session.verify_program(&program)?;
+    /// assert!(report.passed);
+    /// assert!(report.min_group_fidelity >= 0.999);
+    /// # Ok::<(), accqoc::Error>(())
+    /// ```
+    pub fn verify_program(&self, circuit: &Circuit) -> Result<crate::VerifyReport> {
+        crate::verify::verify_program(self, circuit, &crate::VerifyOptions::default())
+    }
+
+    /// [`Session::verify_program`] with explicit thresholds and dense
+    /// composition limits.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::verify_program`].
+    pub fn verify_program_with(
+        &self,
+        circuit: &Circuit,
+        options: &crate::VerifyOptions,
+    ) -> Result<crate::VerifyReport> {
+        crate::verify::verify_program(self, circuit, options)
+    }
+
     /// Re-optimizes one cached group on a finer time grid (§IV-G).
     ///
     /// # Errors

@@ -10,7 +10,9 @@
 
 pub mod context;
 pub mod experiments;
+pub mod golden;
 pub mod table;
 
 pub use context::{fast_mode, ExperimentContext};
+pub use golden::{compute_corpus, diff_corpus, GoldenCorpus, GoldenRow};
 pub use table::{print_table, write_csv};

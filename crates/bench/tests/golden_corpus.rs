@@ -1,0 +1,58 @@
+//! Golden-corpus regression: recompute the compact golden suite from a
+//! fresh checkout and diff it against the checked-in snapshot under
+//! `results/golden/`.
+//!
+//! A failure here means a change moved compiled latencies, group
+//! structure, or pulse fidelities. If the movement is intentional,
+//! regenerate the snapshot with
+//! `cargo run --release -p accqoc-bench --bin verify_corpus` and explain
+//! the drift in the commit; if it is not, the diff lines name exactly
+//! which workload and metric regressed.
+
+use accqoc_bench::golden::{compute_corpus, diff_corpus, golden_dir, GoldenCorpus, GOLDEN_FILE};
+
+#[test]
+fn golden_corpus_matches_fresh_recomputation() {
+    let path = golden_dir().join(GOLDEN_FILE);
+    let expected = GoldenCorpus::load(&path).unwrap_or_else(|e| {
+        panic!(
+            "checked-in corpus {} unreadable ({e}); regenerate with the verify_corpus bin",
+            path.display()
+        )
+    });
+    let actual = compute_corpus();
+
+    let drift = diff_corpus(&expected, &actual);
+    assert!(
+        drift.is_empty(),
+        "golden corpus drifted ({} lines):\n  {}\nregenerate with \
+         `cargo run --release -p accqoc-bench --bin verify_corpus` if intentional",
+        drift.len(),
+        drift.join("\n  ")
+    );
+
+    // Beyond matching the snapshot, the recomputed corpus must satisfy
+    // the absolute acceptance bar regardless of what was checked in.
+    for row in &actual.rows {
+        assert_eq!(row.coverage_rate, 1.0, "{}: not fully covered", row.name);
+        assert!(
+            row.min_group_fidelity >= 0.999,
+            "{}: per-group fidelity {}",
+            row.name,
+            row.min_group_fidelity
+        );
+        assert!(
+            row.exact_fidelity >= 0.98,
+            "{}: exact program fidelity {}",
+            row.name,
+            row.exact_fidelity
+        );
+        assert!(
+            row.overall_latency_ns > 0.0 && row.overall_latency_ns < row.gate_based_latency_ns,
+            "{}: pulse latency {} vs gate-based {}",
+            row.name,
+            row.overall_latency_ns,
+            row.gate_based_latency_ns
+        );
+    }
+}

@@ -103,6 +103,33 @@ pub fn permute_qubits(u: &Mat, perm: &[usize], n_qubits: usize) -> Mat {
     u.permute_basis(&basis_perm)
 }
 
+/// Inverts a qubit relabeling: if `perm[i] = j` sends qubit `i` to
+/// position `j`, the result sends `j` back to `i`, so
+/// `permute_qubits(&permute_qubits(u, perm, n), &invert_permutation(perm), n)`
+/// is `u` again. The verification oracle uses this to map a pulse's
+/// canonical-frame unitary back into a group's local qubit ordering.
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of `0..perm.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_circuit::invert_permutation;
+///
+/// assert_eq!(invert_permutation(&[2, 0, 1]), vec![1, 2, 0]);
+/// ```
+pub fn invert_permutation(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![usize::MAX; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        assert!(p < perm.len(), "entry {p} out of range");
+        assert!(inv[p] == usize::MAX, "entry {p} repeats");
+        inv[p] = i;
+    }
+    inv
+}
+
 /// All permutations of `0..n` (Heap's algorithm); `n ≤ 5` in practice.
 fn permutations(n: usize) -> Vec<Vec<usize>> {
     let mut items: Vec<usize> = (0..n).collect();
@@ -190,6 +217,27 @@ mod tests {
         let ca = permute_qubits(&a, &pa, 2);
         let cb = permute_qubits(&b, &pb, 2);
         assert_eq!(UnitaryKey::from_unitary(&ca), UnitaryKey::from_unitary(&cb));
+    }
+
+    #[test]
+    fn invert_permutation_round_trips() {
+        let u = circuit_unitary(&Circuit::from_gates(
+            3,
+            [Gate::Cx(0, 1), Gate::T(2), Gate::H(0)],
+        ));
+        let perm = vec![2, 0, 1];
+        let inv = invert_permutation(&perm);
+        assert_eq!(inv, vec![1, 2, 0]);
+        let back = permute_qubits(&permute_qubits(&u, &perm, 3), &inv, 3);
+        assert!(back.approx_eq(&u, 1e-13));
+        assert_eq!(invert_permutation(&[0, 1]), vec![0, 1]);
+        assert_eq!(invert_permutation(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats")]
+    fn invert_permutation_rejects_duplicates() {
+        let _ = invert_permutation(&[0, 0, 1]);
     }
 
     #[test]

@@ -30,6 +30,6 @@ mod unitary;
 pub use circuit::Circuit;
 pub use dag::{CircuitDag, DagNode};
 pub use gate::{Gate, GateKind};
-pub use key::{permute_qubits, UnitaryKey, KEY_EPS};
+pub use key::{invert_permutation, permute_qubits, UnitaryKey, KEY_EPS};
 pub use qasm::{parse_qasm, to_qasm, QasmError};
 pub use unitary::{apply_gate, apply_unitary, circuit_unitary, embed_unitary, MAX_DENSE_QUBITS};

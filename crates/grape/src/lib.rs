@@ -47,7 +47,9 @@ pub use grape::{
     InitStrategy,
 };
 pub use optimizer::{Adam, Lbfgs, Momentum, OptimResult, Optimizer, OptimizerKind, StopCriteria};
-pub use propagate::{backward_states, forward_states, step_unitaries, total_unitary};
+pub use propagate::{
+    backward_states, forward_states, realized_infidelity, step_unitaries, total_unitary,
+};
 pub use pulse::Pulse;
 pub use state::{
     solve_state_transfer, state_infidelity, StateTransferOutcome, StateTransferProblem,

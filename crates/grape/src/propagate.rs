@@ -86,6 +86,21 @@ pub fn total_unitary(model: &ControlModel, pulse: &Pulse) -> Mat {
     x
 }
 
+/// Phase-invariant infidelity between the unitary a pulse actually
+/// realizes on `model` and `target`: `1 − |Tr(X_N† · target)| / d`.
+///
+/// This is the verification oracle's ground truth — a cached pulse is
+/// only as good as the unitary its propagation reproduces, and a healthy
+/// pulse sits at or below the paper's `1e-4` convergence target.
+///
+/// # Panics
+///
+/// Panics if the pulse channel count disagrees with the model or the
+/// target dimension disagrees with the model's Hilbert space.
+pub fn realized_infidelity(model: &ControlModel, pulse: &Pulse, target: &Mat) -> f64 {
+    accqoc_linalg::phase_invariant_infidelity(&total_unitary(model, pulse), target)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +112,21 @@ mod tests {
         let pulse = Pulse::zeros(model.n_controls(), 8, model.dt_ns());
         let u = total_unitary(&model, &pulse);
         assert!(u.approx_eq(&Mat::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn realized_infidelity_matches_direct_comparison() {
+        let model = ControlModel::spin_chain(1);
+        let mut pulse = Pulse::zeros(model.n_controls(), 10, 1.0);
+        for k in 0..10 {
+            pulse.set(0, k, 1.0);
+        }
+        let x = Mat::from_reals(&[0.0, 1.0, 1.0, 0.0]);
+        // A full-drive π rotation realizes X…
+        assert!(realized_infidelity(&model, &pulse, &x) < 1e-10);
+        // …and is maximally far from Z.
+        let z = Mat::from_reals(&[1.0, 0.0, 0.0, -1.0]);
+        assert!(realized_infidelity(&model, &pulse, &z) > 0.99);
     }
 
     #[test]

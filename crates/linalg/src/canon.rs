@@ -77,7 +77,44 @@ pub fn approx_eq_up_to_phase(a: &Mat, b: &Mat, tol: f64) -> bool {
 pub fn phase_invariant_infidelity(a: &Mat, b: &Mat) -> f64 {
     assert!(a.is_square() && a.rows() == b.rows() && a.cols() == b.cols());
     let d = a.rows() as f64;
-    (1.0 - a.hs_inner(b).abs() / d).max(0.0)
+    let overlap = a.hs_inner(b).abs() / d;
+    if overlap.is_nan() {
+        // Non-finite inputs must score as maximally *bad*: f64::max
+        // would otherwise discard the NaN and report a perfect 0.0.
+        return 1.0;
+    }
+    (1.0 - overlap).max(0.0)
+}
+
+/// Gate fidelity between two unitaries, `|Tr(A†B)| / d` — one iff they
+/// agree up to global phase; the complement of
+/// [`phase_invariant_infidelity`]. This is the headline number the
+/// verification oracle reports per gate group.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or non-square input.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_linalg::{phase_invariant_fidelity, Mat, C64};
+///
+/// let a = Mat::identity(2);
+/// let b = a.scale(C64::cis(0.4)); // pure global phase
+/// assert!((phase_invariant_fidelity(&a, &b) - 1.0).abs() < 1e-12);
+/// ```
+pub fn phase_invariant_fidelity(a: &Mat, b: &Mat) -> f64 {
+    assert!(a.is_square() && a.rows() == b.rows() && a.cols() == b.cols());
+    let d = a.rows() as f64;
+    let overlap = a.hs_inner(b).abs() / d;
+    if overlap.is_nan() {
+        // A NaN-poisoned matrix (e.g. a corrupted cached pulse propagated
+        // to NaN) must score zero, not slip through f64::min as 1.0 — a
+        // verifier that scores garbage as perfect is worse than none.
+        return 0.0;
+    }
+    overlap.min(1.0)
 }
 
 /// Quantizes a matrix to `i64` grid points at resolution `eps` and returns
@@ -156,6 +193,33 @@ mod tests {
     fn zero_matrix_passthrough() {
         let z = Mat::zeros(2, 2);
         assert!(global_phase_canonical(&z).approx_eq(&z, 0.0));
+    }
+
+    #[test]
+    fn fidelity_complements_infidelity() {
+        let h = Mat::from_reals(&[1.0, 1.0, 1.0, -1.0]).scale_re(std::f64::consts::FRAC_1_SQRT_2);
+        let x = Mat::from_reals(&[0.0, 1.0, 1.0, 0.0]);
+        let fid = phase_invariant_fidelity(&h, &x);
+        let infid = phase_invariant_infidelity(&h, &x);
+        assert!((fid + infid - 1.0).abs() < 1e-12);
+        assert!(fid < 1.0, "distinct gates are not equivalent");
+        // Orthogonal pair: fidelity bottoms out at 0.
+        let z = Mat::from_reals(&[1.0, 0.0, 0.0, -1.0]);
+        assert!(phase_invariant_fidelity(&x, &z) < 1e-12);
+        // Phase-equivalent pair: exactly 1 (clamped).
+        let phased = x.scale(C64::cis(1.3));
+        assert!((phase_invariant_fidelity(&x, &phased) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_inputs_score_maximally_bad_not_perfect() {
+        let good = Mat::identity(2);
+        let mut poisoned = Mat::identity(2);
+        poisoned[(0, 0)] = C64::real(f64::NAN);
+        assert_eq!(phase_invariant_fidelity(&good, &poisoned), 0.0);
+        assert_eq!(phase_invariant_fidelity(&poisoned, &good), 0.0);
+        assert_eq!(phase_invariant_infidelity(&good, &poisoned), 1.0);
+        assert_eq!(phase_invariant_infidelity(&poisoned, &poisoned), 1.0);
     }
 
     #[test]

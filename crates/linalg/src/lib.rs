@@ -46,7 +46,8 @@ mod qr;
 mod sqrtm;
 
 pub use canon::{
-    approx_eq_up_to_phase, global_phase_canonical, phase_invariant_infidelity, quantized_bytes,
+    approx_eq_up_to_phase, global_phase_canonical, phase_invariant_fidelity,
+    phase_invariant_infidelity, quantized_bytes,
 };
 pub use complex::{C64, I, ONE, ZERO};
 pub use eig::{eigh, expm_i_hermitian, funm_hermitian, EigH};

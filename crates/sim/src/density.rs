@@ -155,6 +155,38 @@ impl DensityMatrix {
     }
 }
 
+/// Fidelity `|⟨ψ_a|ψ_b⟩|²` between the output states two unitaries
+/// produce from the same computational basis state `|basis_idx⟩`.
+///
+/// A state-level spot check that two compilations of the same program act
+/// identically on a chosen input — the verification oracle runs it on
+/// `|0…0⟩` alongside the process-fidelity comparison. Insensitive to
+/// global phase by construction.
+///
+/// # Panics
+///
+/// Panics on non-square or mismatched unitaries, or an out-of-range
+/// basis index.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_linalg::{Mat, C64};
+/// use accqoc_sim::output_state_fidelity;
+///
+/// let x = Mat::from_reals(&[0.0, 1.0, 1.0, 0.0]);
+/// let phased = x.scale(C64::cis(0.9));
+/// assert!((output_state_fidelity(&x, &phased, 0) - 1.0).abs() < 1e-12);
+/// assert!(output_state_fidelity(&x, &Mat::identity(2), 0) < 1e-12);
+/// ```
+pub fn output_state_fidelity(u_a: &Mat, u_b: &Mat, basis_idx: usize) -> f64 {
+    assert!(u_a.is_square() && u_b.is_square(), "unitaries are square");
+    assert_eq!(u_a.rows(), u_b.rows(), "dimension mismatch");
+    assert!(basis_idx < u_a.rows(), "basis index out of range");
+    let column = |u: &Mat| Mat::from_fn(u.rows(), 1, |r, _| u[(r, basis_idx)]);
+    DensityMatrix::from_pure(&column(u_b)).fidelity_with_pure(&column(u_a))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,5 +251,19 @@ mod tests {
     fn non_normalized_pure_rejected() {
         let v = Mat::from_fn(2, 1, |_, _| C64::real(1.0));
         let _ = DensityMatrix::from_pure(&v);
+    }
+
+    #[test]
+    fn output_state_fidelity_distinguishes_inputs() {
+        use accqoc_circuit::{circuit_unitary, Circuit};
+        let bell = circuit_unitary(&Circuit::from_gates(2, [Gate::H(0), Gate::Cx(0, 1)]));
+        // Same unitary, same column: perfect overlap on every input.
+        for idx in 0..4 {
+            assert!((output_state_fidelity(&bell, &bell, idx) - 1.0).abs() < 1e-12);
+        }
+        // H⊗I sends |00⟩ to (|00⟩+|10⟩)/√2; the Bell output is
+        // (|00⟩+|11⟩)/√2, so the overlap is |1/2|² = 1/4.
+        let h_only = circuit_unitary(&Circuit::from_gates(2, [Gate::H(0)]));
+        assert!((output_state_fidelity(&bell, &h_only, 0) - 0.25).abs() < 1e-12);
     }
 }

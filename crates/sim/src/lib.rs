@@ -24,6 +24,6 @@ mod density;
 mod executor;
 mod kraus;
 
-pub use density::DensityMatrix;
+pub use density::{output_state_fidelity, DensityMatrix};
 pub use executor::{execute_noisy, latency_fidelity_comparison, ExecutionNoise, ExecutionResult};
 pub use kraus::{amplitude_damping, dephasing, depolarizing, embed_kraus, is_trace_preserving};

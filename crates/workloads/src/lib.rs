@@ -26,4 +26,7 @@ mod suite;
 pub use gse::gse;
 pub use qft::qft;
 pub use revlib::{extended_specs, nct_circuit, paper_specs, NctSpec};
-pub use suite::{full_suite, profiling_split, sample_programs, BenchProgram, SUITE_SIZE};
+pub use suite::{
+    full_suite, golden_suite, profiling_split, sample_programs, BenchProgram, GOLDEN_NAMES,
+    SUITE_SIZE,
+};

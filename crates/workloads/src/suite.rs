@@ -106,6 +106,38 @@ pub fn full_suite() -> Vec<BenchProgram> {
     out
 }
 
+/// Names of the golden-corpus programs, in corpus order. The selection
+/// policy: at most 5 qubits (so the verifier's exact dense-composition
+/// oracle applies on a 5-qubit device and the corpus recomputes quickly
+/// from a fresh checkout), at most ~150 hardware-basis gates, and at
+/// least one program from each suite family (QFT, GSE, RevLib).
+pub const GOLDEN_NAMES: [&str; 4] = ["qft_3", "qft_4", "gse_4_1", "4mod5-v1_22"];
+
+/// The compact, deterministic subset of the suite backing the golden
+/// regression corpus under `results/golden/` (see [`GOLDEN_NAMES`] for
+/// the selection policy).
+///
+/// # Examples
+///
+/// ```
+/// let golden = accqoc_workloads::golden_suite();
+/// assert_eq!(golden.len(), accqoc_workloads::GOLDEN_NAMES.len());
+/// assert!(golden.iter().all(|p| p.circuit.n_qubits() <= 5));
+/// ```
+pub fn golden_suite() -> Vec<BenchProgram> {
+    let suite = full_suite();
+    GOLDEN_NAMES
+        .iter()
+        .map(|name| {
+            suite
+                .iter()
+                .find(|p| p.name == *name)
+                .unwrap_or_else(|| panic!("golden program {name} missing from suite"))
+                .clone()
+        })
+        .collect()
+}
+
 /// Splits the suite into (profiling, evaluation) with a random third used
 /// for static pre-compilation, seeded for reproducibility (paper §IV-C:
 /// "we randomly select one-third of quantum programs from our set of
@@ -220,6 +252,28 @@ mod tests {
                 "{} has {len} gates",
                 suite[i].name
             );
+        }
+    }
+
+    #[test]
+    fn golden_suite_is_small_deterministic_and_cross_family() {
+        let golden = golden_suite();
+        assert_eq!(golden.len(), GOLDEN_NAMES.len());
+        for (p, name) in golden.iter().zip(GOLDEN_NAMES) {
+            assert_eq!(p.name, name);
+            assert!(p.circuit.n_qubits() <= 5, "{name} too wide");
+            assert!(p.decomposed_len() <= 150, "{name} too large");
+        }
+        // One program per family at least.
+        assert!(golden.iter().any(|p| p.name.starts_with("qft_")));
+        assert!(golden.iter().any(|p| p.name.starts_with("gse_")));
+        assert!(golden
+            .iter()
+            .any(|p| !p.name.starts_with("qft_") && !p.name.starts_with("gse_")));
+        // Deterministic across calls.
+        let again = golden_suite();
+        for (a, b) in golden.iter().zip(&again) {
+            assert_eq!(a.circuit, b.circuit);
         }
     }
 

@@ -163,6 +163,90 @@ fn qasm_errors_convert_into_the_unified_type() {
 }
 
 #[test]
+fn qasm_rejects_each_kind_of_malformed_gate_line() {
+    use accqoc_repro::circuit::parse_qasm;
+    // (source, what the message should mention)
+    let cases: [(&str, &str); 6] = [
+        ("qreg q[2]; frobnicate q[0];", "frobnicate"),
+        ("qreg q[2]; h q[9];", "out of range"),
+        ("qreg q[2]; h r[0];", "unknown register"),
+        ("qreg q[2]; cx q[0];", "expects"),
+        ("qreg q[2]; rz(pi/0x) q[0];", "expression"),
+        ("qreg q[2]; h q0;", "expected reg[idx]"),
+    ];
+    for (source, needle) in cases {
+        let e = parse_qasm(source).unwrap_err();
+        let shown = e.to_string();
+        assert!(
+            shown.to_lowercase().contains(&needle.to_lowercase()),
+            "{source:?} → {shown:?} should mention {needle:?}"
+        );
+        assert!(shown.contains("line"), "errors locate the line: {shown}");
+    }
+}
+
+#[test]
+fn truncated_cache_files_error_instead_of_loading_garbage() {
+    // Persist a real cache, then truncate it at several byte counts:
+    // every prefix must fail as Json or load the complete file, never
+    // panic or return a silently short cache.
+    let session = Session::builder()
+        .topology(Topology::linear(2))
+        .build()
+        .unwrap();
+    session
+        .compile_program(&Circuit::from_gates(2, [Gate::H(0)]))
+        .unwrap();
+    let full = session.cache_snapshot().to_json();
+    let dir = std::env::temp_dir().join("accqoc_truncated_cache");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cache.json");
+    for keep in [0, 1, full.len() / 4, full.len() / 2, full.len() - 2] {
+        let mut truncated = full.clone();
+        truncated.truncate(keep);
+        std::fs::write(&path, &truncated).unwrap();
+        let e = PulseCache::load(&path).unwrap_err();
+        assert!(matches!(e, Error::Json(_)), "{keep} bytes kept: {e}");
+    }
+    // The untruncated file still loads.
+    std::fs::write(&path, &full).unwrap();
+    assert_eq!(PulseCache::load(&path).unwrap().len(), 1);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn verify_report_round_trips_and_rejects_malformed_json() {
+    use accqoc_repro::accqoc::VerifyReport;
+    let session = Session::builder()
+        .topology(Topology::linear(2))
+        .build()
+        .unwrap();
+    let program = Circuit::from_gates(2, [Gate::H(0), Gate::Cx(0, 1)]);
+    session.compile_program(&program).unwrap();
+    let report = session.verify_program(&program).unwrap();
+
+    // Bit-exact JSON round trip (fidelities survive shortest-f64 text).
+    let restored = VerifyReport::from_json(&report.to_json()).unwrap();
+    assert_eq!(restored, report);
+
+    // Malformed documents surface as unified Json errors.
+    for bad in [
+        "not json",
+        "{}",
+        "{\"passed\": \"yes\"}",
+        "{\"groups\": [{\"key\": \"zz\"}]}",
+    ] {
+        let e = VerifyReport::from_json(bad).unwrap_err();
+        assert!(matches!(e, Error::Json(_)), "{bad:?} → {e:?}");
+    }
+    // Truncation of a valid report also errors.
+    let text = report.to_json();
+    let mut truncated = text.clone();
+    truncated.truncate(text.len() / 2);
+    assert!(VerifyReport::from_json(&truncated).is_err());
+}
+
+#[test]
 fn examples_pattern_boxed_error_interop() {
     // The examples return Box<dyn Error>; `?` must work on every stage.
     fn pipeline() -> Result<f64, Box<dyn std::error::Error>> {

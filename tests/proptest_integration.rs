@@ -1,6 +1,11 @@
 //! Property-based integration tests across crates: random circuits flow
 //! through parsing, mapping, grouping, and dedup without violating the
 //! pipeline's invariants.
+//!
+//! Reproducibility: each test draws from a deterministic per-test seed,
+//! and a failure prints the seed in effect. To replay a failing case
+//! sequence exactly, export `ACCQOC_PROPTEST_SEED=<printed seed>` and
+//! re-run the single test (see the `proptest` compat crate).
 
 use accqoc_repro::circuit::{circuit_unitary, parse_qasm, to_qasm, Circuit, Gate, UnitaryKey};
 use accqoc_repro::group::{dedup_groups, divide_circuit, GroupingPolicy, SwapMode};
