@@ -141,6 +141,12 @@ impl ConcurrentPulseCache {
         Self::write(self.shard(&key)).insert(key, value)
     }
 
+    /// Removes one entry, returning it if it was present (one shard
+    /// write lock).
+    pub fn remove(&self, key: &UnitaryKey) -> Option<CachedPulse> {
+        Self::write(self.shard(key)).remove(key)
+    }
+
     /// Merges a plain cache into this one (incoming entries win).
     pub fn merge(&self, other: PulseCache) {
         for (key, value) in other.into_entries() {

@@ -19,6 +19,14 @@
 //!    writing into a sharded [`ConcurrentPulseCache`]. The partition
 //!    plan is thread-count-invariant, so the persisted cache artifact is
 //!    byte-identical however many threads run it.
+//! 4. **Online serving** ([`PulseLibrary`],
+//!    [`Session::serve_program`]) — programs arriving *after* batch
+//!    precompile resolve each group against the live, fingerprint-indexed
+//!    library: exact hits are free, misses warm-start GRAPE from the
+//!    nearest cached neighbor (sublinear bucketed retrieval, exact
+//!    similarity re-scoring on the top-k), and results insert back under
+//!    an optional LRU capacity bound, with hit/miss/warm/scratch
+//!    counters in [`LibraryStats`].
 //!
 //! The top-level entry point is [`Session`]: built once, it owns the
 //! device configuration, the control models, and the pulse cache, and
@@ -55,6 +63,7 @@ mod compile;
 mod concurrent_cache;
 mod error;
 pub mod json;
+pub mod library;
 mod model;
 mod mst;
 mod parallel;
@@ -73,6 +82,10 @@ pub use concurrent_cache::{ConcurrentPulseCache, DEFAULT_CACHE_SHARDS};
 #[allow(deprecated)]
 pub use error::AccQocError;
 pub use error::{Error, Result};
+pub use library::{
+    batch_plan, LibraryStats, NearestPulse, PulseLibrary, ServeOptions, ServeReport, ServedGroup,
+    UnitaryFingerprint,
+};
 pub use model::{ModelSet, MAX_MODEL_QUBITS};
 pub use mst::{mst_compile_order, scratch_order, CompileOrder, CompileStep, SimilarityGraph};
 pub use parallel::{
@@ -88,7 +101,7 @@ pub use session::{
     CompileReport, CoverageStats, DecomposeReport, GroupCompilation, GroupReport, GroupTarget,
     LatencyReport, LookupReport, MapReport, ProgramCompilation, Session, SessionBuilder,
 };
-pub use similarity::{uhlmann_fidelity, SimilarityFn};
+pub use similarity::{uhlmann_fidelity, uhlmann_fidelity_with, SimilarityFn, SimilarityScratch};
 pub use verify::{
     caches_equivalent, CacheDivergence, EquivalenceReport, GroupVerification, VerifyOptions,
     VerifyReport,
@@ -108,8 +121,9 @@ pub mod prelude {
     // binaries routinely return `Result<(), Box<dyn Error>>`, and a
     // glob-imported alias would shadow `std::result::Result`.
     pub use crate::{
-        CoverageStats, Error, ModelSet, PrecompileOrder, ProgramCompilation, PulseCache, Session,
-        SessionBuilder, SimilarityFn, VerifyOptions, VerifyReport,
+        CoverageStats, Error, LibraryStats, ModelSet, PrecompileOrder, ProgramCompilation,
+        PulseCache, ServeOptions, ServeReport, Session, SessionBuilder, SimilarityFn,
+        VerifyOptions, VerifyReport,
     };
     pub use accqoc_circuit::{Circuit, Gate};
     pub use accqoc_grape::{GrapeOptions, LatencySearch};

@@ -1,0 +1,659 @@
+//! The incremental pulse library: one engine behind batch pre-compilation
+//! and online serving.
+//!
+//! Historically the repository had two disconnected stories about pulse
+//! reuse: the *batch* story (profile a suite, build the O(n²) similarity
+//! graph, compile in MST order, persist the cache — §IV/§V of the paper)
+//! and nothing at all for programs arriving *after* precompile, which is
+//! exactly the serve-heavy regime the ROADMAP targets. [`PulseLibrary`]
+//! unifies them:
+//!
+//! - **storage** — the sharded [`ConcurrentPulseCache`] keeps the pulses;
+//!   the library adds per-entry recency metadata and an optional capacity
+//!   bound with deterministic least-recently-used eviction;
+//! - **retrieval** — every entry inserted with its canonical unitary is
+//!   fingerprinted ([`UnitaryFingerprint`]) into a bucketed index, so a
+//!   cache miss finds warm-start candidates in sublinear time and only
+//!   the top-k short list is re-scored with the exact [`SimilarityFn`];
+//! - **planning** — [`batch_plan`] is the one place the similarity graph
+//!   and MST compile order are built; the batch drivers
+//!   ([`Session::precompile`](crate::Session::precompile) and friends)
+//!   and the staged [`Session::compile`](crate::Session::compile) all
+//!   call it, so batch artifacts stay byte-identical to the
+//!   pre-refactor engine;
+//! - **serving** — [`Session::serve_program`](crate::Session::serve_program)
+//!   drives the library online: hits are free, misses warm-start GRAPE
+//!   from the nearest cached neighbor and insert the result back, and
+//!   [`LibraryStats`] counts all of it.
+
+mod fingerprint;
+pub(crate) mod serve;
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use accqoc_circuit::UnitaryKey;
+use accqoc_grape::Pulse;
+use accqoc_linalg::Mat;
+
+use crate::cache::{CachedPulse, PulseCache};
+use crate::concurrent_cache::ConcurrentPulseCache;
+use crate::mst::{mst_compile_order, CompileOrder, SimilarityGraph};
+use crate::similarity::{SimilarityFn, SimilarityScratch};
+
+pub use fingerprint::UnitaryFingerprint;
+pub use serve::{ServeOptions, ServeReport, ServedGroup};
+
+use fingerprint::FingerprintIndex;
+
+/// Builds the similarity graph over a batch of group unitaries and the
+/// MST-ordered compile sequence in one step — the single planning
+/// entry point shared by batch pre-compilation, the staged
+/// [`Session::compile`](crate::Session::compile), and the parallel batch
+/// drivers. One [`SimilarityScratch`] is threaded through the whole
+/// O(n²) build.
+pub fn batch_plan(
+    unitaries: Vec<Mat>,
+    similarity: SimilarityFn,
+) -> (SimilarityGraph, CompileOrder) {
+    let graph = SimilarityGraph::build(unitaries, similarity);
+    let order = mst_compile_order(&graph);
+    (graph, order)
+}
+
+/// Point-in-time counters of the library's serving behavior.
+///
+/// Hits and misses count *unique groups* as they are served (a program
+/// with five instances of one cached group scores one hit); warm and
+/// scratch compiles partition the misses by whether the nearest-neighbor
+/// warm start passed the trace-overlap gate.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LibraryStats {
+    /// Unique groups served straight from the cache.
+    pub hits: u64,
+    /// Unique groups that had to be compiled.
+    pub misses: u64,
+    /// Misses compiled warm-started from a fingerprint neighbor.
+    pub warm_compiles: u64,
+    /// Misses compiled from scratch (empty library, no neighbor within
+    /// the warm-start gate, or a dimension never seen before).
+    pub scratch_compiles: u64,
+    /// GRAPE iterations spent on warm-started compiles.
+    pub warm_iterations: u64,
+    /// GRAPE iterations spent on scratch compiles.
+    pub scratch_iterations: u64,
+    /// Entries evicted to honor the capacity bound.
+    pub evictions: u64,
+}
+
+impl LibraryStats {
+    /// Fraction of served unique groups found in the cache (1.0 when
+    /// nothing has been served).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of compiles that were warm-started (0.0 when nothing has
+    /// been compiled).
+    pub fn warm_share(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.warm_compiles as f64 / self.misses as f64
+        }
+    }
+
+    /// Mean GRAPE iterations per warm-started compile.
+    pub fn mean_warm_iterations(&self) -> f64 {
+        if self.warm_compiles == 0 {
+            0.0
+        } else {
+            self.warm_iterations as f64 / self.warm_compiles as f64
+        }
+    }
+
+    /// Mean GRAPE iterations per scratch compile.
+    pub fn mean_scratch_iterations(&self) -> f64 {
+        if self.scratch_compiles == 0 {
+            0.0
+        } else {
+            self.scratch_iterations as f64 / self.scratch_compiles as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct StatsCells {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    warm_compiles: AtomicU64,
+    scratch_compiles: AtomicU64,
+    warm_iterations: AtomicU64,
+    scratch_iterations: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Index-side state kept under one mutex: the fingerprint index plus the
+/// recency metadata that drives eviction.
+#[derive(Debug, Default)]
+struct LibraryState {
+    index: FingerprintIndex,
+    /// Last-use stamp per stored key (indexed or not).
+    recency: HashMap<UnitaryKey, u64>,
+    /// Scratch for exact re-scoring of fingerprint candidates.
+    scratch: SimilarityScratch,
+}
+
+/// A warm-start neighbor found by [`PulseLibrary::nearest`].
+#[derive(Debug, Clone)]
+pub struct NearestPulse {
+    /// Canonical key of the neighbor entry.
+    pub key: UnitaryKey,
+    /// Exact similarity distance from the query to the neighbor (under
+    /// the similarity function passed to the query).
+    pub distance: f64,
+    /// The neighbor's canonical unitary (for warm-start gating).
+    pub unitary: Mat,
+    /// The neighbor's cached pulse.
+    pub pulse: Pulse,
+}
+
+/// The incremental pulse library: bounded, fingerprint-indexed storage
+/// for compiled group pulses, shared by the batch and online paths.
+///
+/// Thread safety mirrors [`ConcurrentPulseCache`]: every method takes
+/// `&self`. Pulse reads take one shard read lock; index queries and
+/// recency updates serialize on one internal mutex (they are orders of
+/// magnitude cheaper than the GRAPE compiles they guard).
+///
+/// # Capacity and eviction
+///
+/// With `capacity = None` (the default — what every batch path uses) the
+/// library never evicts and batch pre-compilation artifacts stay exactly
+/// as deterministic as the underlying cache. With `Some(n)`, inserting
+/// beyond `n` entries evicts the least-recently-used key first
+/// (deterministic tie-break on key order); `Some(0)` stores nothing and
+/// turns the library into a pure pass-through compiler.
+#[derive(Debug)]
+pub struct PulseLibrary {
+    pulses: ConcurrentPulseCache,
+    state: Mutex<LibraryState>,
+    capacity: Option<usize>,
+    stats: StatsCells,
+    clock: AtomicU64,
+}
+
+impl Default for PulseLibrary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PulseLibrary {
+    /// An empty, unbounded library.
+    pub fn new() -> Self {
+        Self::with_capacity(None)
+    }
+
+    /// An empty library holding at most `capacity` entries (`None` =
+    /// unbounded).
+    pub fn with_capacity(capacity: Option<usize>) -> Self {
+        Self {
+            pulses: ConcurrentPulseCache::new(),
+            state: Mutex::new(LibraryState::default()),
+            capacity,
+            stats: StatsCells::default(),
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    /// An unbounded library pre-seeded from a plain cache (entries are
+    /// stored but not fingerprint-indexed — a plain cache carries no
+    /// unitaries; see [`PulseLibrary::index_unitary`]).
+    pub fn from_cache(cache: PulseCache) -> Self {
+        let lib = Self::new();
+        lib.merge(cache);
+        lib
+    }
+
+    /// The capacity bound (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// The underlying sharded pulse store.
+    pub fn pulses(&self) -> &ConcurrentPulseCache {
+        &self.pulses
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.pulses.len()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.pulses.is_empty()
+    }
+
+    /// Number of fingerprint-indexed entries (≤ [`PulseLibrary::len`]:
+    /// entries merged from plain caches carry no unitary to index).
+    pub fn indexed_len(&self) -> usize {
+        self.lock().index.len()
+    }
+
+    /// `true` when the store covers `key`.
+    pub fn contains(&self, key: &UnitaryKey) -> bool {
+        self.pulses.contains(key)
+    }
+
+    /// A copy of one entry, if covered. Does not touch recency — use
+    /// [`PulseLibrary::touch`] on the serving path.
+    pub fn get(&self, key: &UnitaryKey) -> Option<CachedPulse> {
+        self.pulses.get(key)
+    }
+
+    /// Refreshes `key`'s recency stamp (serving-path hits call this so
+    /// hot entries survive eviction).
+    pub fn touch(&self, key: &UnitaryKey) {
+        let stamp = self.tick();
+        let mut state = self.lock();
+        if let Some(slot) = state.recency.get_mut(key) {
+            *slot = stamp;
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, LibraryState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Inserts an entry without fingerprint metadata (it is stored,
+    /// served on exact key hits, and evictable, but never returned as a
+    /// warm-start neighbor).
+    pub fn insert(&self, key: UnitaryKey, entry: CachedPulse) {
+        let stamp = self.tick();
+        let mut state = self.lock();
+        if self.capacity == Some(0) {
+            return;
+        }
+        self.pulses.insert(key.clone(), entry);
+        state.recency.insert(key, stamp);
+        self.evict_over_capacity(&mut state);
+    }
+
+    /// Inserts an entry together with its canonical unitary, making it
+    /// retrievable as a warm-start neighbor. This is the path every
+    /// compile (batch or served) goes through.
+    pub fn insert_indexed(&self, key: UnitaryKey, unitary: &Mat, entry: CachedPulse) {
+        let stamp = self.tick();
+        let n_qubits = entry.n_qubits;
+        let mut state = self.lock();
+        if self.capacity == Some(0) {
+            return;
+        }
+        self.pulses.insert(key.clone(), entry);
+        state.index.insert(key.clone(), unitary, n_qubits);
+        state.recency.insert(key, stamp);
+        self.evict_over_capacity(&mut state);
+    }
+
+    /// Adds fingerprint metadata for an already-stored entry (no-op when
+    /// `key` is not stored). Batch drivers call this after a bulk merge,
+    /// when the canonical unitaries are still at hand.
+    pub fn index_unitary(&self, key: &UnitaryKey, unitary: &Mat, n_qubits: usize) {
+        if !self.pulses.contains(key) {
+            return;
+        }
+        let mut state = self.lock();
+        state.index.insert(key.clone(), unitary, n_qubits);
+    }
+
+    /// Merges a plain cache (incoming entries win). Entries are stored
+    /// un-indexed; keys are processed in sorted order so capacity
+    /// eviction stays deterministic.
+    pub fn merge(&self, cache: PulseCache) {
+        let mut entries: Vec<(UnitaryKey, CachedPulse)> = cache.into_entries().collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        for (key, entry) in entries {
+            self.insert(key, entry);
+        }
+    }
+
+    /// Replaces the entire contents with `cache` in one step (index and
+    /// recency metadata are rebuilt un-indexed; concurrent readers of the
+    /// pulse store see the atomic [`ConcurrentPulseCache::replace`]).
+    pub fn replace(&self, cache: PulseCache) {
+        let mut state = self.lock();
+        state.index.clear();
+        state.recency.clear();
+        if self.capacity == Some(0) {
+            self.pulses.replace(PulseCache::new());
+            return;
+        }
+        let mut keys: Vec<UnitaryKey> = cache.iter().map(|(k, _)| k.clone()).collect();
+        keys.sort();
+        let stamp = self.tick();
+        for key in keys {
+            state.recency.insert(key, stamp);
+        }
+        self.pulses.replace(cache);
+        self.evict_over_capacity(&mut state);
+    }
+
+    /// Removes every entry and all metadata.
+    pub fn clear(&self) {
+        let mut state = self.lock();
+        state.index.clear();
+        state.recency.clear();
+        self.pulses.clear();
+    }
+
+    /// A plain, sorted-key snapshot of the stored pulses (see
+    /// [`ConcurrentPulseCache::snapshot`]).
+    pub fn snapshot(&self) -> PulseCache {
+        self.pulses.snapshot()
+    }
+
+    /// Evicts least-recently-used entries until the capacity bound
+    /// holds. Caller holds the state lock.
+    fn evict_over_capacity(&self, state: &mut LibraryState) {
+        let Some(capacity) = self.capacity else {
+            return;
+        };
+        while state.recency.len() > capacity {
+            let victim = state
+                .recency
+                .iter()
+                .min_by(|a, b| a.1.cmp(b.1).then_with(|| a.0.cmp(b.0)))
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            state.recency.remove(&victim);
+            state.index.remove(&victim);
+            self.pulses.remove(&victim);
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The nearest indexed neighbor of `unitary`: fingerprint buckets
+    /// propose up to `k` candidates, the exact `similarity` function
+    /// re-scores them, and the best (distance, key) wins. Returns `None`
+    /// on an empty index or when no same-dimension entry exists.
+    pub fn nearest(
+        &self,
+        unitary: &Mat,
+        n_qubits: usize,
+        k: usize,
+        similarity: SimilarityFn,
+    ) -> Option<NearestPulse> {
+        let query = UnitaryFingerprint::of(unitary, n_qubits);
+        self.nearest_by_fingerprint(&query, unitary, k, similarity)
+    }
+
+    /// [`PulseLibrary::nearest`] with a precomputed query fingerprint —
+    /// the serving loop re-queries every remaining miss after each
+    /// insert, so it fingerprints each miss once and reuses it across
+    /// rounds instead of recomputing the trace moments per query.
+    pub fn nearest_by_fingerprint(
+        &self,
+        query: &UnitaryFingerprint,
+        unitary: &Mat,
+        k: usize,
+        similarity: SimilarityFn,
+    ) -> Option<NearestPulse> {
+        let mut state = self.lock();
+        // Split the guard so the exact re-scoring borrows the index
+        // entries and the scratch simultaneously — no per-candidate
+        // unitary clones on the serving hot path.
+        let LibraryState { index, scratch, .. } = &mut *state;
+        let candidates = index.candidates(query, k);
+        let mut best: Option<(UnitaryKey, f64)> = None;
+        for (key, _) in candidates {
+            // A candidate key missing from the entry map would mean the
+            // bucket lists drifted from the entries; degrade to skipping
+            // the candidate, never to aborting a query with a valid best.
+            let Some(entry) = index.get(&key) else {
+                continue;
+            };
+            let d = similarity.distance_with(unitary, &entry.unitary, scratch);
+            let better = match &best {
+                None => true,
+                Some((bk, bd)) => d < *bd || (d == *bd && key < *bk),
+            };
+            if better {
+                best = Some((key, d));
+            }
+        }
+        let (key, distance) = best?;
+        let neighbor = index.get(&key)?.unitary.clone();
+        drop(state);
+        let pulse = self.pulses.get(&key)?.pulse;
+        Some(NearestPulse {
+            key,
+            distance,
+            unitary: neighbor,
+            pulse,
+        })
+    }
+
+    /// A point-in-time snapshot of the serving counters.
+    pub fn stats(&self) -> LibraryStats {
+        LibraryStats {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            warm_compiles: self.stats.warm_compiles.load(Ordering::Relaxed),
+            scratch_compiles: self.stats.scratch_compiles.load(Ordering::Relaxed),
+            warm_iterations: self.stats.warm_iterations.load(Ordering::Relaxed),
+            scratch_iterations: self.stats.scratch_iterations.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the serving counters (eviction counts included).
+    pub fn reset_stats(&self) {
+        self.stats.hits.store(0, Ordering::Relaxed);
+        self.stats.misses.store(0, Ordering::Relaxed);
+        self.stats.warm_compiles.store(0, Ordering::Relaxed);
+        self.stats.scratch_compiles.store(0, Ordering::Relaxed);
+        self.stats.warm_iterations.store(0, Ordering::Relaxed);
+        self.stats.scratch_iterations.store(0, Ordering::Relaxed);
+        self.stats.evictions.store(0, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_hit(&self) {
+        self.stats.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_compile(&self, warm: bool, iterations: usize) {
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        if warm {
+            self.stats.warm_compiles.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .warm_iterations
+                .fetch_add(iterations as u64, Ordering::Relaxed);
+        } else {
+            self.stats.scratch_compiles.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .scratch_iterations
+                .fetch_add(iterations as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Clone for PulseLibrary {
+    /// Clones contents and index; the serving counters start fresh and
+    /// the recency clock continues from the source's stamp.
+    fn clone(&self) -> Self {
+        // Pulses are cloned while the state lock is held so the copied
+        // recency/index metadata agrees with the copied pulse store even
+        // when other threads are serving concurrently (the lock-then-
+        // shard order matches every other multi-structure operation).
+        let state = self.lock();
+        let pulses = self.pulses.clone();
+        let cloned_state = LibraryState {
+            index: state.index.clone(),
+            recency: state.recency.clone(),
+            scratch: SimilarityScratch::new(),
+        };
+        drop(state);
+        Self {
+            pulses,
+            state: Mutex::new(cloned_state),
+            capacity: self.capacity,
+            stats: StatsCells::default(),
+            clock: AtomicU64::new(self.clock.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accqoc_circuit::{circuit_unitary, Circuit, Gate};
+
+    fn rz(theta: f64) -> Mat {
+        circuit_unitary(&Circuit::from_gates(1, [Gate::Rz(0, theta)]))
+    }
+
+    fn entry(latency: f64) -> CachedPulse {
+        CachedPulse {
+            pulse: Pulse::zeros(2, 4, 1.0),
+            latency_ns: latency,
+            iterations: 5,
+            n_qubits: 1,
+        }
+    }
+
+    fn key_of(u: &Mat) -> UnitaryKey {
+        UnitaryKey::canonical(u, 1)
+    }
+
+    #[test]
+    fn nearest_prefers_the_closest_unitary() {
+        let lib = PulseLibrary::new();
+        for k in 1..=5 {
+            let u = rz(0.4 * k as f64);
+            lib.insert_indexed(key_of(&u), &u, entry(k as f64));
+        }
+        let query = rz(0.83); // closest to rz(0.8), k = 2
+        let hit = lib
+            .nearest(&query, 1, 4, SimilarityFn::TraceOverlap)
+            .expect("non-empty library");
+        assert_eq!(hit.key, key_of(&rz(0.8)));
+        assert!(hit.distance < 0.01);
+        assert_eq!(hit.pulse.n_steps(), 4);
+    }
+
+    #[test]
+    fn nearest_on_empty_or_cross_dimension_is_none() {
+        let lib = PulseLibrary::new();
+        assert!(lib
+            .nearest(&rz(0.5), 1, 4, SimilarityFn::TraceOverlap)
+            .is_none());
+        let u = rz(0.5);
+        lib.insert_indexed(key_of(&u), &u, entry(1.0));
+        assert!(lib
+            .nearest(&Mat::identity(4), 2, 4, SimilarityFn::TraceOverlap)
+            .is_none());
+    }
+
+    #[test]
+    fn unindexed_merges_serve_hits_but_not_neighbors() {
+        let lib = PulseLibrary::new();
+        let u = rz(0.7);
+        let mut cache = PulseCache::new();
+        cache.insert(key_of(&u), entry(3.0));
+        lib.merge(cache);
+        assert_eq!(lib.len(), 1);
+        assert_eq!(lib.indexed_len(), 0);
+        assert!(lib.contains(&key_of(&u)));
+        assert!(lib
+            .nearest(&rz(0.69), 1, 4, SimilarityFn::TraceOverlap)
+            .is_none());
+        // Indexing after the fact makes it retrievable.
+        lib.index_unitary(&key_of(&u), &u, 1);
+        assert_eq!(lib.indexed_len(), 1);
+        assert!(lib
+            .nearest(&rz(0.69), 1, 4, SimilarityFn::TraceOverlap)
+            .is_some());
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let lib = PulseLibrary::with_capacity(Some(2));
+        let (a, b, c) = (rz(0.2), rz(0.9), rz(1.6));
+        lib.insert_indexed(key_of(&a), &a, entry(1.0));
+        lib.insert_indexed(key_of(&b), &b, entry(2.0));
+        // Touch `a` so `b` is the LRU victim.
+        lib.touch(&key_of(&a));
+        lib.insert_indexed(key_of(&c), &c, entry(3.0));
+        assert_eq!(lib.len(), 2);
+        assert!(lib.contains(&key_of(&a)));
+        assert!(!lib.contains(&key_of(&b)), "LRU entry must be evicted");
+        assert!(lib.contains(&key_of(&c)));
+        assert_eq!(lib.stats().evictions, 1);
+        assert_eq!(lib.indexed_len(), 2);
+    }
+
+    #[test]
+    fn capacity_zero_stores_nothing() {
+        let lib = PulseLibrary::with_capacity(Some(0));
+        let u = rz(0.3);
+        lib.insert_indexed(key_of(&u), &u, entry(1.0));
+        lib.insert(key_of(&rz(0.6)), entry(2.0));
+        assert!(lib.is_empty());
+        assert_eq!(lib.indexed_len(), 0);
+        assert!(lib.nearest(&u, 1, 4, SimilarityFn::TraceOverlap).is_none());
+        // replace() honors capacity 0 too.
+        let mut cache = PulseCache::new();
+        cache.insert(key_of(&u), entry(1.0));
+        lib.replace(cache);
+        assert!(lib.is_empty());
+    }
+
+    #[test]
+    fn clone_preserves_entries_and_resets_stats() {
+        let lib = PulseLibrary::new();
+        let u = rz(0.5);
+        lib.insert_indexed(key_of(&u), &u, entry(1.0));
+        lib.record_hit();
+        lib.record_compile(true, 10);
+        let cloned = lib.clone();
+        assert_eq!(cloned.len(), 1);
+        assert_eq!(cloned.indexed_len(), 1);
+        assert_eq!(cloned.stats(), LibraryStats::default());
+        assert_eq!(lib.stats().hits, 1);
+        assert_eq!(lib.stats().warm_compiles, 1);
+        assert_eq!(lib.stats().warm_iterations, 10);
+    }
+
+    #[test]
+    fn stats_means_and_rates() {
+        let s = LibraryStats {
+            hits: 3,
+            misses: 1,
+            warm_compiles: 1,
+            scratch_compiles: 0,
+            warm_iterations: 40,
+            scratch_iterations: 0,
+            evictions: 0,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.warm_share() - 1.0).abs() < 1e-12);
+        assert_eq!(s.mean_warm_iterations(), 40.0);
+        assert_eq!(s.mean_scratch_iterations(), 0.0);
+        assert_eq!(LibraryStats::default().hit_rate(), 1.0);
+        assert_eq!(LibraryStats::default().warm_share(), 0.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! Online serving: compile programs as they arrive, against the live
+//! pulse library.
+//!
+//! Batch pre-compilation covers the profiled third of a suite; the
+//! serving path covers everything that arrives afterwards. Each unique
+//! group of an arriving program is resolved in order:
+//!
+//! 1. **hit** — the library already holds the canonical key: the pulse
+//!    is reused as-is (and its recency refreshed);
+//! 2. **warm miss** — the fingerprint index proposes the nearest cached
+//!    neighbors, the exact similarity function re-scores the short list,
+//!    and if the best neighbor passes the trace-overlap warm-start gate
+//!    (the same [`warm_start_allowed`] rule the MST batch engine uses)
+//!    GRAPE starts from its pulse;
+//! 3. **scratch miss** — no neighbor (empty library, new dimension, or
+//!    nothing similar enough): GRAPE starts from scratch — never an
+//!    error.
+//!
+//! Every compiled pulse is inserted back (fingerprint-indexed, under the
+//! capacity bound), so a stream of similar programs converges onto a hot
+//! working set; [`LibraryStats`](crate::LibraryStats) counts hits,
+//! misses, and the warm/scratch split.
+
+use accqoc_circuit::{Circuit, UnitaryKey};
+use accqoc_grape::Workspace as GrapeWorkspace;
+
+use crate::cache::CachedPulse;
+use crate::compile::warm_start_allowed;
+use crate::error::Result;
+use crate::session::{CoverageStats, Session};
+
+/// Configuration of the online serving path.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Fingerprint candidates retrieved per cache miss before exact
+    /// re-scoring. Larger values recover more warm starts at slightly
+    /// higher lookup cost; the default (16) saturates the golden-suite
+    /// warm-start share.
+    pub candidates: usize,
+    /// Warm-started compiles anchor the latency binary search at the
+    /// seed: the search floor is raised to `seed_steps × anchor` (never
+    /// above the seed itself), pruning the deep-infeasible probes that
+    /// dominate a cold search. Similar groups have similar minimal
+    /// latencies — the premise of the paper's §V-B — so the pruned
+    /// region is (almost) never where the optimum lives; the worst case
+    /// is a served pulse a few slices longer than the batch path would
+    /// find. `0.0` disables the anchor and reproduces the batch search
+    /// exactly. Default: `0.5`.
+    pub search_anchor: f64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            candidates: 16,
+            search_anchor: 0.5,
+        }
+    }
+}
+
+/// How one unique group of a served program was resolved.
+#[derive(Debug, Clone)]
+pub struct ServedGroup {
+    /// Canonical group key.
+    pub key: UnitaryKey,
+    /// Qubits the group spans.
+    pub n_qubits: usize,
+    /// `true` when the library covered the key (no compile).
+    pub hit: bool,
+    /// The neighbor whose pulse warm-started the compile, when one
+    /// passed the warm-start gate.
+    pub warm_from: Option<UnitaryKey>,
+    /// GRAPE iterations spent (0 on hits).
+    pub iterations: usize,
+    /// Pulse latency of the group, ns.
+    pub latency_ns: f64,
+}
+
+/// Report of serving one program through the pulse library.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Overall pulse latency of the program (Algorithm 3 DP), ns.
+    pub overall_latency_ns: f64,
+    /// Gate-based compilation latency of the same circuit, ns.
+    pub gate_based_latency_ns: f64,
+    /// Instance coverage against the library at arrival time.
+    pub coverage: CoverageStats,
+    /// Per-unique-group serving outcomes, in serve order (hits first,
+    /// then compiles nearest-neighbor-first).
+    pub groups: Vec<ServedGroup>,
+    /// Unique groups compiled (misses).
+    pub n_compiled: usize,
+    /// Compiled groups that were warm-started.
+    pub n_warm_started: usize,
+    /// GRAPE iterations spent on this program.
+    pub dynamic_iterations: usize,
+}
+
+impl ServeReport {
+    /// Latency reduction factor vs gate-based compilation.
+    pub fn latency_reduction(&self) -> f64 {
+        if self.overall_latency_ns == 0.0 {
+            1.0
+        } else {
+            self.gate_based_latency_ns / self.overall_latency_ns
+        }
+    }
+
+    /// Fraction of this program's compiles that were warm-started
+    /// (0.0 when nothing was compiled).
+    pub fn warm_share(&self) -> f64 {
+        if self.n_compiled == 0 {
+            0.0
+        } else {
+            self.n_warm_started as f64 / self.n_compiled as f64
+        }
+    }
+}
+
+/// Serves one program against the session's pulse library. See the
+/// module docs for the hit / warm-miss / scratch-miss resolution; this
+/// is the implementation behind [`Session::serve_program`].
+///
+/// The program's latency is folded from the pulses resolved *during*
+/// this call, so a bounded library that evicts one of this program's own
+/// groups mid-serve still reports correct latencies.
+///
+/// # Errors
+///
+/// Propagates group-compilation failures ([`Error::CompileFailed`],
+/// [`Error::GroupTooWide`], [`Error::EmptyGroup`]).
+///
+/// [`Error::CompileFailed`]: crate::Error::CompileFailed
+/// [`Error::GroupTooWide`]: crate::Error::GroupTooWide
+/// [`Error::EmptyGroup`]: crate::Error::EmptyGroup
+pub fn serve_program(
+    session: &Session,
+    circuit: &Circuit,
+    options: &ServeOptions,
+) -> Result<ServeReport> {
+    let grouped = session.front_end(circuit);
+    let library = session.library();
+    let n_unique = grouped.targets.len();
+
+    let mut per_unique: Vec<f64> = vec![0.0; n_unique];
+    let mut covered_unique: Vec<bool> = vec![false; n_unique];
+    let mut groups: Vec<ServedGroup> = Vec::with_capacity(n_unique);
+    let mut ws = GrapeWorkspace::new();
+    let mut dynamic_iterations = 0usize;
+
+    // Pass 1: exact key hits.
+    let mut missing: Vec<usize> = Vec::new();
+    for (i, target) in grouped.targets.iter().enumerate() {
+        if let Some(entry) = library.get(&target.key) {
+            library.touch(&target.key);
+            library.record_hit();
+            per_unique[i] = entry.latency_ns;
+            covered_unique[i] = true;
+            groups.push(ServedGroup {
+                key: target.key.clone(),
+                n_qubits: target.n_qubits,
+                hit: true,
+                warm_from: None,
+                iterations: 0,
+                latency_ns: entry.latency_ns,
+            });
+        } else {
+            missing.push(i);
+        }
+    }
+
+    // Pass 2: misses, nearest-first. Each compiled pulse is inserted
+    // before the next pick, so a program's own groups seed each other —
+    // the greedy online analogue of the batch engine's Prim order
+    // (which also always extends the tree by the cheapest edge). When
+    // no miss has a neighbor inside the warm-start gate, the round is a
+    // forced scratch compile; it picks the *hub* — the miss that sits
+    // within the gate of the most other misses — so one scratch buys
+    // the largest downstream warm harvest. An empty library (or a new
+    // dimension) is just a stream of such rounds — never an error.
+    let gate = session.config().warm_threshold;
+    let mut scratch = crate::similarity::SimilarityScratch::new();
+    // A miss's query fingerprint never changes across rounds — compute
+    // each once, not O(m²) times over the re-query loop.
+    let fingerprints: Vec<crate::UnitaryFingerprint> = grouped
+        .targets
+        .iter()
+        .map(|t| crate::UnitaryFingerprint::of(&t.unitary, t.n_qubits))
+        .collect();
+    while !missing.is_empty() {
+        // Nearest *gated* candidate: the warm-start gate (the exact
+        // trace-overlap rule the MST batch engine applies) is checked
+        // per miss, so a viable warm start is never lost to a
+        // gate-failing pick that merely ranked closer under the
+        // configured similarity function.
+        let mut pick = 0usize;
+        let mut pick_neighbor: Option<crate::library::NearestPulse> = None;
+        let mut pick_distance = f64::INFINITY;
+        for (slot, &i) in missing.iter().enumerate() {
+            let target = &grouped.targets[i];
+            let Some(neighbor) = library.nearest_by_fingerprint(
+                &fingerprints[i],
+                &target.unitary,
+                options.candidates,
+                session.config().similarity,
+            ) else {
+                continue;
+            };
+            if !warm_start_allowed(&neighbor.unitary, &target.unitary, gate) {
+                continue;
+            }
+            // Strict `<` keeps the earliest target on ties.
+            if neighbor.distance < pick_distance {
+                pick = slot;
+                pick_distance = neighbor.distance;
+                pick_neighbor = Some(neighbor);
+            }
+        }
+        if pick_neighbor.is_none() {
+            // Forced scratch round: serve the hub — the miss within the
+            // gate of the most other misses (ties and the no-edge case
+            // keep the earliest target).
+            let mut best_degree = 0usize;
+            for (slot, &i) in missing.iter().enumerate() {
+                let degree = missing
+                    .iter()
+                    .filter(|&&j| {
+                        j != i
+                            && grouped.targets[j].n_qubits == grouped.targets[i].n_qubits
+                            && crate::similarity::SimilarityFn::TraceOverlap.distance_with(
+                                &grouped.targets[i].unitary,
+                                &grouped.targets[j].unitary,
+                                &mut scratch,
+                            ) <= gate
+                    })
+                    .count();
+                if degree > best_degree {
+                    best_degree = degree;
+                    pick = slot;
+                }
+            }
+        }
+        let i = missing.remove(pick);
+        let target = &grouped.targets[i];
+        let warm = pick_neighbor.as_ref();
+        let result = session.serve_compile(
+            &target.unitary,
+            target.n_qubits,
+            warm.map(|n| &n.pulse),
+            options.search_anchor,
+            &mut ws,
+        )?;
+        let warm_from = warm.map(|n| n.key.clone());
+        library.record_compile(warm_from.is_some(), result.total_iterations);
+        library.insert_indexed(
+            target.key.clone(),
+            &target.unitary,
+            CachedPulse {
+                pulse: result.outcome.pulse,
+                latency_ns: result.latency_ns,
+                iterations: result.total_iterations,
+                n_qubits: target.n_qubits,
+            },
+        );
+        dynamic_iterations += result.total_iterations;
+        per_unique[i] = result.latency_ns;
+        groups.push(ServedGroup {
+            key: target.key.clone(),
+            n_qubits: target.n_qubits,
+            hit: false,
+            warm_from,
+            iterations: result.total_iterations,
+            latency_ns: result.latency_ns,
+        });
+    }
+
+    let covered = grouped
+        .assignment
+        .iter()
+        .filter(|&&u| covered_unique[u])
+        .count();
+    let per_instance: Vec<f64> = grouped.assignment.iter().map(|&u| per_unique[u]).collect();
+    let overall_latency_ns = grouped.grouped.overall_latency(|i| per_instance[i]);
+    let gate_based_latency_ns = session.gate_based_latency(&grouped.processed);
+
+    let n_compiled = groups.iter().filter(|g| !g.hit).count();
+    let n_warm_started = groups.iter().filter(|g| g.warm_from.is_some()).count();
+    Ok(ServeReport {
+        overall_latency_ns,
+        gate_based_latency_ns,
+        coverage: CoverageStats {
+            covered,
+            total: grouped.assignment.len(),
+        },
+        groups,
+        n_compiled,
+        n_warm_started,
+        dynamic_iterations,
+    })
+}

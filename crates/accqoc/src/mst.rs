@@ -10,7 +10,7 @@
 
 use accqoc_linalg::Mat;
 
-use crate::similarity::SimilarityFn;
+use crate::similarity::{SimilarityFn, SimilarityScratch};
 
 /// The complete similarity graph over a set of group unitaries.
 ///
@@ -29,19 +29,34 @@ pub struct SimilarityGraph {
 
 impl SimilarityGraph {
     /// Builds the complete graph (O(n²) distance evaluations).
+    ///
+    /// One [`SimilarityScratch`] is threaded through every evaluation, so
+    /// the pairwise loop reuses the probe states and product buffers
+    /// instead of reallocating them per pair; the distances — and hence
+    /// the MST orders derived from them — are bit-identical to the
+    /// scratch-free path.
     pub fn build(unitaries: Vec<Mat>, function: SimilarityFn) -> Self {
         let n = unitaries.len();
+        let mut scratch = SimilarityScratch::new();
         let mut dist = vec![vec![0.0; n]; n];
         for i in 0..n {
             for j in (i + 1)..n {
-                let d = function.distance(&unitaries[i], &unitaries[j]);
+                let d = function.distance_with(&unitaries[i], &unitaries[j], &mut scratch);
                 dist[i][j] = d;
                 dist[j][i] = d;
             }
         }
+        // One identity per occurring dimension, reused across vertices.
+        let mut identities: std::collections::HashMap<usize, Mat> =
+            std::collections::HashMap::new();
         let dist_to_id = unitaries
             .iter()
-            .map(|u| function.distance(u, &Mat::identity(u.rows())))
+            .map(|u| {
+                let id = identities
+                    .entry(u.rows())
+                    .or_insert_with(|| Mat::identity(u.rows()));
+                function.distance_with(u, id, &mut scratch)
+            })
             .collect();
         Self {
             unitaries,

@@ -22,7 +22,8 @@ use accqoc_linalg::Mat;
 use crate::cache::CachedPulse;
 use crate::compile::warm_start_allowed;
 use crate::error::{Error, Result};
-use crate::mst::{mst_compile_order, scratch_order, SimilarityGraph};
+use crate::library::batch_plan;
+use crate::mst::scratch_order;
 use crate::parallel::{ParallelOptions, ParallelStats};
 use crate::session::{GroupReport, LookupReport, ProgramCompilation, Session};
 
@@ -88,12 +89,12 @@ pub fn precompile(
 
     let mut total_iterations = 0usize;
     if !missing.is_empty() {
-        let graph = SimilarityGraph::build(
+        let (graph, mst_order) = batch_plan(
             missing.iter().map(|&i| canonical[i].0.clone()).collect(),
             session.config().similarity,
         );
         let order = match order_kind {
-            PrecompileOrder::Mst => mst_compile_order(&graph),
+            PrecompileOrder::Mst => mst_order,
             PrecompileOrder::Scratch => scratch_order(graph.len(), &graph),
         };
         let mut pulses: HashMap<usize, accqoc_grape::Pulse> = HashMap::new();
@@ -126,6 +127,7 @@ pub fn precompile(
             );
         }
         session.import_cache(fresh);
+        index_category(session, &missing, &canonical, &keys);
     }
 
     let most_frequent = frequencies
@@ -191,11 +193,10 @@ pub fn precompile_parallel_with(
         .filter(|&i| !session.cache_contains(&keys[i]))
         .collect();
 
-    let graph = SimilarityGraph::build(
+    let (_, order) = batch_plan(
         missing.iter().map(|&i| canonical[i].0.clone()).collect(),
         session.config().similarity,
     );
-    let order = mst_compile_order(&graph);
     let missing_unitaries: Vec<(Mat, usize)> =
         missing.iter().map(|&i| canonical[i].clone()).collect();
     let missing_keys: Vec<UnitaryKey> = missing.iter().map(|&i| keys[i].clone()).collect();
@@ -207,6 +208,7 @@ pub fn precompile_parallel_with(
         options,
     )?;
     session.import_cache(fresh);
+    index_category(session, &missing, &canonical, &keys);
 
     let most_frequent = frequencies
         .iter()
@@ -302,11 +304,10 @@ pub fn compile_programs_parallel(
     }
 
     // One MST over the union, compiled once on the pool.
-    let graph = SimilarityGraph::build(
+    let (_, order) = batch_plan(
         union_unitaries.iter().map(|(u, _)| u.clone()).collect(),
         session.config().similarity,
     );
-    let order = mst_compile_order(&graph);
     let (fresh, stats) = crate::parallel::compile_parallel_with(
         session,
         &order,
@@ -315,6 +316,9 @@ pub fn compile_programs_parallel(
         &ParallelOptions::threads(threads),
     )?;
     session.import_cache(fresh);
+    for ((unitary, n_qubits), key) in union_unitaries.iter().zip(&union_keys) {
+        session.library().index_unitary(key, unitary, *n_qubits);
+    }
 
     // Iterations billed to the introducing program.
     let mut billed = vec![0usize; n];
@@ -342,6 +346,25 @@ pub fn compile_programs_parallel(
         });
     }
     Ok((out, stats))
+}
+
+/// Fingerprint-indexes freshly compiled category entries in the session
+/// library (batch imports arrive as plain caches, which carry no
+/// unitaries, so the drivers index them here while the canonical
+/// unitaries are still at hand — this is what makes batch-precompiled
+/// pulses retrievable as warm-start neighbors on the serving path).
+fn index_category(
+    session: &Session,
+    missing: &[usize],
+    canonical: &[(Mat, usize)],
+    keys: &[UnitaryKey],
+) {
+    for &i in missing {
+        let (unitary, n_qubits) = &canonical[i];
+        session
+            .library()
+            .index_unitary(&keys[i], unitary, *n_qubits);
+    }
 }
 
 /// A collected group category: canonical `(unitary, n_qubits)` pairs,
@@ -445,6 +468,7 @@ pub fn optimize_group(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mst::{mst_compile_order, SimilarityGraph};
     use accqoc_circuit::Gate;
     use accqoc_hw::Topology;
 

@@ -19,7 +19,7 @@ use std::sync::{Arc, Mutex};
 
 use accqoc_circuit::{Circuit, CircuitDag, Gate, GateKind, UnitaryKey};
 use accqoc_grape::{
-    find_minimal_latency_with, InitStrategy, LatencyResult, Pulse, Workspace as GrapeWorkspace,
+    find_minimal_latency_seeded, LatencyResult, Pulse, Workspace as GrapeWorkspace,
 };
 use accqoc_group::{dedup_groups, divide_circuit, GroupedCircuit, GroupingPolicy};
 use accqoc_hw::{GateDurations, Topology};
@@ -30,8 +30,8 @@ use crate::cache::{CachedPulse, PulseCache};
 use crate::compile::{warm_start_allowed, AccQocConfig};
 use crate::concurrent_cache::ConcurrentPulseCache;
 use crate::error::{Error, Result};
+use crate::library::{self, PulseLibrary, ServeOptions, ServeReport};
 use crate::model::ModelSet;
-use crate::mst::{mst_compile_order, SimilarityGraph};
 use crate::parallel::ParallelStats;
 use crate::precompile::{self, PrecompileOrder, PrecompileReport};
 use crate::similarity::SimilarityFn;
@@ -237,6 +237,7 @@ pub struct SessionBuilder {
     warm_threshold: Option<f64>,
     models: Option<ModelSet>,
     cache: Option<PulseCache>,
+    library_capacity: Option<usize>,
 }
 
 impl SessionBuilder {
@@ -296,6 +297,22 @@ impl SessionBuilder {
         self
     }
 
+    /// Bounds the pulse library to at most `capacity` entries, evicted
+    /// least-recently-used (default: unbounded — what batch
+    /// pre-compilation expects; a bound is meant for the online
+    /// [`Session::serve_program`] path).
+    ///
+    /// The batch [`Session::compile_program`] pipeline re-reads compiled
+    /// pulses from the library in its latency stage, so a capacity
+    /// smaller than a program's unique-group count can fail it with
+    /// [`Error::UncoveredGroup`]; [`Session::serve_program`] folds
+    /// latencies as it compiles and keeps working at any capacity,
+    /// including 0.
+    pub fn library_capacity(mut self, capacity: usize) -> Self {
+        self.library_capacity = Some(capacity);
+        self
+    }
+
     /// Builds the session.
     ///
     /// # Errors
@@ -335,11 +352,15 @@ impl SessionBuilder {
             Some(m) => m,
             None => ModelSet::spin(config.policy.max_qubits)?,
         };
+        let library = PulseLibrary::with_capacity(self.library_capacity);
+        if let Some(cache) = self.cache {
+            library.merge(cache);
+        }
         Ok(Session {
             config,
             models,
             durations: Arc::new(Mutex::new(None)),
-            cache: ConcurrentPulseCache::from_cache(self.cache.unwrap_or_default()),
+            library,
         })
     }
 }
@@ -349,19 +370,20 @@ impl SessionBuilder {
 // ---------------------------------------------------------------------------
 
 /// The AccQOC compiler session: owns configuration, device models, the
-/// single-gate duration table, and the pulse cache.
+/// single-gate duration table, and the pulse library.
 ///
-/// The cache is a sharded [`ConcurrentPulseCache`], so every method takes
-/// `&self` and the session can be shared across threads (`Session` is
-/// `Sync`): concurrent lookups take only shard read locks and never
-/// serialize each other.
+/// Pulse storage is the fingerprint-indexed [`PulseLibrary`] over a
+/// sharded [`ConcurrentPulseCache`], so every method takes `&self` and
+/// the session can be shared across threads (`Session` is `Sync`):
+/// concurrent lookups take only shard read locks and never serialize
+/// each other.
 #[derive(Debug)]
 pub struct Session {
     config: AccQocConfig,
     models: ModelSet,
     /// Shared across forks: the table only depends on config + models.
     durations: Arc<Mutex<Option<GateDurations>>>,
-    cache: ConcurrentPulseCache,
+    library: PulseLibrary,
 }
 
 impl Session {
@@ -398,19 +420,20 @@ impl Session {
             config,
             models,
             durations: Arc::new(Mutex::new(None)),
-            cache: ConcurrentPulseCache::new(),
+            library: PulseLibrary::new(),
         })
     }
 
     /// A session with independent state but the same configuration and a
-    /// snapshot of the current cache. Forks share the (lazily compiled)
+    /// snapshot of the current library (entries and fingerprint index;
+    /// serving counters start fresh). Forks share the (lazily compiled)
     /// single-gate duration table.
     pub fn fork(&self) -> Self {
         Self {
             config: self.config.clone(),
             models: self.models.clone(),
             durations: Arc::clone(&self.durations),
-            cache: self.cache.clone(),
+            library: self.library.clone(),
         }
     }
 
@@ -426,45 +449,56 @@ impl Session {
 
     // -- cache management ---------------------------------------------------
 
-    /// The sharded concurrent cache itself (for advanced callers that
-    /// want lock-granular access, e.g. contention tests or custom
-    /// persistence).
+    /// The pulse library: fingerprint-indexed, capacity-bounded storage
+    /// shared by the batch and serving paths.
+    pub fn library(&self) -> &PulseLibrary {
+        &self.library
+    }
+
+    /// The sharded concurrent cache under the library (for advanced
+    /// callers that want lock-granular access, e.g. contention tests or
+    /// custom persistence). Writes through this handle bypass the
+    /// library's recency/index bookkeeping.
     pub fn shared_cache(&self) -> &ConcurrentPulseCache {
-        &self.cache
+        self.library.pulses()
     }
 
     /// Number of cached unique groups.
     pub fn cache_len(&self) -> usize {
-        self.cache.len()
+        self.library.len()
     }
 
     /// A copy of the current pulse cache, merged from the shards in
     /// sorted key order (deterministic regardless of how many threads
     /// filled it).
     pub fn cache_snapshot(&self) -> PulseCache {
-        self.cache.snapshot()
+        self.library.snapshot()
     }
 
     /// `true` when the cache covers `key` (one shard read lock).
     pub fn cache_contains(&self, key: &UnitaryKey) -> bool {
-        self.cache.contains(key)
+        self.library.contains(key)
     }
 
     /// A copy of one cache entry, if covered (one shard read lock).
     pub fn cached(&self, key: &UnitaryKey) -> Option<CachedPulse> {
-        self.cache.get(key)
+        self.library.get(key)
     }
 
-    /// Merges entries into the session cache (incoming entries win).
+    /// Merges entries into the session library (incoming entries win).
+    /// Entries arrive without their canonical unitaries, so they serve
+    /// exact key hits but are not fingerprint-indexed; batch drivers
+    /// index theirs via [`PulseLibrary::index_unitary`].
     pub fn import_cache(&self, other: PulseCache) {
-        self.cache.merge(other);
+        self.library.merge(other);
     }
 
     /// Replaces the session cache in one atomic step — concurrent
     /// readers see either the old contents or the new, never the
-    /// in-between (see [`ConcurrentPulseCache::replace`]).
+    /// in-between (see [`ConcurrentPulseCache::replace`]). The
+    /// fingerprint index is reset (the new entries carry no unitaries).
     pub fn set_cache(&self, cache: PulseCache) {
-        self.cache.replace(cache);
+        self.library.replace(cache);
     }
 
     /// Persists the cache as JSON (entries sorted by key — the artifact
@@ -474,7 +508,7 @@ impl Session {
     ///
     /// [`Error::Io`] on filesystem failures.
     pub fn save_cache(&self, path: impl AsRef<Path>) -> Result<()> {
-        self.cache.snapshot().save(path)
+        self.library.snapshot().save(path)
     }
 
     /// Merges a JSON cache file into the session cache; returns how many
@@ -557,7 +591,7 @@ impl Session {
         let covered_unique: Vec<bool> = grouped
             .targets
             .iter()
-            .map(|t| self.cache.contains(&t.key))
+            .map(|t| self.library.contains(&t.key))
             .collect();
         let uncovered: Vec<GroupTarget> = grouped
             .targets
@@ -597,11 +631,10 @@ impl Session {
                 mst_weight: 0.0,
             });
         }
-        let graph = SimilarityGraph::build(
+        let (_, order) = library::batch_plan(
             lookup.uncovered.iter().map(|t| t.unitary.clone()).collect(),
             self.config.similarity,
         );
-        let order = mst_compile_order(&graph);
 
         let mut pulses: HashMap<usize, Pulse> = HashMap::new();
         let mut compiled = Vec::with_capacity(order.steps.len());
@@ -629,8 +662,9 @@ impl Session {
                 iterations: result.total_iterations,
                 covered: false,
             });
-            self.cache.insert(
+            self.library.insert_indexed(
                 target.key.clone(),
+                &target.unitary,
                 CachedPulse {
                     pulse: result.outcome.pulse,
                     latency_ns: result.latency_ns,
@@ -659,7 +693,7 @@ impl Session {
             .targets
             .iter()
             .map(|t| {
-                self.cache
+                self.library
                     .get(&t.key)
                     .map(|e| e.latency_ns)
                     .ok_or(Error::UncoveredGroup {
@@ -772,22 +806,38 @@ impl Session {
         warm: Option<&Pulse>,
         ws: &mut GrapeWorkspace,
     ) -> Result<LatencyResult> {
+        // Anchor 0.0 = the plain batch search (no seed-anchored floor).
+        self.serve_compile(target, n_qubits, warm, 0.0, ws)
+    }
+
+    /// The serving-path compile: [`Session::compile_unitary_with`] plus
+    /// the seed-anchored search window of
+    /// [`ServeOptions::search_anchor`] — a warm seed raises the search
+    /// floor to `seed_steps × anchor`, pruning the deep-infeasible
+    /// probes a cold search must pay for. Anchor `0.0` (or a scratch
+    /// compile) is exactly the batch search.
+    pub(crate) fn serve_compile(
+        &self,
+        target: &Mat,
+        n_qubits: usize,
+        warm: Option<&Pulse>,
+        anchor: f64,
+        ws: &mut GrapeWorkspace,
+    ) -> Result<LatencyResult> {
         let model = self.models.for_qubits(n_qubits)?;
-        let mut opts = self.config.grape.clone();
         let mut search = self.config.search.clone();
-        if let Some(p) = warm {
-            opts.init = InitStrategy::Warm(p.clone());
-            // Similar groups have similar latencies: start the search at
-            // the parent's slice count.
-            if p.n_steps() > 0 {
-                search.initial_guess = Some(p.n_steps());
-            }
-        }
         search.min_steps = search
             .min_steps
             .max((model.min_time_estimate_ns() / model.dt_ns()) as usize / 2)
             .max(1);
-        find_minimal_latency_with(model, target, &opts, &search, ws)
+        if let Some(p) = warm.filter(|p| anchor > 0.0 && p.n_steps() > 0) {
+            let floor = ((p.n_steps() as f64) * anchor).floor() as usize;
+            search.min_steps = search
+                .min_steps
+                .max(floor.min(p.n_steps()))
+                .min(search.max_steps);
+        }
+        find_minimal_latency_seeded(model, target, warm, &self.config.grape, &search, ws)
             .map_err(|source| Error::CompileFailed { n_qubits, source })
     }
 
@@ -902,6 +952,66 @@ impl Session {
         threads: usize,
     ) -> Result<(Vec<ProgramCompilation>, ParallelStats)> {
         precompile::compile_programs_parallel(self, programs, threads)
+    }
+
+    // -- online serving -----------------------------------------------------
+
+    /// Serves one arriving program against the live pulse library: cache
+    /// hits are free, misses warm-start GRAPE from the nearest
+    /// fingerprint neighbor that passes the warm-start gate (scratch
+    /// otherwise — an empty library is a valid, slow library, never an
+    /// error), and every compiled pulse is inserted back under the
+    /// capacity bound. Hit/miss/warm/scratch counters accumulate in
+    /// [`PulseLibrary::stats`].
+    ///
+    /// This is the online counterpart of [`Session::compile_program`]:
+    /// where the batch path plans a similarity MST over all uncovered
+    /// groups at once, the serving path resolves each group against
+    /// whatever the library holds *right now* — so it keeps improving as
+    /// traffic flows, without ever rebuilding an O(n²) graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates group-compilation failures.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use accqoc::Session;
+    /// use accqoc_circuit::{Circuit, Gate};
+    /// use accqoc_hw::Topology;
+    ///
+    /// let mut grape = accqoc_grape::GrapeOptions::default();
+    /// grape.stop.max_iters = 200;
+    /// let session = Session::builder()
+    ///     .topology(Topology::linear(2))
+    ///     .grape(grape)
+    ///     .build()?;
+    /// // Serving against an empty library falls back to scratch compiles.
+    /// let first = session.serve_program(&Circuit::from_gates(2, [Gate::H(0)]))?;
+    /// assert!(first.n_compiled > 0);
+    /// // The same program again is a pure cache hit.
+    /// let again = session.serve_program(&Circuit::from_gates(2, [Gate::H(0)]))?;
+    /// assert_eq!(again.n_compiled, 0);
+    /// assert!(session.library().stats().hits > 0);
+    /// # Ok::<(), accqoc::Error>(())
+    /// ```
+    pub fn serve_program(&self, circuit: &Circuit) -> Result<ServeReport> {
+        library::serve::serve_program(self, circuit, &ServeOptions::default())
+    }
+
+    /// [`Session::serve_program`] with explicit [`ServeOptions`]
+    /// (candidate count of the fingerprint retrieval).
+    ///
+    /// # Errors
+    ///
+    /// Propagates group-compilation failures.
+    pub fn serve_program_with(
+        &self,
+        circuit: &Circuit,
+        options: &ServeOptions,
+    ) -> Result<ServeReport> {
+        library::serve::serve_program(self, circuit, options)
     }
 
     // -- verification -------------------------------------------------------

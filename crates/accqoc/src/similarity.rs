@@ -18,7 +18,57 @@
 //!   anti-similarity control that the paper shows *increases* iteration
 //!   counts.
 
+use std::collections::HashMap;
+
 use accqoc_linalg::{sqrtm_psd, Mat};
+
+/// Reusable scratch for repeated distance evaluations.
+///
+/// [`SimilarityGraph::build`](crate::SimilarityGraph::build) evaluates
+/// O(n²) pairwise distances; the Uhlmann metric in particular used to
+/// rebuild the per-dimension probe state `ρ₀` — a Haar-sampled scrambler
+/// plus two matrix products — *twice per pair*, and allocated every
+/// intermediate product. Threading one scratch through the loop caches
+/// the probe per dimension and reuses the product buffers, so the hot
+/// path allocates only inside the (unavoidable) spectral square roots.
+///
+/// The cached values and buffer reuse are bit-transparent: every metric
+/// returns exactly the floats the allocation-heavy path returned, so
+/// MST orders — and the pulse-cache artifacts derived from them — are
+/// unchanged.
+#[derive(Debug)]
+pub struct SimilarityScratch {
+    /// Per-dimension probe state `ρ₀` (deterministic; see
+    /// [`uhlmann_fidelity`]).
+    probes: HashMap<usize, Mat>,
+    dag: Mat,
+    tmp: Mat,
+    rho_a: Mat,
+    rho_b: Mat,
+}
+
+impl Default for SimilarityScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimilarityScratch {
+    /// Creates an empty scratch (no buffers allocated until first use).
+    pub fn new() -> Self {
+        Self {
+            probes: HashMap::new(),
+            dag: Mat::zeros(0, 0),
+            tmp: Mat::zeros(0, 0),
+            rho_a: Mat::zeros(0, 0),
+            rho_b: Mat::zeros(0, 0),
+        }
+    }
+
+    fn probe(&mut self, n: usize) -> &Mat {
+        self.probes.entry(n).or_insert_with(|| probe_state(n))
+    }
+}
 
 /// The five similarity functions of paper Figure 8.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -81,6 +131,15 @@ impl SimilarityFn {
     /// assert!(SimilarityFn::L1.distance(&id, &Mat::identity(2)).is_infinite());
     /// ```
     pub fn distance(self, a: &Mat, b: &Mat) -> f64 {
+        self.distance_with(a, b, &mut SimilarityScratch::new())
+    }
+
+    /// [`SimilarityFn::distance`] with a caller-owned
+    /// [`SimilarityScratch`]: repeated evaluations (the O(n²) similarity
+    /// graph build, the pulse library's candidate re-scoring) reuse the
+    /// probe states and product buffers instead of reallocating them per
+    /// pair. Returns bit-identical values to [`SimilarityFn::distance`].
+    pub fn distance_with(self, a: &Mat, b: &Mat, scratch: &mut SimilarityScratch) -> f64 {
         if a.rows() != b.rows() || a.cols() != b.cols() {
             return f64::INFINITY;
         }
@@ -91,8 +150,8 @@ impl SimilarityFn {
                 let d = a.rows() as f64;
                 (1.0 - a.hs_inner(b).abs() / d).max(0.0)
             }
-            SimilarityFn::Uhlmann => 1.0 - uhlmann_fidelity(a, b),
-            SimilarityFn::InverseUhlmann => uhlmann_fidelity(a, b),
+            SimilarityFn::Uhlmann => 1.0 - uhlmann_fidelity_with(a, b, scratch),
+            SimilarityFn::InverseUhlmann => uhlmann_fidelity_with(a, b, scratch),
         }
     }
 }
@@ -103,14 +162,22 @@ impl SimilarityFn {
 /// `ρ₀` is the fixed full-rank diagonal state with weights `∝ 1/(i+1)` —
 /// full rank so that distinct unitaries embed to distinct densities.
 pub fn uhlmann_fidelity(a: &Mat, b: &Mat) -> f64 {
-    let rho_a = probe_density(a);
-    let rho_b = probe_density(b);
-    let sqrt_a = match sqrtm_psd(&rho_a) {
+    uhlmann_fidelity_with(a, b, &mut SimilarityScratch::new())
+}
+
+/// [`uhlmann_fidelity`] reusing a [`SimilarityScratch`] across calls (the
+/// per-dimension probe state and the product buffers are the expensive
+/// per-pair temporaries). Bit-identical to [`uhlmann_fidelity`].
+pub fn uhlmann_fidelity_with(a: &Mat, b: &Mat, scratch: &mut SimilarityScratch) -> f64 {
+    probe_density_into(a, scratch, true);
+    probe_density_into(b, scratch, false);
+    let sqrt_a = match sqrtm_psd(&scratch.rho_a) {
         Ok(m) => m,
         Err(_) => return 0.0,
     };
-    let inner = sqrt_a.matmul(&rho_b).matmul(&sqrt_a);
-    match sqrtm_psd(&inner) {
+    sqrt_a.matmul_into(&scratch.rho_b, &mut scratch.tmp);
+    scratch.tmp.matmul_into(&sqrt_a, &mut scratch.rho_a);
+    match sqrtm_psd(&scratch.rho_a) {
         Ok(root) => {
             let tr = root.trace().re;
             (tr * tr).clamp(0.0, 1.0)
@@ -119,7 +186,8 @@ pub fn uhlmann_fidelity(a: &Mat, b: &Mat) -> f64 {
     }
 }
 
-/// `U·ρ₀·U†` with the canonical probe state.
+/// `U·ρ₀·U†` with the canonical probe state, written into
+/// `scratch.rho_a` (`into_a`) or `scratch.rho_b`.
 ///
 /// The probe has distinct eigenvalues `∝ 1/(i+1)` in a *generic* (fixed,
 /// seeded-random) eigenbasis. Genericity matters: with a computational-
@@ -128,10 +196,18 @@ pub fn uhlmann_fidelity(a: &Mat, b: &Mat) -> f64 {
 /// gate groups carry (Rz/T/CX products). In a scrambled basis only
 /// global phases survive, so `F(ρ_A, ρ_B) = 1 ⇔ A ≈ e^{iθ}B` for the
 /// unitaries that occur in practice.
-fn probe_density(u: &Mat) -> Mat {
+fn probe_density_into(u: &Mat, scratch: &mut SimilarityScratch, into_a: bool) {
     let n = u.rows();
-    let rho = probe_state(n);
-    u.matmul(&rho).matmul(&u.dagger())
+    scratch.probe(n);
+    let rho = &scratch.probes[&n];
+    u.matmul_into(rho, &mut scratch.tmp);
+    u.dagger_into(&mut scratch.dag);
+    let out = if into_a {
+        &mut scratch.rho_a
+    } else {
+        &mut scratch.rho_b
+    };
+    scratch.tmp.matmul_into(&scratch.dag, out);
 }
 
 /// The fixed probe `ρ₀ = S·D·S†` with `D = diag(1/(i+1))/Z` and `S` a
@@ -245,6 +321,37 @@ mod tests {
         // CX is far from identity under the scrambled probe.
         let cx = u_of(&[Gate::Cx(0, 1)], 2);
         assert!(SimilarityFn::Uhlmann.distance(&cx, &Mat::identity(4)) > 0.05);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // One scratch threaded through many pairs must return exactly the
+        // floats of the allocation-per-call path — this is what keeps the
+        // MST orders (and the pulse-cache artifacts) byte-stable.
+        let us: Vec<Mat> = (1..=4)
+            .map(|k| u_of(&[Gate::Rz(0, 0.2 * k as f64), Gate::Cx(0, 1)], 2))
+            .collect();
+        let mut scratch = SimilarityScratch::new();
+        for f in SimilarityFn::all() {
+            for a in &us {
+                for b in &us {
+                    let fresh = f.distance(a, b);
+                    let reused = f.distance_with(a, b, &mut scratch);
+                    assert!(
+                        fresh == reused || (fresh.is_nan() && reused.is_nan()),
+                        "{}: {fresh} != {reused}",
+                        f.label()
+                    );
+                }
+            }
+        }
+        // Mixed dimensions through the same scratch stay correct.
+        let one = u_of(&[Gate::H(0)], 1);
+        assert!(SimilarityFn::Uhlmann
+            .distance_with(&one, &us[0], &mut scratch)
+            .is_infinite());
+        let d = SimilarityFn::Uhlmann.distance_with(&one, &one, &mut scratch);
+        assert!(d.abs() < 1e-8);
     }
 
     #[test]

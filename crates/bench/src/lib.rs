@@ -11,6 +11,7 @@
 pub mod context;
 pub mod experiments;
 pub mod golden;
+pub mod serve;
 pub mod table;
 
 pub use context::{fast_mode, ExperimentContext};

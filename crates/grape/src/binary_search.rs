@@ -132,10 +132,47 @@ pub fn find_minimal_latency(
     find_minimal_latency_with(model, target, options, search, &mut Workspace::new())
 }
 
-/// [`find_minimal_latency`] with a caller-owned [`Workspace`]: every GRAPE
-/// probe reuses the same scratch buffers. This is the entry point the
-/// parallel pre-compilation engine drives once per worker thread; results
-/// are identical to the wrapper, only the allocations differ.
+/// [`find_minimal_latency_with`] seeded from an existing pulse: the
+/// canonical "warm start from a similar group" entry point behind the
+/// paper's MST acceleration and the pulse library's online serving path.
+///
+/// The seed does two things: it becomes the [`InitStrategy::Warm`]
+/// initialization of every probe, and (when non-empty) its slice count
+/// becomes the binary search's initial guess — similar unitaries have
+/// similar minimal latencies, so the search brackets in fewer probes.
+/// Passing `None` is exactly a scratch compile.
+///
+/// [`InitStrategy::Warm`]: crate::InitStrategy::Warm
+///
+/// # Errors
+///
+/// Returns [`LatencyError::Infeasible`] when even `search.max_steps`
+/// slices cannot reach the target.
+pub fn find_minimal_latency_seeded(
+    model: &ControlModel,
+    target: &Mat,
+    seed: Option<&crate::pulse::Pulse>,
+    options: &GrapeOptions,
+    search: &LatencySearch,
+    ws: &mut Workspace,
+) -> Result<LatencyResult, LatencyError> {
+    match seed {
+        None => find_minimal_latency_with(model, target, options, search, ws),
+        Some(pulse) => {
+            let mut options = options.clone();
+            options.init = crate::grape::InitStrategy::Warm(pulse.clone());
+            let mut search = search.clone();
+            if pulse.n_steps() > 0 {
+                search.initial_guess = Some(pulse.n_steps());
+            }
+            find_minimal_latency_with(model, target, &options, &search, ws)
+        }
+    }
+}
+
+/// [`find_minimal_latency`] with a caller-owned [`Workspace`]: every
+/// GRAPE probe reuses the same scratch buffers (the entry point the
+/// parallel pre-compilation engine drives once per worker thread).
 ///
 /// # Errors
 ///

@@ -40,7 +40,8 @@ mod workspace;
 
 pub use analysis::{max_slew_rate, mean_power, pulse_shape, total_variation, PulseShape};
 pub use binary_search::{
-    find_minimal_latency, find_minimal_latency_with, LatencyError, LatencyResult, LatencySearch,
+    find_minimal_latency, find_minimal_latency_seeded, find_minimal_latency_with, LatencyError,
+    LatencyResult, LatencySearch,
 };
 pub use grape::{
     infidelity, solve, solve_with, GradientMethod, GrapeOptions, GrapeOutcome, GrapeProblem,

@@ -1,0 +1,156 @@
+//! Cheap spectral fingerprint kernels for unitary matrices.
+//!
+//! The AccQOC pulse library needs a *sublinear* nearest-neighbor
+//! candidate search over thousands of cached group unitaries; evaluating
+//! an exact similarity function (Frobenius, trace overlap, Uhlmann)
+//! against every cached entry is O(n·d²) per query and dominates the
+//! online serving path. These kernels compress a `d×d` unitary into a
+//! handful of floats that are
+//!
+//! - **global-phase invariant** — `U` and `e^{iθ}U` fingerprint
+//!   identically, matching the phase-invariant fidelity GRAPE optimizes;
+//! - **cheap** — one pass over the entries plus `k−1` matrix products
+//!   for the trace moments;
+//! - **discriminative** — close unitaries (in any of the similarity
+//!   metrics of the paper's §V-B) have close fingerprints, so a bucketed
+//!   index over the leading feature prunes far candidates safely.
+//!
+//! The kernels are deliberately *features*, not a metric: the library
+//! layer assembles them into a feature vector and ranks candidates by
+//! feature distance, then re-scores the short list with the exact
+//! similarity function.
+
+use crate::mat::Mat;
+
+/// Magnitudes of the normalized trace moments `|Tr(Uᵏ)|/d` for
+/// `k = 1..=k_max`.
+///
+/// `Tr(Uᵏ) = Σ λᵢᵏ` is a symmetric function of the eigenvalues, so the
+/// moments are invariant under basis permutation, and the magnitude
+/// discards the global phase (`U → e^{iθ}U` scales `Tr(Uᵏ)` by
+/// `e^{ikθ}`). The first moment is exactly the trace-overlap similarity
+/// against the identity — the quantity the paper's best similarity
+/// function (`fidelity1`) is built from.
+///
+/// # Panics
+///
+/// Panics when `u` is not square or `k_max == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_linalg::{trace_moments_abs, Mat};
+///
+/// let id = Mat::identity(4);
+/// assert_eq!(trace_moments_abs(&id, 3), vec![1.0, 1.0, 1.0]);
+/// let x = Mat::from_reals(&[0.0, 1.0, 1.0, 0.0]);
+/// let m = trace_moments_abs(&x, 2);
+/// assert!(m[0] < 1e-12); // Tr(X) = 0
+/// assert!((m[1] - 1.0).abs() < 1e-12); // Tr(X²) = Tr(I) = 2
+/// ```
+pub fn trace_moments_abs(u: &Mat, k_max: usize) -> Vec<f64> {
+    assert!(u.is_square(), "trace moments need a square matrix");
+    assert!(k_max >= 1, "need at least one moment");
+    let d = u.rows() as f64;
+    let mut out = Vec::with_capacity(k_max);
+    out.push(u.trace().abs() / d);
+    if k_max == 1 {
+        return out;
+    }
+    // Power iteration with two ping-pong buffers: power holds Uᵏ.
+    let mut power = u.clone();
+    let mut next = Mat::zeros(u.rows(), u.cols());
+    for _ in 2..=k_max {
+        power.matmul_into(u, &mut next);
+        std::mem::swap(&mut power, &mut next);
+        out.push(power.trace().abs() / d);
+    }
+    out
+}
+
+/// Sorted (descending) magnitudes of the diagonal entries `|uᵢᵢ|`.
+///
+/// For a unitary, `|uᵢᵢ|` measures how much basis state `i` maps back to
+/// itself; the sorted profile is invariant under global phase and under
+/// simultaneous row/column permutations (the canonicalization the pulse
+/// cache applies to group unitaries).
+///
+/// # Panics
+///
+/// Panics when `u` is not square.
+pub fn diag_abs_profile(u: &Mat) -> Vec<f64> {
+    assert!(u.is_square(), "diagonal profile needs a square matrix");
+    let n = u.rows();
+    let mut out: Vec<f64> = (0..n).map(|i| u[(i, i)].abs()).collect();
+    out.sort_by(|a, b| b.total_cmp(a));
+    out
+}
+
+/// Sorted (descending) peak magnitudes `maxⱼ |uᵢⱼ|` of each row.
+///
+/// Every row of a unitary has L2 norm exactly 1, so the L2 row-norm
+/// profile carries no information; the *peak* magnitude does — it is 1
+/// for permutation-like rows and `1/√d` for maximally spread rows, so
+/// the sorted profile separates sparse gates (CX, diagonal phases) from
+/// mixing gates (H-dressed groups). Invariant under global phase and
+/// basis permutation.
+///
+/// # Panics
+///
+/// Panics when `u` has no rows.
+pub fn row_peak_profile(u: &Mat) -> Vec<f64> {
+    assert!(u.rows() > 0, "row profile needs a non-empty matrix");
+    let mut out: Vec<f64> = (0..u.rows())
+        .map(|i| u.row(i).iter().map(|c| c.abs()).fold(0.0f64, f64::max))
+        .collect();
+    out.sort_by(|a, b| b.total_cmp(a));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::C64;
+
+    fn phase(u: &Mat, theta: f64) -> Mat {
+        u.scale(C64::cis(theta))
+    }
+
+    #[test]
+    fn moments_are_phase_invariant() {
+        let h = Mat::from_reals(&[1.0, 1.0, 1.0, -1.0]).scale_re(std::f64::consts::FRAC_1_SQRT_2);
+        let a = trace_moments_abs(&h, 4);
+        let b = trace_moments_abs(&phase(&h, 1.7), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn profiles_are_phase_and_permutation_invariant() {
+        let u = Mat::from_reals(&[0.0, 1.0, 1.0, 0.0]);
+        assert_eq!(diag_abs_profile(&u), diag_abs_profile(&phase(&u, 0.9)));
+        assert_eq!(row_peak_profile(&u), row_peak_profile(&phase(&u, 0.9)));
+        // Swap the basis: profiles unchanged.
+        let swapped = u.permute_basis(&[1, 0]);
+        assert_eq!(diag_abs_profile(&u), diag_abs_profile(&swapped));
+        assert_eq!(row_peak_profile(&u), row_peak_profile(&swapped));
+    }
+
+    #[test]
+    fn profiles_separate_sparse_from_mixing() {
+        let id = Mat::identity(2);
+        let h = Mat::from_reals(&[1.0, 1.0, 1.0, -1.0]).scale_re(std::f64::consts::FRAC_1_SQRT_2);
+        assert_eq!(row_peak_profile(&id), vec![1.0, 1.0]);
+        let hp = row_peak_profile(&h);
+        assert!((hp[0] - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!(diag_abs_profile(&id)[0] > diag_abs_profile(&h)[0]);
+    }
+
+    #[test]
+    fn moment_count_matches_request() {
+        let u = Mat::identity(3);
+        assert_eq!(trace_moments_abs(&u, 1).len(), 1);
+        assert_eq!(trace_moments_abs(&u, 5).len(), 5);
+    }
+}

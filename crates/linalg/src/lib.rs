@@ -18,6 +18,9 @@
 //! - [`qr`] / [`random_unitary`] — Householder QR and Haar sampling.
 //! - [`global_phase_canonical`] / [`quantized_bytes`] — canonical forms for
 //!   group de-duplication and pulse-cache keys.
+//! - [`trace_moments_abs`] / [`diag_abs_profile`] / [`row_peak_profile`] —
+//!   cheap phase-invariant fingerprint features backing the pulse
+//!   library's sublinear nearest-neighbor index.
 //!
 //! # Example
 //!
@@ -40,6 +43,7 @@ mod complex;
 mod eig;
 mod error;
 mod expm;
+mod fingerprint;
 mod lu;
 mod mat;
 mod qr;
@@ -53,6 +57,7 @@ pub use complex::{C64, I, ONE, ZERO};
 pub use eig::{eigh, expm_i_hermitian, funm_hermitian, EigH};
 pub use error::LinalgError;
 pub use expm::{expm, expm_frechet, expm_i};
+pub use fingerprint::{diag_abs_profile, row_peak_profile, trace_moments_abs};
 pub use lu::{det, inverse, solve, Lu};
 pub use mat::Mat;
 pub use qr::{qr, random_unitary, Qr};

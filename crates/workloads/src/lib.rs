@@ -27,6 +27,6 @@ pub use gse::gse;
 pub use qft::qft;
 pub use revlib::{extended_specs, nct_circuit, paper_specs, NctSpec};
 pub use suite::{
-    full_suite, golden_suite, profiling_split, sample_programs, BenchProgram, GOLDEN_NAMES,
-    SUITE_SIZE,
+    arrival_stream, full_suite, golden_suite, profiling_split, sample_programs, BenchProgram,
+    GOLDEN_NAMES, SUITE_SIZE,
 };

@@ -138,6 +138,47 @@ pub fn golden_suite() -> Vec<BenchProgram> {
         .collect()
 }
 
+/// Samples an *arrival stream* over the given programs: `length` draws
+/// with repetition, weighted toward the front of `pool` (rank-weighted,
+/// Zipf-like — real compilation traffic repeats a hot set of programs).
+/// Deterministic for a given seed; the serving benchmarks replay the
+/// result against [`Session::serve_program`] to measure hit rates with
+/// realistic re-arrivals.
+///
+/// [`Session::serve_program`]:
+///     https://docs.rs/accqoc/latest/accqoc/struct.Session.html
+///
+/// # Examples
+///
+/// ```
+/// let suite = accqoc_workloads::golden_suite();
+/// let stream = accqoc_workloads::arrival_stream(suite.len(), 10, 7);
+/// assert_eq!(stream.len(), 10);
+/// assert!(stream.iter().all(|&i| i < suite.len()));
+/// // Deterministic per seed.
+/// assert_eq!(stream, accqoc_workloads::arrival_stream(suite.len(), 10, 7));
+/// ```
+pub fn arrival_stream(pool: usize, length: usize, seed: u64) -> Vec<usize> {
+    assert!(pool > 0, "arrival stream needs a non-empty program pool");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Rank weights 1/(r+1): the first program is the hottest. Sampling
+    // by cumulative weight keeps the head hot without starving the tail.
+    let weights: Vec<f64> = (0..pool).map(|r| 1.0 / (r + 1) as f64).collect();
+    let total: f64 = weights.iter().sum();
+    (0..length)
+        .map(|_| {
+            let mut x = rng.gen_range(0.0..total);
+            for (i, w) in weights.iter().enumerate() {
+                if x < *w {
+                    return i;
+                }
+                x -= w;
+            }
+            pool - 1
+        })
+        .collect()
+}
+
 /// Splits the suite into (profiling, evaluation) with a random third used
 /// for static pre-compilation, seeded for reproducibility (paper §IV-C:
 /// "we randomly select one-third of quantum programs from our set of
@@ -275,6 +316,26 @@ mod tests {
         for (a, b) in golden.iter().zip(&again) {
             assert_eq!(a.circuit, b.circuit);
         }
+    }
+
+    #[test]
+    fn arrival_stream_is_deterministic_head_heavy_and_in_range() {
+        let stream = arrival_stream(10, 400, 0xA11);
+        assert_eq!(stream.len(), 400);
+        assert!(stream.iter().all(|&i| i < 10));
+        assert_eq!(stream, arrival_stream(10, 400, 0xA11));
+        assert_ne!(stream, arrival_stream(10, 400, 0xA12));
+        // Rank weighting: the hottest program arrives more often than the
+        // coldest.
+        let count = |k: usize| stream.iter().filter(|&&i| i == k).count();
+        assert!(
+            count(0) > count(9),
+            "head {} vs tail {}",
+            count(0),
+            count(9)
+        );
+        // Repetition actually happens (that is the point of a stream).
+        assert!(count(0) > 1);
     }
 
     #[test]
