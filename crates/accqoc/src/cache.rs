@@ -50,7 +50,7 @@ pub struct CachedPulse {
 /// });
 /// assert!(cache.lookup(&key).is_some());
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PulseCache {
     entries: HashMap<UnitaryKey, CachedPulse>,
 }

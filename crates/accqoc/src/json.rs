@@ -95,6 +95,64 @@ impl JsonValue {
         out
     }
 
+    /// Serializes onto a single line with no trailing newline — the
+    /// framing the newline-delimited daemon protocol needs (a pretty
+    /// document would split one message across frames). Strings escape
+    /// control characters, so the output never contains a raw `\n`.
+    /// Byte-deterministic for a given value, and [`parse`] round-trips
+    /// it exactly.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use accqoc::json::JsonValue;
+    ///
+    /// let doc = JsonValue::Object(vec![
+    ///     ("ok".into(), JsonValue::Bool(true)),
+    ///     ("ids".into(), JsonValue::Array(vec![JsonValue::Number(1.0)])),
+    /// ]);
+    /// let line = doc.to_compact();
+    /// assert_eq!(line, r#"{"ok": true, "ids": [1]}"#);
+    /// assert!(!line.contains('\n'));
+    /// assert_eq!(accqoc::json::parse(&line).unwrap(), doc);
+    /// ```
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Self::Null => out.push_str("null"),
+            Self::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Self::Number(n) => write_number(out, *n),
+            Self::String(s) => write_string(out, s),
+            Self::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            Self::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_string(out, k);
+                    out.push_str(": ");
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write_pretty(&self, out: &mut String, indent: usize) {
         match self {
             Self::Null => out.push_str("null"),
@@ -495,6 +553,28 @@ mod tests {
         assert_eq!(v.get("b").unwrap().as_str(), Some("x"));
         assert!(v.get("missing").is_none());
         assert_eq!(v.as_f64(), None);
+    }
+
+    #[test]
+    fn compact_output_is_single_line_and_roundtrips() {
+        let doc = JsonValue::Object(vec![
+            ("s".into(), JsonValue::String("multi\nline \"q\"".into())),
+            (
+                "nested".into(),
+                JsonValue::Array(vec![
+                    JsonValue::Object(vec![("k".into(), JsonValue::Number(0.1))]),
+                    JsonValue::Null,
+                    JsonValue::Array(vec![]),
+                ]),
+            ),
+        ]);
+        let line = doc.to_compact();
+        assert!(!line.contains('\n'), "compact output must be one frame");
+        assert_eq!(parse(&line).unwrap(), doc);
+        // Compact and pretty agree on content, not on bytes.
+        assert_eq!(parse(&doc.to_pretty()).unwrap(), parse(&line).unwrap());
+        assert_eq!(JsonValue::Array(vec![]).to_compact(), "[]");
+        assert_eq!(JsonValue::Object(vec![]).to_compact(), "{}");
     }
 
     #[test]

@@ -126,6 +126,64 @@ impl LibraryStats {
             self.scratch_iterations as f64 / self.scratch_compiles as f64
         }
     }
+
+    /// The counters as a JSON value — what the serving daemon's `stats`
+    /// method returns, so remote observers read exactly the in-process
+    /// numbers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use accqoc::LibraryStats;
+    ///
+    /// let stats = LibraryStats { hits: 3, misses: 1, ..Default::default() };
+    /// let value = stats.to_json_value();
+    /// assert_eq!(LibraryStats::from_json_value(&value).unwrap(), stats);
+    /// ```
+    pub fn to_json_value(&self) -> crate::json::JsonValue {
+        use crate::json::JsonValue;
+        let field = |n: u64| JsonValue::Number(n as f64);
+        JsonValue::Object(vec![
+            ("hits".into(), field(self.hits)),
+            ("misses".into(), field(self.misses)),
+            ("warm_compiles".into(), field(self.warm_compiles)),
+            ("scratch_compiles".into(), field(self.scratch_compiles)),
+            ("warm_iterations".into(), field(self.warm_iterations)),
+            ("scratch_iterations".into(), field(self.scratch_iterations)),
+            ("evictions".into(), field(self.evictions)),
+        ])
+    }
+
+    /// Reconstructs counters from [`LibraryStats::to_json_value`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::Json`] when a counter is missing or mistyped.
+    pub fn from_json_value(value: &crate::json::JsonValue) -> crate::error::Result<Self> {
+        use crate::json::JsonValue;
+        let field = |name: &str| -> crate::error::Result<u64> {
+            value
+                .get(name)
+                .and_then(JsonValue::as_usize)
+                .map(|n| n as u64)
+                .ok_or_else(|| {
+                    crate::json::JsonError {
+                        message: format!("library stats: missing counter `{name}`"),
+                        offset: 0,
+                    }
+                    .into()
+                })
+        };
+        Ok(Self {
+            hits: field("hits")?,
+            misses: field("misses")?,
+            warm_compiles: field("warm_compiles")?,
+            scratch_compiles: field("scratch_compiles")?,
+            warm_iterations: field("warm_iterations")?,
+            scratch_iterations: field("scratch_iterations")?,
+            evictions: field("evictions")?,
+        })
+    }
 }
 
 #[derive(Debug, Default)]

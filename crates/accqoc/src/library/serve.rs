@@ -24,9 +24,10 @@
 use accqoc_circuit::{Circuit, UnitaryKey};
 use accqoc_grape::Workspace as GrapeWorkspace;
 
-use crate::cache::CachedPulse;
+use crate::cache::{hex_decode, hex_encode, CachedPulse};
 use crate::compile::warm_start_allowed;
 use crate::error::Result;
+use crate::json::{self, JsonError, JsonValue};
 use crate::session::{CoverageStats, Session};
 
 /// Configuration of the online serving path.
@@ -59,7 +60,7 @@ impl Default for ServeOptions {
 }
 
 /// How one unique group of a served program was resolved.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServedGroup {
     /// Canonical group key.
     pub key: UnitaryKey,
@@ -77,7 +78,7 @@ pub struct ServedGroup {
 }
 
 /// Report of serving one program through the pulse library.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
     /// Overall pulse latency of the program (Algorithm 3 DP), ns.
     pub overall_latency_ns: f64,
@@ -115,6 +116,154 @@ impl ServeReport {
             self.n_warm_started as f64 / self.n_compiled as f64
         }
     }
+
+    /// The report as a JSON value — the payload the serving daemon puts
+    /// on the wire, carrying exactly the counters the in-process path
+    /// reports (keys serialize as hex, like the pulse-cache artifact).
+    pub fn to_json_value(&self) -> JsonValue {
+        let groups = self
+            .groups
+            .iter()
+            .map(|g| {
+                JsonValue::Object(vec![
+                    (
+                        "key".into(),
+                        JsonValue::String(hex_encode(g.key.as_bytes())),
+                    ),
+                    ("n_qubits".into(), JsonValue::Number(g.n_qubits as f64)),
+                    ("hit".into(), JsonValue::Bool(g.hit)),
+                    (
+                        "warm_from".into(),
+                        match &g.warm_from {
+                            Some(k) => JsonValue::String(hex_encode(k.as_bytes())),
+                            None => JsonValue::Null,
+                        },
+                    ),
+                    ("iterations".into(), JsonValue::Number(g.iterations as f64)),
+                    ("latency_ns".into(), JsonValue::Number(g.latency_ns)),
+                ])
+            })
+            .collect();
+        JsonValue::Object(vec![
+            (
+                "overall_latency_ns".into(),
+                JsonValue::Number(self.overall_latency_ns),
+            ),
+            (
+                "gate_based_latency_ns".into(),
+                JsonValue::Number(self.gate_based_latency_ns),
+            ),
+            (
+                "coverage_covered".into(),
+                JsonValue::Number(self.coverage.covered as f64),
+            ),
+            (
+                "coverage_total".into(),
+                JsonValue::Number(self.coverage.total as f64),
+            ),
+            (
+                "n_compiled".into(),
+                JsonValue::Number(self.n_compiled as f64),
+            ),
+            (
+                "n_warm_started".into(),
+                JsonValue::Number(self.n_warm_started as f64),
+            ),
+            (
+                "dynamic_iterations".into(),
+                JsonValue::Number(self.dynamic_iterations as f64),
+            ),
+            ("groups".into(), JsonValue::Array(groups)),
+        ])
+    }
+
+    /// Serializes via [`ServeReport::to_json_value`] (single line, no
+    /// trailing newline — ready for the daemon's newline-delimited
+    /// framing).
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_compact()
+    }
+
+    /// Reconstructs a report from [`ServeReport::to_json_value`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::Json`] when a field is missing or mistyped.
+    pub fn from_json_value(value: &JsonValue) -> Result<Self> {
+        let malformed = |message: &str| JsonError {
+            message: format!("serve report: {message}"),
+            offset: 0,
+        };
+        let num = |name: &str| {
+            value
+                .get(name)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| malformed(&format!("missing number `{name}`")))
+        };
+        let count = |name: &str| {
+            value
+                .get(name)
+                .and_then(JsonValue::as_usize)
+                .ok_or_else(|| malformed(&format!("missing count `{name}`")))
+        };
+        let groups_json = value
+            .get("groups")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| malformed("missing `groups` array"))?;
+        let mut groups = Vec::with_capacity(groups_json.len());
+        for g in groups_json {
+            let key_hex = g
+                .get("key")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| malformed("group missing `key`"))?;
+            let warm_from = match g.get("warm_from") {
+                Some(JsonValue::Null) => None,
+                Some(JsonValue::String(hex)) => Some(UnitaryKey::from_bytes(hex_decode(hex)?)),
+                _ => return Err(malformed("group missing `warm_from`").into()),
+            };
+            groups.push(ServedGroup {
+                key: UnitaryKey::from_bytes(hex_decode(key_hex)?),
+                n_qubits: g
+                    .get("n_qubits")
+                    .and_then(JsonValue::as_usize)
+                    .ok_or_else(|| malformed("group missing `n_qubits`"))?,
+                hit: match g.get("hit") {
+                    Some(JsonValue::Bool(b)) => *b,
+                    _ => return Err(malformed("group missing `hit`").into()),
+                },
+                warm_from,
+                iterations: g
+                    .get("iterations")
+                    .and_then(JsonValue::as_usize)
+                    .ok_or_else(|| malformed("group missing `iterations`"))?,
+                latency_ns: g
+                    .get("latency_ns")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| malformed("group missing `latency_ns`"))?,
+            });
+        }
+        Ok(Self {
+            overall_latency_ns: num("overall_latency_ns")?,
+            gate_based_latency_ns: num("gate_based_latency_ns")?,
+            coverage: CoverageStats {
+                covered: count("coverage_covered")?,
+                total: count("coverage_total")?,
+            },
+            groups,
+            n_compiled: count("n_compiled")?,
+            n_warm_started: count("n_warm_started")?,
+            dynamic_iterations: count("dynamic_iterations")?,
+        })
+    }
+
+    /// Parses a report serialized by [`ServeReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::Json`] on malformed input.
+    pub fn from_json(text: &str) -> Result<Self> {
+        Self::from_json_value(&json::parse(text)?)
+    }
 }
 
 /// Serves one program against the session's pulse library. See the
@@ -138,7 +287,25 @@ pub fn serve_program(
     circuit: &Circuit,
     options: &ServeOptions,
 ) -> Result<ServeReport> {
-    let grouped = session.front_end(circuit);
+    serve_grouped(session, &session.front_end(circuit), options)
+}
+
+/// [`serve_program`] for callers that already ran the front end — the
+/// serving daemon runs it once to learn the group keys it must claim
+/// for in-flight coalescing, then serves from the same report instead
+/// of re-deriving decompose/map/group per request. This is the
+/// implementation behind [`Session::serve_grouped`].
+///
+/// # Errors
+///
+/// Same as [`serve_program`].
+///
+/// [`Session::serve_grouped`]: crate::Session::serve_grouped
+pub fn serve_grouped(
+    session: &Session,
+    grouped: &crate::session::GroupReport,
+    options: &ServeOptions,
+) -> Result<ServeReport> {
     let library = session.library();
     let n_unique = grouped.targets.len();
 
@@ -297,4 +464,77 @@ pub fn serve_program(
         n_warm_started,
         dynamic_iterations,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accqoc_circuit::{circuit_unitary, Gate};
+
+    fn sample_report() -> ServeReport {
+        let key = |theta: f64| {
+            let u = circuit_unitary(&Circuit::from_gates(1, [Gate::Rz(0, theta)]));
+            UnitaryKey::canonical(&u, 1)
+        };
+        ServeReport {
+            overall_latency_ns: 42.5,
+            gate_based_latency_ns: 120.0,
+            coverage: CoverageStats {
+                covered: 3,
+                total: 5,
+            },
+            groups: vec![
+                ServedGroup {
+                    key: key(0.3),
+                    n_qubits: 1,
+                    hit: true,
+                    warm_from: None,
+                    iterations: 0,
+                    latency_ns: 10.0,
+                },
+                ServedGroup {
+                    key: key(0.9),
+                    n_qubits: 1,
+                    hit: false,
+                    warm_from: Some(key(0.3)),
+                    iterations: 17,
+                    latency_ns: 12.25,
+                },
+            ],
+            n_compiled: 1,
+            n_warm_started: 1,
+            dynamic_iterations: 17,
+        }
+    }
+
+    #[test]
+    fn report_json_roundtrips_byte_exactly() {
+        let report = sample_report();
+        let text = report.to_json();
+        assert!(!text.contains('\n'), "wire format is one frame");
+        let restored = ServeReport::from_json(&text).unwrap();
+        // to_json is deterministic, so byte equality is full equality.
+        assert_eq!(restored.to_json(), text);
+        assert_eq!(restored.groups.len(), 2);
+        assert_eq!(restored.groups[1].warm_from, report.groups[1].warm_from);
+        assert_eq!(restored.coverage, report.coverage);
+    }
+
+    #[test]
+    fn report_json_rejects_malformed_input() {
+        assert!(ServeReport::from_json("not json").is_err());
+        assert!(ServeReport::from_json("{}").is_err());
+        let no_hit = r#"{"overall_latency_ns": 1, "gate_based_latency_ns": 2,
+            "coverage_covered": 0, "coverage_total": 0, "n_compiled": 0,
+            "n_warm_started": 0, "dynamic_iterations": 0,
+            "groups": [{"key": "00", "n_qubits": 1, "warm_from": null,
+                        "iterations": 0, "latency_ns": 1}]}"#;
+        assert!(ServeReport::from_json(no_hit).is_err());
+        let bad_key = r#"{"overall_latency_ns": 1, "gate_based_latency_ns": 2,
+            "coverage_covered": 0, "coverage_total": 0, "n_compiled": 0,
+            "n_warm_started": 0, "dynamic_iterations": 0,
+            "groups": [{"key": "zz", "hit": true, "n_qubits": 1,
+                        "warm_from": null, "iterations": 0, "latency_ns": 1}]}"#;
+        assert!(ServeReport::from_json(bad_key).is_err());
+    }
 }

@@ -1014,6 +1014,23 @@ impl Session {
         library::serve::serve_program(self, circuit, options)
     }
 
+    /// [`Session::serve_program`] for callers that already ran
+    /// [`Session::front_end`] — e.g. the serving daemon, which needs the
+    /// program's group keys *before* serving to claim them for in-flight
+    /// coalescing, and should not pay decompose/map/group twice per
+    /// request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates group-compilation failures.
+    pub fn serve_grouped(
+        &self,
+        grouped: &GroupReport,
+        options: &ServeOptions,
+    ) -> Result<ServeReport> {
+        library::serve::serve_grouped(self, grouped, options)
+    }
+
     // -- verification -------------------------------------------------------
 
     /// Verifies that the session cache semantically implements `circuit`:

@@ -1,0 +1,335 @@
+//! Loopback serving-daemon experiment: boot `accqoc-server` in-process,
+//! replay a workload from concurrent clients, and assert the daemon is
+//! *transparent* — served pulses byte-identical to what the in-process
+//! [`Session::serve_program`] path produces on the same stream.
+//!
+//! Concurrent clients replaying the *same* stream are deterministic by
+//! construction: in-flight coalescing means each group is compiled
+//! exactly once, by whichever client gets there first, against a library
+//! holding exactly the stream prefix — the same state the sequential
+//! in-process replay sees. That is what makes a byte-level gate possible
+//! at all.
+//!
+//! Modes:
+//!
+//! - default: a small fig13-style arrival stream served over loopback by
+//!   2 clients (honors `ACCQOC_FAST=1`).
+//! - `--check`: the golden suite replayed by 2 concurrent clients, then
+//!   replayed again. Exits non-zero unless (a) every served pulse is
+//!   byte-identical to the in-process baseline, (b) the warm-start share
+//!   meets the same pinned 0.50 gate as `library_serve --check`, and
+//!   (c) the second replay is fully cache-covered. The CI smoke gate for
+//!   the daemon.
+//!
+//! Both modes write per-response rows to `results/server_serve.csv`.
+
+use std::sync::Arc;
+
+use accqoc::{PulseCache, ServeReport, Session};
+use accqoc_bench::{fast_mode, print_table, write_csv, ExperimentContext};
+use accqoc_circuit::Circuit;
+use accqoc_hw::Topology;
+use accqoc_server::{Client, Server, ServerConfig};
+use accqoc_workloads::{arrival_stream, golden_suite};
+
+/// Same pinned gate as `library_serve --check` (measured 0.550 on the
+/// golden stream; the daemon must not change the measurement).
+const CHECK_WARM_SHARE: f64 = 0.50;
+
+/// Concurrent clients replaying the stream.
+const N_CLIENTS: usize = 2;
+
+const HEADER: [&str; 9] = [
+    "phase",
+    "client",
+    "program",
+    "coverage",
+    "compiled",
+    "warm",
+    "iterations",
+    "latency_reduction",
+    "pulses_identical",
+];
+
+struct Row {
+    phase: &'static str,
+    client: usize,
+    program: String,
+    report: ServeReport,
+    identical: bool,
+}
+
+impl Row {
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.phase.to_string(),
+            self.client.to_string(),
+            self.program.clone(),
+            format!("{:.3}", self.report.coverage.rate()),
+            self.report.n_compiled.to_string(),
+            self.report.n_warm_started.to_string(),
+            self.report.dynamic_iterations.to_string(),
+            format!("{:.2}", self.report.latency_reduction()),
+            self.identical.to_string(),
+        ]
+    }
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    if check {
+        run_check();
+    } else {
+        run_stream();
+    }
+}
+
+/// Serves `programs` in-process on `session`, returning per-program
+/// reports plus the expected pulse artifact for each program (its
+/// unique-group entries, serialized deterministically).
+fn baseline_replay(
+    session: &Session,
+    programs: &[(String, Circuit)],
+) -> Vec<(ServeReport, String)> {
+    programs
+        .iter()
+        .map(|(_, circuit)| {
+            let report = session.serve_program(circuit).expect("baseline serves");
+            let mut cache = PulseCache::new();
+            for group in &report.groups {
+                cache.insert(
+                    group.key.clone(),
+                    session.cached(&group.key).expect("just served"),
+                );
+            }
+            let json = cache.to_json();
+            (report, json)
+        })
+        .collect()
+}
+
+/// Replays `programs` through the daemon from [`N_CLIENTS`] concurrent
+/// connections, each sending the full stream in order, and compares
+/// every returned pulse artifact byte-for-byte against the baseline.
+fn daemon_replay(
+    addr: std::net::SocketAddr,
+    programs: &[(String, Circuit)],
+    baseline: &[(ServeReport, String)],
+    phase: &'static str,
+) -> (Vec<Row>, usize) {
+    let results: Vec<Vec<Row>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N_CLIENTS)
+            .map(|client_idx| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    programs
+                        .iter()
+                        .zip(baseline)
+                        .map(|((name, circuit), (expected_report, expected_pulses))| {
+                            let (report, pulses) =
+                                client.serve_program(circuit, true).expect("daemon serves");
+                            let identical = pulses
+                                .as_ref()
+                                .map(|p| p.to_json() == *expected_pulses)
+                                .unwrap_or(false)
+                                && (report.overall_latency_ns - expected_report.overall_latency_ns)
+                                    .abs()
+                                    == 0.0;
+                            Row {
+                                phase,
+                                client: client_idx,
+                                program: name.clone(),
+                                report,
+                                identical,
+                            }
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let rows: Vec<Row> = results.into_iter().flatten().collect();
+    let mismatches = rows.iter().filter(|r| !r.identical).count();
+    (rows, mismatches)
+}
+
+fn write_table(rows: &[Row]) {
+    let cells: Vec<Vec<String>> = rows.iter().map(Row::cells).collect();
+    print_table(&HEADER, &cells);
+    write_csv("server_serve.csv", &HEADER, &cells).ok();
+}
+
+fn golden_session() -> Session {
+    // Mirrors library_serve --check: 5-qubit linear device, 300-iteration
+    // GRAPE cap, stock similarity/warm-start config.
+    let mut grape = accqoc_grape::GrapeOptions::default();
+    grape.stop.max_iters = 300;
+    Session::builder()
+        .topology(Topology::linear(5))
+        .grape(grape)
+        .build()
+        .expect("5-qubit session is valid")
+}
+
+fn run_check() {
+    println!("accqoc-server — golden-suite loopback check ({N_CLIENTS} clients)\n");
+    let programs: Vec<(String, Circuit)> = golden_suite()
+        .iter()
+        .map(|p| (p.name.clone(), p.circuit.clone()))
+        .collect();
+
+    // In-process baseline (the byte-identity reference).
+    let baseline_session = golden_session();
+    let baseline = baseline_replay(&baseline_session, &programs);
+
+    // Daemon over loopback.
+    let daemon_session = Arc::new(golden_session());
+    let server = Server::bind(
+        Arc::clone(&daemon_session),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Pass 1: concurrent cold replay. Pass 2: must be fully covered.
+    let (mut rows, mismatches) = daemon_replay(addr, &programs, &baseline, "serve");
+    let (rows2, mismatches2) = daemon_replay(addr, &programs, &baseline, "replay");
+    let replay_covered = rows2.iter().all(|r| r.report.n_compiled == 0);
+    rows.extend(rows2);
+    write_table(&rows);
+
+    let mut client = Client::connect(addr).expect("stats client connects");
+    let stats = client.stats().expect("stats");
+    client.shutdown().expect("shutdown");
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("server ran cleanly");
+
+    // Library-level byte identity: after serving, the daemon's whole
+    // artifact equals the in-process artifact.
+    let snapshot_identical =
+        daemon_session.cache_snapshot().to_json() == baseline_session.cache_snapshot().to_json();
+    let warm_share = stats.library.warm_share();
+    let warm_cheaper =
+        stats.library.mean_warm_iterations() < stats.library.mean_scratch_iterations();
+    let baseline_stats = baseline_session.library().stats();
+
+    println!();
+    println!(
+        "daemon compiles: {} ({} warm / {} scratch), baseline compiles: {}",
+        stats.library.misses,
+        stats.library.warm_compiles,
+        stats.library.scratch_compiles,
+        baseline_stats.misses,
+    );
+    println!(
+        "warm share {:.3} (gate {CHECK_WARM_SHARE}), coalesced waits {}, busy rejections {}",
+        warm_share, stats.server.coalesced_waits, stats.server.requests_rejected_busy,
+    );
+
+    let mut failed = false;
+    if mismatches + mismatches2 > 0 {
+        eprintln!(
+            "FAIL: {} responses were not byte-identical to in-process serving",
+            mismatches + mismatches2
+        );
+        failed = true;
+    }
+    if !snapshot_identical {
+        eprintln!("FAIL: daemon library snapshot diverged from the in-process artifact");
+        failed = true;
+    }
+    if stats.library.misses != baseline_stats.misses {
+        eprintln!(
+            "FAIL: daemon compiled {} groups, in-process baseline compiled {} (coalescing broken?)",
+            stats.library.misses, baseline_stats.misses
+        );
+        failed = true;
+    }
+    if warm_share < CHECK_WARM_SHARE {
+        eprintln!(
+            "FAIL: warm-start share {warm_share:.3} below pinned threshold {CHECK_WARM_SHARE}"
+        );
+        failed = true;
+    }
+    if !replay_covered {
+        eprintln!("FAIL: replayed stream was not fully served from the library");
+        failed = true;
+    }
+    if !warm_cheaper {
+        eprintln!(
+            "FAIL: warm compiles not cheaper than scratch ({:.1} vs {:.1} mean iterations)",
+            stats.library.mean_warm_iterations(),
+            stats.library.mean_scratch_iterations()
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "\nOK: {} responses byte-identical, warm share {warm_share:.3} >= {CHECK_WARM_SHARE}, replay fully covered",
+        rows.len()
+    );
+}
+
+fn run_stream() {
+    println!("accqoc-server — arrival-stream serving over loopback ({N_CLIENTS} clients)\n");
+    let ctx = ExperimentContext::bare();
+    let (n, max_gates) = if fast_mode() { (3, 260) } else { (5, 420) };
+    let pool = ctx.eval_programs_sized(max_gates, n);
+    let programs: Vec<(String, Circuit)> = arrival_stream(pool.len(), pool.len() * 2, 0x5EED)
+        .into_iter()
+        .map(|i| (pool[i].name.clone(), pool[i].circuit.clone()))
+        .collect();
+
+    // Baseline on the context session, daemon on an identical fresh one.
+    let baseline = baseline_replay(&ctx.session, &programs);
+    let daemon_session = Arc::new(
+        Session::builder()
+            .topology(Topology::melbourne())
+            .build()
+            .expect("stock melbourne session is valid"),
+    );
+    let server = Server::bind(
+        Arc::clone(&daemon_session),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let (rows, mismatches) = daemon_replay(addr, &programs, &baseline, "serve");
+    write_table(&rows);
+
+    let mut client = Client::connect(addr).expect("stats client connects");
+    let stats = client.stats().expect("stats");
+    client.shutdown().expect("shutdown");
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("server ran cleanly");
+
+    println!();
+    println!(
+        "served {} responses across {N_CLIENTS} clients: {} compiles ({} warm), {} hits, {} coalesced waits",
+        rows.len(),
+        stats.library.misses,
+        stats.library.warm_compiles,
+        stats.library.hits,
+        stats.server.coalesced_waits,
+    );
+    if mismatches > 0 {
+        eprintln!("FAIL: {mismatches} responses were not byte-identical to in-process serving");
+        std::process::exit(1);
+    }
+    println!("all served pulses byte-identical to in-process Session::serve_program");
+}

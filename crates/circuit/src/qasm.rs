@@ -331,7 +331,13 @@ pub fn to_qasm(circuit: &Circuit) -> String {
         if params.is_empty() {
             let _ = write!(out, "{name} ");
         } else {
-            let rendered: Vec<String> = params.iter().map(|p| format!("{p:.17}")).collect();
+            // `{:?}` is Rust's shortest representation that parses back
+            // to exactly the same f64. Fixed-point formatting here loses
+            // low bits on small angles (QFT's pi/2^k controlled phases),
+            // which would make a parse(to_qasm(c)) roundtrip compile to
+            // *different* unitaries than `c` — the daemon's byte-identity
+            // guarantee rides on this being exact.
+            let rendered: Vec<String> = params.iter().map(|p| format!("{p:?}")).collect();
             let _ = write!(out, "{name}({}) ", rendered.join(","));
         }
         let ops: Vec<String> = g.qubits().iter().map(|q| format!("q[{q}]")).collect();
@@ -573,6 +579,30 @@ mod tests {
         match (parsed.gates()[1], c.gates()[1]) {
             (Gate::Rz(_, a), Gate::Rz(_, b)) => assert!((a - b).abs() < 1e-15),
             _ => panic!("gate kind changed"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_angles_are_bit_exact() {
+        // QFT controlled phases go down to pi/2^k; the serving daemon's
+        // byte-identity guarantee needs these to survive the QASM wire
+        // with zero rounding, not just approximately.
+        let angles: Vec<f64> = (1..=30)
+            .map(|k| std::f64::consts::PI / (1u64 << k) as f64)
+            .chain([-0.7, 1e-300, 3.0e5])
+            .collect();
+        let gates: Vec<Gate> = angles.iter().map(|&a| Gate::Rz(0, a)).collect();
+        let c = Circuit::from_gates(1, gates);
+        let parsed = parse_qasm(&to_qasm(&c)).unwrap();
+        for (i, (p, o)) in parsed.iter().zip(c.iter()).enumerate() {
+            match (p, o) {
+                (Gate::Rz(_, a), Gate::Rz(_, b)) => assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "angle {i} changed: {b:?} -> {a:?}"
+                ),
+                _ => panic!("gate kind changed"),
+            }
         }
     }
 

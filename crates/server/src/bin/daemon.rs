@@ -1,0 +1,103 @@
+//! The standalone daemon: `cargo run --release -p accqoc-server --bin daemon`.
+//!
+//! Binds a pulse-serving session on a linear-topology device and serves
+//! until a client sends the `shutdown` method (see README "Running the
+//! daemon" for a raw-socket session).
+//!
+//! Flags (all optional):
+//!
+//! - `--addr HOST:PORT` — listen address (default `127.0.0.1:7878`;
+//!   port `0` picks a free port and prints it)
+//! - `--qubits N` — device width, linear topology (default 5)
+//! - `--workers N` — worker threads (default 2)
+//! - `--queue N` — admission-queue capacity (default 64)
+//! - `--max-iters N` — GRAPE iteration cap per probe (default 300)
+//! - `--library-capacity N` — LRU bound on the pulse library
+//!   (default unbounded; serving works at any capacity)
+
+use std::sync::Arc;
+
+use accqoc::Session;
+use accqoc_hw::Topology;
+use accqoc_server::{Server, ServerConfig};
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parsed<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match flag(args, name) {
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for {name}: `{raw}`");
+            std::process::exit(2);
+        }),
+        None => default,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let qubits: usize = parsed(&args, "--qubits", 5);
+    let workers: usize = parsed(&args, "--workers", 2);
+    let queue: usize = parsed(&args, "--queue", 64);
+    let max_iters: usize = parsed(&args, "--max-iters", 300);
+
+    let mut grape = accqoc_grape::GrapeOptions::default();
+    grape.stop.max_iters = max_iters;
+    let mut builder = Session::builder()
+        .topology(Topology::linear(qubits))
+        .grape(grape);
+    if let Some(capacity) = flag(&args, "--library-capacity") {
+        let capacity: usize = capacity.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --library-capacity: `{capacity}`");
+            std::process::exit(2);
+        });
+        builder = builder.library_capacity(capacity);
+    }
+    let session = match builder.build() {
+        Ok(session) => Arc::new(session),
+        Err(e) => {
+            eprintln!("session setup failed: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let config = ServerConfig {
+        workers,
+        queue_capacity: queue,
+        ..ServerConfig::default()
+    };
+    let server = match Server::bind(Arc::clone(&session), &addr, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("bind {addr} failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "accqoc-server listening on {} ({qubits}-qubit linear device, {workers} workers, queue {queue})",
+        server.local_addr()
+    );
+    println!("stop with: {{\"id\": 1, \"method\": \"shutdown\"}}");
+    match server.run() {
+        Ok(counters) => {
+            let stats = session.library().stats();
+            println!(
+                "drained: {} requests served ({} busy-rejected, {} coalesced waits), library {} hits / {} compiles",
+                counters.requests_served,
+                counters.requests_rejected_busy,
+                counters.coalesced_waits,
+                stats.hits,
+                stats.misses,
+            );
+        }
+        Err(e) => {
+            eprintln!("server failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! A blocking client for the daemon protocol, used by the bench/client
+//! bin, the integration tests, and scripts that prefer a typed API over
+//! raw `nc`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use accqoc::{PulseCache, ServeReport, VerifyReport};
+use accqoc_circuit::{to_qasm, Circuit};
+
+use crate::protocol::{
+    Call, Payload, PrecompileSummary, Request, Response, StatsSnapshot, WireError,
+};
+
+/// Why a call failed, from the client's point of view.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection broke.
+    Io(std::io::Error),
+    /// The daemon answered with a typed error (busy, malformed, compile
+    /// failure, …).
+    Remote(WireError),
+    /// The daemon's frame was unreadable, or its payload did not match
+    /// the method called.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "connection failed: {e}"),
+            Self::Remote(e) => write!(f, "daemon refused: {e}"),
+            Self::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// One connection to a running daemon. Calls are synchronous: each
+/// method writes one request frame and blocks for the matching response.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self {
+            writer,
+            reader,
+            next_id: 0,
+        })
+    }
+
+    /// Sends one call and blocks for its payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Remote`] for typed daemon errors,
+    /// [`ClientError::Io`] / [`ClientError::Protocol`] for transport
+    /// problems.
+    pub fn call(&mut self, call: Call) -> Result<Payload, ClientError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let request = Request { id, call };
+        self.writer.write_all(request.encode().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("daemon closed the connection".into()));
+        }
+        let response = Response::decode(line.trim_end()).map_err(ClientError::Protocol)?;
+        if response.id != id {
+            // Id 0 failures are server-initiated refusals sent before any
+            // request was read (e.g. the connection-limit `busy` frame) —
+            // surface them typed, not as a correlation error.
+            if response.id == 0 {
+                if let Err(e) = response.body {
+                    return Err(ClientError::Remote(e));
+                }
+            }
+            return Err(ClientError::Protocol(format!(
+                "response id {} does not match request id {id}",
+                response.id
+            )));
+        }
+        response.body.map_err(ClientError::Remote)
+    }
+
+    /// Serves a program; with `return_pulses` the daemon ships the
+    /// resolved group pulses back as a [`PulseCache`] artifact.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn serve_program(
+        &mut self,
+        circuit: &Circuit,
+        return_pulses: bool,
+    ) -> Result<(ServeReport, Option<PulseCache>), ClientError> {
+        match self.call(Call::ServeProgram {
+            qasm: to_qasm(circuit),
+            return_pulses,
+        })? {
+            Payload::Serve { report, pulses } => Ok((report, pulses)),
+            other => Err(mismatch("serve_program", &other)),
+        }
+    }
+
+    /// Batch pre-compiles a profiled program set into the daemon's
+    /// library.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn precompile(&mut self, programs: &[Circuit]) -> Result<PrecompileSummary, ClientError> {
+        match self.call(Call::Precompile {
+            programs: programs.iter().map(to_qasm).collect(),
+        })? {
+            Payload::Precompile(summary) => Ok(summary),
+            other => Err(mismatch("precompile", &other)),
+        }
+    }
+
+    /// Verifies a program against the daemon's library.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn verify_program(&mut self, circuit: &Circuit) -> Result<VerifyReport, ClientError> {
+        match self.call(Call::VerifyProgram {
+            qasm: to_qasm(circuit),
+        })? {
+            Payload::Verify(report) => Ok(report),
+            other => Err(mismatch("verify_program", &other)),
+        }
+    }
+
+    /// Fetches library + server counters.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.call(Call::Stats)? {
+            Payload::Stats(snapshot) => Ok(snapshot),
+            other => Err(mismatch("stats", &other)),
+        }
+    }
+
+    /// Asks the daemon to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(Call::Shutdown)? {
+            Payload::Shutdown => Ok(()),
+            other => Err(mismatch("shutdown", &other)),
+        }
+    }
+}
+
+fn mismatch(method: &str, got: &Payload) -> ClientError {
+    ClientError::Protocol(format!("`{method}` answered with {got:?}"))
+}

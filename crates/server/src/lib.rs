@@ -1,0 +1,68 @@
+//! `accqoc-server`: a multi-client pulse-serving daemon over the live
+//! AccQOC pulse library.
+//!
+//! The paper's result is that pre-compilation plus similarity warm
+//! starts make pulse generation cheap enough to keep up with compilation
+//! demand; this crate is where that claim meets traffic. A [`Server`]
+//! owns one shared [`accqoc::Session`] (and therefore one fingerprint-
+//! indexed [`accqoc::PulseLibrary`]) and exposes it on a TCP socket
+//! speaking a newline-delimited JSON protocol ([`protocol`]) with five
+//! methods: `serve_program`, `precompile`, `verify_program`, `stats`,
+//! and `shutdown`.
+//!
+//! Everything is `std`-only (this workspace builds offline): the
+//! listener is [`std::net::TcpListener`], the worker pool is the same
+//! [`std::thread::scope`] pattern as `accqoc::compile_parallel_with`,
+//! and the wire format reuses `accqoc::json`.
+//!
+//! Three properties define the daemon's behavior under load:
+//!
+//! - **admission control** — requests pass through a bounded queue
+//!   ([`queue::BoundedQueue`]); when it is full the client gets a typed
+//!   `busy` error immediately. The accept loop never blocks on the
+//!   backlog.
+//! - **in-flight coalescing** — two clients requesting the same unitary
+//!   trigger one GRAPE run ([`inflight::InflightGroups`]): the second
+//!   waits for the first's pulse to land in the library and serves it as
+//!   a cache hit.
+//! - **in-process fidelity** — responses carry the same
+//!   [`accqoc::ServeReport`] / [`accqoc::LibraryStats`] counters as the
+//!   in-process path, and served pulses are byte-identical to what
+//!   [`accqoc::Session::serve_program`] produces (the `server` bench bin
+//!   asserts this over loopback).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use accqoc::Session;
+//! use accqoc_hw::Topology;
+//! use accqoc_server::{Client, Server, ServerConfig};
+//!
+//! let session = Arc::new(Session::builder().topology(Topology::linear(2)).build()?);
+//! let server = Server::bind(session, "127.0.0.1:0", ServerConfig::default())?;
+//! let addr = server.local_addr();
+//! std::thread::spawn(move || server.run());
+//!
+//! let mut client = Client::connect(addr)?;
+//! let circuit = accqoc_circuit::parse_qasm("qreg q[2]; h q[0]; cx q[0],q[1];")?;
+//! let (report, _) = client.serve_program(&circuit, false).unwrap();
+//! println!("latency {:.1} ns", report.overall_latency_ns);
+//! client.shutdown().unwrap();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod inflight;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{
+    Call, ErrorCode, Payload, PrecompileSummary, Request, Response, ServerCounters, StatsSnapshot,
+    WireError,
+};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,757 @@
+//! The daemon's wire protocol: newline-delimited JSON frames.
+//!
+//! Every message is one line of compact JSON (no raw newlines — strings
+//! escape control characters) terminated by `\n`. Requests carry a
+//! client-chosen `id` that the matching response echoes, so a client can
+//! pipeline calls over one connection. Circuits travel as OpenQASM
+//! source ([`accqoc_circuit::parse_qasm`] / [`accqoc_circuit::to_qasm`]),
+//! pulses as the same JSON artifact [`PulseCache`] persists to disk —
+//! both ends of the wire speak formats the repository already pins as
+//! byte-deterministic.
+//!
+//! Request frame:
+//!
+//! ```json
+//! {"id": 1, "method": "serve_program", "params": {"qasm": "...", "return_pulses": true}}
+//! ```
+//!
+//! Response frame (success / failure):
+//!
+//! ```json
+//! {"id": 1, "ok": true, "result": {...}}
+//! {"id": 1, "ok": false, "error": {"code": "busy", "message": "..."}}
+//! ```
+
+use accqoc::json::{self, JsonValue};
+use accqoc::{LibraryStats, PulseCache, ServeReport, VerifyReport};
+
+/// Machine-readable failure classes a response can carry. Protocol-level
+/// codes (`malformed_json` … `oversized`) mean the request never reached
+/// the compiler; compiler-level codes (`qasm`, `compile`) wrap an
+/// [`accqoc::Error`] from the session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// The request line was not valid JSON.
+    MalformedJson,
+    /// The `method` field named no known method.
+    UnknownMethod,
+    /// The `params` object was missing a required field or mistyped.
+    BadParams,
+    /// The request line exceeded the daemon's size cap.
+    Oversized,
+    /// The admission queue was full — retry later (the daemon never
+    /// blocks the accept loop on a full queue).
+    Busy,
+    /// The daemon is draining for shutdown.
+    ShuttingDown,
+    /// The QASM payload did not parse.
+    Qasm,
+    /// Pulse compilation or verification failed in the session.
+    Compile,
+    /// Anything else (a bug, by definition).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::MalformedJson => "malformed_json",
+            Self::UnknownMethod => "unknown_method",
+            Self::BadParams => "bad_params",
+            Self::Oversized => "oversized",
+            Self::Busy => "busy",
+            Self::ShuttingDown => "shutting_down",
+            Self::Qasm => "qasm",
+            Self::Compile => "compile",
+            Self::Internal => "internal",
+        }
+    }
+
+    fn from_str(text: &str) -> Self {
+        match text {
+            "malformed_json" => Self::MalformedJson,
+            "unknown_method" => Self::UnknownMethod,
+            "bad_params" => Self::BadParams,
+            "oversized" => Self::Oversized,
+            "busy" => Self::Busy,
+            "shutting_down" => Self::ShuttingDown,
+            "qasm" => Self::Qasm,
+            "compile" => Self::Compile,
+            _ => Self::Internal,
+        }
+    }
+}
+
+/// A typed failure carried in a response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Failure class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// Builds a wire error.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "code".into(),
+                JsonValue::String(self.code.as_str().to_string()),
+            ),
+            ("message".into(), JsonValue::String(self.message.clone())),
+        ])
+    }
+
+    fn from_json_value(value: &JsonValue) -> Result<Self, String> {
+        let code = value
+            .get("code")
+            .and_then(JsonValue::as_str)
+            .ok_or("error missing `code`")?;
+        let message = value
+            .get("message")
+            .and_then(JsonValue::as_str)
+            .ok_or("error missing `message`")?;
+        Ok(Self {
+            code: ErrorCode::from_str(code),
+            message: message.to_string(),
+        })
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// The methods the daemon serves, with their parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Call {
+    /// Serve one program against the live pulse library
+    /// ([`accqoc::Session::serve_program`] semantics: hits free, misses
+    /// warm-started, results inserted back).
+    ServeProgram {
+        /// The program as OpenQASM source.
+        qasm: String,
+        /// When `true`, the response carries the resolved pulses for the
+        /// program's unique groups as a [`PulseCache`] artifact.
+        return_pulses: bool,
+    },
+    /// Batch pre-compilation of a profiled program set
+    /// ([`accqoc::Session::precompile`], MST order).
+    Precompile {
+        /// The profiled programs as OpenQASM sources.
+        programs: Vec<String>,
+    },
+    /// Semantic verification of a program against the library's pulses
+    /// ([`accqoc::Session::verify_program`]).
+    VerifyProgram {
+        /// The program as OpenQASM source.
+        qasm: String,
+    },
+    /// Library counters, server counters, and queue depth.
+    Stats,
+    /// Graceful shutdown: the daemon stops accepting, drains queued
+    /// requests, and exits. Handled by the connection thread directly,
+    /// so it works even when the admission queue is full.
+    Shutdown,
+}
+
+impl Call {
+    fn method(&self) -> &'static str {
+        match self {
+            Self::ServeProgram { .. } => "serve_program",
+            Self::Precompile { .. } => "precompile",
+            Self::VerifyProgram { .. } => "verify_program",
+            Self::Stats => "stats",
+            Self::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One request frame: an `id` the response echoes, plus the call.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_server::protocol::{Call, Request};
+///
+/// let request = Request {
+///     id: 7,
+///     call: Call::ServeProgram {
+///         qasm: "qreg q[1]; h q[0];".into(),
+///         return_pulses: false,
+///     },
+/// };
+/// let line = request.encode();
+/// assert!(!line.contains('\n'), "one frame per line");
+/// assert_eq!(Request::decode(&line).unwrap(), request);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed by the response.
+    pub id: u64,
+    /// The method and its parameters.
+    pub call: Call,
+}
+
+/// A decode failure, carrying the request id when it could be salvaged
+/// from the malformed frame (0 otherwise) so the error response still
+/// correlates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeError {
+    /// Best-effort id of the offending request.
+    pub id: u64,
+    /// The typed failure to send back.
+    pub error: WireError,
+}
+
+impl Request {
+    /// Serializes the request as one compact JSON line (no trailing
+    /// newline; the transport appends the frame delimiter).
+    pub fn encode(&self) -> String {
+        let params = match &self.call {
+            Call::ServeProgram {
+                qasm,
+                return_pulses,
+            } => Some(JsonValue::Object(vec![
+                ("qasm".into(), JsonValue::String(qasm.clone())),
+                ("return_pulses".into(), JsonValue::Bool(*return_pulses)),
+            ])),
+            Call::Precompile { programs } => Some(JsonValue::Object(vec![(
+                "programs".into(),
+                JsonValue::Array(
+                    programs
+                        .iter()
+                        .map(|p| JsonValue::String(p.clone()))
+                        .collect(),
+                ),
+            )])),
+            Call::VerifyProgram { qasm } => Some(JsonValue::Object(vec![(
+                "qasm".into(),
+                JsonValue::String(qasm.clone()),
+            )])),
+            Call::Stats | Call::Shutdown => None,
+        };
+        let mut fields = vec![
+            ("id".into(), JsonValue::Number(self.id as f64)),
+            (
+                "method".into(),
+                JsonValue::String(self.call.method().to_string()),
+            ),
+        ];
+        if let Some(params) = params {
+            fields.push(("params".into(), params));
+        }
+        JsonValue::Object(fields).to_compact()
+    }
+
+    /// Parses one request frame.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] with [`ErrorCode::MalformedJson`],
+    /// [`ErrorCode::UnknownMethod`], or [`ErrorCode::BadParams`]; the
+    /// carried id is salvaged from the frame when possible.
+    pub fn decode(line: &str) -> Result<Self, DecodeError> {
+        let doc = json::parse(line).map_err(|e| DecodeError {
+            id: 0,
+            error: WireError::new(ErrorCode::MalformedJson, e.to_string()),
+        })?;
+        let id = doc
+            .get("id")
+            .and_then(JsonValue::as_usize)
+            .map(|n| n as u64)
+            .unwrap_or(0);
+        let fail = |code, message: String| DecodeError {
+            id,
+            error: WireError::new(code, message),
+        };
+        let method = doc
+            .get("method")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| fail(ErrorCode::BadParams, "missing `method`".into()))?;
+        let param_str = |name: &str| {
+            doc.get("params")
+                .and_then(|p| p.get(name))
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| {
+                    fail(
+                        ErrorCode::BadParams,
+                        format!("missing string param `{name}`"),
+                    )
+                })
+        };
+        let call = match method {
+            "serve_program" => Call::ServeProgram {
+                qasm: param_str("qasm")?,
+                return_pulses: matches!(
+                    doc.get("params").and_then(|p| p.get("return_pulses")),
+                    Some(JsonValue::Bool(true))
+                ),
+            },
+            "precompile" => {
+                let programs = doc
+                    .get("params")
+                    .and_then(|p| p.get("programs"))
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| {
+                        fail(
+                            ErrorCode::BadParams,
+                            "missing array param `programs`".into(),
+                        )
+                    })?;
+                Call::Precompile {
+                    programs: programs
+                        .iter()
+                        .map(|p| {
+                            p.as_str().map(str::to_string).ok_or_else(|| {
+                                fail(ErrorCode::BadParams, "`programs` holds a non-string".into())
+                            })
+                        })
+                        .collect::<Result<_, _>>()?,
+                }
+            }
+            "verify_program" => Call::VerifyProgram {
+                qasm: param_str("qasm")?,
+            },
+            "stats" => Call::Stats,
+            "shutdown" => Call::Shutdown,
+            other => {
+                return Err(fail(
+                    ErrorCode::UnknownMethod,
+                    format!("unknown method `{other}`"),
+                ))
+            }
+        };
+        Ok(Self { id, call })
+    }
+}
+
+/// Counters the daemon keeps about itself (the library's own
+/// [`LibraryStats`] ride alongside in [`StatsSnapshot`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    /// Connections accepted.
+    pub connections_accepted: u64,
+    /// Connections refused because the connection cap was reached.
+    pub connections_rejected: u64,
+    /// Requests a worker completed (success or typed failure).
+    pub requests_served: u64,
+    /// Requests rejected with [`ErrorCode::Busy`] at admission.
+    pub requests_rejected_busy: u64,
+    /// Malformed, oversized, or truncated frames observed.
+    pub protocol_errors: u64,
+    /// Serve requests that waited on another client's in-flight compile
+    /// of the same group instead of compiling it again.
+    pub coalesced_waits: u64,
+}
+
+impl ServerCounters {
+    fn to_json_value(self) -> JsonValue {
+        let field = |n: u64| JsonValue::Number(n as f64);
+        JsonValue::Object(vec![
+            (
+                "connections_accepted".into(),
+                field(self.connections_accepted),
+            ),
+            (
+                "connections_rejected".into(),
+                field(self.connections_rejected),
+            ),
+            ("requests_served".into(), field(self.requests_served)),
+            (
+                "requests_rejected_busy".into(),
+                field(self.requests_rejected_busy),
+            ),
+            ("protocol_errors".into(), field(self.protocol_errors)),
+            ("coalesced_waits".into(), field(self.coalesced_waits)),
+        ])
+    }
+
+    fn from_json_value(value: &JsonValue) -> Result<Self, String> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .and_then(JsonValue::as_usize)
+                .map(|n| n as u64)
+                .ok_or_else(|| format!("server counters missing `{name}`"))
+        };
+        Ok(Self {
+            connections_accepted: field("connections_accepted")?,
+            connections_rejected: field("connections_rejected")?,
+            requests_served: field("requests_served")?,
+            requests_rejected_busy: field("requests_rejected_busy")?,
+            protocol_errors: field("protocol_errors")?,
+            coalesced_waits: field("coalesced_waits")?,
+        })
+    }
+}
+
+/// The `stats` response body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// The shared library's hit/miss/warm/scratch/eviction counters —
+    /// the same numbers [`accqoc::PulseLibrary::stats`] reports
+    /// in-process.
+    pub library: LibraryStats,
+    /// The daemon's own counters.
+    pub server: ServerCounters,
+    /// Entries currently stored in the library.
+    pub library_len: usize,
+    /// Requests currently queued for admission.
+    pub queue_depth: usize,
+}
+
+/// The summary body of a `precompile` response (the wire projection of
+/// [`accqoc::PrecompileReport`] — per-group frequency tables stay
+/// server-side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrecompileSummary {
+    /// Programs profiled.
+    pub n_programs: usize,
+    /// Unique groups in the profiled category.
+    pub n_unique_groups: usize,
+    /// GRAPE iterations spent filling the library.
+    pub total_iterations: usize,
+}
+
+/// A successful response body, one variant per method.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// `serve_program`: the full [`ServeReport`] the in-process path
+    /// would return, plus the resolved pulses when requested.
+    Serve {
+        /// The serving report (same counters as in-process).
+        report: ServeReport,
+        /// The program's unique-group pulses, when
+        /// `return_pulses: true` (entries may be fewer than the report's
+        /// groups if a bounded library evicted one after serving).
+        pulses: Option<PulseCache>,
+    },
+    /// `precompile`: the category summary.
+    Precompile(PrecompileSummary),
+    /// `verify_program`: the full [`VerifyReport`].
+    Verify(VerifyReport),
+    /// `stats`: library + server counters.
+    Stats(StatsSnapshot),
+    /// `shutdown`: acknowledged; the daemon is draining.
+    Shutdown,
+}
+
+/// One response frame: the echoed request id and either a typed payload
+/// or a typed error.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_server::protocol::{ErrorCode, Payload, Response, WireError};
+///
+/// let ok = Response { id: 7, body: Ok(Payload::Shutdown) };
+/// assert_eq!(Response::decode(&ok.encode()).unwrap(), ok);
+///
+/// let err = Response {
+///     id: 8,
+///     body: Err(WireError::new(ErrorCode::Busy, "queue full (64)")),
+/// };
+/// let line = err.encode();
+/// assert!(line.contains("\"busy\""));
+/// assert_eq!(Response::decode(&line).unwrap(), err);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The id of the request this answers (0 when the request's id was
+    /// unreadable).
+    pub id: u64,
+    /// Payload on success, typed error on failure.
+    pub body: Result<Payload, WireError>,
+}
+
+impl Response {
+    /// A failure response.
+    pub fn failure(id: u64, code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            id,
+            body: Err(WireError::new(code, message)),
+        }
+    }
+
+    /// Serializes the response as one compact JSON line (no trailing
+    /// newline).
+    pub fn encode(&self) -> String {
+        let mut fields = vec![("id".into(), JsonValue::Number(self.id as f64))];
+        match &self.body {
+            Ok(payload) => {
+                fields.push(("ok".into(), JsonValue::Bool(true)));
+                let (method, result) = match payload {
+                    Payload::Serve { report, pulses } => {
+                        let mut result = vec![("report".into(), report.to_json_value())];
+                        if let Some(cache) = pulses {
+                            let cache_value = json::parse(&cache.to_json())
+                                .expect("pulse cache serializes to valid json");
+                            result.push(("pulses".into(), cache_value));
+                        }
+                        ("serve_program", JsonValue::Object(result))
+                    }
+                    Payload::Precompile(s) => (
+                        "precompile",
+                        JsonValue::Object(vec![
+                            ("n_programs".into(), JsonValue::Number(s.n_programs as f64)),
+                            (
+                                "n_unique_groups".into(),
+                                JsonValue::Number(s.n_unique_groups as f64),
+                            ),
+                            (
+                                "total_iterations".into(),
+                                JsonValue::Number(s.total_iterations as f64),
+                            ),
+                        ]),
+                    ),
+                    Payload::Verify(report) => (
+                        "verify_program",
+                        json::parse(&report.to_json())
+                            .expect("verify report serializes to valid json"),
+                    ),
+                    Payload::Stats(s) => (
+                        "stats",
+                        JsonValue::Object(vec![
+                            ("library".into(), s.library.to_json_value()),
+                            ("server".into(), s.server.to_json_value()),
+                            (
+                                "library_len".into(),
+                                JsonValue::Number(s.library_len as f64),
+                            ),
+                            (
+                                "queue_depth".into(),
+                                JsonValue::Number(s.queue_depth as f64),
+                            ),
+                        ]),
+                    ),
+                    Payload::Shutdown => ("shutdown", JsonValue::Object(vec![])),
+                };
+                fields.push(("method".into(), JsonValue::String(method.to_string())));
+                fields.push(("result".into(), result));
+            }
+            Err(error) => {
+                fields.push(("ok".into(), JsonValue::Bool(false)));
+                fields.push(("error".into(), error.to_json_value()));
+            }
+        }
+        JsonValue::Object(fields).to_compact()
+    }
+
+    /// Parses one response frame.
+    ///
+    /// # Errors
+    ///
+    /// A description of what made the frame unreadable (a *transport*
+    /// failure — a readable frame carrying a server-side error decodes
+    /// into `Ok` with `body: Err(..)`).
+    pub fn decode(line: &str) -> Result<Self, String> {
+        let doc = json::parse(line).map_err(|e| format!("response is not json: {e}"))?;
+        let id = doc
+            .get("id")
+            .and_then(JsonValue::as_usize)
+            .ok_or("response missing `id`")? as u64;
+        let ok = match doc.get("ok") {
+            Some(JsonValue::Bool(b)) => *b,
+            _ => return Err("response missing `ok`".into()),
+        };
+        if !ok {
+            let error = doc.get("error").ok_or("failure response missing `error`")?;
+            return Ok(Self {
+                id,
+                body: Err(WireError::from_json_value(error)?),
+            });
+        }
+        let method = doc
+            .get("method")
+            .and_then(JsonValue::as_str)
+            .ok_or("success response missing `method`")?;
+        let result = doc
+            .get("result")
+            .ok_or("success response missing `result`")?;
+        let count = |value: &JsonValue, name: &str| {
+            value
+                .get(name)
+                .and_then(JsonValue::as_usize)
+                .ok_or_else(|| format!("result missing `{name}`"))
+        };
+        let payload = match method {
+            "serve_program" => {
+                let report = result
+                    .get("report")
+                    .ok_or_else(|| "serve result missing `report`".to_string())
+                    .and_then(|r| {
+                        ServeReport::from_json_value(r).map_err(|e| format!("bad report: {e}"))
+                    })?;
+                let pulses = match result.get("pulses") {
+                    Some(value) => Some(
+                        PulseCache::from_json(&value.to_compact())
+                            .map_err(|e| format!("bad pulses: {e}"))?,
+                    ),
+                    None => None,
+                };
+                Payload::Serve { report, pulses }
+            }
+            "precompile" => Payload::Precompile(PrecompileSummary {
+                n_programs: count(result, "n_programs")?,
+                n_unique_groups: count(result, "n_unique_groups")?,
+                total_iterations: count(result, "total_iterations")?,
+            }),
+            "verify_program" => Payload::Verify(
+                VerifyReport::from_json(&result.to_compact())
+                    .map_err(|e| format!("bad verify report: {e}"))?,
+            ),
+            "stats" => Payload::Stats(StatsSnapshot {
+                library: LibraryStats::from_json_value(
+                    result.get("library").ok_or("stats missing `library`")?,
+                )
+                .map_err(|e| format!("bad library stats: {e}"))?,
+                server: ServerCounters::from_json_value(
+                    result.get("server").ok_or("stats missing `server`")?,
+                )?,
+                library_len: count(result, "library_len")?,
+                queue_depth: count(result, "queue_depth")?,
+            }),
+            "shutdown" => Payload::Shutdown,
+            other => return Err(format!("unknown response method `{other}`")),
+        };
+        Ok(Self {
+            id,
+            body: Ok(payload),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_all_methods() {
+        let calls = vec![
+            Call::ServeProgram {
+                qasm: "qreg q[2]; cx q[0],q[1];".into(),
+                return_pulses: true,
+            },
+            Call::Precompile {
+                programs: vec!["qreg q[1]; h q[0];".into(), "qreg q[1]; t q[0];".into()],
+            },
+            Call::VerifyProgram {
+                qasm: "qreg q[1]; x q[0];".into(),
+            },
+            Call::Stats,
+            Call::Shutdown,
+        ];
+        for (i, call) in calls.into_iter().enumerate() {
+            let request = Request {
+                id: i as u64 + 1,
+                call,
+            };
+            let line = request.encode();
+            assert!(!line.contains('\n'));
+            assert_eq!(Request::decode(&line).unwrap(), request, "{line}");
+        }
+    }
+
+    #[test]
+    fn request_decode_salvages_id_and_types_errors() {
+        let e = Request::decode("{nope").unwrap_err();
+        assert_eq!(e.error.code, ErrorCode::MalformedJson);
+        assert_eq!(e.id, 0);
+
+        let e = Request::decode(r#"{"id": 9, "method": "frobnicate"}"#).unwrap_err();
+        assert_eq!(e.error.code, ErrorCode::UnknownMethod);
+        assert_eq!(e.id, 9, "id salvaged from the malformed request");
+
+        let e = Request::decode(r#"{"id": 3, "method": "serve_program"}"#).unwrap_err();
+        assert_eq!(e.error.code, ErrorCode::BadParams);
+        assert_eq!(e.id, 3);
+
+        let e = Request::decode(r#"{"id": 4}"#).unwrap_err();
+        assert_eq!(e.error.code, ErrorCode::BadParams);
+    }
+
+    #[test]
+    fn response_roundtrip_stats_and_errors() {
+        let stats = Response {
+            id: 2,
+            body: Ok(Payload::Stats(StatsSnapshot {
+                library: LibraryStats {
+                    hits: 5,
+                    misses: 2,
+                    warm_compiles: 1,
+                    scratch_compiles: 1,
+                    warm_iterations: 40,
+                    scratch_iterations: 90,
+                    evictions: 0,
+                },
+                server: ServerCounters {
+                    connections_accepted: 3,
+                    connections_rejected: 1,
+                    requests_served: 7,
+                    requests_rejected_busy: 2,
+                    protocol_errors: 1,
+                    coalesced_waits: 1,
+                },
+                library_len: 4,
+                queue_depth: 0,
+            })),
+        };
+        assert_eq!(Response::decode(&stats.encode()).unwrap(), stats);
+
+        for code in [
+            ErrorCode::MalformedJson,
+            ErrorCode::UnknownMethod,
+            ErrorCode::BadParams,
+            ErrorCode::Oversized,
+            ErrorCode::Busy,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Qasm,
+            ErrorCode::Compile,
+            ErrorCode::Internal,
+        ] {
+            let r = Response::failure(1, code, "detail");
+            assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn response_decode_rejects_unreadable_frames() {
+        assert!(Response::decode("junk").is_err());
+        assert!(Response::decode("{}").is_err());
+        assert!(Response::decode(r#"{"id": 1}"#).is_err());
+        assert!(Response::decode(r#"{"id": 1, "ok": true}"#).is_err());
+        assert!(Response::decode(r#"{"id": 1, "ok": false}"#).is_err());
+        assert!(
+            Response::decode(r#"{"id": 1, "ok": true, "method": "nope", "result": {}}"#).is_err()
+        );
+    }
+
+    #[test]
+    fn precompile_summary_roundtrips() {
+        let r = Response {
+            id: 11,
+            body: Ok(Payload::Precompile(PrecompileSummary {
+                n_programs: 3,
+                n_unique_groups: 17,
+                total_iterations: 4242,
+            })),
+        };
+        assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+    }
+}

@@ -1,0 +1,188 @@
+//! The bounded admission queue between connection threads and the
+//! worker pool.
+//!
+//! Admission control is the queue's whole job: [`BoundedQueue::try_push`]
+//! never blocks — a full queue is an immediate [`EnqueueError::Full`],
+//! which the connection thread turns into a typed `busy` response. Only
+//! the *worker* side blocks ([`BoundedQueue::pop`] waits for work), so
+//! the accept loop and every client connection stay responsive no matter
+//! how deep the compile backlog is.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why an enqueue was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueError {
+    /// The queue is at capacity; the caller should reject the request
+    /// with a retryable error.
+    Full,
+    /// The queue was closed for shutdown; no more work is admitted.
+    Closed,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity multi-producer multi-consumer queue with
+/// non-blocking producers and blocking consumers.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue admitting at most `capacity` pending items
+    /// (capacity 0 refuses everything — useful to drain a daemon).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Admits an item without ever blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`EnqueueError::Full`] at capacity, [`EnqueueError::Closed`] after
+    /// [`BoundedQueue::close`].
+    pub fn try_push(&self, item: T) -> Result<(), EnqueueError> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(EnqueueError::Closed);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(EnqueueError::Full);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available (FIFO) or the queue is closed
+    /// *and* drained; `None` means the consumer should exit. Pending
+    /// items are still handed out after close, so admitted requests are
+    /// always answered.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Stops admission and wakes every blocked consumer. Already-queued
+    /// items still drain through [`BoundedQueue::pop`].
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_capacity() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(EnqueueError::Full));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn capacity_zero_rejects_everything() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.try_push(1), Err(EnqueueError::Full));
+    }
+
+    #[test]
+    fn close_drains_pending_then_signals_exit() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(EnqueueError::Closed));
+        assert_eq!(q.pop(), Some(1), "admitted work still drains");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the consumer a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let q = Arc::new(BoundedQueue::new(64));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        for i in 0..50 {
+            while q.try_push(i) == Err(EnqueueError::Full) {
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got.len(), 50);
+        assert!(got.windows(2).all(|w| w[0] < w[1]), "FIFO preserved");
+    }
+}

@@ -1,0 +1,615 @@
+//! The daemon itself: accept loop, per-connection reader threads, and
+//! the worker pool, all inside one [`std::thread::scope`].
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//! accept ── connection thread ── admit (bounded queue) ── worker
+//!                │                    │ full → busy error     │
+//!                │                    ▼                       ▼
+//!                │               typed reject          coalesce (claim
+//!                │                                     in-flight groups)
+//!                │                                           │
+//!                ▼                                           ▼
+//!           write response  ◄──────── mpsc ◄────── library resolve
+//!                                                   (hit / warm / scratch)
+//! ```
+//!
+//! The accept loop only accepts and spawns; it never parses, queues, or
+//! compiles, so a full queue or a slow compile cannot stall new
+//! connections (they get typed `busy` rejections instead). Shutdown is
+//! graceful: the flag flips, the accept loop is woken by a loopback
+//! connect, admission closes, queued work drains, and every thread joins
+//! before [`Server::run`] returns.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use accqoc::{PrecompileOrder, PulseCache, Session};
+use accqoc_circuit::parse_qasm;
+
+use crate::inflight::InflightGroups;
+use crate::protocol::{
+    Call, ErrorCode, Payload, PrecompileSummary, Request, Response, ServerCounters, StatsSnapshot,
+};
+use crate::queue::{BoundedQueue, EnqueueError};
+
+/// Tunables of a [`Server`]. The defaults suit tests and small
+/// deployments; production deployments mostly raise `workers` and
+/// `queue_capacity` together.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads compiling/serving admitted requests (≥ 1).
+    pub workers: usize,
+    /// Admission-queue capacity: requests pending beyond the workers'
+    /// in-flight set. A full queue rejects with a typed `busy` error —
+    /// it never blocks the accept loop or the connection threads.
+    pub queue_capacity: usize,
+    /// Concurrent client connections; further connects receive a `busy`
+    /// error frame and are closed immediately.
+    pub max_connections: usize,
+    /// Request-frame size cap in bytes. A longer line gets a typed
+    /// `oversized` error and the connection is closed (framing cannot be
+    /// trusted past an unbounded line).
+    pub max_line_bytes: usize,
+    /// How often idle connection readers wake to check the shutdown
+    /// flag. Lower is snappier shutdown, higher is fewer wakeups.
+    pub poll_interval: Duration,
+    /// Socket write timeout per response frame. A client that stops
+    /// reading (TCP backpressure on a large pulse payload) gets its
+    /// connection dropped after this long instead of pinning a
+    /// connection thread — and with it graceful shutdown — forever.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            max_connections: 64,
+            max_line_bytes: 4 << 20,
+            poll_interval: Duration::from_millis(50),
+            write_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct CounterCells {
+    connections_accepted: AtomicU64,
+    connections_rejected: AtomicU64,
+    requests_served: AtomicU64,
+    requests_rejected_busy: AtomicU64,
+    protocol_errors: AtomicU64,
+    coalesced_waits: AtomicU64,
+}
+
+impl CounterCells {
+    fn snapshot(&self) -> ServerCounters {
+        ServerCounters {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            requests_rejected_busy: self.requests_rejected_busy.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            coalesced_waits: self.coalesced_waits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A request admitted to the worker queue, with the channel its encoded
+/// response travels back on.
+struct Job {
+    id: u64,
+    call: Call,
+    respond: mpsc::Sender<String>,
+}
+
+/// One frame from a connection, or the reason there is none.
+enum Frame {
+    /// A complete line (delimiter stripped).
+    Line(String),
+    /// The read timed out — poll the shutdown flag and retry.
+    Timeout,
+    /// The line grew past the size cap.
+    Oversized,
+    /// The peer is gone; `partial` is `true` when it vanished
+    /// mid-frame (a truncated request).
+    Eof {
+        /// Unterminated bytes were pending when the peer left.
+        partial: bool,
+    },
+}
+
+/// Incremental newline framing over a blocking socket with a read
+/// timeout: accumulates bytes, yields complete lines, and classifies
+/// every exit condition the connection loop must distinguish.
+struct LineReader<R> {
+    inner: R,
+    pending: Vec<u8>,
+    max_line_bytes: usize,
+}
+
+impl<R: Read> LineReader<R> {
+    fn new(inner: R, max_line_bytes: usize) -> Self {
+        Self {
+            inner,
+            pending: Vec::new(),
+            max_line_bytes,
+        }
+    }
+
+    fn next_frame(&mut self) -> Frame {
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                if pos > self.max_line_bytes {
+                    return Frame::Oversized;
+                }
+                let mut line: Vec<u8> = self.pending.drain(..=pos).collect();
+                line.pop();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Frame::Line(String::from_utf8_lossy(&line).into_owned());
+            }
+            if self.pending.len() > self.max_line_bytes {
+                return Frame::Oversized;
+            }
+            let mut chunk = [0u8; 8192];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    return Frame::Eof {
+                        partial: !self.pending.is_empty(),
+                    }
+                }
+                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
+                Err(e) => match e.kind() {
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                        return Frame::Timeout
+                    }
+                    std::io::ErrorKind::Interrupted => continue,
+                    // Reset/abort mid-stream is a disconnect; pending
+                    // bytes mean it happened mid-request.
+                    _ => {
+                        return Frame::Eof {
+                            partial: !self.pending.is_empty(),
+                        }
+                    }
+                },
+            }
+        }
+    }
+}
+
+fn write_frame(stream: &mut (impl Write + ?Sized), line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+/// The pulse-serving daemon: a TCP listener over one shared
+/// [`Session`]/pulse library.
+///
+/// Built with [`Server::bind`] (so the OS-assigned port is known before
+/// [`Server::run`] blocks), it serves until a client sends the
+/// `shutdown` method.
+#[derive(Debug)]
+pub struct Server {
+    session: Arc<Session>,
+    listener: TcpListener,
+    config: ServerConfig,
+    local_addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds the listener. The session is shared — the caller can keep a
+    /// clone of the [`Arc`] and watch
+    /// [`Session::library`](accqoc::Session::library) stats while the
+    /// daemon serves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind(
+        session: Arc<Session>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Self {
+            session,
+            listener,
+            config,
+            local_addr,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Serves until a `shutdown` request arrives, then drains and
+    /// returns the final counters. All worker and connection threads are
+    /// joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener failures that make accepting impossible.
+    pub fn run(&self) -> std::io::Result<ServerCounters> {
+        let workers = self.config.workers.max(1);
+        let queue: BoundedQueue<Job> = BoundedQueue::new(self.config.queue_capacity);
+        let inflight = InflightGroups::new();
+        let counters = CounterCells::default();
+        let shutdown = AtomicBool::new(false);
+        let active_connections = AtomicUsize::new(0);
+        let session = &self.session;
+
+        std::thread::scope(|scope| -> std::io::Result<()> {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    while let Some(job) = queue.pop() {
+                        // Counted at pickup so a request's own `stats`
+                        // snapshot includes itself.
+                        counters.requests_served.fetch_add(1, Ordering::Relaxed);
+                        let response =
+                            handle_call(job.id, job.call, session, &inflight, &queue, &counters);
+                        // A vanished client is not a daemon problem.
+                        job.respond.send(response.encode()).ok();
+                    }
+                });
+            }
+
+            loop {
+                let (stream, _) = match self.listener.accept() {
+                    Ok(accepted) => accepted,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::Interrupted
+                                | std::io::ErrorKind::ConnectionAborted
+                                | std::io::ErrorKind::ConnectionReset
+                        ) =>
+                    {
+                        // A peer that vanished mid-handshake is not a
+                        // listener failure.
+                        continue;
+                    }
+                    Err(e) => {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        // Fatal listener failure: flip the shutdown flag
+                        // so every connection thread's poll tick exits —
+                        // otherwise the scope below never joins and this
+                        // error never propagates.
+                        shutdown.store(true, Ordering::SeqCst);
+                        queue.close();
+                        return Err(e);
+                    }
+                };
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                counters
+                    .connections_accepted
+                    .fetch_add(1, Ordering::Relaxed);
+                if active_connections.load(Ordering::SeqCst) >= self.config.max_connections {
+                    counters
+                        .connections_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    let mut stream = stream;
+                    // The frame is tiny (fits any socket buffer), but a
+                    // timeout keeps a pathological peer from stalling
+                    // the accept loop on this write.
+                    stream
+                        .set_write_timeout(Some(self.config.write_timeout))
+                        .ok();
+                    let refusal = Response::failure(
+                        0,
+                        ErrorCode::Busy,
+                        format!("connection limit reached ({})", self.config.max_connections),
+                    );
+                    write_frame(&mut stream, &refusal.encode()).ok();
+                    continue;
+                }
+                active_connections.fetch_add(1, Ordering::SeqCst);
+                let queue = &queue;
+                let counters = &counters;
+                let shutdown = &shutdown;
+                let active = &active_connections;
+                let config = &self.config;
+                let local_addr = self.local_addr;
+                scope.spawn(move || {
+                    connection_loop(stream, queue, counters, shutdown, config, local_addr);
+                    active.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            queue.close();
+            Ok(())
+        })?;
+        Ok(counters.snapshot())
+    }
+}
+
+/// Reads frames off one connection until the peer leaves, a framing
+/// violation forces a close, or shutdown drains the daemon.
+fn connection_loop(
+    stream: TcpStream,
+    queue: &BoundedQueue<Job>,
+    counters: &CounterCells,
+    shutdown: &AtomicBool,
+    config: &ServerConfig,
+    local_addr: SocketAddr,
+) {
+    stream.set_read_timeout(Some(config.poll_interval)).ok();
+    stream.set_write_timeout(Some(config.write_timeout)).ok();
+    stream.set_nodelay(true).ok();
+    let mut reader = LineReader::new(&stream, config.max_line_bytes);
+    let mut writer = &stream;
+    loop {
+        match reader.next_frame() {
+            Frame::Timeout => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Frame::Eof { partial } => {
+                if partial {
+                    // Truncated frame: the client died mid-request. The
+                    // daemon just notes it and moves on.
+                    counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+            Frame::Oversized => {
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let response = Response::failure(
+                    0,
+                    ErrorCode::Oversized,
+                    format!("request line exceeds {} bytes", config.max_line_bytes),
+                );
+                write_frame(&mut writer, &response.encode()).ok();
+                return;
+            }
+            Frame::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let request = match Request::decode(&line) {
+                    Ok(request) => request,
+                    Err(decode) => {
+                        counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        let response = Response {
+                            id: decode.id,
+                            body: Err(decode.error),
+                        };
+                        if write_frame(&mut writer, &response.encode()).is_err() {
+                            return;
+                        }
+                        continue;
+                    }
+                };
+                let response_line = match request.call {
+                    Call::Shutdown => {
+                        // Handled here, not in the pool: shutdown must
+                        // work even when the queue is saturated.
+                        let response = Response {
+                            id: request.id,
+                            body: Ok(Payload::Shutdown),
+                        };
+                        write_frame(&mut writer, &response.encode()).ok();
+                        shutdown.store(true, Ordering::SeqCst);
+                        // Wake the blocking accept() so the loop can exit.
+                        TcpStream::connect(local_addr).ok();
+                        return;
+                    }
+                    call => {
+                        let (tx, rx) = mpsc::channel();
+                        let job = Job {
+                            id: request.id,
+                            call,
+                            respond: tx,
+                        };
+                        match queue.try_push(job) {
+                            Ok(()) => match rx.recv() {
+                                Ok(line) => line,
+                                Err(_) => Response::failure(
+                                    request.id,
+                                    ErrorCode::ShuttingDown,
+                                    "daemon is draining",
+                                )
+                                .encode(),
+                            },
+                            Err(EnqueueError::Full) => {
+                                counters
+                                    .requests_rejected_busy
+                                    .fetch_add(1, Ordering::Relaxed);
+                                Response::failure(
+                                    request.id,
+                                    ErrorCode::Busy,
+                                    format!(
+                                        "admission queue full ({} pending)",
+                                        config.queue_capacity
+                                    ),
+                                )
+                                .encode()
+                            }
+                            Err(EnqueueError::Closed) => Response::failure(
+                                request.id,
+                                ErrorCode::ShuttingDown,
+                                "daemon is draining",
+                            )
+                            .encode(),
+                        }
+                    }
+                };
+                if write_frame(&mut writer, &response_line).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Executes one admitted call against the shared session.
+fn handle_call(
+    id: u64,
+    call: Call,
+    session: &Session,
+    inflight: &InflightGroups,
+    queue: &BoundedQueue<Job>,
+    counters: &CounterCells,
+) -> Response {
+    let compile_failure =
+        |e: accqoc::Error| Response::failure(id, ErrorCode::Compile, e.to_string());
+    match call {
+        Call::ServeProgram {
+            qasm,
+            return_pulses,
+        } => {
+            let circuit = match parse_qasm(&qasm) {
+                Ok(c) => c,
+                Err(e) => return Response::failure(id, ErrorCode::Qasm, e.to_string()),
+            };
+            // Coalesce with other in-flight compiles of the same groups:
+            // claim what the library still misses; waiting here means
+            // another worker is compiling a shared group right now, and
+            // it will resolve as a hit once published. The front end
+            // runs once — the serve reuses the same GroupReport.
+            let grouped = session.front_end(&circuit);
+            let keys: Vec<_> = grouped.targets.iter().map(|t| t.key.clone()).collect();
+            let claim = inflight.claim(&keys, |k| !session.cache_contains(k));
+            if claim.waited() {
+                counters.coalesced_waits.fetch_add(1, Ordering::Relaxed);
+            }
+            let report = match session.serve_grouped(&grouped, &accqoc::ServeOptions::default()) {
+                Ok(report) => report,
+                Err(e) => return compile_failure(e),
+            };
+            let pulses = return_pulses.then(|| {
+                let mut cache = PulseCache::new();
+                for group in &report.groups {
+                    if let Some(entry) = session.cached(&group.key) {
+                        cache.insert(group.key.clone(), entry);
+                    }
+                }
+                cache
+            });
+            Response {
+                id,
+                body: Ok(Payload::Serve { report, pulses }),
+            }
+        }
+        Call::Precompile { programs } => {
+            let mut circuits = Vec::with_capacity(programs.len());
+            for qasm in &programs {
+                match parse_qasm(qasm) {
+                    Ok(c) => circuits.push(c),
+                    Err(e) => return Response::failure(id, ErrorCode::Qasm, e.to_string()),
+                }
+            }
+            // Precompile coalesces too: claim the union of the batch's
+            // group keys so a concurrent serve (or second precompile) of
+            // an overlapping group waits instead of duplicating GRAPE.
+            let mut keys: Vec<_> = circuits
+                .iter()
+                .flat_map(|c| {
+                    session
+                        .front_end(c)
+                        .targets
+                        .into_iter()
+                        .map(|t| t.key)
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            keys.sort();
+            keys.dedup();
+            let claim = inflight.claim(&keys, |k| !session.cache_contains(k));
+            if claim.waited() {
+                counters.coalesced_waits.fetch_add(1, Ordering::Relaxed);
+            }
+            match session.precompile(&circuits, PrecompileOrder::Mst) {
+                Ok(report) => Response {
+                    id,
+                    body: Ok(Payload::Precompile(PrecompileSummary {
+                        n_programs: report.n_programs,
+                        n_unique_groups: report.n_unique_groups,
+                        total_iterations: report.total_iterations,
+                    })),
+                },
+                Err(e) => compile_failure(e),
+            }
+        }
+        Call::VerifyProgram { qasm } => {
+            let circuit = match parse_qasm(&qasm) {
+                Ok(c) => c,
+                Err(e) => return Response::failure(id, ErrorCode::Qasm, e.to_string()),
+            };
+            match session.verify_program(&circuit) {
+                Ok(report) => Response {
+                    id,
+                    body: Ok(Payload::Verify(report)),
+                },
+                Err(e) => compile_failure(e),
+            }
+        }
+        Call::Stats => Response {
+            id,
+            body: Ok(Payload::Stats(StatsSnapshot {
+                library: session.library().stats(),
+                server: counters.snapshot(),
+                library_len: session.cache_len(),
+                queue_depth: queue.len(),
+            })),
+        },
+        // Shutdown never reaches the pool (the connection thread handles
+        // it), but answer sanely if a future refactor routes it here.
+        Call::Shutdown => Response {
+            id,
+            body: Ok(Payload::Shutdown),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_reader_splits_frames_and_strips_cr() {
+        let data: &[u8] = b"one\r\ntwo\nthree";
+        let mut reader = LineReader::new(data, 64);
+        assert!(matches!(reader.next_frame(), Frame::Line(l) if l == "one"));
+        assert!(matches!(reader.next_frame(), Frame::Line(l) if l == "two"));
+        // Trailing bytes without a delimiter: a truncated frame.
+        assert!(matches!(reader.next_frame(), Frame::Eof { partial: true }));
+    }
+
+    #[test]
+    fn line_reader_flags_oversized_lines() {
+        // Without a delimiter: flagged as soon as the cap is passed.
+        let data = vec![b'x'; 100];
+        let mut reader = LineReader::new(data.as_slice(), 10);
+        assert!(matches!(reader.next_frame(), Frame::Oversized));
+        // With the delimiter already buffered: still flagged, never
+        // yielded as a (huge) line.
+        let mut data = vec![b'x'; 100];
+        data.push(b'\n');
+        let mut reader = LineReader::new(data.as_slice(), 10);
+        assert!(matches!(reader.next_frame(), Frame::Oversized));
+    }
+
+    #[test]
+    fn line_reader_clean_eof_is_not_partial() {
+        let data: &[u8] = b"done\n";
+        let mut reader = LineReader::new(data, 64);
+        assert!(matches!(reader.next_frame(), Frame::Line(_)));
+        assert!(matches!(reader.next_frame(), Frame::Eof { partial: false }));
+    }
+}

@@ -1,0 +1,184 @@
+//! End-to-end loopback tests of the serving daemon: served pulses are
+//! byte-identical to the in-process `Session::serve_program` path,
+//! concurrent requests for the same group coalesce into one GRAPE
+//! compile, and shutdown drains cleanly.
+
+use std::sync::Arc;
+
+use accqoc::Session;
+use accqoc_circuit::{Circuit, Gate};
+use accqoc_hw::Topology;
+use accqoc_server::{Client, Server, ServerConfig};
+
+fn tiny_session() -> Session {
+    let mut grape = accqoc_grape::GrapeOptions::default();
+    grape.stop.max_iters = 200;
+    Session::builder()
+        .topology(Topology::linear(2))
+        .grape(grape)
+        .build()
+        .expect("valid session")
+}
+
+fn boot(
+    session: Arc<Session>,
+    config: ServerConfig,
+) -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<std::io::Result<accqoc_server::ServerCounters>>,
+) {
+    let server = Server::bind(session, "127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+#[test]
+fn served_pulses_are_byte_identical_to_in_process_serving() {
+    let programs = [
+        Circuit::from_gates(2, [Gate::H(0), Gate::Cx(0, 1)]),
+        Circuit::from_gates(2, [Gate::H(0), Gate::T(1), Gate::Cx(0, 1)]),
+    ];
+
+    // In-process baseline on a fresh session.
+    let baseline = tiny_session();
+    let mut baseline_reports = Vec::new();
+    for program in &programs {
+        baseline_reports.push(baseline.serve_program(program).expect("serves"));
+    }
+
+    // The same stream through the daemon, one client, in order.
+    let session = Arc::new(tiny_session());
+    let (addr, handle) = boot(Arc::clone(&session), ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    for (program, expected) in programs.iter().zip(&baseline_reports) {
+        let (report, pulses) = client.serve_program(program, true).expect("daemon serves");
+        // Same counters as the in-process path…
+        assert_eq!(report.to_json(), expected.to_json(), "reports must agree");
+        // …and byte-identical pulses: the returned artifact equals the
+        // baseline library's entries for the same keys, via the
+        // deterministic PulseCache serialization.
+        let pulses = pulses.expect("return_pulses was requested");
+        let mut expected_cache = accqoc::PulseCache::new();
+        for group in &expected.groups {
+            expected_cache.insert(
+                group.key.clone(),
+                baseline.cached(&group.key).expect("baseline holds the key"),
+            );
+        }
+        assert_eq!(
+            pulses.to_json(),
+            expected_cache.to_json(),
+            "served pulses must be byte-identical to in-process serving"
+        );
+    }
+
+    // Daemon library state equals the baseline library state.
+    assert_eq!(
+        session.cache_snapshot().to_json(),
+        baseline.cache_snapshot().to_json()
+    );
+
+    // verify_program over the wire agrees with the in-process verifier.
+    let remote = client.verify_program(&programs[0]).expect("verifies");
+    let local = baseline.verify_program(&programs[0]).expect("verifies");
+    assert_eq!(remote.to_json(), local.to_json());
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean run");
+}
+
+#[test]
+fn identical_concurrent_requests_coalesce_into_one_compile() {
+    let session = Arc::new(tiny_session());
+    let (addr, handle) = boot(
+        Arc::clone(&session),
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    );
+
+    // Two clients request the same (uncached) program at once: the
+    // groups must be compiled exactly once, yet both clients get full
+    // responses.
+    let program = Circuit::from_gates(2, [Gate::H(0), Gate::Cx(0, 1)]);
+    let n_unique = session.front_end(&program).targets.len();
+    let clients: Vec<_> = (0..2)
+        .map(|_| {
+            let program = program.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client.serve_program(&program, false).expect("serves")
+            })
+        })
+        .collect();
+    let reports: Vec<_> = clients
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+
+    // Both clients were answered with the full group set resolved.
+    for (report, _) in &reports {
+        assert_eq!(report.groups.len(), n_unique);
+        assert_eq!(
+            report.coverage.total,
+            report.coverage.covered + report.n_compiled
+        );
+    }
+    // One compile per unique group across BOTH requests: the library's
+    // miss counter is exactly the program's unique-group count.
+    let stats = session.library().stats();
+    assert_eq!(
+        stats.misses as usize, n_unique,
+        "same group requested twice must compile once (misses {} vs unique {})",
+        stats.misses, n_unique
+    );
+    assert_eq!(stats.hits as usize, n_unique, "the coalesced request hits");
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean run");
+}
+
+#[test]
+fn shutdown_drains_and_stops_accepting() {
+    let session = Arc::new(tiny_session());
+    let (addr, handle) = boot(Arc::clone(&session), ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    client.shutdown().expect("shutdown acknowledged");
+    let counters = handle.join().expect("server thread").expect("clean run");
+    assert!(counters.connections_accepted >= 1);
+    // The listener is gone; a fresh connect must fail (give the OS a
+    // moment to tear the socket down).
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    assert!(
+        std::net::TcpStream::connect(addr).is_err(),
+        "daemon must stop accepting after shutdown"
+    );
+}
+
+#[test]
+fn precompile_then_serve_is_fully_covered() {
+    let session = Arc::new(tiny_session());
+    let (addr, handle) = boot(Arc::clone(&session), ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    let program = Circuit::from_gates(2, [Gate::H(0), Gate::Cx(0, 1)]);
+    let summary = client
+        .precompile(std::slice::from_ref(&program))
+        .expect("precompiles");
+    assert!(summary.n_unique_groups > 0);
+    assert_eq!(summary.n_programs, 1);
+
+    let (report, _) = client.serve_program(&program, false).expect("serves");
+    assert_eq!(report.n_compiled, 0, "precompiled program must be all hits");
+    assert_eq!(report.coverage.covered, report.coverage.total);
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.library_len, summary.n_unique_groups);
+    assert!(stats.server.requests_served >= 3);
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean run");
+}

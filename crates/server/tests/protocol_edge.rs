@@ -1,0 +1,241 @@
+//! Protocol framing edge cases over a live loopback daemon: truncated
+//! frames, oversized request lines, unknown methods, malformed JSON, and
+//! clients that disconnect mid-request. Every case must produce a typed
+//! error response (when a response is possible at all) and must leave
+//! the daemon serving subsequent connections.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use accqoc::Session;
+use accqoc_hw::Topology;
+use accqoc_server::{Client, ErrorCode, Server, ServerConfig};
+
+/// Boots a daemon on an ephemeral port with a tiny 2-qubit session and
+/// returns its address plus the join handle of the serving thread.
+fn boot(
+    config: ServerConfig,
+) -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<std::io::Result<accqoc_server::ServerCounters>>,
+) {
+    let mut grape = accqoc_grape::GrapeOptions::default();
+    grape.stop.max_iters = 200;
+    let session = Arc::new(
+        Session::builder()
+            .topology(Topology::linear(2))
+            .grape(grape)
+            .build()
+            .expect("valid session"),
+    );
+    let server = Server::bind(session, "127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn raw_request(addr: std::net::SocketAddr, line: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(line.as_bytes()).expect("write");
+    stream.write_all(b"\n").expect("write newline");
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read response");
+    response.trim_end().to_string()
+}
+
+fn assert_error_code(response: &str, expected: &str) {
+    assert!(
+        response.contains(&format!("\"{expected}\"")),
+        "expected `{expected}` error, got: {response}"
+    );
+    assert!(response.contains("\"ok\": false"), "{response}");
+}
+
+#[test]
+fn framing_violations_get_typed_errors_and_daemon_stays_up() {
+    let (addr, handle) = boot(ServerConfig::default());
+
+    // Malformed JSON → typed error, connection stays usable for the
+    // next (valid) frame.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"{this is not json\n").expect("write");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read");
+        assert_error_code(response.trim_end(), "malformed_json");
+        // Same connection still serves valid requests.
+        stream
+            .write_all(b"{\"id\": 5, \"method\": \"stats\"}\n")
+            .expect("write");
+        response.clear();
+        reader.read_line(&mut response).expect("read");
+        assert!(response.contains("\"ok\": true"), "{response}");
+        assert!(response.contains("\"id\": 5"), "{response}");
+    }
+
+    // Unknown method → typed error echoing the salvaged id.
+    let response = raw_request(addr, r#"{"id": 41, "method": "frobnicate"}"#);
+    assert_error_code(&response, "unknown_method");
+    assert!(response.contains("\"id\": 41"), "{response}");
+
+    // Missing params → typed error.
+    let response = raw_request(addr, r#"{"id": 42, "method": "serve_program"}"#);
+    assert_error_code(&response, "bad_params");
+
+    // Bad QASM inside valid framing → typed qasm error from the worker.
+    let response = raw_request(
+        addr,
+        r#"{"id": 43, "method": "serve_program", "params": {"qasm": "qreg q[1]; warp q[0];"}}"#,
+    );
+    assert_error_code(&response, "qasm");
+
+    // Truncated frame: a client sends half a request and hangs up.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(br#"{"id": 44, "method": "sta"#)
+            .expect("write partial");
+        drop(stream); // no newline ever arrives
+    }
+
+    // Client disconnects mid-request: request admitted, client gone
+    // before the response lands. The daemon must absorb the dead socket.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"{\"id\": 45, \"method\": \"stats\"}\n")
+            .expect("write");
+        drop(stream); // vanish without reading the response
+    }
+
+    // The daemon survived all of the above and still answers.
+    let mut client = Client::connect(addr).expect("daemon is still up");
+    let stats = client.stats().expect("stats still served");
+    assert!(
+        stats.server.protocol_errors >= 2,
+        "malformed + unknown + bad-params + truncated frames must be counted, got {}",
+        stats.server.protocol_errors
+    );
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean run");
+}
+
+#[test]
+fn oversized_request_line_is_rejected_and_connection_closed() {
+    let (addr, handle) = boot(ServerConfig {
+        max_line_bytes: 256,
+        ..ServerConfig::default()
+    });
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let huge = vec![b'x'; 4096];
+    stream.write_all(&huge).expect("write oversized");
+    stream.write_all(b"\n").expect("newline");
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read");
+    assert_error_code(response.trim_end(), "oversized");
+    // The daemon closes the offending connection…
+    response.clear();
+    assert_eq!(reader.read_line(&mut response).expect("eof"), 0);
+    // …but keeps serving new ones.
+    let mut client = Client::connect(addr).expect("daemon is still up");
+    assert!(client.stats().is_ok());
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean run");
+}
+
+#[test]
+fn connection_limit_refusal_is_typed_busy() {
+    let (addr, handle) = boot(ServerConfig {
+        max_connections: 1,
+        ..ServerConfig::default()
+    });
+    // Fill the only slot with an idle connection…
+    let parked = TcpStream::connect(addr).expect("first connection");
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    // …so the next connection is refused with an id-0 `busy` frame
+    // before it sends anything (read it raw — writing first would race
+    // the server-side close).
+    {
+        let refused = TcpStream::connect(addr).expect("TCP connect still succeeds");
+        let mut reader = BufReader::new(refused);
+        let mut frame = String::new();
+        reader.read_line(&mut frame).expect("refusal frame");
+        let response = accqoc_server::Response::decode(frame.trim_end()).expect("refusal decodes");
+        assert_eq!(response.id, 0);
+        match response.body {
+            Err(e) => assert_eq!(e.code, ErrorCode::Busy, "{e}"),
+            Ok(p) => panic!("expected busy refusal, got {p:?}"),
+        }
+    }
+    // Freeing the slot lets a new client in (give the reader a poll tick
+    // to notice the EOF and decrement the connection count).
+    drop(parked);
+    let mut client = loop {
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        let mut candidate = Client::connect(addr).expect("connect");
+        if candidate.stats().is_ok() {
+            break candidate;
+        }
+    };
+    client.shutdown().expect("shutdown");
+    let counters = handle.join().expect("server thread").expect("clean run");
+    assert!(counters.connections_rejected >= 1);
+}
+
+#[test]
+fn client_surfaces_id_zero_refusals_as_remote_errors() {
+    // A stub daemon that answers any first request with the id-0 `busy`
+    // refusal frame the real accept loop emits at the connection limit:
+    // the typed error must reach the caller as Remote(Busy), not as an
+    // id-correlation protocol error.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind stub");
+    let addr = listener.local_addr().expect("stub addr");
+    let stub = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("stub accepts");
+        let mut request = String::new();
+        BufReader::new(stream.try_clone().expect("clone"))
+            .read_line(&mut request)
+            .expect("stub reads the request");
+        let refusal =
+            accqoc_server::Response::failure(0, ErrorCode::Busy, "connection limit reached (1)");
+        stream
+            .write_all(format!("{}\n", refusal.encode()).as_bytes())
+            .expect("stub writes refusal");
+    });
+    let mut client = Client::connect(addr).expect("connect to stub");
+    match client.stats() {
+        Err(accqoc_server::ClientError::Remote(e)) => {
+            assert_eq!(e.code, ErrorCode::Busy, "{e}");
+        }
+        other => panic!("expected Remote(Busy), got {other:?}"),
+    }
+    stub.join().expect("stub thread");
+}
+
+#[test]
+fn full_admission_queue_rejects_with_busy() {
+    // queue_capacity 0 admits nothing: every request is an immediate
+    // typed `busy` rejection, yet shutdown (handled by the connection
+    // thread, not the pool) still drains the daemon.
+    let (addr, handle) = boot(ServerConfig {
+        queue_capacity: 0,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    match client.stats() {
+        Err(accqoc_server::ClientError::Remote(e)) => {
+            assert_eq!(e.code, ErrorCode::Busy, "{e}");
+        }
+        other => panic!("expected busy rejection, got {other:?}"),
+    }
+    client
+        .shutdown()
+        .expect("shutdown works on a saturated daemon");
+    let counters = handle.join().expect("server thread").expect("clean run");
+    assert!(counters.requests_rejected_busy >= 1);
+}

@@ -27,5 +27,6 @@ pub use accqoc_group as group;
 pub use accqoc_hw as hw;
 pub use accqoc_linalg as linalg;
 pub use accqoc_map as map;
+pub use accqoc_server as server;
 pub use accqoc_sim as sim;
 pub use accqoc_workloads as workloads;
