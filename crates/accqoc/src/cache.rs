@@ -86,6 +86,12 @@ impl PulseCache {
         self.entries.insert(key, value)
     }
 
+    /// Removes an entry; returns it if it was present (the write-ahead
+    /// log replays evictions through this).
+    pub fn remove(&mut self, key: &UnitaryKey) -> Option<CachedPulse> {
+        self.entries.remove(key)
+    }
+
     /// Iterates over all entries.
     pub fn iter(&self) -> impl Iterator<Item = (&UnitaryKey, &CachedPulse)> {
         self.entries.iter()
@@ -109,45 +115,16 @@ impl PulseCache {
         entries.sort_by(|a, b| a.0.cmp(b.0));
         let entries = entries
             .into_iter()
-            .map(|(key, entry)| {
-                JsonValue::Object(vec![
-                    ("key".into(), JsonValue::String(hex_encode(key.as_bytes()))),
-                    ("latency_ns".into(), JsonValue::Number(entry.latency_ns)),
-                    (
-                        "iterations".into(),
-                        JsonValue::Number(entry.iterations as f64),
-                    ),
-                    ("n_qubits".into(), JsonValue::Number(entry.n_qubits as f64)),
-                    (
-                        "pulse".into(),
-                        JsonValue::Object(vec![
-                            ("dt_ns".into(), JsonValue::Number(entry.pulse.dt_ns())),
-                            (
-                                "amps".into(),
-                                JsonValue::Array(
-                                    (0..entry.pulse.n_controls())
-                                        .map(|c| {
-                                            JsonValue::Array(
-                                                entry
-                                                    .pulse
-                                                    .channel(c)
-                                                    .iter()
-                                                    .map(|&a| JsonValue::Number(a))
-                                                    .collect(),
-                                            )
-                                        })
-                                        .collect(),
-                                ),
-                            ),
-                        ]),
-                    ),
-                ])
-            })
+            .map(|(key, entry)| entry_to_json_value(key, entry))
             .collect();
         JsonValue::Object(vec![("entries".into(), JsonValue::Array(entries))]).to_pretty()
     }
 
     /// Deserializes from JSON produced by [`PulseCache::to_json`].
+    ///
+    /// Unknown per-entry fields are ignored, so artifacts extended with
+    /// canonical unitaries (see [`crate::Session::save_cache`]) load
+    /// here too — they just drop the index metadata.
     ///
     /// # Errors
     ///
@@ -160,72 +137,21 @@ impl PulseCache {
             .ok_or_else(|| malformed("missing `entries` array"))?;
         let mut cache = PulseCache::new();
         for entry in entries {
-            let key_hex = entry
-                .get("key")
-                .and_then(JsonValue::as_str)
-                .ok_or_else(|| malformed("entry missing `key`"))?;
-            let key = UnitaryKey::from_bytes(hex_decode(key_hex)?);
-            let latency_ns = entry
-                .get("latency_ns")
-                .and_then(JsonValue::as_f64)
-                .ok_or_else(|| malformed("entry missing `latency_ns`"))?;
-            let iterations = entry
-                .get("iterations")
-                .and_then(JsonValue::as_usize)
-                .ok_or_else(|| malformed("entry missing `iterations`"))?;
-            let n_qubits = entry
-                .get("n_qubits")
-                .and_then(JsonValue::as_usize)
-                .ok_or_else(|| malformed("entry missing `n_qubits`"))?;
-            let pulse = entry
-                .get("pulse")
-                .ok_or_else(|| malformed("entry missing `pulse`"))?;
-            let dt_ns = pulse
-                .get("dt_ns")
-                .and_then(JsonValue::as_f64)
-                .filter(|&dt| dt > 0.0)
-                .ok_or_else(|| malformed("pulse missing positive `dt_ns`"))?;
-            let amps = pulse
-                .get("amps")
-                .and_then(JsonValue::as_array)
-                .ok_or_else(|| malformed("pulse missing `amps`"))?;
-            if amps.is_empty() {
-                return Err(malformed("pulse has no control channels").into());
-            }
-            let mut rows: Vec<Vec<f64>> = Vec::with_capacity(amps.len());
-            for row in amps {
-                let row = row
-                    .as_array()
-                    .ok_or_else(|| malformed("amp row is not an array"))?;
-                rows.push(
-                    row.iter()
-                        .map(|v| v.as_f64().ok_or_else(|| malformed("amp is not a number")))
-                        .collect::<std::result::Result<_, _>>()?,
-                );
-            }
-            if rows.iter().any(|r| r.len() != rows[0].len()) {
-                return Err(malformed("ragged amp rows").into());
-            }
-            cache.insert(
-                key,
-                CachedPulse {
-                    pulse: Pulse::from_amps(rows, dt_ns),
-                    latency_ns,
-                    iterations,
-                    n_qubits,
-                },
-            );
+            let (key, entry) = entry_from_json_value(entry)?;
+            cache.insert(key, entry);
         }
         Ok(cache)
     }
 
-    /// Writes the cache to a file as JSON.
+    /// Writes the cache to a file as JSON. The write is atomic
+    /// (temp-file + rename), so a crash mid-save never leaves a torn
+    /// artifact behind.
     ///
     /// # Errors
     ///
-    /// [`crate::Error::Io`] from file creation or writing.
+    /// [`crate::Error::Store`] from file creation or writing.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        std::fs::write(path, self.to_json())?;
+        accqoc_store::write_atomic(path.as_ref(), self.to_json().as_bytes())?;
         Ok(())
     }
 
@@ -245,6 +171,106 @@ fn malformed(message: &str) -> JsonError {
         message: format!("pulse cache: {message}"),
         offset: 0,
     }
+}
+
+/// One cache entry as the canonical JSON object (`key`, `latency_ns`,
+/// `iterations`, `n_qubits`, `pulse`). Shared by the artifact writer,
+/// the extended indexed artifact, and the WAL record encoding, so every
+/// persisted representation of an entry is byte-for-byte the same.
+pub(crate) fn entry_to_json_value(key: &UnitaryKey, entry: &CachedPulse) -> JsonValue {
+    JsonValue::Object(vec![
+        ("key".into(), JsonValue::String(hex_encode(key.as_bytes()))),
+        ("latency_ns".into(), JsonValue::Number(entry.latency_ns)),
+        (
+            "iterations".into(),
+            JsonValue::Number(entry.iterations as f64),
+        ),
+        ("n_qubits".into(), JsonValue::Number(entry.n_qubits as f64)),
+        (
+            "pulse".into(),
+            JsonValue::Object(vec![
+                ("dt_ns".into(), JsonValue::Number(entry.pulse.dt_ns())),
+                (
+                    "amps".into(),
+                    JsonValue::Array(
+                        (0..entry.pulse.n_controls())
+                            .map(|c| {
+                                JsonValue::Array(
+                                    entry
+                                        .pulse
+                                        .channel(c)
+                                        .iter()
+                                        .map(|&a| JsonValue::Number(a))
+                                        .collect(),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Parses one entry object produced by [`entry_to_json_value`]. Unknown
+/// fields (e.g. the optional `unitary` of indexed artifacts) are
+/// ignored.
+pub(crate) fn entry_from_json_value(entry: &JsonValue) -> Result<(UnitaryKey, CachedPulse)> {
+    let key_hex = entry
+        .get("key")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| malformed("entry missing `key`"))?;
+    let key = UnitaryKey::from_bytes(hex_decode(key_hex)?);
+    let latency_ns = entry
+        .get("latency_ns")
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| malformed("entry missing `latency_ns`"))?;
+    let iterations = entry
+        .get("iterations")
+        .and_then(JsonValue::as_usize)
+        .ok_or_else(|| malformed("entry missing `iterations`"))?;
+    let n_qubits = entry
+        .get("n_qubits")
+        .and_then(JsonValue::as_usize)
+        .ok_or_else(|| malformed("entry missing `n_qubits`"))?;
+    let pulse = entry
+        .get("pulse")
+        .ok_or_else(|| malformed("entry missing `pulse`"))?;
+    let dt_ns = pulse
+        .get("dt_ns")
+        .and_then(JsonValue::as_f64)
+        .filter(|&dt| dt > 0.0)
+        .ok_or_else(|| malformed("pulse missing positive `dt_ns`"))?;
+    let amps = pulse
+        .get("amps")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| malformed("pulse missing `amps`"))?;
+    if amps.is_empty() {
+        return Err(malformed("pulse has no control channels").into());
+    }
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(amps.len());
+    for row in amps {
+        let row = row
+            .as_array()
+            .ok_or_else(|| malformed("amp row is not an array"))?;
+        rows.push(
+            row.iter()
+                .map(|v| v.as_f64().ok_or_else(|| malformed("amp is not a number")))
+                .collect::<std::result::Result<_, _>>()?,
+        );
+    }
+    if rows.iter().any(|r| r.len() != rows[0].len()) {
+        return Err(malformed("ragged amp rows").into());
+    }
+    Ok((
+        key,
+        CachedPulse {
+            pulse: Pulse::from_amps(rows, dt_ns),
+            latency_ns,
+            iterations,
+            n_qubits,
+        },
+    ))
 }
 
 pub(crate) fn hex_encode(bytes: &[u8]) -> String {

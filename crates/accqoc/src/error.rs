@@ -67,6 +67,10 @@ pub enum Error {
     Json(JsonError),
     /// File I/O failed (cache persistence).
     Io(io::Error),
+    /// The durable library tier failed: a write-ahead-log or snapshot
+    /// operation hit an I/O error, or recovery found a checksum-corrupted
+    /// record (see [`accqoc_store::StoreError`] for which).
+    Store(accqoc_store::StoreError),
 }
 
 impl fmt::Display for Error {
@@ -95,6 +99,7 @@ impl fmt::Display for Error {
             Self::Linalg(e) => write!(f, "linear algebra failed: {e}"),
             Self::Json(e) => write!(f, "pulse-cache json malformed: {e}"),
             Self::Io(e) => write!(f, "i/o failed: {e}"),
+            Self::Store(e) => write!(f, "durable store failed: {e}"),
         }
     }
 }
@@ -108,6 +113,7 @@ impl std::error::Error for Error {
             Self::Linalg(e) => Some(e),
             Self::Json(e) => Some(e),
             Self::Io(e) => Some(e),
+            Self::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -140,6 +146,12 @@ impl From<JsonError> for Error {
 impl From<io::Error> for Error {
     fn from(e: io::Error) -> Self {
         Self::Io(e)
+    }
+}
+
+impl From<accqoc_store::StoreError> for Error {
+    fn from(e: accqoc_store::StoreError) -> Self {
+        Self::Store(e)
     }
 }
 
@@ -198,6 +210,15 @@ mod tests {
                 "json",
             ),
             (Error::Io(io::Error::other("disk")), "disk"),
+            (
+                Error::Store(accqoc_store::StoreError::Corrupt {
+                    path: "wal.log".into(),
+                    offset: 24,
+                    records_ok: 3,
+                    message: "frame checksum mismatch".into(),
+                }),
+                "checksum",
+            ),
         ];
         for (e, needle) in cases {
             let shown = e.to_string();
@@ -240,5 +261,8 @@ mod tests {
         }
         .into();
         assert!(matches!(e, Error::Json(_)));
+        let e: Error = accqoc_store::StoreError::Io(io::Error::other("x")).into();
+        assert!(matches!(e, Error::Store(_)));
+        assert!(e.source().is_some());
     }
 }

@@ -68,6 +68,7 @@ mod model;
 mod mst;
 mod parallel;
 mod partition;
+mod persist;
 mod precompile;
 mod session;
 mod similarity;
@@ -93,6 +94,7 @@ pub use parallel::{
     DEFAULT_PLAN_PARTS,
 };
 pub use partition::{partition_tree, TreePartition, WeightedTree};
+pub use persist::{PersistOptions, RecoveryReport, INDEX_FILE, SNAPSHOT_FILE, WAL_FILE};
 pub use precompile::{
     collect_category, compile_programs_parallel, optimize_group, precompile, precompile_parallel,
     precompile_parallel_with, Category, PrecompileOrder, PrecompileReport,

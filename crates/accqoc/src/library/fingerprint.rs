@@ -125,6 +125,12 @@ impl FingerprintIndex {
         self.entries.get(key)
     }
 
+    /// Iterates over every indexed entry (unordered — persistence
+    /// callers sort by key for deterministic artifacts).
+    pub fn entries(&self) -> impl Iterator<Item = (&UnitaryKey, &IndexedUnitary)> {
+        self.entries.iter()
+    }
+
     /// Indexes (or re-indexes) a unitary under `key`.
     pub fn insert(&mut self, key: UnitaryKey, unitary: &Mat, n_qubits: usize) {
         let fingerprint = UnitaryFingerprint::of(unitary, n_qubits);

@@ -40,6 +40,7 @@ use accqoc_linalg::Mat;
 use crate::cache::{CachedPulse, PulseCache};
 use crate::concurrent_cache::ConcurrentPulseCache;
 use crate::mst::{mst_compile_order, CompileOrder, SimilarityGraph};
+use crate::persist::{Event, Journal};
 use crate::similarity::{SimilarityFn, SimilarityScratch};
 
 pub use fingerprint::UnitaryFingerprint;
@@ -245,6 +246,9 @@ pub struct PulseLibrary {
     capacity: Option<usize>,
     stats: StatsCells,
     clock: AtomicU64,
+    /// Durability journal; when attached, every mutation is logged
+    /// under the state lock (so WAL order equals apply order).
+    journal: Option<Journal>,
 }
 
 impl Default for PulseLibrary {
@@ -268,7 +272,15 @@ impl PulseLibrary {
             capacity,
             stats: StatsCells::default(),
             clock: AtomicU64::new(0),
+            journal: None,
         }
+    }
+
+    /// Attaches the durability journal. Called once by the session
+    /// builder *after* recovery has seeded the library, so recovered
+    /// state is not logged a second time.
+    pub(crate) fn attach_journal(&mut self, journal: Journal) {
+        self.journal = Some(journal);
     }
 
     /// An unbounded library pre-seeded from a plain cache (entries are
@@ -346,9 +358,21 @@ impl PulseLibrary {
         if self.capacity == Some(0) {
             return;
         }
+        let logged = self.journal.as_ref().map(|_| entry.clone());
         self.pulses.insert(key.clone(), entry);
-        state.recency.insert(key, stamp);
-        self.evict_over_capacity(&mut state);
+        state.recency.insert(key.clone(), stamp);
+        let evicted = self.evict_over_capacity(&mut state);
+        if let Some(journal) = &self.journal {
+            journal.record(&Event::Insert {
+                key: &key,
+                entry: logged.as_ref().expect("cloned when journaling"),
+                unitary: None,
+            });
+            for victim in &evicted {
+                journal.record(&Event::Evict { key: victim });
+            }
+            self.maybe_snapshot(journal, &state);
+        }
     }
 
     /// Inserts an entry together with its canonical unitary, making it
@@ -361,10 +385,22 @@ impl PulseLibrary {
         if self.capacity == Some(0) {
             return;
         }
+        let logged = self.journal.as_ref().map(|_| entry.clone());
         self.pulses.insert(key.clone(), entry);
         state.index.insert(key.clone(), unitary, n_qubits);
-        state.recency.insert(key, stamp);
-        self.evict_over_capacity(&mut state);
+        state.recency.insert(key.clone(), stamp);
+        let evicted = self.evict_over_capacity(&mut state);
+        if let Some(journal) = &self.journal {
+            journal.record(&Event::Insert {
+                key: &key,
+                entry: logged.as_ref().expect("cloned when journaling"),
+                unitary: Some(unitary),
+            });
+            for victim in &evicted {
+                journal.record(&Event::Evict { key: victim });
+            }
+            self.maybe_snapshot(journal, &state);
+        }
     }
 
     /// Adds fingerprint metadata for an already-stored entry (no-op when
@@ -376,6 +412,13 @@ impl PulseLibrary {
         }
         let mut state = self.lock();
         state.index.insert(key.clone(), unitary, n_qubits);
+        if let Some(journal) = &self.journal {
+            journal.record(&Event::Index {
+                key,
+                n_qubits,
+                unitary,
+            });
+        }
     }
 
     /// Merges a plain cache (incoming entries win). Entries are stored
@@ -398,8 +441,17 @@ impl PulseLibrary {
         state.recency.clear();
         if self.capacity == Some(0) {
             self.pulses.replace(PulseCache::new());
+            if let Some(journal) = &self.journal {
+                journal.record(&Event::Clear);
+            }
             return;
         }
+        let logged = self.journal.as_ref().map(|_| {
+            let mut entries: Vec<(UnitaryKey, CachedPulse)> =
+                cache.iter().map(|(k, e)| (k.clone(), e.clone())).collect();
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            entries
+        });
         let mut keys: Vec<UnitaryKey> = cache.iter().map(|(k, _)| k.clone()).collect();
         keys.sort();
         let stamp = self.tick();
@@ -407,7 +459,16 @@ impl PulseLibrary {
             state.recency.insert(key, stamp);
         }
         self.pulses.replace(cache);
-        self.evict_over_capacity(&mut state);
+        let evicted = self.evict_over_capacity(&mut state);
+        if let Some(journal) = &self.journal {
+            journal.record(&Event::Replace {
+                entries: logged.as_deref().expect("cloned when journaling"),
+            });
+            for victim in &evicted {
+                journal.record(&Event::Evict { key: victim });
+            }
+            self.maybe_snapshot(journal, &state);
+        }
     }
 
     /// Removes every entry and all metadata.
@@ -416,6 +477,9 @@ impl PulseLibrary {
         state.index.clear();
         state.recency.clear();
         self.pulses.clear();
+        if let Some(journal) = &self.journal {
+            journal.record(&Event::Clear);
+        }
     }
 
     /// A plain, sorted-key snapshot of the stored pulses (see
@@ -425,10 +489,12 @@ impl PulseLibrary {
     }
 
     /// Evicts least-recently-used entries until the capacity bound
-    /// holds. Caller holds the state lock.
-    fn evict_over_capacity(&self, state: &mut LibraryState) {
+    /// holds; returns the victims (in eviction order) so callers with a
+    /// journal can log them. Caller holds the state lock.
+    fn evict_over_capacity(&self, state: &mut LibraryState) -> Vec<UnitaryKey> {
+        let mut evicted = Vec::new();
         let Some(capacity) = self.capacity else {
-            return;
+            return evicted;
         };
         while state.recency.len() > capacity {
             let victim = state
@@ -441,7 +507,54 @@ impl PulseLibrary {
             state.index.remove(&victim);
             self.pulses.remove(&victim);
             self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            evicted.push(victim);
         }
+        evicted
+    }
+
+    /// Runs an auto-compaction snapshot when the journal says one is
+    /// due. Caller holds the state lock, so the snapshot pair is
+    /// consistent with the WAL prefix it replaces. Failures stay inside
+    /// the journal (sticky) and resurface at the next explicit
+    /// [`PulseLibrary::checkpoint`].
+    fn maybe_snapshot(&self, journal: &Journal, state: &LibraryState) {
+        if !journal.due_for_snapshot() {
+            return;
+        }
+        let cache = self.pulses.snapshot();
+        let unitaries = indexed_of(&state.index);
+        let _ = journal.snapshot(&cache, &unitaries);
+    }
+
+    /// Forces a durability snapshot: writes the artifact pair and
+    /// truncates the WAL. `Ok(())` and a no-op when no journal is
+    /// attached.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::Store`] when a snapshot write or the WAL
+    /// truncation fails; the previous on-disk pair stays recoverable.
+    pub fn checkpoint(&self) -> crate::error::Result<()> {
+        let Some(journal) = &self.journal else {
+            return Ok(());
+        };
+        // Hold the state lock across the write so no concurrent
+        // mutation can append to the WAL between our snapshot copy and
+        // the truncation (which would silently drop that record).
+        let state = self.lock();
+        let cache = self.pulses.snapshot();
+        let unitaries = indexed_of(&state.index);
+        let result = journal.snapshot(&cache, &unitaries);
+        drop(state);
+        result.map_err(crate::error::Error::from)
+    }
+
+    /// Every fingerprint-indexed entry's canonical unitary, sorted by
+    /// key — what the persistence tier writes to the index sidecar and
+    /// [`Session::save_cache`](crate::Session::save_cache) embeds in the
+    /// extended artifact.
+    pub fn indexed_unitaries(&self) -> Vec<(UnitaryKey, Mat, usize)> {
+        indexed_of(&self.lock().index)
     }
 
     /// The nearest indexed neighbor of `unitary`: fingerprint buckets
@@ -549,9 +662,23 @@ impl PulseLibrary {
     }
 }
 
+/// Sorted copy of the fingerprint index's canonical unitaries (the
+/// deterministic order every persisted artifact uses).
+fn indexed_of(index: &FingerprintIndex) -> Vec<(UnitaryKey, Mat, usize)> {
+    let mut out: Vec<(UnitaryKey, Mat, usize)> = index
+        .entries()
+        .map(|(key, entry)| (key.clone(), entry.unitary.clone(), entry.n_qubits))
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
 impl Clone for PulseLibrary {
-    /// Clones contents and index; the serving counters start fresh and
-    /// the recency clock continues from the source's stamp.
+    /// Clones contents and index; the serving counters start fresh, the
+    /// recency clock continues from the source's stamp, and the clone
+    /// carries **no** journal — two writers on one write-ahead log
+    /// would interleave inconsistently, so only the original session
+    /// persists.
     fn clone(&self) -> Self {
         // Pulses are cloned while the state lock is held so the copied
         // recency/index metadata agrees with the copied pulse store even
@@ -571,6 +698,7 @@ impl Clone for PulseLibrary {
             capacity: self.capacity,
             stats: StatsCells::default(),
             clock: AtomicU64::new(self.clock.load(Ordering::Relaxed)),
+            journal: None,
         }
     }
 }

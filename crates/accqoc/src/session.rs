@@ -33,6 +33,7 @@ use crate::error::{Error, Result};
 use crate::library::{self, PulseLibrary, ServeOptions, ServeReport};
 use crate::model::ModelSet;
 use crate::parallel::ParallelStats;
+use crate::persist::{PersistOptions, RecoveryReport};
 use crate::precompile::{self, PrecompileOrder, PrecompileReport};
 use crate::similarity::SimilarityFn;
 
@@ -238,6 +239,7 @@ pub struct SessionBuilder {
     models: Option<ModelSet>,
     cache: Option<PulseCache>,
     library_capacity: Option<usize>,
+    persistence: Option<PersistOptions>,
 }
 
 impl SessionBuilder {
@@ -313,6 +315,22 @@ impl SessionBuilder {
         self
     }
 
+    /// Makes the pulse library durable under `dir` with default options
+    /// (see [`PersistOptions::new`]): on build, any snapshot + write-ahead
+    /// log found there is recovered into the library — byte-identical to
+    /// the pre-crash state, fingerprint-indexed so recovered entries
+    /// warm-start — and every subsequent mutation is logged.
+    pub fn persistence(self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.persistence_with(PersistOptions::new(dir))
+    }
+
+    /// [`SessionBuilder::persistence`] with explicit [`PersistOptions`]
+    /// (compaction cadence etc.).
+    pub fn persistence_with(mut self, options: PersistOptions) -> Self {
+        self.persistence = Some(options);
+        self
+    }
+
     /// Builds the session.
     ///
     /// # Errors
@@ -352,15 +370,34 @@ impl SessionBuilder {
             Some(m) => m,
             None => ModelSet::spin(config.policy.max_qubits)?,
         };
-        let library = PulseLibrary::with_capacity(self.library_capacity);
+        let mut library = PulseLibrary::with_capacity(self.library_capacity);
         if let Some(cache) = self.cache {
             library.merge(cache);
+        }
+        let mut recovery = None;
+        if let Some(options) = self.persistence {
+            // Seed before attaching the journal so recovered state is
+            // not logged a second time. Sorted-key insertion keeps the
+            // post-restart LRU order deterministic (recency stamps are
+            // ephemeral and intentionally not persisted).
+            let (journal, recovered) = crate::persist::open(&options)?;
+            let mut entries: Vec<_> = recovered.cache.into_entries().collect();
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            for (key, entry) in entries {
+                library.insert(key, entry);
+            }
+            for (key, unitary, n_qubits) in &recovered.unitaries {
+                library.index_unitary(key, unitary, *n_qubits);
+            }
+            library.attach_journal(journal);
+            recovery = Some(recovered.report);
         }
         Ok(Session {
             config,
             models,
             durations: Arc::new(Mutex::new(None)),
             library,
+            recovery,
         })
     }
 }
@@ -384,6 +421,8 @@ pub struct Session {
     /// Shared across forks: the table only depends on config + models.
     durations: Arc<Mutex<Option<GateDurations>>>,
     library: PulseLibrary,
+    /// What build-time recovery found (`None` without persistence).
+    recovery: Option<RecoveryReport>,
 }
 
 impl Session {
@@ -421,19 +460,23 @@ impl Session {
             models,
             durations: Arc::new(Mutex::new(None)),
             library: PulseLibrary::new(),
+            recovery: None,
         })
     }
 
     /// A session with independent state but the same configuration and a
     /// snapshot of the current library (entries and fingerprint index;
     /// serving counters start fresh). Forks share the (lazily compiled)
-    /// single-gate duration table.
+    /// single-gate duration table. A fork does **not** inherit
+    /// persistence — two writers on one write-ahead log would
+    /// interleave inconsistently, so only the original session logs.
     pub fn fork(&self) -> Self {
         Self {
             config: self.config.clone(),
             models: self.models.clone(),
             durations: Arc::clone(&self.durations),
             library: self.library.clone(),
+            recovery: None,
         }
     }
 
@@ -486,9 +529,12 @@ impl Session {
     }
 
     /// Merges entries into the session library (incoming entries win).
-    /// Entries arrive without their canonical unitaries, so they serve
-    /// exact key hits but are not fingerprint-indexed; batch drivers
-    /// index theirs via [`PulseLibrary::index_unitary`].
+    /// A plain [`PulseCache`] carries no canonical unitaries, so entries
+    /// imported this way serve exact key hits but are not
+    /// fingerprint-indexed; batch drivers index theirs via
+    /// [`PulseLibrary::index_unitary`], and [`Session::load_cache`]
+    /// re-indexes automatically when the artifact embeds unitaries
+    /// (every [`Session::save_cache`] artifact does).
     pub fn import_cache(&self, other: PulseCache) {
         self.library.merge(other);
     }
@@ -501,27 +547,65 @@ impl Session {
         self.library.replace(cache);
     }
 
-    /// Persists the cache as JSON (entries sorted by key — the artifact
-    /// is byte-deterministic for a given cache state).
+    /// Persists the cache as JSON, written atomically (temp + rename):
+    /// entries sorted by key, each carrying its canonical unitary when
+    /// the fingerprint index holds one. The artifact is
+    /// byte-deterministic for a given library state, loads in full via
+    /// [`Session::load_cache`] (which re-indexes the embedded
+    /// unitaries), and stays readable by the plain [`PulseCache::load`]
+    /// (which ignores the index metadata).
     ///
     /// # Errors
     ///
-    /// [`Error::Io`] on filesystem failures.
+    /// [`Error::Store`] on filesystem failures.
     pub fn save_cache(&self, path: impl AsRef<Path>) -> Result<()> {
-        self.library.snapshot().save(path)
+        let cache = self.library.snapshot();
+        let unitaries = self.library.indexed_unitaries();
+        let json = crate::persist::indexed_cache_json(&cache, &unitaries);
+        accqoc_store::write_atomic(path.as_ref(), json.as_bytes())?;
+        Ok(())
     }
 
     /// Merges a JSON cache file into the session cache; returns how many
-    /// unique groups the file held.
+    /// unique groups the file held. Entries carrying a canonical
+    /// unitary (every [`Session::save_cache`] artifact embeds them) are
+    /// fingerprint-indexed on load, so a freshly loaded library
+    /// warm-starts near-misses instead of only serving exact hits.
     ///
     /// # Errors
     ///
     /// [`Error::Io`] / [`Error::Json`] on unreadable or malformed files.
     pub fn load_cache(&self, path: impl AsRef<Path>) -> Result<usize> {
-        let loaded = PulseCache::load(path)?;
+        let text = std::fs::read_to_string(path)?;
+        let (loaded, unitaries) = crate::persist::parse_indexed_cache(&text)?;
         let n = loaded.len();
         self.import_cache(loaded);
+        for (key, unitary, n_qubits) in &unitaries {
+            self.library.index_unitary(key, unitary, *n_qubits);
+        }
         Ok(n)
+    }
+
+    /// What build-time recovery found when the session was built with
+    /// [`SessionBuilder::persistence`]; `None` for non-durable sessions
+    /// (including forks, which never inherit persistence).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Forces a durability snapshot: writes the snapshot artifact pair
+    /// under the persistence directory and truncates the write-ahead
+    /// log. A no-op `Ok(())` for non-durable sessions. The serving
+    /// daemon calls this on clean shutdown; long-lived embedders can
+    /// call it at natural barriers.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Store`] when a snapshot write or the log truncation
+    /// fails (the previous on-disk pair stays recoverable). This is
+    /// also where background journal append failures resurface.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.library.checkpoint()
     }
 
     // -- pipeline stages ----------------------------------------------------

@@ -1,0 +1,308 @@
+//! Kill-and-recover experiment for the durable library tier.
+//!
+//! Replays the golden arrival stream (the fig13-style 2-pass golden
+//! suite) three ways:
+//!
+//! 1. **baseline** — one uninterrupted session, no persistence: the
+//!    byte-identity reference.
+//! 2. **live** — a durable session (`SessionBuilder::persistence`)
+//!    serves the first programs, checkpoints mid-stream, serves one
+//!    more program so the write-ahead log holds a suffix past the
+//!    snapshot, then "crashes" (the process state is dropped without a
+//!    shutdown checkpoint).
+//! 3. **recovered** — a fresh durable session on the same directory
+//!    recovers snapshot + WAL suffix and serves the remainder of the
+//!    stream.
+//!
+//! Gates (enforced under `--check`, reported always):
+//!
+//! - the recovered cache snapshot is byte-identical to the pre-crash
+//!   snapshot, and `caches_equivalent` confirms semantic equivalence;
+//! - the fingerprint index is fully re-built (recovered entries
+//!   warm-start, not just exact-hit) — zero scratch recompiles of any
+//!   group that was in the recovered library;
+//! - every served program (live and recovered phases alike) produces
+//!   pulses byte-identical to the uninterrupted baseline, and the final
+//!   library artifact equals the baseline's.
+//!
+//! Writes `results/restart_serve.csv` and seeds `BENCH_persist.json`
+//! (recovery wall time, WAL replay throughput) at the working
+//! directory root.
+
+use std::time::Instant;
+
+use accqoc::json::JsonValue;
+use accqoc::{caches_equivalent, PersistOptions, PulseCache, ServeReport, Session};
+use accqoc_bench::{print_table, write_csv};
+use accqoc_circuit::Circuit;
+use accqoc_hw::Topology;
+use accqoc_workloads::golden_suite;
+
+/// Programs served before the mid-stream checkpoint.
+const PRE_CHECKPOINT: usize = 2;
+
+/// Programs served by the live session before the simulated crash (the
+/// serving past [`PRE_CHECKPOINT`] lives only in the WAL suffix).
+const PRE_CRASH: usize = 3;
+
+const HEADER: [&str; 7] = [
+    "phase",
+    "program",
+    "coverage",
+    "compiled",
+    "warm",
+    "iterations",
+    "identical",
+];
+
+struct Row {
+    phase: &'static str,
+    program: String,
+    report: ServeReport,
+    identical: bool,
+}
+
+impl Row {
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.phase.to_string(),
+            self.program.clone(),
+            format!("{:.3}", self.report.coverage.rate()),
+            self.report.n_compiled.to_string(),
+            self.report.n_warm_started.to_string(),
+            self.report.dynamic_iterations.to_string(),
+            self.identical.to_string(),
+        ]
+    }
+}
+
+/// Mirrors `library_serve --check`: 5-qubit linear device,
+/// 300-iteration GRAPE cap, stock similarity/warm-start config.
+fn golden_builder() -> accqoc::SessionBuilder {
+    let mut grape = accqoc_grape::GrapeOptions::default();
+    grape.stop.max_iters = 300;
+    Session::builder()
+        .topology(Topology::linear(5))
+        .grape(grape)
+}
+
+/// The per-program artifact: the served groups' entries, serialized
+/// deterministically (the byte-identity unit of comparison).
+fn program_artifact(session: &Session, report: &ServeReport) -> String {
+    let mut cache = PulseCache::new();
+    for group in &report.groups {
+        cache.insert(
+            group.key.clone(),
+            session.cached(&group.key).expect("just served"),
+        );
+    }
+    cache.to_json()
+}
+
+/// Serves one program and scores it against the baseline reference.
+fn serve_scored(
+    session: &Session,
+    phase: &'static str,
+    name: &str,
+    circuit: &Circuit,
+    expected: Option<&(ServeReport, String)>,
+) -> (Row, String) {
+    let report = session.serve_program(circuit).expect("stream serves");
+    let artifact = program_artifact(session, &report);
+    let identical = expected.is_none_or(|(expected_report, expected_artifact)| {
+        artifact == *expected_artifact
+            && report.overall_latency_ns == expected_report.overall_latency_ns
+    });
+    (
+        Row {
+            phase,
+            program: name.to_string(),
+            report,
+            identical,
+        },
+        artifact,
+    )
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    println!("accqoc restart — durable-tier kill-and-recover on the golden stream\n");
+
+    // The 2-pass golden arrival stream (same shape as library_serve).
+    let suite = golden_suite();
+    let stream: Vec<(String, Circuit)> = suite
+        .iter()
+        .chain(suite.iter())
+        .map(|p| (p.name.clone(), p.circuit.clone()))
+        .collect();
+
+    let data_dir = std::env::temp_dir().join(format!("accqoc-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    // Phase 1: uninterrupted baseline (the reference bytes).
+    let baseline_session = golden_builder().build().expect("baseline session");
+    let mut rows: Vec<Row> = Vec::with_capacity(stream.len() * 2);
+    let mut baseline: Vec<(ServeReport, String)> = Vec::with_capacity(stream.len());
+    for (name, circuit) in &stream {
+        let (row, artifact) = serve_scored(&baseline_session, "baseline", name, circuit, None);
+        baseline.push((row.report.clone(), artifact));
+        rows.push(row);
+    }
+    let baseline_final = baseline_session.cache_snapshot().to_json();
+
+    // Phase 2: durable session, checkpoint mid-stream, crash after one
+    // more program (auto-compaction off so the WAL suffix survives).
+    let options = PersistOptions::new(&data_dir).snapshot_every(0);
+    let live = golden_builder()
+        .persistence_with(options.clone())
+        .build()
+        .expect("live durable session");
+    assert_eq!(
+        live.recovery_report().map(|r| r.entries),
+        Some(0),
+        "fresh data dir must cold-start empty"
+    );
+    for (i, (name, circuit)) in stream.iter().take(PRE_CRASH).enumerate() {
+        let (row, _) = serve_scored(&live, "live", name, circuit, Some(&baseline[i]));
+        rows.push(row);
+        if i + 1 == PRE_CHECKPOINT {
+            live.checkpoint().expect("mid-stream checkpoint");
+        }
+    }
+    let pre_crash_snapshot = live.cache_snapshot();
+    let pre_crash_indexed = live.library().indexed_len();
+    let pre_crash_keys: Vec<_> = pre_crash_snapshot.iter().map(|(k, _)| k.clone()).collect();
+    drop(live); // the "crash": no shutdown checkpoint, WAL suffix on disk
+
+    // Phase 3: recover and serve the remainder.
+    let recovery_start = Instant::now();
+    let recovered = golden_builder()
+        .persistence_with(options)
+        .build()
+        .expect("recovery");
+    let recovery_ms = recovery_start.elapsed().as_secs_f64() * 1e3;
+    let report = recovered
+        .recovery_report()
+        .cloned()
+        .expect("durable session has a report");
+
+    let recovered_snapshot = recovered.cache_snapshot();
+    let snapshot_identical = recovered_snapshot.to_json() == pre_crash_snapshot.to_json();
+    let equivalence = caches_equivalent(
+        recovered.models(),
+        &pre_crash_snapshot,
+        &recovered_snapshot,
+        1e-9,
+        1e-9,
+    )
+    .expect("equivalence oracle runs");
+    let index_restored = recovered.library().indexed_len() == pre_crash_indexed;
+
+    let mut scratch_recompiles_of_persisted = 0usize;
+    for (i, (name, circuit)) in stream.iter().enumerate().skip(PRE_CRASH) {
+        let (row, _) = serve_scored(&recovered, "recovered", name, circuit, Some(&baseline[i]));
+        for group in &row.report.groups {
+            if !group.hit && group.warm_from.is_none() && pre_crash_keys.contains(&group.key) {
+                scratch_recompiles_of_persisted += 1;
+            }
+        }
+        rows.push(row);
+    }
+    let final_identical = recovered.cache_snapshot().to_json() == baseline_final;
+    let mismatches = rows.iter().filter(|r| !r.identical).count();
+
+    let cells: Vec<Vec<String>> = rows.iter().map(Row::cells).collect();
+    print_table(&HEADER, &cells);
+    write_csv("restart_serve.csv", &HEADER, &cells).ok();
+
+    let wal_replay_rate = if recovery_ms > 0.0 {
+        report.wal_records as f64 / (recovery_ms / 1e3)
+    } else {
+        0.0
+    };
+    let bench = JsonValue::Object(vec![
+        ("recovery_ms".into(), JsonValue::Number(recovery_ms)),
+        (
+            "snapshot_entries".into(),
+            JsonValue::Number(report.snapshot_entries as f64),
+        ),
+        (
+            "wal_records".into(),
+            JsonValue::Number(report.wal_records as f64),
+        ),
+        (
+            "wal_replay_records_per_s".into(),
+            JsonValue::Number(wal_replay_rate),
+        ),
+        (
+            "recovered_entries".into(),
+            JsonValue::Number(report.entries as f64),
+        ),
+        (
+            "recovered_indexed".into(),
+            JsonValue::Number(report.indexed as f64),
+        ),
+        (
+            "scratch_recompiles_of_persisted".into(),
+            JsonValue::Number(scratch_recompiles_of_persisted as f64),
+        ),
+        (
+            "byte_identical_rows".into(),
+            JsonValue::Number((rows.len() - mismatches) as f64),
+        ),
+        ("rows".into(), JsonValue::Number(rows.len() as f64)),
+    ]);
+    std::fs::write("BENCH_persist.json", bench.to_pretty() + "\n").ok();
+
+    println!();
+    println!(
+        "recovery: {} entries ({} indexed) in {recovery_ms:.1} ms = snapshot {} + {} WAL records ({wal_replay_rate:.0} records/s)",
+        report.entries, report.indexed, report.snapshot_entries, report.wal_records,
+    );
+    println!(
+        "snapshot byte-identical: {snapshot_identical}, equivalent: {}, index restored: {index_restored}",
+        equivalence.equivalent(),
+    );
+
+    let mut failed = false;
+    if !snapshot_identical {
+        eprintln!("FAIL: recovered snapshot is not byte-identical to the pre-crash snapshot");
+        failed = true;
+    }
+    if !equivalence.equivalent() {
+        eprintln!("FAIL: recovered cache not semantically equivalent to the pre-crash cache");
+        failed = true;
+    }
+    if !index_restored {
+        eprintln!(
+            "FAIL: fingerprint index not restored ({} indexed, pre-crash {pre_crash_indexed})",
+            recovered.library().indexed_len(),
+        );
+        failed = true;
+    }
+    if scratch_recompiles_of_persisted > 0 {
+        eprintln!(
+            "FAIL: {scratch_recompiles_of_persisted} persisted groups were recompiled from scratch after recovery"
+        );
+        failed = true;
+    }
+    if mismatches > 0 {
+        eprintln!("FAIL: {mismatches} served programs diverged from the uninterrupted baseline");
+        failed = true;
+    }
+    if !final_identical {
+        eprintln!("FAIL: final recovered library artifact diverged from the baseline artifact");
+        failed = true;
+    }
+
+    let _ = std::fs::remove_dir_all(&data_dir);
+    if failed && check {
+        std::process::exit(1);
+    }
+    if !failed {
+        println!(
+            "\nOK: recovered byte-identical ({} entries, {} indexed), remainder served identically, 0 scratch recompiles of persisted groups",
+            report.entries, report.indexed,
+        );
+    }
+}

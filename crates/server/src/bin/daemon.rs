@@ -14,10 +14,16 @@
 //! - `--max-iters N` — GRAPE iteration cap per probe (default 300)
 //! - `--library-capacity N` — LRU bound on the pulse library
 //!   (default unbounded; serving works at any capacity)
+//! - `--data-dir PATH` — durable library tier: recover the pulse
+//!   library from `PATH` on startup (cold start if empty), write-ahead
+//!   log every mutation while serving, snapshot on clean shutdown
+//! - `--snapshot-every N` — with `--data-dir`, also compact the log
+//!   into a fresh snapshot every `N` inserts (default 128; `0` =
+//!   shutdown snapshot only)
 
 use std::sync::Arc;
 
-use accqoc::Session;
+use accqoc::{PersistOptions, Session};
 use accqoc_hw::Topology;
 use accqoc_server::{Server, ServerConfig};
 
@@ -58,6 +64,11 @@ fn main() {
         });
         builder = builder.library_capacity(capacity);
     }
+    let data_dir = flag(&args, "--data-dir");
+    if let Some(dir) = &data_dir {
+        let snapshot_every: usize = parsed(&args, "--snapshot-every", 128);
+        builder = builder.persistence_with(PersistOptions::new(dir).snapshot_every(snapshot_every));
+    }
     let session = match builder.build() {
         Ok(session) => Arc::new(session),
         Err(e) => {
@@ -65,6 +76,21 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some(report) = session.recovery_report() {
+        println!(
+            "recovered library from {}: {} entries ({} warm-start indexed) = snapshot {} + {} WAL records{}",
+            data_dir.as_deref().unwrap_or("?"),
+            report.entries,
+            report.indexed,
+            report.snapshot_entries,
+            report.wal_records,
+            if report.wal_truncated_bytes > 0 {
+                format!(", {} torn tail bytes discarded", report.wal_truncated_bytes)
+            } else {
+                String::new()
+            },
+        );
+    }
 
     let config = ServerConfig {
         workers,
@@ -94,6 +120,19 @@ fn main() {
                 stats.hits,
                 stats.misses,
             );
+            if data_dir.is_some() {
+                match session.checkpoint() {
+                    Ok(()) => println!(
+                        "checkpointed {} entries to {}",
+                        session.cache_len(),
+                        data_dir.as_deref().unwrap_or("?"),
+                    ),
+                    Err(e) => {
+                        eprintln!("shutdown checkpoint failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
         }
         Err(e) => {
             eprintln!("server failed: {e}");

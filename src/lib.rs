@@ -29,4 +29,5 @@ pub use accqoc_linalg as linalg;
 pub use accqoc_map as map;
 pub use accqoc_server as server;
 pub use accqoc_sim as sim;
+pub use accqoc_store as store;
 pub use accqoc_workloads as workloads;

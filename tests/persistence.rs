@@ -1,0 +1,349 @@
+//! Integration tests of the durable library tier: WAL + snapshot
+//! recovery, crash edge cases, and the warm-start re-indexing of
+//! persisted artifacts.
+
+use std::path::{Path, PathBuf};
+
+use accqoc_repro::accqoc::{
+    caches_equivalent, CachedPulse, Error, PersistOptions, Session, SimilarityFn, WAL_FILE,
+};
+use accqoc_repro::circuit::{circuit_unitary, Circuit, Gate, UnitaryKey};
+use accqoc_repro::grape::Pulse;
+use accqoc_repro::hw::Topology;
+use accqoc_repro::linalg::Mat;
+use proptest::prelude::*;
+
+/// A scratch directory unique to this test (process id + tag).
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("accqoc-persist-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_session(dir: &Path, snapshot_every: usize) -> Session {
+    Session::builder()
+        .topology(Topology::linear(3))
+        .persistence_with(PersistOptions::new(dir).snapshot_every(snapshot_every))
+        .build()
+        .expect("durable session builds")
+}
+
+fn rz(theta: f64) -> Mat {
+    circuit_unitary(&Circuit::from_gates(1, [Gate::Rz(0, theta)]))
+}
+
+fn entry(n_qubits: usize, latency_ns: f64) -> CachedPulse {
+    CachedPulse {
+        pulse: Pulse::zeros(2 * n_qubits, 4, 1.0),
+        latency_ns,
+        iterations: 3,
+        n_qubits,
+    }
+}
+
+#[test]
+fn missing_data_dir_is_a_cold_start_not_an_error() {
+    let dir = scratch_dir("cold");
+    let session = durable_session(&dir, 0);
+    let report = session.recovery_report().expect("durable sessions report");
+    assert_eq!(report.entries, 0);
+    assert_eq!(report.snapshot_entries, 0);
+    assert_eq!(report.wal_records, 0);
+    assert!(dir.is_dir(), "open creates the directory");
+    // Non-durable sessions have no report.
+    let plain = Session::builder()
+        .topology(Topology::linear(3))
+        .build()
+        .expect("plain session");
+    assert!(plain.recovery_report().is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restart_recovers_byte_identical_and_reindexed() {
+    let dir = scratch_dir("roundtrip");
+    let live = durable_session(&dir, 0);
+    for k in 1..=4 {
+        let u = rz(0.4 * k as f64);
+        live.library()
+            .insert_indexed(UnitaryKey::canonical(&u, 1), &u, entry(1, k as f64));
+    }
+    let pre_crash = live.cache_snapshot();
+    let pre_indexed = live.library().indexed_len();
+    drop(live); // crash: everything lives only in the WAL
+
+    let recovered = durable_session(&dir, 0);
+    let report = recovered.recovery_report().expect("report").clone();
+    assert_eq!(report.snapshot_entries, 0, "no snapshot was ever written");
+    assert_eq!(report.wal_records, 4);
+    assert_eq!(report.entries, 4);
+    assert_eq!(report.indexed, 4);
+    // Byte-identical cache...
+    assert_eq!(recovered.cache_snapshot().to_json(), pre_crash.to_json());
+    // ...semantically equivalent under the oracle...
+    let eq = caches_equivalent(
+        recovered.models(),
+        &pre_crash,
+        &recovered.cache_snapshot(),
+        1e-9,
+        1e-9,
+    )
+    .expect("oracle runs");
+    assert!(eq.equivalent(), "recovered cache must be equivalent");
+    // ...and warm-start capable, not just exact-hit.
+    assert_eq!(recovered.library().indexed_len(), pre_indexed);
+    let near = recovered
+        .library()
+        .nearest(&rz(0.41), 1, 4, SimilarityFn::TraceOverlap)
+        .expect("recovered index answers neighbor queries");
+    assert_eq!(near.key, UnitaryKey::canonical(&rz(0.4), 1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_wal_tail_is_discarded_cleanly() {
+    let dir = scratch_dir("torn");
+    let live = durable_session(&dir, 0);
+    for k in 1..=3 {
+        let u = rz(0.5 * k as f64);
+        live.library()
+            .insert_indexed(UnitaryKey::canonical(&u, 1), &u, entry(1, k as f64));
+    }
+    drop(live);
+    // Crash mid-append: chop a few bytes off the last record.
+    let wal = dir.join(WAL_FILE);
+    let len = std::fs::metadata(&wal).expect("wal exists").len();
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&wal)
+        .expect("open wal");
+    file.set_len(len - 3).expect("truncate");
+    drop(file);
+
+    let recovered = durable_session(&dir, 0);
+    let report = recovered.recovery_report().expect("report").clone();
+    assert_eq!(report.wal_records, 2, "torn third record is dropped");
+    assert!(report.wal_truncated_bytes > 0);
+    assert_eq!(report.entries, 2);
+    assert!(recovered.cache_contains(&UnitaryKey::canonical(&rz(0.5), 1)));
+    assert!(!recovered.cache_contains(&UnitaryKey::canonical(&rz(1.5), 1)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_wal_record_is_a_typed_store_error() {
+    let dir = scratch_dir("corrupt");
+    let live = durable_session(&dir, 0);
+    let u = rz(0.7);
+    live.library()
+        .insert_indexed(UnitaryKey::canonical(&u, 1), &u, entry(1, 2.0));
+    drop(live);
+    // Flip one payload byte of the (complete) record: the length still
+    // matches, the checksum no longer does.
+    let wal = dir.join(WAL_FILE);
+    let mut bytes = std::fs::read(&wal).expect("read wal");
+    let payload_start = 8 + 8; // magic + frame header
+    bytes[payload_start + 4] ^= 0xFF;
+    std::fs::write(&wal, &bytes).expect("write corrupted wal");
+
+    let err = Session::builder()
+        .topology(Topology::linear(3))
+        .persistence(&dir)
+        .build()
+        .expect_err("corruption must not recover silently");
+    match err {
+        Error::Store(e) => {
+            let shown = e.to_string();
+            assert!(shown.contains("checksum"), "unexpected error: {shown}");
+            assert!(shown.contains("0 records ok"), "unexpected error: {shown}");
+        }
+        other => panic!("expected Error::Store, got {other}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_plus_wal_replay_equals_pure_wal_replay() {
+    let wal_only = scratch_dir("pure-wal");
+    let compacted = scratch_dir("compacted");
+    // Same mutation sequence on both; the compacted session snapshots
+    // every 3 inserts (and once explicitly), the other never does.
+    let a = durable_session(&wal_only, 0);
+    let b = durable_session(&compacted, 3);
+    for k in 1..=8 {
+        let u = rz(0.3 * k as f64);
+        let key = UnitaryKey::canonical(&u, 1);
+        a.library()
+            .insert_indexed(key.clone(), &u, entry(1, k as f64));
+        b.library().insert_indexed(key, &u, entry(1, k as f64));
+        if k == 5 {
+            b.checkpoint().expect("explicit mid-sequence checkpoint");
+        }
+    }
+    let reference = a.cache_snapshot().to_json();
+    drop(a);
+    drop(b);
+
+    let ra = durable_session(&wal_only, 0);
+    let rb = durable_session(&compacted, 3);
+    let report_a = ra.recovery_report().expect("report").clone();
+    let report_b = rb.recovery_report().expect("report").clone();
+    assert_eq!(report_a.snapshot_entries, 0);
+    assert!(
+        report_b.snapshot_entries > 0,
+        "compaction must have produced a snapshot"
+    );
+    assert!(report_b.wal_records < report_a.wal_records);
+    assert_eq!(ra.cache_snapshot().to_json(), reference);
+    assert_eq!(rb.cache_snapshot().to_json(), reference);
+    assert_eq!(ra.library().indexed_len(), 8);
+    assert_eq!(rb.library().indexed_len(), 8);
+    let eq = caches_equivalent(
+        ra.models(),
+        &ra.cache_snapshot(),
+        &rb.cache_snapshot(),
+        1e-9,
+        1e-9,
+    )
+    .expect("oracle runs");
+    assert!(eq.equivalent());
+    let _ = std::fs::remove_dir_all(&wal_only);
+    let _ = std::fs::remove_dir_all(&compacted);
+}
+
+#[test]
+fn save_cache_artifacts_reindex_on_load() {
+    let dir = scratch_dir("artifact");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("library.json");
+    let source = Session::builder()
+        .topology(Topology::linear(3))
+        .build()
+        .expect("session");
+    for k in 1..=3 {
+        let u = rz(0.6 * k as f64);
+        source
+            .library()
+            .insert_indexed(UnitaryKey::canonical(&u, 1), &u, entry(1, k as f64));
+    }
+    source.save_cache(&path).expect("save");
+
+    let fresh = Session::builder()
+        .topology(Topology::linear(3))
+        .build()
+        .expect("session");
+    assert_eq!(fresh.load_cache(&path).expect("load"), 3);
+    // The historical warm-start gap: entries used to come back
+    // un-indexed. Now the artifact embeds the canonical unitaries and
+    // load re-indexes every one.
+    assert_eq!(fresh.library().indexed_len(), 3);
+    assert!(fresh
+        .library()
+        .nearest(&rz(0.61), 1, 4, SimilarityFn::TraceOverlap)
+        .is_some());
+    assert_eq!(
+        fresh.cache_snapshot().to_json(),
+        source.cache_snapshot().to_json()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn served_programs_survive_restart_without_recompiles() {
+    let dir = scratch_dir("serve");
+    let mut grape = accqoc_repro::grape::GrapeOptions::default();
+    grape.stop.max_iters = 150;
+    let build = || {
+        Session::builder()
+            .topology(Topology::linear(2))
+            .grape(grape.clone())
+            .persistence(&dir)
+            .build()
+            .expect("durable session")
+    };
+    let program = Circuit::from_gates(2, [Gate::H(0), Gate::Rz(1, 0.4)]);
+
+    let live = build();
+    let first = live.serve_program(&program).expect("first serving");
+    assert!(first.n_compiled > 0, "cold library must compile");
+    let artifact = live.cache_snapshot().to_json();
+    drop(live); // crash without checkpoint
+
+    let recovered = build();
+    assert_eq!(recovered.cache_snapshot().to_json(), artifact);
+    let replay = recovered.serve_program(&program).expect("replay");
+    assert_eq!(
+        replay.n_compiled, 0,
+        "recovered library must serve the replay entirely from cache"
+    );
+    assert_eq!(recovered.cache_snapshot().to_json(), artifact);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One random library mutation for the round-trip property test.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8),
+    Touch(u8),
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Weighted pick (compat proptest has no `prop_oneof`): mostly
+    // inserts, some touches, the occasional full clear.
+    (0..12u8, 1..24u8).prop_map(|(kind, tag)| match kind {
+        0..=7 => Op::Insert(tag),
+        8..=10 => Op::Touch(tag),
+        _ => Op::Clear,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any insert/touch/clear sequence against a capacity-bounded
+    /// durable library (evictions included) recovers byte-identically.
+    #[test]
+    fn random_mutation_sequences_round_trip_through_recovery(
+        ops in proptest::collection::vec(op_strategy(), 1..30),
+        seq in 0u32..1_000_000,
+    ) {
+        let dir = scratch_dir(&format!("prop-{seq}"));
+        let live = Session::builder()
+            .topology(Topology::linear(3))
+            .library_capacity(4)
+            .persistence_with(PersistOptions::new(&dir).snapshot_every(0))
+            .build()
+            .expect("durable session");
+        for op in &ops {
+            match op {
+                Op::Insert(tag) => {
+                    let u = rz(0.1 * *tag as f64);
+                    live.library().insert_indexed(
+                        UnitaryKey::canonical(&u, 1),
+                        &u,
+                        entry(1, *tag as f64),
+                    );
+                }
+                Op::Touch(tag) => {
+                    let u = rz(0.1 * *tag as f64);
+                    live.library().touch(&UnitaryKey::canonical(&u, 1));
+                }
+                Op::Clear => live.library().clear(),
+            }
+        }
+        let reference = live.cache_snapshot().to_json();
+        let indexed = live.library().indexed_len();
+        drop(live);
+
+        let recovered = Session::builder()
+            .topology(Topology::linear(3))
+            .library_capacity(4)
+            .persistence_with(PersistOptions::new(&dir).snapshot_every(0))
+            .build()
+            .expect("recovery");
+        prop_assert_eq!(recovered.cache_snapshot().to_json(), reference);
+        prop_assert_eq!(recovered.library().indexed_len(), indexed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
