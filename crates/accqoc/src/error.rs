@@ -57,6 +57,18 @@ pub enum Error {
         /// Arity of the uncovered group.
         n_qubits: usize,
     },
+    /// The batch pipeline needs every unique group of a program cached at
+    /// once, but the library's LRU capacity bound is smaller than the
+    /// program's unique-group count — compiled pulses would be evicted
+    /// before the latency stage could read them back. Raise the bound or
+    /// use the online [`crate::Session::serve_program`] path, which folds
+    /// latencies as it compiles and works at any capacity.
+    CapacityExceeded {
+        /// The configured library capacity.
+        capacity: usize,
+        /// Unique groups the program needs cached simultaneously.
+        required: usize,
+    },
     /// A latency search failed outside of group compilation.
     Latency(LatencyError),
     /// QASM parsing failed.
@@ -93,6 +105,11 @@ impl fmt::Display for Error {
             Self::UncoveredGroup { n_qubits } => write!(
                 f,
                 "a {n_qubits}-qubit group has no cached pulse (run the compile stage first)"
+            ),
+            Self::CapacityExceeded { capacity, required } => write!(
+                f,
+                "library capacity {capacity} is below the program's {required} unique groups \
+                 (raise the bound or serve the program online)"
             ),
             Self::Latency(e) => write!(f, "latency search failed: {e}"),
             Self::Qasm(e) => write!(f, "qasm parsing failed: {e}"),
@@ -194,6 +211,13 @@ mod tests {
                 "bad",
             ),
             (Error::UncoveredGroup { n_qubits: 2 }, "no cached pulse"),
+            (
+                Error::CapacityExceeded {
+                    capacity: 2,
+                    required: 9,
+                },
+                "9 unique groups",
+            ),
             (Error::Latency(latency.clone()), "latency search"),
             (
                 Error::Qasm(QasmError {

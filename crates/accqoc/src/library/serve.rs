@@ -43,10 +43,16 @@ pub struct ServeOptions {
     /// above the seed itself), pruning the deep-infeasible probes that
     /// dominate a cold search. Similar groups have similar minimal
     /// latencies — the premise of the paper's §V-B — so the pruned
-    /// region is (almost) never where the optimum lives; the worst case
-    /// is a served pulse a few slices longer than the batch path would
-    /// find. `0.0` disables the anchor and reproduces the batch search
-    /// exactly. Default: `0.5`.
+    /// region is (almost) never where the optimum lives. At the default
+    /// `1.0` the search *trusts* the seed's slice count: it confirms the
+    /// seed converges, then walks downward one slice at a time while the
+    /// shorter probe keeps converging (each step warm-started from the
+    /// last), stopping at the first failure — so near-identical
+    /// neighbors, like adjacent points of a parameterized θ-sweep, cost
+    /// two GRAPE runs instead of a whole probe cascade, and a beatable
+    /// seed descends to the true minimum without re-opening the
+    /// bisection over the deep-infeasible region. `0.0` disables the
+    /// anchor and reproduces the batch search exactly.
     pub search_anchor: f64,
 }
 
@@ -54,7 +60,7 @@ impl Default for ServeOptions {
     fn default() -> Self {
         Self {
             candidates: 16,
-            search_anchor: 0.5,
+            search_anchor: 1.0,
         }
     }
 }

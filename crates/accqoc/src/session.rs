@@ -305,11 +305,11 @@ impl SessionBuilder {
     /// [`Session::serve_program`] path).
     ///
     /// The batch [`Session::compile_program`] pipeline re-reads compiled
-    /// pulses from the library in its latency stage, so a capacity
-    /// smaller than a program's unique-group count can fail it with
-    /// [`Error::UncoveredGroup`]; [`Session::serve_program`] folds
-    /// latencies as it compiles and keeps working at any capacity,
-    /// including 0.
+    /// pulses from the library in its latency stage, so it rejects a
+    /// program whose unique-group count exceeds the capacity with
+    /// [`Error::CapacityExceeded`] up front (instead of evicting its own
+    /// pulses mid-pipeline); [`Session::serve_program`] folds latencies
+    /// as it compiles and keeps working at any capacity, including 0.
     pub fn library_capacity(mut self, capacity: usize) -> Self {
         self.library_capacity = Some(capacity);
         self
@@ -802,7 +802,11 @@ impl Session {
     ///
     /// # Errors
     ///
-    /// Propagates group-compilation failures.
+    /// Propagates group-compilation failures. On a capacity-bounded
+    /// library, returns [`Error::CapacityExceeded`] when the program has
+    /// more unique groups than the library can hold at once (the latency
+    /// stage would find its own pulses already evicted) — use
+    /// [`Session::serve_program`] for bounded libraries.
     ///
     /// # Examples
     ///
@@ -829,6 +833,14 @@ impl Session {
         let decomposed = self.decompose(circuit);
         let mapped = self.map(&decomposed);
         let grouped = self.group(&mapped);
+        if let Some(capacity) = self.library.capacity() {
+            if capacity < grouped.targets.len() {
+                return Err(Error::CapacityExceeded {
+                    capacity,
+                    required: grouped.targets.len(),
+                });
+            }
+        }
         let lookup = self.lookup(&grouped);
         let compiled = self.compile(&lookup)?;
         let latency = self.latency(&grouped)?;

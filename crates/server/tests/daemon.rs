@@ -182,3 +182,88 @@ fn precompile_then_serve_is_fully_covered() {
     client.shutdown().expect("shutdown");
     handle.join().expect("server thread").expect("clean run");
 }
+
+#[test]
+fn concurrent_uccsd_replay_coalesces_and_matches_in_process_bytes() {
+    // The parameterized-workload traffic pattern end to end: several
+    // clients replay the same UCCSD θ-grid family concurrently. The
+    // in-flight coalescing guarantee scales from one group to a whole
+    // family — total misses stay exactly the family's unique-group
+    // count — and every served artifact is byte-identical to serial
+    // in-process serving of the same stream.
+    let family = accqoc_workloads::uccsd_family(3, 2, &accqoc_workloads::theta_grid(3));
+    let session3 = || {
+        let mut grape = accqoc_grape::GrapeOptions::default();
+        grape.stop.max_iters = 200;
+        Session::builder()
+            .topology(Topology::linear(3))
+            .grape(grape)
+            .build()
+            .expect("valid session")
+    };
+
+    // Serial in-process baseline: the byte-identity reference.
+    let baseline = session3();
+    let mut expected = Vec::new();
+    for program in &family {
+        let report = baseline.serve_program(&program.circuit).expect("serves");
+        let mut cache = accqoc::PulseCache::new();
+        for group in &report.groups {
+            cache.insert(
+                group.key.clone(),
+                baseline.cached(&group.key).expect("baseline holds the key"),
+            );
+        }
+        expected.push(cache.to_json());
+    }
+    let n_unique = baseline.library().stats().misses;
+
+    let session = Arc::new(session3());
+    let (addr, handle) = boot(
+        Arc::clone(&session),
+        ServerConfig {
+            workers: 3,
+            ..ServerConfig::default()
+        },
+    );
+    let replays: Vec<_> = (0..3)
+        .map(|_| {
+            let family = family.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                family
+                    .iter()
+                    .map(|p| {
+                        let (_, pulses) = client
+                            .serve_program(&p.circuit, true)
+                            .expect("daemon serves");
+                        pulses.expect("return_pulses was requested").to_json()
+                    })
+                    .collect::<Vec<String>>()
+            })
+        })
+        .collect();
+    for handle in replays {
+        let served = handle.join().expect("client thread");
+        assert_eq!(
+            served, expected,
+            "daemon servings must be byte-identical to in-process serving"
+        );
+    }
+
+    // Coalescing across the family: three full replays, one compile per
+    // unique group — and the final library equals the baseline's.
+    let stats = session.library().stats();
+    assert_eq!(
+        stats.misses, n_unique,
+        "3 concurrent replays must compile each unique group once"
+    );
+    assert_eq!(
+        session.cache_snapshot().to_json(),
+        baseline.cache_snapshot().to_json()
+    );
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean run");
+}

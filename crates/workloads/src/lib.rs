@@ -4,6 +4,9 @@
 //! (§VI-A): RevLib-style reversible NCT networks with the gate budgets of
 //! the named Table II programs, QFT and GSE circuits from the ScaffCC
 //! family, and seeded random cascades filling out the 159-program suite.
+//! Beyond the fixed suite, the [`uccsd_family`] generator produces
+//! *parameterized* traffic — Trotterized UCCSD ansatz slices swept over
+//! a θ-grid — for the serving tier's warm-start benchmarks.
 //!
 //! # Example
 //!
@@ -22,11 +25,16 @@ mod gse;
 mod qft;
 mod revlib;
 mod suite;
+mod uccsd;
 
 pub use gse::gse;
 pub use qft::qft;
 pub use revlib::{extended_specs, nct_circuit, paper_specs, NctSpec};
 pub use suite::{
-    arrival_stream, full_suite, golden_suite, profiling_split, sample_programs, BenchProgram,
-    GOLDEN_NAMES, SUITE_SIZE,
+    arrival_stream, full_suite, golden_suite, profiling_split, sample_programs, zipf_arrivals,
+    BenchProgram, GOLDEN_NAMES, SUITE_SIZE,
+};
+pub use uccsd::{
+    default_theta_grid, theta_grid, uccsd_family, uccsd_slice, DEFAULT_GRID_POINTS,
+    SLICE_ANGLE_STEP, THETA_MAX, THETA_MIN,
 };

@@ -110,12 +110,16 @@ pub fn full_suite() -> Vec<BenchProgram> {
 /// policy: at most 5 qubits (so the verifier's exact dense-composition
 /// oracle applies on a 5-qubit device and the corpus recomputes quickly
 /// from a fresh checkout), at most ~150 hardware-basis gates, and at
-/// least one program from each suite family (QFT, GSE, RevLib).
-pub const GOLDEN_NAMES: [&str; 4] = ["qft_3", "qft_4", "gse_4_1", "4mod5-v1_22"];
+/// least one program from each suite family (QFT, GSE, RevLib) — plus
+/// one representative *parameterized* entry, the middle grid point of
+/// the default [`crate::uccsd_family`] ansatz.
+pub const GOLDEN_NAMES: [&str; 5] = ["qft_3", "qft_4", "gse_4_1", "4mod5-v1_22", "uccsd_4_3_t4"];
 
 /// The compact, deterministic subset of the suite backing the golden
 /// regression corpus under `results/golden/` (see [`GOLDEN_NAMES`] for
-/// the selection policy).
+/// the selection policy). The `uccsd_*` entry comes from the default
+/// θ-grid family rather than [`full_suite`], which stays pinned at its
+/// original 159-program composition.
 ///
 /// # Examples
 ///
@@ -126,11 +130,16 @@ pub const GOLDEN_NAMES: [&str; 4] = ["qft_3", "qft_4", "gse_4_1", "4mod5-v1_22"]
 /// ```
 pub fn golden_suite() -> Vec<BenchProgram> {
     let suite = full_suite();
+    let uccsd = crate::uccsd_family(4, 3, &crate::default_theta_grid());
     GOLDEN_NAMES
         .iter()
         .map(|name| {
-            suite
-                .iter()
+            let pool = if name.starts_with("uccsd_") {
+                &uccsd
+            } else {
+                &suite
+            };
+            pool.iter()
                 .find(|p| p.name == *name)
                 .unwrap_or_else(|| panic!("golden program {name} missing from suite"))
                 .clone()
@@ -159,11 +168,56 @@ pub fn golden_suite() -> Vec<BenchProgram> {
 /// assert_eq!(stream, accqoc_workloads::arrival_stream(suite.len(), 10, 7));
 /// ```
 pub fn arrival_stream(pool: usize, length: usize, seed: u64) -> Vec<usize> {
+    zipf_arrivals(pool, length, 1.0, seed)
+}
+
+/// [`arrival_stream`] with an explicit zipf exponent: rank `r` is drawn
+/// with weight `1/(r+1)^s`. `s = 1.0` reproduces [`arrival_stream`]
+/// byte-for-byte; larger exponents concentrate traffic on the hot head
+/// (more exact hits), smaller ones flatten it toward uniform (more
+/// compiles). Multi-client interleavings fall out of the daemon replay
+/// pattern: N clients replaying one `zipf_arrivals` stream interleave
+/// arbitrarily at the server, and in-flight coalescing keeps the result
+/// byte-identical to the sequential replay — or give each client its own
+/// seed for independent traffic.
+///
+/// # Panics
+///
+/// Panics if `pool == 0` or `s` is not finite and non-negative.
+///
+/// # Examples
+///
+/// ```
+/// let stream = accqoc_workloads::zipf_arrivals(8, 100, 1.1, 7);
+/// assert_eq!(stream.len(), 100);
+/// assert!(stream.iter().all(|&i| i < 8));
+/// // s = 1.0 is exactly the rank-weighted arrival_stream.
+/// assert_eq!(
+///     accqoc_workloads::zipf_arrivals(8, 50, 1.0, 7),
+///     accqoc_workloads::arrival_stream(8, 50, 7),
+/// );
+/// ```
+pub fn zipf_arrivals(pool: usize, length: usize, s: f64, seed: u64) -> Vec<usize> {
     assert!(pool > 0, "arrival stream needs a non-empty program pool");
+    assert!(
+        s.is_finite() && s >= 0.0,
+        "zipf exponent must be finite and non-negative, got {s}"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
-    // Rank weights 1/(r+1): the first program is the hottest. Sampling
+    // Rank weights 1/(r+1)^s: the first program is the hottest. Sampling
     // by cumulative weight keeps the head hot without starving the tail.
-    let weights: Vec<f64> = (0..pool).map(|r| 1.0 / (r + 1) as f64).collect();
+    // s == 1.0 avoids powf so the historical arrival_stream draws are
+    // reproduced bit-for-bit.
+    let weights: Vec<f64> = (0..pool)
+        .map(|r| {
+            let rank = (r + 1) as f64;
+            if s == 1.0 {
+                1.0 / rank
+            } else {
+                1.0 / rank.powf(s)
+            }
+        })
+        .collect();
     let total: f64 = weights.iter().sum();
     (0..length)
         .map(|_| {
@@ -305,12 +359,14 @@ mod tests {
             assert!(p.circuit.n_qubits() <= 5, "{name} too wide");
             assert!(p.decomposed_len() <= 150, "{name} too large");
         }
-        // One program per family at least.
+        // One program per family at least, including the parameterized
+        // UCCSD entry.
         assert!(golden.iter().any(|p| p.name.starts_with("qft_")));
         assert!(golden.iter().any(|p| p.name.starts_with("gse_")));
-        assert!(golden
-            .iter()
-            .any(|p| !p.name.starts_with("qft_") && !p.name.starts_with("gse_")));
+        assert!(golden.iter().any(|p| p.name.starts_with("uccsd_")));
+        assert!(golden.iter().any(|p| !p.name.starts_with("qft_")
+            && !p.name.starts_with("gse_")
+            && !p.name.starts_with("uccsd_")));
         // Deterministic across calls.
         let again = golden_suite();
         for (a, b) in golden.iter().zip(&again) {
@@ -336,6 +392,34 @@ mod tests {
         );
         // Repetition actually happens (that is the point of a stream).
         assert!(count(0) > 1);
+    }
+
+    #[test]
+    fn zipf_exponent_shapes_the_head_and_one_is_exact() {
+        // s = 1.0 must reproduce the historical arrival_stream draws
+        // bit-for-bit (the serving benchmarks' streams are pinned).
+        assert_eq!(
+            zipf_arrivals(10, 400, 1.0, 0xA11),
+            arrival_stream(10, 400, 0xA11)
+        );
+        // A hotter exponent concentrates more of the stream on rank 0.
+        let head = |s: f64| {
+            zipf_arrivals(10, 400, s, 0xA11)
+                .iter()
+                .filter(|&&i| i == 0)
+                .count()
+        };
+        assert!(head(2.0) > head(1.0), "hot {} vs {}", head(2.0), head(1.0));
+        assert!(head(1.0) > head(0.0), "flat {} vs {}", head(1.0), head(0.0));
+        // s = 0 is uniform-ish: the tail still arrives.
+        let flat = zipf_arrivals(10, 400, 0.0, 0xA11);
+        assert!(flat.iter().filter(|&&i| i == 9).count() > 10);
+        // Deterministic per (s, seed).
+        assert_eq!(zipf_arrivals(10, 40, 1.3, 9), zipf_arrivals(10, 40, 1.3, 9));
+        assert_ne!(
+            zipf_arrivals(10, 40, 1.3, 9),
+            zipf_arrivals(10, 40, 1.3, 10)
+        );
     }
 
     #[test]

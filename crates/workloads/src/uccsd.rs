@@ -1,0 +1,239 @@
+//! Parameterized UCCSD-style ansatz slices over a θ-grid.
+//!
+//! The epiqc PartialCompilation workflow compiles a Trotterized UCCSD
+//! ansatz slice by slice, handing each slice's unitary to the optimal
+//! control solver — and then re-solves as the variational loop sweeps
+//! the parameters θ. That traffic pattern is the killer app for
+//! similarity-seeded compilation: adjacent parameter values produce
+//! *nearly identical* unitaries, so a pulse library that warm-starts
+//! from fingerprint neighbors amortizes almost the entire GRAPE cost
+//! across the sweep.
+//!
+//! This module generates that family deterministically. A *slice* is one
+//! Jordan–Wigner single-excitation term `exp(θ (a†_q a_{q+1} − h.c.))`
+//! on an adjacent qubit pair, Trotterized as the two Pauli-string
+//! evolutions `exp(∓iθ/2 · XY)` / `exp(±iθ/2 · YX)` — CNOT ladders
+//! around an `rz`, with `h`/`rx(±π/2)` basis changes on the ends (the
+//! same gate texture as [`crate::gse`], which is what the grouping
+//! pipeline sees). A *family* instantiates an ansatz of several slices
+//! at every point of a θ-grid; neighboring grid points yield unitaries
+//! inside the serving tier's warm-start gate, so replaying the family as
+//! an arrival stream stresses exactly the fingerprint-index → warm-GRAPE
+//! path.
+
+use accqoc_circuit::{Circuit, Gate};
+
+use crate::suite::BenchProgram;
+
+/// Low end of the canonical θ-grid range.
+pub const THETA_MIN: f64 = 0.15;
+
+/// High end of the canonical θ-grid range.
+pub const THETA_MAX: f64 = 0.79;
+
+/// Points in [`default_theta_grid`]. With the canonical range this pins
+/// the default spacing to exactly 0.08 — far above the unitary-key
+/// quantization (adjacent points stay *distinct* groups) and far below
+/// the warm-start distance gate (adjacent points stay *warm-startable*).
+pub const DEFAULT_GRID_POINTS: usize = 9;
+
+/// Per-slice offset added to the grid θ, so an ansatz's slices are
+/// distinct canonical unitaries (not permutation-equivalent copies) yet
+/// still close enough to warm-start from one another.
+pub const SLICE_ANGLE_STEP: f64 = 0.2;
+
+/// Evenly spaced θ-grid over `[THETA_MIN, THETA_MAX]`, endpoints
+/// included.
+///
+/// # Panics
+///
+/// Panics if `points < 2`.
+///
+/// # Examples
+///
+/// ```
+/// let grid = accqoc_workloads::theta_grid(9);
+/// assert_eq!(grid.len(), 9);
+/// assert!((grid[1] - grid[0] - 0.08).abs() < 1e-12);
+/// ```
+pub fn theta_grid(points: usize) -> Vec<f64> {
+    assert!(points >= 2, "a theta grid needs at least two points");
+    let step = (THETA_MAX - THETA_MIN) / (points - 1) as f64;
+    (0..points).map(|t| THETA_MIN + step * t as f64).collect()
+}
+
+/// The default θ-grid: [`DEFAULT_GRID_POINTS`] evenly spaced points.
+pub fn default_theta_grid() -> Vec<f64> {
+    theta_grid(DEFAULT_GRID_POINTS)
+}
+
+/// One Trotterized UCCSD single-excitation slice at angle `theta`: the
+/// excitation acts on the adjacent pair `(q, q+1)` with
+/// `q = slice % (n-1)`, implemented as the two Pauli-string evolutions
+/// `exp(-iθ/2·X_q Y_{q+1})` and `exp(+iθ/2·Y_q X_{q+1})`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `theta` is not finite.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_workloads::uccsd_slice;
+///
+/// let c = uccsd_slice(4, 1, 0.3);
+/// assert_eq!(c.n_qubits(), 4);
+/// assert_eq!(c.len(), 14);
+/// ```
+pub fn uccsd_slice(n: usize, slice: usize, theta: f64) -> Circuit {
+    assert!(n >= 2, "uccsd needs at least two qubits");
+    assert!(theta.is_finite(), "uccsd angle must be finite");
+    let q = slice % (n - 1);
+    let half_pi = std::f64::consts::FRAC_PI_2;
+    let mut c = Circuit::new(n);
+    // exp(-iθ/2 · X_q Y_{q+1}): h / rx(π/2) into the Z basis, CNOT
+    // ladder around the rz, undo.
+    c.push(Gate::H(q));
+    c.push(Gate::Rx(q + 1, half_pi));
+    c.push(Gate::Cx(q, q + 1));
+    c.push(Gate::Rz(q + 1, theta));
+    c.push(Gate::Cx(q, q + 1));
+    c.push(Gate::H(q));
+    c.push(Gate::Rx(q + 1, -half_pi));
+    // exp(+iθ/2 · Y_q X_{q+1}): bases swapped, angle negated.
+    c.push(Gate::Rx(q, half_pi));
+    c.push(Gate::H(q + 1));
+    c.push(Gate::Cx(q, q + 1));
+    c.push(Gate::Rz(q + 1, -theta));
+    c.push(Gate::Cx(q, q + 1));
+    c.push(Gate::Rx(q, -half_pi));
+    c.push(Gate::H(q + 1));
+    c
+}
+
+/// The parameterized workload family: one [`BenchProgram`] per θ-grid
+/// point, each an ansatz of `slices` excitation slices. Slice `k` of the
+/// program at grid value `θ` uses angle `θ + k·SLICE_ANGLE_STEP` and
+/// walks the excitation pair around the register, so programs at
+/// adjacent grid points differ by the same small rotation in every
+/// slice — the regime where fingerprint warm starts should rescue
+/// almost every compile.
+///
+/// Program names follow `uccsd_{n}_{slices}_t{index}` (grid order).
+///
+/// # Panics
+///
+/// Panics if `n < 2`, `slices == 0`, or `theta_grid` is empty or
+/// contains a non-finite value.
+///
+/// # Examples
+///
+/// ```
+/// use accqoc_workloads::{default_theta_grid, uccsd_family};
+///
+/// let family = uccsd_family(4, 3, &default_theta_grid());
+/// assert_eq!(family.len(), 9);
+/// assert_eq!(family[0].name, "uccsd_4_3_t0");
+/// assert!(family.iter().all(|p| p.circuit.n_qubits() == 4));
+/// ```
+pub fn uccsd_family(n: usize, slices: usize, theta_grid: &[f64]) -> Vec<BenchProgram> {
+    assert!(n >= 2, "uccsd needs at least two qubits");
+    assert!(slices >= 1, "uccsd ansatz needs at least one slice");
+    assert!(!theta_grid.is_empty(), "theta grid must be non-empty");
+    theta_grid
+        .iter()
+        .enumerate()
+        .map(|(t, &theta)| {
+            assert!(theta.is_finite(), "theta grid value {t} is not finite");
+            let mut circuit = Circuit::new(n);
+            for k in 0..slices {
+                circuit.append(&uccsd_slice(n, k, theta + SLICE_ANGLE_STEP * k as f64));
+            }
+            BenchProgram {
+                name: format!("uccsd_{n}_{slices}_t{t}"),
+                circuit,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accqoc_circuit::{circuit_unitary, GateKind, UnitaryKey};
+
+    #[test]
+    fn slice_gate_budget_and_pair_walk() {
+        let c = uccsd_slice(4, 0, 0.3);
+        let counts = c.counts_by_kind();
+        assert_eq!(counts[&GateKind::Cx], 4);
+        assert_eq!(counts[&GateKind::Rz], 2);
+        assert_eq!(counts[&GateKind::H], 4);
+        assert_eq!(counts[&GateKind::Rx], 4);
+        // The excitation pair cycles with the slice index.
+        assert_eq!(uccsd_slice(4, 0, 0.3).used_qubits(), vec![0, 1]);
+        assert_eq!(uccsd_slice(4, 1, 0.3).used_qubits(), vec![1, 2]);
+        assert_eq!(uccsd_slice(4, 3, 0.3).used_qubits(), vec![0, 1]);
+    }
+
+    #[test]
+    fn slice_is_unitary() {
+        let u = circuit_unitary(&uccsd_slice(3, 0, 0.47));
+        assert!(u.is_unitary(1e-11));
+    }
+
+    #[test]
+    fn family_is_deterministic_with_unique_names() {
+        let grid = default_theta_grid();
+        let a = uccsd_family(4, 3, &grid);
+        let b = uccsd_family(4, 3, &grid);
+        assert_eq!(a.len(), grid.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.circuit, y.circuit);
+        }
+        let mut names: Vec<&str> = a.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), grid.len());
+    }
+
+    #[test]
+    fn adjacent_grid_points_are_distinct_unitaries() {
+        // The grid spacing must clear the unitary-key quantization:
+        // neighboring programs are *new* groups (warm misses), not exact
+        // hits of each other.
+        let family = uccsd_family(3, 1, &default_theta_grid());
+        let keys: Vec<UnitaryKey> = family
+            .iter()
+            .map(|p| UnitaryKey::canonical(&circuit_unitary(&p.circuit), 3))
+            .collect();
+        for w in keys.windows(2) {
+            assert_ne!(w[0], w[1], "adjacent grid points collided");
+        }
+    }
+
+    #[test]
+    fn grid_is_evenly_spaced_and_in_range() {
+        let grid = theta_grid(5);
+        assert_eq!(grid.len(), 5);
+        assert!((grid[0] - THETA_MIN).abs() < 1e-12);
+        assert!((grid[4] - THETA_MAX).abs() < 1e-12);
+        let step = grid[1] - grid[0];
+        for w in grid.windows(2) {
+            assert!((w[1] - w[0] - step).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two qubits")]
+    fn single_qubit_rejected() {
+        let _ = uccsd_slice(1, 0, 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn degenerate_grid_rejected() {
+        let _ = theta_grid(1);
+    }
+}

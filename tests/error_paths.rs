@@ -258,3 +258,56 @@ fn examples_pattern_boxed_error_interop() {
     }
     assert!(pipeline().unwrap() > 0.0);
 }
+
+#[test]
+fn capacity_smaller_than_unique_groups_is_a_typed_early_error() {
+    // The batch pipeline needs every unique group cached at once for its
+    // latency stage. On a library too small for the program, it must
+    // refuse up front with CapacityExceeded — before burning any GRAPE
+    // iterations — instead of evicting its own pulses mid-pipeline and
+    // surfacing a confusing UncoveredGroup later.
+    let session = Session::builder()
+        .topology(Topology::linear(3))
+        .library_capacity(1)
+        .build()
+        .unwrap();
+    let program = accqoc_repro::workloads::qft(3);
+    let required = session.front_end(&program).targets.len();
+    assert!(required > 1, "qft_3 must exceed the capacity bound");
+
+    let e = session.compile_program(&program).unwrap_err();
+    match &e {
+        Error::CapacityExceeded {
+            capacity,
+            required: r,
+        } => {
+            assert_eq!(*capacity, 1);
+            assert_eq!(*r, required);
+        }
+        other => panic!("expected CapacityExceeded, got {other:?}"),
+    }
+    // The rejection happened before any compile: the library is empty.
+    assert_eq!(session.cache_len(), 0, "no pulses may be compiled");
+    let shown = e.to_string();
+    assert!(
+        shown.contains("capacity 1") && shown.contains(&required.to_string()),
+        "message should carry both numbers: {shown}"
+    );
+    assert!(e.source().is_none(), "capacity errors have no deeper cause");
+
+    // A program that fits the bound still compiles on the same session…
+    let mut grape = accqoc_repro::grape::GrapeOptions::default();
+    grape.stop.max_iters = 200;
+    let small = Session::builder()
+        .topology(Topology::linear(2))
+        .grape(grape)
+        .library_capacity(1)
+        .build()
+        .unwrap();
+    let tiny = Circuit::from_gates(2, [Gate::H(0)]);
+    assert_eq!(small.front_end(&tiny).targets.len(), 1);
+    assert!(small.compile_program(&tiny).is_ok());
+    // …and the online serve path handles any capacity (see
+    // tests/library_serve.rs for the capacity-0 case).
+    assert!(small.serve_program(&tiny).is_ok());
+}

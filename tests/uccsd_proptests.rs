@@ -1,0 +1,107 @@
+//! Property tests of the parameterized UCCSD workload family: grid
+//! determinism, slice unitarity, the adjacent-θ warm-start contract
+//! that the serving benchmarks lean on, and the zipf arrival stream
+//! (seed-pinnable via `ACCQOC_PROPTEST_SEED`).
+
+use accqoc_repro::accqoc::{warm_start_allowed, AccQocConfig};
+use accqoc_repro::circuit::circuit_unitary;
+use accqoc_repro::workloads::{
+    arrival_stream, theta_grid, uccsd_family, uccsd_slice, zipf_arrivals, THETA_MAX, THETA_MIN,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn family_is_deterministic_and_names_are_unique(
+        n in 2usize..5,
+        slices in 1usize..4,
+        grid in proptest::collection::vec(THETA_MIN..THETA_MAX, 2..6),
+    ) {
+        let a = uccsd_family(n, slices, &grid);
+        let b = uccsd_family(n, slices, &grid);
+        prop_assert_eq!(a.len(), grid.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(&x.name, &y.name);
+            prop_assert_eq!(&x.circuit, &y.circuit);
+            prop_assert_eq!(x.circuit.n_qubits(), n);
+            prop_assert_eq!(x.circuit.len(), 14 * slices);
+        }
+        let mut names: Vec<&str> = a.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        prop_assert_eq!(names.len(), grid.len());
+    }
+
+    #[test]
+    fn every_slice_is_unitary(
+        n in 2usize..5,
+        slice in 0usize..6,
+        theta in -3.0f64..3.0,
+    ) {
+        let u = circuit_unitary(&uccsd_slice(n, slice, theta));
+        prop_assert!(u.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn adjacent_grid_points_stay_inside_the_warm_gate(
+        slice in 0usize..4,
+        theta in THETA_MIN..THETA_MAX,
+        spacing in 1e-4f64..0.081,
+    ) {
+        // The family's design contract: at up to the default grid
+        // spacing (0.08), neighboring θ values land within the serving
+        // tier's warm-start distance — a warm miss, never a scratch
+        // compile. Checked at the excitation-slice granularity the
+        // grouping pipeline actually hands to GRAPE.
+        let gate = AccQocConfig::melbourne().warm_threshold;
+        let a = circuit_unitary(&uccsd_slice(2, slice, theta));
+        let b = circuit_unitary(&uccsd_slice(2, slice, theta + spacing));
+        prop_assert!(
+            warm_start_allowed(&a, &b, gate),
+            "slices at θ {theta:.4} and {:.4} fell outside the {gate} warm gate",
+            theta + spacing
+        );
+    }
+
+    #[test]
+    fn theta_grid_is_monotone_and_bounded(points in 2usize..40) {
+        let grid = theta_grid(points);
+        prop_assert_eq!(grid.len(), points);
+        prop_assert!((grid[0] - THETA_MIN).abs() < 1e-12);
+        prop_assert!((grid[points - 1] - THETA_MAX).abs() < 1e-12);
+        for w in grid.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn zipf_arrivals_are_deterministic_in_range_and_extend_the_stream(
+        pool in 1usize..20,
+        length in 0usize..40,
+        s in 0.0f64..2.5,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = zipf_arrivals(pool, length, s, seed);
+        prop_assert_eq!(a.len(), length);
+        prop_assert!(a.iter().all(|&i| i < pool));
+        prop_assert_eq!(&a, &zipf_arrivals(pool, length, s, seed));
+        // A longer stream from the same seed is an extension, not a
+        // reshuffle — replays can grow without invalidating prefixes.
+        let longer = zipf_arrivals(pool, length + 5, s, seed);
+        prop_assert_eq!(&longer[..length], &a[..]);
+    }
+
+    #[test]
+    fn unit_exponent_is_the_historical_stream(
+        pool in 1usize..20,
+        length in 0usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        prop_assert_eq!(
+            zipf_arrivals(pool, length, 1.0, seed),
+            arrival_stream(pool, length, seed)
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Serving-path acceptance for the parameterized UCCSD family: replay a
+//! θ-grid sweep through `Session::serve_program` and hold it to the
+//! high-warm-share bar the family was designed for, then verify a
+//! sampled subset of the served programs semantically.
+
+use accqoc_repro::accqoc::Session;
+use accqoc_repro::hw::Topology;
+use accqoc_repro::workloads::{default_theta_grid, uccsd_family};
+
+fn session(n_qubits: usize) -> Session {
+    let mut grape = accqoc_repro::grape::GrapeOptions::default();
+    grape.stop.max_iters = 300;
+    Session::builder()
+        .topology(Topology::linear(n_qubits))
+        .grape(grape)
+        .build()
+        .expect("valid session")
+}
+
+#[test]
+fn theta_sweep_acceptance() {
+    // One excitation slice per program keeps the stream cheap while
+    // still walking the whole default θ-grid: the first grid point is
+    // the only scratch compile, every later one must warm-start from
+    // its neighbor. That pins the family's headline property — warm
+    // share ≥ 0.80, far above the fixed golden stream's 0.550.
+    let s = session(3);
+    let family = uccsd_family(3, 1, &default_theta_grid());
+    for program in &family {
+        let report = s.serve_program(&program.circuit).expect("serves");
+        assert_eq!(
+            report.n_compiled + report.groups.iter().filter(|g| g.hit).count(),
+            report.groups.len(),
+            "{}: every group is a hit or a compile",
+            program.name
+        );
+    }
+    let stats = s.library().stats();
+    assert!(stats.misses > 0, "a cold sweep must compile something");
+    assert!(
+        stats.warm_share() >= 0.80,
+        "warm-start share {:.3} below the 0.80 parameterized-workload bar \
+         ({} warm / {} compiles)",
+        stats.warm_share(),
+        stats.warm_compiles,
+        stats.misses
+    );
+    assert!(
+        stats.mean_warm_iterations() < stats.mean_scratch_iterations(),
+        "warm compiles must be cheaper: warm {:.1} vs scratch {:.1} mean iterations",
+        stats.mean_warm_iterations(),
+        stats.mean_scratch_iterations()
+    );
+
+    // Semantic verification over a sampled subset (first, middle, last
+    // grid point): warm-started pulses must meet the same per-group
+    // fidelity bar as scratch ones — warm seeding changes the starting
+    // point, never the convergence target.
+    for program in [
+        &family[0],
+        &family[family.len() / 2],
+        &family[family.len() - 1],
+    ] {
+        let verify = s.verify_program(&program.circuit).expect("verifies");
+        assert!(
+            verify.passed,
+            "{}: served pulses failed verification",
+            program.name
+        );
+        assert!(
+            verify.min_group_fidelity >= 0.99995,
+            "{}: min group fidelity {:.7} below the 0.99995 bar",
+            program.name,
+            verify.min_group_fidelity
+        );
+    }
+
+    // Replaying the sweep is pure exact hits.
+    let misses_before = s.library().stats().misses;
+    for program in &family {
+        let report = s.serve_program(&program.circuit).expect("replay serves");
+        assert_eq!(report.n_compiled, 0, "{}: replay must hit", program.name);
+        assert_eq!(report.coverage.rate(), 1.0);
+    }
+    assert_eq!(s.library().stats().misses, misses_before);
+}
