@@ -20,14 +20,22 @@
 //!   meets the same pinned 0.50 gate as `library_serve --check`, and
 //!   (c) the second replay is fully cache-covered. The CI smoke gate for
 //!   the daemon.
+//! - `--connections N`: open N loopback connections (default 256), hold
+//!   them all open simultaneously, and have every one complete a stats
+//!   call and a serve. Exits non-zero if any connection is refused,
+//!   any request is rejected busy, or any call fails. Pins that the
+//!   event-loop transport sustains N concurrent connections — the old
+//!   thread-per-connection design capped out at its 64-thread limit.
 //!
-//! Both modes write per-response rows to `results/server_serve.csv`.
+//! The stream modes write per-response rows to `results/server_serve.csv`;
+//! `--connections` writes per-connection latencies to
+//! `results/server_connections.csv`.
 
 use std::sync::Arc;
 
 use accqoc::{PulseCache, ServeReport, Session};
 use accqoc_bench::{fast_mode, print_table, write_csv, ExperimentContext};
-use accqoc_circuit::Circuit;
+use accqoc_circuit::{Circuit, Gate};
 use accqoc_hw::Topology;
 use accqoc_server::{Client, Server, ServerConfig};
 use accqoc_workloads::{arrival_stream, golden_suite};
@@ -75,10 +83,22 @@ impl Row {
     }
 }
 
+/// Default connection count for `--connections`, matching the CI gate.
+const DEFAULT_CONNECTIONS: usize = 256;
+
 fn main() {
-    let check = std::env::args().any(|a| a == "--check");
-    if check {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check") {
         run_check();
+    } else if let Some(at) = args.iter().position(|a| a == "--connections") {
+        let n = match args.get(at + 1) {
+            Some(raw) => raw.parse().unwrap_or_else(|_| {
+                eprintln!("--connections takes a positive count, got `{raw}`");
+                std::process::exit(2);
+            }),
+            None => DEFAULT_CONNECTIONS,
+        };
+        run_connections(n);
     } else {
         run_stream();
     }
@@ -332,4 +352,141 @@ fn run_stream() {
         std::process::exit(1);
     }
     println!("all served pulses byte-identical to in-process Session::serve_program");
+}
+
+/// Opens `n` loopback connections, holds them all open at once, and has
+/// each complete a stats call and a serve. Two barriers make the
+/// concurrency claim exact: no request is sent until every socket is
+/// connected, and no socket closes until every request has been
+/// answered — so all `n` connections are provably open simultaneously.
+fn run_connections(n: usize) {
+    println!("accqoc-server — concurrent-connection soak ({n} connections)\n");
+    let mut grape = accqoc_grape::GrapeOptions::default();
+    grape.stop.max_iters = 200;
+    let session = Arc::new(
+        Session::builder()
+            .topology(Topology::linear(2))
+            .grape(grape)
+            .build()
+            .expect("2-qubit session is valid"),
+    );
+    let config = ServerConfig {
+        workers: 4,
+        // Room for every connection's request at once, plus the final
+        // stats/shutdown client.
+        queue_capacity: n + 8,
+        max_connections: n + 8,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(Arc::clone(&session), "127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // One shared single-group program: the first serve compiles it, the
+    // other n-1 either coalesce onto that compile or hit the library.
+    let program = Circuit::from_gates(2, [Gate::H(0), Gate::Cx(0, 1)]);
+    let all_connected = Arc::new(std::sync::Barrier::new(n));
+    let all_answered = Arc::new(std::sync::Barrier::new(n));
+
+    let mut cells: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|idx| {
+                let all_connected = Arc::clone(&all_connected);
+                let all_answered = Arc::clone(&all_answered);
+                let program = &program;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    all_connected.wait();
+                    let t0 = std::time::Instant::now();
+                    client.stats().expect("stats over a saturated daemon");
+                    let stats_us = t0.elapsed().as_micros();
+                    let t1 = std::time::Instant::now();
+                    let (report, _) = client
+                        .serve_program(program, false)
+                        .expect("serve over a saturated daemon");
+                    let serve_us = t1.elapsed().as_micros();
+                    all_answered.wait();
+                    vec![
+                        idx.to_string(),
+                        stats_us.to_string(),
+                        serve_us.to_string(),
+                        format!("{:.3}", report.coverage.rate()),
+                    ]
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("connection thread"))
+            .collect()
+    });
+    cells.sort_by_key(|row| row[0].parse::<usize>().unwrap_or(0));
+    let header = ["connection", "stats_us", "serve_us", "coverage"];
+    write_csv("server_connections.csv", &header, &cells).ok();
+
+    let mut client = Client::connect(addr).expect("stats client connects");
+    let stats = client.stats().expect("stats");
+    client.shutdown().expect("shutdown");
+    let counters = server_thread
+        .join()
+        .expect("server thread")
+        .expect("server ran cleanly");
+
+    let micros = |col: usize| -> Vec<u128> {
+        let mut v: Vec<u128> = cells.iter().map(|r| r[col].parse().unwrap_or(0)).collect();
+        v.sort_unstable();
+        v
+    };
+    let stats_us = micros(1);
+    let serve_us = micros(2);
+    let pct = |v: &[u128], p: f64| v[((v.len() - 1) as f64 * p) as usize];
+    println!(
+        "stats latency us: p50 {} p95 {} max {}",
+        pct(&stats_us, 0.5),
+        pct(&stats_us, 0.95),
+        stats_us.last().copied().unwrap_or(0),
+    );
+    println!(
+        "serve latency us: p50 {} p95 {} max {}",
+        pct(&serve_us, 0.5),
+        pct(&serve_us, 0.95),
+        serve_us.last().copied().unwrap_or(0),
+    );
+    println!(
+        "accepted {} rejected {} busy {} compiles {} coalesced waits {}",
+        counters.connections_accepted,
+        counters.connections_rejected,
+        counters.requests_rejected_busy,
+        stats.library.misses,
+        stats.server.coalesced_waits,
+    );
+
+    let mut failed = false;
+    // n soak connections plus the final stats/shutdown client.
+    if counters.connections_accepted != n as u64 + 1 {
+        eprintln!(
+            "FAIL: accepted {} connections, expected {}",
+            counters.connections_accepted,
+            n + 1
+        );
+        failed = true;
+    }
+    if counters.connections_rejected != 0 {
+        eprintln!(
+            "FAIL: {} connections refused below the configured cap",
+            counters.connections_rejected
+        );
+        failed = true;
+    }
+    if counters.requests_rejected_busy != 0 {
+        eprintln!(
+            "FAIL: {} requests rejected busy with a queue sized for the soak",
+            counters.requests_rejected_busy
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("\nOK: {n} simultaneous connections each completed a stats call and a serve");
 }

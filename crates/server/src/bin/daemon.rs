@@ -1,73 +1,49 @@
 //! The standalone daemon: `cargo run --release -p accqoc-server --bin daemon`.
 //!
 //! Binds a pulse-serving session on a linear-topology device and serves
-//! until a client sends the `shutdown` method (see README "Running the
-//! daemon" for a raw-socket session).
-//!
-//! Flags (all optional):
-//!
-//! - `--addr HOST:PORT` — listen address (default `127.0.0.1:7878`;
-//!   port `0` picks a free port and prints it)
-//! - `--qubits N` — device width, linear topology (default 5)
-//! - `--workers N` — worker threads (default 2)
-//! - `--queue N` — admission-queue capacity (default 64)
-//! - `--max-iters N` — GRAPE iteration cap per probe (default 300)
-//! - `--library-capacity N` — LRU bound on the pulse library
-//!   (default unbounded; serving works at any capacity)
-//! - `--data-dir PATH` — durable library tier: recover the pulse
-//!   library from `PATH` on startup (cold start if empty), write-ahead
-//!   log every mutation while serving, snapshot on clean shutdown
-//! - `--snapshot-every N` — with `--data-dir`, also compact the log
-//!   into a fresh snapshot every `N` inserts (default 128; `0` =
-//!   shutdown snapshot only)
+//! until a client sends the `shutdown` method or `POST /shutdown` (see
+//! README "Running the daemon" for both a raw-socket and a curl
+//! session). Flags are parsed strictly ([`accqoc_server::cli`]): an
+//! unknown flag, a missing value, or a flag-shaped value is a hard
+//! error with exit code 2, never silently ignored. Run with `--help`
+//! for the full flag list.
 
 use std::sync::Arc;
 
 use accqoc::{PersistOptions, Session};
 use accqoc_hw::Topology;
-use accqoc_server::{Server, ServerConfig};
-
-fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
-fn parsed<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
-    match flag(args, name) {
-        Some(raw) => raw.parse().unwrap_or_else(|_| {
-            eprintln!("invalid value for {name}: `{raw}`");
-            std::process::exit(2);
-        }),
-        None => default,
-    }
-}
+use accqoc_server::cli::{self, Command, DaemonOptions};
+use accqoc_server::Server;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let addr = flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
-    let qubits: usize = parsed(&args, "--qubits", 5);
-    let workers: usize = parsed(&args, "--workers", 2);
-    let queue: usize = parsed(&args, "--queue", 64);
-    let max_iters: usize = parsed(&args, "--max-iters", 300);
-
-    let mut grape = accqoc_grape::GrapeOptions::default();
-    grape.stop.max_iters = max_iters;
-    let mut builder = Session::builder()
-        .topology(Topology::linear(qubits))
-        .grape(grape);
-    if let Some(capacity) = flag(&args, "--library-capacity") {
-        let capacity: usize = capacity.parse().unwrap_or_else(|_| {
-            eprintln!("invalid value for --library-capacity: `{capacity}`");
+    let options = match cli::parse_args(std::env::args().skip(1)) {
+        Ok(Command::Serve(options)) => options,
+        Ok(Command::Help) => {
+            print!("{}", cli::USAGE);
+            return;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprint!("{}", cli::USAGE);
             std::process::exit(2);
-        });
+        }
+    };
+    run(options);
+}
+
+fn run(options: DaemonOptions) {
+    let mut grape = accqoc_grape::GrapeOptions::default();
+    grape.stop.max_iters = options.max_iters;
+    let mut builder = Session::builder()
+        .topology(Topology::linear(options.qubits))
+        .grape(grape);
+    if let Some(capacity) = options.library_capacity {
         builder = builder.library_capacity(capacity);
     }
-    let data_dir = flag(&args, "--data-dir");
-    if let Some(dir) = &data_dir {
-        let snapshot_every: usize = parsed(&args, "--snapshot-every", 128);
-        builder = builder.persistence_with(PersistOptions::new(dir).snapshot_every(snapshot_every));
+    if let Some(dir) = &options.data_dir {
+        builder = builder
+            .persistence_with(PersistOptions::new(dir).snapshot_every(options.snapshot_every));
     }
     let session = match builder.build() {
         Ok(session) => Arc::new(session),
@@ -79,7 +55,7 @@ fn main() {
     if let Some(report) = session.recovery_report() {
         println!(
             "recovered library from {}: {} entries ({} warm-start indexed) = snapshot {} + {} WAL records{}",
-            data_dir.as_deref().unwrap_or("?"),
+            options.data_dir.as_deref().unwrap_or("?"),
             report.entries,
             report.indexed,
             report.snapshot_entries,
@@ -92,23 +68,23 @@ fn main() {
         );
     }
 
-    let config = ServerConfig {
-        workers,
-        queue_capacity: queue,
-        ..ServerConfig::default()
-    };
-    let server = match Server::bind(Arc::clone(&session), &addr, config) {
+    let server = match Server::bind(Arc::clone(&session), &options.addr, options.server_config()) {
         Ok(server) => server,
         Err(e) => {
-            eprintln!("bind {addr} failed: {e}");
+            eprintln!("bind {} failed: {e}", options.addr);
             std::process::exit(1);
         }
     };
     println!(
-        "accqoc-server listening on {} ({qubits}-qubit linear device, {workers} workers, queue {queue})",
-        server.local_addr()
+        "accqoc-server listening on {} ({}-qubit linear device, {} workers, queue {})",
+        server.local_addr(),
+        options.qubits,
+        options.workers,
+        options.queue,
     );
-    println!("stop with: {{\"id\": 1, \"method\": \"shutdown\"}}");
+    println!(
+        "stop with: {{\"id\": 1, \"method\": \"shutdown\"}}  (or: curl -X POST host:port/shutdown)"
+    );
     match server.run() {
         Ok(counters) => {
             let stats = session.library().stats();
@@ -120,12 +96,12 @@ fn main() {
                 stats.hits,
                 stats.misses,
             );
-            if data_dir.is_some() {
+            if options.data_dir.is_some() {
                 match session.checkpoint() {
                     Ok(()) => println!(
                         "checkpointed {} entries to {}",
                         session.cache_len(),
-                        data_dir.as_deref().unwrap_or("?"),
+                        options.data_dir.as_deref().unwrap_or("?"),
                     ),
                     Err(e) => {
                         eprintln!("shutdown checkpoint failed: {e}");

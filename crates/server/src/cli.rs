@@ -1,0 +1,350 @@
+//! Strict flag parsing for the daemon binary.
+//!
+//! Two failure modes of the old ad-hoc parser motivated this module:
+//! unknown flags were silently ignored (a typo like `--worker 8` ran a
+//! 2-worker daemon without a word), and a flag would happily consume a
+//! following flag as its value (`--addr --qubits` bound a listener to
+//! the address `--qubits`). Here every argument must be a known flag,
+//! every flag must have a value, and a value that itself looks like a
+//! flag is rejected — write `--flag=value` for the rare literal that
+//! genuinely starts with `--`.
+
+use crate::server::ServerConfig;
+
+/// Usage text the binary prints for `--help` and under parse errors.
+pub const USAGE: &str = "\
+accqoc daemon — pulse-serving over TCP (legacy line protocol + HTTP/1.1)
+
+USAGE:
+  daemon [FLAGS]
+
+FLAGS (all optional, `--flag VALUE` or `--flag=VALUE`):
+  --addr HOST:PORT        listen address (default 127.0.0.1:7878; port 0
+                          picks a free port and prints it)
+  --qubits N              device width, linear topology (default 5)
+  --workers N             worker threads (default 2)
+  --queue N               admission-queue capacity (default 64)
+  --max-connections N     concurrent client connections (default 1024)
+  --max-iters N           GRAPE iteration cap per probe (default 300)
+  --library-capacity N    LRU bound on the pulse library (default
+                          unbounded; serving works at any capacity)
+  --data-dir PATH         durable library tier: recover on startup,
+                          write-ahead log while serving, snapshot on
+                          clean shutdown
+  --snapshot-every N      with --data-dir, compact the log into a fresh
+                          snapshot every N inserts (default 128; 0 =
+                          shutdown snapshot only)
+  -h, --help              print this help
+";
+
+/// Everything the daemon binary needs to boot, parsed and validated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DaemonOptions {
+    /// Listen address.
+    pub addr: String,
+    /// Device width (linear topology).
+    pub qubits: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Admission-queue capacity.
+    pub queue: usize,
+    /// Concurrent-connection cap.
+    pub max_connections: usize,
+    /// GRAPE iteration cap per probe.
+    pub max_iters: usize,
+    /// LRU bound on the pulse library, when bounded.
+    pub library_capacity: Option<usize>,
+    /// Durable-tier directory, when persistence is on.
+    pub data_dir: Option<String>,
+    /// Snapshot compaction cadence (inserts) for the durable tier.
+    pub snapshot_every: usize,
+}
+
+impl Default for DaemonOptions {
+    fn default() -> Self {
+        let server = ServerConfig::default();
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            qubits: 5,
+            workers: server.workers,
+            queue: server.queue_capacity,
+            max_connections: server.max_connections,
+            max_iters: 300,
+            library_capacity: None,
+            data_dir: None,
+            snapshot_every: 128,
+        }
+    }
+}
+
+impl DaemonOptions {
+    /// The [`ServerConfig`] these options select.
+    pub fn server_config(&self) -> ServerConfig {
+        ServerConfig {
+            workers: self.workers,
+            queue_capacity: self.queue,
+            max_connections: self.max_connections,
+            ..ServerConfig::default()
+        }
+    }
+}
+
+/// What the argument vector asked for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Boot the daemon with these options.
+    Serve(DaemonOptions),
+    /// Print usage and exit 0.
+    Help,
+}
+
+/// Why the argument vector was rejected (the binary exits 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// An argument that is not a known flag.
+    UnknownFlag(String),
+    /// A bare word where a flag was expected.
+    UnexpectedArgument(String),
+    /// A flag at the end of the line with no value after it.
+    MissingValue(String),
+    /// A flag whose next argument is itself flag-shaped (almost always
+    /// a forgotten value, never silently consumed).
+    FlagShapedValue {
+        /// The flag awaiting a value.
+        flag: String,
+        /// The flag-shaped token that followed it.
+        value: String,
+    },
+    /// A value that did not parse as the flag's type.
+    BadValue {
+        /// The flag.
+        flag: String,
+        /// The unparseable value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
+            Self::UnexpectedArgument(arg) => write!(f, "unexpected argument `{arg}`"),
+            Self::MissingValue(flag) => write!(f, "flag `{flag}` needs a value"),
+            Self::FlagShapedValue { flag, value } => write!(
+                f,
+                "flag `{flag}` is followed by `{value}`, which looks like a flag, not a value \
+                 (write `{flag}={value}` if that really is the value)"
+            ),
+            Self::BadValue { flag, value } => {
+                write!(f, "invalid value for `{flag}`: `{value}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+const KNOWN_FLAGS: [&str; 9] = [
+    "--addr",
+    "--qubits",
+    "--workers",
+    "--queue",
+    "--max-connections",
+    "--max-iters",
+    "--library-capacity",
+    "--data-dir",
+    "--snapshot-every",
+];
+
+/// Parses the daemon's argument vector (without the program name).
+///
+/// # Errors
+///
+/// A [`CliError`] naming exactly what was wrong; nothing is ever
+/// silently ignored or misassigned.
+pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Command, CliError> {
+    let mut options = DaemonOptions::default();
+    let mut args = args.into_iter().peekable();
+    while let Some(arg) = args.next() {
+        if arg == "-h" || arg == "--help" {
+            return Ok(Command::Help);
+        }
+        if !arg.starts_with("--") {
+            return Err(CliError::UnexpectedArgument(arg));
+        }
+        let (flag, inline) = match arg.split_once('=') {
+            Some((flag, value)) => (flag.to_string(), Some(value.to_string())),
+            None => (arg, None),
+        };
+        if !KNOWN_FLAGS.contains(&flag.as_str()) {
+            return Err(CliError::UnknownFlag(flag));
+        }
+        let value = match inline {
+            Some(value) => value,
+            None => match args.peek() {
+                None => return Err(CliError::MissingValue(flag)),
+                Some(next) if next.starts_with("--") => {
+                    return Err(CliError::FlagShapedValue {
+                        flag,
+                        value: next.clone(),
+                    })
+                }
+                Some(_) => args.next().expect("peeked"),
+            },
+        };
+        let count = |value: &str| -> Result<usize, CliError> {
+            value.parse().map_err(|_| CliError::BadValue {
+                flag: flag.clone(),
+                value: value.to_string(),
+            })
+        };
+        match flag.as_str() {
+            "--addr" => options.addr = value,
+            "--qubits" => options.qubits = count(&value)?,
+            "--workers" => options.workers = count(&value)?,
+            "--queue" => options.queue = count(&value)?,
+            "--max-connections" => options.max_connections = count(&value)?,
+            "--max-iters" => options.max_iters = count(&value)?,
+            "--library-capacity" => options.library_capacity = Some(count(&value)?),
+            "--data-dir" => options.data_dir = Some(value),
+            "--snapshot-every" => options.snapshot_every = count(&value)?,
+            _ => unreachable!("flag was checked against KNOWN_FLAGS"),
+        }
+    }
+    Ok(Command::Serve(options))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, CliError> {
+        parse_args(args.iter().map(|a| a.to_string()))
+    }
+
+    fn options(args: &[&str]) -> DaemonOptions {
+        match parse(args).expect("valid args") {
+            Command::Serve(options) => options,
+            Command::Help => panic!("expected options, got help"),
+        }
+    }
+
+    #[test]
+    fn empty_args_give_defaults() {
+        assert_eq!(options(&[]), DaemonOptions::default());
+    }
+
+    #[test]
+    fn every_flag_parses_in_both_spellings() {
+        let spaced = options(&[
+            "--addr",
+            "0.0.0.0:0",
+            "--qubits",
+            "3",
+            "--workers",
+            "4",
+            "--queue",
+            "16",
+            "--max-connections",
+            "300",
+            "--max-iters",
+            "150",
+            "--library-capacity",
+            "8",
+            "--data-dir",
+            "/tmp/lib",
+            "--snapshot-every",
+            "5",
+        ]);
+        let inline = options(&[
+            "--addr=0.0.0.0:0",
+            "--qubits=3",
+            "--workers=4",
+            "--queue=16",
+            "--max-connections=300",
+            "--max-iters=150",
+            "--library-capacity=8",
+            "--data-dir=/tmp/lib",
+            "--snapshot-every=5",
+        ]);
+        assert_eq!(spaced, inline);
+        assert_eq!(spaced.addr, "0.0.0.0:0");
+        assert_eq!(spaced.qubits, 3);
+        assert_eq!(spaced.max_connections, 300);
+        assert_eq!(spaced.library_capacity, Some(8));
+        assert_eq!(spaced.data_dir.as_deref(), Some("/tmp/lib"));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_not_ignored() {
+        assert_eq!(
+            parse(&["--worker", "8"]),
+            Err(CliError::UnknownFlag("--worker".into()))
+        );
+        assert_eq!(
+            parse(&["--qubits", "3", "--frobnicate"]),
+            Err(CliError::UnknownFlag("--frobnicate".into()))
+        );
+    }
+
+    #[test]
+    fn a_flag_never_consumes_a_following_flag_as_its_value() {
+        // The motivating bug: `--addr --qubits` used to bind to the
+        // literal address `--qubits`.
+        assert_eq!(
+            parse(&["--addr", "--qubits"]),
+            Err(CliError::FlagShapedValue {
+                flag: "--addr".into(),
+                value: "--qubits".into(),
+            })
+        );
+        // The `=` spelling is the explicit escape hatch.
+        assert_eq!(options(&["--addr=--qubits"]).addr, "--qubits");
+    }
+
+    #[test]
+    fn trailing_flags_and_bare_words_are_rejected() {
+        assert_eq!(
+            parse(&["--qubits"]),
+            Err(CliError::MissingValue("--qubits".into()))
+        );
+        assert_eq!(
+            parse(&["serve"]),
+            Err(CliError::UnexpectedArgument("serve".into()))
+        );
+    }
+
+    #[test]
+    fn non_numeric_counts_are_rejected() {
+        assert_eq!(
+            parse(&["--qubits", "many"]),
+            Err(CliError::BadValue {
+                flag: "--qubits".into(),
+                value: "many".into(),
+            })
+        );
+        assert_eq!(
+            parse(&["--queue=-1"]),
+            Err(CliError::BadValue {
+                flag: "--queue".into(),
+                value: "-1".into(),
+            })
+        );
+    }
+
+    #[test]
+    fn help_wins() {
+        assert_eq!(parse(&["--help"]), Ok(Command::Help));
+        assert_eq!(parse(&["-h"]), Ok(Command::Help));
+        assert_eq!(parse(&["--qubits", "3", "--help"]), Ok(Command::Help));
+    }
+
+    #[test]
+    fn server_config_projection_carries_the_caps() {
+        let options = options(&["--workers=7", "--queue=9", "--max-connections=11"]);
+        let config = options.server_config();
+        assert_eq!(config.workers, 7);
+        assert_eq!(config.queue_capacity, 9);
+        assert_eq!(config.max_connections, 11);
+    }
+}

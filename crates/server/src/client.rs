@@ -1,15 +1,16 @@
-//! A blocking client for the daemon protocol, used by the bench/client
-//! bin, the integration tests, and scripts that prefer a typed API over
-//! raw `nc`.
+//! A blocking client for the daemon's line protocol, used by the
+//! bench/client bin, the integration tests, and scripts that prefer a
+//! typed API over raw `nc` (the HTTP surface needs no client — `curl`
+//! is one).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use accqoc::{PulseCache, ServeReport, VerifyReport};
-use accqoc_circuit::{to_qasm, Circuit};
+use accqoc_circuit::{to_qasm, Circuit, UnitaryKey};
 
 use crate::protocol::{
-    Call, Payload, PrecompileSummary, Request, Response, StatsSnapshot, WireError,
+    Call, LibraryPage, Payload, PrecompileSummary, Request, Response, StatsSnapshot, WireError,
 };
 
 /// Why a call failed, from the client's point of view.
@@ -20,6 +21,16 @@ pub enum ClientError {
     /// The daemon answered with a typed error (busy, malformed, compile
     /// failure, …).
     Remote(WireError),
+    /// The daemon answered a request the client never made: the frame
+    /// was readable but its id is ahead of every request sent on this
+    /// connection. The connection itself stays usable — later calls
+    /// keep their own correlation.
+    MismatchedId {
+        /// The id the pending call was waiting for.
+        expected: u64,
+        /// The id the daemon's frame carried.
+        got: u64,
+    },
     /// The daemon's frame was unreadable, or its payload did not match
     /// the method called.
     Protocol(String),
@@ -30,6 +41,10 @@ impl std::fmt::Display for ClientError {
         match self {
             Self::Io(e) => write!(f, "connection failed: {e}"),
             Self::Remote(e) => write!(f, "daemon refused: {e}"),
+            Self::MismatchedId { expected, got } => write!(
+                f,
+                "response id {got} answers no pending request (expected {expected})"
+            ),
             Self::Protocol(m) => write!(f, "protocol violation: {m}"),
         }
     }
@@ -74,6 +89,8 @@ impl Client {
     /// # Errors
     ///
     /// [`ClientError::Remote`] for typed daemon errors,
+    /// [`ClientError::MismatchedId`] when the daemon answers an id the
+    /// client never sent (the connection stays usable), and
     /// [`ClientError::Io`] / [`ClientError::Protocol`] for transport
     /// problems.
     pub fn call(&mut self, call: Call) -> Result<Payload, ClientError> {
@@ -83,13 +100,16 @@ impl Client {
         self.writer.write_all(request.encode().as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(ClientError::Protocol("daemon closed the connection".into()));
-        }
-        let response = Response::decode(line.trim_end()).map_err(ClientError::Protocol)?;
-        if response.id != id {
+        loop {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(ClientError::Protocol("daemon closed the connection".into()));
+            }
+            let response = Response::decode(line.trim_end()).map_err(ClientError::Protocol)?;
+            if response.id == id {
+                return response.body.map_err(ClientError::Remote);
+            }
             // Id 0 failures are server-initiated refusals sent before any
             // request was read (e.g. the connection-limit `busy` frame) —
             // surface them typed, not as a correlation error.
@@ -98,12 +118,19 @@ impl Client {
                     return Err(ClientError::Remote(e));
                 }
             }
-            return Err(ClientError::Protocol(format!(
-                "response id {} does not match request id {id}",
-                response.id
-            )));
+            if response.id < id {
+                // A stale answer to an abandoned earlier call (its
+                // waiter already errored out): drain it and keep
+                // reading — the stream framing is intact.
+                continue;
+            }
+            // An id from the future answers no request this client ever
+            // sent: typed error; the next call reads past nothing.
+            return Err(ClientError::MismatchedId {
+                expected: id,
+                got: response.id,
+            });
         }
-        response.body.map_err(ClientError::Remote)
     }
 
     /// Serves a program; with `return_pulses` the daemon ships the
@@ -117,11 +144,33 @@ impl Client {
         circuit: &Circuit,
         return_pulses: bool,
     ) -> Result<(ServeReport, Option<PulseCache>), ClientError> {
+        let (report, pulses, _missing) = self.serve_program_full(circuit, return_pulses)?;
+        Ok((report, pulses))
+    }
+
+    /// Like [`Client::serve_program`], but also surfaces the group keys
+    /// whose pulses the daemon could not read back (a capacity-bounded
+    /// library evicted them before the response was cut). Callers that
+    /// persist or replay the returned cache must treat those groups as
+    /// unresolved.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn serve_program_full(
+        &mut self,
+        circuit: &Circuit,
+        return_pulses: bool,
+    ) -> Result<(ServeReport, Option<PulseCache>, Vec<UnitaryKey>), ClientError> {
         match self.call(Call::ServeProgram {
             qasm: to_qasm(circuit),
             return_pulses,
         })? {
-            Payload::Serve { report, pulses } => Ok((report, pulses)),
+            Payload::Serve {
+                report,
+                pulses,
+                missing,
+            } => Ok((report, pulses, missing)),
             other => Err(mismatch("serve_program", &other)),
         }
     }
@@ -164,6 +213,19 @@ impl Client {
         match self.call(Call::Stats)? {
             Payload::Stats(snapshot) => Ok(snapshot),
             other => Err(mismatch("stats", &other)),
+        }
+    }
+
+    /// Fetches one page of library-entry metadata, `limit` entries
+    /// starting `offset` into key order.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn library(&mut self, limit: usize, offset: usize) -> Result<LibraryPage, ClientError> {
+        match self.call(Call::Library { limit, offset })? {
+            Payload::Library(page) => Ok(page),
+            other => Err(mismatch("library", &other)),
         }
     }
 

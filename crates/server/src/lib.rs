@@ -6,12 +6,20 @@
 //! demand; this crate is where that claim meets traffic. A [`Server`]
 //! owns one shared [`accqoc::Session`] (and therefore one fingerprint-
 //! indexed [`accqoc::PulseLibrary`]) and exposes it on a TCP socket
-//! speaking a newline-delimited JSON protocol ([`protocol`]) with five
-//! methods: `serve_program`, `precompile`, `verify_program`, `stats`,
-//! and `shutdown`.
+//! speaking two wire surfaces, auto-detected per connection:
+//!
+//! - the newline-delimited JSON line protocol ([`protocol`]) with six
+//!   methods: `serve_program`, `precompile`, `verify_program`, `stats`,
+//!   `library`, and `shutdown`;
+//! - HTTP/1.1 ([`http`]): `POST /serve`, `POST /precompile`,
+//!   `POST /verify`, `GET /stats`, `GET /library` (limit/offset
+//!   pagination), `POST /shutdown`, with `.json`/`.pretty` format
+//!   suffixes for compact vs indented bodies.
 //!
 //! Everything is `std`-only (this workspace builds offline): the
-//! listener is [`std::net::TcpListener`], the worker pool is the same
+//! transport is a non-blocking event loop over [`std::net::TcpListener`]
+//! (one thread multiplexes every connection, so idle clients cost a
+//! registry entry instead of an OS thread), the worker pool is the same
 //! [`std::thread::scope`] pattern as `accqoc::compile_parallel_with`,
 //! and the wire format reuses `accqoc::json`.
 //!
@@ -54,7 +62,9 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod client;
+pub mod http;
 pub mod inflight;
 pub mod protocol;
 pub mod queue;
@@ -62,7 +72,7 @@ pub mod server;
 
 pub use client::{Client, ClientError};
 pub use protocol::{
-    Call, ErrorCode, Payload, PrecompileSummary, Request, Response, ServerCounters, StatsSnapshot,
-    WireError,
+    Call, ErrorCode, LibraryEntryInfo, LibraryPage, Payload, PrecompileSummary, Request, Response,
+    ServerCounters, StatsSnapshot, WireError,
 };
 pub use server::{Server, ServerConfig};

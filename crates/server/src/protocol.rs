@@ -24,6 +24,29 @@
 
 use accqoc::json::{self, JsonValue};
 use accqoc::{LibraryStats, PulseCache, ServeReport, VerifyReport};
+use accqoc_circuit::UnitaryKey;
+
+/// Default page size of the `library` method when the request names none.
+pub const DEFAULT_LIBRARY_LIMIT: usize = 50;
+/// Hard page-size cap of the `library` method: a larger requested limit
+/// is clamped, never honored (one page must stay a bounded frame).
+pub const MAX_LIBRARY_LIMIT: usize = 500;
+
+pub(crate) fn hex_encode(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+pub(crate) fn hex_decode(text: &str) -> Result<Vec<u8>, String> {
+    if !text.len().is_multiple_of(2) {
+        return Err("odd-length hex string".into());
+    }
+    (0..text.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&text[i..i + 2], 16).map_err(|_| format!("bad hex at byte {i}"))
+        })
+        .collect()
+}
 
 /// Machine-readable failure classes a response can carry. Protocol-level
 /// codes (`malformed_json` … `oversized`) mean the request never reached
@@ -49,6 +72,10 @@ pub enum ErrorCode {
     Qasm,
     /// Pulse compilation or verification failed in the session.
     Compile,
+    /// HTTP: the request path names no route.
+    NotFound,
+    /// HTTP: the route exists but not for the request's method verb.
+    MethodNotAllowed,
     /// Anything else (a bug, by definition).
     Internal,
 }
@@ -65,6 +92,8 @@ impl ErrorCode {
             Self::ShuttingDown => "shutting_down",
             Self::Qasm => "qasm",
             Self::Compile => "compile",
+            Self::NotFound => "not_found",
+            Self::MethodNotAllowed => "method_not_allowed",
             Self::Internal => "internal",
         }
     }
@@ -79,6 +108,8 @@ impl ErrorCode {
             "shutting_down" => Self::ShuttingDown,
             "qasm" => Self::Qasm,
             "compile" => Self::Compile,
+            "not_found" => Self::NotFound,
+            "method_not_allowed" => Self::MethodNotAllowed,
             _ => Self::Internal,
         }
     }
@@ -102,7 +133,7 @@ impl WireError {
         }
     }
 
-    fn to_json_value(&self) -> JsonValue {
+    pub(crate) fn to_json_value(&self) -> JsonValue {
         JsonValue::Object(vec![
             (
                 "code".into(),
@@ -163,6 +194,16 @@ pub enum Call {
     },
     /// Library counters, server counters, and queue depth.
     Stats,
+    /// A page of the live library's entry metadata (key, width, latency,
+    /// pulse shape — not the amplitudes), sorted by key for stable
+    /// pagination.
+    Library {
+        /// Maximum entries in the page (clamped to
+        /// [`MAX_LIBRARY_LIMIT`]).
+        limit: usize,
+        /// Entries to skip (in key order) before the page starts.
+        offset: usize,
+    },
     /// Graceful shutdown: the daemon stops accepting, drains queued
     /// requests, and exits. Handled by the connection thread directly,
     /// so it works even when the admission queue is full.
@@ -176,6 +217,7 @@ impl Call {
             Self::Precompile { .. } => "precompile",
             Self::VerifyProgram { .. } => "verify_program",
             Self::Stats => "stats",
+            Self::Library { .. } => "library",
             Self::Shutdown => "shutdown",
         }
     }
@@ -243,6 +285,10 @@ impl Request {
                 "qasm".into(),
                 JsonValue::String(qasm.clone()),
             )])),
+            Call::Library { limit, offset } => Some(JsonValue::Object(vec![
+                ("limit".into(), JsonValue::Number(*limit as f64)),
+                ("offset".into(), JsonValue::Number(*offset as f64)),
+            ])),
             Call::Stats | Call::Shutdown => None,
         };
         let mut fields = vec![
@@ -329,6 +375,24 @@ impl Request {
                 qasm: param_str("qasm")?,
             },
             "stats" => Call::Stats,
+            "library" => {
+                let param_count = |name: &str, default: usize| match doc
+                    .get("params")
+                    .and_then(|p| p.get(name))
+                {
+                    None => Ok(default),
+                    Some(value) => value.as_usize().ok_or_else(|| {
+                        fail(
+                            ErrorCode::BadParams,
+                            format!("param `{name}` must be a non-negative integer"),
+                        )
+                    }),
+                };
+                Call::Library {
+                    limit: param_count("limit", DEFAULT_LIBRARY_LIMIT)?.min(MAX_LIBRARY_LIMIT),
+                    offset: param_count("offset", 0)?,
+                }
+            }
             "shutdown" => Call::Shutdown,
             other => {
                 return Err(fail(
@@ -429,6 +493,117 @@ pub struct PrecompileSummary {
     pub total_iterations: usize,
 }
 
+/// Metadata of one library entry as the `library` method pages it out
+/// (identity and shape, not the amplitude data — fetch pulses through
+/// `serve_program` with `return_pulses`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibraryEntryInfo {
+    /// The canonical group key, hex-encoded (the same spelling the
+    /// pulse-cache artifact uses).
+    pub key: String,
+    /// Qubits the group spans.
+    pub n_qubits: usize,
+    /// Minimal feasible latency of the stored pulse, nanoseconds.
+    pub latency_ns: f64,
+    /// GRAPE iterations spent compiling the entry.
+    pub iterations: usize,
+    /// Time steps in the stored pulse.
+    pub n_steps: usize,
+}
+
+impl LibraryEntryInfo {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("key".into(), JsonValue::String(self.key.clone())),
+            ("n_qubits".into(), JsonValue::Number(self.n_qubits as f64)),
+            ("latency_ns".into(), JsonValue::Number(self.latency_ns)),
+            (
+                "iterations".into(),
+                JsonValue::Number(self.iterations as f64),
+            ),
+            ("n_steps".into(), JsonValue::Number(self.n_steps as f64)),
+        ])
+    }
+
+    fn from_json_value(value: &JsonValue) -> Result<Self, String> {
+        let count = |name: &str| {
+            value
+                .get(name)
+                .and_then(JsonValue::as_usize)
+                .ok_or_else(|| format!("library entry missing `{name}`"))
+        };
+        Ok(Self {
+            key: value
+                .get("key")
+                .and_then(JsonValue::as_str)
+                .ok_or("library entry missing `key`")?
+                .to_string(),
+            n_qubits: count("n_qubits")?,
+            latency_ns: value
+                .get("latency_ns")
+                .and_then(JsonValue::as_f64)
+                .ok_or("library entry missing `latency_ns`")?,
+            iterations: count("iterations")?,
+            n_steps: count("n_steps")?,
+        })
+    }
+}
+
+/// One page of library entries (the `library` response body). `total`
+/// counts the whole library at snapshot time, so a client pages with
+/// `offset += entries.len()` until `offset >= total`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibraryPage {
+    /// Entries in the library when the page was cut.
+    pub total: usize,
+    /// The page's starting position in key order.
+    pub offset: usize,
+    /// The limit the page was cut with (after clamping).
+    pub limit: usize,
+    /// The page itself, sorted by key.
+    pub entries: Vec<LibraryEntryInfo>,
+}
+
+impl LibraryPage {
+    pub(crate) fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("total".into(), JsonValue::Number(self.total as f64)),
+            ("offset".into(), JsonValue::Number(self.offset as f64)),
+            ("limit".into(), JsonValue::Number(self.limit as f64)),
+            (
+                "entries".into(),
+                JsonValue::Array(
+                    self.entries
+                        .iter()
+                        .map(LibraryEntryInfo::to_json_value)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json_value(value: &JsonValue) -> Result<Self, String> {
+        let count = |name: &str| {
+            value
+                .get(name)
+                .and_then(JsonValue::as_usize)
+                .ok_or_else(|| format!("library page missing `{name}`"))
+        };
+        Ok(Self {
+            total: count("total")?,
+            offset: count("offset")?,
+            limit: count("limit")?,
+            entries: value
+                .get("entries")
+                .and_then(JsonValue::as_array)
+                .ok_or("library page missing `entries`")?
+                .iter()
+                .map(LibraryEntryInfo::from_json_value)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
 /// A successful response body, one variant per method.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Payload {
@@ -438,9 +613,14 @@ pub enum Payload {
         /// The serving report (same counters as in-process).
         report: ServeReport,
         /// The program's unique-group pulses, when
-        /// `return_pulses: true` (entries may be fewer than the report's
-        /// groups if a bounded library evicted one after serving).
+        /// `return_pulses: true`.
         pulses: Option<PulseCache>,
+        /// Group keys the report covers whose pulses could *not* be read
+        /// back — a capacity-bounded library evicted them between the
+        /// serve and the response. Empty with an unbounded library; a
+        /// client that requested pulses must treat these groups as
+        /// unresolved instead of trusting a silently-short cache.
+        missing: Vec<UnitaryKey>,
     },
     /// `precompile`: the category summary.
     Precompile(PrecompileSummary),
@@ -448,8 +628,154 @@ pub enum Payload {
     Verify(VerifyReport),
     /// `stats`: library + server counters.
     Stats(StatsSnapshot),
+    /// `library`: one page of entry metadata.
+    Library(LibraryPage),
     /// `shutdown`: acknowledged; the daemon is draining.
     Shutdown,
+}
+
+impl Payload {
+    /// The wire spelling of the method this payload answers.
+    pub fn method(&self) -> &'static str {
+        match self {
+            Self::Serve { .. } => "serve_program",
+            Self::Precompile(_) => "precompile",
+            Self::Verify(_) => "verify_program",
+            Self::Stats(_) => "stats",
+            Self::Library(_) => "library",
+            Self::Shutdown => "shutdown",
+        }
+    }
+
+    /// The payload's `result` object — shared by the legacy frame
+    /// encoder and the HTTP response body.
+    pub(crate) fn to_json_value(&self) -> JsonValue {
+        match self {
+            Payload::Serve {
+                report,
+                pulses,
+                missing,
+            } => {
+                let mut result = vec![("report".into(), report.to_json_value())];
+                if let Some(cache) = pulses {
+                    let cache_value = json::parse(&cache.to_json())
+                        .expect("pulse cache serializes to valid json");
+                    result.push(("pulses".into(), cache_value));
+                }
+                if !missing.is_empty() {
+                    result.push((
+                        "missing".into(),
+                        JsonValue::Array(
+                            missing
+                                .iter()
+                                .map(|k| JsonValue::String(hex_encode(k.as_bytes())))
+                                .collect(),
+                        ),
+                    ));
+                }
+                JsonValue::Object(result)
+            }
+            Payload::Precompile(s) => JsonValue::Object(vec![
+                ("n_programs".into(), JsonValue::Number(s.n_programs as f64)),
+                (
+                    "n_unique_groups".into(),
+                    JsonValue::Number(s.n_unique_groups as f64),
+                ),
+                (
+                    "total_iterations".into(),
+                    JsonValue::Number(s.total_iterations as f64),
+                ),
+            ]),
+            Payload::Verify(report) => {
+                json::parse(&report.to_json()).expect("verify report serializes to valid json")
+            }
+            Payload::Stats(s) => JsonValue::Object(vec![
+                ("library".into(), s.library.to_json_value()),
+                ("server".into(), s.server.to_json_value()),
+                (
+                    "library_len".into(),
+                    JsonValue::Number(s.library_len as f64),
+                ),
+                (
+                    "queue_depth".into(),
+                    JsonValue::Number(s.queue_depth as f64),
+                ),
+            ]),
+            Payload::Library(page) => page.to_json_value(),
+            Payload::Shutdown => JsonValue::Object(vec![]),
+        }
+    }
+
+    /// Rebuilds a payload from a `(method, result)` pair — shared by the
+    /// legacy frame decoder (and exercised by every response roundtrip
+    /// test).
+    pub(crate) fn from_json_value(method: &str, result: &JsonValue) -> Result<Self, String> {
+        let count = |value: &JsonValue, name: &str| {
+            value
+                .get(name)
+                .and_then(JsonValue::as_usize)
+                .ok_or_else(|| format!("result missing `{name}`"))
+        };
+        Ok(match method {
+            "serve_program" => {
+                let report = result
+                    .get("report")
+                    .ok_or_else(|| "serve result missing `report`".to_string())
+                    .and_then(|r| {
+                        ServeReport::from_json_value(r).map_err(|e| format!("bad report: {e}"))
+                    })?;
+                let pulses = match result.get("pulses") {
+                    Some(value) => Some(
+                        PulseCache::from_json(&value.to_compact())
+                            .map_err(|e| format!("bad pulses: {e}"))?,
+                    ),
+                    None => None,
+                };
+                let missing = match result.get("missing") {
+                    None => Vec::new(),
+                    Some(value) => value
+                        .as_array()
+                        .ok_or("`missing` is not an array")?
+                        .iter()
+                        .map(|k| {
+                            k.as_str()
+                                .ok_or_else(|| "`missing` holds a non-string".to_string())
+                                .and_then(hex_decode)
+                                .map(UnitaryKey::from_bytes)
+                        })
+                        .collect::<Result<_, _>>()?,
+                };
+                Payload::Serve {
+                    report,
+                    pulses,
+                    missing,
+                }
+            }
+            "precompile" => Payload::Precompile(PrecompileSummary {
+                n_programs: count(result, "n_programs")?,
+                n_unique_groups: count(result, "n_unique_groups")?,
+                total_iterations: count(result, "total_iterations")?,
+            }),
+            "verify_program" => Payload::Verify(
+                VerifyReport::from_json(&result.to_compact())
+                    .map_err(|e| format!("bad verify report: {e}"))?,
+            ),
+            "stats" => Payload::Stats(StatsSnapshot {
+                library: LibraryStats::from_json_value(
+                    result.get("library").ok_or("stats missing `library`")?,
+                )
+                .map_err(|e| format!("bad library stats: {e}"))?,
+                server: ServerCounters::from_json_value(
+                    result.get("server").ok_or("stats missing `server`")?,
+                )?,
+                library_len: count(result, "library_len")?,
+                queue_depth: count(result, "queue_depth")?,
+            }),
+            "library" => Payload::Library(LibraryPage::from_json_value(result)?),
+            "shutdown" => Payload::Shutdown,
+            other => return Err(format!("unknown response method `{other}`")),
+        })
+    }
 }
 
 /// One response frame: the echoed request id and either a typed payload
@@ -496,54 +822,11 @@ impl Response {
         match &self.body {
             Ok(payload) => {
                 fields.push(("ok".into(), JsonValue::Bool(true)));
-                let (method, result) = match payload {
-                    Payload::Serve { report, pulses } => {
-                        let mut result = vec![("report".into(), report.to_json_value())];
-                        if let Some(cache) = pulses {
-                            let cache_value = json::parse(&cache.to_json())
-                                .expect("pulse cache serializes to valid json");
-                            result.push(("pulses".into(), cache_value));
-                        }
-                        ("serve_program", JsonValue::Object(result))
-                    }
-                    Payload::Precompile(s) => (
-                        "precompile",
-                        JsonValue::Object(vec![
-                            ("n_programs".into(), JsonValue::Number(s.n_programs as f64)),
-                            (
-                                "n_unique_groups".into(),
-                                JsonValue::Number(s.n_unique_groups as f64),
-                            ),
-                            (
-                                "total_iterations".into(),
-                                JsonValue::Number(s.total_iterations as f64),
-                            ),
-                        ]),
-                    ),
-                    Payload::Verify(report) => (
-                        "verify_program",
-                        json::parse(&report.to_json())
-                            .expect("verify report serializes to valid json"),
-                    ),
-                    Payload::Stats(s) => (
-                        "stats",
-                        JsonValue::Object(vec![
-                            ("library".into(), s.library.to_json_value()),
-                            ("server".into(), s.server.to_json_value()),
-                            (
-                                "library_len".into(),
-                                JsonValue::Number(s.library_len as f64),
-                            ),
-                            (
-                                "queue_depth".into(),
-                                JsonValue::Number(s.queue_depth as f64),
-                            ),
-                        ]),
-                    ),
-                    Payload::Shutdown => ("shutdown", JsonValue::Object(vec![])),
-                };
-                fields.push(("method".into(), JsonValue::String(method.to_string())));
-                fields.push(("result".into(), result));
+                fields.push((
+                    "method".into(),
+                    JsonValue::String(payload.method().to_string()),
+                ));
+                fields.push(("result".into(), payload.to_json_value()));
             }
             Err(error) => {
                 fields.push(("ok".into(), JsonValue::Bool(false)));
@@ -584,55 +867,9 @@ impl Response {
         let result = doc
             .get("result")
             .ok_or("success response missing `result`")?;
-        let count = |value: &JsonValue, name: &str| {
-            value
-                .get(name)
-                .and_then(JsonValue::as_usize)
-                .ok_or_else(|| format!("result missing `{name}`"))
-        };
-        let payload = match method {
-            "serve_program" => {
-                let report = result
-                    .get("report")
-                    .ok_or_else(|| "serve result missing `report`".to_string())
-                    .and_then(|r| {
-                        ServeReport::from_json_value(r).map_err(|e| format!("bad report: {e}"))
-                    })?;
-                let pulses = match result.get("pulses") {
-                    Some(value) => Some(
-                        PulseCache::from_json(&value.to_compact())
-                            .map_err(|e| format!("bad pulses: {e}"))?,
-                    ),
-                    None => None,
-                };
-                Payload::Serve { report, pulses }
-            }
-            "precompile" => Payload::Precompile(PrecompileSummary {
-                n_programs: count(result, "n_programs")?,
-                n_unique_groups: count(result, "n_unique_groups")?,
-                total_iterations: count(result, "total_iterations")?,
-            }),
-            "verify_program" => Payload::Verify(
-                VerifyReport::from_json(&result.to_compact())
-                    .map_err(|e| format!("bad verify report: {e}"))?,
-            ),
-            "stats" => Payload::Stats(StatsSnapshot {
-                library: LibraryStats::from_json_value(
-                    result.get("library").ok_or("stats missing `library`")?,
-                )
-                .map_err(|e| format!("bad library stats: {e}"))?,
-                server: ServerCounters::from_json_value(
-                    result.get("server").ok_or("stats missing `server`")?,
-                )?,
-                library_len: count(result, "library_len")?,
-                queue_depth: count(result, "queue_depth")?,
-            }),
-            "shutdown" => Payload::Shutdown,
-            other => return Err(format!("unknown response method `{other}`")),
-        };
         Ok(Self {
             id,
-            body: Ok(payload),
+            body: Ok(Payload::from_json_value(method, result)?),
         })
     }
 }
@@ -655,6 +892,10 @@ mod tests {
                 qasm: "qreg q[1]; x q[0];".into(),
             },
             Call::Stats,
+            Call::Library {
+                limit: 25,
+                offset: 100,
+            },
             Call::Shutdown,
         ];
         for (i, call) in calls.into_iter().enumerate() {
@@ -723,6 +964,8 @@ mod tests {
             ErrorCode::ShuttingDown,
             ErrorCode::Qasm,
             ErrorCode::Compile,
+            ErrorCode::NotFound,
+            ErrorCode::MethodNotAllowed,
             ErrorCode::Internal,
         ] {
             let r = Response::failure(1, code, "detail");
@@ -740,6 +983,105 @@ mod tests {
         assert!(
             Response::decode(r#"{"id": 1, "ok": true, "method": "nope", "result": {}}"#).is_err()
         );
+    }
+
+    #[test]
+    fn library_call_defaults_and_clamps() {
+        let call = Request::decode(r#"{"id": 1, "method": "library"}"#)
+            .unwrap()
+            .call;
+        assert_eq!(
+            call,
+            Call::Library {
+                limit: DEFAULT_LIBRARY_LIMIT,
+                offset: 0
+            }
+        );
+        let call = Request::decode(r#"{"id": 1, "method": "library", "params": {"limit": 9999}}"#)
+            .unwrap()
+            .call;
+        assert_eq!(
+            call,
+            Call::Library {
+                limit: MAX_LIBRARY_LIMIT,
+                offset: 0
+            }
+        );
+        let e = Request::decode(r#"{"id": 1, "method": "library", "params": {"limit": "ten"}}"#)
+            .unwrap_err();
+        assert_eq!(e.error.code, ErrorCode::BadParams);
+    }
+
+    #[test]
+    fn library_page_roundtrips() {
+        let r = Response {
+            id: 5,
+            body: Ok(Payload::Library(LibraryPage {
+                total: 12,
+                offset: 10,
+                limit: 50,
+                entries: vec![LibraryEntryInfo {
+                    key: "00ff10".into(),
+                    n_qubits: 2,
+                    latency_ns: 42.5,
+                    iterations: 300,
+                    n_steps: 17,
+                }],
+            })),
+        };
+        assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+    }
+
+    fn empty_serve_report() -> ServeReport {
+        ServeReport {
+            overall_latency_ns: 10.0,
+            gate_based_latency_ns: 20.0,
+            coverage: accqoc::CoverageStats {
+                covered: 0,
+                total: 0,
+            },
+            groups: vec![],
+            n_compiled: 0,
+            n_warm_started: 0,
+            dynamic_iterations: 0,
+        }
+    }
+
+    #[test]
+    fn serve_missing_keys_roundtrip_and_absent_by_default() {
+        let r = Response {
+            id: 1,
+            body: Ok(Payload::Serve {
+                report: empty_serve_report(),
+                pulses: None,
+                missing: vec![UnitaryKey::from_bytes(vec![0, 255, 16])],
+            }),
+        };
+        let line = r.encode();
+        assert!(line.contains("\"missing\""), "{line}");
+        assert!(line.contains("\"00ff10\""), "{line}");
+        assert_eq!(Response::decode(&line).unwrap(), r);
+
+        // No missing keys → no `missing` field on the wire.
+        let r_empty = Response {
+            id: 1,
+            body: Ok(Payload::Serve {
+                report: empty_serve_report(),
+                pulses: None,
+                missing: vec![],
+            }),
+        };
+        let line = r_empty.encode();
+        assert!(!line.contains("\"missing\""), "{line}");
+        assert_eq!(Response::decode(&line).unwrap(), r_empty);
+    }
+
+    #[test]
+    fn hex_helpers_roundtrip() {
+        let bytes = vec![0u8, 1, 15, 16, 127, 128, 255];
+        assert_eq!(hex_decode(&hex_encode(&bytes)).unwrap(), bytes);
+        assert!(hex_decode("0").is_err(), "odd length");
+        assert!(hex_decode("zz").is_err(), "non-hex");
     }
 
     #[test]

@@ -1,39 +1,59 @@
-//! The daemon itself: accept loop, per-connection reader threads, and
-//! the worker pool, all inside one [`std::thread::scope`].
+//! The daemon itself: a non-blocking event loop multiplexing every
+//! connection on one thread, feeding a fixed worker pool.
 //!
 //! # Request lifecycle
 //!
 //! ```text
-//! accept ── connection thread ── admit (bounded queue) ── worker
-//!                │                    │ full → busy error     │
-//!                │                    ▼                       ▼
-//!                │               typed reject          coalesce (claim
-//!                │                                     in-flight groups)
-//!                │                                           │
-//!                ▼                                           ▼
-//!           write response  ◄──────── mpsc ◄────── library resolve
-//!                                                   (hit / warm / scratch)
+//! accept ── event loop ── parse frame ── admit (bounded queue) ── worker
+//!   (non-      │           (legacy line       │ full → busy         │
+//!    blocking) │            or HTTP/1.1,      ▼                     ▼
+//!              │            auto-detected) typed reject      coalesce (claim
+//!              │                                             in-flight groups)
+//!              ▼                                                   │
+//!         write buffers  ◄──── completion mpsc ◄───── library resolve
+//!         (ordered per connection)              (hit / warm / scratch)
 //! ```
 //!
-//! The accept loop only accepts and spawns; it never parses, queues, or
-//! compiles, so a full queue or a slow compile cannot stall new
-//! connections (they get typed `busy` rejections instead). Shutdown is
-//! graceful: the flag flips, the accept loop is woken by a loopback
-//! connect, admission closes, queued work drains, and every thread joins
-//! before [`Server::run`] returns.
+//! One event-loop thread owns the listener and every socket
+//! (`set_nonblocking` + a tick-polled registry — this workspace builds
+//! offline and `std` exposes no `epoll`, so readiness is polled at
+//! [`ServerConfig::poll_interval`] and worker completions double as
+//! wake-ups). Each connection is a read/write state machine: partial
+//! frames buffer until complete, responses buffer until the socket
+//! accepts them, and per-connection sequence numbers keep pipelined
+//! responses in request order even when workers finish out of order.
+//! Idle connections therefore cost a registry entry, not an OS thread —
+//! the thread budget is `1 + workers` regardless of connection count.
+//!
+//! The first bytes of a connection select its protocol: `{` (or any
+//! non-HTTP first line) means the newline-delimited JSON line protocol,
+//! an HTTP method verb means HTTP/1.1 ([`crate::http`]). Both surfaces
+//! execute the same [`Call`]s through the same admission queue
+//! ([`crate::queue::BoundedQueue`]) and in-flight coalescing
+//! ([`InflightGroups`]); only the framing differs.
+//!
+//! Shutdown is graceful and needs no self-connect wake hack (the old
+//! blocking accept loop had to `connect(local_addr)` to wake itself,
+//! which broke when the daemon bound `0.0.0.0`): the event loop flips a
+//! local flag, stops accepting, closes admission, and exits once every
+//! pending response is flushed. Worker threads join when the queue
+//! drains.
 
+use std::collections::{BTreeMap, HashMap};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use accqoc::{PrecompileOrder, PulseCache, Session};
-use accqoc_circuit::parse_qasm;
+use accqoc::{CachedPulse, PrecompileOrder, PulseCache, Session};
+use accqoc_circuit::{parse_qasm, UnitaryKey};
 
+use crate::http::{self, Format, HttpParse};
 use crate::inflight::InflightGroups;
 use crate::protocol::{
-    Call, ErrorCode, Payload, PrecompileSummary, Request, Response, ServerCounters, StatsSnapshot,
+    hex_encode, Call, ErrorCode, LibraryEntryInfo, LibraryPage, Payload, PrecompileSummary,
+    Request, Response, ServerCounters, StatsSnapshot,
 };
 use crate::queue::{BoundedQueue, EnqueueError};
 
@@ -46,22 +66,26 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Admission-queue capacity: requests pending beyond the workers'
     /// in-flight set. A full queue rejects with a typed `busy` error —
-    /// it never blocks the accept loop or the connection threads.
+    /// it never blocks the event loop.
     pub queue_capacity: usize,
     /// Concurrent client connections; further connects receive a `busy`
     /// error frame and are closed immediately.
     pub max_connections: usize,
-    /// Request-frame size cap in bytes. A longer line gets a typed
-    /// `oversized` error and the connection is closed (framing cannot be
-    /// trusted past an unbounded line).
+    /// Request-frame size cap in bytes: one legacy line, or one HTTP
+    /// header block / body. A bigger frame gets a typed `oversized`
+    /// error and the connection is closed (framing cannot be trusted
+    /// past an unbounded frame).
     pub max_line_bytes: usize,
-    /// How often idle connection readers wake to check the shutdown
-    /// flag. Lower is snappier shutdown, higher is fewer wakeups.
+    /// The event loop's idle tick: how long it sleeps when no socket has
+    /// data and no worker has completed. Worker completions wake the
+    /// loop immediately regardless, so this bounds only the latency of
+    /// *new* bytes being noticed.
     pub poll_interval: Duration,
-    /// Socket write timeout per response frame. A client that stops
+    /// Write-progress timeout per connection. A client that stops
     /// reading (TCP backpressure on a large pulse payload) gets its
-    /// connection dropped after this long instead of pinning a
-    /// connection thread — and with it graceful shutdown — forever.
+    /// connection dropped after this long without accepting a byte,
+    /// instead of pinning its buffered responses — and graceful
+    /// shutdown — forever.
     pub write_timeout: Duration,
 }
 
@@ -70,9 +94,9 @@ impl Default for ServerConfig {
         Self {
             workers: 2,
             queue_capacity: 64,
-            max_connections: 64,
+            max_connections: 1024,
             max_line_bytes: 4 << 20,
-            poll_interval: Duration::from_millis(50),
+            poll_interval: Duration::from_millis(1),
             write_timeout: Duration::from_secs(30),
         }
     }
@@ -99,96 +123,201 @@ impl CounterCells {
             coalesced_waits: self.coalesced_waits.load(Ordering::Relaxed),
         }
     }
+
+    fn bump(&self, cell: &AtomicU64) {
+        cell.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
-/// A request admitted to the worker queue, with the channel its encoded
-/// response travels back on.
+/// How a response must be framed back to its connection.
+#[derive(Debug, Clone, Copy)]
+enum RenderMode {
+    /// One compact-JSON line, `\n`-terminated.
+    Legacy,
+    /// A full HTTP/1.1 response with the negotiated body format.
+    Http { format: Format, keep_alive: bool },
+}
+
+fn render_response(response: &Response, mode: RenderMode) -> Vec<u8> {
+    match mode {
+        RenderMode::Legacy => {
+            let mut bytes = response.encode().into_bytes();
+            bytes.push(b'\n');
+            bytes
+        }
+        RenderMode::Http { format, keep_alive } => match &response.body {
+            Ok(payload) => http::render_success(payload, format, keep_alive),
+            Err(error) => http::render_error(error, format, keep_alive),
+        },
+    }
+}
+
+/// A request admitted to the worker queue.
 struct Job {
+    /// The connection the response belongs to.
+    token: u64,
+    /// Position in that connection's response order.
+    seq: u64,
+    /// Legacy correlation id (0 for HTTP requests, which correlate by
+    /// order alone).
     id: u64,
     call: Call,
-    respond: mpsc::Sender<String>,
+    mode: RenderMode,
 }
 
-/// One frame from a connection, or the reason there is none.
-enum Frame {
-    /// A complete line (delimiter stripped).
-    Line(String),
-    /// The read timed out — poll the shutdown flag and retry.
-    Timeout,
-    /// The line grew past the size cap.
-    Oversized,
-    /// The peer is gone; `partial` is `true` when it vanished
-    /// mid-frame (a truncated request).
-    Eof {
-        /// Unterminated bytes were pending when the peer left.
-        partial: bool,
-    },
+/// A finished job: rendered bytes ready to slot into the connection's
+/// ordered write stream.
+struct Completion {
+    token: u64,
+    seq: u64,
+    bytes: Vec<u8>,
 }
 
-/// Incremental newline framing over a blocking socket with a read
-/// timeout: accumulates bytes, yields complete lines, and classifies
-/// every exit condition the connection loop must distinguish.
-struct LineReader<R> {
-    inner: R,
-    pending: Vec<u8>,
-    max_line_bytes: usize,
+/// Which protocol a connection speaks, decided by its first bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Nothing conclusive read yet.
+    Detect,
+    /// Newline-delimited JSON frames.
+    Legacy,
+    /// HTTP/1.1.
+    Http,
 }
 
-impl<R: Read> LineReader<R> {
-    fn new(inner: R, max_line_bytes: usize) -> Self {
+/// One connection's read/write state machine.
+struct Conn {
+    stream: TcpStream,
+    mode: Mode,
+    read_buf: Vec<u8>,
+    /// Buffered response bytes not yet accepted by the socket.
+    write_buf: Vec<u8>,
+    /// Prefix of `write_buf` already written.
+    written: usize,
+    /// Next sequence number to assign to an incoming request.
+    next_seq: u64,
+    /// Next sequence number to move into `write_buf` (responses deliver
+    /// strictly in request order, whatever order workers finish in).
+    next_flush: u64,
+    /// Completed responses waiting for their turn in the order.
+    ready: BTreeMap<u64, Vec<u8>>,
+    /// Requests dispatched to the worker pool, not yet completed.
+    pending: usize,
+    /// No more input will be consumed (EOF, framing violation, or
+    /// `Connection: close`).
+    reads_closed: bool,
+    /// Drop the connection once everything pending has been flushed.
+    close_when_flushed: bool,
+    /// The peer hung up.
+    eof: bool,
+    /// Last instant the socket accepted bytes (write-stall detection).
+    last_progress: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
         Self {
-            inner,
-            pending: Vec::new(),
-            max_line_bytes,
+            stream,
+            mode: Mode::Detect,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            next_seq: 0,
+            next_flush: 0,
+            ready: BTreeMap::new(),
+            pending: 0,
+            reads_closed: false,
+            close_when_flushed: false,
+            eof: false,
+            last_progress: Instant::now(),
         }
     }
 
-    fn next_frame(&mut self) -> Frame {
+    fn alloc_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Queues an already-rendered response at the next sequence slot
+    /// (the inline-handled path: protocol errors, busy rejections,
+    /// shutdown acks).
+    fn push_inline(&mut self, bytes: Vec<u8>) {
+        let seq = self.alloc_seq();
+        self.ready.insert(seq, bytes);
+    }
+
+    /// Stops consuming input and marks the connection for close once
+    /// everything already in flight has been answered and flushed.
+    fn finish_reads(&mut self) {
+        self.reads_closed = true;
+        self.close_when_flushed = true;
+    }
+
+    /// Pulls whatever is readable off the socket into `read_buf`.
+    fn fill_read_buf(&mut self) {
+        let mut chunk = [0u8; 8192];
         loop {
-            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
-                if pos > self.max_line_bytes {
-                    return Frame::Oversized;
-                }
-                let mut line: Vec<u8> = self.pending.drain(..=pos).collect();
-                line.pop();
-                if line.last() == Some(&b'\r') {
-                    line.pop();
-                }
-                return Frame::Line(String::from_utf8_lossy(&line).into_owned());
-            }
-            if self.pending.len() > self.max_line_bytes {
-                return Frame::Oversized;
-            }
-            let mut chunk = [0u8; 8192];
-            match self.inner.read(&mut chunk) {
+            match self.stream.read(&mut chunk) {
                 Ok(0) => {
-                    return Frame::Eof {
-                        partial: !self.pending.is_empty(),
-                    }
+                    self.eof = true;
+                    return;
                 }
-                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
+                Ok(n) => self.read_buf.extend_from_slice(&chunk[..n]),
                 Err(e) => match e.kind() {
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
-                        return Frame::Timeout
-                    }
+                    std::io::ErrorKind::WouldBlock => return,
                     std::io::ErrorKind::Interrupted => continue,
-                    // Reset/abort mid-stream is a disconnect; pending
-                    // bytes mean it happened mid-request.
+                    // Reset/abort mid-stream is a disconnect.
                     _ => {
-                        return Frame::Eof {
-                            partial: !self.pending.is_empty(),
-                        }
+                        self.eof = true;
+                        return;
                     }
                 },
             }
         }
     }
-}
 
-fn write_frame(stream: &mut (impl Write + ?Sized), line: &str) -> std::io::Result<()> {
-    stream.write_all(line.as_bytes())?;
-    stream.write_all(b"\n")?;
-    stream.flush()
+    /// Moves in-order completed responses into the write buffer.
+    fn promote_ready(&mut self) {
+        while let Some(bytes) = self.ready.remove(&self.next_flush) {
+            self.write_buf.extend_from_slice(&bytes);
+            self.next_flush += 1;
+        }
+    }
+
+    /// Writes as much buffered output as the socket accepts. Returns
+    /// `false` when the connection must be dropped (broken pipe, write
+    /// stall past the timeout, or an ordered close point reached).
+    fn flush(&mut self, write_timeout: Duration) -> bool {
+        while self.written < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.written..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    self.written += n;
+                    self.last_progress = Instant::now();
+                }
+                Err(e) => match e.kind() {
+                    std::io::ErrorKind::WouldBlock => {
+                        // Backpressure: give up the tick, but not forever.
+                        return self.last_progress.elapsed() <= write_timeout;
+                    }
+                    std::io::ErrorKind::Interrupted => continue,
+                    _ => return false,
+                },
+            }
+        }
+        self.write_buf.clear();
+        self.written = 0;
+        let fully_answered = self.pending == 0 && self.ready.is_empty();
+        if fully_answered && (self.close_when_flushed || self.eof) {
+            return false;
+        }
+        true
+    }
+
+    /// `true` when nothing is owed to this connection.
+    fn is_drained(&self) -> bool {
+        self.pending == 0 && self.ready.is_empty() && self.written >= self.write_buf.len()
+    }
 }
 
 /// The pulse-serving daemon: a TCP listener over one shared
@@ -196,7 +325,7 @@ fn write_frame(stream: &mut (impl Write + ?Sized), line: &str) -> std::io::Resul
 ///
 /// Built with [`Server::bind`] (so the OS-assigned port is known before
 /// [`Server::run`] blocks), it serves until a client sends the
-/// `shutdown` method.
+/// `shutdown` method (or `POST /shutdown`).
 #[derive(Debug)]
 pub struct Server {
     session: Arc<Session>,
@@ -235,226 +364,420 @@ impl Server {
     }
 
     /// Serves until a `shutdown` request arrives, then drains and
-    /// returns the final counters. All worker and connection threads are
-    /// joined before this returns.
+    /// returns the final counters. All worker threads are joined before
+    /// this returns.
     ///
     /// # Errors
     ///
     /// Propagates listener failures that make accepting impossible.
     pub fn run(&self) -> std::io::Result<ServerCounters> {
+        self.listener.set_nonblocking(true)?;
         let workers = self.config.workers.max(1);
         let queue: BoundedQueue<Job> = BoundedQueue::new(self.config.queue_capacity);
         let inflight = InflightGroups::new();
         let counters = CounterCells::default();
-        let shutdown = AtomicBool::new(false);
-        let active_connections = AtomicUsize::new(0);
-        let session = &self.session;
+        let session: &Session = &self.session;
+        let (done_tx, done_rx) = mpsc::channel::<Completion>();
 
         std::thread::scope(|scope| -> std::io::Result<()> {
+            let queue = &queue;
+            let inflight = &inflight;
+            let counters = &counters;
             for _ in 0..workers {
-                scope.spawn(|| {
+                let done = done_tx.clone();
+                scope.spawn(move || {
                     while let Some(job) = queue.pop() {
                         // Counted at pickup so a request's own `stats`
                         // snapshot includes itself.
-                        counters.requests_served.fetch_add(1, Ordering::Relaxed);
+                        counters.bump(&counters.requests_served);
                         let response =
-                            handle_call(job.id, job.call, session, &inflight, &queue, &counters);
+                            handle_call(job.id, job.call, session, inflight, queue, counters);
+                        let bytes = render_response(&response, job.mode);
                         // A vanished client is not a daemon problem.
-                        job.respond.send(response.encode()).ok();
+                        done.send(Completion {
+                            token: job.token,
+                            seq: job.seq,
+                            bytes,
+                        })
+                        .ok();
                     }
                 });
             }
 
-            loop {
-                let (stream, _) = match self.listener.accept() {
-                    Ok(accepted) => accepted,
-                    Err(e)
-                        if matches!(
-                            e.kind(),
-                            std::io::ErrorKind::Interrupted
-                                | std::io::ErrorKind::ConnectionAborted
-                                | std::io::ErrorKind::ConnectionReset
-                        ) =>
-                    {
-                        // A peer that vanished mid-handshake is not a
-                        // listener failure.
-                        continue;
-                    }
-                    Err(e) => {
-                        if shutdown.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        // Fatal listener failure: flip the shutdown flag
-                        // so every connection thread's poll tick exits —
-                        // otherwise the scope below never joins and this
-                        // error never propagates.
-                        shutdown.store(true, Ordering::SeqCst);
-                        queue.close();
-                        return Err(e);
-                    }
-                };
-                if shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                counters
-                    .connections_accepted
-                    .fetch_add(1, Ordering::Relaxed);
-                if active_connections.load(Ordering::SeqCst) >= self.config.max_connections {
-                    counters
-                        .connections_rejected
-                        .fetch_add(1, Ordering::Relaxed);
-                    let mut stream = stream;
-                    // The frame is tiny (fits any socket buffer), but a
-                    // timeout keeps a pathological peer from stalling
-                    // the accept loop on this write.
-                    stream
-                        .set_write_timeout(Some(self.config.write_timeout))
-                        .ok();
-                    let refusal = Response::failure(
-                        0,
-                        ErrorCode::Busy,
-                        format!("connection limit reached ({})", self.config.max_connections),
-                    );
-                    write_frame(&mut stream, &refusal.encode()).ok();
-                    continue;
-                }
-                active_connections.fetch_add(1, Ordering::SeqCst);
-                let queue = &queue;
-                let counters = &counters;
-                let shutdown = &shutdown;
-                let active = &active_connections;
-                let config = &self.config;
-                let local_addr = self.local_addr;
-                scope.spawn(move || {
-                    connection_loop(stream, queue, counters, shutdown, config, local_addr);
-                    active.fetch_sub(1, Ordering::SeqCst);
-                });
-            }
+            // Workers hold the only senders now: the receiver reports
+            // Disconnected exactly when the whole pool has exited.
+            drop(done_tx);
+            let mut event_loop = EventLoop {
+                listener: &self.listener,
+                config: &self.config,
+                queue,
+                counters,
+                done_rx,
+                conns: HashMap::new(),
+                next_token: 0,
+                draining: false,
+            };
+            let result = event_loop.run();
+            // Whatever happened, release the workers so the scope joins.
             queue.close();
-            Ok(())
+            result
         })?;
         Ok(counters.snapshot())
     }
 }
 
-/// Reads frames off one connection until the peer leaves, a framing
-/// violation forces a close, or shutdown drains the daemon.
-fn connection_loop(
-    stream: TcpStream,
-    queue: &BoundedQueue<Job>,
-    counters: &CounterCells,
-    shutdown: &AtomicBool,
-    config: &ServerConfig,
-    local_addr: SocketAddr,
-) {
-    stream.set_read_timeout(Some(config.poll_interval)).ok();
-    stream.set_write_timeout(Some(config.write_timeout)).ok();
-    stream.set_nodelay(true).ok();
-    let mut reader = LineReader::new(&stream, config.max_line_bytes);
-    let mut writer = &stream;
-    loop {
-        match reader.next_frame() {
-            Frame::Timeout => {
-                if shutdown.load(Ordering::SeqCst) {
-                    return;
+/// The single-threaded reactor: accepts, reads, frames, dispatches, and
+/// flushes every connection.
+struct EventLoop<'a> {
+    listener: &'a TcpListener,
+    config: &'a ServerConfig,
+    queue: &'a BoundedQueue<Job>,
+    counters: &'a CounterCells,
+    done_rx: mpsc::Receiver<Completion>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    draining: bool,
+}
+
+impl EventLoop<'_> {
+    fn run(&mut self) -> std::io::Result<()> {
+        loop {
+            while let Ok(done) = self.done_rx.try_recv() {
+                self.complete(done);
+            }
+            if !self.draining {
+                self.accept_ready()?;
+            }
+            let tokens: Vec<u64> = self.conns.keys().copied().collect();
+            for token in tokens {
+                if let Some(mut conn) = self.conns.remove(&token) {
+                    if self.service(token, &mut conn) {
+                        self.conns.insert(token, conn);
+                    }
                 }
             }
-            Frame::Eof { partial } => {
-                if partial {
-                    // Truncated frame: the client died mid-request. The
-                    // daemon just notes it and moves on.
-                    counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                }
-                return;
+            if self.draining && self.conns.values().all(Conn::is_drained) {
+                return Ok(());
             }
-            Frame::Oversized => {
-                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                let response = Response::failure(
-                    0,
-                    ErrorCode::Oversized,
-                    format!("request line exceeds {} bytes", config.max_line_bytes),
-                );
-                write_frame(&mut writer, &response.encode()).ok();
-                return;
-            }
-            Frame::Line(line) => {
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let request = match Request::decode(&line) {
-                    Ok(request) => request,
-                    Err(decode) => {
-                        counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                        let response = Response {
-                            id: decode.id,
-                            body: Err(decode.error),
-                        };
-                        if write_frame(&mut writer, &response.encode()).is_err() {
-                            return;
-                        }
-                        continue;
+            // Sleep until the next worker completion or the idle tick,
+            // whichever comes first — completions are the common wake.
+            match self.done_rx.recv_timeout(self.config.poll_interval) {
+                Ok(done) => self.complete(done),
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    // Workers only exit once the queue closes; if they
+                    // are gone outside a drain, the pool died under us.
+                    if self.draining {
+                        return Ok(());
                     }
-                };
-                let response_line = match request.call {
-                    Call::Shutdown => {
-                        // Handled here, not in the pool: shutdown must
-                        // work even when the queue is saturated.
-                        let response = Response {
-                            id: request.id,
-                            body: Ok(Payload::Shutdown),
-                        };
-                        write_frame(&mut writer, &response.encode()).ok();
-                        shutdown.store(true, Ordering::SeqCst);
-                        // Wake the blocking accept() so the loop can exit.
-                        TcpStream::connect(local_addr).ok();
-                        return;
-                    }
-                    call => {
-                        let (tx, rx) = mpsc::channel();
-                        let job = Job {
-                            id: request.id,
-                            call,
-                            respond: tx,
-                        };
-                        match queue.try_push(job) {
-                            Ok(()) => match rx.recv() {
-                                Ok(line) => line,
-                                Err(_) => Response::failure(
-                                    request.id,
-                                    ErrorCode::ShuttingDown,
-                                    "daemon is draining",
-                                )
-                                .encode(),
-                            },
-                            Err(EnqueueError::Full) => {
-                                counters
-                                    .requests_rejected_busy
-                                    .fetch_add(1, Ordering::Relaxed);
-                                Response::failure(
-                                    request.id,
-                                    ErrorCode::Busy,
-                                    format!(
-                                        "admission queue full ({} pending)",
-                                        config.queue_capacity
-                                    ),
-                                )
-                                .encode()
-                            }
-                            Err(EnqueueError::Closed) => Response::failure(
-                                request.id,
-                                ErrorCode::ShuttingDown,
-                                "daemon is draining",
-                            )
-                            .encode(),
-                        }
-                    }
-                };
-                if write_frame(&mut writer, &response_line).is_err() {
-                    return;
+                    return Err(std::io::Error::other("worker pool exited unexpectedly"));
                 }
             }
         }
     }
+
+    /// Slots a finished job's bytes into its connection's order (the
+    /// connection may have dropped meanwhile — then the work is moot).
+    fn complete(&mut self, done: Completion) {
+        if let Some(conn) = self.conns.get_mut(&done.token) {
+            conn.pending -= 1;
+            conn.ready.insert(done.seq, done.bytes);
+        }
+    }
+
+    /// Accepts every connection the backlog holds right now.
+    fn accept_ready(&mut self) -> std::io::Result<()> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.conns.len() >= self.config.max_connections {
+                        // Refused, therefore never accepted: only the
+                        // rejection counter moves.
+                        self.counters.bump(&self.counters.connections_rejected);
+                        refuse(stream, self.config);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    stream.set_nodelay(true).ok();
+                    self.counters.bump(&self.counters.connections_accepted);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.conns.insert(token, Conn::new(stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::Interrupted
+                            | std::io::ErrorKind::ConnectionAborted
+                            | std::io::ErrorKind::ConnectionReset
+                    ) =>
+                {
+                    // A peer that vanished mid-handshake is not a
+                    // listener failure.
+                    continue;
+                }
+                // Fatal listener failure: propagate; the caller drains.
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One full service pass over a connection: read, frame, dispatch,
+    /// and flush. Returns `false` when the connection is done.
+    fn service(&mut self, token: u64, conn: &mut Conn) -> bool {
+        if !conn.reads_closed {
+            conn.fill_read_buf();
+            self.process_input(token, conn);
+        }
+        conn.promote_ready();
+        conn.flush(self.config.write_timeout)
+    }
+
+    /// Consumes as many complete frames as `read_buf` holds.
+    fn process_input(&mut self, token: u64, conn: &mut Conn) {
+        loop {
+            if conn.reads_closed {
+                return;
+            }
+            let more = match conn.mode {
+                Mode::Detect => self.detect_protocol(conn),
+                Mode::Legacy => self.process_legacy(token, conn),
+                Mode::Http => self.process_http(token, conn),
+            };
+            if !more {
+                return;
+            }
+        }
+    }
+
+    /// Decides the connection's protocol from its first bytes. Returns
+    /// `true` when a mode was selected and input processing should
+    /// continue.
+    fn detect_protocol(&mut self, conn: &mut Conn) -> bool {
+        // Blank lines before the first frame are tolerated on both
+        // surfaces.
+        let skip = conn
+            .read_buf
+            .iter()
+            .take_while(|&&b| b == b'\r' || b == b'\n')
+            .count();
+        if skip > 0 {
+            conn.read_buf.drain(..skip);
+        }
+        if conn.read_buf.is_empty() {
+            if conn.eof {
+                conn.finish_reads();
+            }
+            return false;
+        }
+        if conn.read_buf[0] == b'{' {
+            conn.mode = Mode::Legacy;
+            return true;
+        }
+        if http::looks_like_http(&conn.read_buf) {
+            conn.mode = Mode::Http;
+            return true;
+        }
+        if conn.read_buf.contains(&b'\n') {
+            // A complete first line that is neither JSON nor HTTP: let
+            // the legacy decoder answer it with a typed malformed_json,
+            // exactly as the line-protocol daemon always has.
+            conn.mode = Mode::Legacy;
+            return true;
+        }
+        if conn.read_buf.len() > self.config.max_line_bytes {
+            self.legacy_violation(
+                conn,
+                ErrorCode::Oversized,
+                format!("request line exceeds {} bytes", self.config.max_line_bytes),
+            );
+            return false;
+        }
+        if conn.eof {
+            // Truncated garbage, then gone.
+            self.counters.bump(&self.counters.protocol_errors);
+            conn.finish_reads();
+        }
+        false
+    }
+
+    /// Frames and dispatches one legacy line, if complete. Returns
+    /// `true` when another frame may follow immediately.
+    fn process_legacy(&mut self, token: u64, conn: &mut Conn) -> bool {
+        let Some(pos) = conn.read_buf.iter().position(|&b| b == b'\n') else {
+            if conn.read_buf.len() > self.config.max_line_bytes {
+                self.legacy_violation(
+                    conn,
+                    ErrorCode::Oversized,
+                    format!("request line exceeds {} bytes", self.config.max_line_bytes),
+                );
+            } else if conn.eof {
+                if !conn.read_buf.is_empty() {
+                    // The client died mid-request. The daemon just
+                    // notes it and moves on.
+                    self.counters.bump(&self.counters.protocol_errors);
+                }
+                conn.finish_reads();
+            }
+            return false;
+        };
+        if pos > self.config.max_line_bytes {
+            self.legacy_violation(
+                conn,
+                ErrorCode::Oversized,
+                format!("request line exceeds {} bytes", self.config.max_line_bytes),
+            );
+            return false;
+        }
+        let mut line: Vec<u8> = conn.read_buf.drain(..=pos).collect();
+        line.pop();
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        let line = String::from_utf8_lossy(&line).into_owned();
+        if line.trim().is_empty() {
+            return true;
+        }
+        match Request::decode(&line) {
+            Ok(request) => self.dispatch(token, conn, request.id, request.call, RenderMode::Legacy),
+            Err(decode) => {
+                // Malformed frame: typed error, connection stays usable.
+                self.counters.bump(&self.counters.protocol_errors);
+                let response = Response {
+                    id: decode.id,
+                    body: Err(decode.error),
+                };
+                conn.push_inline(render_response(&response, RenderMode::Legacy));
+            }
+        }
+        true
+    }
+
+    /// Parses and dispatches one HTTP request, if complete. Returns
+    /// `true` when a pipelined follow-up may be parsed immediately.
+    fn process_http(&mut self, token: u64, conn: &mut Conn) -> bool {
+        let parsed = http::parse_request(
+            &conn.read_buf,
+            self.config.max_line_bytes,
+            self.config.max_line_bytes,
+        );
+        match parsed {
+            HttpParse::Incomplete => {
+                if conn.eof {
+                    if !conn.read_buf.is_empty() {
+                        self.counters.bump(&self.counters.protocol_errors);
+                    }
+                    conn.finish_reads();
+                }
+                false
+            }
+            HttpParse::Violation(error) => {
+                // Framing cannot be trusted past the violation: answer
+                // and close.
+                self.counters.bump(&self.counters.protocol_errors);
+                conn.push_inline(http::render_error(&error, Format::Compact, false));
+                conn.read_buf.clear();
+                conn.finish_reads();
+                false
+            }
+            HttpParse::Request(request, consumed) => {
+                conn.read_buf.drain(..consumed);
+                let keep_alive = request.keep_alive;
+                match http::route(&request) {
+                    Ok((call, format)) => self.dispatch(
+                        token,
+                        conn,
+                        0,
+                        call,
+                        RenderMode::Http { format, keep_alive },
+                    ),
+                    Err(error) => {
+                        // Routing errors (404/405/bad body) keep the
+                        // connection: the stream framing is intact.
+                        self.counters.bump(&self.counters.protocol_errors);
+                        conn.push_inline(http::render_error(&error, Format::Compact, keep_alive));
+                    }
+                }
+                if keep_alive {
+                    true
+                } else {
+                    conn.finish_reads();
+                    false
+                }
+            }
+        }
+    }
+
+    /// Answers a framing violation on the legacy surface and closes.
+    fn legacy_violation(&mut self, conn: &mut Conn, code: ErrorCode, message: String) {
+        self.counters.bump(&self.counters.protocol_errors);
+        let response = Response::failure(0, code, message);
+        conn.push_inline(render_response(&response, RenderMode::Legacy));
+        conn.read_buf.clear();
+        conn.finish_reads();
+    }
+
+    /// Routes one parsed call: shutdown inline (it must work even with a
+    /// saturated queue), everything else through admission.
+    fn dispatch(&mut self, token: u64, conn: &mut Conn, id: u64, call: Call, mode: RenderMode) {
+        let seq = conn.alloc_seq();
+        if matches!(call, Call::Shutdown) {
+            let response = Response {
+                id,
+                body: Ok(Payload::Shutdown),
+            };
+            conn.ready.insert(seq, render_response(&response, mode));
+            // Stop accepting, refuse new work, drain what is in flight.
+            self.draining = true;
+            self.queue.close();
+            return;
+        }
+        let job = Job {
+            token,
+            seq,
+            id,
+            call,
+            mode,
+        };
+        match self.queue.try_push(job) {
+            Ok(()) => conn.pending += 1,
+            Err(EnqueueError::Full) => {
+                self.counters.bump(&self.counters.requests_rejected_busy);
+                let response = Response::failure(
+                    id,
+                    ErrorCode::Busy,
+                    format!(
+                        "admission queue full ({} pending)",
+                        self.config.queue_capacity
+                    ),
+                );
+                conn.ready.insert(seq, render_response(&response, mode));
+            }
+            Err(EnqueueError::Closed) => {
+                let response = Response::failure(id, ErrorCode::ShuttingDown, "daemon is draining");
+                conn.ready.insert(seq, render_response(&response, mode));
+            }
+        }
+    }
+}
+
+/// Writes the connection-limit refusal on a socket that was never
+/// admitted. The frame is tiny (fits any socket buffer), but the write
+/// timeout keeps a pathological peer from stalling the event loop.
+fn refuse(mut stream: TcpStream, config: &ServerConfig) {
+    stream.set_nonblocking(false).ok();
+    stream.set_write_timeout(Some(config.write_timeout)).ok();
+    let refusal = Response::failure(
+        0,
+        ErrorCode::Busy,
+        format!("connection limit reached ({})", config.max_connections),
+    );
+    let mut line = refusal.encode().into_bytes();
+    line.push(b'\n');
+    stream.write_all(&line).ok();
 }
 
 /// Executes one admitted call against the shared session.
@@ -486,24 +809,40 @@ fn handle_call(
             let keys: Vec<_> = grouped.targets.iter().map(|t| t.key.clone()).collect();
             let claim = inflight.claim(&keys, |k| !session.cache_contains(k));
             if claim.waited() {
-                counters.coalesced_waits.fetch_add(1, Ordering::Relaxed);
+                counters.bump(&counters.coalesced_waits);
             }
             let report = match session.serve_grouped(&grouped, &accqoc::ServeOptions::default()) {
                 Ok(report) => report,
                 Err(e) => return compile_failure(e),
             };
-            let pulses = return_pulses.then(|| {
+            // Read the group pulses back while naming what a
+            // capacity-bounded library already evicted — a silently
+            // short cache would let the client mistake "evicted" for
+            // "never existed".
+            let (pulses, missing) = if return_pulses {
                 let mut cache = PulseCache::new();
+                let mut missing = Vec::new();
                 for group in &report.groups {
-                    if let Some(entry) = session.cached(&group.key) {
-                        cache.insert(group.key.clone(), entry);
+                    match session.cached(&group.key) {
+                        Some(entry) => {
+                            cache.insert(group.key.clone(), entry);
+                        }
+                        None => missing.push(group.key.clone()),
                     }
                 }
-                cache
-            });
+                missing.sort();
+                missing.dedup();
+                (Some(cache), missing)
+            } else {
+                (None, Vec::new())
+            };
             Response {
                 id,
-                body: Ok(Payload::Serve { report, pulses }),
+                body: Ok(Payload::Serve {
+                    report,
+                    pulses,
+                    missing,
+                }),
             }
         }
         Call::Precompile { programs } => {
@@ -532,7 +871,7 @@ fn handle_call(
             keys.dedup();
             let claim = inflight.claim(&keys, |k| !session.cache_contains(k));
             if claim.waited() {
-                counters.coalesced_waits.fetch_add(1, Ordering::Relaxed);
+                counters.bump(&counters.coalesced_waits);
             }
             match session.precompile(&circuits, PrecompileOrder::Mst) {
                 Ok(report) => Response {
@@ -568,8 +907,38 @@ fn handle_call(
                 queue_depth: queue.len(),
             })),
         },
-        // Shutdown never reaches the pool (the connection thread handles
-        // it), but answer sanely if a future refactor routes it here.
+        Call::Library { limit, offset } => {
+            let snapshot = session.cache_snapshot();
+            let total = snapshot.len();
+            let mut entries: Vec<(&UnitaryKey, &CachedPulse)> = snapshot.iter().collect();
+            // The backing store is unordered; sort so pagination is
+            // stable across pages cut from the same snapshot.
+            entries.sort_by(|a, b| a.0.cmp(b.0));
+            let page = entries
+                .into_iter()
+                .skip(offset)
+                .take(limit)
+                .map(|(key, cached)| LibraryEntryInfo {
+                    key: hex_encode(key.as_bytes()),
+                    n_qubits: cached.n_qubits,
+                    latency_ns: cached.latency_ns,
+                    iterations: cached.iterations,
+                    n_steps: cached.pulse.n_steps(),
+                })
+                .collect();
+            Response {
+                id,
+                body: Ok(Payload::Library(LibraryPage {
+                    total,
+                    offset,
+                    limit,
+                    entries: page,
+                })),
+            }
+        }
+        // Shutdown never reaches the pool (the event loop handles it
+        // inline), but answer sanely if a future refactor routes it
+        // here.
         Call::Shutdown => Response {
             id,
             body: Ok(Payload::Shutdown),
@@ -582,34 +951,46 @@ mod tests {
     use super::*;
 
     #[test]
-    fn line_reader_splits_frames_and_strips_cr() {
-        let data: &[u8] = b"one\r\ntwo\nthree";
-        let mut reader = LineReader::new(data, 64);
-        assert!(matches!(reader.next_frame(), Frame::Line(l) if l == "one"));
-        assert!(matches!(reader.next_frame(), Frame::Line(l) if l == "two"));
-        // Trailing bytes without a delimiter: a truncated frame.
-        assert!(matches!(reader.next_frame(), Frame::Eof { partial: true }));
+    fn legacy_rendering_is_one_terminated_line() {
+        let response = Response::failure(3, ErrorCode::Busy, "full");
+        let bytes = render_response(&response, RenderMode::Legacy);
+        assert_eq!(bytes.last(), Some(&b'\n'));
+        let line = std::str::from_utf8(&bytes[..bytes.len() - 1]).unwrap();
+        assert!(!line.contains('\n'), "one frame per line");
+        assert_eq!(Response::decode(line).unwrap(), response);
     }
 
     #[test]
-    fn line_reader_flags_oversized_lines() {
-        // Without a delimiter: flagged as soon as the cap is passed.
-        let data = vec![b'x'; 100];
-        let mut reader = LineReader::new(data.as_slice(), 10);
-        assert!(matches!(reader.next_frame(), Frame::Oversized));
-        // With the delimiter already buffered: still flagged, never
-        // yielded as a (huge) line.
-        let mut data = vec![b'x'; 100];
-        data.push(b'\n');
-        let mut reader = LineReader::new(data.as_slice(), 10);
-        assert!(matches!(reader.next_frame(), Frame::Oversized));
+    fn http_rendering_maps_errors_to_statuses() {
+        let response = Response::failure(0, ErrorCode::Busy, "full");
+        let bytes = render_response(
+            &response,
+            RenderMode::Http {
+                format: Format::Compact,
+                keep_alive: true,
+            },
+        );
+        assert!(bytes.starts_with(b"HTTP/1.1 503 "));
     }
 
     #[test]
-    fn line_reader_clean_eof_is_not_partial() {
-        let data: &[u8] = b"done\n";
-        let mut reader = LineReader::new(data, 64);
-        assert!(matches!(reader.next_frame(), Frame::Line(_)));
-        assert!(matches!(reader.next_frame(), Frame::Eof { partial: false }));
+    fn conn_delivers_responses_in_request_order() {
+        // A socket is irrelevant here; use a loopback pair purely as a
+        // valid stream handle.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut conn = Conn::new(stream);
+        let a = conn.alloc_seq();
+        let b = conn.alloc_seq();
+        let c = conn.alloc_seq();
+        // Completions land out of order…
+        conn.ready.insert(c, b"C".to_vec());
+        conn.promote_ready();
+        assert!(conn.write_buf.is_empty(), "seq 2 must wait for 0 and 1");
+        conn.ready.insert(a, b"A".to_vec());
+        conn.ready.insert(b, b"B".to_vec());
+        conn.promote_ready();
+        // …but flush in request order.
+        assert_eq!(conn.write_buf, b"ABC");
     }
 }

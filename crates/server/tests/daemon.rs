@@ -52,7 +52,13 @@ fn served_pulses_are_byte_identical_to_in_process_serving() {
     let (addr, handle) = boot(Arc::clone(&session), ServerConfig::default());
     let mut client = Client::connect(addr).expect("connect");
     for (program, expected) in programs.iter().zip(&baseline_reports) {
-        let (report, pulses) = client.serve_program(program, true).expect("daemon serves");
+        let (report, pulses, missing) = client
+            .serve_program_full(program, true)
+            .expect("daemon serves");
+        assert!(
+            missing.is_empty(),
+            "an unbounded library never evicts, so nothing can be missing"
+        );
         // Same counters as the in-process path…
         assert_eq!(report.to_json(), expected.to_json(), "reports must agree");
         // …and byte-identical pulses: the returned artifact equals the
@@ -181,6 +187,110 @@ fn precompile_then_serve_is_fully_covered() {
 
     client.shutdown().expect("shutdown");
     handle.join().expect("server thread").expect("clean run");
+}
+
+#[test]
+fn capacity_bounded_library_marks_evicted_groups_missing() {
+    // A library bounded below the program's unique-group count evicts
+    // entries between the serve and the `return_pulses` readback. The
+    // response must name those groups in `missing` instead of shipping
+    // a silently-short cache.
+    let mut grape = accqoc_grape::GrapeOptions::default();
+    grape.stop.max_iters = 200;
+    let session = Arc::new(
+        Session::builder()
+            .topology(Topology::linear(3))
+            .grape(grape)
+            .library_capacity(1)
+            .build()
+            .expect("valid session"),
+    );
+    // Gates on the {0,1} and {1,2} pairs cannot merge into one
+    // two-qubit group, so the front end yields at least two targets.
+    let program = Circuit::from_gates(3, [Gate::H(0), Gate::Cx(0, 1), Gate::Cx(1, 2)]);
+    let n_unique = session.front_end(&program).targets.len();
+    assert!(n_unique >= 2, "the program must exceed the capacity of 1");
+
+    let (addr, handle) = boot(Arc::clone(&session), ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    let (report, pulses, missing) = client
+        .serve_program_full(&program, true)
+        .expect("daemon serves");
+    let pulses = pulses.expect("return_pulses was requested");
+
+    // Everything the report covers is either returned or named missing…
+    assert_eq!(report.groups.len(), n_unique);
+    assert_eq!(
+        pulses.len() + missing.len(),
+        n_unique,
+        "returned + missing must cover every group"
+    );
+    assert!(
+        !missing.is_empty(),
+        "capacity 1 with {n_unique} groups must evict at least one before readback"
+    );
+    // …with no key in both sets, and every key from the report.
+    for key in &missing {
+        assert!(
+            !pulses.contains(key),
+            "a key cannot be both returned and missing"
+        );
+        assert!(report.groups.iter().any(|g| &g.key == key));
+    }
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean run");
+}
+
+#[test]
+fn shutdown_drains_a_daemon_bound_to_the_wildcard_address() {
+    // The old blocking accept loop woke itself with
+    // `TcpStream::connect(local_addr)`, which cannot reach 0.0.0.0 —
+    // shutdown hung on wildcard binds. The event loop needs no wake
+    // hack; this pins that a wildcard-bound daemon drains.
+    let session = Arc::new(tiny_session());
+    let server = Server::bind(Arc::clone(&session), "0.0.0.0:0", ServerConfig::default())
+        .expect("bind wildcard");
+    let port = server.local_addr().port();
+    let handle = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(("127.0.0.1", port)).expect("connect via loopback");
+    client.stats().expect("daemon serves on the wildcard bind");
+    client.shutdown().expect("shutdown acknowledged");
+    let counters = handle.join().expect("server thread").expect("clean run");
+    assert_eq!(counters.connections_accepted, 1);
+}
+
+#[test]
+fn refused_connections_count_as_rejected_not_accepted() {
+    // The old accept loop bumped `connections_accepted` before checking
+    // the limit, so every refusal counted on both sides. Admission now
+    // decides which counter moves: exactly one, never both.
+    let session = Arc::new(tiny_session());
+    let (addr, handle) = boot(
+        Arc::clone(&session),
+        ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::connect(addr).expect("first connection fills the only slot");
+    client.stats().expect("admitted and served");
+    {
+        use std::io::BufRead;
+        let refused = std::net::TcpStream::connect(addr).expect("TCP connect still succeeds");
+        let mut frame = String::new();
+        std::io::BufReader::new(refused)
+            .read_line(&mut frame)
+            .expect("refusal frame");
+        assert!(frame.contains("\"busy\""), "{frame}");
+    }
+    client.shutdown().expect("shutdown");
+    let counters = handle.join().expect("server thread").expect("clean run");
+    assert_eq!(
+        counters.connections_accepted, 1,
+        "the refused connection must not count as accepted"
+    );
+    assert_eq!(counters.connections_rejected, 1);
 }
 
 #[test]

@@ -218,6 +218,88 @@ fn client_surfaces_id_zero_refusals_as_remote_errors() {
 }
 
 #[test]
+fn client_surfaces_future_response_ids_as_typed_mismatch_without_wedging() {
+    // A stub daemon that answers the first request with an id the
+    // client never sent, then answers the second request correctly: the
+    // client must surface a typed MismatchedId — not a stringly
+    // protocol error — and the connection must stay usable.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind stub");
+    let addr = listener.local_addr().expect("stub addr");
+    let stub = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("stub accepts");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut request = String::new();
+        reader.read_line(&mut request).expect("first request");
+        let bogus = accqoc_server::Response {
+            id: 999,
+            body: Ok(accqoc_server::Payload::Shutdown),
+        };
+        stream
+            .write_all(format!("{}\n", bogus.encode()).as_bytes())
+            .expect("stub writes a future id");
+        request.clear();
+        reader.read_line(&mut request).expect("second request");
+        let correct = accqoc_server::Response {
+            id: 2,
+            body: Ok(accqoc_server::Payload::Shutdown),
+        };
+        stream
+            .write_all(format!("{}\n", correct.encode()).as_bytes())
+            .expect("stub answers correctly");
+    });
+    let mut client = Client::connect(addr).expect("connect to stub");
+    match client.shutdown() {
+        Err(accqoc_server::ClientError::MismatchedId { expected, got }) => {
+            assert_eq!((expected, got), (1, 999));
+        }
+        other => panic!("expected MismatchedId, got {other:?}"),
+    }
+    // Not wedged: the next call on the same connection succeeds.
+    client
+        .shutdown()
+        .expect("the connection survives a mismatched id");
+    stub.join().expect("stub thread");
+}
+
+#[test]
+fn client_drains_stale_response_ids_and_keeps_its_correlation() {
+    // A stub that answers request 2 with a duplicate of response 1
+    // first: the stale frame is drained silently and the real answer
+    // still correlates.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind stub");
+    let addr = listener.local_addr().expect("stub addr");
+    let stub = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("stub accepts");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut request = String::new();
+        reader.read_line(&mut request).expect("first request");
+        let first = accqoc_server::Response {
+            id: 1,
+            body: Ok(accqoc_server::Payload::Shutdown),
+        };
+        stream
+            .write_all(format!("{}\n", first.encode()).as_bytes())
+            .expect("answer 1");
+        request.clear();
+        reader.read_line(&mut request).expect("second request");
+        // A stale duplicate of the first answer, then the real one.
+        let second = accqoc_server::Response {
+            id: 2,
+            body: Ok(accqoc_server::Payload::Shutdown),
+        };
+        stream
+            .write_all(format!("{}\n{}\n", first.encode(), second.encode()).as_bytes())
+            .expect("stale then real");
+    });
+    let mut client = Client::connect(addr).expect("connect to stub");
+    client.shutdown().expect("first call");
+    client
+        .shutdown()
+        .expect("stale frame drained, real answer correlated");
+    stub.join().expect("stub thread");
+}
+
+#[test]
 fn full_admission_queue_rejects_with_busy() {
     // queue_capacity 0 admits nothing: every request is an immediate
     // typed `busy` rejection, yet shutdown (handled by the connection
