@@ -22,7 +22,6 @@
 //! misses, and the warm/scratch split.
 
 use accqoc_circuit::{Circuit, UnitaryKey};
-use accqoc_grape::Workspace as GrapeWorkspace;
 
 use crate::cache::{hex_decode, hex_encode, CachedPulse};
 use crate::compile::warm_start_allowed;
@@ -318,7 +317,10 @@ pub fn serve_grouped(
     let mut per_unique: Vec<f64> = vec![0.0; n_unique];
     let mut covered_unique: Vec<bool> = vec![false; n_unique];
     let mut groups: Vec<ServedGroup> = Vec::with_capacity(n_unique);
-    let mut ws = GrapeWorkspace::new();
+    // Leased, not allocated: the serving daemon calls this per request,
+    // and the pooled workspace arrives with its solver buffers already
+    // grown by earlier requests of the same dimensions.
+    let mut ws = session.lease_workspace();
     let mut dynamic_iterations = 0usize;
 
     // Pass 1: exact key hits.

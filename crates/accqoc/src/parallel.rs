@@ -32,7 +32,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use accqoc_circuit::UnitaryKey;
-use accqoc_grape::{Pulse, Workspace as GrapeWorkspace};
+use accqoc_grape::Pulse;
 use accqoc_linalg::Mat;
 
 use crate::cache::{CachedPulse, PulseCache};
@@ -306,7 +306,9 @@ pub fn compile_parallel_with(
                 let plans = &plans;
                 let shared = &shared;
                 scope.spawn(move || -> WorkerResult {
-                    let mut ws = GrapeWorkspace::new();
+                    // One pooled workspace per worker for the whole
+                    // drain; returned warm for the next batch.
+                    let mut ws = session.lease_workspace();
                     let mut done: Vec<(usize, PartOutcome)> = Vec::new();
                     let started = Instant::now();
                     loop {

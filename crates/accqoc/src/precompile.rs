@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use accqoc_circuit::{Circuit, UnitaryKey};
-use accqoc_grape::{find_minimal_latency, LatencySearch, Workspace as GrapeWorkspace};
+use accqoc_grape::{find_minimal_latency, LatencySearch};
 use accqoc_hw::ControlModel;
 use accqoc_linalg::Mat;
 
@@ -99,7 +99,7 @@ pub fn precompile(
         };
         let mut pulses: HashMap<usize, accqoc_grape::Pulse> = HashMap::new();
         let mut fresh = crate::cache::PulseCache::new();
-        let mut ws = GrapeWorkspace::new();
+        let mut ws = session.lease_workspace();
         for step in &order.steps {
             let unique_idx = missing[step.vertex];
             let (target, n_qubits) = &canonical[unique_idx];
@@ -590,7 +590,7 @@ mod tests {
                 let model = session.models().for_qubits(*n_qubits).unwrap();
                 let out = solve(&GrapeProblem {
                     model,
-                    target: target.clone(),
+                    target,
                     n_steps: steps[step.vertex],
                     options: opts,
                 });

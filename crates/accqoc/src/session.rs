@@ -398,6 +398,7 @@ impl SessionBuilder {
             durations: Arc::new(Mutex::new(None)),
             library,
             recovery,
+            ws_pool: Arc::new(Mutex::new(Vec::new())),
         })
     }
 }
@@ -423,6 +424,49 @@ pub struct Session {
     library: PulseLibrary,
     /// What build-time recovery found (`None` without persistence).
     recovery: Option<RecoveryReport>,
+    /// Pooled GRAPE workspaces, shared across forks. Serve and compile
+    /// paths lease one per request instead of allocating fresh solver
+    /// scratch, so a long-lived session reaches an allocation-free
+    /// steady state once the pool buffers have grown to the workload's
+    /// dimensions. The pool never exceeds the peak number of concurrent
+    /// leases (one per serving thread).
+    ws_pool: Arc<Mutex<Vec<GrapeWorkspace>>>,
+}
+
+/// RAII lease on a pooled [`GrapeWorkspace`]: pops a warmed workspace
+/// from the session pool (or creates an empty one when the pool is dry)
+/// and returns it on drop, buffers intact, for the next request.
+pub(crate) struct WorkspaceLease<'a> {
+    pool: &'a Mutex<Vec<GrapeWorkspace>>,
+    ws: Option<GrapeWorkspace>,
+}
+
+impl std::ops::Deref for WorkspaceLease<'_> {
+    type Target = GrapeWorkspace;
+    fn deref(&self) -> &GrapeWorkspace {
+        self.ws
+            .as_ref()
+            .expect("lease holds a workspace until drop")
+    }
+}
+
+impl std::ops::DerefMut for WorkspaceLease<'_> {
+    fn deref_mut(&mut self) -> &mut GrapeWorkspace {
+        self.ws
+            .as_mut()
+            .expect("lease holds a workspace until drop")
+    }
+}
+
+impl Drop for WorkspaceLease<'_> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            // A poisoned pool only loses the recycle, never correctness.
+            if let Ok(mut pool) = self.pool.lock() {
+                pool.push(ws);
+            }
+        }
+    }
 }
 
 impl Session {
@@ -461,6 +505,7 @@ impl Session {
             durations: Arc::new(Mutex::new(None)),
             library: PulseLibrary::new(),
             recovery: None,
+            ws_pool: Arc::new(Mutex::new(Vec::new())),
         })
     }
 
@@ -477,6 +522,7 @@ impl Session {
             durations: Arc::clone(&self.durations),
             library: self.library.clone(),
             recovery: None,
+            ws_pool: Arc::clone(&self.ws_pool),
         }
     }
 
@@ -723,7 +769,7 @@ impl Session {
         let mut pulses: HashMap<usize, Pulse> = HashMap::new();
         let mut compiled = Vec::with_capacity(order.steps.len());
         let mut dynamic_iterations = 0usize;
-        let mut ws = GrapeWorkspace::new();
+        let mut ws = self.lease_workspace();
         for step in &order.steps {
             let target = &lookup.uncovered[step.vertex];
             let warm = step
@@ -856,6 +902,28 @@ impl Session {
         })
     }
 
+    /// Leases a GRAPE workspace from the session pool (creating an empty
+    /// one only when the pool is dry). The workspace returns to the pool
+    /// on drop with its grown buffers intact.
+    pub(crate) fn lease_workspace(&self) -> WorkspaceLease<'_> {
+        let ws = self
+            .ws_pool
+            .lock()
+            .map(|mut pool| pool.pop())
+            .unwrap_or_default()
+            .unwrap_or_default();
+        WorkspaceLease {
+            pool: &self.ws_pool,
+            ws: Some(ws),
+        }
+    }
+
+    /// Number of idle workspaces currently parked in the pool.
+    #[cfg(test)]
+    pub(crate) fn pooled_workspaces(&self) -> usize {
+        self.ws_pool.lock().map(|p| p.len()).unwrap_or(0)
+    }
+
     // -- lower-level entry points -------------------------------------------
 
     /// Front-end only: decompose, map, and group a program.
@@ -885,7 +953,7 @@ impl Session {
         n_qubits: usize,
         warm: Option<&Pulse>,
     ) -> Result<LatencyResult> {
-        self.compile_unitary_with(target, n_qubits, warm, &mut GrapeWorkspace::new())
+        self.compile_unitary_with(target, n_qubits, warm, &mut self.lease_workspace())
     }
 
     /// [`Session::compile_unitary`] with a caller-owned GRAPE workspace,
@@ -1289,6 +1357,31 @@ mod tests {
     fn builder_requires_topology() {
         let e = Session::builder().build().unwrap_err();
         assert!(matches!(e, Error::Builder { field: "topology" }));
+    }
+
+    #[test]
+    fn workspace_pool_recycles_leases() {
+        let session = tiny_session();
+        assert_eq!(session.pooled_workspaces(), 0);
+        {
+            let _a = session.lease_workspace();
+            let _b = session.lease_workspace();
+            assert_eq!(session.pooled_workspaces(), 0);
+        }
+        // Both leases returned; pool holds exactly the peak concurrency.
+        assert_eq!(session.pooled_workspaces(), 2);
+        drop(session.lease_workspace());
+        assert_eq!(session.pooled_workspaces(), 2);
+    }
+
+    #[test]
+    fn forks_share_one_workspace_pool() {
+        let session = tiny_session();
+        let fork = session.fork();
+        drop(fork.lease_workspace());
+        assert_eq!(session.pooled_workspaces(), 1);
+        drop(session.lease_workspace());
+        assert_eq!(fork.pooled_workspaces(), 1);
     }
 
     #[test]

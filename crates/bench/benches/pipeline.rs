@@ -72,7 +72,7 @@ fn bench_grape_solve(c: &mut Criterion) {
         b.iter(|| {
             solve(&GrapeProblem {
                 model: &model,
-                target: black_box(cnot.clone()),
+                target: black_box(&cnot),
                 n_steps: 40,
                 options: GrapeOptions::default(),
             })

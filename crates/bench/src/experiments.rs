@@ -200,7 +200,7 @@ pub fn training_cost(
             .expect("category arity in range");
         let out = solve(&GrapeProblem {
             model,
-            target: target.clone(),
+            target,
             n_steps: steps[step.vertex],
             options: opts,
         });

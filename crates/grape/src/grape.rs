@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use accqoc_hw::ControlModel;
-use accqoc_linalg::{eigh, expm_frechet, expm_i, Mat, C64, ZERO};
+use accqoc_linalg::{eigh_into, expm_frechet, expm_i, Mat, C64, ZERO};
 
 use crate::optimizer::{OptimizerKind, StopCriteria};
 use crate::propagate::{backward_states_into, forward_states_into};
@@ -107,12 +107,17 @@ impl GrapeOptions {
 
 /// A pulse-synthesis problem: realize `target` on `model` in `n_steps`
 /// slices.
+///
+/// The target is borrowed, not owned: the latency binary search probes
+/// the same target a dozen-plus times per compile, and the serving tier
+/// runs thousands of such searches — cloning a `2^q × 2^q` matrix per
+/// probe was pure allocator traffic.
 #[derive(Debug, Clone)]
 pub struct GrapeProblem<'a> {
     /// Device model (drift, controls, dt).
     pub model: &'a ControlModel,
     /// Target unitary (must match the model dimension).
-    pub target: Mat,
+    pub target: &'a Mat,
     /// Number of time slices; latency = `n_steps · dt`.
     pub n_steps: usize,
     /// Solver configuration.
@@ -173,7 +178,7 @@ pub fn solve_with(problem: &GrapeProblem<'_>, ws: &mut Workspace) -> GrapeOutcom
     // Degenerate case: zero-length pulse realizes the identity.
     if n_steps == 0 {
         let empty = Pulse::zeros(n_ctrl, 0, dt);
-        let inf = infidelity(&problem.target, &Mat::identity(dim));
+        let inf = infidelity(problem.target, &Mat::identity(dim));
         return GrapeOutcome {
             pulse: empty,
             infidelity: inf,
@@ -190,13 +195,18 @@ pub fn solve_with(problem: &GrapeProblem<'_>, ws: &mut Workspace) -> GrapeOutcom
     let smoothness = problem.options.smoothness_weight;
     let mut objective = |params: &[f64]| -> (f64, Vec<f64>) {
         evals += 1;
-        let (mut cost, mut grad) = cost_and_gradient_ws(
+        // One gradient vector per evaluation: the optimizer's line-search
+        // state owns its gradients, so this allocation is part of its
+        // API. Everything below it reuses workspace buffers.
+        let mut grad = Vec::with_capacity(n_ctrl * n_steps);
+        let mut cost = cost_and_gradient_into(
             model,
-            &problem.target,
+            problem.target,
             params,
             n_steps,
             problem.options.gradient,
             ws,
+            &mut grad,
         );
         if smoothness > 0.0 {
             let (pc, pg) = crate::analysis::smoothness_penalty(params, n_ctrl, n_steps, smoothness);
@@ -224,7 +234,7 @@ pub fn solve_with(problem: &GrapeProblem<'_>, ws: &mut Workspace) -> GrapeOutcom
     // the raw gate infidelity (and judge convergence on it).
     let (raw_infidelity, converged) = if smoothness > 0.0 {
         let realized = crate::propagate::total_unitary(model, &pulse);
-        let inf = infidelity(&problem.target, &realized);
+        let inf = infidelity(problem.target, &realized);
         (inf, inf <= problem.options.stop.target_cost)
     } else {
         (result.cost, result.converged)
@@ -263,7 +273,7 @@ fn initial_params(problem: &GrapeProblem<'_>, n_ctrl: usize, n_steps: usize, dt:
 
 /// Computes `(cost, gradient)` for the flat parameter vector with a
 /// throwaway workspace (test/verification entry point; the solver calls
-/// [`cost_and_gradient_ws`] with a long-lived workspace).
+/// [`cost_and_gradient_into`] with a long-lived workspace).
 #[cfg(test)]
 fn cost_and_gradient(
     model: &ControlModel,
@@ -272,26 +282,48 @@ fn cost_and_gradient(
     n_steps: usize,
     method: GradientMethod,
 ) -> (f64, Vec<f64>) {
-    cost_and_gradient_ws(
+    let mut grad = Vec::new();
+    let cost = cost_and_gradient_into(
         model,
         target,
         params,
         n_steps,
         method,
         &mut Workspace::new(),
-    )
+        &mut grad,
+    );
+    (cost, grad)
 }
 
-/// Computes `(cost, gradient)` for the flat parameter vector, reusing the
-/// workspace buffers (allocation-free on the steady-state spectral path).
-fn cost_and_gradient_ws(
+/// Computes the GRAPE cost for the flat parameter vector, writing the
+/// gradient into `grad` and reusing the workspace buffers.
+///
+/// This is the innermost function of the entire serving stack — every
+/// optimizer iteration and every line-search probe lands here — and on
+/// the default spectral path it performs **zero heap allocations** once
+/// `ws` and `grad` have warmed to the problem size (asserted by a
+/// counting-allocator test). The dense products dispatch to the
+/// register-blocked kernel layer of `accqoc-linalg`; the `grape_kernels`
+/// bench harness tracks its per-call cost in `BENCH_grape.json`.
+///
+/// `grad` is cleared and resized to `n_controls × n_steps` (channel-major
+/// like [`Pulse::to_params`]). Returns the phase-invariant infidelity
+/// `1 − |Tr(U_T†·X_N)|²/d²`.
+///
+/// # Panics
+///
+/// Panics if `target` disagrees with the model dimension or `params` is
+/// shorter than `n_controls × n_steps`.
+#[allow(clippy::too_many_arguments)]
+pub fn cost_and_gradient_into(
     model: &ControlModel,
     target: &Mat,
     params: &[f64],
     n_steps: usize,
     method: GradientMethod,
     ws: &mut Workspace,
-) -> (f64, Vec<f64>) {
+    grad: &mut Vec<f64>,
+) -> f64 {
     let dim = model.dim();
     let d = dim as f64;
     let n_ctrl = model.n_controls();
@@ -300,14 +332,13 @@ fn cost_and_gradient_ws(
 
     // Step propagators. For the spectral method the eigendecompositions
     // double as the propagators; the other methods exponentiate directly.
-    ws.eigs.clear();
     for k in 0..n_steps {
         ws.load_amps(params, n_steps, k);
         model.hamiltonian_into(&ws.amps, &mut ws.h);
         if method == GradientMethod::Spectral {
-            let eig = eigh(&ws.h).expect("control hamiltonians are hermitian");
-            spectral_propagator_into(&eig, dt, &mut ws.tmp, &mut ws.step_us[k]);
-            ws.eigs.push(eig);
+            eigh_into(&ws.h, &mut ws.eigs[k], &mut ws.eig_ws)
+                .expect("control hamiltonians are hermitian");
+            spectral_propagator_into(&ws.eigs[k], dt, &mut ws.tmp, &mut ws.step_us[k]);
         } else {
             ws.step_us[k] = expm_i(&ws.h, dt).expect("hermitian hamiltonian exponentiates");
         }
@@ -319,7 +350,8 @@ fn cost_and_gradient_ws(
     let phi = ws.bwd[n_steps].matmul_trace(&ws.fwd[n_steps]) / C64::real(d);
     let cost = (1.0 - phi.norm_sqr()).max(0.0);
 
-    let mut grad = vec![0.0; n_ctrl * n_steps];
+    grad.clear();
+    grad.resize(n_ctrl * n_steps, 0.0);
     match method {
         GradientMethod::Spectral => {
             for k in 0..n_steps {
@@ -328,13 +360,15 @@ fn cost_and_gradient_ws(
                 // dU = V·(W ∘ Ĥ_j)·V† and Ĥ_j = V†·H_j·V,
                 // ∂φ/∂u = Tr(dU·M)/d = Σ_{a,b} W[a,b]·Ĥ_j[a,b]·M̃[b,a]/d
                 // where M̃ = V†·M·V — no per-channel products needed.
+                // Both rotations go through the fused kernel; V_k depends
+                // on this slice's parameters, so Ĥ_j cannot be hoisted
+                // out of the evaluation — only its storage is (ws-owned).
                 ws.fwd[k].matmul_into(&ws.bwd[k + 1], &mut ws.m);
-                eig.vectors.dagger_matmul_into(&ws.m, &mut ws.tmp);
-                ws.tmp.matmul_into(&eig.vectors, &mut ws.mt);
+                eig.vectors.rotate_into(&ws.m, &mut ws.tmp, &mut ws.mt);
                 krein_weights_into(&eig.values, dt, &mut ws.w);
                 for (j, ch) in model.channels().iter().enumerate() {
-                    eig.vectors.dagger_matmul_into(&ch.hamiltonian, &mut ws.tmp);
-                    ws.tmp.matmul_into(&eig.vectors, &mut ws.hj_tilde);
+                    eig.vectors
+                        .rotate_into(&ch.hamiltonian, &mut ws.tmp, &mut ws.hj_tilde);
                     let mut dphi = ZERO;
                     for a in 0..dim {
                         for b in 0..dim {
@@ -367,15 +401,19 @@ fn cost_and_gradient_ws(
                 for (j, ch) in model.channels().iter().enumerate() {
                     let e = ch.hamiltonian.scale(C64::imag(-dt));
                     let (_, l) = expm_frechet(&a, &e).expect("finite hamiltonians");
-                    // ∂φ/∂u = Tr(B_k · L · X_{k−1})/d.
-                    let tr = ws.bwd[k + 1].matmul(&l).matmul(&ws.fwd[k]).trace();
+                    // ∂φ/∂u = Tr(B_k · L · X_{k−1})/d. One workspace
+                    // product plus a fused trace — the historical
+                    // `.matmul(..).matmul(..).trace()` chain allocated
+                    // two fresh matrices per control per slice.
+                    ws.bwd[k + 1].matmul_into(&l, &mut ws.m);
+                    let tr = ws.m.matmul_trace(&ws.fwd[k]);
                     let dphi = tr / C64::real(d);
                     grad[j * n_steps + k] = -2.0 * (phi.conj() * dphi).re;
                 }
             }
         }
     }
-    (cost, grad)
+    cost
 }
 
 /// Propagator `V·diag(e^{−iλΔt})·V†` from an eigendecomposition.
@@ -537,9 +575,10 @@ mod tests {
     #[test]
     fn solves_x_gate_single_qubit() {
         let model = ControlModel::spin_chain(1);
+        let target = x_target();
         let problem = GrapeProblem {
             model: &model,
-            target: x_target(),
+            target: &target,
             n_steps: 12,
             options: GrapeOptions::default(),
         };
@@ -548,7 +587,7 @@ mod tests {
         assert!(out.infidelity <= 1e-4);
         // Realized unitary matches the pulse the solver reports.
         let u = total_unitary(&model, &out.pulse);
-        assert!(infidelity(&problem.target, &u) <= 1.1e-4);
+        assert!(infidelity(problem.target, &u) <= 1.1e-4);
         assert!(out.pulse.max_abs_amp() <= 1.0 + 1e-12, "bounds respected");
     }
 
@@ -558,7 +597,7 @@ mod tests {
         let target = circuit_unitary(&Circuit::from_gates(1, [Gate::H(0)]));
         let problem = GrapeProblem {
             model: &model,
-            target,
+            target: &target,
             n_steps: 12,
             options: GrapeOptions::default(),
         };
@@ -572,7 +611,7 @@ mod tests {
         let target = circuit_unitary(&Circuit::from_gates(2, [Gate::Cx(0, 1)]));
         let problem = GrapeProblem {
             model: &model,
-            target,
+            target: &target,
             n_steps: 40,
             options: GrapeOptions::default().with_max_iters(800),
         };
@@ -587,9 +626,10 @@ mod tests {
     #[test]
     fn identity_with_zero_steps_converges_immediately() {
         let model = ControlModel::spin_chain(2);
+        let target = Mat::identity(4);
         let problem = GrapeProblem {
             model: &model,
-            target: Mat::identity(4),
+            target: &target,
             n_steps: 0,
             options: GrapeOptions::default(),
         };
@@ -604,9 +644,10 @@ mod tests {
         // An X gate needs ≥ 10 ns at our amplitude bound; 4 steps of 1 ns
         // cannot reach it.
         let model = ControlModel::spin_chain(1);
+        let target = x_target();
         let problem = GrapeProblem {
             model: &model,
-            target: x_target(),
+            target: &target,
             n_steps: 4,
             options: GrapeOptions::default(),
         };
@@ -622,9 +663,10 @@ mod tests {
     #[test]
     fn warm_start_from_solution_converges_in_few_iterations() {
         let model = ControlModel::spin_chain(1);
+        let target = x_target();
         let base = GrapeProblem {
             model: &model,
-            target: x_target(),
+            target: &target,
             n_steps: 12,
             options: GrapeOptions::default(),
         };
@@ -648,10 +690,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let model = ControlModel::spin_chain(1);
+        let target = x_target();
         let make = || {
             solve(&GrapeProblem {
                 model: &model,
-                target: x_target(),
+                target: &target,
                 n_steps: 12,
                 options: GrapeOptions::default(),
             })

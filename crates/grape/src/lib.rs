@@ -20,7 +20,7 @@
 //! let x = Mat::from_reals(&[0.0, 1.0, 1.0, 0.0]);
 //! let out = solve(&GrapeProblem {
 //!     model: &model,
-//!     target: x,
+//!     target: &x,
 //!     n_steps: 12,
 //!     options: GrapeOptions::default(),
 //! });
@@ -44,8 +44,8 @@ pub use binary_search::{
     LatencyResult, LatencySearch,
 };
 pub use grape::{
-    infidelity, solve, solve_with, GradientMethod, GrapeOptions, GrapeOutcome, GrapeProblem,
-    InitStrategy,
+    cost_and_gradient_into, infidelity, solve, solve_with, GradientMethod, GrapeOptions,
+    GrapeOutcome, GrapeProblem, InitStrategy,
 };
 pub use optimizer::{Adam, Lbfgs, Momentum, OptimResult, Optimizer, OptimizerKind, StopCriteria};
 pub use propagate::{

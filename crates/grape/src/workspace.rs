@@ -15,7 +15,7 @@
 //! [`find_minimal_latency`](crate::find_minimal_latency) create a
 //! throwaway workspace internally and produce bit-identical results.
 
-use accqoc_linalg::{EigH, Mat};
+use accqoc_linalg::{EigH, EighWorkspace, Mat};
 
 /// Per-thread scratch space for GRAPE objective evaluations.
 ///
@@ -34,7 +34,7 @@ use accqoc_linalg::{EigH, Mat};
 /// let x = Mat::from_reals(&[0.0, 1.0, 1.0, 0.0]);
 /// let mut ws = Workspace::new();
 /// let out = solve_with(
-///     &GrapeProblem { model: &model, target: x, n_steps: 12, options: GrapeOptions::default() },
+///     &GrapeProblem { model: &model, target: &x, n_steps: 12, options: GrapeOptions::default() },
 ///     &mut ws,
 /// );
 /// assert!(out.converged);
@@ -47,8 +47,11 @@ pub struct Workspace {
     pub(crate) fwd: Vec<Mat>,
     /// Backward states `B_0 … B_N`.
     pub(crate) bwd: Vec<Mat>,
-    /// Per-slice eigendecompositions (spectral gradients).
+    /// Per-slice eigendecompositions (spectral gradients), reused by
+    /// index across objective evaluations.
     pub(crate) eigs: Vec<EigH>,
+    /// Eigensolver scratch (Jacobi working copy + sort permutation).
+    pub(crate) eig_ws: EighWorkspace,
     /// Per-slice control amplitudes.
     pub(crate) amps: Vec<f64>,
     /// Slice Hamiltonian.
@@ -73,6 +76,7 @@ impl Workspace {
             fwd: Vec::new(),
             bwd: Vec::new(),
             eigs: Vec::new(),
+            eig_ws: EighWorkspace::new(),
             amps: Vec::new(),
             h: Mat::zeros(0, 0),
             m: Mat::zeros(0, 0),
@@ -96,6 +100,12 @@ impl Workspace {
         }
         if self.bwd.len() < n_steps + 1 {
             self.bwd.resize_with(n_steps + 1, || Mat::zeros(dim, dim));
+        }
+        if self.eigs.len() < n_steps {
+            self.eigs.resize_with(n_steps, || EigH {
+                values: Vec::new(),
+                vectors: Mat::zeros(0, 0),
+            });
         }
     }
 

@@ -18,7 +18,7 @@ fn adam_solves_x_gate() {
     let model = ControlModel::spin_chain(1);
     let out = solve(&GrapeProblem {
         model: &model,
-        target: x_target(),
+        target: &x_target(),
         n_steps: 14,
         options: GrapeOptions {
             optimizer: OptimizerKind::Adam { lr: 0.05 },
@@ -39,7 +39,7 @@ fn momentum_solves_simple_rotation() {
     let target = circuit_unitary(&Circuit::from_gates(1, [Gate::Rx(0, 0.9)]));
     let out = solve(&GrapeProblem {
         model: &model,
-        target,
+        target: &target,
         n_steps: 10,
         options: GrapeOptions {
             optimizer: OptimizerKind::Momentum {
@@ -63,7 +63,7 @@ fn lbfgs_needs_far_fewer_iterations_than_adam() {
     let mk = |optimizer| {
         solve(&GrapeProblem {
             model: &model,
-            target: x_target(),
+            target: &x_target(),
             n_steps: 14,
             options: GrapeOptions {
                 optimizer,
@@ -94,7 +94,7 @@ fn first_order_gradient_converges_on_fine_grid() {
     let model = ControlModel::spin_chain(1).with_dt(0.2);
     let out = solve(&GrapeProblem {
         model: &model,
-        target: x_target(),
+        target: &x_target(),
         n_steps: 60,
         options: GrapeOptions {
             gradient: GradientMethod::FirstOrder,
@@ -110,7 +110,7 @@ fn gradient_methods_agree_on_final_pulse_quality() {
     let mk = |gradient| {
         solve(&GrapeProblem {
             model: &model,
-            target: x_target(),
+            target: &x_target(),
             n_steps: 12,
             options: GrapeOptions {
                 gradient,
@@ -163,7 +163,7 @@ fn zero_init_breaks_symmetry_eventually() {
     let model = ControlModel::spin_chain(1);
     let out = solve(&GrapeProblem {
         model: &model,
-        target: x_target(),
+        target: &x_target(),
         n_steps: 12,
         options: GrapeOptions {
             init: InitStrategy::Zero,
@@ -180,7 +180,7 @@ fn warm_start_across_different_step_counts() {
     let model = ControlModel::spin_chain(1);
     let base = solve(&GrapeProblem {
         model: &model,
-        target: x_target(),
+        target: &x_target(),
         n_steps: 16,
         options: GrapeOptions::default(),
     });
@@ -188,7 +188,7 @@ fn warm_start_across_different_step_counts() {
     // Resampling a 16-step solution to 12 steps still seeds convergence.
     let warm = solve(&GrapeProblem {
         model: &model,
-        target: x_target(),
+        target: &x_target(),
         n_steps: 12,
         options: GrapeOptions::default().with_init(InitStrategy::Warm(base.pulse)),
     });

@@ -23,6 +23,43 @@ pub struct EigH {
 /// Maximum number of Jacobi sweeps before giving up.
 const MAX_SWEEPS: usize = 60;
 
+/// Reusable scratch for [`eigh_into`]: the Jacobi working copy, the
+/// accumulated rotations, and the sort permutation.
+///
+/// One workspace serves problems of any dimension; reuse only skips
+/// allocations, never changes a result. The GRAPE spectral-gradient path
+/// performs one eigensolve per slice per objective evaluation, so this
+/// is what keeps the steady-state solver allocation-free.
+#[derive(Debug)]
+pub struct EighWorkspace {
+    /// Jacobi working copy of the input.
+    m: Mat,
+    /// Accumulated eigenvector rotations.
+    v: Mat,
+    /// Eigenvalue sort permutation.
+    idx: Vec<usize>,
+    /// Unsorted diagonal eigenvalues.
+    vals: Vec<f64>,
+}
+
+impl EighWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self {
+            m: Mat::zeros(0, 0),
+            v: Mat::zeros(0, 0),
+            idx: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+}
+
+impl Default for EighWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Computes the eigendecomposition of a Hermitian matrix.
 ///
 /// # Errors
@@ -45,6 +82,25 @@ const MAX_SWEEPS: usize = 60;
 /// # Ok::<(), accqoc_linalg::LinalgError>(())
 /// ```
 pub fn eigh(a: &Mat) -> Result<EigH, LinalgError> {
+    let mut out = EigH {
+        values: Vec::new(),
+        vectors: Mat::zeros(0, 0),
+    };
+    eigh_into(a, &mut out, &mut EighWorkspace::new())?;
+    Ok(out)
+}
+
+/// [`eigh`] written into a caller-owned [`EigH`] through a reusable
+/// [`EighWorkspace`] — no allocation once both are warm, and
+/// bit-identical results (the wrapper [`eigh`] is this function with
+/// throwaway buffers).
+///
+/// On error `out` is left untouched.
+///
+/// # Errors
+///
+/// Same as [`eigh`].
+pub fn eigh_into(a: &Mat, out: &mut EigH, ws: &mut EighWorkspace) -> Result<(), LinalgError> {
     if !a.is_square() {
         return Err(LinalgError::NotSquare {
             rows: a.rows(),
@@ -55,35 +111,51 @@ pub fn eigh(a: &Mat) -> Result<EigH, LinalgError> {
         return Err(LinalgError::NonFinite);
     }
     let scale = a.max_abs().max(1.0);
-    if !a.is_hermitian(1e-9 * scale) {
+    if hermitian_deviation(a) > 1e-9 * scale {
         return Err(LinalgError::NotHermitian);
     }
     let n = a.rows();
-    let mut m = a.clone();
-    let mut v = Mat::identity(n);
+    ws.m.copy_from(a);
+    ws.v.set_identity(n);
 
     // Absolute convergence threshold tied to the matrix scale.
-    let tol = 1e-14 * scale.max(m.frobenius_norm());
+    let tol = 1e-14 * scale.max(ws.m.frobenius_norm());
 
     for _sweep in 0..MAX_SWEEPS {
-        let off = off_diagonal_norm(&m);
+        let off = off_diagonal_norm(&ws.m);
         if off <= tol {
-            return Ok(sorted(m, v));
+            sorted_into(ws, out);
+            return Ok(());
         }
         for p in 0..n {
             for q in (p + 1)..n {
-                rotate(&mut m, &mut v, p, q);
+                rotate(&mut ws.m, &mut ws.v, p, q);
             }
         }
     }
-    let off = off_diagonal_norm(&m);
+    let off = off_diagonal_norm(&ws.m);
     if off <= tol * 100.0 {
-        return Ok(sorted(m, v));
+        sorted_into(ws, out);
+        return Ok(());
     }
     Err(LinalgError::NoConvergence {
         what: "jacobi eigh",
         iters: MAX_SWEEPS,
     })
+}
+
+/// `max |A[i,j] − conj(A[j,i])|` — the same deviation
+/// [`Mat::is_hermitian`] measures, computed without materializing the
+/// dagger (that method allocates; the hot eigensolve path must not).
+fn hermitian_deviation(a: &Mat) -> f64 {
+    let n = a.rows();
+    let mut dev = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            dev = dev.max((a[(i, j)] - a[(j, i)].conj()).abs());
+        }
+    }
+    dev
 }
 
 fn off_diagonal_norm(m: &Mat) -> f64 {
@@ -148,15 +220,45 @@ fn rotate(m: &mut Mat, v: &mut Mat, p: usize, q: usize) {
     }
 }
 
-/// Sorts eigenpairs ascending by eigenvalue.
-fn sorted(m: Mat, v: Mat) -> EigH {
-    let n = m.rows();
-    let mut idx: Vec<usize> = (0..n).collect();
-    let vals: Vec<f64> = (0..n).map(|i| m[(i, i)].re).collect();
-    idx.sort_by(|&a, &b| vals[a].total_cmp(&vals[b]));
-    let values: Vec<f64> = idx.iter().map(|&i| vals[i]).collect();
-    let vectors = Mat::from_fn(n, n, |i, j| v[(i, idx[j])]);
-    EigH { values, vectors }
+/// Sorts eigenpairs ascending by eigenvalue into `out`, reusing the
+/// workspace permutation buffers.
+///
+/// The sort must be **stable**: degenerate spectra are routine (identity
+/// slices, symmetric Hamiltonians), and the tie order picks which
+/// eigenvector lands in which column — an unstable sort would permute
+/// them and move pulse bytes pinned by the CI gates. A hand-rolled
+/// insertion sort keeps the allocation-free guarantee (`slice::sort_by`
+/// buys scratch for larger inputs) and produces the identical
+/// permutation, because stable sorts under a total order agree.
+fn sorted_into(ws: &mut EighWorkspace, out: &mut EigH) {
+    let n = ws.m.rows();
+    ws.vals.clear();
+    for i in 0..n {
+        ws.vals.push(ws.m[(i, i)].re);
+    }
+    ws.idx.clear();
+    ws.idx.extend(0..n);
+    for i in 1..n {
+        let key = ws.idx[i];
+        let kv = ws.vals[key];
+        let mut j = i;
+        while j > 0 && ws.vals[ws.idx[j - 1]].total_cmp(&kv) == std::cmp::Ordering::Greater {
+            ws.idx[j] = ws.idx[j - 1];
+            j -= 1;
+        }
+        ws.idx[j] = key;
+    }
+    out.values.clear();
+    for &i in &ws.idx {
+        out.values.push(ws.vals[i]);
+    }
+    out.vectors.reshape_zeros(n, n);
+    for j in 0..n {
+        let src = ws.idx[j];
+        for i in 0..n {
+            out.vectors[(i, j)] = ws.v[(i, src)];
+        }
+    }
 }
 
 /// Applies a real scalar function to a Hermitian matrix through its
@@ -282,6 +384,51 @@ mod tests {
             assert!((v - 2.0).abs() < 1e-13);
         }
         assert!(e.vectors.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn eigh_into_reuse_is_bit_identical_to_eigh() {
+        let g = Mat::from_fn(6, 6, |i, j| {
+            C64::new(
+                ((i * 13 + j * 5) % 17) as f64 / 17.0 - 0.4,
+                ((i * 3 + j * 11) % 7) as f64 / 7.0 - 0.5,
+            )
+        });
+        let h1 = &g + &g.dagger();
+        let h2 = h1.scale_re(0.37);
+        let mut ws = EighWorkspace::new();
+        let mut out = EigH {
+            values: Vec::new(),
+            vectors: Mat::zeros(0, 0),
+        };
+        // Warm the workspace on a different matrix first, then re-solve:
+        // reuse must not leak state between solves.
+        eigh_into(&h2, &mut out, &mut ws).unwrap();
+        eigh_into(&h1, &mut out, &mut ws).unwrap();
+        let fresh = eigh(&h1).unwrap();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&out.values), bits(&fresh.values));
+        assert_eq!(out.vectors, fresh.vectors);
+        for (a, b) in out.vectors.as_slice().iter().zip(fresh.vectors.as_slice()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn degenerate_tie_order_is_stable_across_entry_points() {
+        // Ties must keep Jacobi column order — the pinned-pulse gates
+        // depend on it. Identity-like spectra exercise the tie path.
+        let h = Mat::identity(5).scale_re(0.25);
+        let a = eigh(&h).unwrap();
+        let mut ws = EighWorkspace::new();
+        let mut b = EigH {
+            values: Vec::new(),
+            vectors: Mat::zeros(0, 0),
+        };
+        eigh_into(&h, &mut b, &mut ws).unwrap();
+        assert_eq!(a.vectors, b.vectors);
+        assert_eq!(a.values, b.values);
     }
 
     #[test]

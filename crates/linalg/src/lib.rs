@@ -44,6 +44,7 @@ mod eig;
 mod error;
 mod expm;
 mod fingerprint;
+pub mod kernels;
 mod lu;
 mod mat;
 mod qr;
@@ -54,7 +55,7 @@ pub use canon::{
     phase_invariant_infidelity, quantized_bytes,
 };
 pub use complex::{C64, I, ONE, ZERO};
-pub use eig::{eigh, expm_i_hermitian, funm_hermitian, EigH};
+pub use eig::{eigh, eigh_into, expm_i_hermitian, funm_hermitian, EigH, EighWorkspace};
 pub use error::LinalgError;
 pub use expm::{expm, expm_frechet, expm_i};
 pub use fingerprint::{diag_abs_profile, row_peak_profile, trace_moments_abs};

@@ -1,8 +1,11 @@
 //! Dense, row-major complex matrices.
 //!
 //! All AccQOC matrices are small (a group of `q` qubits is `2^q × 2^q`
-//! with `q ≤ 5`), so a straightforward dense representation with `O(n³)`
-//! kernels is the right tool; cache blocking and sparsity would be noise.
+//! with `q ≤ 5`), so a dense representation is the right tool. The hot
+//! `*_into` products dispatch to the register-blocked microkernels of
+//! [`crate::kernels`], which are bit-identical to the naive loops they
+//! replaced (the byte-identity CI gates pin every ulp of the serving
+//! stack's pulses).
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
@@ -295,6 +298,10 @@ impl Mat {
     /// the shape already matches (no allocation on the steady-state path —
     /// the GRAPE inner loop calls this thousands of times per solve).
     ///
+    /// Dispatches to the register-blocked [`crate::kernels`] layer;
+    /// bit-identical to the historical naive loop on finite input (see
+    /// the kernel module docs for the signed-zero argument).
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()` or `out` aliases an operand
@@ -305,52 +312,42 @@ impl Mat {
             "matmul_into: {}x{} by {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        out.rows = self.rows;
-        out.cols = rhs.cols;
-        out.data.clear();
-        out.data.resize(self.rows * rhs.cols, ZERO);
-        for i in 0..self.rows {
-            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-            let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &aik) in arow.iter().enumerate() {
-                if aik == ZERO {
-                    continue;
-                }
-                let brow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &bkj) in orow.iter_mut().zip(brow) {
-                    *o = aik.mul_add(bkj, *o);
-                }
-            }
-        }
+        out.reshape_zeros(self.rows, rhs.cols);
+        crate::kernels::matmul(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        );
     }
 
     /// `A† · B` written into `out` without materializing the dagger or
     /// allocating (shape permitting). See [`Mat::matmul_into`].
+    ///
+    /// Dispatches to the register-blocked [`crate::kernels`] layer.
     ///
     /// # Panics
     ///
     /// Panics if `self.rows() != rhs.rows()`.
     pub fn dagger_matmul_into(&self, rhs: &Mat, out: &mut Mat) {
         assert_eq!(self.rows, rhs.rows, "dagger_matmul_into shape mismatch");
-        out.rows = self.cols;
-        out.cols = rhs.cols;
-        out.data.clear();
-        out.data.resize(self.cols * rhs.cols, ZERO);
-        for k in 0..self.rows {
-            let arow = &self.data[k * self.cols..(k + 1) * self.cols];
-            let brow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-            for (i, &aki) in arow.iter().enumerate() {
-                let a = aki.conj();
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &bkj) in orow.iter_mut().zip(brow) {
-                    *o = a.mul_add(bkj, *o);
-                }
-            }
-        }
+        out.reshape_zeros(self.cols, rhs.cols);
+        crate::kernels::dagger_matmul(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        );
     }
 
     /// `A · B†` written into `out` without materializing the dagger or
     /// allocating (shape permitting).
+    ///
+    /// Dispatches to the register-blocked [`crate::kernels`] layer.
     ///
     /// # Panics
     ///
@@ -358,18 +355,40 @@ impl Mat {
     pub fn matmul_dagger_into(&self, rhs: &Mat, out: &mut Mat) {
         assert_eq!(self.cols, rhs.cols, "matmul_dagger_into shape mismatch");
         out.reshape_zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-            let orow = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
-                let mut acc = ZERO;
-                for (&aik, &bjk) in arow.iter().zip(brow) {
-                    acc = aik.mul_add(bjk.conj(), acc);
-                }
-                *o = acc;
-            }
-        }
+        crate::kernels::matmul_dagger(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.rows,
+        );
+    }
+
+    /// Fused eigenbasis rotation `self† · m · self` written into `out`
+    /// through one caller-owned intermediate (`scratch = self†·m`).
+    ///
+    /// Bit-identical to the unfused
+    /// [`dagger_matmul_into`](Mat::dagger_matmul_into) +
+    /// [`matmul_into`](Mat::matmul_into) sequence; the GRAPE gradient
+    /// rotates two matrices per slice per control through this call.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` and `m` are square with equal dimension.
+    pub fn rotate_into(&self, m: &Mat, scratch: &mut Mat, out: &mut Mat) {
+        assert!(self.is_square(), "rotate_into: basis not square");
+        assert!(
+            m.is_square() && m.rows == self.rows,
+            "rotate_into: {}x{} operand in dimension-{} basis",
+            m.rows,
+            m.cols,
+            self.rows
+        );
+        let n = self.rows;
+        scratch.reshape_zeros(n, n);
+        out.reshape_zeros(n, n);
+        crate::kernels::rotate(&self.data, &m.data, &mut scratch.data, &mut out.data, n);
     }
 
     /// Conjugate transpose written into `out`, reusing its storage.
@@ -415,14 +434,7 @@ impl Mat {
     pub fn matmul_trace(&self, rhs: &Mat) -> C64 {
         assert_eq!(self.cols, rhs.rows, "matmul_trace inner dimension");
         assert_eq!(self.rows, rhs.cols, "matmul_trace: product not square");
-        let mut tr = ZERO;
-        for a in 0..self.rows {
-            let arow = &self.data[a * self.cols..(a + 1) * self.cols];
-            for (b, &aab) in arow.iter().enumerate() {
-                tr += aab * rhs.data[b * rhs.cols + a];
-            }
-        }
-        tr
+        crate::kernels::trace_of_product(&self.data, &rhs.data, self.rows, self.cols)
     }
 
     /// `A† · B` without materializing the dagger.

@@ -1,0 +1,128 @@
+//! Bit-identity property suite for the register-blocked kernels.
+//!
+//! Every blocked/fused kernel must reproduce the exact bytes of its
+//! preserved naive reference (`kernels::reference`) on **random**
+//! dimensions 1–17 — covering every remainder class of the 2×4 output
+//! tile, including single rows, single columns, and the degenerate 1×1 —
+//! with exact `==` on all output bits, not approximate equality. This is
+//! the property the golden-pulse CI gates rely on: if these hold, kernel
+//! dispatch cannot move a single pulse byte.
+
+use accqoc_linalg::{kernels, Mat, C64, ZERO};
+use proptest::prelude::*;
+
+/// Largest dimension exercised; `MAX_DIM × MAX_DIM` buffers are drawn up
+/// front and sliced down to each case's random shape.
+const MAX_DIM: usize = 17;
+
+/// Strategy: three random dims in 1–17 plus two full-size random complex
+/// buffers; the cases slice the buffers down to the shapes they need.
+fn case_strategy() -> impl Strategy<Value = (usize, usize, usize, Vec<C64>, Vec<C64>)> {
+    (
+        1usize..MAX_DIM + 1,
+        1usize..MAX_DIM + 1,
+        1usize..MAX_DIM + 1,
+        complex_buf(),
+        complex_buf(),
+    )
+}
+
+fn complex_buf() -> impl Strategy<Value = Vec<C64>> {
+    proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), MAX_DIM * MAX_DIM)
+        .prop_map(|vals| vals.into_iter().map(|(re, im)| C64::new(re, im)).collect())
+}
+
+fn bits(v: &[C64]) -> Vec<(u64, u64)> {
+    v.iter().map(|z| (z.re.to_bits(), z.im.to_bits())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_is_bit_identical_to_reference(case in case_strategy()) {
+        let (m, k, n, a, b) = case;
+        let (a, b) = (&a[..m * k], &b[..k * n]);
+        let mut got = vec![ZERO; m * n];
+        let mut want = vec![ZERO; m * n];
+        kernels::matmul(a, b, &mut got, m, k, n);
+        kernels::reference::matmul(a, b, &mut want, m, k, n);
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+
+    #[test]
+    fn dagger_matmul_is_bit_identical_to_reference(case in case_strategy()) {
+        let (r, m, n, a, b) = case;
+        let (a, b) = (&a[..r * m], &b[..r * n]);
+        let mut got = vec![ZERO; m * n];
+        let mut want = vec![ZERO; m * n];
+        kernels::dagger_matmul(a, b, &mut got, r, m, n);
+        kernels::reference::dagger_matmul(a, b, &mut want, r, m, n);
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+
+    #[test]
+    fn matmul_dagger_is_bit_identical_to_reference(case in case_strategy()) {
+        let (m, k, n, a, b) = case;
+        let (a, b) = (&a[..m * k], &b[..n * k]);
+        let mut got = vec![ZERO; m * n];
+        let mut want = vec![ZERO; m * n];
+        kernels::matmul_dagger(a, b, &mut got, m, k, n);
+        kernels::reference::matmul_dagger(a, b, &mut want, m, k, n);
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+
+    #[test]
+    fn fused_rotate_is_bit_identical_to_unfused_reference(case in case_strategy()) {
+        let (n, _, _, v, m) = case;
+        let (v, m) = (&v[..n * n], &m[..n * n]);
+        let mut s1 = vec![ZERO; n * n];
+        let mut s2 = vec![ZERO; n * n];
+        let mut got = vec![ZERO; n * n];
+        let mut want = vec![ZERO; n * n];
+        kernels::rotate(v, m, &mut s1, &mut got, n);
+        kernels::reference::rotate(v, m, &mut s2, &mut want, n);
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+
+    #[test]
+    fn dense_matmul_tolerates_signed_zero_sparsity(
+        case in case_strategy(),
+        zero_mask in 0u64..u64::MAX
+    ) {
+        let (m, k, n, a, b) = case;
+        // The signed-zero argument of the kernel module docs, fuzzed:
+        // scattering exact +0/−0 entries through A must not move output
+        // bits relative to the skip-branch reference.
+        let mut a = a[..m * k].to_vec();
+        for (i, z) in a.iter_mut().enumerate() {
+            match (zero_mask >> (i % 32)) & 0b11 {
+                0b00 => *z = ZERO,
+                0b01 => *z = C64::new(-0.0, 0.0),
+                0b10 => *z = C64::new(0.0, -0.0),
+                _ => {}
+            }
+        }
+        let b = &b[..k * n];
+        let mut got = vec![ZERO; m * n];
+        let mut want = vec![ZERO; m * n];
+        kernels::matmul(&a, b, &mut got, m, k, n);
+        kernels::reference::matmul(&a, b, &mut want, m, k, n);
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+
+    #[test]
+    fn mat_entry_points_dispatch_to_bit_identical_kernels(case in case_strategy()) {
+        let (m, k, n, a_data, b_data) = case;
+        // The Mat wrappers (`matmul_into` & friends) must agree with the
+        // raw kernels byte-for-byte — a wrapper that resized wrongly or
+        // double-initialized would show up here.
+        let a = Mat::from_fn(m, k, |i, j| a_data[i * k + j]);
+        let b = Mat::from_fn(k, n, |i, j| b_data[i * n + j]);
+        let mut out = Mat::zeros(0, 0);
+        a.matmul_into(&b, &mut out);
+        let mut want = vec![ZERO; m * n];
+        kernels::matmul(&a_data[..m * k], &b_data[..k * n], &mut want, m, k, n);
+        prop_assert_eq!(bits(out.as_slice()), bits(&want));
+    }
+}
