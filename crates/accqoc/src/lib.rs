@@ -71,6 +71,7 @@ mod partition;
 mod persist;
 mod precompile;
 mod session;
+pub mod shard;
 mod similarity;
 mod verify;
 
@@ -84,8 +85,8 @@ pub use concurrent_cache::{ConcurrentPulseCache, DEFAULT_CACHE_SHARDS};
 pub use error::AccQocError;
 pub use error::{Error, Result};
 pub use library::{
-    batch_plan, LibraryStats, NearestPulse, PulseLibrary, ServeOptions, ServeReport, ServedGroup,
-    UnitaryFingerprint,
+    batch_plan, serve_grouped_subset, LibraryStats, NearestPulse, PulseLibrary, ServeOptions,
+    ServeReport, ServedGroup, UnitaryFingerprint,
 };
 pub use model::{ModelSet, MAX_MODEL_QUBITS};
 pub use mst::{mst_compile_order, scratch_order, CompileOrder, CompileStep, SimilarityGraph};
@@ -97,11 +98,15 @@ pub use partition::{partition_tree, TreePartition, WeightedTree};
 pub use persist::{PersistOptions, RecoveryReport, INDEX_FILE, SNAPSHOT_FILE, WAL_FILE};
 pub use precompile::{
     collect_category, compile_programs_parallel, optimize_group, precompile, precompile_parallel,
-    precompile_parallel_with, Category, PrecompileOrder, PrecompileReport,
+    precompile_parallel_with, precompile_subset, Category, PrecompileOrder, PrecompileReport,
 };
 pub use session::{
     CompileReport, CoverageStats, DecomposeReport, GroupCompilation, GroupReport, GroupTarget,
     LatencyReport, LookupReport, MapReport, ProgramCompilation, Session, SessionBuilder,
+};
+pub use shard::{
+    plan_resize, rebalance, rebalance_with_vnodes, RebalanceReport, ShardKey, ShardMove, ShardRing,
+    DEFAULT_VNODES,
 };
 pub use similarity::{uhlmann_fidelity, uhlmann_fidelity_with, SimilarityFn, SimilarityScratch};
 pub use verify::{

@@ -44,7 +44,7 @@ use crate::persist::{Event, Journal};
 use crate::similarity::{SimilarityFn, SimilarityScratch};
 
 pub use fingerprint::UnitaryFingerprint;
-pub use serve::{ServeOptions, ServeReport, ServedGroup};
+pub use serve::{serve_grouped_subset, ServeOptions, ServeReport, ServedGroup};
 
 use fingerprint::FingerprintIndex;
 

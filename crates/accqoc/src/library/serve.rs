@@ -91,8 +91,10 @@ pub struct ServeReport {
     pub gate_based_latency_ns: f64,
     /// Instance coverage against the library at arrival time.
     pub coverage: CoverageStats,
-    /// Per-unique-group serving outcomes, in serve order (hits first,
-    /// then compiles nearest-neighbor-first).
+    /// Per-unique-group serving outcomes, in the front end's target
+    /// order (the canonical order every deployment shape — one process
+    /// or a width-partitioned router — reports identically; the serve
+    /// *sequence* shows through each group's `warm_from` lineage).
     pub groups: Vec<ServedGroup>,
     /// Unique groups compiled (misses).
     pub n_compiled: usize,
@@ -311,8 +313,46 @@ pub fn serve_grouped(
     grouped: &crate::session::GroupReport,
     options: &ServeOptions,
 ) -> Result<ServeReport> {
+    serve_grouped_subset(session, grouped, options, None)
+}
+
+/// [`serve_grouped`](crate::Session::serve_grouped) restricted to the
+/// unique groups whose width is in
+/// `only_qubits` — the shard-side entry point of the sharded serving
+/// tier. A worker that owns a subset of dimension classes serves *only*
+/// those groups, and because warm starts are strictly width-local (the
+/// fingerprint index never crosses a width boundary), the per-width
+/// serving state — hit/miss sequence, warm-start picks, hub rounds,
+/// compiled bytes — is identical to what a single process serving the
+/// whole program would produce. Summing the subset reports of a
+/// disjoint width partition therefore reconstructs the unsharded
+/// counters exactly.
+///
+/// Subset reports carry `overall_latency_ns` and
+/// `gate_based_latency_ns` of `0.0` (those are program-level numbers no
+/// single shard can see; the router folds the true overall latency from
+/// the merged per-group latencies), and their `coverage.total` counts
+/// only the owned instances, so coverage also sums exactly.
+///
+/// `only_qubits: None` serves everything — byte-identical to
+/// [`serve_grouped`](crate::Session::serve_grouped).
+///
+/// # Errors
+///
+/// Same as [`serve_program`](crate::Session::serve_program).
+pub fn serve_grouped_subset(
+    session: &Session,
+    grouped: &crate::session::GroupReport,
+    options: &ServeOptions,
+    only_qubits: Option<&[usize]>,
+) -> Result<ServeReport> {
     let library = session.library();
     let n_unique = grouped.targets.len();
+    let owned: Vec<bool> = grouped
+        .targets
+        .iter()
+        .map(|t| only_qubits.is_none_or(|widths| widths.contains(&t.n_qubits)))
+        .collect();
 
     let mut per_unique: Vec<f64> = vec![0.0; n_unique];
     let mut covered_unique: Vec<bool> = vec![false; n_unique];
@@ -326,6 +366,9 @@ pub fn serve_grouped(
     // Pass 1: exact key hits.
     let mut missing: Vec<usize> = Vec::new();
     for (i, target) in grouped.targets.iter().enumerate() {
+        if !owned[i] {
+            continue;
+        }
         if let Some(entry) = library.get(&target.key) {
             library.touch(&target.key);
             library.record_hit();
@@ -454,19 +497,40 @@ pub fn serve_grouped(
         .iter()
         .filter(|&&u| covered_unique[u])
         .count();
-    let per_instance: Vec<f64> = grouped.assignment.iter().map(|&u| per_unique[u]).collect();
-    let overall_latency_ns = grouped.grouped.overall_latency(|i| per_instance[i]);
-    let gate_based_latency_ns = session.gate_based_latency(&grouped.processed);
+    let total = grouped.assignment.iter().filter(|&&u| owned[u]).count();
+    // Program-level latencies exist only for a whole-program serve: a
+    // width subset cannot see the other shards' group latencies, so the
+    // router folds the overall number from the merged per-group results.
+    let (overall_latency_ns, gate_based_latency_ns) = if only_qubits.is_none() {
+        let per_instance: Vec<f64> = grouped.assignment.iter().map(|&u| per_unique[u]).collect();
+        (
+            grouped.grouped.overall_latency(|i| per_instance[i]),
+            session.gate_based_latency(&grouped.processed),
+        )
+    } else {
+        (0.0, 0.0)
+    };
+
+    // Canonical report order: the front end's target order, not the
+    // greedy pick order. The pick order interleaves widths by live
+    // similarity distances, which no single shard of a width-partitioned
+    // deployment can observe — target order is the one order a router
+    // can reassemble byte-identically from per-shard reports. The serve
+    // *sequence* still shows through `warm_from` lineage.
+    let order: std::collections::HashMap<&UnitaryKey, usize> = grouped
+        .targets
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (&t.key, i))
+        .collect();
+    groups.sort_by_key(|g| order.get(&g.key).copied().unwrap_or(usize::MAX));
 
     let n_compiled = groups.iter().filter(|g| !g.hit).count();
     let n_warm_started = groups.iter().filter(|g| g.warm_from.is_some()).count();
     Ok(ServeReport {
         overall_latency_ns,
         gate_based_latency_ns,
-        coverage: CoverageStats {
-            covered,
-            total: grouped.assignment.len(),
-        },
+        coverage: CoverageStats { covered, total },
         groups,
         n_compiled,
         n_warm_started,

@@ -80,11 +80,32 @@ pub fn precompile(
     programs: &[Circuit],
     order_kind: PrecompileOrder,
 ) -> Result<PrecompileReport> {
-    let (canonical, keys, frequencies) = collect_category(session, programs);
+    precompile_subset(session, programs, order_kind, None)
+}
 
-    // Only compile what the cache does not already hold.
+/// [`precompile`] restricted to the unique groups whose width is in
+/// `only_qubits` — what one shard of a sharded deployment precompiles.
+/// The report counts owned groups only, so per-shard reports over a
+/// width partition sum to the whole-category numbers (group keys encode
+/// their width, hence never collide across shards). `None` is
+/// [`precompile`] exactly.
+///
+/// # Errors
+///
+/// Propagates group-compilation failures.
+pub fn precompile_subset(
+    session: &Session,
+    programs: &[Circuit],
+    order_kind: PrecompileOrder,
+    only_qubits: Option<&[usize]>,
+) -> Result<PrecompileReport> {
+    let (canonical, keys, mut frequencies) = collect_category(session, programs);
+    let owned = |n_qubits: usize| only_qubits.is_none_or(|widths| widths.contains(&n_qubits));
+
+    // Only compile what this shard owns and the cache does not already
+    // hold.
     let missing: Vec<usize> = (0..keys.len())
-        .filter(|&i| !session.cache_contains(&keys[i]))
+        .filter(|&i| owned(canonical[i].1) && !session.cache_contains(&keys[i]))
         .collect();
 
     let mut total_iterations = 0usize;
@@ -130,6 +151,15 @@ pub fn precompile(
         index_category(session, &missing, &canonical, &keys);
     }
 
+    // The report covers owned groups only, so shard reports sum.
+    if only_qubits.is_some() {
+        let owned_keys: std::collections::HashSet<&UnitaryKey> = (0..keys.len())
+            .filter(|&i| owned(canonical[i].1))
+            .map(|i| &keys[i])
+            .collect();
+        frequencies.retain(|k, _| owned_keys.contains(k));
+    }
+    let n_unique_groups = (0..keys.len()).filter(|&i| owned(canonical[i].1)).count();
     let most_frequent = frequencies
         .iter()
         .max_by_key(|(_, &c)| c)
@@ -137,7 +167,7 @@ pub fn precompile(
 
     Ok(PrecompileReport {
         n_programs: programs.len(),
-        n_unique_groups: keys.len(),
+        n_unique_groups,
         total_iterations,
         frequencies,
         most_frequent,

@@ -1020,6 +1020,24 @@ impl Session {
         precompile::precompile(self, programs, order)
     }
 
+    /// [`Session::precompile`] restricted to the unique groups whose
+    /// width is in `only_qubits` — what one shard of a sharded
+    /// deployment precompiles. The report counts owned groups only, so
+    /// shard reports over a width partition sum to the whole-category
+    /// numbers. `None` is [`Session::precompile`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates group-compilation failures.
+    pub fn precompile_subset(
+        &self,
+        programs: &[Circuit],
+        order: PrecompileOrder,
+        only_qubits: Option<&[usize]>,
+    ) -> Result<PrecompileReport> {
+        precompile::precompile_subset(self, programs, order, only_qubits)
+    }
+
     /// Parallel variant of [`Session::precompile`]: compiles the missing
     /// groups on a pool of `n_workers` OS threads over a balanced MST
     /// partition (§V-D), each worker with its own GRAPE workspace, and
@@ -1193,6 +1211,56 @@ impl Session {
         options: &ServeOptions,
     ) -> Result<ServeReport> {
         library::serve::serve_grouped(self, grouped, options)
+    }
+
+    /// [`Session::serve_grouped`] restricted to the unique groups whose
+    /// width is in `only_qubits` — what one shard of a sharded
+    /// deployment serves. Warm starts are width-local, so the owned
+    /// groups' pulses, counters, and per-group latencies are
+    /// byte-identical to a whole-program serve; see
+    /// [`serve_grouped_subset`](crate::library::serve_grouped_subset)
+    /// for the transparency contract (subset reports zero their
+    /// program-level latencies and count only owned instances).
+    ///
+    /// # Errors
+    ///
+    /// Propagates group-compilation failures.
+    pub fn serve_grouped_subset(
+        &self,
+        grouped: &GroupReport,
+        options: &ServeOptions,
+        only_qubits: Option<&[usize]>,
+    ) -> Result<ServeReport> {
+        library::serve::serve_grouped_subset(self, grouped, options, only_qubits)
+    }
+
+    /// Folds the program-level overall latency (Algorithm 3 DP) from
+    /// per-unique-group latencies supplied by the caller — the router's
+    /// merge path: each shard reports latencies for the groups it owns,
+    /// and the front end folds the merged map into the same number a
+    /// single-process serve reports.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UncoveredGroup`] when `latency_of` has no latency for
+    /// one of the program's unique groups.
+    pub fn overall_latency_from<F>(&self, grouped: &GroupReport, mut latency_of: F) -> Result<f64>
+    where
+        F: FnMut(&UnitaryKey) -> Option<f64>,
+    {
+        let mut per_unique = Vec::with_capacity(grouped.targets.len());
+        for target in &grouped.targets {
+            match latency_of(&target.key) {
+                Some(latency) => per_unique.push(latency),
+                None => {
+                    return Err(Error::UncoveredGroup {
+                        n_qubits: target.n_qubits,
+                    })
+                }
+            }
+        }
+        let per_instance: Vec<f64> = grouped.assignment.iter().map(|&u| per_unique[u]).collect();
+        Ok(grouped.grouped.overall_latency(|i| per_instance[i]))
     }
 
     // -- verification -------------------------------------------------------

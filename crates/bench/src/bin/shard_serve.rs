@@ -1,0 +1,402 @@
+//! Sharded-deployment experiment: spawn three worker daemons as real
+//! subprocesses (each owning a durable store), put the consistent-hash
+//! router in front, replay the golden suite through the router, and
+//! assert the deployment is *transparent* — every report and every
+//! served pulse byte-identical to the in-process
+//! [`Session::serve_program`] path on one session.
+//!
+//! Modes:
+//!
+//! - default: a truncated golden stream through the deployment, with
+//!   byte-identity reporting (honors `ACCQOC_FAST=1`).
+//! - `--check`: the full golden suite, replayed twice, plus a
+//!   kill/restart pass. Exits non-zero unless (a) every response is
+//!   byte-identical to the in-process baseline, (b) the summed shard
+//!   counters equal the baseline's and meet the pinned 0.50 warm-share
+//!   gate, (c) the second replay is fully cache-covered, and (d) after
+//!   killing the width-2 owner the router answers a typed
+//!   `shard_unavailable` (bounded, never a hang) and a restart from the
+//!   shard's data dir resumes with *zero* scratch recompiles of
+//!   persisted groups. The CI smoke gate for the sharded tier.
+//!
+//! Writes per-response rows to `results/shard_serve.csv`. Worker
+//! daemons are found next to this binary (build the workspace, or at
+//! least `accqoc-server`, first).
+
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+use accqoc::{PulseCache, ServeReport, Session};
+use accqoc_bench::{fast_mode, print_table, write_csv};
+use accqoc_circuit::Circuit;
+use accqoc_hw::Topology;
+use accqoc_server::router::{RouterConfig, RouterHandler};
+use accqoc_server::{Client, ClientError, ErrorCode, Server, ServerConfig};
+use accqoc_workloads::golden_suite;
+
+/// Same pinned gate as `library_serve --check` and `server --check`
+/// (measured 0.550 on the golden stream; sharding must not change the
+/// measurement — the counters are summed across shards).
+const CHECK_WARM_SHARE: f64 = 0.50;
+
+const SHARDS: usize = 3;
+const QUBITS: usize = 5;
+const MAX_ITERS: usize = 300;
+
+const HEADER: [&str; 7] = [
+    "phase",
+    "program",
+    "coverage",
+    "compiled",
+    "warm",
+    "iterations",
+    "pulses_identical",
+];
+
+struct Row {
+    phase: &'static str,
+    program: String,
+    report: ServeReport,
+    identical: bool,
+}
+
+impl Row {
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.phase.to_string(),
+            self.program.clone(),
+            format!("{:.3}", self.report.coverage.rate()),
+            self.report.n_compiled.to_string(),
+            self.report.n_warm_started.to_string(),
+            self.report.dynamic_iterations.to_string(),
+            self.identical.to_string(),
+        ]
+    }
+}
+
+fn main() {
+    let check = std::env::args().skip(1).any(|a| a == "--check");
+    run(check);
+}
+
+fn golden_session() -> Session {
+    // Mirrors server --check: 5-qubit linear device, 300-iteration
+    // GRAPE cap, stock similarity/warm-start config — and the workers
+    // are spawned with exactly these flags.
+    let mut grape = accqoc_grape::GrapeOptions::default();
+    grape.stop.max_iters = MAX_ITERS;
+    Session::builder()
+        .topology(Topology::linear(QUBITS))
+        .grape(grape)
+        .build()
+        .expect("5-qubit session is valid")
+}
+
+/// A worker daemon subprocess. The stdout reader stays alive for the
+/// daemon's lifetime so its shutdown println never hits a closed pipe.
+struct Worker {
+    child: Child,
+    stdout: std::io::BufReader<std::process::ChildStdout>,
+    addr: String,
+}
+
+fn daemon_binary() -> PathBuf {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("binary directory");
+    let daemon = dir.join(format!("daemon{}", std::env::consts::EXE_SUFFIX));
+    if !daemon.exists() {
+        eprintln!(
+            "worker binary not found at {} — build it first (`cargo build --release -p accqoc-server`)",
+            daemon.display()
+        );
+        std::process::exit(2);
+    }
+    daemon
+}
+
+fn spawn_worker(daemon: &Path, addr: &str, data_dir: &Path) -> Worker {
+    let mut child = Command::new(daemon)
+        .args([
+            "--addr",
+            addr,
+            "--qubits",
+            &QUBITS.to_string(),
+            "--max-iters",
+            &MAX_ITERS.to_string(),
+            "--data-dir",
+            data_dir.to_str().expect("utf-8 path"),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn worker daemon");
+    let mut stdout = std::io::BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        let n = stdout.read_line(&mut line).expect("worker stdout");
+        assert!(n > 0, "worker exited before announcing its address");
+        if let Some(rest) = line.strip_prefix("accqoc-server listening on ") {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("address after prefix")
+                .to_string();
+        }
+    };
+    Worker {
+        child,
+        stdout,
+        addr,
+    }
+}
+
+/// Serves `programs` in-process on `session`, returning per-program
+/// reports plus the expected pulse artifact for each program.
+fn baseline_replay(
+    session: &Session,
+    programs: &[(String, Circuit)],
+) -> Vec<(ServeReport, String)> {
+    programs
+        .iter()
+        .map(|(_, circuit)| {
+            let report = session.serve_program(circuit).expect("baseline serves");
+            let mut cache = PulseCache::new();
+            for group in &report.groups {
+                cache.insert(
+                    group.key.clone(),
+                    session.cached(&group.key).expect("just served"),
+                );
+            }
+            let json = cache.to_json();
+            (report, json)
+        })
+        .collect()
+}
+
+/// Replays `programs` through the router and compares every response —
+/// report and pulse bytes — against the baseline.
+fn router_replay(
+    client: &mut Client,
+    programs: &[(String, Circuit)],
+    baseline: &[(ServeReport, String)],
+    phase: &'static str,
+) -> (Vec<Row>, usize) {
+    let rows: Vec<Row> = programs
+        .iter()
+        .zip(baseline)
+        .map(|((name, circuit), (expected_report, expected_pulses))| {
+            let (report, pulses) = client.serve_program(circuit, true).expect("router serves");
+            let identical = pulses
+                .as_ref()
+                .map(|p| p.to_json() == *expected_pulses)
+                .unwrap_or(false)
+                && report == *expected_report;
+            Row {
+                phase,
+                program: name.clone(),
+                report,
+                identical,
+            }
+        })
+        .collect();
+    let mismatches = rows.iter().filter(|r| !r.identical).count();
+    (rows, mismatches)
+}
+
+fn run(check: bool) {
+    let mut programs: Vec<(String, Circuit)> = golden_suite()
+        .iter()
+        .map(|p| (p.name.clone(), p.circuit.clone()))
+        .collect();
+    if !check {
+        let keep = if fast_mode() { 4 } else { 6 };
+        programs.truncate(keep);
+    }
+    println!(
+        "accqoc shard router — {} golden programs through {SHARDS} worker daemons{}\n",
+        programs.len(),
+        if check { " (check mode)" } else { "" },
+    );
+
+    // In-process baseline (the byte-identity reference), served twice:
+    // the deployment also replays the stream twice, and pass 2 must be
+    // compared against a warmed baseline, not the cold one.
+    let baseline_session = golden_session();
+    let baseline_cold = baseline_replay(&baseline_session, &programs);
+    let baseline_warm = baseline_replay(&baseline_session, &programs);
+
+    // The deployment: worker subprocesses with durable stores, router
+    // in-process in front.
+    let daemon = daemon_binary();
+    let data_base = std::env::temp_dir().join(format!("accqoc-shard-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_base);
+    std::fs::create_dir_all(&data_base).expect("create data base");
+    let mut workers: Vec<Worker> = (0..SHARDS)
+        .map(|i| {
+            spawn_worker(
+                &daemon,
+                "127.0.0.1:0",
+                &data_base.join(format!("shard-{i}")),
+            )
+        })
+        .collect();
+    let shard_addrs: Vec<String> = workers.iter().map(|w| w.addr.clone()).collect();
+    let handler = Arc::new(RouterHandler::new(
+        Arc::new(golden_session()),
+        shard_addrs.clone(),
+        RouterConfig {
+            attempts: 2,
+            backoff: Duration::from_millis(10),
+            connect_timeout: Duration::from_millis(500),
+            ..RouterConfig::default()
+        },
+    ));
+    for (shard, addr) in shard_addrs.iter().enumerate() {
+        println!(
+            "shard {shard}: {addr} (owns widths {:?})",
+            (1..=QUBITS)
+                .filter(|&w| handler.owner_of(w) == shard)
+                .collect::<Vec<_>>(),
+        );
+    }
+    println!();
+    let router = Server::bind_with_handler(handler, "127.0.0.1:0", ServerConfig::default())
+        .expect("bind router");
+    let router_addr = router.local_addr();
+    let router_thread = std::thread::spawn(move || router.run());
+    let mut client = Client::connect(router_addr).expect("connect router");
+
+    // Pass 1: cold replay. Pass 2: must be fully covered.
+    let (mut rows, mut mismatches) = router_replay(&mut client, &programs, &baseline_cold, "serve");
+    let (rows2, mismatches2) = router_replay(&mut client, &programs, &baseline_warm, "replay");
+    let replay_covered = rows2.iter().all(|r| r.report.n_compiled == 0);
+    mismatches += mismatches2;
+    rows.extend(rows2);
+
+    // Aggregated counters: the summed shard numbers must equal the
+    // single-process baseline's.
+    let stats = client.stats().expect("router stats");
+    let baseline_stats = baseline_session.library().stats();
+    let warm_share = stats.library.warm_share();
+    let counters_match =
+        stats.library == baseline_stats && stats.library_len == baseline_session.cache_len();
+
+    println!(
+        "deployment compiles: {} ({} warm / {} scratch) across {SHARDS} shards, baseline: {}",
+        stats.library.misses,
+        stats.library.warm_compiles,
+        stats.library.scratch_compiles,
+        baseline_stats.misses,
+    );
+    println!(
+        "warm share {warm_share:.3} (gate {CHECK_WARM_SHARE}), library {} entries",
+        stats.library_len
+    );
+
+    // Kill/restart pass (check mode): chaos on the width-2 owner.
+    let mut chaos_ok = true;
+    if check {
+        println!("\nkill/restart pass: killing shard 2 (the width-2 owner) ...");
+        workers[2].child.kill().expect("kill shard 2");
+        workers[2].child.wait().expect("reap shard 2");
+        let started = std::time::Instant::now();
+        match client.serve_program(&programs[0].1, false) {
+            Err(ClientError::Remote(wire)) if wire.code == ErrorCode::ShardUnavailable => {
+                println!(
+                    "typed shard_unavailable in {:?} (bounded by the retry budget)",
+                    started.elapsed()
+                );
+            }
+            other => {
+                eprintln!("FAIL: expected shard_unavailable, got {other:?}");
+                chaos_ok = false;
+            }
+        }
+        workers[2] = spawn_worker(&daemon, &shard_addrs[2], &data_base.join("shard-2"));
+        // A third baseline pass is all hits, exactly like the second.
+        let (rows3, mismatches3) =
+            router_replay(&mut client, &programs, &baseline_warm, "post-restart");
+        let restart_covered = rows3.iter().all(|r| r.report.n_compiled == 0);
+        mismatches += mismatches3;
+        rows.extend(rows3);
+        let mut direct = Client::connect(&*workers[2].addr).expect("connect restarted shard");
+        let shard_stats = direct.stats().expect("shard stats");
+        if shard_stats.library.scratch_compiles != 0 || shard_stats.library.warm_compiles != 0 {
+            eprintln!(
+                "FAIL: restarted shard recompiled persisted groups ({} scratch, {} warm)",
+                shard_stats.library.scratch_compiles, shard_stats.library.warm_compiles,
+            );
+            chaos_ok = false;
+        }
+        if !restart_covered {
+            eprintln!("FAIL: post-restart replay was not fully served from the recovered library");
+            chaos_ok = false;
+        }
+        if chaos_ok {
+            println!(
+                "restarted from its data dir: {} entries recovered, replay all hits, zero recompiles",
+                shard_stats.library_len
+            );
+        }
+    }
+
+    let cells: Vec<Vec<String>> = rows.iter().map(Row::cells).collect();
+    print_table(&HEADER, &cells);
+    write_csv("shard_serve.csv", &HEADER, &cells).ok();
+
+    // Drain the whole deployment through the router.
+    client.shutdown().expect("shutdown");
+    router_thread
+        .join()
+        .expect("router thread")
+        .expect("router ran cleanly");
+    for worker in &mut workers {
+        let status = worker.child.wait().expect("worker exits");
+        assert!(status.success(), "worker exited with {status}");
+        let mut rest = String::new();
+        use std::io::Read;
+        worker.stdout.read_to_string(&mut rest).ok();
+    }
+    let _ = std::fs::remove_dir_all(&data_base);
+
+    let mut failed = false;
+    if mismatches > 0 {
+        eprintln!("FAIL: {mismatches} responses were not byte-identical to in-process serving");
+        failed = true;
+    }
+    if check {
+        if !counters_match {
+            eprintln!("FAIL: summed shard counters diverged from the in-process baseline");
+            failed = true;
+        }
+        if warm_share < CHECK_WARM_SHARE {
+            eprintln!(
+                "FAIL: warm-start share {warm_share:.3} below pinned threshold {CHECK_WARM_SHARE}"
+            );
+            failed = true;
+        }
+        if !replay_covered {
+            eprintln!("FAIL: replayed stream was not fully served from the shard libraries");
+            failed = true;
+        }
+        if !chaos_ok {
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "\nOK: {} responses byte-identical across {SHARDS} shards{}",
+        rows.len(),
+        if check {
+            ", counters match, replay covered, kill/restart recovered"
+        } else {
+            ""
+        },
+    );
+}

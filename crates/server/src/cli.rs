@@ -1,4 +1,4 @@
-//! Strict flag parsing for the daemon binary.
+//! Strict flag parsing for the daemon and router binaries.
 //!
 //! Two failure modes of the old ad-hoc parser motivated this module:
 //! unknown flags were silently ignored (a typo like `--worker 8` ran a
@@ -122,6 +122,8 @@ pub enum CliError {
         /// The unparseable value.
         value: String,
     },
+    /// A flag the selected mode requires was never given.
+    MissingFlag(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -138,6 +140,7 @@ impl std::fmt::Display for CliError {
             Self::BadValue { flag, value } => {
                 write!(f, "invalid value for `{flag}`: `{value}`")
             }
+            Self::MissingFlag(flag) => write!(f, "required flag `{flag}` was not given"),
         }
     }
 }
@@ -214,12 +217,351 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Command, Cli
     Ok(Command::Serve(options))
 }
 
+/// Usage text the router binary prints for `--help` and under parse
+/// errors.
+pub const ROUTER_USAGE: &str = "\
+accqoc router — front-end for a sharded pulse-library deployment
+
+Speaks the daemon's wire surfaces (line protocol + HTTP/1.1) unchanged
+and forwards each request to the worker daemons owning its groups on a
+consistent-hash ring keyed by group width.
+
+USAGE:
+  router --shards HOST:PORT,HOST:PORT,... [FLAGS]
+  router --rebalance --data-base PATH --from N --to M [--vnodes V]
+
+FLAGS (`--flag VALUE` or `--flag=VALUE`):
+  --shards LIST           comma-separated worker addresses; the list
+                          order is the shard numbering (required)
+  --addr HOST:PORT        listen address (default 127.0.0.1:7979; port 0
+                          picks a free port and prints it)
+  --qubits N              device width of the front-end session, linear
+                          topology — must match the workers (default 5)
+  --workers N             router worker threads (default 2)
+  --queue N               admission-queue capacity (default 64)
+  --max-connections N     concurrent client connections (default 1024)
+  --attempts N            forwarding attempts per call before answering
+                          `shard_unavailable` (default 3)
+  --backoff-ms MS         backoff before the first retry; each further
+                          retry waits 5x longer (default 10)
+  --connect-timeout-ms MS TCP connect timeout per attempt (default 1000)
+  --read-timeout-ms MS    per-response read timeout (default 120000)
+  --vnodes V              virtual nodes per shard on the ring (default
+                          64; every process in a deployment must agree)
+
+REBALANCE MODE (offline; stop the workers first):
+  --rebalance             run a ring resize instead of serving
+  --data-base PATH        directory holding the shard-N data dirs
+  --from N                shard count the stores were written under
+  --to M                  shard count to rebalance onto
+  -h, --help              print this help
+";
+
+/// Everything the router binary needs to boot, parsed and validated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterOptions {
+    /// Listen address.
+    pub addr: String,
+    /// Worker-daemon addresses, in shard order.
+    pub shards: Vec<String>,
+    /// Device width of the front-end session (linear topology).
+    pub qubits: usize,
+    /// Router worker threads.
+    pub workers: usize,
+    /// Admission-queue capacity.
+    pub queue: usize,
+    /// Concurrent-connection cap.
+    pub max_connections: usize,
+    /// Forwarding attempts per call.
+    pub attempts: usize,
+    /// Backoff before the first retry, milliseconds.
+    pub backoff_ms: u64,
+    /// TCP connect timeout per attempt, milliseconds.
+    pub connect_timeout_ms: u64,
+    /// Per-response read timeout, milliseconds.
+    pub read_timeout_ms: u64,
+    /// Virtual nodes per shard on the ring.
+    pub vnodes: usize,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        let server = ServerConfig::default();
+        let router = crate::router::RouterConfig::default();
+        Self {
+            addr: "127.0.0.1:7979".to_string(),
+            shards: Vec::new(),
+            qubits: 5,
+            workers: server.workers,
+            queue: server.queue_capacity,
+            max_connections: server.max_connections,
+            attempts: router.attempts,
+            backoff_ms: router.backoff.as_millis() as u64,
+            connect_timeout_ms: router.connect_timeout.as_millis() as u64,
+            read_timeout_ms: router.read_timeout.as_millis() as u64,
+            vnodes: router.vnodes,
+        }
+    }
+}
+
+impl RouterOptions {
+    /// The [`ServerConfig`] these options select for the router's own
+    /// event loop.
+    pub fn server_config(&self) -> ServerConfig {
+        ServerConfig {
+            workers: self.workers,
+            queue_capacity: self.queue,
+            max_connections: self.max_connections,
+            ..ServerConfig::default()
+        }
+    }
+
+    /// The [`crate::router::RouterConfig`] these options select for the
+    /// forwarding path.
+    pub fn router_config(&self) -> crate::router::RouterConfig {
+        use std::time::Duration;
+        crate::router::RouterConfig {
+            attempts: self.attempts,
+            backoff: Duration::from_millis(self.backoff_ms),
+            connect_timeout: Duration::from_millis(self.connect_timeout_ms),
+            read_timeout: Duration::from_millis(self.read_timeout_ms),
+            vnodes: self.vnodes,
+        }
+    }
+}
+
+/// The offline rebalance invocation, parsed and validated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebalanceOptions {
+    /// Directory holding the `shard-N` data dirs.
+    pub data_base: String,
+    /// Shard count the stores were written under.
+    pub from: usize,
+    /// Shard count to rebalance onto.
+    pub to: usize,
+    /// Virtual nodes per shard on the ring.
+    pub vnodes: usize,
+}
+
+/// What the router's argument vector asked for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouterCommand {
+    /// Boot the router with these options.
+    Route(RouterOptions),
+    /// Rebalance the shard stores offline, then exit.
+    Rebalance(RebalanceOptions),
+    /// Print usage and exit 0.
+    Help,
+}
+
+const ROUTER_KNOWN_FLAGS: [&str; 14] = [
+    "--shards",
+    "--addr",
+    "--qubits",
+    "--workers",
+    "--queue",
+    "--max-connections",
+    "--attempts",
+    "--backoff-ms",
+    "--connect-timeout-ms",
+    "--read-timeout-ms",
+    "--vnodes",
+    "--data-base",
+    "--from",
+    "--to",
+];
+
+/// Parses the router's argument vector (without the program name), with
+/// the same strictness as [`parse_args`]: every argument must be a
+/// known flag, every value-taking flag must have a value, and a value
+/// that itself looks like a flag is rejected.
+///
+/// # Errors
+///
+/// A [`CliError`] naming exactly what was wrong; nothing is ever
+/// silently ignored or misassigned.
+pub fn parse_router_args(
+    args: impl IntoIterator<Item = String>,
+) -> Result<RouterCommand, CliError> {
+    let mut options = RouterOptions::default();
+    let mut rebalance = false;
+    let mut data_base: Option<String> = None;
+    let mut from: Option<usize> = None;
+    let mut to: Option<usize> = None;
+    let mut args = args.into_iter().peekable();
+    while let Some(arg) = args.next() {
+        if arg == "-h" || arg == "--help" {
+            return Ok(RouterCommand::Help);
+        }
+        if arg == "--rebalance" {
+            rebalance = true;
+            continue;
+        }
+        if !arg.starts_with("--") {
+            return Err(CliError::UnexpectedArgument(arg));
+        }
+        let (flag, inline) = match arg.split_once('=') {
+            Some((flag, value)) => (flag.to_string(), Some(value.to_string())),
+            None => (arg, None),
+        };
+        if !ROUTER_KNOWN_FLAGS.contains(&flag.as_str()) {
+            return Err(CliError::UnknownFlag(flag));
+        }
+        let value = match inline {
+            Some(value) => value,
+            None => match args.peek() {
+                None => return Err(CliError::MissingValue(flag)),
+                Some(next) if next.starts_with("--") => {
+                    return Err(CliError::FlagShapedValue {
+                        flag,
+                        value: next.clone(),
+                    })
+                }
+                Some(_) => args.next().expect("peeked"),
+            },
+        };
+        let count = |value: &str| -> Result<usize, CliError> {
+            value.parse().map_err(|_| CliError::BadValue {
+                flag: flag.clone(),
+                value: value.to_string(),
+            })
+        };
+        let millis = |value: &str| -> Result<u64, CliError> {
+            value.parse().map_err(|_| CliError::BadValue {
+                flag: flag.clone(),
+                value: value.to_string(),
+            })
+        };
+        match flag.as_str() {
+            "--shards" => {
+                options.shards = value
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if options.shards.is_empty() {
+                    return Err(CliError::BadValue { flag, value });
+                }
+            }
+            "--addr" => options.addr = value,
+            "--qubits" => options.qubits = count(&value)?,
+            "--workers" => options.workers = count(&value)?,
+            "--queue" => options.queue = count(&value)?,
+            "--max-connections" => options.max_connections = count(&value)?,
+            "--attempts" => options.attempts = count(&value)?.max(1),
+            "--backoff-ms" => options.backoff_ms = millis(&value)?,
+            "--connect-timeout-ms" => options.connect_timeout_ms = millis(&value)?,
+            "--read-timeout-ms" => options.read_timeout_ms = millis(&value)?,
+            "--vnodes" => options.vnodes = count(&value)?.max(1),
+            "--data-base" => data_base = Some(value),
+            "--from" => from = Some(count(&value)?),
+            "--to" => to = Some(count(&value)?),
+            _ => unreachable!("flag was checked against ROUTER_KNOWN_FLAGS"),
+        }
+    }
+    if rebalance {
+        return Ok(RouterCommand::Rebalance(RebalanceOptions {
+            data_base: data_base.ok_or_else(|| CliError::MissingFlag("--data-base".into()))?,
+            from: from.ok_or_else(|| CliError::MissingFlag("--from".into()))?,
+            to: to.ok_or_else(|| CliError::MissingFlag("--to".into()))?,
+            vnodes: options.vnodes,
+        }));
+    }
+    if options.shards.is_empty() {
+        return Err(CliError::MissingFlag("--shards".into()));
+    }
+    Ok(RouterCommand::Route(options))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> Result<Command, CliError> {
         parse_args(args.iter().map(|a| a.to_string()))
+    }
+
+    fn parse_router(args: &[&str]) -> Result<RouterCommand, CliError> {
+        parse_router_args(args.iter().map(|a| a.to_string()))
+    }
+
+    #[test]
+    fn router_needs_shards() {
+        assert_eq!(
+            parse_router(&[]),
+            Err(CliError::MissingFlag("--shards".into()))
+        );
+        assert_eq!(
+            parse_router(&["--shards", " , "]),
+            Err(CliError::BadValue {
+                flag: "--shards".into(),
+                value: " , ".into(),
+            })
+        );
+    }
+
+    #[test]
+    fn router_flags_parse_and_project() {
+        let command = parse_router(&[
+            "--shards=127.0.0.1:7001, 127.0.0.1:7002 ,127.0.0.1:7003",
+            "--addr=0.0.0.0:0",
+            "--qubits=3",
+            "--attempts=5",
+            "--backoff-ms=2",
+            "--connect-timeout-ms=250",
+            "--read-timeout-ms=9000",
+            "--vnodes=32",
+            "--workers=4",
+        ])
+        .expect("valid args");
+        let RouterCommand::Route(options) = command else {
+            panic!("expected route options, got {command:?}");
+        };
+        assert_eq!(
+            options.shards,
+            vec!["127.0.0.1:7001", "127.0.0.1:7002", "127.0.0.1:7003"]
+        );
+        assert_eq!(options.qubits, 3);
+        let router = options.router_config();
+        assert_eq!(router.attempts, 5);
+        assert_eq!(router.backoff, std::time::Duration::from_millis(2));
+        assert_eq!(router.read_timeout, std::time::Duration::from_millis(9000));
+        assert_eq!(router.vnodes, 32);
+        assert_eq!(options.server_config().workers, 4);
+    }
+
+    #[test]
+    fn router_rejects_like_the_daemon() {
+        assert_eq!(
+            parse_router(&["--shard", "x"]),
+            Err(CliError::UnknownFlag("--shard".into()))
+        );
+        assert_eq!(
+            parse_router(&["--shards", "--addr"]),
+            Err(CliError::FlagShapedValue {
+                flag: "--shards".into(),
+                value: "--addr".into(),
+            })
+        );
+        assert_eq!(parse_router(&["-h"]), Ok(RouterCommand::Help));
+    }
+
+    #[test]
+    fn rebalance_mode_requires_its_trio() {
+        assert_eq!(
+            parse_router(&["--rebalance", "--from=2", "--to=3"]),
+            Err(CliError::MissingFlag("--data-base".into()))
+        );
+        assert_eq!(
+            parse_router(&["--rebalance", "--data-base=/tmp/x", "--from=2", "--to=3"]),
+            Ok(RouterCommand::Rebalance(RebalanceOptions {
+                data_base: "/tmp/x".into(),
+                from: 2,
+                to: 3,
+                vnodes: accqoc::DEFAULT_VNODES,
+            }))
+        );
     }
 
     fn options(args: &[&str]) -> DaemonOptions {

@@ -5,6 +5,7 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use accqoc::{PulseCache, ServeReport, VerifyReport};
 use accqoc_circuit::{to_qasm, Circuit, UnitaryKey};
@@ -75,6 +76,47 @@ impl Client {
     /// Propagates socket failures.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let writer = TcpStream::connect(addr)?;
+        Self::wrap(writer)
+    }
+
+    /// [`Client::connect`] with bounds on how long the client waits —
+    /// `connect_timeout` for the TCP handshake and `read_timeout` for
+    /// each response read. Without them, a dead or wedged daemon blocks
+    /// a call indefinitely (the OS keeps the socket open); with them,
+    /// the call fails with [`ClientError::Io`] (`WouldBlock`/`TimedOut`)
+    /// and the caller — e.g. the shard router — can retry or fail over.
+    ///
+    /// When `addr` resolves to several addresses, each is tried in turn
+    /// with the full `connect_timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures; resolution yielding no address is
+    /// `InvalidInput`.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        connect_timeout: Duration,
+        read_timeout: Option<Duration>,
+    ) -> std::io::Result<Self> {
+        let mut last_err = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, connect_timeout) {
+                Ok(writer) => {
+                    writer.set_read_timeout(read_timeout)?;
+                    return Self::wrap(writer);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+        }))
+    }
+
+    fn wrap(writer: TcpStream) -> std::io::Result<Self> {
         writer.set_nodelay(true).ok();
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Self {
@@ -162,9 +204,27 @@ impl Client {
         circuit: &Circuit,
         return_pulses: bool,
     ) -> Result<(ServeReport, Option<PulseCache>, Vec<UnitaryKey>), ClientError> {
+        self.serve_program_subset(circuit, return_pulses, None)
+    }
+
+    /// [`Client::serve_program_full`] restricted to the unique groups
+    /// of the given widths — how the shard router asks a worker for
+    /// exactly the groups it owns on the hash ring. `None` serves the
+    /// whole program.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn serve_program_subset(
+        &mut self,
+        circuit: &Circuit,
+        return_pulses: bool,
+        only_qubits: Option<&[usize]>,
+    ) -> Result<(ServeReport, Option<PulseCache>, Vec<UnitaryKey>), ClientError> {
         match self.call(Call::ServeProgram {
             qasm: to_qasm(circuit),
             return_pulses,
+            only_qubits: only_qubits.map(<[usize]>::to_vec),
         })? {
             Payload::Serve {
                 report,
@@ -182,11 +242,44 @@ impl Client {
     ///
     /// See [`Client::call`].
     pub fn precompile(&mut self, programs: &[Circuit]) -> Result<PrecompileSummary, ClientError> {
+        self.precompile_subset(programs, None)
+    }
+
+    /// [`Client::precompile`] restricted to the unique groups of the
+    /// given widths (see [`Client::serve_program_subset`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn precompile_subset(
+        &mut self,
+        programs: &[Circuit],
+        only_qubits: Option<&[usize]>,
+    ) -> Result<PrecompileSummary, ClientError> {
         match self.call(Call::Precompile {
             programs: programs.iter().map(to_qasm).collect(),
+            only_qubits: only_qubits.map(<[usize]>::to_vec),
         })? {
             Payload::Precompile(summary) => Ok(summary),
             other => Err(mismatch("precompile", &other)),
+        }
+    }
+
+    /// Fetches pulse amplitudes for an explicit key set; the second
+    /// element lists the requested keys the daemon no longer holds.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn pulses(
+        &mut self,
+        keys: &[UnitaryKey],
+    ) -> Result<(PulseCache, Vec<UnitaryKey>), ClientError> {
+        match self.call(Call::Pulses {
+            keys: keys.to_vec(),
+        })? {
+            Payload::Pulses { pulses, missing } => Ok((pulses, missing)),
+            other => Err(mismatch("pulses", &other)),
         }
     }
 
@@ -244,4 +337,53 @@ impl Client {
 
 fn mismatch(method: &str, got: &Payload) -> ClientError {
     ClientError::Protocol(format!("`{method}` answered with {got:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_timeout_bounds_a_call_against_a_silent_daemon() {
+        // A listener that never accepts: the kernel backlog completes
+        // the TCP handshake, so `connect` succeeds, but no response
+        // will ever arrive. Without a read timeout `stats()` would
+        // block forever — the latent gap the router cannot live with.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = Client::connect_with(
+            addr,
+            Duration::from_millis(500),
+            Some(Duration::from_millis(50)),
+        )
+        .expect("handshake completes via the backlog");
+        let started = std::time::Instant::now();
+        let err = client.stats().expect_err("no daemon ever answers");
+        let elapsed = started.elapsed();
+        match err {
+            ClientError::Io(e) => assert!(
+                matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ),
+                "expected a timeout kind, got {e:?}"
+            ),
+            other => panic!("expected ClientError::Io, got {other:?}"),
+        }
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "timeout must bound the call, took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn connect_with_rejects_empty_resolution() {
+        let err = Client::connect_with(
+            &[][..] as &[std::net::SocketAddr],
+            Duration::from_millis(100),
+            None,
+        )
+        .expect_err("nothing to connect to");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
 }

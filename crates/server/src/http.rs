@@ -18,6 +18,7 @@
 //! |---|---|
 //! | `POST /serve` | [`Call::ServeProgram`] (body: `{"qasm": "...", "return_pulses": bool}`) |
 //! | `POST /precompile` | [`Call::Precompile`] (body: `{"programs": ["...", ...]}`) |
+//! | `POST /pulses` | [`Call::Pulses`] (body: `{"keys": ["<hex>", ...]}`) |
 //! | `POST /verify` | [`Call::VerifyProgram`] (body: `{"qasm": "..."}`) |
 //! | `GET /stats` | [`Call::Stats`] |
 //! | `GET /library?limit=N&offset=M` | [`Call::Library`] |
@@ -288,6 +289,7 @@ pub fn route(request: &HttpRequest) -> Result<(Call, Format), WireError> {
             Call::ServeProgram {
                 qasm: required_str(&body, "qasm")?,
                 return_pulses: matches!(body.get("return_pulses"), Some(JsonValue::Bool(true))),
+                only_qubits: optional_widths(&body)?,
             }
         }
         "/precompile" => {
@@ -306,6 +308,34 @@ pub fn route(request: &HttpRequest) -> Result<(Call, Format), WireError> {
                         p.as_str().map(str::to_string).ok_or_else(|| {
                             WireError::new(ErrorCode::BadParams, "`programs` holds a non-string")
                         })
+                    })
+                    .collect::<Result<_, _>>()?,
+                only_qubits: optional_widths(&body)?,
+            }
+        }
+        "/pulses" => {
+            require_method(method, "POST")?;
+            let body = parse_body(&request.body)?;
+            let keys = body
+                .get("keys")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| {
+                    WireError::new(ErrorCode::BadParams, "missing array param `keys`")
+                })?;
+            Call::Pulses {
+                keys: keys
+                    .iter()
+                    .map(|k| {
+                        k.as_str()
+                            .ok_or_else(|| {
+                                WireError::new(ErrorCode::BadParams, "`keys` holds a non-string")
+                            })
+                            .and_then(|text| {
+                                crate::protocol::hex_decode(text).map_err(|e| {
+                                    WireError::new(ErrorCode::BadParams, format!("bad key: {e}"))
+                                })
+                            })
+                            .map(accqoc_circuit::UnitaryKey::from_bytes)
                     })
                     .collect::<Result<_, _>>()?,
             }
@@ -364,6 +394,25 @@ fn require_method(got: &str, want: &str) -> Result<(), WireError> {
     }
 }
 
+/// The optional `only_qubits` width filter of `/serve` and
+/// `/precompile` bodies (absent means "serve everything").
+fn optional_widths(body: &JsonValue) -> Result<Option<Vec<usize>>, WireError> {
+    match body.get("only_qubits") {
+        None => Ok(None),
+        Some(value) => value
+            .as_array()
+            .ok_or_else(|| WireError::new(ErrorCode::BadParams, "`only_qubits` must be an array"))?
+            .iter()
+            .map(|w| {
+                w.as_usize().ok_or_else(|| {
+                    WireError::new(ErrorCode::BadParams, "`only_qubits` holds a non-integer")
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some),
+    }
+}
+
 fn parse_body(body: &[u8]) -> Result<JsonValue, WireError> {
     let text = std::str::from_utf8(body)
         .map_err(|_| WireError::new(ErrorCode::MalformedJson, "request body is not UTF-8"))?;
@@ -402,7 +451,9 @@ pub fn status_of(code: ErrorCode) -> (u16, &'static str) {
         ErrorCode::UnknownMethod | ErrorCode::NotFound => (404, "Not Found"),
         ErrorCode::MethodNotAllowed => (405, "Method Not Allowed"),
         ErrorCode::Oversized => (413, "Payload Too Large"),
-        ErrorCode::Busy | ErrorCode::ShuttingDown => (503, "Service Unavailable"),
+        ErrorCode::Busy | ErrorCode::ShuttingDown | ErrorCode::ShardUnavailable => {
+            (503, "Service Unavailable")
+        }
         ErrorCode::Compile | ErrorCode::Internal => (500, "Internal Server Error"),
     }
 }
@@ -568,6 +619,30 @@ mod tests {
             Call::ServeProgram {
                 qasm: "qreg q[1]; h q[0];".into(),
                 return_pulses: true,
+                only_qubits: None,
+            }
+        );
+
+        let (call, _) = route(&req(
+            "POST",
+            "/serve",
+            r#"{"qasm": "qreg q[1]; h q[0];", "only_qubits": [1, 2]}"#,
+        ))
+        .unwrap();
+        assert_eq!(
+            call,
+            Call::ServeProgram {
+                qasm: "qreg q[1]; h q[0];".into(),
+                return_pulses: false,
+                only_qubits: Some(vec![1, 2]),
+            }
+        );
+
+        let (call, _) = route(&req("POST", "/pulses", r#"{"keys": ["00ff"]}"#)).unwrap();
+        assert_eq!(
+            call,
+            Call::Pulses {
+                keys: vec![accqoc_circuit::UnitaryKey::from_bytes(vec![0, 255])],
             }
         );
 

@@ -8,9 +8,9 @@
 //! indexed [`accqoc::PulseLibrary`]) and exposes it on a TCP socket
 //! speaking two wire surfaces, auto-detected per connection:
 //!
-//! - the newline-delimited JSON line protocol ([`protocol`]) with six
+//! - the newline-delimited JSON line protocol ([`protocol`]) with seven
 //!   methods: `serve_program`, `precompile`, `verify_program`, `stats`,
-//!   `library`, and `shutdown`;
+//!   `library`, `pulses`, and `shutdown`;
 //! - HTTP/1.1 ([`http`]): `POST /serve`, `POST /precompile`,
 //!   `POST /verify`, `GET /stats`, `GET /library` (limit/offset
 //!   pagination), `POST /shutdown`, with `.json`/`.pretty` format
@@ -38,6 +38,12 @@
 //!   in-process path, and served pulses are byte-identical to what
 //!   [`accqoc::Session::serve_program`] produces (the `server` bench bin
 //!   asserts this over loopback).
+//!
+//! The same event loop also hosts the sharded tier: [`router`] is a
+//! [`server::CallHandler`] that partitions the library across N worker
+//! daemons by a consistent-hash ring on group width, while speaking
+//! both wire surfaces unchanged (see `ARCHITECTURE.md`, "Sharded
+//! serving tier").
 //!
 //! # Example
 //!
@@ -68,6 +74,7 @@ pub mod http;
 pub mod inflight;
 pub mod protocol;
 pub mod queue;
+pub mod router;
 pub mod server;
 
 pub use client::{Client, ClientError};
@@ -75,4 +82,5 @@ pub use protocol::{
     Call, ErrorCode, LibraryEntryInfo, LibraryPage, Payload, PrecompileSummary, Request, Response,
     ServerCounters, StatsSnapshot, WireError,
 };
-pub use server::{Server, ServerConfig};
+pub use router::{RouterConfig, RouterHandler};
+pub use server::{CallHandler, HandlerContext, Server, ServerConfig, SessionHandler};

@@ -76,6 +76,10 @@ pub enum ErrorCode {
     NotFound,
     /// HTTP: the route exists but not for the request's method verb.
     MethodNotAllowed,
+    /// Router mode: the shard owning the request's groups did not answer
+    /// within the router's bounded retry/backoff budget. Retryable — the
+    /// shard may be restarting from its durable store.
+    ShardUnavailable,
     /// Anything else (a bug, by definition).
     Internal,
 }
@@ -94,6 +98,7 @@ impl ErrorCode {
             Self::Compile => "compile",
             Self::NotFound => "not_found",
             Self::MethodNotAllowed => "method_not_allowed",
+            Self::ShardUnavailable => "shard_unavailable",
             Self::Internal => "internal",
         }
     }
@@ -110,6 +115,7 @@ impl ErrorCode {
             "compile" => Self::Compile,
             "not_found" => Self::NotFound,
             "method_not_allowed" => Self::MethodNotAllowed,
+            "shard_unavailable" => Self::ShardUnavailable,
             _ => Self::Internal,
         }
     }
@@ -179,12 +185,21 @@ pub enum Call {
         /// When `true`, the response carries the resolved pulses for the
         /// program's unique groups as a [`PulseCache`] artifact.
         return_pulses: bool,
+        /// Router mode: restrict serving to the unique groups of these
+        /// widths (the groups the addressed shard owns on the hash
+        /// ring). `None` — the single-process default — serves every
+        /// group. Warm starts are width-local, so a width-filtered serve
+        /// produces byte-identical pulses for the owned groups.
+        only_qubits: Option<Vec<usize>>,
     },
     /// Batch pre-compilation of a profiled program set
     /// ([`accqoc::Session::precompile`], MST order).
     Precompile {
         /// The profiled programs as OpenQASM sources.
         programs: Vec<String>,
+        /// Router mode: precompile only the unique groups of these
+        /// widths (see [`Call::ServeProgram::only_qubits`]).
+        only_qubits: Option<Vec<usize>>,
     },
     /// Semantic verification of a program against the library's pulses
     /// ([`accqoc::Session::verify_program`]).
@@ -204,6 +219,13 @@ pub enum Call {
         /// Entries to skip (in key order) before the page starts.
         offset: usize,
     },
+    /// Pulse amplitudes for an explicit key set — the router's verify
+    /// path: fetch the owned pulses from each shard, then verify locally
+    /// against the program's reference unitaries.
+    Pulses {
+        /// The canonical group keys to fetch.
+        keys: Vec<UnitaryKey>,
+    },
     /// Graceful shutdown: the daemon stops accepting, drains queued
     /// requests, and exits. Handled by the connection thread directly,
     /// so it works even when the admission queue is full.
@@ -218,6 +240,7 @@ impl Call {
             Self::VerifyProgram { .. } => "verify_program",
             Self::Stats => "stats",
             Self::Library { .. } => "library",
+            Self::Pulses { .. } => "pulses",
             Self::Shutdown => "shutdown",
         }
     }
@@ -235,6 +258,7 @@ impl Call {
 ///     call: Call::ServeProgram {
 ///         qasm: "qreg q[1]; h q[0];".into(),
 ///         return_pulses: false,
+///         only_qubits: None,
 ///     },
 /// };
 /// let line = request.encode();
@@ -264,23 +288,51 @@ impl Request {
     /// Serializes the request as one compact JSON line (no trailing
     /// newline; the transport appends the frame delimiter).
     pub fn encode(&self) -> String {
+        // `only_qubits: None` is omitted from the frame, so a pre-router
+        // client's requests are byte-identical to what it sent before the
+        // field existed.
+        let widths_field = |fields: &mut Vec<(String, JsonValue)>, widths: &Option<Vec<usize>>| {
+            if let Some(widths) = widths {
+                fields.push((
+                    "only_qubits".into(),
+                    JsonValue::Array(
+                        widths
+                            .iter()
+                            .map(|&w| JsonValue::Number(w as f64))
+                            .collect(),
+                    ),
+                ));
+            }
+        };
         let params = match &self.call {
             Call::ServeProgram {
                 qasm,
                 return_pulses,
-            } => Some(JsonValue::Object(vec![
-                ("qasm".into(), JsonValue::String(qasm.clone())),
-                ("return_pulses".into(), JsonValue::Bool(*return_pulses)),
-            ])),
-            Call::Precompile { programs } => Some(JsonValue::Object(vec![(
-                "programs".into(),
-                JsonValue::Array(
-                    programs
-                        .iter()
-                        .map(|p| JsonValue::String(p.clone()))
-                        .collect(),
-                ),
-            )])),
+                only_qubits,
+            } => {
+                let mut fields = vec![
+                    ("qasm".into(), JsonValue::String(qasm.clone())),
+                    ("return_pulses".into(), JsonValue::Bool(*return_pulses)),
+                ];
+                widths_field(&mut fields, only_qubits);
+                Some(JsonValue::Object(fields))
+            }
+            Call::Precompile {
+                programs,
+                only_qubits,
+            } => {
+                let mut fields = vec![(
+                    "programs".into(),
+                    JsonValue::Array(
+                        programs
+                            .iter()
+                            .map(|p| JsonValue::String(p.clone()))
+                            .collect(),
+                    ),
+                )];
+                widths_field(&mut fields, only_qubits);
+                Some(JsonValue::Object(fields))
+            }
             Call::VerifyProgram { qasm } => Some(JsonValue::Object(vec![(
                 "qasm".into(),
                 JsonValue::String(qasm.clone()),
@@ -289,6 +341,14 @@ impl Request {
                 ("limit".into(), JsonValue::Number(*limit as f64)),
                 ("offset".into(), JsonValue::Number(*offset as f64)),
             ])),
+            Call::Pulses { keys } => Some(JsonValue::Object(vec![(
+                "keys".into(),
+                JsonValue::Array(
+                    keys.iter()
+                        .map(|k| JsonValue::String(hex_encode(k.as_bytes())))
+                        .collect(),
+                ),
+            )])),
             Call::Stats | Call::Shutdown => None,
         };
         let mut fields = vec![
@@ -341,6 +401,28 @@ impl Request {
                     )
                 })
         };
+        let param_widths = || match doc.get("params").and_then(|p| p.get("only_qubits")) {
+            None => Ok(None),
+            Some(value) => value
+                .as_array()
+                .ok_or_else(|| {
+                    fail(
+                        ErrorCode::BadParams,
+                        "`only_qubits` must be an array".into(),
+                    )
+                })?
+                .iter()
+                .map(|w| {
+                    w.as_usize().ok_or_else(|| {
+                        fail(
+                            ErrorCode::BadParams,
+                            "`only_qubits` holds a non-integer".into(),
+                        )
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()
+                .map(Some),
+        };
         let call = match method {
             "serve_program" => Call::ServeProgram {
                 qasm: param_str("qasm")?,
@@ -348,6 +430,7 @@ impl Request {
                     doc.get("params").and_then(|p| p.get("return_pulses")),
                     Some(JsonValue::Bool(true))
                 ),
+                only_qubits: param_widths()?,
             },
             "precompile" => {
                 let programs = doc
@@ -369,6 +452,7 @@ impl Request {
                             })
                         })
                         .collect::<Result<_, _>>()?,
+                    only_qubits: param_widths()?,
                 }
             }
             "verify_program" => Call::VerifyProgram {
@@ -391,6 +475,32 @@ impl Request {
                 Call::Library {
                     limit: param_count("limit", DEFAULT_LIBRARY_LIMIT)?.min(MAX_LIBRARY_LIMIT),
                     offset: param_count("offset", 0)?,
+                }
+            }
+            "pulses" => {
+                let keys = doc
+                    .get("params")
+                    .and_then(|p| p.get("keys"))
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| {
+                        fail(ErrorCode::BadParams, "missing array param `keys`".into())
+                    })?;
+                Call::Pulses {
+                    keys: keys
+                        .iter()
+                        .map(|k| {
+                            k.as_str()
+                                .ok_or_else(|| {
+                                    fail(ErrorCode::BadParams, "`keys` holds a non-string".into())
+                                })
+                                .and_then(|text| {
+                                    hex_decode(text).map_err(|e| {
+                                        fail(ErrorCode::BadParams, format!("bad key: {e}"))
+                                    })
+                                })
+                                .map(UnitaryKey::from_bytes)
+                        })
+                        .collect::<Result<_, _>>()?,
                 }
             }
             "shutdown" => Call::Shutdown,
@@ -630,6 +740,14 @@ pub enum Payload {
     Stats(StatsSnapshot),
     /// `library`: one page of entry metadata.
     Library(LibraryPage),
+    /// `pulses`: the requested entries, plus the keys the library no
+    /// longer holds (evicted since the caller learned them).
+    Pulses {
+        /// The entries found, as the byte-deterministic cache artifact.
+        pulses: PulseCache,
+        /// Requested keys with no live entry, sorted.
+        missing: Vec<UnitaryKey>,
+    },
     /// `shutdown`: acknowledged; the daemon is draining.
     Shutdown,
 }
@@ -643,6 +761,7 @@ impl Payload {
             Self::Verify(_) => "verify_program",
             Self::Stats(_) => "stats",
             Self::Library(_) => "library",
+            Self::Pulses { .. } => "pulses",
             Self::Shutdown => "shutdown",
         }
     }
@@ -702,6 +821,21 @@ impl Payload {
                 ),
             ]),
             Payload::Library(page) => page.to_json_value(),
+            Payload::Pulses { pulses, missing } => JsonValue::Object(vec![
+                (
+                    "pulses".into(),
+                    json::parse(&pulses.to_json()).expect("pulse cache serializes to valid json"),
+                ),
+                (
+                    "missing".into(),
+                    JsonValue::Array(
+                        missing
+                            .iter()
+                            .map(|k| JsonValue::String(hex_encode(k.as_bytes())))
+                            .collect(),
+                    ),
+                ),
+            ]),
             Payload::Shutdown => JsonValue::Object(vec![]),
         }
     }
@@ -772,6 +906,27 @@ impl Payload {
                 queue_depth: count(result, "queue_depth")?,
             }),
             "library" => Payload::Library(LibraryPage::from_json_value(result)?),
+            "pulses" => Payload::Pulses {
+                pulses: PulseCache::from_json(
+                    &result
+                        .get("pulses")
+                        .ok_or("pulses result missing `pulses`")?
+                        .to_compact(),
+                )
+                .map_err(|e| format!("bad pulses: {e}"))?,
+                missing: result
+                    .get("missing")
+                    .and_then(JsonValue::as_array)
+                    .ok_or("pulses result missing `missing`")?
+                    .iter()
+                    .map(|k| {
+                        k.as_str()
+                            .ok_or_else(|| "`missing` holds a non-string".to_string())
+                            .and_then(hex_decode)
+                            .map(UnitaryKey::from_bytes)
+                    })
+                    .collect::<Result<_, _>>()?,
+            },
             "shutdown" => Payload::Shutdown,
             other => return Err(format!("unknown response method `{other}`")),
         })
@@ -884,9 +1039,20 @@ mod tests {
             Call::ServeProgram {
                 qasm: "qreg q[2]; cx q[0],q[1];".into(),
                 return_pulses: true,
+                only_qubits: None,
+            },
+            Call::ServeProgram {
+                qasm: "qreg q[2]; cx q[0],q[1];".into(),
+                return_pulses: false,
+                only_qubits: Some(vec![1, 2]),
             },
             Call::Precompile {
                 programs: vec!["qreg q[1]; h q[0];".into(), "qreg q[1]; t q[0];".into()],
+                only_qubits: None,
+            },
+            Call::Precompile {
+                programs: vec!["qreg q[1]; h q[0];".into()],
+                only_qubits: Some(vec![2]),
             },
             Call::VerifyProgram {
                 qasm: "qreg q[1]; x q[0];".into(),
@@ -895,6 +1061,12 @@ mod tests {
             Call::Library {
                 limit: 25,
                 offset: 100,
+            },
+            Call::Pulses {
+                keys: vec![
+                    UnitaryKey::from_bytes(vec![0, 255, 16]),
+                    UnitaryKey::from_bytes(vec![42]),
+                ],
             },
             Call::Shutdown,
         ];
@@ -966,6 +1138,7 @@ mod tests {
             ErrorCode::Compile,
             ErrorCode::NotFound,
             ErrorCode::MethodNotAllowed,
+            ErrorCode::ShardUnavailable,
             ErrorCode::Internal,
         ] {
             let r = Response::failure(1, code, "detail");
@@ -1074,6 +1247,66 @@ mod tests {
         let line = r_empty.encode();
         assert!(!line.contains("\"missing\""), "{line}");
         assert_eq!(Response::decode(&line).unwrap(), r_empty);
+    }
+
+    #[test]
+    fn only_qubits_is_absent_when_none_and_typed_when_bad() {
+        // A filter-less request is byte-identical to the pre-sharding
+        // wire format — old clients and new daemons interoperate.
+        let line = Request {
+            id: 1,
+            call: Call::ServeProgram {
+                qasm: "qreg q[1]; h q[0];".into(),
+                return_pulses: false,
+                only_qubits: None,
+            },
+        }
+        .encode();
+        assert!(!line.contains("only_qubits"), "{line}");
+
+        let e = Request::decode(
+            r#"{"id": 1, "method": "serve_program",
+                "params": {"qasm": "x", "only_qubits": "two"}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(e.error.code, ErrorCode::BadParams);
+        let e = Request::decode(
+            r#"{"id": 1, "method": "serve_program",
+                "params": {"qasm": "x", "only_qubits": ["two"]}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(e.error.code, ErrorCode::BadParams);
+    }
+
+    #[test]
+    fn pulses_call_types_bad_keys() {
+        let e = Request::decode(r#"{"id": 1, "method": "pulses"}"#).unwrap_err();
+        assert_eq!(e.error.code, ErrorCode::BadParams);
+        let e = Request::decode(r#"{"id": 1, "method": "pulses", "params": {"keys": ["zz"]}}"#)
+            .unwrap_err();
+        assert_eq!(e.error.code, ErrorCode::BadParams);
+    }
+
+    #[test]
+    fn pulses_payload_roundtrips() {
+        let mut cache = PulseCache::new();
+        cache.insert(
+            UnitaryKey::from_bytes(vec![7, 7]),
+            accqoc::CachedPulse {
+                pulse: accqoc_grape::Pulse::zeros(2, 4, 1.0),
+                latency_ns: 12.5,
+                iterations: 3,
+                n_qubits: 1,
+            },
+        );
+        let r = Response {
+            id: 4,
+            body: Ok(Payload::Pulses {
+                pulses: cache,
+                missing: vec![UnitaryKey::from_bytes(vec![0, 255])],
+            }),
+        };
+        assert_eq!(Response::decode(&r.encode()).unwrap(), r);
     }
 
     #[test]

@@ -320,21 +320,102 @@ impl Conn {
     }
 }
 
-/// The pulse-serving daemon: a TCP listener over one shared
-/// [`Session`]/pulse library.
+/// What the server lends a handler for one call: live server-counter
+/// access (for `stats` snapshots and coalesced-wait accounting) and the
+/// admission queue's depth at pickup time.
+pub struct HandlerContext<'a> {
+    counters: &'a CounterCells,
+    queue_depth: usize,
+}
+
+impl HandlerContext<'_> {
+    /// The server's own counters, including the request being handled.
+    pub fn server_counters(&self) -> ServerCounters {
+        self.counters.snapshot()
+    }
+
+    /// Requests queued for admission when this call was picked up.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// Records that this call waited on another request's in-flight
+    /// compile instead of duplicating it.
+    pub fn note_coalesced_wait(&self) {
+        self.counters.bump(&self.counters.coalesced_waits);
+    }
+}
+
+/// What a [`Server`] serves: both wire surfaces (legacy line-JSON and
+/// HTTP) parse into the same [`Call`]s, and every admitted call lands
+/// here on a worker thread. [`SessionHandler`] — the default — executes
+/// calls against one local [`Session`]; the shard router implements the
+/// same trait by forwarding to worker daemons instead, so both speak
+/// identical wire surfaces.
+pub trait CallHandler: Sync {
+    /// Executes one admitted call. `id` is the legacy correlation id to
+    /// echo (0 on the HTTP surface).
+    fn handle(&self, id: u64, call: Call, ctx: &HandlerContext<'_>) -> Response;
+
+    /// Called once, from the event loop, when a `shutdown` request
+    /// starts the drain — after the shutdown response is queued and
+    /// admission is closed. A router uses this to forward the shutdown
+    /// to its worker shards; the default does nothing.
+    fn on_shutdown(&self) {}
+}
+
+/// The default [`CallHandler`]: executes calls against one shared local
+/// [`Session`], with in-flight group coalescing across workers.
+pub struct SessionHandler {
+    session: Arc<Session>,
+    inflight: InflightGroups,
+}
+
+impl SessionHandler {
+    /// Wraps a session for serving.
+    pub fn new(session: Arc<Session>) -> Self {
+        Self {
+            session,
+            inflight: InflightGroups::new(),
+        }
+    }
+
+    /// The wrapped session.
+    pub fn session(&self) -> &Arc<Session> {
+        &self.session
+    }
+}
+
+impl CallHandler for SessionHandler {
+    fn handle(&self, id: u64, call: Call, ctx: &HandlerContext<'_>) -> Response {
+        handle_call(id, call, &self.session, &self.inflight, ctx)
+    }
+}
+
+/// The pulse-serving daemon: a TCP listener over a [`CallHandler`] —
+/// by default a [`SessionHandler`] over one shared [`Session`]/pulse
+/// library.
 ///
 /// Built with [`Server::bind`] (so the OS-assigned port is known before
 /// [`Server::run`] blocks), it serves until a client sends the
 /// `shutdown` method (or `POST /shutdown`).
-#[derive(Debug)]
-pub struct Server {
-    session: Arc<Session>,
+pub struct Server<H: CallHandler = SessionHandler> {
+    handler: Arc<H>,
     listener: TcpListener,
     config: ServerConfig,
     local_addr: SocketAddr,
 }
 
-impl Server {
+impl<H: CallHandler> std::fmt::Debug for Server<H> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server<SessionHandler> {
     /// Binds the listener. The session is shared — the caller can keep a
     /// clone of the [`Arc`] and watch
     /// [`Session::library`](accqoc::Session::library) stats while the
@@ -348,10 +429,27 @@ impl Server {
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> std::io::Result<Self> {
+        Server::bind_with_handler(Arc::new(SessionHandler::new(session)), addr, config)
+    }
+}
+
+impl<H: CallHandler> Server<H> {
+    /// Binds the listener over an arbitrary [`CallHandler`] — the shard
+    /// router's entry point. Both wire surfaces, admission, and
+    /// connection handling behave exactly as with [`Server::bind`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind_with_handler(
+        handler: Arc<H>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         Ok(Self {
-            session,
+            handler,
             listener,
             config,
             local_addr,
@@ -374,14 +472,12 @@ impl Server {
         self.listener.set_nonblocking(true)?;
         let workers = self.config.workers.max(1);
         let queue: BoundedQueue<Job> = BoundedQueue::new(self.config.queue_capacity);
-        let inflight = InflightGroups::new();
         let counters = CounterCells::default();
-        let session: &Session = &self.session;
+        let handler: &H = &self.handler;
         let (done_tx, done_rx) = mpsc::channel::<Completion>();
 
         std::thread::scope(|scope| -> std::io::Result<()> {
             let queue = &queue;
-            let inflight = &inflight;
             let counters = &counters;
             for _ in 0..workers {
                 let done = done_tx.clone();
@@ -390,8 +486,11 @@ impl Server {
                         // Counted at pickup so a request's own `stats`
                         // snapshot includes itself.
                         counters.bump(&counters.requests_served);
-                        let response =
-                            handle_call(job.id, job.call, session, inflight, queue, counters);
+                        let ctx = HandlerContext {
+                            counters,
+                            queue_depth: queue.len(),
+                        };
+                        let response = handler.handle(job.id, job.call, &ctx);
                         let bytes = render_response(&response, job.mode);
                         // A vanished client is not a daemon problem.
                         done.send(Completion {
@@ -407,6 +506,7 @@ impl Server {
             // Workers hold the only senders now: the receiver reports
             // Disconnected exactly when the whole pool has exited.
             drop(done_tx);
+            let on_shutdown = || handler.on_shutdown();
             let mut event_loop = EventLoop {
                 listener: &self.listener,
                 config: &self.config,
@@ -416,6 +516,7 @@ impl Server {
                 conns: HashMap::new(),
                 next_token: 0,
                 draining: false,
+                on_shutdown: &on_shutdown,
             };
             let result = event_loop.run();
             // Whatever happened, release the workers so the scope joins.
@@ -437,6 +538,8 @@ struct EventLoop<'a> {
     conns: HashMap<u64, Conn>,
     next_token: u64,
     draining: bool,
+    /// The handler's shutdown hook, fired once when draining starts.
+    on_shutdown: &'a dyn Fn(),
 }
 
 impl EventLoop<'_> {
@@ -731,8 +834,12 @@ impl EventLoop<'_> {
             };
             conn.ready.insert(seq, render_response(&response, mode));
             // Stop accepting, refuse new work, drain what is in flight.
+            let first_shutdown = !self.draining;
             self.draining = true;
             self.queue.close();
+            if first_shutdown {
+                (self.on_shutdown)();
+            }
             return;
         }
         let job = Job {
@@ -786,8 +893,7 @@ fn handle_call(
     call: Call,
     session: &Session,
     inflight: &InflightGroups,
-    queue: &BoundedQueue<Job>,
-    counters: &CounterCells,
+    ctx: &HandlerContext<'_>,
 ) -> Response {
     let compile_failure =
         |e: accqoc::Error| Response::failure(id, ErrorCode::Compile, e.to_string());
@@ -795,6 +901,7 @@ fn handle_call(
         Call::ServeProgram {
             qasm,
             return_pulses,
+            only_qubits,
         } => {
             let circuit = match parse_qasm(&qasm) {
                 Ok(c) => c,
@@ -804,14 +911,30 @@ fn handle_call(
             // claim what the library still misses; waiting here means
             // another worker is compiling a shared group right now, and
             // it will resolve as a hit once published. The front end
-            // runs once — the serve reuses the same GroupReport.
+            // runs once — the serve reuses the same GroupReport. In
+            // router mode only the owned groups are claimed (the rest
+            // belong to other shards and are never compiled here).
             let grouped = session.front_end(&circuit);
-            let keys: Vec<_> = grouped.targets.iter().map(|t| t.key.clone()).collect();
+            let owned = |n_qubits: usize| {
+                only_qubits
+                    .as_deref()
+                    .is_none_or(|widths| widths.contains(&n_qubits))
+            };
+            let keys: Vec<_> = grouped
+                .targets
+                .iter()
+                .filter(|t| owned(t.n_qubits))
+                .map(|t| t.key.clone())
+                .collect();
             let claim = inflight.claim(&keys, |k| !session.cache_contains(k));
             if claim.waited() {
-                counters.bump(&counters.coalesced_waits);
+                ctx.note_coalesced_wait();
             }
-            let report = match session.serve_grouped(&grouped, &accqoc::ServeOptions::default()) {
+            let report = match session.serve_grouped_subset(
+                &grouped,
+                &accqoc::ServeOptions::default(),
+                only_qubits.as_deref(),
+            ) {
                 Ok(report) => report,
                 Err(e) => return compile_failure(e),
             };
@@ -845,7 +968,10 @@ fn handle_call(
                 }),
             }
         }
-        Call::Precompile { programs } => {
+        Call::Precompile {
+            programs,
+            only_qubits,
+        } => {
             let mut circuits = Vec::with_capacity(programs.len());
             for qasm in &programs {
                 match parse_qasm(qasm) {
@@ -854,8 +980,14 @@ fn handle_call(
                 }
             }
             // Precompile coalesces too: claim the union of the batch's
-            // group keys so a concurrent serve (or second precompile) of
-            // an overlapping group waits instead of duplicating GRAPE.
+            // (owned) group keys so a concurrent serve (or second
+            // precompile) of an overlapping group waits instead of
+            // duplicating GRAPE.
+            let owned = |n_qubits: usize| {
+                only_qubits
+                    .as_deref()
+                    .is_none_or(|widths| widths.contains(&n_qubits))
+            };
             let mut keys: Vec<_> = circuits
                 .iter()
                 .flat_map(|c| {
@@ -863,6 +995,7 @@ fn handle_call(
                         .front_end(c)
                         .targets
                         .into_iter()
+                        .filter(|t| owned(t.n_qubits))
                         .map(|t| t.key)
                         .collect::<Vec<_>>()
                 })
@@ -871,9 +1004,10 @@ fn handle_call(
             keys.dedup();
             let claim = inflight.claim(&keys, |k| !session.cache_contains(k));
             if claim.waited() {
-                counters.bump(&counters.coalesced_waits);
+                ctx.note_coalesced_wait();
             }
-            match session.precompile(&circuits, PrecompileOrder::Mst) {
+            match session.precompile_subset(&circuits, PrecompileOrder::Mst, only_qubits.as_deref())
+            {
                 Ok(report) => Response {
                     id,
                     body: Ok(Payload::Precompile(PrecompileSummary {
@@ -902,11 +1036,29 @@ fn handle_call(
             id,
             body: Ok(Payload::Stats(StatsSnapshot {
                 library: session.library().stats(),
-                server: counters.snapshot(),
+                server: ctx.server_counters(),
                 library_len: session.cache_len(),
-                queue_depth: queue.len(),
+                queue_depth: ctx.queue_depth(),
             })),
         },
+        Call::Pulses { keys } => {
+            let mut pulses = PulseCache::new();
+            let mut missing = Vec::new();
+            for key in keys {
+                match session.cached(&key) {
+                    Some(entry) => {
+                        pulses.insert(key, entry);
+                    }
+                    None => missing.push(key),
+                }
+            }
+            missing.sort();
+            missing.dedup();
+            Response {
+                id,
+                body: Ok(Payload::Pulses { pulses, missing }),
+            }
+        }
         Call::Library { limit, offset } => {
             let snapshot = session.cache_snapshot();
             let total = snapshot.len();

@@ -367,6 +367,57 @@ pub fn read_file(path: &Path) -> Result<Vec<u8>> {
     Ok(std::fs::read(path)?)
 }
 
+/// Canonical on-disk location of one shard's store inside a sharded
+/// deployment's base directory: `<base>/shard-<index>`. Every layer that
+/// names shard stores — the router CLI, the rebalance executor, the
+/// chaos tests, the bench harness — goes through this one function so a
+/// deployment's layout is never spelled twice.
+pub fn shard_dir(base: &Path, shard: usize) -> PathBuf {
+    base.join(format!("shard-{shard}"))
+}
+
+/// Moves a whole store directory (WAL + snapshot pair + any sidecars)
+/// from `src` to `dst` wholesale. Prefers an atomic `rename`; when the
+/// paths straddle filesystems it falls back to copy-then-remove, copying
+/// file by file and only deleting `src` after every byte landed. `dst`
+/// must not already exist (a half-merged store is worse than a typed
+/// error).
+pub fn move_store_dir(src: &Path, dst: &Path) -> Result<()> {
+    if dst.exists() {
+        return Err(StoreError::Io(io::Error::new(
+            io::ErrorKind::AlreadyExists,
+            format!("move target {} already exists", dst.display()),
+        )));
+    }
+    if let Some(parent) = dst.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    match std::fs::rename(src, dst) {
+        Ok(()) => Ok(()),
+        Err(_) => {
+            copy_dir_recursive(src, dst)?;
+            std::fs::remove_dir_all(src)?;
+            Ok(())
+        }
+    }
+}
+
+fn copy_dir_recursive(src: &Path, dst: &Path) -> Result<()> {
+    std::fs::create_dir_all(dst)?;
+    for entry in std::fs::read_dir(src)? {
+        let entry = entry?;
+        let target = dst.join(entry.file_name());
+        if entry.file_type()?.is_dir() {
+            copy_dir_recursive(&entry.path(), &target)?;
+        } else {
+            std::fs::copy(entry.path(), &target)?;
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -514,6 +565,37 @@ mod tests {
         assert_eq!(std::fs::read(&path).unwrap(), b"version two, longer");
         // No temp residue.
         assert!(!dir.join("artifact.json.tmp").exists());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn shard_dir_layout_is_stable() {
+        let base = Path::new("/data/ring");
+        assert_eq!(shard_dir(base, 0), base.join("shard-0"));
+        assert_eq!(shard_dir(base, 12), base.join("shard-12"));
+    }
+
+    #[test]
+    fn move_store_dir_relocates_wholesale_and_refuses_clobber() {
+        let dir = tmp_dir("move");
+        let src = dir.join("shard-0");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(src.join("library.wal"), b"wal bytes").unwrap();
+        std::fs::write(src.join("snapshot.json"), b"snapshot bytes").unwrap();
+        let dst = dir.join("shard-0.retired");
+        move_store_dir(&src, &dst).unwrap();
+        assert!(!src.exists(), "source is gone after the move");
+        assert_eq!(
+            std::fs::read(dst.join("library.wal")).unwrap(),
+            b"wal bytes"
+        );
+        assert_eq!(
+            std::fs::read(dst.join("snapshot.json")).unwrap(),
+            b"snapshot bytes"
+        );
+        // A second move into the same target is a typed refusal, not a merge.
+        std::fs::create_dir_all(&src).unwrap();
+        assert!(move_store_dir(&src, &dst).is_err());
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -3,7 +3,7 @@
 //! semantic verification of served pulses) plus the edge cases — empty
 //! library, capacity 0, and eviction under repeated inserts.
 
-use accqoc_repro::accqoc::{PulseLibrary, Session, SimilarityFn};
+use accqoc_repro::accqoc::{PulseLibrary, ServeOptions, Session, SimilarityFn};
 use accqoc_repro::circuit::{circuit_unitary, Circuit, Gate, UnitaryKey};
 use accqoc_repro::grape::Pulse;
 use accqoc_repro::hw::Topology;
@@ -76,6 +76,121 @@ fn golden_stream_acceptance() {
         before,
         "replay compiled nothing"
     );
+}
+
+#[test]
+fn width_partitioned_subset_serving_is_byte_transparent() {
+    // The sharding contract: warm starts never cross group widths, so
+    // serving each width class on its own fresh session (= one shard of
+    // a sharded deployment) must reproduce the single-process serve
+    // byte for byte — per-group pulses, hit/warm/iteration outcomes,
+    // and summed library counters.
+    let programs = [
+        Circuit::from_gates(3, [Gate::H(0), Gate::Cx(0, 1), Gate::T(2)]),
+        Circuit::from_gates(3, [Gate::Rz(0, 0.4), Gate::Cx(1, 2), Gate::H(1)]),
+        Circuit::from_gates(3, [Gate::Cx(0, 1), Gate::Rz(2, 0.9), Gate::H(0)]),
+    ];
+    let baseline = session(3);
+    let base_reports: Vec<_> = programs
+        .iter()
+        .map(|p| baseline.serve_program(p).expect("baseline serves"))
+        .collect();
+    assert!(
+        base_reports
+            .iter()
+            .flat_map(|r| r.groups.iter())
+            .any(|g| g.n_qubits == 2),
+        "suite must exercise both width classes"
+    );
+
+    let opts = ServeOptions::default();
+    let shards = [session(3), session(3)]; // shard 0 owns width 1, shard 1 width 2
+    let widths: [&[usize]; 2] = [&[1], &[2]];
+    for (p, base) in programs.iter().zip(&base_reports) {
+        let mut merged = Vec::new();
+        let mut owned_total = 0;
+        for (shard, width) in shards.iter().zip(widths) {
+            let grouped = shard.front_end(p);
+            let report = shard
+                .serve_grouped_subset(&grouped, &opts, Some(width))
+                .expect("subset serves");
+            assert_eq!(
+                report.overall_latency_ns, 0.0,
+                "subsets cannot see the whole program's latency"
+            );
+            assert!(report.groups.iter().all(|g| width.contains(&g.n_qubits)));
+            owned_total += report.coverage.total;
+            merged.extend(report.groups);
+        }
+        assert_eq!(owned_total, base.coverage.total, "owned instances sum");
+        // Every baseline group outcome is reproduced by its owner shard.
+        assert_eq!(merged.len(), base.groups.len());
+        for bg in &base.groups {
+            let sg = merged
+                .iter()
+                .find(|g| g.key == bg.key)
+                .expect("owner served the group");
+            assert_eq!(sg.hit, bg.hit, "hit/miss outcome");
+            assert_eq!(sg.warm_from, bg.warm_from, "warm-start source");
+            assert_eq!(sg.iterations, bg.iterations, "GRAPE iteration count");
+            assert_eq!(sg.latency_ns, bg.latency_ns, "group latency, bit-exact");
+        }
+        // The router folds the program-level latency from the merged
+        // per-group latencies; it must land on the baseline's number.
+        let per_key: std::collections::HashMap<_, _> = merged
+            .iter()
+            .map(|g| (g.key.clone(), g.latency_ns))
+            .collect();
+        let grouped = baseline.front_end(p);
+        let folded = baseline
+            .overall_latency_from(&grouped, |k| per_key.get(k).copied())
+            .expect("all groups covered");
+        assert_eq!(folded, base.overall_latency_ns, "folded latency, bit-exact");
+    }
+
+    // The union of the shard caches is byte-identical to the baseline's.
+    let mut union = shards[0].cache_snapshot();
+    union.merge(shards[1].cache_snapshot());
+    assert_eq!(
+        union.to_json(),
+        baseline.cache_snapshot().to_json(),
+        "shard cache union diverged from the single-process cache"
+    );
+
+    // Library counters sum exactly across the partition.
+    let base_stats = baseline.library().stats();
+    let summed =
+        shards
+            .iter()
+            .map(|s| s.library().stats())
+            .fold((0u64, 0u64, 0u64, 0u64), |acc, s| {
+                (
+                    acc.0 + s.hits,
+                    acc.1 + s.misses,
+                    acc.2 + s.warm_compiles,
+                    acc.3 + s.scratch_compiles,
+                )
+            });
+    assert_eq!(
+        summed,
+        (
+            base_stats.hits,
+            base_stats.misses,
+            base_stats.warm_compiles,
+            base_stats.scratch_compiles
+        ),
+        "counters must sum across shards"
+    );
+
+    // `None` means "own everything": byte-identical to serve_grouped.
+    let unfiltered = session(3);
+    for (p, base) in programs.iter().zip(&base_reports) {
+        let grouped = unfiltered.front_end(p);
+        let report = unfiltered
+            .serve_grouped_subset(&grouped, &opts, None)
+            .expect("unfiltered serves");
+        assert_eq!(report.to_json(), base.to_json(), "None filter is identity");
+    }
 }
 
 #[test]
